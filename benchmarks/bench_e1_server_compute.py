@@ -1,0 +1,124 @@
+"""E1 — §5.1 "Server computation": per-request cost and its DPF/scan split.
+
+Paper (1 GiB shard, domain 2^22, AVX C++): 167 ms per request = 64 ms DPF
+evaluation + 103 ms data scan.
+
+We measure the same request on the Python substrate at reduced domains and
+extrapolate linearly (both stages are linear in the domain size). Absolute
+numbers differ — Python vs AVX — and the *split* inverts at small blob
+sizes (our vectorised scan is relatively cheaper than our Python-looped
+DPF tree), which EXPERIMENTS.md discusses; what must hold is that both
+stages exist, both scale linearly, and the request is scan+DPF and nothing
+else.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.costmodel.estimator import PAPER_SHARD, measure_shard
+from repro.crypto.dpf import gen_dpf
+from repro.pir.database import BlobDatabase
+from repro.pir.twoserver import TwoServerPirServer
+
+DOMAIN_BITS = 12
+BLOB_BYTES = 4096
+
+
+@pytest.fixture(scope="module")
+def shard():
+    db = BlobDatabase(DOMAIN_BITS, BLOB_BYTES)
+    rng = np.random.default_rng(0)
+    for i in range(0, db.n_slots, 4):
+        db.set_slot(i, bytes(rng.integers(0, 256, 64, dtype=np.uint8)))
+    return TwoServerPirServer(db, party=0)
+
+
+def test_e1_per_request_compute(benchmark, shard):
+    key0, _ = gen_dpf(123, DOMAIN_BITS)
+    raw = key0.to_bytes()
+    benchmark(shard.answer, raw)
+
+    _, timing = shard.answer_timed(raw)
+    scale = (1 << PAPER_SHARD.domain_bits) / (1 << DOMAIN_BITS)
+    report("E1: server computation per request", [
+        (f"measured @2^{DOMAIN_BITS} (ms total / dpf / scan)",
+         f"{timing.total_seconds*1e3:.1f} / {timing.dpf_seconds*1e3:.1f} / "
+         f"{timing.scan_seconds*1e3:.1f}"),
+        ("measured scan fraction", f"{timing.scan_fraction:.2f}"),
+        (f"linear extrapolation to 2^22 (s total)",
+         f"{timing.total_seconds*scale:.1f}"),
+        ("paper @2^22 (ms total / dpf / scan)", "167 / 64 / 103"),
+        ("paper scan fraction", f"{PAPER_SHARD.scan_fraction:.2f}"),
+    ])
+    assert timing.dpf_seconds > 0 and timing.scan_seconds > 0
+
+
+def test_e1_both_stages_scale_linearly(benchmark, shard):
+    """Per-request time grows linearly with the domain.
+
+    Python per-call overhead dominates below ~2^14, so we measure in the
+    vectorised regime (2^14..2^18), where 16x more data costs close to
+    16x more time.
+    """
+
+    def run_at(bits):
+        db = BlobDatabase(bits, 256)
+        for i in range(0, db.n_slots, 8):
+            db.set_slot(i, b"fill")
+        server = TwoServerPirServer(db, party=0)
+        key0, _ = gen_dpf(1, bits)
+        raw = key0.to_bytes()
+        times = []
+        for _ in range(2):
+            _, timing = server.answer_timed(raw)
+            times.append((timing.dpf_seconds, timing.scan_seconds))
+        dpf = min(t[0] for t in times)
+        scan = min(t[1] for t in times)
+        return dpf, scan
+
+    results = benchmark.pedantic(
+        lambda: {bits: run_at(bits) for bits in (14, 16, 18)},
+        rounds=1, iterations=1,
+    )
+    dpf_ratio = results[18][0] / results[14][0]
+    report("E1b: linear scaling of the request stages", [
+        ("dpf time ratio 2^18 / 2^14 (ideal 16)", f"{dpf_ratio:.1f}"),
+        ("dpf ms at 2^14 / 2^16 / 2^18",
+         " / ".join(f"{results[b][0]*1e3:.1f}" for b in (14, 16, 18))),
+        ("scan ms at 2^14 / 2^16 / 2^18",
+         " / ".join(f"{results[b][1]*1e3:.2f}" for b in (14, 16, 18))),
+    ])
+    assert 3 < dpf_ratio < 40  # linear in domain size, generous slack
+
+
+def test_e1_scan_share_grows_with_blob_size(benchmark):
+    """The paper's scan-dominated regime is the big-blob/big-data regime:
+    as blobs grow, the scan share of the request grows toward it."""
+
+    def scan_fraction(blob_bytes):
+        db = BlobDatabase(11, blob_bytes)
+        rng = np.random.default_rng(1)
+        for i in range(db.n_slots):
+            db.set_slot(i, bytes(rng.integers(0, 256, min(64, blob_bytes),
+                                              dtype=np.uint8)))
+        server = TwoServerPirServer(db, party=0)
+        key0, _ = gen_dpf(7, 11)
+        raw = key0.to_bytes()
+        best = None
+        for _ in range(3):
+            _, timing = server.answer_timed(raw)
+            if best is None or timing.total_seconds < best.total_seconds:
+                best = timing
+        return best.scan_fraction
+
+    fractions = benchmark.pedantic(
+        lambda: [scan_fraction(size) for size in (256, 4096, 32768)],
+        rounds=1, iterations=1,
+    )
+    report("E1c: scan share vs blob size", [
+        ("scan fraction at 256 B / 4 KiB / 32 KiB blobs",
+         " / ".join(f"{f:.2f}" for f in fractions)),
+        ("paper (4 KiB blobs, AVX scan)", "0.62"),
+    ])
+    assert fractions[-1] > fractions[0]

@@ -1,0 +1,76 @@
+"""E2 — §5.1 "Batching requests to increase throughput".
+
+Paper: batch 1 → 0.51 s latency, 2 req/s; batch 16 → 2.6 s latency,
+6 req/s (167 ms amortised per request).
+
+Two parts: the analytic trade-off curve with the paper's constants (it
+must pass through both published endpoints), and measured batch answering
+on the Python substrate (throughput must not degrade with batch size, and
+latency must grow with it).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.pir.batching import BatchCostModel, BatchScheduler
+from repro.pir.database import BlobDatabase
+from repro.pir.twoserver import TwoServerPirClient, TwoServerPirServer
+
+DOMAIN_BITS = 11
+BLOB_BYTES = 2048
+BATCH_SIZES = (1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    db = BlobDatabase(DOMAIN_BITS, BLOB_BYTES)
+    rng = np.random.default_rng(0)
+    for i in range(db.n_slots):
+        db.set_slot(i, bytes(rng.integers(0, 256, 128, dtype=np.uint8)))
+    return TwoServerPirServer(db, party=0), TwoServerPirClient(DOMAIN_BITS, BLOB_BYTES)
+
+
+def test_e2_paper_model_curve(benchmark):
+    model = BatchCostModel()
+    curve = benchmark(model.curve, list(BATCH_SIZES))
+    rows = [("paper endpoints",
+             "B=1: 0.51 s, 2 req/s | B=16: 2.6 s, 6 req/s")]
+    for point in curve:
+        rows.append((
+            f"model B={point.batch_size}",
+            f"latency {point.latency_seconds:.2f} s, "
+            f"throughput {point.throughput_rps:.2f} req/s, "
+            f"{point.per_request_seconds*1e3:.0f} ms/req",
+        ))
+    report("E2: batching trade-off (paper-constant model)", rows)
+    assert curve[0].latency_seconds == pytest.approx(0.51)
+    assert curve[-1].throughput_rps == pytest.approx(6.0, rel=0.02)
+    assert curve[-1].latency_seconds == pytest.approx(2.6, rel=0.05)
+
+
+def test_e2_measured_batching(benchmark, deployment):
+    server, client = deployment
+
+    def run_batch(batch_size, repeats=2):
+        scheduler = BatchScheduler(server, batch_size=batch_size)
+        for _ in range(repeats):
+            for i in range(batch_size):
+                scheduler.submit(client.query(i * 7 % server.database.n_slots)[0])
+        return scheduler.measured_point()
+
+    points = benchmark.pedantic(
+        lambda: [run_batch(b) for b in BATCH_SIZES],
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for point in points:
+        rows.append((
+            f"measured B={point.batch_size}",
+            f"latency {point.latency_seconds*1e3:.1f} ms, "
+            f"throughput {point.throughput_rps:.1f} req/s",
+        ))
+    report("E2b: measured batching on this machine", rows)
+    # Shape: latency grows with batch size; throughput does not collapse.
+    assert points[-1].latency_seconds > points[0].latency_seconds
+    assert points[-1].throughput_rps > 0.5 * points[0].throughput_rps

@@ -1,0 +1,92 @@
+"""E6 — §5.2 "Distributing DPF evaluation": the front-end tree split.
+
+Paper: "the front-end server can build the top part of the tree and then,
+for each sub-tree, send the sub-tree root to the corresponding server. The
+cost for the data server of completing the DPF evaluation from that point
+is the same as the cost of evaluating the DPF key for the smaller domain."
+
+Checks, at 2^16 over {4, 16, 64} shards: (1) recombined shard answers are
+bit-identical to the unsharded answer, (2) per-shard DPF time tracks the
+smaller domain (≈ total/n_shards), and (3) the front-end split is cheap.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.crypto.dpf import eval_dpf_full, gen_dpf
+from repro.crypto.dpf_distributed import eval_subkey_full, split_dpf_key
+
+DOMAIN_BITS = 16
+
+
+@pytest.fixture(scope="module")
+def key():
+    key0, _ = gen_dpf(12345, DOMAIN_BITS, rng=np.random.default_rng(0))
+    return key0
+
+
+def test_e6_split_correctness(benchmark, key):
+    def split_and_recombine():
+        subkeys = split_dpf_key(key, 4)
+        return np.concatenate([eval_subkey_full(s) for s in subkeys])
+
+    recombined = benchmark(split_and_recombine)
+    full = eval_dpf_full(key)
+    assert (recombined == full).all()
+    report("E6: distributed evaluation correctness", [
+        ("16 shards recombine to the unsharded evaluation", "bit-identical"),
+    ])
+
+
+def test_e6_shard_work_scales_with_subdomain(benchmark, key):
+    def measure(prefix_bits):
+        subkeys = split_dpf_key(key, prefix_bits)
+        t0 = time.perf_counter()
+        eval_subkey_full(subkeys[0])
+        per_shard = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for subkey in subkeys:
+            eval_subkey_full(subkey)
+        total = time.perf_counter() - t0
+        return per_shard, total
+
+    results = benchmark.pedantic(
+        lambda: {1 << p: measure(p) for p in (2, 4, 6)},
+        rounds=1, iterations=1,
+    )
+    t0 = time.perf_counter()
+    eval_dpf_full(key)
+    unsharded = time.perf_counter() - t0
+
+    rows = [("unsharded full evaluation", f"{unsharded*1e3:.1f} ms")]
+    for n_shards, (per_shard, total) in results.items():
+        rows.append((
+            f"{n_shards} shards: per-shard / all-shards",
+            f"{per_shard*1e3:.2f} ms / {total*1e3:.1f} ms "
+            f"(ideal per-shard {unsharded/n_shards*1e3:.2f} ms)",
+        ))
+    report("E6b: per-shard work equals the smaller-domain evaluation", rows)
+    # Per-shard time shrinks as shards multiply (generous constant-factor
+    # slack for per-call overhead at tiny sub-domains).
+    assert results[64][0] < results[4][0]
+    # Total work stays within a constant factor of the unsharded scan.
+    assert results[4][1] < 4 * unsharded
+
+
+def test_e6_frontend_split_is_cheap(benchmark, key):
+    split_seconds = benchmark(lambda: _time(split_dpf_key, key, 6))
+    full_seconds = _time(eval_dpf_full, key)
+    report("E6c: front-end cost", [
+        ("front-end split to 64 sub-trees", f"{split_seconds*1e3:.2f} ms"),
+        ("one full-domain evaluation", f"{full_seconds*1e3:.1f} ms"),
+    ])
+    assert split_seconds < full_seconds
+
+
+def _time(fn, *args):
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0

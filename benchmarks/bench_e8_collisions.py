@@ -1,0 +1,101 @@
+"""E8 — §5.1's collision analysis and the cuckoo mitigation.
+
+Paper: "With ... an output domain of size 2^22, we guarantee that if there
+are roughly 2^20 key-value pairs ... the probability of collision is at
+most 1/4 when the ZLTP server is almost at capacity. ... We could decrease
+this probability by increasing the DPF output domain or by using cuckoo
+hashing and probing several locations per request."
+
+We verify the analytic bound, Monte-Carlo it at reduced scale, show the
+domain-size knob, and show cuckoo hashing absorbing loads that break
+single-hash placement.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.crypto.cuckoo import CuckooTable, build_table
+from repro.crypto.hashing import (
+    KeyedHash,
+    any_collision_probability,
+    collision_probability,
+    domain_bits_for,
+)
+from repro.errors import CapacityError, CollisionError
+
+
+def test_e8_paper_bound(benchmark):
+    bound = benchmark(collision_probability, 2**20, 22)
+    report("E8: the §5.1 collision bound", [
+        ("Pr[new key collides], 2^20 keys in 2^22 slots",
+         f"{bound:.3f} (paper: at most 1/4)"),
+        ("exact occupied-slot probability",
+         f"{collision_probability(2**20, 22, exact=True):.3f}"),
+        ("Pr[ANY pair collides] (why it's per-insert)",
+         f"{any_collision_probability(2**20, 22):.6f}"),
+        ("smallest domain for 1/4 at 2^20 keys",
+         f"2^{domain_bits_for(2**20, 0.25)}"),
+    ])
+    assert bound == pytest.approx(0.25)
+
+
+def test_e8_monte_carlo(benchmark):
+    """Empirical per-insert collision rate at the same 1:4 load, scaled."""
+    domain_bits = 14  # 16384 slots, 4096 keys: same n/D = 1/4
+    h = KeyedHash(domain_bits, salt=b"e8")
+
+    def run():
+        occupied = {h.slot(f"page-{i}") for i in range(1 << (domain_bits - 2))}
+        hits = sum(1 for i in range(4000)
+                   if h.slot(f"probe-{i}") in occupied)
+        return hits / 4000, len(occupied) / (1 << domain_bits)
+
+    rate, actual_load = benchmark(run)
+    report("E8b: Monte-Carlo at 2^12 keys in 2^14 slots", [
+        ("empirical per-insert collision rate", f"{rate:.3f}"),
+        ("occupied fraction (≤ 1/4 after self-collisions)",
+         f"{actual_load:.3f}"),
+        ("paper bound", "0.25"),
+    ])
+    assert rate == pytest.approx(actual_load, abs=0.03)
+    assert rate < 0.27
+
+
+def test_e8_domain_size_knob(benchmark):
+    probs = benchmark(
+        lambda: {bits: collision_probability(2**20, bits)
+                 for bits in (21, 22, 23, 24)}
+    )
+    report("E8c: increasing the output domain", [
+        (f"Pr[collision] at 2^{bits}", f"{prob:.3f}")
+        for bits, prob in probs.items()
+    ])
+    values = list(probs.values())
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_e8_cuckoo_mitigation(benchmark):
+    """Single-hash placement breaks at loads cuckoo absorbs entirely."""
+    domain_bits = 10
+    n_keys = 400  # ~40% load
+
+    def single_hash_failures():
+        table = CuckooTable(domain_bits, n_hashes=1, salt=b"e8-single")
+        failures = 0
+        for i in range(n_keys):
+            try:
+                table.insert(f"key-{i}")
+            except (CollisionError, CapacityError):
+                failures += 1
+        return failures
+
+    failures = benchmark(single_hash_failures)
+    cuckoo = build_table([f"key-{i}" for i in range(n_keys)],
+                         domain_bits, n_hashes=2, salt=b"e8-cuckoo")
+    report("E8d: cuckoo hashing vs single-hash at 40% load", [
+        ("single-hash keys needing a rename", f"{failures} / {n_keys}"),
+        ("cuckoo (2 probes) keys placed", f"{len(cuckoo)} / {n_keys}"),
+        ("client cost of cuckoo", "2 private-GETs per lookup (fixed)"),
+    ])
+    assert failures > 0
+    assert len(cuckoo) == n_keys

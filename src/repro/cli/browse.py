@@ -1,0 +1,99 @@
+"""``lightweb browse`` — a terminal lightweb client over TCP.
+
+Connects the two session kinds (four TCP connections for pir2), then
+either visits the paths given on the command line or drops into a small
+interactive loop (`path` to visit, a number to follow a link, `quit`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.lightweb.browser import LightwebBrowser, RenderedPage
+from repro.core.zltp.client import connect_client
+from repro.core.zltp.sockets import connect_tcp
+
+
+class TcpCdnProxy:
+    """Adapts raw TCP endpoints to the ``cdn.connect`` interface the
+    browser expects, plus the universe metadata it needs."""
+
+    class _Universe:
+        def __init__(self, fetch_budget):
+            self.fetch_budget = fetch_budget
+
+    def __init__(self, host: str, code_ports: List[int],
+                 data_ports: List[int], fetch_budget: int = 5,
+                 universe_name: str = "main"):
+        self.name = f"tcp:{host}"
+        self._host = host
+        self._ports = {"code": code_ports, "data": data_ports}
+        self._universe = self._Universe(fetch_budget)
+        self._universe_name = universe_name
+
+    def universe(self, name: str):
+        """Universe metadata (the browser only needs the fetch budget)."""
+        return self._universe
+
+    def connect(self, universe_name: str, kind: str, client_modes=None,
+                transport_factory=None, rng=None):
+        """Dial the deployment's listeners for one session kind."""
+        transports = [connect_tcp(self._host, port)
+                      for port in self._ports[kind]]
+        return connect_client(transports, supported_modes=client_modes,
+                              rng=rng)
+
+
+def render_to_terminal(page: RenderedPage) -> str:
+    """Format a rendered page for terminal output."""
+    lines = [f"── {page.path} " + "─" * max(0, 50 - len(page.path)), page.text]
+    if page.links:
+        lines.append("")
+        for index, (target, label) in enumerate(page.links):
+            lines.append(f"  [{index}] {label} -> {target}")
+    for note in page.notes:
+        lines.append(f"  ! {note}")
+    return "\n".join(lines)
+
+
+def cmd_browse(args, input_fn=input, print_fn=print) -> int:
+    """Entry point for ``lightweb browse``."""
+    proxy = TcpCdnProxy(args.host, args.code_ports, args.data_ports,
+                        fetch_budget=args.fetch_budget)
+    browser = LightwebBrowser(rng=np.random.default_rng())
+    browser.connect(proxy, "main")
+
+    last: Optional[RenderedPage] = None
+    for path in args.path:
+        last = browser.visit(path)
+        print_fn(render_to_terminal(last))
+
+    if not args.interactive:
+        browser.close()
+        return 0
+
+    print_fn("interactive mode: enter a path, a link number, or 'quit'")
+    while True:
+        try:
+            line = input_fn("lightweb> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if not line:
+            continue
+        if line in ("quit", "exit", "q"):
+            break
+        try:
+            if line.isdigit() and last is not None:
+                last = browser.follow(last, int(line))
+            else:
+                last = browser.visit(line)
+            print_fn(render_to_terminal(last))
+        except Exception as exc:  # surface, keep the session alive
+            print_fn(f"error: {exc}")
+    browser.close()
+    return 0
+
+
+__all__ = ["TcpCdnProxy", "cmd_browse", "render_to_terminal"]

@@ -1,0 +1,143 @@
+"""The ``lightweb`` command-line entry point."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="lightweb",
+        description="Run and use lightweb deployments (HotNets '23 reproduction).",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"lightweb-repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="host universes over TCP ZLTP")
+    serve.add_argument("spec", nargs="+",
+                       help="site spec JSON files to publish")
+    serve.add_argument("--universe", default="main")
+    serve.add_argument("--data-blob-size", type=int, default=4096)
+    serve.add_argument("--fetch-budget", type=int, default=5)
+    serve.add_argument("--port-base", type=int, default=0,
+                       help="first of 4 consecutive ports (0 = ephemeral)")
+    serve.add_argument("--state", default="",
+                       help="universe archive to load/save (restart "
+                            "without re-pushing)")
+    serve.set_defaults(func=_cmd_serve)
+
+    browse = sub.add_parser("browse", help="browse a running deployment")
+    browse.add_argument("path", nargs="*", help="lightweb paths to visit")
+    browse.add_argument("--host", default="127.0.0.1")
+    browse.add_argument("--code-ports", type=int, nargs=2, required=True,
+                        metavar=("P0", "P1"))
+    browse.add_argument("--data-ports", type=int, nargs=2, required=True,
+                        metavar=("P0", "P1"))
+    browse.add_argument("--fetch-budget", type=int, default=5,
+                        help="must match the served universe")
+    browse.add_argument("-i", "--interactive", action="store_true")
+    browse.set_defaults(func=_cmd_browse)
+
+    costs = sub.add_parser("costs", help="print the paper's cost analytics")
+    costs.add_argument("--measure", action="store_true",
+                       help="also benchmark a shard on this machine")
+    costs.set_defaults(func=_cmd_costs)
+
+    demo = sub.add_parser("demo", help="self-contained in-process demo")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def _cmd_serve(args) -> int:
+    from repro.cli.serve import cmd_serve
+
+    return cmd_serve(args)
+
+
+def _cmd_browse(args) -> int:
+    from repro.cli.browse import cmd_browse
+
+    return cmd_browse(args)
+
+
+def _cmd_costs(args) -> int:
+    from repro.costmodel.billing import (
+        UserProfile,
+        fi_bytes_cost,
+        fi_page_cost,
+        monthly_user_cost,
+        zltp_vs_fi_ratio,
+    )
+    from repro.costmodel.datasets import C4, KIB, WIKIPEDIA
+    from repro.costmodel.estimator import (
+        PAPER_SHARD,
+        estimate_deployment,
+        measure_shard,
+    )
+
+    shards = [("paper", PAPER_SHARD)]
+    if args.measure:
+        shards.append(("measured", measure_shard(domain_bits=12,
+                                                 blob_bytes=4096,
+                                                 n_requests=2)))
+    for label, shard in shards:
+        print(f"Table 2 ({label} shard constants):")
+        for dataset in (C4, WIKIPEDIA):
+            row = estimate_deployment(dataset, shard=shard).row()
+            print(f"  {row['dataset']:<10} {row['vcpu_sec']:>8.1f} vCPU-s  "
+                  f"${row['request_cost_usd']:.5f}/req  "
+                  f"{row['communication_kib']:.1f} KiB")
+    c4 = estimate_deployment(C4)
+    print(f"monthly user cost (50 pages/day x 5 GETs): "
+          f"${monthly_user_cost(c4.request_cost_usd, UserProfile()):.2f}")
+    print(f"Fi anchors: NYT homepage ${fi_page_cost():.3f}; "
+          f"4 KiB ${fi_bytes_cost(4 * KIB):.6f}; "
+          f"ZLTP/Fi = {zltp_vs_fi_ratio(c4.request_cost_usd):.0f}x")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    import numpy as np
+
+    from repro.core.lightweb.browser import LightwebBrowser
+    from repro.core.lightweb.cdn import Cdn
+    from repro.core.lightweb.publisher import Publisher
+    from repro.core.zltp.modes import MODE_PIR2
+
+    cdn = Cdn("demo-cdn", modes=[MODE_PIR2])
+    cdn.create_universe("demo", data_domain_bits=11, code_domain_bits=7,
+                        fetch_budget=3)
+    publisher = Publisher("demo")
+    site = publisher.site("demo.example")
+    site.add_page("/", "It works. [[demo.example/why|why this is private]]")
+    site.add_page("/why", {"title": "Why", "body": (
+        "Every fetch was a DPF-keyed private GET; the server saw only "
+        "pseudorandom keys and did the same scan either way.")})
+    publisher.push(cdn, "demo")
+    browser = LightwebBrowser(rng=np.random.default_rng())
+    browser.connect(cdn, "demo")
+    page = browser.visit("demo.example")
+    print(page.text)
+    page = browser.follow(page, 0)
+    print(page.text)
+    counts = browser.gets_for_last_visit()
+    print(f"\n(the last visit cost {counts['data-get']} data GETs — "
+          f"the fixed budget)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""``lightweb serve`` — host a universe behind real TCP ZLTP listeners.
+
+One deployment exposes four listeners per universe (code/data sessions ×
+the two non-colluding pir2 parties), on consecutive ports:
+
+    base+0  code party 0        base+2  data party 0
+    base+1  code party 1        base+3  data party 1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cli.spec import load_site
+from repro.core.lightweb.cdn import Cdn
+from repro.core.zltp.modes import MODE_PIR2
+from repro.core.zltp.sockets import ZltpTcpServer
+
+
+@dataclass
+class RunningDeployment:
+    """Handle on a served universe: the CDN, listeners, and their ports."""
+
+    cdn: Cdn
+    universe_name: str
+    listeners: Dict[Tuple[str, int], ZltpTcpServer]
+
+    def ports(self) -> Dict[str, List[int]]:
+        """``{"code": [p0, p1], "data": [p0, p1]}``."""
+        return {
+            kind: [self.listeners[(kind, party)].address[1] for party in (0, 1)]
+            for kind in ("code", "data")
+        }
+
+    def stop(self) -> None:
+        """Stop every listener."""
+        for listener in self.listeners.values():
+            listener.stop()
+
+
+def build_deployment(spec_paths: List[str], universe_name: str = "main",
+                     data_blob_size: int = 4096, code_blob_size: int = 65536,
+                     data_domain_bits: int = 12, code_domain_bits: int = 8,
+                     fetch_budget: int = 5, host: str = "127.0.0.1",
+                     port_base: int = 0,
+                     state_path: str = "") -> RunningDeployment:
+    """Create a CDN from site specs (or saved state) and expose it over TCP.
+
+    Args:
+        spec_paths: site-spec JSON files to publish.
+        universe_name: name of the hosted universe.
+        port_base: first of four consecutive ports (0 = ephemeral ports).
+        state_path: optional universe archive; loaded if it exists (specs
+            are then pushed on top), and (re)written after the build, so a
+            restarted server resumes without losing earlier pushes.
+
+    Returns:
+        A :class:`RunningDeployment`; call ``stop()`` to tear down.
+    """
+    import os
+
+    from repro.core.lightweb.persistence import load_universe, save_universe
+
+    cdn = Cdn("cli-cdn", modes=[MODE_PIR2])
+    if state_path and os.path.exists(state_path):
+        universe = load_universe(state_path)
+        cdn._universes[universe_name] = universe
+        cdn.gets_by_universe[universe_name] = 0
+    else:
+        universe = cdn.create_universe(
+            universe_name,
+            data_blob_size=data_blob_size,
+            code_blob_size=code_blob_size,
+            data_domain_bits=data_domain_bits,
+            code_domain_bits=code_domain_bits,
+            fetch_budget=fetch_budget,
+        )
+    for path in spec_paths:
+        site = load_site(path)
+        compiled = site.compile(universe.max_data_payload,
+                                universe.max_code_payload)
+        cdn.accept_push(f"cli:{site.domain}", universe_name, compiled)
+    if state_path:
+        save_universe(universe, state_path)
+
+    listeners: Dict[Tuple[str, int], ZltpTcpServer] = {}
+    offset = 0
+    for kind in ("code", "data"):
+        for party in (0, 1):
+            port = port_base + offset if port_base else 0
+            server = cdn._server(universe_name, kind, party)
+            listeners[(kind, party)] = ZltpTcpServer(server, host=host,
+                                                     port=port)
+            offset += 1
+    return RunningDeployment(cdn=cdn, universe_name=universe_name,
+                             listeners=listeners)
+
+
+def cmd_serve(args) -> int:
+    """Entry point for ``lightweb serve``."""
+    deployment = build_deployment(
+        args.spec,
+        universe_name=args.universe,
+        data_blob_size=args.data_blob_size,
+        fetch_budget=args.fetch_budget,
+        port_base=args.port_base,
+        state_path=args.state,
+    )
+    universe = deployment.cdn.universe(args.universe)
+    ports = deployment.ports()
+    print(f"universe {args.universe!r}: {universe.n_pages} data blobs, "
+          f"domains {universe.domains()}")
+    print(f"code sessions : ports {ports['code']}")
+    print(f"data sessions : ports {ports['data']}")
+    print("serving; Ctrl-C to stop.")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        deployment.stop()
+    return 0
+
+
+__all__ = ["build_deployment", "RunningDeployment", "cmd_serve"]

@@ -1,0 +1,91 @@
+"""Site specification files for the CLI.
+
+A *site spec* is a JSON document a publisher writes by hand::
+
+    {
+      "domain": "news.example",
+      "integrity": true,
+      "pages": {
+        "/":      "Front page. [[news.example/world|World]]",
+        "/world": {"title": "World", "body": "..."}
+      },
+      "program": {                       // optional custom lightscript
+        "routes": [
+          {"pattern": "^/$", "fetches": ["news.example/"],
+           "render": "{data0.body}"}
+        ]
+      }
+    }
+
+:func:`load_site` turns one into a ready-to-push
+:class:`~repro.core.lightweb.publisher.Site`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.core.lightweb.lightscript import LightscriptProgram, Route
+from repro.core.lightweb.publisher import Site
+from repro.errors import PathError
+
+
+def parse_site_spec(spec: Dict[str, Any]) -> Site:
+    """Build a :class:`Site` from a parsed spec dictionary.
+
+    Raises:
+        PathError: on a structurally invalid spec.
+    """
+    if not isinstance(spec, dict) or "domain" not in spec:
+        raise PathError("site spec must be an object with a 'domain' field")
+    site = Site(str(spec["domain"]))
+    if spec.get("integrity"):
+        site.enable_integrity()
+
+    pages = spec.get("pages")
+    if not isinstance(pages, dict) or not pages:
+        raise PathError("site spec needs a non-empty 'pages' object")
+    for rest, content in pages.items():
+        site.add_page(str(rest), content)
+
+    program_spec = spec.get("program")
+    if program_spec is not None:
+        routes_spec = program_spec.get("routes")
+        if not isinstance(routes_spec, list):
+            raise PathError("'program.routes' must be a list")
+        routes = [
+            Route(
+                pattern=str(entry["pattern"]),
+                fetches=tuple(str(f) for f in entry.get("fetches", [])),
+                render=str(entry.get("render", "")),
+                prompts=tuple(str(p) for p in entry.get("prompts", [])),
+            )
+            for entry in routes_spec
+        ]
+        site.set_program(
+            LightscriptProgram(site.domain, routes,
+                               style=program_spec.get("style") or {})
+        )
+    return site
+
+
+def load_site(path: str) -> Site:
+    """Load a site spec file.
+
+    Raises:
+        PathError: if the file is unreadable or invalid.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PathError(f"cannot read site spec {path}: {exc}") from exc
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PathError(f"malformed JSON in {path}: {exc}") from exc
+    return parse_site_spec(spec)
+
+
+__all__ = ["load_site", "parse_site_spec"]

@@ -1,0 +1,7 @@
+"""The paper's contribution: ZLTP (§2) and the lightweb architecture (§3-4).
+
+- :mod:`repro.core.zltp` — the zero-leakage transfer protocol: sessions,
+  mode negotiation, and the single private-GET operation.
+- :mod:`repro.core.lightweb` — universes, publishers, CDNs and the browser
+  built on top of ZLTP.
+"""

@@ -1,0 +1,68 @@
+"""The lightweb architecture (paper §3-§4): universes, publishers, browsers.
+
+A lightweb deployment is "centered around a content universe, a collection
+of millions or billions of lightweb pages hosted on a single content
+distribution network ... managed within a single administrative domain"
+(§3.1). This package implements every piece of that architecture:
+
+- :mod:`repro.core.lightweb.paths` — the lightweb path grammar.
+- :mod:`repro.core.lightweb.blobs` — fixed-size code/data blob formats.
+- :mod:`repro.core.lightweb.lightscript` — the restricted page-logic
+  language standing in for the paper's JavaScript code blobs.
+- :mod:`repro.core.lightweb.publisher` — site authoring and compilation to
+  one code blob + many data blobs.
+- :mod:`repro.core.lightweb.universe` — a content universe with fixed blob
+  geometry and path-prefix ownership.
+- :mod:`repro.core.lightweb.cdn` — CDNs hosting universes behind logical
+  ZLTP servers, tiering (§3.5) and peering.
+- :mod:`repro.core.lightweb.browser` — the lightweb client: code-blob
+  caching, the fixed data-fetch budget, local storage, rendering.
+- :mod:`repro.core.lightweb.access` — §3.3 access control and §3.4
+  paywalls.
+- :mod:`repro.core.lightweb.ads` — §3.4 local ad targeting.
+"""
+
+from repro.core.lightweb.paths import LightwebPath, parse_path, validate_domain
+from repro.core.lightweb.blobs import pack_blob, unpack_blob, chunk_content
+from repro.core.lightweb.lightscript import LightscriptProgram, Route
+from repro.core.lightweb.storage import LocalStorage
+from repro.core.lightweb.publisher import Publisher, Site
+from repro.core.lightweb.universe import ContentUniverse, UniverseTier
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.browser import LightwebBrowser, RenderedPage
+from repro.core.lightweb.access import AccountKeyring, ProtectedPublisher
+from repro.core.lightweb.ads import AdInventory, select_ad
+from repro.core.lightweb.peering import DomainRegistry
+from repro.core.lightweb.scheduler import CoverTrafficSchedule, run_scheduled_day
+from repro.core.lightweb.persistence import load_universe, save_universe
+from repro.core.lightweb.search import build_search_pages, search_route
+
+__all__ = [
+    "LightwebPath",
+    "parse_path",
+    "validate_domain",
+    "pack_blob",
+    "unpack_blob",
+    "chunk_content",
+    "LightscriptProgram",
+    "Route",
+    "LocalStorage",
+    "Publisher",
+    "Site",
+    "ContentUniverse",
+    "UniverseTier",
+    "Cdn",
+    "LightwebBrowser",
+    "RenderedPage",
+    "AccountKeyring",
+    "ProtectedPublisher",
+    "AdInventory",
+    "select_ad",
+    "DomainRegistry",
+    "CoverTrafficSchedule",
+    "run_scheduled_day",
+    "load_universe",
+    "save_universe",
+    "build_search_pages",
+    "search_route",
+]

@@ -1,0 +1,204 @@
+"""Access control, paywalls and key distribution (§3.3-§3.4).
+
+"Lightweb can also support access control by allowing web publishers to
+control the set of users who can view content. ... the CDN can simply store
+an encryption of the data. When the client makes an account with the
+publisher outside of lightweb, it obtains cryptographic key(s) ... The
+publisher can periodically rotate keys in order to revoke users' access as
+necessary ... The publisher could also use broadcast encryption to allow
+clients to update their keys based on membership changes."
+
+The CDN never sees plaintext or permissions; it stores opaque protected
+payloads like any other blob. Revocation = rotate the epoch and broadcast
+the new epoch key under a subtree cover excluding revoked accounts; revoked
+clients can fetch the broadcast but cannot decrypt it, and their stale epoch
+keys fail authentication on newly sealed content. Paywalls (§3.4) are the
+same mechanism: paying subscribers get accounts.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.lightweb.blobs import decode_json_payload, encode_json_payload
+from repro.crypto import aead
+from repro.crypto.keys import BroadcastKeyTree, KeyEpoch, PublisherKeychain
+from repro.errors import AccessError
+
+PROTECTED_MARKER = "__protected__"
+
+
+def is_protected(content: Any) -> bool:
+    """Whether a parsed data-blob payload is a protected envelope."""
+    return isinstance(content, dict) and content.get(PROTECTED_MARKER) is True
+
+
+class ProtectedPublisher:
+    """The publisher side: seals content, manages accounts and revocation."""
+
+    def __init__(self, domain: str, master_secret: bytes, max_users: int = 1024):
+        self.domain = domain
+        self._keychain = PublisherKeychain(master_secret)
+        self._tree = BroadcastKeyTree(master_secret + b"|bcast", max_users)
+        self._next_user = 0
+        self._revoked: set = set()
+
+    @property
+    def current_epoch(self) -> int:
+        """The active key epoch."""
+        return self._keychain.current_epoch
+
+    def seal_content(self, path: str, content: Dict[str, Any]) -> Dict[str, Any]:
+        """Encrypt page content under the current epoch's per-path key.
+
+        The result is an ordinary JSON data-blob payload the CDN stores
+        without being able to read it; the path is bound as AAD so a
+        malicious CDN cannot swap protected blobs between paths.
+        """
+        epoch = self._keychain.epoch_key()
+        sealed = aead.seal(
+            epoch.path_key(path),
+            encode_json_payload(content),
+            aad=path.encode("utf-8"),
+        )
+        return {
+            PROTECTED_MARKER: True,
+            "domain": self.domain,
+            "epoch": epoch.epoch,
+            "ct": base64.b64encode(sealed).decode("ascii"),
+        }
+
+    def open_account(self) -> "Account":
+        """Create a subscriber account (the out-of-lightweb signup of §3.3)."""
+        user_id = self._next_user
+        self._next_user += 1
+        if user_id >= self._tree.n_users:
+            raise AccessError("publisher account capacity exhausted")
+        return Account(
+            domain=self.domain,
+            user_id=user_id,
+            tree_keys=self._tree.user_keys(user_id),
+            epoch=self._keychain.epoch_key(),
+        )
+
+    def rotate_keys(self) -> None:
+        """Periodic key rotation without a revocation (§3.3).
+
+        Clients that refresh keep access; clients that never refresh age
+        out — the paper's lightweight revocation-by-rotation.
+        """
+        self._keychain.rotate()
+
+    def revoke(self, user_id: int) -> None:
+        """Revoke an account and rotate the epoch key immediately.
+
+        Raises:
+            AccessError: if no such account exists.
+        """
+        if not 0 <= user_id < self._next_user:
+            raise AccessError(f"no account {user_id} to revoke")
+        self._revoked.add(user_id)
+        self._keychain.rotate()
+
+    def epoch_broadcast(self) -> List[Tuple[int, bytes]]:
+        """Broadcast the *current* epoch key to every non-revoked account.
+
+        Clients "can query the publisher periodically for updated keys";
+        this is that update, encrypted so revoked accounts learn nothing.
+        """
+        epoch = self._keychain.epoch_key()
+        payload = epoch.epoch.to_bytes(8, "little") + epoch.key
+        return self._tree.broadcast(payload, revoked=self._revoked)
+
+
+class Account:
+    """A subscriber's credentials for one publisher."""
+
+    def __init__(self, domain: str, user_id: int, tree_keys: Dict[int, bytes],
+                 epoch: KeyEpoch):
+        self.domain = domain
+        self.user_id = user_id
+        self._tree_keys = tree_keys
+        self.epoch = epoch
+
+    def refresh(self, broadcast: List[Tuple[int, bytes]]) -> KeyEpoch:
+        """Update to the latest epoch from a publisher broadcast.
+
+        Raises:
+            AccessError: if this account was revoked (no usable cover key).
+        """
+        payload = BroadcastKeyTree.receive(self._tree_keys, broadcast)
+        epoch_num = int.from_bytes(payload[:8], "little")
+        self.epoch = KeyEpoch(epoch=epoch_num, key=payload[8:])
+        return self.epoch
+
+
+class AccountKeyring:
+    """Browser-side keyring: per-domain subscriber accounts."""
+
+    def __init__(self):
+        self._accounts: Dict[str, Account] = {}
+
+    def add_account(self, account: Account) -> None:
+        """Install an account obtained from a publisher."""
+        self._accounts[account.domain] = account
+
+    def has_account(self, domain: str) -> bool:
+        """Whether the user subscribes to a domain."""
+        return domain in self._accounts
+
+    def account(self, domain: str) -> Account:
+        """Look up a domain's account.
+
+        Raises:
+            AccessError: if there is none.
+        """
+        account = self._accounts.get(domain)
+        if account is None:
+            raise AccessError(f"no account for {domain}")
+        return account
+
+    def refresh(self, domain: str, broadcast: List[Tuple[int, bytes]]) -> None:
+        """Apply a publisher's key broadcast to the stored account."""
+        self.account(domain).refresh(broadcast)
+
+    def unseal(self, path: str, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        """Decrypt a protected payload fetched from the CDN.
+
+        Raises:
+            AccessError: no account, wrong/stale epoch, or tampering.
+        """
+        if not is_protected(envelope):
+            raise AccessError("payload is not a protected envelope")
+        domain = str(envelope.get("domain", ""))
+        account = self.account(domain)
+        epoch_num = int(envelope.get("epoch", -1))
+        if epoch_num != account.epoch.epoch:
+            raise AccessError(
+                f"content sealed under epoch {epoch_num}, account holds "
+                f"{account.epoch.epoch}; refresh keys from the publisher"
+            )
+        try:
+            sealed = base64.b64decode(str(envelope.get("ct", "")), validate=True)
+        except (ValueError, TypeError) as exc:
+            raise AccessError(f"corrupt protected envelope: {exc}") from exc
+        try:
+            plain = aead.open_sealed(
+                account.epoch.path_key(path), sealed, aad=path.encode("utf-8")
+            )
+        except Exception as exc:
+            raise AccessError(f"cannot decrypt {path}: {exc}") from exc
+        content = decode_json_payload(plain)
+        if not isinstance(content, dict):
+            raise AccessError("protected payload must decode to an object")
+        return content
+
+
+__all__ = [
+    "ProtectedPublisher",
+    "Account",
+    "AccountKeyring",
+    "is_protected",
+    "PROTECTED_MARKER",
+]

@@ -1,0 +1,162 @@
+"""Fixed-size blob formats for lightweb content (§3.1).
+
+"all code blobs in the universe must have a single fixed size (e.g., 1 MiB)
+and all data blobs in the universe must have a single fixed size as well
+(e.g., 4 KiB)."
+
+Blobs carry a 4-byte payload-length prefix and zero padding to the fixed
+size, so the padded wire object is indistinguishable across payload lengths
+(the property fixed sizes exist to provide). Values longer than one blob
+are split by :func:`chunk_content` into continuation pages linked by a
+``next`` pointer — the paper's "the user can click a 'next' link if she
+wants to read more" (§5).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import CapacityError, ProtocolError
+
+LENGTH_PREFIX_BYTES = 4
+
+
+def pack_blob(payload: bytes, blob_size: int) -> bytes:
+    """Pad a payload to the universe's fixed blob size.
+
+    Raises:
+        CapacityError: if the payload (plus length prefix) does not fit.
+    """
+    if len(payload) + LENGTH_PREFIX_BYTES > blob_size:
+        raise CapacityError(
+            f"payload of {len(payload)} bytes does not fit in a "
+            f"{blob_size}-byte blob"
+        )
+    return struct.pack("<I", len(payload)) + payload.ljust(
+        blob_size - LENGTH_PREFIX_BYTES, b"\x00"
+    )
+
+
+def unpack_blob(blob: bytes) -> bytes:
+    """Strip the length prefix and padding from a fixed-size blob.
+
+    Raises:
+        ProtocolError: if the declared length is inconsistent.
+    """
+    if len(blob) < LENGTH_PREFIX_BYTES:
+        raise ProtocolError("blob shorter than its length prefix")
+    (length,) = struct.unpack_from("<I", blob, 0)
+    if LENGTH_PREFIX_BYTES + length > len(blob):
+        raise ProtocolError(
+            f"blob declares {length} payload bytes but only "
+            f"{len(blob) - LENGTH_PREFIX_BYTES} are present"
+        )
+    return blob[LENGTH_PREFIX_BYTES : LENGTH_PREFIX_BYTES + length]
+
+
+def encode_json_payload(obj: Any) -> bytes:
+    """Canonical JSON encoding used for data-blob payloads."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode_json_payload(payload: bytes) -> Any:
+    """Parse a JSON data-blob payload.
+
+    Raises:
+        ProtocolError: on malformed JSON.
+    """
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed blob JSON: {exc}") from exc
+
+
+def continuation_path(path: str, part: int) -> str:
+    """The path of the ``part``-th continuation chunk of ``path``."""
+    if part < 1:
+        raise CapacityError("continuation parts start at 1")
+    return f"{path}~part{part}"
+
+
+def chunk_content(path: str, content: Dict[str, Any], max_payload: int,
+                  body_field: str = "body") -> List[Tuple[str, Dict[str, Any]]]:
+    """Split over-long content into linked continuation pages.
+
+    The ``body_field`` string is cut into pieces; every piece except the
+    last carries a ``next`` pointer to the following part's path. Other
+    fields are carried on the first chunk only.
+
+    Args:
+        path: the value's lightweb path.
+        content: a JSON-serialisable dict with a string under
+            ``body_field``.
+        max_payload: maximum encoded payload bytes per blob.
+
+    Returns:
+        List of ``(chunk_path, chunk_content)`` in order; a single-element
+        list when no chunking is needed.
+
+    Raises:
+        CapacityError: if even an empty-body chunk cannot fit (oversized
+            metadata).
+    """
+    encoded = encode_json_payload(content)
+    if len(encoded) <= max_payload:
+        return [(path, content)]
+
+    body = content.get(body_field)
+    if not isinstance(body, str):
+        raise CapacityError(
+            f"content at {path} exceeds {max_payload} bytes and has no "
+            f"chunkable string field {body_field!r}"
+        )
+
+    header = dict(content)
+    header[body_field] = ""
+    chunks: List[Tuple[str, Dict[str, Any]]] = []
+    remaining = body
+    part = 0
+    while remaining:
+        is_first = part == 0
+        base: Dict[str, Any] = dict(header) if is_first else {body_field: ""}
+        chunk_path = path if is_first else continuation_path(path, part)
+        # Initial body budget: payload cap minus the chunk's overhead with a
+        # worst-case `next` pointer; then shrink (JSON escaping can expand
+        # the body) until the encoded chunk actually fits.
+        probe = dict(base)
+        probe["next"] = continuation_path(path, part + 1)
+        budget = max_payload - len(encode_json_payload(probe))
+        if budget <= 0:
+            raise CapacityError(
+                f"metadata of {path} leaves no room for body in a "
+                f"{max_payload}-byte payload"
+            )
+        piece = remaining[:budget]
+        candidate: Dict[str, Any] = {}
+        while piece:
+            candidate = dict(base)
+            candidate[body_field] = piece
+            if len(piece) < len(remaining):
+                candidate["next"] = continuation_path(path, part + 1)
+            if len(encode_json_payload(candidate)) <= max_payload:
+                break
+            piece = piece[: len(piece) - max(1, len(piece) // 16)]
+        if not piece:
+            raise CapacityError(f"cannot fit any body content of {path} in a chunk")
+        remaining = remaining[len(piece):]
+        chunks.append((chunk_path, candidate))
+        part += 1
+    return chunks
+
+
+__all__ = [
+    "pack_blob",
+    "unpack_blob",
+    "encode_json_payload",
+    "decode_json_payload",
+    "chunk_content",
+    "continuation_path",
+    "LENGTH_PREFIX_BYTES",
+]

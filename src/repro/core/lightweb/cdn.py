@@ -1,0 +1,224 @@
+"""CDNs: the administrative home of lightweb universes (§3.1, §3.5, §4).
+
+"The content-distribution network (CDN) hosting a lightweb universe
+maintains a single logical ZLTP server serving all of the lightweb pages
+within its universe." Per §3.2 the client actually opens *two* kinds of
+sessions — one for code blobs, one for data blobs — so each universe is
+exposed behind two logical servers (each of which is a non-colluding *pair*
+when the ``pir2`` mode is in use).
+
+The CDN also implements:
+
+- the §3.5 tiering (several universes with different fixed page sizes),
+- peering (accepted pushes propagate to peer CDNs; ownership is checked
+  against the shared :class:`~repro.core.lightweb.peering.DomainRegistry`),
+- §4 billing inputs: total GETs served per universe (the CDN can count
+  *requests*, never which page), plus hooks for the private per-domain
+  aggregation of :mod:`repro.analytics`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.lightweb.peering import DomainRegistry
+from repro.core.lightweb.publisher import CompiledSite
+from repro.core.lightweb.universe import ContentUniverse
+from repro.core.zltp.client import ZltpClient
+from repro.core.zltp.modes import ALL_MODES, MODE_PIR2, mode_endpoints, negotiate
+from repro.core.zltp.server import ZltpServer
+from repro.core.zltp.transport import transport_pair
+from repro.crypto.lwe import LweParams
+from repro.errors import OwnershipError, PathError
+
+TransportFactory = Callable[[str], Tuple[object, object]]
+
+
+class Cdn:
+    """A content-distribution network hosting lightweb universes."""
+
+    def __init__(self, name: str, registry: Optional[DomainRegistry] = None,
+                 modes: Optional[List[str]] = None,
+                 lwe_params: Optional[LweParams] = None,
+                 rng: Optional[np.random.Generator] = None):
+        """Create a CDN.
+
+        Args:
+            name: the CDN's identity (e.g. ``"akamai"``).
+            registry: shared domain registrar; a private one is created if
+                peering is not needed.
+            modes: ZLTP modes this CDN supports, in preference order —
+                "Each CDN chooses which ZLTP modes of operation to support,
+                based on the cost tolerance and privacy demands of its
+                users" (§3.1).
+            lwe_params: parameters for the ``pir-lwe`` mode, if offered.
+            rng: deterministic randomness for tests.
+        """
+        self.name = name
+        self.registry = registry if registry is not None else DomainRegistry()
+        self.modes = list(modes) if modes is not None else list(ALL_MODES)
+        self._lwe_params = lwe_params
+        self._rng = rng
+        self._universes: Dict[str, ContentUniverse] = {}
+        self._servers: Dict[Tuple[str, str, int], ZltpServer] = {}
+        self.peers: List["Cdn"] = []
+        self.gets_by_universe: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Universe management
+    # ------------------------------------------------------------------
+
+    def create_universe(self, name: str, **kwargs) -> ContentUniverse:
+        """Create and host a new universe (kwargs as ContentUniverse)."""
+        if name in self._universes:
+            raise PathError(f"CDN {self.name} already hosts universe {name!r}")
+        universe = ContentUniverse(name, **kwargs)
+        self._universes[name] = universe
+        self.gets_by_universe[name] = 0
+        return universe
+
+    def universe(self, name: str) -> ContentUniverse:
+        """Look up a hosted universe.
+
+        Raises:
+            PathError: if this CDN does not host it.
+        """
+        universe = self._universes.get(name)
+        if universe is None:
+            raise PathError(f"CDN {self.name} hosts no universe {name!r}")
+        return universe
+
+    def universes(self) -> List[str]:
+        """Names of hosted universes (the CDN's catalogue)."""
+        return sorted(self._universes)
+
+    # ------------------------------------------------------------------
+    # Publisher side: pushes and peering
+    # ------------------------------------------------------------------
+
+    def accept_push(self, publisher: str, universe_name: str,
+                    compiled: CompiledSite, _from_peer: bool = False) -> None:
+        """Ingest a compiled site into a universe (§3.1 step 0).
+
+        Registers the domain (consulting the shared registry), stores the
+        code blob and every data blob, and propagates to peers.
+
+        Raises:
+            OwnershipError: if the domain belongs to someone else.
+        """
+        universe = self.universe(universe_name)
+        self.registry.register(compiled.domain, publisher)
+        universe.register_domain(publisher, compiled.domain)
+        universe.put_code(publisher, compiled.domain, compiled.code_payload)
+        for path, payload in sorted(compiled.data_payloads.items()):
+            universe.put_data(publisher, path, payload)
+        if not _from_peer:
+            for peer in self.peers:
+                if universe_name in peer._universes:
+                    peer.accept_push(publisher, universe_name, compiled,
+                                     _from_peer=True)
+
+    def peer_with(self, other: "Cdn") -> None:
+        """Establish symmetric peering (§3.5).
+
+        Raises:
+            OwnershipError: if the CDNs do not share a domain registry —
+                peering requires agreeing on domain ownership.
+        """
+        if other.registry is not self.registry:
+            raise OwnershipError(
+                "peered CDNs must share a domain registry (§3.5)"
+            )
+        if other not in self.peers:
+            self.peers.append(other)
+        if self not in other.peers:
+            other.peers.append(self)
+
+    # ------------------------------------------------------------------
+    # Client side: ZLTP sessions
+    # ------------------------------------------------------------------
+
+    def _server(self, universe_name: str, kind: str, party: int) -> ZltpServer:
+        """The logical ZLTP server for (universe, code|data, party)."""
+        if kind not in ("code", "data"):
+            raise PathError(f"kind must be 'code' or 'data', got {kind!r}")
+        key = (universe_name, kind, party)
+        server = self._servers.get(key)
+        if server is None:
+            universe = self.universe(universe_name)
+            database = universe.code_db if kind == "code" else universe.data_db
+            salt = universe.code_salt if kind == "code" else universe.data_salt
+            server = ZltpServer(
+                database,
+                modes=self.modes,
+                party=party,
+                salt=salt,
+                probes=universe.probes,
+                lwe_params=self._lwe_params,
+                rng=self._rng,
+            )
+            self._servers[key] = server
+        return server
+
+    def connect(self, universe_name: str, kind: str,
+                client_modes: Optional[List[str]] = None,
+                transport_factory: Optional[TransportFactory] = None,
+                rng: Optional[np.random.Generator] = None) -> ZltpClient:
+        """Open a connected ZLTP client session against one universe.
+
+        Figures out how many endpoints the (to-be-)negotiated mode needs,
+        wires a transport per endpoint (in-memory by default, or through
+        ``transport_factory`` — e.g. a simulated network path), and runs the
+        hello exchange.
+
+        Args:
+            universe_name: which hosted universe.
+            kind: ``"code"`` or ``"data"`` — the two session types of §3.2.
+            client_modes: the client's offered modes (default: all).
+            transport_factory: ``factory(name) -> (client_end, server_end)``.
+            rng: client-side randomness.
+
+        Returns:
+            A connected :class:`ZltpClient`.
+        """
+        offered = list(client_modes) if client_modes is not None else list(ALL_MODES)
+        chosen = negotiate(offered, self.modes)
+        n_endpoints = mode_endpoints(chosen)
+        factory = transport_factory if transport_factory is not None else (
+            lambda name: transport_pair(name + ":client", name + ":server")
+        )
+        transports = []
+        for party in range(n_endpoints):
+            client_end, server_end = factory(
+                f"{self.name}/{universe_name}/{kind}/{party}"
+            )
+            server = self._server(universe_name, kind, party)
+            server.serve_transport(server_end)
+            transports.append(client_end)
+        client = ZltpClient(transports, supported_modes=offered, rng=rng)
+        client.connect()
+        return client
+
+    # ------------------------------------------------------------------
+    # Billing inputs (§4)
+    # ------------------------------------------------------------------
+
+    def record_gets(self, universe_name: str, count: int) -> None:
+        """Account served GETs against a universe (drives §4 billing)."""
+        self.gets_by_universe[universe_name] = (
+            self.gets_by_universe.get(universe_name, 0) + count
+        )
+
+    def total_gets(self, universe_name: str) -> int:
+        """GETs served for a universe, counting all logical servers."""
+        direct = sum(
+            server.gets_served
+            for (uname, _kind, _party), server in self._servers.items()
+            if uname == universe_name
+        )
+        return direct + self.gets_by_universe.get(universe_name, 0)
+
+
+__all__ = ["Cdn", "TransportFactory"]

@@ -1,0 +1,108 @@
+"""The lightweb path grammar (§3.1).
+
+"Every data blob within a CDN's lightweb universe has a unique path, such as
+nytimes.com/world/africa/2023/06/headlines.json. The only constraint on the
+path format is that it must have a valid domain as the top-level path
+component; otherwise, the path may have any format."
+
+"By convention, a single publisher controls all of the content beneath a
+particular top-level path component."
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import PathError
+
+#: RFC-1035-flavoured label: letters/digits/hyphens, no leading/trailing
+#: hyphen, 1-63 chars.
+_LABEL = r"(?!-)[a-z0-9-]{1,63}(?<!-)"
+_DOMAIN_RE = re.compile(rf"^(?:{_LABEL}\.)+{_LABEL}$")
+
+MAX_PATH_LENGTH = 1024
+
+
+def validate_domain(domain: str) -> str:
+    """Check that a string is a plausible registrable domain.
+
+    Returns the (lower-cased) domain.
+
+    Raises:
+        PathError: on anything that is not ``label(.label)+``.
+    """
+    lowered = domain.lower()
+    if not _DOMAIN_RE.match(lowered):
+        raise PathError(f"invalid lightweb domain: {domain!r}")
+    return lowered
+
+
+@dataclass(frozen=True)
+class LightwebPath:
+    """A parsed lightweb path: the owning domain plus the remainder.
+
+    Attributes:
+        domain: the top-level component (determines ownership and which
+            code blob handles the page).
+        rest: everything after the domain, always starting with ``/`` (the
+            domain's root page has rest ``"/"``).
+    """
+
+    domain: str
+    rest: str
+
+    def __str__(self) -> str:
+        return self.domain + (self.rest if self.rest != "/" else "")
+
+    @property
+    def full(self) -> str:
+        """The canonical full path string (domain + rest)."""
+        return self.domain + self.rest
+
+
+def parse_path(path: str) -> LightwebPath:
+    """Parse and validate a lightweb path.
+
+    Args:
+        path: e.g. ``"nytimes.com/world/africa/2023/06/headlines.json"``.
+
+    Returns:
+        The parsed :class:`LightwebPath`.
+
+    Raises:
+        PathError: if the path is empty, too long, has no valid domain as
+            its first component, or contains control characters.
+    """
+    if not path:
+        raise PathError("empty path")
+    if len(path) > MAX_PATH_LENGTH:
+        raise PathError(f"path longer than {MAX_PATH_LENGTH} characters")
+    if any(ord(ch) < 0x20 or ord(ch) == 0x7F for ch in path):
+        raise PathError("path contains control characters")
+    head, sep, tail = path.partition("/")
+    domain = validate_domain(head)
+    rest = "/" + tail if sep else "/"
+    return LightwebPath(domain=domain, rest=rest)
+
+
+def owner_prefix(path: str) -> str:
+    """The ownership prefix (the domain) of a path — §3.1's convention."""
+    return parse_path(path).domain
+
+
+def split_query(rest: str) -> Tuple[str, str]:
+    """Split a path remainder into (route part, query part)."""
+    route, _, query = rest.partition("?")
+    return route or "/", query
+
+
+__all__ = [
+    "LightwebPath",
+    "parse_path",
+    "validate_domain",
+    "owner_prefix",
+    "split_query",
+    "MAX_PATH_LENGTH",
+]

@@ -1,0 +1,71 @@
+"""Multi-universe peering and the shared domain registry (§3.5).
+
+"To allow lightweb content to be available across multiple universes managed
+by multiple CDNs, the CDNs managing these universes could peer with each
+other. If a publisher uploads content to one CDN, the CDN would push the
+content to all of its peers. To make this possible, CDNs would have to agree
+on the assignment of lightweb domain names to owners (e.g., using today's
+domain-name registration system) so that each domain has the same owner in
+each universe."
+
+:class:`DomainRegistry` is the today's-DNS stand-in: a registrar all peered
+CDNs consult so ownership is globally consistent. Peering itself lives on
+:class:`~repro.core.lightweb.cdn.Cdn` (``peer_with`` / push propagation) and
+uses this registry as the source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.lightweb.paths import validate_domain
+from repro.errors import OwnershipError
+
+
+class DomainRegistry:
+    """A global domain registrar shared by peered CDNs."""
+
+    def __init__(self, name: str = "registry"):
+        self.name = name
+        self._owners: Dict[str, str] = {}
+
+    def register(self, domain: str, owner: str) -> None:
+        """Register a domain to an owner.
+
+        Re-registration by the same owner is a no-op; by a different owner
+        it fails — domains "have the same owner in each universe".
+
+        Raises:
+            OwnershipError: on an ownership conflict.
+        """
+        domain = validate_domain(domain)
+        current = self._owners.get(domain)
+        if current is not None and current != owner:
+            raise OwnershipError(
+                f"domain {domain} is registered to {current}, not {owner}"
+            )
+        self._owners[domain] = owner
+
+    def owner_of(self, domain: str) -> Optional[str]:
+        """Look up a domain's registered owner."""
+        return self._owners.get(validate_domain(domain))
+
+    def transfer(self, domain: str, old_owner: str, new_owner: str) -> None:
+        """Transfer a domain between owners (both CDNs see the change).
+
+        Raises:
+            OwnershipError: if ``old_owner`` does not currently hold it.
+        """
+        domain = validate_domain(domain)
+        if self._owners.get(domain) != old_owner:
+            raise OwnershipError(
+                f"{old_owner} does not own {domain}; cannot transfer"
+            )
+        self._owners[domain] = new_owner
+
+    def domains(self) -> List[str]:
+        """All registered domains."""
+        return sorted(self._owners)
+
+
+__all__ = ["DomainRegistry"]

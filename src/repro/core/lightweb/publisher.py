@@ -1,0 +1,339 @@
+"""Publishers: author sites, compile them to blobs, push to CDNs (§3.1).
+
+"Lightweb publishers (cnn.com, wikipedia.org, etc.) produce content as: a
+single root 'code' blob that contains a blob of JavaScript code and style
+information and a large number of 'data' blobs that contain relatively small
+JSON data objects."
+
+A :class:`Site` collects pages and (optionally) a custom lightscript
+program; :meth:`Site.compile` performs the publisher-side build: seal
+protected pages, chunk over-long bodies into `next`-linked continuations,
+and emit exactly one code payload plus a map of data payloads.
+:class:`Publisher` pushes compiled sites into CDN universes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import math
+
+from repro.core.lightweb.access import ProtectedPublisher
+from repro.core.lightweb.blobs import chunk_content, encode_json_payload
+from repro.core.lightweb.lightscript import LightscriptProgram, Route
+from repro.core.lightweb.paths import validate_domain
+from repro.crypto.merkle import MerkleTree, encode_proof
+from repro.errors import CapacityError, PathError
+
+#: Keys of the integrity wrapper around each data payload.
+INTEGRITY_CONTENT = "c"
+INTEGRITY_PROOF = "p"
+INTEGRITY_INDEX = "i"
+#: The code-blob style key carrying the site's Merkle root.
+INTEGRITY_ROOT_KEY = "integrity_root"
+
+#: The default program: serve each page from the data blob at its own path.
+DEFAULT_RENDER = "# {data0.title}\n\n{data0.body}"
+
+
+class CompiledSite:
+    """The output of a publisher build: one code payload + data payloads."""
+
+    def __init__(self, domain: str, code_payload: bytes,
+                 data_payloads: Dict[str, bytes]):
+        self.domain = domain
+        self.code_payload = code_payload
+        self.data_payloads = dict(data_payloads)
+
+    @property
+    def n_data_blobs(self) -> int:
+        """How many data blobs the site occupies in a universe."""
+        return len(self.data_payloads)
+
+    def total_data_bytes(self) -> int:
+        """Sum of data payload sizes (pre-padding)."""
+        return sum(len(p) for p in self.data_payloads.values())
+
+
+class Site:
+    """One lightweb site under a single domain."""
+
+    def __init__(self, domain: str):
+        self.domain = validate_domain(domain)
+        self._pages: Dict[str, Dict[str, Any]] = {}
+        self._protected_paths: set = set()
+        self._program: Optional[LightscriptProgram] = None
+        self._protection: Optional[ProtectedPublisher] = None
+        self._integrity = False
+        self._search_max_results: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Authoring
+    # ------------------------------------------------------------------
+
+    def add_page(self, rest: str, content) -> None:
+        """Add a page at a path remainder (``"/"``-prefixed).
+
+        Args:
+            rest: path below the domain, e.g. ``"/2023/06/25/uganda"``.
+            content: a JSON dict, or a plain string (wrapped as the body).
+        """
+        rest = self._check_rest(rest)
+        if isinstance(content, str):
+            content = {"title": rest.strip("/") or self.domain, "body": content}
+        if not isinstance(content, dict):
+            raise PathError("page content must be a dict or a string")
+        self._pages[rest] = dict(content)
+
+    def enable_access_control(self, master_secret: bytes,
+                              max_users: int = 1024) -> ProtectedPublisher:
+        """Turn on §3.3 access control; returns the key manager."""
+        if self._protection is None:
+            self._protection = ProtectedPublisher(
+                self.domain, master_secret, max_users=max_users
+            )
+        return self._protection
+
+    def add_protected_page(self, rest: str, content) -> None:
+        """Add a page that will be sealed at compile time (§3.3/§3.4).
+
+        Raises:
+            PathError: if access control was not enabled first.
+        """
+        if self._protection is None:
+            raise PathError(
+                f"enable_access_control() before adding protected pages to "
+                f"{self.domain}"
+            )
+        self.add_page(rest, content)
+        self._protected_paths.add(self._check_rest(rest))
+
+    def set_program(self, program: LightscriptProgram) -> None:
+        """Install a custom lightscript program (dynamic content, §3.3)."""
+        if program.domain != self.domain:
+            raise PathError(
+                f"program is for {program.domain}, site is {self.domain}"
+            )
+        self._program = program
+
+    def enable_search(self, max_results: int = 8) -> None:
+        """Compile a private search index into the site (see
+        :mod:`repro.core.lightweb.search`).
+
+        Adds per-term index blobs under ``/_search/`` and, when the site
+        uses the default program, a ``/search?q=<term>`` route. Sites with
+        a custom program add :func:`~repro.core.lightweb.search.search_route`
+        themselves.
+        """
+        self._search_max_results = max_results
+
+    @property
+    def search_enabled(self) -> bool:
+        """Whether compile() will build the search index."""
+        return getattr(self, "_search_max_results", None) is not None
+
+    def enable_integrity(self) -> None:
+        """Turn on Merkle content integrity (extension to §2.1's non-goal).
+
+        At compile time the site's data payloads are committed to a Merkle
+        tree; the root rides in the code blob and every data payload carries
+        its authentication path, so a malicious CDN serving modified content
+        is detected by the browser with zero extra fetches.
+        """
+        self._integrity = True
+
+    @property
+    def integrity_enabled(self) -> bool:
+        """Whether compile() will add Merkle integrity wrappers."""
+        return self._integrity
+
+    @property
+    def protection(self) -> Optional[ProtectedPublisher]:
+        """The access-control manager, if enabled."""
+        return self._protection
+
+    def pages(self) -> List[str]:
+        """The authored page path remainders."""
+        return sorted(self._pages)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def default_program(self) -> LightscriptProgram:
+        """The generic one-fetch-per-page program.
+
+        Matches any path and fetches the data blob stored at the page's own
+        full path; renders title and body.
+        """
+        routes = []
+        if self.search_enabled:
+            from repro.core.lightweb.search import search_route
+
+            routes.append(search_route(self.domain))
+        routes.append(
+            Route(
+                pattern=r"^(/.*)$",
+                fetches=(self.domain + "{1}",),
+                render=DEFAULT_RENDER,
+            )
+        )
+        return LightscriptProgram(domain=self.domain, routes=routes)
+
+    def compile(self, max_data_payload: int,
+                max_code_payload: Optional[int] = None) -> CompiledSite:
+        """Build the site into blob payloads.
+
+        Args:
+            max_data_payload: the universe's usable data payload bytes per
+                blob (blob size minus record framing).
+            max_code_payload: optional cap on the code payload.
+
+        Returns:
+            A :class:`CompiledSite` ready to push.
+
+        Raises:
+            CapacityError: if the program exceeds the code size, or a page
+                cannot be chunked to fit.
+        """
+        program = self._program if self._program is not None else self.default_program()
+
+        if not self._integrity:
+            contents = self._build_contents(max_data_payload)
+            data_payloads = {
+                path: encode_json_payload(content)
+                for path, content in contents.items()
+            }
+        else:
+            # Two-pass build: the wrapper (proof + index) consumes payload
+            # budget, and the proof length depends on the final leaf count,
+            # which chunking itself affects. Chunk, size the wrapper, and
+            # re-chunk under the tightened budget until stable.
+            budget = max_data_payload
+            for _ in range(4):
+                contents = self._build_contents(budget)
+                overhead = self._integrity_overhead(len(contents))
+                if budget == max_data_payload - overhead:
+                    break
+                budget = max_data_payload - overhead
+                if budget <= 0:
+                    raise CapacityError(
+                        "integrity proofs do not fit the data blob size"
+                    )
+            contents = self._build_contents(budget)
+            paths = sorted(contents)
+            tree = MerkleTree([encode_json_payload(contents[p]) for p in paths])
+            data_payloads = {}
+            for index, path in enumerate(paths):
+                wrapper = {
+                    INTEGRITY_CONTENT: contents[path],
+                    INTEGRITY_PROOF: encode_proof(tree.proof(index)),
+                    INTEGRITY_INDEX: index,
+                }
+                payload = encode_json_payload(wrapper)
+                if len(payload) > max_data_payload:
+                    raise CapacityError(
+                        f"integrity-wrapped payload at {path} exceeds the "
+                        f"blob size"
+                    )
+                data_payloads[path] = payload
+            style = dict(program.style)
+            style[INTEGRITY_ROOT_KEY] = tree.root.hex()
+            program = LightscriptProgram(program.domain, program.routes,
+                                         style=style, version=program.version)
+
+        code_payload = program.to_json()
+        if max_code_payload is not None and len(code_payload) > max_code_payload:
+            raise CapacityError(
+                f"code blob of {len(code_payload)} bytes exceeds the universe "
+                f"code size {max_code_payload}"
+            )
+        return CompiledSite(self.domain, code_payload, data_payloads)
+
+    def _build_contents(self, max_payload: int) -> Dict[str, Dict[str, Any]]:
+        """Seal and chunk every page into per-path content dicts."""
+        pages = dict(self._pages)
+        if self.search_enabled:
+            from repro.core.lightweb.search import build_search_pages
+
+            pages.update(build_search_pages(
+                self.domain, self._pages,
+                max_results=self._search_max_results,
+            ))
+        contents: Dict[str, Dict[str, Any]] = {}
+        for rest, content in sorted(pages.items()):
+            full_path = self.domain + rest
+            if rest in self._protected_paths:
+                # Seal first; protected envelopes are compact and fixed-form,
+                # so chunking applies to the plaintext pages only. An
+                # over-long protected page must be split by the author.
+                envelope = self._protection.seal_content(full_path, content)
+                if len(encode_json_payload(envelope)) > max_payload:
+                    raise CapacityError(
+                        f"protected page {full_path} exceeds the data payload "
+                        f"limit even before padding; split it into parts"
+                    )
+                contents[full_path] = envelope
+                continue
+            for chunk_path, chunk in chunk_content(full_path, content, max_payload):
+                contents[chunk_path] = chunk
+        return contents
+
+    @staticmethod
+    def _integrity_overhead(n_leaves: int) -> int:
+        """Worst-case wrapper bytes: proof hex + index + JSON scaffolding."""
+        levels = max(1, math.ceil(math.log2(max(2, n_leaves))))
+        proof_chars = (levels + 1) * 65  # one spare level for growth
+        return proof_chars + 64
+
+    def _check_rest(self, rest: str) -> str:
+        if not rest.startswith("/"):
+            raise PathError(f"page path must start with '/': {rest!r}")
+        return rest
+
+
+class Publisher:
+    """A content publisher owning one or more sites."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._sites: Dict[str, Site] = {}
+
+    def site(self, domain: str) -> Site:
+        """Get (creating if needed) the publisher's site for a domain."""
+        domain = validate_domain(domain)
+        if domain not in self._sites:
+            self._sites[domain] = Site(domain)
+        return self._sites[domain]
+
+    def domains(self) -> List[str]:
+        """Domains this publisher authors."""
+        return sorted(self._sites)
+
+    def push(self, cdn, universe_name: str, domain: Optional[str] = None) -> List[str]:
+        """Compile and upload sites to a CDN universe (§3.1 step 0).
+
+        Args:
+            cdn: the :class:`~repro.core.lightweb.cdn.Cdn` to push to.
+            universe_name: which of the CDN's universes receives the content.
+            domain: push only this site (default: all of them).
+
+        Returns:
+            The domains pushed.
+        """
+        targets = [domain] if domain is not None else self.domains()
+        pushed = []
+        for target in targets:
+            site = self._sites.get(validate_domain(target))
+            if site is None:
+                raise PathError(f"{self.name} has no site {target!r}")
+            universe = cdn.universe(universe_name)
+            compiled = site.compile(
+                universe.max_data_payload, universe.max_code_payload
+            )
+            cdn.accept_push(self.name, universe_name, compiled)
+            pushed.append(site.domain)
+        return pushed
+
+
+__all__ = ["Publisher", "Site", "CompiledSite", "DEFAULT_RENDER"]

@@ -1,0 +1,155 @@
+"""Cover-traffic scheduling: flattening the §3.2 timing channel.
+
+ZLTP leaves visit *timing* visible; :mod:`repro.netsim.timing` shows an
+observer classifying users from it. The standard countermeasure — and the
+natural extension the paper's "even this leakage is modest" invites — is a
+fixed fetch schedule: the client emits exactly one page view per grid slot
+inside a fixed daily window, serving queued real visits when there are any
+and indistinguishable dummy page views otherwise. On the wire every day of
+every user now looks identical; the price is added page-load latency
+(waiting for the next slot) and dummy request volume (billed like real
+ones, §4), both of which :class:`ScheduledDay` quantifies and benchmark A4
+sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ScheduledDay:
+    """The outcome of pushing one day's real visits through the schedule.
+
+    Attributes:
+        fetch_times: when fetches happen on the wire — the full fixed grid,
+            independent of the user's behaviour.
+        assignments: ``(real_time, fetch_time)`` per real visit, in order.
+        n_dummies: grid slots filled with dummy page views.
+        dropped: real visits that could not be served (arrived after the
+            last slot, or exceeded the day's slot capacity).
+    """
+
+    fetch_times: Tuple[float, ...]
+    assignments: Tuple[Tuple[float, float], ...]
+    n_dummies: int
+    dropped: Tuple[float, ...] = ()
+
+    @property
+    def latencies(self) -> List[float]:
+        """Queueing delay per served real visit."""
+        return [fetch - real for real, fetch in self.assignments]
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean queueing delay (0 if no real visits were served)."""
+        lats = self.latencies
+        return sum(lats) / len(lats) if lats else 0.0
+
+    @property
+    def overhead(self) -> float:
+        """Dummy fraction of the day's traffic."""
+        total = len(self.fetch_times)
+        return self.n_dummies / total if total else 0.0
+
+
+class CoverTrafficSchedule:
+    """A fixed daily fetch grid with FIFO service of real visits."""
+
+    def __init__(self, period_seconds: float,
+                 window_hours: Tuple[float, float] = (7.0, 23.0)):
+        """Create a schedule.
+
+        Args:
+            period_seconds: gap between consecutive fetch slots.
+            window_hours: daily (start, end) of the active grid. Everybody
+                using the same parameters produces identical wire timing.
+        """
+        if period_seconds <= 0:
+            raise ReproError("period must be positive")
+        start, end = window_hours
+        if not 0 <= start < end <= 24:
+            raise ReproError("window must satisfy 0 <= start < end <= 24")
+        self.period_seconds = float(period_seconds)
+        self.window_hours = (float(start), float(end))
+
+    def grid(self) -> List[float]:
+        """The day's fetch times (seconds since midnight)."""
+        start, end = self.window_hours
+        times = []
+        t = start * 3600
+        while t < end * 3600:
+            times.append(t)
+            t += self.period_seconds
+        return times
+
+    def apply(self, real_times: Sequence[float]) -> ScheduledDay:
+        """Serve one day of real visits on the fixed grid.
+
+        Real visits queue FIFO; each grid slot serves the oldest queued
+        visit that has already arrived, else a dummy. Visits still queued
+        after the last slot are reported as dropped (a real client would
+        roll them into tomorrow's grid).
+        """
+        grid = self.grid()
+        pending = sorted(float(t) for t in real_times)
+        assignments: List[Tuple[float, float]] = []
+        next_real = 0
+        dummies = 0
+        for slot in grid:
+            if next_real < len(pending) and pending[next_real] <= slot:
+                assignments.append((pending[next_real], slot))
+                next_real += 1
+            else:
+                dummies += 1
+        return ScheduledDay(
+            fetch_times=tuple(grid),
+            assignments=tuple(assignments),
+            n_dummies=dummies,
+            dropped=tuple(pending[next_real:]),
+        )
+
+    def daily_fetches(self) -> int:
+        """Page views per day on the wire (drives the §4 bill)."""
+        return len(self.grid())
+
+    def dummy_cost_multiplier(self, real_pages_per_day: float) -> float:
+        """How much larger the §4 bill gets under this schedule."""
+        if real_pages_per_day <= 0:
+            raise ReproError("real_pages_per_day must be positive")
+        return self.daily_fetches() / real_pages_per_day
+
+
+def run_scheduled_day(browser, clock, schedule: CoverTrafficSchedule,
+                      real_visits: Sequence[Tuple[float, str]]) -> ScheduledDay:
+    """Drive a real browser through one scheduled day on a simulated clock.
+
+    Args:
+        browser: a connected :class:`~repro.core.lightweb.browser.LightwebBrowser`.
+        clock: the :class:`~repro.netsim.simnet.SimClock` its transports use.
+        schedule: the cover-traffic grid.
+        real_visits: ``(arrival_time_seconds, path)`` pairs.
+
+    Returns:
+        The :class:`ScheduledDay` accounting; on the wire the browser made
+        exactly one page view per grid slot.
+    """
+    pending = sorted(real_visits)
+    plan = schedule.apply([time for time, _path in real_visits])
+    next_real = 0
+    for slot in plan.fetch_times:
+        clock.sleep_until(slot)
+        if (next_real < len(pending)
+                and pending[next_real][0] <= slot
+                and next_real < len(plan.assignments)):
+            browser.visit(pending[next_real][1])
+            next_real += 1
+        else:
+            browser.dummy_page_view()
+    return plan
+
+
+__all__ = ["CoverTrafficSchedule", "ScheduledDay", "run_scheduled_day"]

@@ -1,0 +1,115 @@
+"""Private per-site search — the §6 Tiptoe tie-in, inside the lightweb model.
+
+The paper points at Tiptoe for private *web* search and notes "users could
+then access their search results using lightweb". For a single site, no
+extra machinery is needed at all: the publisher compiles an inverted index
+into ordinary data blobs (one blob per term at
+``domain/_search/<term>.json``), and a search query becomes one private
+GET for the query term's blob. Because keyword lookups are
+access-indistinguishable whether the key exists or not, searching for a
+term with no results looks identical on the wire to a hit — the search
+term never leaves the client.
+
+:func:`build_search_pages` produces the index pages;
+:func:`search_route` the lightscript route that serves queries.
+``Site.enable_search()`` wires both in automatically.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.core.lightweb.lightscript import Route
+from repro.errors import CapacityError
+
+_WORD_RE = re.compile(r"[a-z0-9]{3,24}")
+
+#: Words too common to index (tiny stopword list; enough for demo corpora).
+STOPWORDS = frozenset(
+    "the and for with that this from are was were has have had not you "
+    "all can will one two its our their his her they them".split()
+)
+
+DEFAULT_MAX_RESULTS = 8
+DEFAULT_MAX_TERMS = 2000
+
+SEARCH_PREFIX = "/_search/"
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase word tokens, stopwords removed."""
+    return [word for word in _WORD_RE.findall(text.lower())
+            if word not in STOPWORDS]
+
+
+def build_search_pages(domain: str, pages: Dict[str, Dict[str, Any]],
+                       max_results: int = DEFAULT_MAX_RESULTS,
+                       max_terms: int = DEFAULT_MAX_TERMS
+                       ) -> Dict[str, Dict[str, Any]]:
+    """Compile an inverted index over a site's pages into data pages.
+
+    Args:
+        domain: the site's domain.
+        pages: ``rest -> content`` as authored (string bodies indexed;
+            search pages themselves and non-text fields are skipped).
+        max_results: result links kept per term (most-relevant first, by
+            term frequency).
+        max_terms: overall cap on indexed terms (highest-frequency kept).
+
+    Returns:
+        ``rest -> content`` for the index pages
+        (``/_search/<term>.json`` each holding a ``results`` link list).
+    """
+    postings: Dict[str, List[Tuple[int, str, str]]] = defaultdict(list)
+    for rest, content in pages.items():
+        if rest.startswith(SEARCH_PREFIX):
+            continue
+        title = str(content.get("title", rest.strip("/") or domain))
+        body = content.get("body")
+        text = title + " " + (body if isinstance(body, str) else "")
+        counts: Dict[str, int] = defaultdict(int)
+        for token in tokenize(text):
+            counts[token] += 1
+        for term, count in counts.items():
+            postings[term].append((count, domain + rest, title))
+
+    if len(postings) > max_terms:
+        keep = sorted(
+            postings,
+            key=lambda term: -sum(c for c, _p, _t in postings[term]),
+        )[:max_terms]
+        postings = {term: postings[term] for term in keep}
+
+    search_pages: Dict[str, Dict[str, Any]] = {}
+    for term, hits in postings.items():
+        hits.sort(key=lambda hit: (-hit[0], hit[1]))
+        links = [f"[[{path}|{title}]]" for _count, path, title in
+                 hits[:max_results]]
+        search_pages[f"{SEARCH_PREFIX}{term}.json"] = {
+            "term": term,
+            "n_results": len(links),
+            "results": links,
+        }
+    return search_pages
+
+
+def search_route(domain: str) -> Route:
+    """The lightscript route serving ``domain/search?q=<term>``."""
+    return Route(
+        pattern=r"^/search$",
+        fetches=(f"{domain}{SEARCH_PREFIX}{{query.q|}}.json",),
+        render=("Search results for '{query.q|}':\n"
+                "{data0.results|no results}"),
+    )
+
+
+__all__ = [
+    "build_search_pages",
+    "search_route",
+    "tokenize",
+    "STOPWORDS",
+    "SEARCH_PREFIX",
+    "DEFAULT_MAX_RESULTS",
+]

@@ -1,0 +1,83 @@
+"""Per-domain client-side local storage (§3.2, §3.3).
+
+"Many of the client-side JavaScript features that today's web provides are
+available in lightweb: client-side interaction, local storage, and so on.
+(As today, the lightweb browser enforces domain separation on local storage
+and other client-side state.)"
+
+The weather.com example of §3.3 — cache the user's postal code locally,
+fetch a per-postal-code blob on later visits — runs on exactly this class.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.core.lightweb.paths import validate_domain
+from repro.errors import CapacityError
+
+DEFAULT_QUOTA_BYTES = 64 * 1024
+
+
+class LocalStorage:
+    """Domain-separated key-value storage inside the browser."""
+
+    def __init__(self, quota_bytes: int = DEFAULT_QUOTA_BYTES):
+        """Create storage with a per-domain byte quota."""
+        if quota_bytes < 1:
+            raise CapacityError("quota must be positive")
+        self.quota_bytes = quota_bytes
+        self._domains: Dict[str, Dict[str, Any]] = {}
+
+    def _bucket(self, domain: str) -> Dict[str, Any]:
+        domain = validate_domain(domain)
+        return self._domains.setdefault(domain, {})
+
+    def _usage(self, bucket: Dict[str, Any]) -> int:
+        return sum(
+            len(key.encode("utf-8")) + len(json.dumps(value).encode("utf-8"))
+            for key, value in bucket.items()
+        )
+
+    def get(self, domain: str, key: str, default: Any = None) -> Any:
+        """Read a value from a domain's bucket."""
+        return self._bucket(domain).get(key, default)
+
+    def set(self, domain: str, key: str, value: Any) -> None:
+        """Write a JSON-serialisable value into a domain's bucket.
+
+        Raises:
+            CapacityError: if the write would exceed the domain quota.
+        """
+        json.dumps(value)  # force serialisability now, not at read time
+        bucket = self._bucket(domain)
+        old = bucket.get(key)
+        bucket[key] = value
+        if self._usage(bucket) > self.quota_bytes:
+            if old is None:
+                del bucket[key]
+            else:
+                bucket[key] = old
+            raise CapacityError(
+                f"domain {domain} exceeded its {self.quota_bytes}-byte quota"
+            )
+
+    def delete(self, domain: str, key: str) -> None:
+        """Remove a key (no error if absent)."""
+        self._bucket(domain).pop(key, None)
+
+    def keys(self, domain: str):
+        """Keys stored for a domain."""
+        return sorted(self._bucket(domain))
+
+    def clear_domain(self, domain: str) -> None:
+        """Wipe one domain's bucket (e.g. 'forget this site')."""
+        self._domains.pop(validate_domain(domain), None)
+
+    def usage_bytes(self, domain: str) -> int:
+        """Approximate bytes used by a domain."""
+        return self._usage(self._bucket(domain))
+
+
+__all__ = ["LocalStorage", "DEFAULT_QUOTA_BYTES"]

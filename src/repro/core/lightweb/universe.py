@@ -1,0 +1,249 @@
+"""Content universes: the unit of lightweb administration (§3.1, §3.5).
+
+A universe fixes the blob geometry for everything it hosts — one code-blob
+size, one data-blob size, one per-page fetch budget — and owns the mapping
+from paths to storage slots. Code blobs live in a *separate* key space from
+data blobs, following §3.2: "CDNs can host domain-specific code in a
+separate 'universe' from the other key-value pairs. This separation can
+improve ZLTP performance and only reveals when a user is visiting a path
+with a domain where the code is not cached locally."
+
+Path-prefix ownership ("The CDN is responsible for managing ownership of
+path prefixes within a universe", §3.1) is enforced on every write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.lightweb.paths import parse_path, validate_domain
+from repro.errors import CapacityError, OwnershipError
+from repro.pir.database import BlobDatabase
+from repro.pir.keyword import HEADER_BYTES, KeywordIndex
+
+
+@dataclass(frozen=True)
+class UniverseTier:
+    """A cost-coverage tier (§3.5): "small", "medium" and "large" universes.
+
+    "a single CDN could group its pages into 'small', 'medium', and 'large'
+    universes where each universe has a different fixed page size."
+    """
+
+    name: str
+    data_blob_size: int
+    data_domain_bits: int
+
+    def __post_init__(self):
+        if self.data_blob_size < HEADER_BYTES + 16:
+            raise CapacityError("tier blob size too small to hold records")
+
+
+#: The §3.5 example tiering. Sizes chosen around the paper's 4 KiB figure.
+DEFAULT_TIERS = (
+    UniverseTier("small", data_blob_size=1024, data_domain_bits=12),
+    UniverseTier("medium", data_blob_size=4096, data_domain_bits=12),
+    UniverseTier("large", data_blob_size=16384, data_domain_bits=12),
+)
+
+
+class ContentUniverse:
+    """One lightweb universe: fixed geometry, owned prefixes, two key spaces."""
+
+    def __init__(
+        self,
+        name: str,
+        code_blob_size: int = 64 * 1024,
+        data_blob_size: int = 4096,
+        code_domain_bits: int = 10,
+        data_domain_bits: int = 12,
+        fetch_budget: int = 5,
+        probes: int = 2,
+        salt: Optional[bytes] = None,
+    ):
+        """Create an empty universe.
+
+        Args:
+            name: universe identifier (unique within its CDN).
+            code_blob_size: fixed size of every code blob (paper example:
+                1 MiB; smaller by default so tests stay fast).
+            data_blob_size: fixed size of every data blob (paper: 4 KiB).
+            code_domain_bits / data_domain_bits: log2 slot counts of the two
+                key spaces.
+            fetch_budget: the fixed number of data GETs per page view
+                (paper example: five).
+            probes: keyword probes per lookup (2 = cuckoo hashing).
+            salt: keyword-hash salt; defaults to one derived from the name.
+        """
+        if fetch_budget < 1:
+            raise CapacityError("fetch budget must be at least 1")
+        self.name = name
+        self.code_blob_size = code_blob_size
+        self.data_blob_size = data_blob_size
+        self.fetch_budget = fetch_budget
+        self.probes = probes
+        self.salt = salt if salt is not None else b"universe:" + name.encode("utf-8")
+        self.code_db = BlobDatabase(code_domain_bits, code_blob_size)
+        self.data_db = BlobDatabase(data_domain_bits, data_blob_size)
+        self._code_index = KeywordIndex(self.code_db, probes=probes,
+                                        salt=self.salt + b"|code")
+        self._data_index = KeywordIndex(self.data_db, probes=probes,
+                                        salt=self.salt + b"|data")
+        self._owners: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def max_data_payload(self) -> int:
+        """Usable payload bytes per data blob (record framing removed)."""
+        return self.data_blob_size - HEADER_BYTES
+
+    @property
+    def max_code_payload(self) -> int:
+        """Usable payload bytes per code blob."""
+        return self.code_blob_size - HEADER_BYTES
+
+    @property
+    def code_salt(self) -> bytes:
+        """Keyword salt of the code key space (announced in ServerHello)."""
+        return self.salt + b"|code"
+
+    @property
+    def data_salt(self) -> bytes:
+        """Keyword salt of the data key space."""
+        return self.salt + b"|data"
+
+    # ------------------------------------------------------------------
+    # Ownership (§3.1)
+    # ------------------------------------------------------------------
+
+    def register_domain(self, publisher: str, domain: str) -> None:
+        """Claim a top-level prefix for a publisher.
+
+        Raises:
+            OwnershipError: if another publisher holds it.
+        """
+        domain = validate_domain(domain)
+        current = self._owners.get(domain)
+        if current is not None and current != publisher:
+            raise OwnershipError(
+                f"domain {domain} in universe {self.name} is owned by "
+                f"{current}, not {publisher}"
+            )
+        self._owners[domain] = publisher
+
+    def owner_of(self, domain: str) -> Optional[str]:
+        """The registered owner of a domain, if any."""
+        return self._owners.get(validate_domain(domain))
+
+    def domains(self) -> List[str]:
+        """All registered domains."""
+        return sorted(self._owners)
+
+    # ------------------------------------------------------------------
+    # Content writes
+    # ------------------------------------------------------------------
+
+    def put_code(self, publisher: str, domain: str, payload: bytes) -> None:
+        """Store a domain's (single) code blob.
+
+        "we only allow each domain to host a single code blob" (§3.2) —
+        the code key space is keyed by the bare domain, so re-pushing
+        replaces it.
+        """
+        domain = validate_domain(domain)
+        self._require_owner(publisher, domain)
+        if len(payload) > self.max_code_payload:
+            raise CapacityError(
+                f"code payload of {len(payload)} bytes exceeds universe "
+                f"limit {self.max_code_payload}"
+            )
+        if self._probe_has(self._code_index, domain):
+            self._replace(self._code_index, domain, payload)
+        else:
+            self._code_index.put(domain, payload)
+
+    def put_data(self, publisher: str, path: str, payload: bytes) -> None:
+        """Store one data blob at a full lightweb path."""
+        parsed = parse_path(path)
+        self._require_owner(publisher, parsed.domain)
+        if len(payload) > self.max_data_payload:
+            raise CapacityError(
+                f"data payload at {path} is {len(payload)} bytes; universe "
+                f"limit is {self.max_data_payload}"
+            )
+        if self._probe_has(self._data_index, parsed.full):
+            self._replace(self._data_index, parsed.full, payload)
+        else:
+            self._data_index.put(parsed.full, payload)
+
+    def remove_data(self, publisher: str, path: str) -> None:
+        """Delete a data blob (ownership-checked)."""
+        parsed = parse_path(path)
+        self._require_owner(publisher, parsed.domain)
+        self._data_index.remove(parsed.full)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        """Stored data blobs."""
+        return self.data_db.n_occupied
+
+    def storage_bytes(self) -> int:
+        """Total backing storage across both key spaces."""
+        return self.code_db.memory_bytes() + self.data_db.memory_bytes()
+
+    def describe(self) -> Dict[str, object]:
+        """A summary dict (used by examples and the CDN's catalogue)."""
+        return {
+            "name": self.name,
+            "code_blob_size": self.code_blob_size,
+            "data_blob_size": self.data_blob_size,
+            "fetch_budget": self.fetch_budget,
+            "probes": self.probes,
+            "domains": self.domains(),
+            "n_pages": self.n_pages,
+            "data_slots": self.data_db.n_slots,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _require_owner(self, publisher: str, domain: str) -> None:
+        owner = self._owners.get(domain)
+        if owner is None:
+            raise OwnershipError(
+                f"domain {domain} is not registered in universe {self.name}"
+            )
+        if owner != publisher:
+            raise OwnershipError(
+                f"{publisher} does not own {domain} in universe {self.name} "
+                f"(owner: {owner})"
+            )
+
+    @staticmethod
+    def _probe_has(index: KeywordIndex, key: str) -> bool:
+        from repro.pir.keyword import decode_record
+
+        for slot in index.candidate_slots(key):
+            if decode_record(key, index.database.get_slot(slot)) is not None:
+                return True
+        return False
+
+    @staticmethod
+    def _replace(index: KeywordIndex, key: str, payload: bytes) -> None:
+        try:
+            index.remove(key)
+        except KeyError:
+            pass
+        index.put(key, payload)
+
+
+__all__ = ["ContentUniverse", "UniverseTier", "DEFAULT_TIERS"]

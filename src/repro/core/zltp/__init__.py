@@ -1,0 +1,68 @@
+"""The zero-leakage transfer protocol (ZLTP), paper §2.
+
+"A ZLTP server holds a list of key-value pairs where each key is an
+arbitrary string, and each value is a fixed-length binary blob. The ZLTP API
+exposes a single private-GET operation to the client, which has the type
+signature GET(key)->value."
+
+A session (§2) starts with a hello exchange in which the server announces
+its blob geometry and the two sides negotiate a mode of operation; every
+subsequent GET exchanges mode-specific messages. Three modes are
+implemented, matching §2.2:
+
+- ``pir2`` — two-server DPF PIR (the paper's prototype; needs sessions with
+  two non-colluding servers).
+- ``pir-lwe`` — single-server LWE PIR (cryptographic assumptions only).
+- ``enclave-oram`` — a simulated hardware enclave with Path ORAM.
+"""
+
+from repro.core.zltp.wire import encode_frame, FrameDecoder, MAX_FRAME_BYTES
+from repro.core.zltp.messages import (
+    ClientHello,
+    ServerHello,
+    SetupRequest,
+    SetupResponse,
+    GetRequest,
+    GetResponse,
+    ErrorMessage,
+    Bye,
+    decode_message,
+    encode_message,
+)
+from repro.core.zltp.modes import (
+    MODE_PIR2,
+    MODE_PIR_LWE,
+    MODE_ENCLAVE,
+    ALL_MODES,
+    mode_endpoints,
+)
+from repro.core.zltp.server import ZltpServer, ZltpServerSession
+from repro.core.zltp.client import ZltpClient
+from repro.core.zltp.transport import InMemoryTransport, Transport, transport_pair
+
+__all__ = [
+    "encode_frame",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "ClientHello",
+    "ServerHello",
+    "SetupRequest",
+    "SetupResponse",
+    "GetRequest",
+    "GetResponse",
+    "ErrorMessage",
+    "Bye",
+    "decode_message",
+    "encode_message",
+    "MODE_PIR2",
+    "MODE_PIR_LWE",
+    "MODE_ENCLAVE",
+    "ALL_MODES",
+    "mode_endpoints",
+    "ZltpServer",
+    "ZltpServerSession",
+    "ZltpClient",
+    "InMemoryTransport",
+    "Transport",
+    "transport_pair",
+]

@@ -1,0 +1,234 @@
+"""The ZLTP client endpoint: ``GET(key) -> value`` and nothing else (§2).
+
+A :class:`ZltpClient` owns one transport per server endpoint the negotiated
+mode requires — two for ``pir2`` ("the ZLTP client must establish sessions
+with two ZLTP servers", §2.2), one otherwise — and exposes the private-GET
+operation at two levels:
+
+- :meth:`get_slot` — fetch the raw record at an index (what the protocol
+  actually moves), and
+- :meth:`get` — the paper's keyword API: hash the key to its fixed probe
+  slots, privately fetch *all* of them (the probe count never depends on
+  the key or its presence), and decode the matching record.
+
+The client also keeps byte counters, which are the measured communication
+numbers of benchmark E3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.zltp import messages as msg
+from repro.core.zltp.modes import (
+    ALL_MODES,
+    MODE_PIR_LWE,
+    make_mode_client,
+    mode_endpoints,
+)
+from repro.crypto.cuckoo import CuckooTable
+from repro.crypto.hashing import KeyedHash
+from repro.errors import NegotiationError, ProtocolError, TransportError
+from repro.pir.keyword import decode_record
+
+
+class ZltpClient:
+    """A client session (or session pair) against a logical ZLTP server."""
+
+    def __init__(self, transports: List[Any],
+                 supported_modes: Optional[List[str]] = None,
+                 rng: Optional[np.random.Generator] = None):
+        """Create a client over already-connected transports.
+
+        Args:
+            transports: one transport per server endpoint. Two for ``pir2``;
+                the client checks the count against the negotiated mode.
+            supported_modes: modes offered in the ClientHello, in the order
+                the client prefers them. Defaults to everything.
+            rng: optional deterministic randomness (tests).
+        """
+        if not transports:
+            raise ProtocolError("need at least one transport")
+        self._transports = list(transports)
+        self.supported_modes = (
+            list(supported_modes) if supported_modes is not None else list(ALL_MODES)
+        )
+        self._rng = rng
+        self._next_request_id = 0
+        self.mode: Optional[str] = None
+        self.blob_size: Optional[int] = None
+        self.domain_bits: Optional[int] = None
+        self.probes: Optional[int] = None
+        self.salt: Optional[bytes] = None
+        self._mode_client = None
+        self._hash = None
+        self._cuckoo = None
+        self._connected = False
+
+    # ------------------------------------------------------------------
+    # Session establishment
+    # ------------------------------------------------------------------
+
+    def connect(self) -> None:
+        """Run the hello (and, if needed, setup) exchange on every transport."""
+        hello = msg.ClientHello(supported_modes=self.supported_modes)
+        server_hellos = []
+        for transport in self._transports:
+            transport.send_frame(msg.encode_message(hello))
+            server_hellos.append(self._recv(transport))
+
+        first = server_hellos[0]
+        if not isinstance(first, msg.ServerHello):
+            raise ProtocolError(f"expected ServerHello, got {type(first).__name__}")
+        for other in server_hellos[1:]:
+            if not isinstance(other, msg.ServerHello):
+                raise ProtocolError("expected ServerHello from every endpoint")
+            if (other.blob_size, other.domain_bits, other.mode,
+                    other.probes, other.salt) != (
+                    first.blob_size, first.domain_bits, first.mode,
+                    first.probes, first.salt):
+                raise ProtocolError("endpoints disagree on universe geometry")
+
+        needed = mode_endpoints(first.mode)
+        if needed != len(self._transports):
+            raise NegotiationError(
+                f"mode {first.mode!r} needs {needed} endpoint(s), "
+                f"client has {len(self._transports)}"
+            )
+        if first.mode == "pir2":
+            parties = [h.mode_params.get("party") for h in server_hellos]
+            if sorted(parties) != [0, 1]:
+                raise NegotiationError(
+                    f"pir2 endpoints must be parties 0 and 1, got {parties}"
+                )
+            # Order transports so index b talks to party b.
+            order = sorted(range(2), key=lambda i: parties[i])
+            self._transports = [self._transports[i] for i in order]
+
+        setup: Dict[str, Any] = {}
+        if first.mode == MODE_PIR_LWE:
+            transport = self._transports[0]
+            transport.send_frame(msg.encode_message(msg.SetupRequest()))
+            response = self._recv(transport)
+            if not isinstance(response, msg.SetupResponse):
+                raise ProtocolError("expected SetupResponse")
+            setup = response.params
+
+        self.mode = first.mode
+        self.blob_size = first.blob_size
+        self.domain_bits = first.domain_bits
+        self.probes = first.probes
+        self.salt = first.salt
+        self._mode_client = make_mode_client(
+            first.mode, first.domain_bits, first.blob_size,
+            first.mode_params, setup, rng=self._rng,
+        )
+        if self.probes == 1:
+            self._hash = KeyedHash(first.domain_bits, first.salt)
+        else:
+            self._cuckoo = CuckooTable(first.domain_bits, n_hashes=self.probes,
+                                       salt=first.salt)
+        self._connected = True
+
+    # ------------------------------------------------------------------
+    # The private-GET operation
+    # ------------------------------------------------------------------
+
+    def get_slot(self, slot: int) -> bytes:
+        """Privately fetch the raw record at a database slot."""
+        self._require_connected()
+        queries = self._mode_client.queries_for_slot(slot)
+        if len(queries) != len(self._transports):
+            raise ProtocolError("mode produced wrong number of queries")
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        answers = []
+        for transport, query in zip(self._transports, queries):
+            transport.send_frame(
+                msg.encode_message(msg.GetRequest(request_id=request_id,
+                                                  payload=query))
+            )
+        for transport in self._transports:
+            response = self._recv(transport)
+            if not isinstance(response, msg.GetResponse):
+                raise ProtocolError(
+                    f"expected GetResponse, got {type(response).__name__}"
+                )
+            if response.request_id != request_id:
+                raise ProtocolError(
+                    f"response id {response.request_id} != request id {request_id}"
+                )
+            answers.append(response.payload)
+        return self._mode_client.decode(answers)
+
+    def candidate_slots(self, key: str) -> List[int]:
+        """The fixed probe slots for ``key`` under the universe's salt."""
+        self._require_connected()
+        if self.probes == 1:
+            return [self._hash.slot(key)]
+        return self._cuckoo.candidates(key)
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The ZLTP API (§2): privately fetch the value stored under ``key``.
+
+        Always performs exactly ``probes`` slot fetches, so the observable
+        request count is independent of the key and of whether it exists.
+
+        Returns:
+            The value payload, or None if no record for ``key`` exists.
+        """
+        found = None
+        for slot in self.candidate_slots(key):
+            record = self.get_slot(slot)
+            payload = decode_record(key, record)
+            if payload is not None and found is None:
+                found = payload
+        return found
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Send Bye on every endpoint and close the transports."""
+        for transport in self._transports:
+            try:
+                transport.send_frame(msg.encode_message(msg.Bye()))
+            except TransportError:
+                pass
+            transport.close()
+        self._connected = False
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total bytes uploaded across all endpoints."""
+        return sum(t.bytes_sent for t in self._transports)
+
+    @property
+    def bytes_received(self) -> int:
+        """Total bytes downloaded across all endpoints."""
+        return sum(t.bytes_received for t in self._transports)
+
+    def _require_connected(self) -> None:
+        if not self._connected:
+            raise ProtocolError("client is not connected; call connect() first")
+
+    def _recv(self, transport):
+        message = msg.decode_message(transport.recv_frame())
+        if isinstance(message, msg.ErrorMessage):
+            raise ProtocolError(f"server error {message.code}: {message.detail}")
+        return message
+
+
+def connect_client(transports: List[Any],
+                   supported_modes: Optional[List[str]] = None,
+                   rng: Optional[np.random.Generator] = None) -> ZltpClient:
+    """Create and connect a :class:`ZltpClient` in one call."""
+    client = ZltpClient(transports, supported_modes=supported_modes, rng=rng)
+    client.connect()
+    return client
+
+
+__all__ = ["ZltpClient", "connect_client"]

@@ -1,0 +1,307 @@
+"""ZLTP message types and their binary codec.
+
+The protocol needs only a handful of messages (§2): a hello exchange that
+announces blob geometry and negotiates the mode of operation, an optional
+setup exchange for modes with one-time client downloads (the LWE hint), the
+GET request/response pair, errors, and a goodbye.
+
+Messages are encoded as a one-byte type tag followed by a canonical binary
+encoding of the message's field dictionary. The value codec is a small
+self-describing TLV format (ints, strings, bytes, lists, dicts) — enough to
+carry every mode's parameters without pulling in a serialisation library,
+and strict enough that malformed input raises :class:`ProtocolError` rather
+than producing garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ProtocolError
+
+PROTOCOL_VERSION = 1
+
+# --------------------------------------------------------------------------
+# Value codec
+# --------------------------------------------------------------------------
+
+_T_NONE = 0
+_T_INT = 1
+_T_BYTES = 2
+_T_STR = 3
+_T_LIST = 4
+_T_DICT = 5
+_T_BOOL = 6
+_T_FLOAT = 7
+
+
+def _encode_value(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif isinstance(value, bool):
+        out.append(_T_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        out.extend(struct.pack("<q", value))
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out.extend(struct.pack("<d", value))
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        out.extend(struct.pack("<I", len(value)))
+        out.extend(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out.extend(struct.pack("<I", len(raw)))
+        out.extend(raw)
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        out.extend(struct.pack("<I", len(value)))
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        out.extend(struct.pack("<I", len(value)))
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise ProtocolError("dict keys must be strings")
+            _encode_value(key, out)
+            _encode_value(value[key], out)
+    else:
+        raise ProtocolError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _decode_value(raw: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(raw):
+        raise ProtocolError("truncated value")
+    tag = raw[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_BOOL:
+        if offset >= len(raw):
+            raise ProtocolError("truncated bool")
+        return bool(raw[offset]), offset + 1
+    if tag == _T_INT:
+        if offset + 8 > len(raw):
+            raise ProtocolError("truncated int")
+        (value,) = struct.unpack_from("<q", raw, offset)
+        return value, offset + 8
+    if tag == _T_FLOAT:
+        if offset + 8 > len(raw):
+            raise ProtocolError("truncated float")
+        (value,) = struct.unpack_from("<d", raw, offset)
+        return value, offset + 8
+    if tag in (_T_BYTES, _T_STR):
+        if offset + 4 > len(raw):
+            raise ProtocolError("truncated length")
+        (length,) = struct.unpack_from("<I", raw, offset)
+        offset += 4
+        if offset + length > len(raw):
+            raise ProtocolError("truncated payload")
+        chunk = raw[offset : offset + length]
+        offset += length
+        if tag == _T_STR:
+            try:
+                return chunk.decode("utf-8"), offset
+            except UnicodeDecodeError as exc:
+                raise ProtocolError("invalid utf-8 in string") from exc
+        return bytes(chunk), offset
+    if tag == _T_LIST:
+        if offset + 4 > len(raw):
+            raise ProtocolError("truncated list length")
+        (count,) = struct.unpack_from("<I", raw, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(raw, offset)
+            items.append(item)
+        return items, offset
+    if tag == _T_DICT:
+        if offset + 4 > len(raw):
+            raise ProtocolError("truncated dict length")
+        (count,) = struct.unpack_from("<I", raw, offset)
+        offset += 4
+        result = {}
+        for _ in range(count):
+            key, offset = _decode_value(raw, offset)
+            if not isinstance(key, str):
+                raise ProtocolError("dict keys must decode to strings")
+            value, offset = _decode_value(raw, offset)
+            result[key] = value
+        return result, offset
+    raise ProtocolError(f"unknown value tag {tag}")
+
+
+def encode_payload(fields: Dict[str, Any]) -> bytes:
+    """Encode a message field dictionary."""
+    out = bytearray()
+    _encode_value(fields, out)
+    return bytes(out)
+
+
+def decode_payload(raw: bytes) -> Dict[str, Any]:
+    """Decode a message field dictionary, requiring full consumption."""
+    value, offset = _decode_value(raw, 0)
+    if offset != len(raw):
+        raise ProtocolError(f"{len(raw) - offset} trailing bytes after message")
+    if not isinstance(value, dict):
+        raise ProtocolError("message payload must be a dict")
+    return value
+
+
+# --------------------------------------------------------------------------
+# Message types
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    """Session opener: the client offers the modes it supports, in order."""
+
+    supported_modes: List[str]
+    version: int = PROTOCOL_VERSION
+
+    TAG = 1
+
+
+@dataclass(frozen=True)
+class ServerHello:
+    """Server reply: blob geometry plus the negotiated mode (§2).
+
+    "The server indicates to the client the size of the fixed-length blobs
+    it is serving, and the client and server then negotiate which
+    cryptographic mode of operation they will use."
+    """
+
+    blob_size: int
+    domain_bits: int
+    mode: str
+    probes: int = 1
+    salt: bytes = b""
+    mode_params: Dict[str, Any] = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
+
+    TAG = 2
+
+
+@dataclass(frozen=True)
+class SetupRequest:
+    """Client asks for the mode's one-time setup payload (e.g. LWE hint)."""
+
+    TAG = 3
+
+
+@dataclass(frozen=True)
+class SetupResponse:
+    """The mode's one-time setup payload."""
+
+    params: Dict[str, Any]
+
+    TAG = 4
+
+
+@dataclass(frozen=True)
+class GetRequest:
+    """One private-GET request: an opaque mode-specific query payload."""
+
+    request_id: int
+    payload: bytes
+
+    TAG = 5
+
+
+@dataclass(frozen=True)
+class GetResponse:
+    """The answer to a private-GET: an opaque mode-specific payload."""
+
+    request_id: int
+    payload: bytes
+
+    TAG = 6
+
+
+@dataclass(frozen=True)
+class ErrorMessage:
+    """A fatal protocol error; the session should be torn down."""
+
+    code: str
+    detail: str = ""
+
+    TAG = 7
+
+
+@dataclass(frozen=True)
+class Bye:
+    """Orderly session close."""
+
+    TAG = 8
+
+
+_MESSAGE_TYPES = {
+    cls.TAG: cls
+    for cls in (
+        ClientHello,
+        ServerHello,
+        SetupRequest,
+        SetupResponse,
+        GetRequest,
+        GetResponse,
+        ErrorMessage,
+        Bye,
+    )
+}
+
+
+def encode_message(message) -> bytes:
+    """Serialise a message object: tag byte + encoded field dict."""
+    cls = type(message)
+    if cls.TAG not in _MESSAGE_TYPES:
+        raise ProtocolError(f"unknown message type {cls.__name__}")
+    fields = {
+        name: getattr(message, name)
+        for name in message.__dataclass_fields__
+    }
+    return bytes([cls.TAG]) + encode_payload(fields)
+
+
+def decode_message(raw: bytes):
+    """Parse a message; raises :class:`ProtocolError` on any malformation."""
+    if not raw:
+        raise ProtocolError("empty message")
+    cls = _MESSAGE_TYPES.get(raw[0])
+    if cls is None:
+        raise ProtocolError(f"unknown message tag {raw[0]}")
+    fields = decode_payload(raw[1:])
+    expected = set(cls.__dataclass_fields__)
+    got = set(fields)
+    if got != expected:
+        raise ProtocolError(
+            f"{cls.__name__} fields mismatch: got {sorted(got)}, "
+            f"expected {sorted(expected)}"
+        )
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ProtocolError(f"bad fields for {cls.__name__}: {exc}") from exc
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClientHello",
+    "ServerHello",
+    "SetupRequest",
+    "SetupResponse",
+    "GetRequest",
+    "GetResponse",
+    "ErrorMessage",
+    "Bye",
+    "encode_message",
+    "decode_message",
+    "encode_payload",
+    "decode_payload",
+]

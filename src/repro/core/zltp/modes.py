@@ -1,0 +1,343 @@
+"""ZLTP modes of operation (§2.2) behind one uniform interface.
+
+Each mode supplies a server half (turn an opaque query payload into an
+opaque answer payload over the blob database) and a client half (build the
+query payloads for a slot, decode the answer payloads into the record).
+Sessions negotiate a mode by name; §2.1's security assumptions differ per
+mode and are documented on each class.
+
+=================  ==========  ====================================
+mode name          endpoints   assumption (§2.1)
+=================  ==========  ====================================
+``pir2``           2           non-collusion (≥1 of 2 honest)
+``pir-lwe``        1           cryptographic (LWE hardness)
+``enclave-oram``   1           hardware (enclave protects secrets)
+=================  ==========  ====================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.crypto import aead
+from repro.crypto.dpf import gen_dpf
+from repro.crypto.lwe import LweParams, LwePirClient, LwePirServer
+from repro.errors import CryptoError, NegotiationError, ProtocolError
+from repro.oram.enclave import SimulatedEnclave
+from repro.pir.database import BlobDatabase
+from repro.pir.twoserver import TwoServerPirServer
+
+MODE_PIR2 = "pir2"
+MODE_PIR_LWE = "pir-lwe"
+MODE_ENCLAVE = "enclave-oram"
+
+#: Default server preference order: strongest guarantees first.
+ALL_MODES = [MODE_PIR2, MODE_PIR_LWE, MODE_ENCLAVE]
+
+_ENDPOINTS = {MODE_PIR2: 2, MODE_PIR_LWE: 1, MODE_ENCLAVE: 1}
+
+
+def mode_endpoints(mode: str) -> int:
+    """How many ZLTP server sessions the client must open for a mode."""
+    try:
+        return _ENDPOINTS[mode]
+    except KeyError:
+        raise NegotiationError(f"unknown mode {mode!r}") from None
+
+
+def negotiate(client_modes: List[str], server_modes: List[str]) -> str:
+    """Pick the mode: first server-preferred mode the client supports.
+
+    Raises:
+        NegotiationError: if there is no common mode.
+    """
+    for mode in server_modes:
+        if mode in client_modes:
+            return mode
+    raise NegotiationError(
+        f"no common mode: client {client_modes}, server {server_modes}"
+    )
+
+
+# --------------------------------------------------------------------------
+# Array (de)serialisation for LWE payloads
+# --------------------------------------------------------------------------
+
+
+def pack_u64(arr: np.ndarray) -> bytes:
+    """Serialise a 1- or 2-D uint64 array: ndim, dims, little-endian data."""
+    arr = np.ascontiguousarray(arr, dtype=np.uint64)
+    if arr.ndim not in (1, 2):
+        raise CryptoError("only 1-D/2-D arrays supported")
+    header = struct.pack("<B", arr.ndim) + b"".join(
+        struct.pack("<I", dim) for dim in arr.shape
+    )
+    return header + arr.astype("<u8").tobytes()
+
+
+def unpack_u64(raw: bytes) -> np.ndarray:
+    """Inverse of :func:`pack_u64`, with strict validation."""
+    if len(raw) < 1:
+        raise ProtocolError("empty array payload")
+    ndim = raw[0]
+    if ndim not in (1, 2):
+        raise ProtocolError(f"bad array ndim {ndim}")
+    offset = 1
+    shape = []
+    for _ in range(ndim):
+        if offset + 4 > len(raw):
+            raise ProtocolError("truncated array shape")
+        (dim,) = struct.unpack_from("<I", raw, offset)
+        shape.append(dim)
+        offset += 4
+    expected = int(np.prod(shape)) * 8
+    if len(raw) - offset != expected:
+        raise ProtocolError(
+            f"array data length {len(raw) - offset} != expected {expected}"
+        )
+    return np.frombuffer(raw, dtype="<u8", offset=offset).reshape(shape).astype(np.uint64)
+
+
+# --------------------------------------------------------------------------
+# pir2: two-server DPF PIR
+# --------------------------------------------------------------------------
+
+
+class Pir2ModeServer:
+    """Server half of ``pir2`` — one of the two non-colluding parties."""
+
+    name = MODE_PIR2
+
+    def __init__(self, database: BlobDatabase, party: int):
+        self._pir = TwoServerPirServer(database, party)
+        self.party = party
+
+    def hello_params(self) -> Dict[str, Any]:
+        """Mode parameters for the ServerHello."""
+        return {"party": self.party}
+
+    def setup(self) -> Dict[str, Any]:
+        """One-time setup payload (none for pir2)."""
+        return {}
+
+    def answer(self, payload: bytes) -> bytes:
+        """Evaluate the DPF key and scan; return this party's XOR share."""
+        return self._pir.answer(payload)
+
+
+class Pir2ModeClient:
+    """Client half of ``pir2``: deals DPF key pairs, XORs the answers."""
+
+    name = MODE_PIR2
+    endpoints = 2
+
+    def __init__(self, domain_bits: int, blob_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        self.domain_bits = domain_bits
+        self.blob_size = blob_size
+        self._rng = rng
+
+    def queries_for_slot(self, slot: int) -> List[bytes]:
+        """One DPF key per server."""
+        key0, key1 = gen_dpf(slot, self.domain_bits, rng=self._rng)
+        return [key0.to_bytes(), key1.to_bytes()]
+
+    def decode(self, answers: List[bytes]) -> bytes:
+        """XOR the two servers' shares into the record."""
+        if len(answers) != 2:
+            raise ProtocolError("pir2 needs exactly two answers")
+        if len(answers[0]) != len(answers[1]):
+            raise ProtocolError("pir2 answer length mismatch")
+        a = np.frombuffer(answers[0], dtype=np.uint8)
+        b = np.frombuffer(answers[1], dtype=np.uint8)
+        return (a ^ b).tobytes()
+
+
+# --------------------------------------------------------------------------
+# pir-lwe: single-server LWE PIR
+# --------------------------------------------------------------------------
+
+
+class LweModeServer:
+    """Server half of ``pir-lwe``: answers are one matrix-vector product."""
+
+    name = MODE_PIR_LWE
+
+    def __init__(self, database: BlobDatabase, params: Optional[LweParams] = None,
+                 seed: int = 7):
+        self.params = params if params is not None else LweParams()
+        matrix = database.as_byte_matrix().astype(np.uint64)
+        self._core = LwePirServer(matrix, params=self.params, seed=seed)
+        self.blob_size = database.blob_size
+
+    def hello_params(self) -> Dict[str, Any]:
+        return {
+            "n": self.params.n,
+            "p": self.params.p,
+            "noise_bound": self.params.noise_bound,
+        }
+
+    def setup(self) -> Dict[str, Any]:
+        """The one-time hint download — the mode's big up-front cost."""
+        return {
+            "hint": pack_u64(self._core.hint()),
+            "a_matrix": pack_u64(self._core.a_matrix),
+        }
+
+    def answer(self, payload: bytes) -> bytes:
+        query = unpack_u64(payload)
+        if query.ndim != 1:
+            raise ProtocolError("LWE query must be a vector")
+        return pack_u64(self._core.answer(query))
+
+
+class LweModeClient:
+    """Client half of ``pir-lwe``; requires the setup payload first."""
+
+    name = MODE_PIR_LWE
+    endpoints = 1
+
+    def __init__(self, blob_size: int, hello_params: Dict[str, Any],
+                 setup: Dict[str, Any],
+                 rng: Optional[np.random.Generator] = None):
+        params = LweParams(
+            n=int(hello_params["n"]),
+            p=int(hello_params["p"]),
+            noise_bound=int(hello_params["noise_bound"]),
+        )
+        self.blob_size = blob_size
+        self._core = LwePirClient(
+            unpack_u64(setup["a_matrix"]), unpack_u64(setup["hint"]),
+            params=params, rng=rng,
+        )
+
+    def queries_for_slot(self, slot: int) -> List[bytes]:
+        return [pack_u64(self._core.query(slot))]
+
+    def decode(self, answers: List[bytes]) -> bytes:
+        if len(answers) != 1:
+            raise ProtocolError("pir-lwe expects one answer")
+        column = self._core.decode(unpack_u64(answers[0]))
+        return column.astype(np.uint8).tobytes()[: self.blob_size]
+
+
+# --------------------------------------------------------------------------
+# enclave-oram
+# --------------------------------------------------------------------------
+
+
+class EnclaveModeServer:
+    """Server half of ``enclave-oram``.
+
+    The session key stands in for the secure channel a real client would
+    establish with the enclave via remote attestation: the ZLTP *operator*
+    relays only sealed payloads it cannot read, while the enclave's memory
+    accesses go through Path ORAM (and are recorded for leakage tests).
+    """
+
+    name = MODE_ENCLAVE
+
+    def __init__(self, database: BlobDatabase, session_key: Optional[bytes] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.session_key = session_key if session_key is not None else aead.generate_key()
+        self.enclave = SimulatedEnclave(
+            database.domain_bits, database.blob_size, rng=rng
+        )
+        for slot in database.occupied_slots():
+            self.enclave.oblivious_write(slot, database.get_slot(slot))
+        self.domain_bits = database.domain_bits
+
+    def hello_params(self) -> Dict[str, Any]:
+        # In deployment this would be an attestation transcript + key
+        # exchange; here the simulated enclave hands the client its key.
+        return {"session_key": self.session_key}
+
+    def setup(self) -> Dict[str, Any]:
+        return {}
+
+    def answer(self, payload: bytes) -> bytes:
+        if not self.enclave.sealed:
+            from repro.errors import AccessError
+
+            raise AccessError(
+                "enclave attestation failed (compromised); refusing to serve"
+            )
+        raw = aead.open_sealed(self.session_key, payload, aad=b"zltp-enclave-q")
+        if len(raw) != 8:
+            raise ProtocolError("enclave query must be an 8-byte slot")
+        (slot,) = struct.unpack("<Q", raw)
+        record = self.enclave.oblivious_read(slot)
+        return aead.seal(self.session_key, record, aad=b"zltp-enclave-a")
+
+
+class EnclaveModeClient:
+    """Client half of ``enclave-oram``: slot sealed in, record sealed out."""
+
+    name = MODE_ENCLAVE
+    endpoints = 1
+
+    def __init__(self, hello_params: Dict[str, Any]):
+        self.session_key = hello_params["session_key"]
+
+    def queries_for_slot(self, slot: int) -> List[bytes]:
+        raw = struct.pack("<Q", slot)
+        return [aead.seal(self.session_key, raw, aad=b"zltp-enclave-q")]
+
+    def decode(self, answers: List[bytes]) -> bytes:
+        if len(answers) != 1:
+            raise ProtocolError("enclave-oram expects one answer")
+        return aead.open_sealed(self.session_key, answers[0], aad=b"zltp-enclave-a")
+
+
+# --------------------------------------------------------------------------
+# Factories
+# --------------------------------------------------------------------------
+
+
+def make_mode_server(mode: str, database: BlobDatabase, party: int = 0,
+                     lwe_params: Optional[LweParams] = None,
+                     rng: Optional[np.random.Generator] = None):
+    """Build the server half of a mode over a blob database."""
+    if mode == MODE_PIR2:
+        return Pir2ModeServer(database, party)
+    if mode == MODE_PIR_LWE:
+        return LweModeServer(database, params=lwe_params)
+    if mode == MODE_ENCLAVE:
+        return EnclaveModeServer(database, rng=rng)
+    raise NegotiationError(f"unknown mode {mode!r}")
+
+
+def make_mode_client(mode: str, domain_bits: int, blob_size: int,
+                     hello_params: Dict[str, Any], setup: Dict[str, Any],
+                     rng: Optional[np.random.Generator] = None):
+    """Build the client half of a negotiated mode."""
+    if mode == MODE_PIR2:
+        return Pir2ModeClient(domain_bits, blob_size, rng=rng)
+    if mode == MODE_PIR_LWE:
+        return LweModeClient(blob_size, hello_params, setup, rng=rng)
+    if mode == MODE_ENCLAVE:
+        return EnclaveModeClient(hello_params)
+    raise NegotiationError(f"unknown mode {mode!r}")
+
+
+__all__ = [
+    "MODE_PIR2",
+    "MODE_PIR_LWE",
+    "MODE_ENCLAVE",
+    "ALL_MODES",
+    "mode_endpoints",
+    "negotiate",
+    "pack_u64",
+    "unpack_u64",
+    "Pir2ModeServer",
+    "Pir2ModeClient",
+    "LweModeServer",
+    "LweModeClient",
+    "EnclaveModeServer",
+    "EnclaveModeClient",
+    "make_mode_server",
+    "make_mode_client",
+]

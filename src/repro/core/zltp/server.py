@@ -1,0 +1,205 @@
+"""The ZLTP server endpoint.
+
+One :class:`ZltpServer` is a *logical* server for one universe shard: it
+owns the blob database, announces the universe's blob geometry in its
+ServerHello ("the server indicates to the client the size of the
+fixed-length blobs it is serving", §2), and serves private-GETs in whichever
+negotiated mode each session chose. In the paper's deployment a CDN runs two
+such logical servers (the non-colluding pair) across many machines; here the
+:class:`~repro.pir.sharding.ShardedDeployment` plays the many-machines part.
+
+:class:`ZltpServerSession` is a pure state machine — messages in, messages
+out — so the same code is exercised by in-memory transports, the network
+simulator, and real TCP sockets.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.zltp import messages as msg
+from repro.core.zltp.modes import (
+    ALL_MODES,
+    make_mode_server,
+    mode_endpoints,
+    negotiate,
+)
+from repro.core.zltp.transport import Transport
+from repro.crypto.lwe import LweParams
+from repro.errors import NegotiationError, ProtocolError, ReproError
+from repro.pir.database import BlobDatabase
+
+
+class _State(enum.Enum):
+    AWAIT_HELLO = "await_hello"
+    READY = "ready"
+    CLOSED = "closed"
+
+
+class ZltpServer:
+    """A logical ZLTP server over one blob database.
+
+    Attributes:
+        database: the fixed-size-blob store being served.
+        party: this server's role in a two-server pair (0 or 1); only
+            meaningful for the ``pir2`` mode.
+        salt: the universe's keyword-hash salt, announced to clients.
+        probes: fixed probe count per keyword lookup (1 = plain hashing,
+            >=2 = cuckoo).
+    """
+
+    def __init__(
+        self,
+        database: BlobDatabase,
+        modes: Optional[List[str]] = None,
+        party: int = 0,
+        salt: bytes = b"",
+        probes: int = 1,
+        lwe_params: Optional[LweParams] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.database = database
+        self.modes = list(modes) if modes is not None else list(ALL_MODES)
+        for mode in self.modes:
+            mode_endpoints(mode)  # validates names early
+        self.party = party
+        self.salt = salt
+        self.probes = probes
+        self._lwe_params = lwe_params
+        self._rng = rng
+        self._mode_servers: Dict[str, Any] = {}
+        self.sessions_opened = 0
+        self.gets_served = 0
+
+    def mode_server(self, mode: str):
+        """Get (building lazily) the server half of a mode.
+
+        Modes that snapshot the database at build time (pir-lwe's matrix,
+        enclave-oram's ORAM load) are rebuilt when the database has changed
+        since — otherwise a publisher re-push (§3.1) would be visible in
+        ``pir2`` but stale in the other modes.
+        """
+        cached = self._mode_servers.get(mode)
+        if cached is not None:
+            server, built_version = cached
+            if built_version == self.database.version or mode == "pir2":
+                return server
+        server = make_mode_server(
+            mode, self.database, party=self.party,
+            lwe_params=self._lwe_params, rng=self._rng,
+        )
+        self._mode_servers[mode] = (server, self.database.version)
+        return server
+
+    def create_session(self) -> "ZltpServerSession":
+        """Open a new protocol session."""
+        self.sessions_opened += 1
+        return ZltpServerSession(self)
+
+    def serve_transport(self, transport) -> "ZltpServerSession":
+        """Attach a session to a synchronous-delivery transport.
+
+        Every frame the client sends is decoded, run through the session
+        state machine, and the replies are sent back on the same transport.
+        """
+        session = self.create_session()
+
+        def handle(frame: bytes) -> None:
+            for reply in session.handle_frame(frame):
+                transport.send_frame(reply)
+            if session.closed:
+                transport.close()
+
+        transport.receiver = handle
+        return session
+
+
+class ZltpServerSession:
+    """Per-connection protocol state machine."""
+
+    def __init__(self, server: ZltpServer):
+        self._server = server
+        self._state = _State.AWAIT_HELLO
+        self._mode_name: Optional[str] = None
+        self._mode = None
+
+    @property
+    def closed(self) -> bool:
+        """Whether the session has terminated."""
+        return self._state is _State.CLOSED
+
+    @property
+    def mode(self) -> Optional[str]:
+        """The negotiated mode name, once the hello exchange completed."""
+        return self._mode_name
+
+    def handle_frame(self, frame: bytes) -> List[bytes]:
+        """Decode one frame, advance the state machine, encode the replies."""
+        if self._state is _State.CLOSED:
+            return []
+        try:
+            message = msg.decode_message(frame)
+        except ProtocolError as exc:
+            self._state = _State.CLOSED
+            return [msg.encode_message(msg.ErrorMessage("bad-message", str(exc)))]
+        return [msg.encode_message(reply) for reply in self.handle(message)]
+
+    def handle(self, message) -> List[Any]:
+        """Advance the state machine by one message; return reply messages."""
+        if self._state is _State.CLOSED:
+            return []
+        try:
+            return self._dispatch(message)
+        except NegotiationError as exc:
+            self._state = _State.CLOSED
+            return [msg.ErrorMessage("negotiation", str(exc))]
+        except ReproError as exc:
+            # Mode-level failures (bad DPF key, malformed LWE query, broken
+            # seal) are the client's fault; report and tear down.
+            self._state = _State.CLOSED
+            return [msg.ErrorMessage("protocol", str(exc))]
+
+    def _dispatch(self, message) -> List[Any]:
+        if isinstance(message, msg.Bye):
+            self._state = _State.CLOSED
+            return []
+        if self._state is _State.AWAIT_HELLO:
+            if not isinstance(message, msg.ClientHello):
+                raise ProtocolError(
+                    f"expected ClientHello, got {type(message).__name__}"
+                )
+            return [self._do_hello(message)]
+        # READY state.
+        if isinstance(message, msg.SetupRequest):
+            return [msg.SetupResponse(params=self._mode.setup())]
+        if isinstance(message, msg.GetRequest):
+            answer = self._mode.answer(message.payload)
+            self._server.gets_served += 1
+            return [msg.GetResponse(request_id=message.request_id, payload=answer)]
+        raise ProtocolError(f"unexpected {type(message).__name__} in ready state")
+
+    def _do_hello(self, hello: msg.ClientHello) -> msg.ServerHello:
+        if hello.version != msg.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version {hello.version} unsupported "
+                f"(server speaks {msg.PROTOCOL_VERSION})"
+            )
+        mode_name = negotiate(hello.supported_modes, self._server.modes)
+        self._mode_name = mode_name
+        self._mode = self._server.mode_server(mode_name)
+        self._state = _State.READY
+        db = self._server.database
+        return msg.ServerHello(
+            blob_size=db.blob_size,
+            domain_bits=db.domain_bits,
+            mode=mode_name,
+            probes=self._server.probes,
+            salt=self._server.salt,
+            mode_params=self._mode.hello_params(),
+        )
+
+
+__all__ = ["ZltpServer", "ZltpServerSession"]

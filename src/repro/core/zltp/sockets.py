@@ -1,0 +1,152 @@
+"""Real TCP transport for ZLTP — the protocol on an actual network stack.
+
+The in-memory transports are what most tests use, but ZLTP is an
+application-layer network protocol and should run over real sockets too.
+:class:`ZltpTcpServer` serves a :class:`~repro.core.zltp.server.ZltpServer`
+on a listening socket (one thread per connection — plenty for a prototype
+whose per-request cost is a linear database scan), and :func:`connect_tcp`
+returns a blocking :class:`TcpTransport` usable directly by
+:class:`~repro.core.zltp.client.ZltpClient`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Tuple
+
+from repro.core.zltp.server import ZltpServer
+from repro.core.zltp.wire import FrameDecoder, encode_frame
+from repro.errors import TransportError
+
+_RECV_CHUNK = 65536
+
+
+class TcpTransport:
+    """A blocking framed transport over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket, name: str = "tcp"):
+        self._sock = sock
+        self.name = name
+        self._decoder = FrameDecoder()
+        self._pending: list = []
+        self._closed = False
+        self._bytes_sent = 0
+        self._bytes_received = 0
+
+    def send_frame(self, payload: bytes) -> None:
+        if self._closed:
+            raise TransportError(f"transport {self.name!r} is closed")
+        frame = encode_frame(payload)
+        try:
+            self._sock.sendall(frame)
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+        self._bytes_sent += len(frame)
+
+    def recv_frame(self) -> bytes:
+        while not self._pending:
+            if self._closed:
+                raise TransportError(f"transport {self.name!r} is closed")
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except OSError as exc:
+                raise TransportError(f"recv failed: {exc}") from exc
+            if not chunk:
+                self._closed = True
+                raise TransportError("connection closed by peer")
+            self._bytes_received += len(chunk)
+            self._pending.extend(self._decoder.feed(chunk))
+        return self._pending.pop(0)
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total framed bytes sent."""
+        return self._bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        """Total framed bytes received."""
+        return self._bytes_received
+
+
+class ZltpTcpServer:
+    """Serve a logical ZLTP server on a TCP listening socket."""
+
+    def __init__(self, server: ZltpServer, host: str = "127.0.0.1", port: int = 0):
+        """Bind and start accepting in a background thread.
+
+        Args:
+            server: the logical server to expose.
+            host: bind address.
+            port: bind port; 0 picks a free ephemeral port.
+        """
+        self.server = server
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._stopping = threading.Event()
+        self._threads: list = []
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        session = self.server.create_session()
+        decoder = FrameDecoder()
+        try:
+            while not session.closed:
+                chunk = conn.recv(_RECV_CHUNK)
+                if not chunk:
+                    return
+                for frame in decoder.feed(chunk):
+                    for reply in session.handle_frame(frame):
+                        conn.sendall(encode_frame(reply))
+                    if session.closed:
+                        return
+        except OSError:
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener."""
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def connect_tcp(host: str, port: int, timeout: Optional[float] = 10.0) -> TcpTransport:
+    """Open a TCP connection to a ZLTP server and wrap it as a transport."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    return TcpTransport(sock, name=f"tcp:{host}:{port}")
+
+
+__all__ = ["TcpTransport", "ZltpTcpServer", "connect_tcp"]

@@ -1,0 +1,68 @@
+"""Length-prefixed framing for ZLTP messages.
+
+Every protocol message travels as one frame: a 4-byte little-endian length
+followed by the payload. Frames are capped so a malicious peer cannot force
+an unbounded allocation; the cap comfortably fits a code blob plus headers.
+
+The :class:`FrameDecoder` is a push parser — feed it whatever byte chunks
+the transport delivers and it yields complete frames — so the same code
+serves the in-memory transport, the network simulator, and real TCP sockets.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List
+
+from repro.errors import TransportError
+
+HEADER_BYTES = 4
+#: Generous cap: the largest legitimate frame is a code blob (~1 MiB in the
+#: paper's example) plus message framing.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap a message payload in a length-prefixed frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )
+    return struct.pack("<I", len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed bytes in, get complete frames out."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Append received bytes; return every frame completed by them.
+
+        Raises:
+            TransportError: on an oversized frame declaration (the stream is
+                unrecoverable at that point).
+        """
+        self._buffer.extend(chunk)
+        frames = []
+        while True:
+            if len(self._buffer) < HEADER_BYTES:
+                break
+            (length,) = struct.unpack_from("<I", self._buffer, 0)
+            if length > MAX_FRAME_BYTES:
+                raise TransportError(f"peer declared oversized frame ({length} bytes)")
+            if len(self._buffer) < HEADER_BYTES + length:
+                break
+            frame = bytes(self._buffer[HEADER_BYTES : HEADER_BYTES + length])
+            del self._buffer[: HEADER_BYTES + length]
+            frames.append(frame)
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+
+__all__ = ["encode_frame", "FrameDecoder", "HEADER_BYTES", "MAX_FRAME_BYTES"]

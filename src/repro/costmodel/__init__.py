@@ -1,0 +1,55 @@
+"""The paper's cost analytics: Table 2, §4 ("Who pays?") and §5.2.
+
+This package reproduces the paper's estimation *pipeline*: measure a small
+shard, scale to a full dataset deployment (many 1 GiB shards on c5.large
+instances, times two non-colluding servers), convert to dollars with AWS
+pricing, and derive per-user monthly costs and the Google-Fi comparison.
+
+Defaults are the paper's published constants, so the benchmarks can print
+the paper's own numbers; every estimator also accepts *measured* constants
+from our Python substrate so EXPERIMENTS.md can compare shapes.
+"""
+
+from repro.costmodel.aws import InstanceType, C5_LARGE
+from repro.costmodel.datasets import DatasetSpec, C4, WIKIPEDIA
+from repro.costmodel.estimator import (
+    ShardMicrobenchmark,
+    DeploymentEstimate,
+    estimate_deployment,
+    measure_shard,
+    PAPER_SHARD,
+)
+from repro.costmodel.billing import (
+    UserProfile,
+    monthly_user_cost,
+    fi_page_cost,
+    fi_bytes_cost,
+    zltp_vs_fi_ratio,
+    GOOGLE_FI_USD_PER_GIB,
+)
+from repro.costmodel.projection import projected_cost, CPU_COST_IMPROVEMENT_PER_5Y
+from repro.costmodel.capacity import FleetPlan, plan_fleet, peak_request_rate
+
+__all__ = [
+    "InstanceType",
+    "C5_LARGE",
+    "DatasetSpec",
+    "C4",
+    "WIKIPEDIA",
+    "ShardMicrobenchmark",
+    "DeploymentEstimate",
+    "estimate_deployment",
+    "measure_shard",
+    "PAPER_SHARD",
+    "UserProfile",
+    "monthly_user_cost",
+    "fi_page_cost",
+    "fi_bytes_cost",
+    "zltp_vs_fi_ratio",
+    "GOOGLE_FI_USD_PER_GIB",
+    "projected_cost",
+    "CPU_COST_IMPROVEMENT_PER_5Y",
+    "FleetPlan",
+    "plan_fleet",
+    "peak_request_rate",
+]

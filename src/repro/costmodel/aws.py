@@ -1,0 +1,61 @@
+"""AWS instance catalogue used by the paper's cost estimates.
+
+"We base request cost on the cost of an AWS c5.large instance" (Table 2
+caption): 2 vCPUs, 4 GiB of memory, $0.085 per hour (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One cloud instance type.
+
+    Attributes:
+        name: AWS name, e.g. ``"c5.large"``.
+        vcpus: virtual CPU count.
+        memory_gib: RAM in GiB.
+        hourly_usd: on-demand price per hour.
+    """
+
+    name: str
+    vcpus: int
+    memory_gib: float
+    hourly_usd: float
+
+    def __post_init__(self):
+        if self.vcpus < 1 or self.memory_gib <= 0 or self.hourly_usd <= 0:
+            raise ReproError(f"invalid instance spec {self.name!r}")
+
+    @property
+    def usd_per_machine_second(self) -> float:
+        """Dollars per second of whole-machine time."""
+        return self.hourly_usd / 3600.0
+
+    @property
+    def usd_per_vcpu_second(self) -> float:
+        """Dollars per vCPU-second."""
+        return self.hourly_usd / 3600.0 / self.vcpus
+
+    def machine_seconds_to_usd(self, seconds: float) -> float:
+        """Cost of occupying the whole machine for ``seconds``."""
+        return seconds * self.usd_per_machine_second
+
+    def vcpu_seconds_to_usd(self, vcpu_seconds: float) -> float:
+        """Cost of ``vcpu_seconds`` of core time."""
+        return vcpu_seconds * self.usd_per_vcpu_second
+
+
+#: The paper's benchmark machine (§5): "a c5.large instance with 2 vCPUs and
+#: 4 GiB of memory ... costs $0.085 per hour".
+C5_LARGE = InstanceType(name="c5.large", vcpus=2, memory_gib=4.0, hourly_usd=0.085)
+
+#: A larger instance, for the ablation sweeps.
+C5_4XLARGE = InstanceType(name="c5.4xlarge", vcpus=16, memory_gib=32.0, hourly_usd=0.68)
+
+
+__all__ = ["InstanceType", "C5_LARGE", "C5_4XLARGE"]

@@ -1,0 +1,108 @@
+"""User-facing economics: §4's monthly cost and §5.2's Fi comparison.
+
+"For users who make on average 50 daily page requests where each page
+request results in 5 GET requests for data blobs, we estimate that the
+monthly per-user cost for a universe of 360M data blobs with blob size at
+most 0.9 KiB each to be roughly $15 (comparable to the cost of a Netflix
+membership)."
+
+"Google Fi charges $10/GiB, and so the cost to load the 22.4 MiB New York
+Times homepage is $0.218 ... Loading data via ZLTP is roughly two orders of
+magnitude more expensive than the traditional web: loading 4 KiB (our ZLTP
+value size) costs $0.002 with ZLTP and $0.000038 with Google Fi."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.datasets import GIB, KIB
+from repro.errors import ReproError
+
+#: §5.2: "Google Fi charges $10/GiB".
+GOOGLE_FI_USD_PER_GIB = 10.0
+
+#: §5.2's reference page: "the 22.4 MiB New York Times homepage".
+NYT_HOMEPAGE_BYTES = int(22.4 * 1024 * 1024)
+
+DAYS_PER_MONTH = 30
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """A user's browsing intensity (§4's example values by default).
+
+    Attributes:
+        pages_per_day: page views per day (paper: 50).
+        gets_per_page: data GETs per page view — the universe's fixed fetch
+            budget (paper: 5).
+    """
+
+    pages_per_day: float = 50.0
+    gets_per_page: int = 5
+
+    def __post_init__(self):
+        if self.pages_per_day <= 0 or self.gets_per_page < 1:
+            raise ReproError("profile values must be positive")
+
+    @property
+    def gets_per_day(self) -> float:
+        """Data GETs per day (paper: 250)."""
+        return self.pages_per_day * self.gets_per_page
+
+    def gets_per_month(self, days: int = DAYS_PER_MONTH) -> float:
+        """Data GETs per month."""
+        return self.gets_per_day * days
+
+
+def monthly_user_cost(request_cost_usd: float,
+                      profile: UserProfile = UserProfile(),
+                      days: int = DAYS_PER_MONTH) -> float:
+    """§4's per-user monthly bill: GETs/month × system cost per GET.
+
+    With the paper's $0.002/request and the default profile this is
+    250 × 30 × $0.002 = $15 — "comparable to the cost of a Netflix
+    membership".
+    """
+    if request_cost_usd < 0:
+        raise ReproError("request cost cannot be negative")
+    return profile.gets_per_month(days) * request_cost_usd
+
+
+def fi_bytes_cost(n_bytes: float, usd_per_gib: float = GOOGLE_FI_USD_PER_GIB) -> float:
+    """Cost of moving ``n_bytes`` over Google Fi."""
+    if n_bytes < 0:
+        raise ReproError("byte count cannot be negative")
+    return (n_bytes / GIB) * usd_per_gib
+
+
+def fi_page_cost(page_bytes: int = NYT_HOMEPAGE_BYTES) -> float:
+    """§5.2's willingness-to-pay anchor: a media-rich page over Fi.
+
+    The default reproduces the paper's $0.218 for the NYT homepage.
+    """
+    return fi_bytes_cost(page_bytes)
+
+
+def zltp_vs_fi_ratio(zltp_request_cost_usd: float,
+                     value_bytes: int = 4 * KIB) -> float:
+    """How many times more a ZLTP fetch costs than the same bytes over Fi.
+
+    Paper: $0.002 / $0.000038 ≈ 52 — "roughly two orders of magnitude".
+    """
+    fi = fi_bytes_cost(value_bytes)
+    if fi <= 0:
+        raise ReproError("Fi cost must be positive")
+    return zltp_request_cost_usd / fi
+
+
+__all__ = [
+    "UserProfile",
+    "monthly_user_cost",
+    "fi_bytes_cost",
+    "fi_page_cost",
+    "zltp_vs_fi_ratio",
+    "GOOGLE_FI_USD_PER_GIB",
+    "NYT_HOMEPAGE_BYTES",
+    "DAYS_PER_MONTH",
+]

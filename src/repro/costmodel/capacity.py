@@ -1,0 +1,112 @@
+"""Fleet capacity planning: from user population to machine count.
+
+The paper prices a *single request* (Table 2) and a *single user* (§4);
+an operator also needs the third number: how many machines serve a user
+population at acceptable latency. This planner combines the paper's own
+building blocks — the per-shard request time (§5.1), the batching
+throughput curve (§5.1), the shard count (§5.2), and the two-server
+overhead — into a :class:`FleetPlan`.
+
+Model: a universe of ``n_shards`` is served by replicated *shard groups*;
+one group = ``2 x n_shards`` data servers (both parties) answering batched
+requests at the measured throughput. Groups scale horizontally: total
+request rate / per-group throughput, plus headroom.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.costmodel.aws import C5_LARGE, InstanceType
+from repro.costmodel.billing import UserProfile
+from repro.costmodel.datasets import DatasetSpec
+from repro.costmodel.estimator import N_SERVERS, PAPER_SHARD, ShardMicrobenchmark
+from repro.errors import ReproError
+from repro.pir.batching import BatchCostModel
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """A sized deployment for a user population.
+
+    Attributes:
+        n_users: population served.
+        request_rate_rps: aggregate data-GET rate (diurnal peak).
+        group_throughput_rps: batched requests/s one shard group sustains.
+        n_groups: replicated shard groups needed (with headroom).
+        n_machines: total data servers across parties and replicas.
+        monthly_machine_cost_usd: the fleet's raw EC2 bill.
+        per_user_monthly_usd: that bill amortised per user.
+        batch_latency_seconds: the latency the chosen batch size implies.
+    """
+
+    n_users: int
+    request_rate_rps: float
+    group_throughput_rps: float
+    n_groups: int
+    n_machines: int
+    monthly_machine_cost_usd: float
+    per_user_monthly_usd: float
+    batch_latency_seconds: float
+
+
+def peak_request_rate(n_users: int, profile: UserProfile,
+                      active_hours: float = 16.0,
+                      peak_factor: float = 2.0) -> float:
+    """Aggregate data-GET rate at the diurnal peak.
+
+    Users spread their GETs over ``active_hours`` a day; the peak hour
+    carries ``peak_factor`` times the active-hour average.
+    """
+    if n_users < 1:
+        raise ReproError("need at least one user")
+    if active_hours <= 0 or peak_factor < 1:
+        raise ReproError("active_hours must be positive, peak_factor >= 1")
+    per_user_rps = profile.gets_per_day / (active_hours * 3600)
+    return n_users * per_user_rps * peak_factor
+
+
+def plan_fleet(dataset: DatasetSpec, n_users: int,
+               profile: UserProfile = UserProfile(),
+               shard: ShardMicrobenchmark = PAPER_SHARD,
+               instance: InstanceType = C5_LARGE,
+               batch_size: int = 16,
+               headroom: float = 1.25,
+               active_hours: float = 16.0,
+               peak_factor: float = 2.0) -> FleetPlan:
+    """Size a deployment for a population (the operator's missing table).
+
+    With the paper's defaults a shard group is 2 x n_shards c5.large
+    machines sustaining ~6 req/s (the §5.1 batched throughput); groups
+    replicate until the population's peak GET rate fits with headroom.
+    """
+    if batch_size < 1 or headroom < 1:
+        raise ReproError("batch_size and headroom must be >= 1")
+    n_shards = dataset.n_shards(shard.shard_bytes)
+    # Per-group throughput: the batching curve, scaled from the paper's
+    # measured shard to the supplied one.
+    model = BatchCostModel(
+        amortized_seconds=shard.request_seconds,
+        unbatched_seconds=shard.request_seconds
+        * (0.51 / 0.167),  # keep the paper's unbatched/batched ratio
+    )
+    point = model.point(batch_size)
+    rate = peak_request_rate(n_users, profile, active_hours, peak_factor)
+    n_groups = max(1, math.ceil(rate * headroom / point.throughput_rps))
+    n_machines = n_groups * N_SERVERS * n_shards
+    hours_per_month = 24 * 30
+    monthly_cost = n_machines * instance.hourly_usd * hours_per_month
+    return FleetPlan(
+        n_users=n_users,
+        request_rate_rps=rate,
+        group_throughput_rps=point.throughput_rps,
+        n_groups=n_groups,
+        n_machines=n_machines,
+        monthly_machine_cost_usd=monthly_cost,
+        per_user_monthly_usd=monthly_cost / n_users,
+        batch_latency_seconds=point.latency_seconds,
+    )
+
+
+__all__ = ["FleetPlan", "plan_fleet", "peak_request_rate"]

@@ -1,0 +1,91 @@
+"""Dataset descriptors for the scaling estimates (Table 2).
+
+"We use the C4 dataset, a cleaned version of the common crawl, to
+approximate the contents of lightweb. ... The C4 dataset is roughly 305 GiB
+compressed, contains 360M pages, and the average compressed page size is
+roughly 0.9 KiB." Table 2 adds Wikipedia: 21 GiB, 60M pages, 0.4 KiB.
+
+We cannot download either dataset here (no network); only these aggregate
+statistics enter the paper's evaluation, and
+:mod:`repro.workloads.corpus` generates synthetic corpora matching them for
+the functional experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+GIB = 1024**3
+KIB = 1024
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Aggregate statistics of a lightweb-scale corpus.
+
+    Attributes:
+        name: dataset label.
+        total_bytes: compressed corpus size.
+        n_pages: page count.
+        avg_page_bytes: average compressed page size.
+    """
+
+    name: str
+    total_bytes: int
+    n_pages: int
+    avg_page_bytes: float
+
+    def __post_init__(self):
+        if self.total_bytes <= 0 or self.n_pages <= 0 or self.avg_page_bytes <= 0:
+            raise ReproError(f"invalid dataset spec {self.name!r}")
+
+    @property
+    def total_gib(self) -> float:
+        """Corpus size in GiB."""
+        return self.total_bytes / GIB
+
+    def n_shards(self, shard_bytes: int = GIB) -> int:
+        """Shards needed at a given per-server shard size (§5.2: 1 GiB)."""
+        return max(1, math.ceil(self.total_bytes / shard_bytes))
+
+    def pages_per_shard(self, shard_bytes: int = GIB) -> int:
+        """Average pages held by one shard."""
+        return max(1, round(self.n_pages / self.n_shards(shard_bytes)))
+
+    def suggested_domain_bits(self, shard_bytes: int = GIB,
+                              max_collision_prob: float = 0.25) -> int:
+        """Per-shard DPF domain sized by the §5.1 collision rule.
+
+        The paper rounds the per-shard page count to the nearest power of
+        two ("roughly 2^20 key-value pairs ... with 1 GiB of storage and an
+        average value size of 0.9 KiB") before applying the n/D <= 1/4
+        rule, yielding 2^22 for C4; we follow the same rounding.
+        """
+        from repro.crypto.hashing import domain_bits_for
+
+        pages = self.pages_per_shard(shard_bytes)
+        rounded = 1 << round(math.log2(pages))
+        return domain_bits_for(rounded, max_collision_prob)
+
+
+#: §5 "Dataset": the C4 cleaned common crawl.
+C4 = DatasetSpec(
+    name="C4",
+    total_bytes=305 * GIB,
+    n_pages=360_000_000,
+    avg_page_bytes=0.9 * KIB,
+)
+
+#: Table 2's second row.
+WIKIPEDIA = DatasetSpec(
+    name="Wikipedia",
+    total_bytes=21 * GIB,
+    n_pages=60_000_000,
+    avg_page_bytes=0.4 * KIB,
+)
+
+
+__all__ = ["DatasetSpec", "C4", "WIKIPEDIA", "GIB", "KIB"]

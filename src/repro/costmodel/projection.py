@@ -1,0 +1,58 @@
+"""The "Looking forward" cost projection (§5.2).
+
+"In 2003, $1 bought 8 CPU hours, and in 2008, $1 bought 128 CPU hours
+(adjusted for inflation), a 16x increase. This change suggests that in 5
+years, we could potentially see the dollar cost of a ZLTP request drop by
+an order of magnitude."
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+#: The paper's observed 2003→2008 improvement: 16× per 5 years.
+CPU_COST_IMPROVEMENT_PER_5Y = 16.0
+
+#: The historical anchor points the paper cites.
+CPU_HOURS_PER_DOLLAR_2003 = 8.0
+CPU_HOURS_PER_DOLLAR_2008 = 128.0
+
+
+def projected_cost(current_cost_usd: float, years: float,
+                   improvement_per_5y: float = CPU_COST_IMPROVEMENT_PER_5Y) -> float:
+    """Project a compute-bound cost ``years`` into the future.
+
+    Args:
+        current_cost_usd: today's cost.
+        years: horizon (5 reproduces the paper's order-of-magnitude claim).
+        improvement_per_5y: cost-improvement factor per 5 years.
+
+    Returns:
+        The projected cost.
+    """
+    if current_cost_usd < 0:
+        raise ReproError("cost cannot be negative")
+    if improvement_per_5y <= 1:
+        raise ReproError("improvement factor must exceed 1")
+    return current_cost_usd / (improvement_per_5y ** (years / 5.0))
+
+
+def years_until_cost(current_cost_usd: float, target_cost_usd: float,
+                     improvement_per_5y: float = CPU_COST_IMPROVEMENT_PER_5Y) -> float:
+    """How long until a compute cost falls to a target."""
+    import math
+
+    if current_cost_usd <= 0 or target_cost_usd <= 0:
+        raise ReproError("costs must be positive")
+    if target_cost_usd >= current_cost_usd:
+        return 0.0
+    return 5.0 * math.log(current_cost_usd / target_cost_usd) / math.log(improvement_per_5y)
+
+
+__all__ = [
+    "projected_cost",
+    "years_until_cost",
+    "CPU_COST_IMPROVEMENT_PER_5Y",
+    "CPU_HOURS_PER_DOLLAR_2003",
+    "CPU_HOURS_PER_DOLLAR_2008",
+]

@@ -1,0 +1,125 @@
+"""Authenticated encryption for access-controlled lightweb content (§3.3).
+
+"To solve this problem, the CDN can simply store an encryption of the data.
+When the client makes an account with the publisher outside of lightweb, it
+obtains cryptographic key(s) that it can use to decrypt data for that
+publisher that correspond to its permissions."
+
+The construction is encrypt-then-MAC: ChaCha20 for confidentiality, keyed
+BLAKE2b for integrity, with independent subkeys derived from the single
+32-byte account key. Ciphertexts are exactly ``NONCE_BYTES + len(plaintext)
++ TAG_BYTES`` long — a fixed expansion, which matters because every lightweb
+data blob must stay within the universe's fixed blob size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+
+import numpy as np
+
+from repro.crypto.chacha import chacha20_stream
+from repro.errors import CryptoError, IntegrityError
+
+KEY_BYTES = 32
+NONCE_BYTES = 12
+TAG_BYTES = 16
+
+#: Total ciphertext expansion over the plaintext, in bytes.
+OVERHEAD_BYTES = NONCE_BYTES + TAG_BYTES
+
+
+def generate_key(rng_bytes: bytes = b"") -> bytes:
+    """Return a fresh 32-byte key (deterministic if ``rng_bytes`` given)."""
+    if rng_bytes:
+        return hashlib.blake2b(rng_bytes, digest_size=KEY_BYTES).digest()
+    return os.urandom(KEY_BYTES)
+
+
+def _subkeys(key: bytes) -> tuple:
+    """Derive independent (encryption, MAC) subkeys from the account key."""
+    if len(key) != KEY_BYTES:
+        raise CryptoError(f"key must be {KEY_BYTES} bytes, got {len(key)}")
+    enc = hashlib.blake2b(key, digest_size=KEY_BYTES, person=b"lw-aead-enc").digest()
+    mac = hashlib.blake2b(key, digest_size=KEY_BYTES, person=b"lw-aead-mac").digest()
+    return enc, mac
+
+
+def _nonce_words(nonce: bytes) -> tuple:
+    return tuple(int.from_bytes(nonce[i : i + 4], "little") for i in (0, 4, 8))
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    if not data:
+        return b""
+    a = np.frombuffer(data, dtype=np.uint8)
+    b = np.frombuffer(stream, dtype=np.uint8)
+    return (a ^ b).tobytes()
+
+
+def _tag(mac_key: bytes, nonce: bytes, ciphertext: bytes, aad: bytes) -> bytes:
+    h = hashlib.blake2b(digest_size=TAG_BYTES, key=mac_key)
+    h.update(len(aad).to_bytes(8, "little"))
+    h.update(aad)
+    h.update(nonce)
+    h.update(ciphertext)
+    return h.digest()
+
+
+def seal(key: bytes, plaintext: bytes, aad: bytes = b"", nonce: bytes = b"") -> bytes:
+    """Encrypt and authenticate ``plaintext``.
+
+    Args:
+        key: 32-byte account key.
+        plaintext: the data blob contents.
+        aad: associated data bound into the tag but not encrypted — lightweb
+            binds the blob's path here so a malicious CDN cannot swap blobs
+            between paths undetected.
+        nonce: optional explicit 12-byte nonce (random if omitted).
+
+    Returns:
+        ``nonce || ciphertext || tag``.
+    """
+    enc_key, mac_key = _subkeys(key)
+    if not nonce:
+        nonce = os.urandom(NONCE_BYTES)
+    if len(nonce) != NONCE_BYTES:
+        raise CryptoError(f"nonce must be {NONCE_BYTES} bytes")
+    stream = chacha20_stream(enc_key, _nonce_words(nonce), len(plaintext))
+    ciphertext = _xor(plaintext, stream)
+    tag = _tag(mac_key, nonce, ciphertext, aad)
+    return nonce + ciphertext + tag
+
+
+def open_sealed(key: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """Verify and decrypt a sealed blob.
+
+    Raises:
+        IntegrityError: if the tag does not verify (wrong key, wrong aad, or
+            tampered ciphertext) — the §3.3 revocation path: a client holding
+            a rotated-out key simply fails here.
+    """
+    enc_key, mac_key = _subkeys(key)
+    if len(sealed) < OVERHEAD_BYTES:
+        raise IntegrityError("sealed blob shorter than nonce + tag")
+    nonce = sealed[:NONCE_BYTES]
+    ciphertext = sealed[NONCE_BYTES:-TAG_BYTES]
+    tag = sealed[-TAG_BYTES:]
+    expected = _tag(mac_key, nonce, ciphertext, aad)
+    if not hmac.compare_digest(tag, expected):
+        raise IntegrityError("authentication tag mismatch")
+    stream = chacha20_stream(enc_key, _nonce_words(nonce), len(ciphertext))
+    return _xor(ciphertext, stream)
+
+
+__all__ = [
+    "seal",
+    "open_sealed",
+    "generate_key",
+    "KEY_BYTES",
+    "NONCE_BYTES",
+    "TAG_BYTES",
+    "OVERHEAD_BYTES",
+]

@@ -1,0 +1,171 @@
+"""Cuckoo hashing — the paper's suggested collision mitigation (§5.1).
+
+"We could decrease this probability by increasing the DPF output domain or by
+using cuckoo hashing and probing several locations per request."
+
+A :class:`CuckooTable` places each key at one of ``n_hashes`` candidate slots
+(computed with :class:`~repro.crypto.hashing.KeyedHash` probes), evicting
+residents along a random walk when all candidates are full. A keyword-PIR
+client built on it (see :mod:`repro.pir.keyword`) issues one private-GET per
+probe location, so lookups stay oblivious while eliminating insertion
+failures at load factors far beyond what a single-hash table tolerates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.hashing import KeyedHash
+from repro.errors import CapacityError, CollisionError, CryptoError
+
+
+class CuckooTable:
+    """A cuckoo hash table mapping string keys to slots in a power-of-two domain.
+
+    The table stores only the key-to-slot *placement*; the blobs themselves
+    live in the PIR database at the chosen slots. ``n_hashes=1`` degenerates
+    to the paper's baseline single-hash placement (useful for comparing
+    failure rates in benchmark E8).
+    """
+
+    def __init__(
+        self,
+        domain_bits: int,
+        n_hashes: int = 2,
+        salt: bytes = b"",
+        max_evictions: int = 500,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Create an empty table over ``2**domain_bits`` slots."""
+        if n_hashes < 1:
+            raise CryptoError("n_hashes must be at least 1")
+        self.domain_bits = domain_bits
+        self.n_hashes = n_hashes
+        self.hash = KeyedHash(domain_bits, salt)
+        self.max_evictions = max_evictions
+        self._rng = rng if rng is not None else np.random.default_rng(0xC0C0)
+        self._slot_to_key: Dict[int, str] = {}
+        self._key_to_slot: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._key_to_slot)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._key_to_slot
+
+    @property
+    def load_factor(self) -> float:
+        """Fraction of the domain currently occupied."""
+        return len(self) / self.hash.domain_size
+
+    def candidates(self, key: str) -> List[int]:
+        """The ``n_hashes`` slots where ``key`` may legally live.
+
+        A keyword-PIR client privately probes exactly these locations.
+        """
+        return [self.hash.slot(key, probe=i) for i in range(self.n_hashes)]
+
+    def slot_of(self, key: str) -> int:
+        """Return the slot where ``key`` was placed.
+
+        Raises:
+            KeyError: if the key is not in the table.
+        """
+        return self._key_to_slot[key]
+
+    def insert(self, key: str) -> int:
+        """Place ``key``, evicting residents if needed; return its slot.
+
+        Raises:
+            CollisionError: if ``n_hashes == 1`` and the single slot is
+                occupied by a different key (the paper's "select another key
+                name" case).
+            CapacityError: if the eviction walk exceeds ``max_evictions``.
+        """
+        if key in self._key_to_slot:
+            return self._key_to_slot[key]
+        if self.n_hashes == 1:
+            slot = self.hash.slot(key, probe=0)
+            resident = self._slot_to_key.get(slot)
+            if resident is not None:
+                raise CollisionError(
+                    f"slot {slot} already holds {resident!r}; "
+                    "single-hash placement cannot resolve this"
+                )
+            self._place(key, slot)
+            return slot
+
+        current = key
+        for _ in range(self.max_evictions):
+            free = [s for s in self.candidates(current) if s not in self._slot_to_key]
+            if free:
+                slot = free[0]
+                self._place(current, slot)
+                return self._key_to_slot[key]
+            # All candidates full: evict a random resident and retry with it.
+            slots = self.candidates(current)
+            victim_slot = slots[int(self._rng.integers(0, len(slots)))]
+            victim = self._slot_to_key[victim_slot]
+            self._unplace(victim, victim_slot)
+            self._place(current, victim_slot)
+            current = victim
+        raise CapacityError(
+            f"cuckoo eviction walk exceeded {self.max_evictions} steps "
+            f"at load factor {self.load_factor:.3f}"
+        )
+
+    def remove(self, key: str) -> None:
+        """Remove ``key`` from the table."""
+        slot = self._key_to_slot.pop(key)
+        del self._slot_to_key[slot]
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        """Iterate over ``(key, slot)`` placements."""
+        return self._key_to_slot.items()
+
+    def _place(self, key: str, slot: int) -> None:
+        self._slot_to_key[slot] = key
+        self._key_to_slot[key] = slot
+
+    def _unplace(self, key: str, slot: int) -> None:
+        del self._slot_to_key[slot]
+        del self._key_to_slot[key]
+
+
+def build_table(
+    keys: Iterable[str],
+    domain_bits: int,
+    n_hashes: int = 2,
+    max_rebuilds: int = 8,
+    salt: bytes = b"",
+) -> CuckooTable:
+    """Build a table over ``keys``, re-salting and retrying on failure.
+
+    Returns:
+        A fully populated :class:`CuckooTable`.
+
+    Raises:
+        CapacityError: if no build succeeds within ``max_rebuilds`` salts.
+    """
+    keys = list(keys)
+    for attempt in range(max_rebuilds):
+        table = CuckooTable(
+            domain_bits,
+            n_hashes=n_hashes,
+            salt=salt + attempt.to_bytes(4, "little"),
+        )
+        try:
+            for key in keys:
+                table.insert(key)
+            return table
+        except (CollisionError, CapacityError):
+            continue
+    raise CapacityError(
+        f"could not build cuckoo table for {len(keys)} keys in 2^{domain_bits} "
+        f"slots after {max_rebuilds} rebuilds"
+    )
+
+
+__all__ = ["CuckooTable", "build_table"]

@@ -1,0 +1,312 @@
+"""Two-party distributed point functions (Boyle-Gilboa-Ishai, CCS 2016).
+
+This is the cryptographic core of the paper's prototype: "We use Google's
+distributed point function library for two-server private information
+retrieval" (§5). A DPF lets a dealer split the point function
+
+    f_{alpha,beta}(x) = beta if x == alpha else 0
+
+into two keys such that each key alone reveals nothing about ``alpha`` or
+``beta``, yet the two parties' evaluations XOR to ``f(x)`` at every point.
+For PIR, the client deals keys for ``beta = 1``; each server expands its key
+over the whole database index domain (``eval_dpf_full``) and XORs together
+the records selected by its share bits. The two servers' answers XOR to
+exactly the record at ``alpha`` — and each server saw only a pseudorandom
+bit vector.
+
+Two output flavours are provided:
+
+- **bit output** (``value=None``): the natural GF(2) sharing where the leaf
+  control bits themselves share the indicator function. This is what the PIR
+  scan consumes and matches the cost model of §5.1.
+- **block output** (``value=bytes``): a byte-string under XOR, via a final
+  correction word. Used by the private-aggregation substrate and anywhere a
+  full value (not just a selector) must be shared.
+
+Key size matches the paper's formula: "(λ+2)·d where λ is the security
+parameter (λ=128) and 2^d is the size of the output domain" (§5.1) — see
+:func:`dpf_key_bits`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.crypto import prg
+from repro.crypto.prg import (
+    SEED_BYTES,
+    convert_seeds,
+    expand_seeds,
+    random_seed,
+)
+from repro.errors import CryptoError
+
+#: The security parameter λ of §5.1 — the seed length in bits.
+LAMBDA_BITS = 128
+
+MAX_DOMAIN_BITS = 30
+
+
+def dpf_key_bits(domain_bits: int, lam: int = LAMBDA_BITS) -> int:
+    """Theoretical DPF key size in bits: the paper's (λ+2)·d formula (§5.1)."""
+    if domain_bits <= 0:
+        raise CryptoError("domain_bits must be positive")
+    return (lam + 2) * domain_bits
+
+
+@dataclass
+class DpfKey:
+    """One party's share of a distributed point function.
+
+    Attributes:
+        party: 0 or 1 — which of the two servers this key belongs to.
+        domain_bits: d; the key evaluates points in ``[0, 2**d)``.
+        root_seed: ``(4,)`` uint32 — the party's level-0 seed.
+        cw_seeds: ``(d, 4)`` uint32 — per-level seed correction words.
+        cw_t_left: ``(d,)`` uint8 — per-level left control-bit corrections.
+        cw_t_right: ``(d,)`` uint8 — per-level right control-bit corrections.
+        out_bytes: output block length; 0 means bit-output mode.
+        cw_final: ``(out_bytes,)`` uint8 final correction word, or None in
+            bit-output mode.
+    """
+
+    party: int
+    domain_bits: int
+    root_seed: np.ndarray
+    cw_seeds: np.ndarray
+    cw_t_left: np.ndarray
+    cw_t_right: np.ndarray
+    out_bytes: int = 0
+    cw_final: Optional[np.ndarray] = None
+
+    @property
+    def domain_size(self) -> int:
+        """Number of points in the key's domain, 2**domain_bits."""
+        return 1 << self.domain_bits
+
+    def size_bytes(self) -> int:
+        """Serialised key size in bytes."""
+        return len(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        """Serialise the key to its wire form."""
+        header = struct.pack("<BBI", self.party, self.domain_bits, self.out_bytes)
+        body = [header, prg.seed_words_to_bytes(self.root_seed)]
+        for level in range(self.domain_bits):
+            body.append(prg.seed_words_to_bytes(self.cw_seeds[level]))
+            packed = (int(self.cw_t_left[level]) & 1) | ((int(self.cw_t_right[level]) & 1) << 1)
+            body.append(bytes([packed]))
+        if self.out_bytes:
+            body.append(self.cw_final.astype(np.uint8).tobytes())
+        return b"".join(body)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DpfKey":
+        """Parse a key from its wire form, validating structure."""
+        if len(raw) < 6 + SEED_BYTES:
+            raise CryptoError("DPF key too short")
+        party, domain_bits, out_bytes = struct.unpack_from("<BBI", raw, 0)
+        if party not in (0, 1):
+            raise CryptoError(f"invalid DPF party {party}")
+        if not 1 <= domain_bits <= MAX_DOMAIN_BITS:
+            raise CryptoError(f"invalid domain_bits {domain_bits}")
+        offset = 6
+        expected = offset + SEED_BYTES + domain_bits * (SEED_BYTES + 1) + out_bytes
+        if len(raw) != expected:
+            raise CryptoError(
+                f"DPF key length mismatch: got {len(raw)}, expected {expected}"
+            )
+        root_seed = prg.seed_bytes_to_words(raw[offset : offset + SEED_BYTES])
+        offset += SEED_BYTES
+        cw_seeds = np.empty((domain_bits, 4), dtype=np.uint32)
+        cw_tl = np.empty(domain_bits, dtype=np.uint8)
+        cw_tr = np.empty(domain_bits, dtype=np.uint8)
+        for level in range(domain_bits):
+            cw_seeds[level] = prg.seed_bytes_to_words(raw[offset : offset + SEED_BYTES])
+            offset += SEED_BYTES
+            packed = raw[offset]
+            offset += 1
+            cw_tl[level] = packed & 1
+            cw_tr[level] = (packed >> 1) & 1
+        cw_final = None
+        if out_bytes:
+            cw_final = np.frombuffer(raw[offset:], dtype=np.uint8).copy()
+        return cls(
+            party=party,
+            domain_bits=domain_bits,
+            root_seed=root_seed,
+            cw_seeds=cw_seeds,
+            cw_t_left=cw_tl,
+            cw_t_right=cw_tr,
+            out_bytes=out_bytes,
+            cw_final=cw_final,
+        )
+
+
+def gen_dpf(
+    alpha: int,
+    domain_bits: int,
+    value: Optional[bytes] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[DpfKey, DpfKey]:
+    """Deal a pair of DPF keys for the point function at ``alpha``.
+
+    Args:
+        alpha: the distinguished point, in ``[0, 2**domain_bits)``.
+        domain_bits: d, the depth of the evaluation tree.
+        value: the non-zero output ``beta`` as a byte string, or None for the
+            bit-output mode (``beta = 1`` in GF(2)).
+        rng: optional deterministic randomness source (for tests).
+
+    Returns:
+        ``(key0, key1)`` — one key per server.
+    """
+    if not 1 <= domain_bits <= MAX_DOMAIN_BITS:
+        raise CryptoError(f"domain_bits must be in [1, {MAX_DOMAIN_BITS}]")
+    if not 0 <= alpha < (1 << domain_bits):
+        raise CryptoError(f"alpha {alpha} out of domain [0, 2^{domain_bits})")
+    if value is not None and len(value) == 0:
+        raise CryptoError("value must be non-empty (or None for bit output)")
+
+    seeds = np.stack([random_seed(rng), random_seed(rng)])  # (2, 4)
+    t_bits = np.array([0, 1], dtype=np.uint8)
+
+    cw_seeds = np.empty((domain_bits, 4), dtype=np.uint32)
+    cw_tl = np.empty(domain_bits, dtype=np.uint8)
+    cw_tr = np.empty(domain_bits, dtype=np.uint8)
+    root_seeds = (seeds[0].copy(), seeds[1].copy())
+
+    for level in range(domain_bits):
+        bit = (alpha >> (domain_bits - 1 - level)) & 1
+        left, right, tl, tr = expand_seeds(seeds)
+        keep_seed, lose_seed = (right, left) if bit else (left, right)
+        keep_t = tr if bit else tl
+
+        seed_cw = lose_seed[0] ^ lose_seed[1]
+        tl_cw = np.uint8(tl[0] ^ tl[1] ^ bit ^ 1)
+        tr_cw = np.uint8(tr[0] ^ tr[1] ^ bit)
+        cw_seeds[level] = seed_cw
+        cw_tl[level] = tl_cw
+        cw_tr[level] = tr_cw
+
+        t_cw_keep = tr_cw if bit else tl_cw
+        new_seeds = keep_seed.copy()
+        new_t = keep_t.copy()
+        for b in (0, 1):
+            if t_bits[b]:
+                new_seeds[b] ^= seed_cw
+                new_t[b] ^= t_cw_keep
+        seeds = new_seeds
+        t_bits = new_t
+
+    out_bytes = 0
+    cw_final = None
+    if value is not None:
+        out_bytes = len(value)
+        conv = convert_seeds(seeds, out_bytes)
+        target = np.frombuffer(value, dtype=np.uint8)
+        cw_final = conv[0] ^ conv[1] ^ target
+
+    keys = []
+    for b in (0, 1):
+        keys.append(
+            DpfKey(
+                party=b,
+                domain_bits=domain_bits,
+                root_seed=root_seeds[b],
+                cw_seeds=cw_seeds.copy(),
+                cw_t_left=cw_tl.copy(),
+                cw_t_right=cw_tr.copy(),
+                out_bytes=out_bytes,
+                cw_final=None if cw_final is None else cw_final.copy(),
+            )
+        )
+    return keys[0], keys[1]
+
+
+def _walk(key: DpfKey, x: int) -> Tuple[np.ndarray, int]:
+    """Walk the evaluation tree to leaf ``x``; return (seed, control bit)."""
+    if not 0 <= x < key.domain_size:
+        raise CryptoError(f"point {x} out of domain [0, {key.domain_size})")
+    seed = key.root_seed.reshape(1, 4)
+    t = int(key.party)
+    for level in range(key.domain_bits):
+        bit = (x >> (key.domain_bits - 1 - level)) & 1
+        left, right, tl, tr = expand_seeds(seed)
+        child_seed = right[0] if bit else left[0]
+        child_t = int(tr[0]) if bit else int(tl[0])
+        if t:
+            child_seed = child_seed ^ key.cw_seeds[level]
+            child_t ^= int(key.cw_t_right[level]) if bit else int(key.cw_t_left[level])
+        seed = child_seed.reshape(1, 4)
+        t = child_t
+    return seed, t
+
+
+def eval_dpf(key: DpfKey, x: int):
+    """Evaluate one party's share at a single point.
+
+    Returns:
+        In bit-output mode, a Python int (0/1): the party's GF(2) share of
+        the indicator ``x == alpha``. In block-output mode, a byte string:
+        the party's XOR share of the value at ``x``.
+    """
+    seed, t = _walk(key, x)
+    if key.out_bytes == 0:
+        return t
+    share = convert_seeds(seed, key.out_bytes)[0]
+    if t:
+        share = share ^ key.cw_final
+    return share.tobytes()
+
+
+def eval_dpf_full(key: DpfKey) -> np.ndarray:
+    """Evaluate one party's share at every point of the domain.
+
+    This is the server-side operation of §5.1: a full tree expansion whose
+    cost is linear in the domain size (the "DPF evaluation" part of the
+    167 ms per-request budget).
+
+    Returns:
+        In bit-output mode, a ``(2**d,)`` uint8 array of share bits. In
+        block-output mode, a ``(2**d, out_bytes)`` uint8 array of XOR value
+        shares.
+    """
+    seeds = key.root_seed.reshape(1, 4).copy()
+    t_bits = np.array([key.party], dtype=np.uint8)
+    for level in range(key.domain_bits):
+        left, right, tl, tr = expand_seeds(seeds)
+        mask = t_bits.astype(bool)
+        if mask.any():
+            left[mask] ^= key.cw_seeds[level]
+            right[mask] ^= key.cw_seeds[level]
+            tl[mask] ^= key.cw_t_left[level]
+            tr[mask] ^= key.cw_t_right[level]
+        n = seeds.shape[0]
+        seeds = np.empty((2 * n, 4), dtype=np.uint32)
+        seeds[0::2] = left
+        seeds[1::2] = right
+        t_bits = np.empty(2 * n, dtype=np.uint8)
+        t_bits[0::2] = tl
+        t_bits[1::2] = tr
+    if key.out_bytes == 0:
+        return t_bits
+    shares = convert_seeds(seeds, key.out_bytes)
+    mask = t_bits.astype(bool)
+    shares[mask] ^= key.cw_final
+    return shares
+
+
+__all__ = [
+    "DpfKey",
+    "gen_dpf",
+    "eval_dpf",
+    "eval_dpf_full",
+    "dpf_key_bits",
+    "LAMBDA_BITS",
+    "MAX_DOMAIN_BITS",
+]

@@ -1,0 +1,133 @@
+"""Keyed hashing of lightweb paths into the DPF output domain.
+
+ZLTP is a *keyword* PIR system: clients ask for string keys such as
+``nytimes.com/world/africa/2023/06/headlines.json``, but the DPF machinery
+retrieves *indices* in a domain of size 2^d. The bridge is a public keyed
+hash that both publisher (at upload time) and client (at query time) apply to
+the key string.
+
+§5.1 analyses the resulting collisions: "By setting the output domain to size
+2^22, we guarantee that if there are roughly 2^20 key-value pairs ... the
+probability of collision is at most 1/4 when the ZLTP server is almost at
+capacity (if this happens, then the publisher can simply select another key
+name)." That is a statement about the chance that a *newly inserted* key
+lands on an occupied slot — :func:`collision_probability` computes it, and
+benchmark E8 verifies both the bound and its Monte-Carlo estimate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.errors import CryptoError
+
+
+class KeyedHash:
+    """A keyed hash from strings into ``[0, 2**domain_bits)``.
+
+    The salt plays the role of the per-universe hash key: publishers and
+    clients within one universe share it, so both sides map a path to the
+    same slot, while different universes (or a re-hash after a failed cuckoo
+    build) get independent mappings.
+    """
+
+    def __init__(self, domain_bits: int, salt: bytes = b""):
+        """Create a hash into a ``2**domain_bits``-slot domain."""
+        if not 1 <= domain_bits <= 63:
+            raise CryptoError(f"domain_bits must be in [1, 63], got {domain_bits}")
+        self.domain_bits = domain_bits
+        self.salt = salt
+
+    @property
+    def domain_size(self) -> int:
+        """Number of slots, 2**domain_bits."""
+        return 1 << self.domain_bits
+
+    def slot(self, key: str, probe: int = 0) -> int:
+        """Map ``key`` to a slot index.
+
+        Args:
+            key: the lookup string (a lightweb path).
+            probe: probe number, for multi-hash schemes such as cuckoo
+                hashing; probe 0 is the primary location.
+
+        Returns:
+            An integer in ``[0, 2**domain_bits)``.
+        """
+        h = hashlib.blake2b(
+            key.encode("utf-8"),
+            digest_size=8,
+            key=self.salt[:64],
+            person=b"zltp-slot",
+            salt=probe.to_bytes(8, "little"),
+        )
+        return int.from_bytes(h.digest(), "little") % self.domain_size
+
+    def rekeyed(self, extra_salt: bytes) -> "KeyedHash":
+        """Return an independent hash over the same domain (for rebuilds)."""
+        return KeyedHash(self.domain_bits, self.salt + extra_salt)
+
+
+def collision_probability(n_existing: int, domain_bits: int, exact: bool = False) -> float:
+    """Probability that a newly inserted key collides with an existing one.
+
+    This is the §5.1 quantity: with ``n_existing = 2**20`` keys already in a
+    ``2**22``-slot domain, the bound is 1/4.
+
+    Args:
+        n_existing: keys already stored.
+        domain_bits: log2 of the domain size.
+        exact: if True, return ``1 - (1 - 1/D)**n`` (occupied-slot-count
+            aware); otherwise the simple union bound ``min(1, n/D)`` the
+            paper quotes.
+
+    Returns:
+        A probability in [0, 1].
+    """
+    if n_existing < 0:
+        raise CryptoError("n_existing must be non-negative")
+    domain = 1 << domain_bits
+    if exact:
+        return 1.0 - math.exp(n_existing * math.log1p(-1.0 / domain))
+    return min(1.0, n_existing / domain)
+
+
+def any_collision_probability(n_keys: int, domain_bits: int) -> float:
+    """Birthday bound: probability that *any* two of ``n_keys`` collide.
+
+    Useful context for E8 — with 2^20 keys in a 2^22 domain *some* pair
+    collides almost surely, which is exactly why the paper frames the
+    guarantee per-insertion and lets the publisher "simply select another
+    key name" (or why cuckoo hashing helps).
+    """
+    if n_keys < 2:
+        return 0.0
+    domain = 1 << domain_bits
+    exponent = -n_keys * (n_keys - 1) / (2.0 * domain)
+    return 1.0 - math.exp(exponent)
+
+
+def domain_bits_for(n_keys: int, max_collision_prob: float) -> int:
+    """Smallest ``domain_bits`` keeping per-insert collisions below a target.
+
+    Inverts the paper's sizing rule: 2^20 keys with target 1/4 gives d=22.
+    """
+    if not 0 < max_collision_prob <= 1:
+        raise CryptoError("max_collision_prob must be in (0, 1]")
+    if n_keys <= 0:
+        raise CryptoError("n_keys must be positive")
+    bits = 1
+    while collision_probability(n_keys, bits) > max_collision_prob:
+        bits += 1
+        if bits > 63:
+            raise CryptoError("no domain up to 2^63 satisfies the target")
+    return bits
+
+
+__all__ = [
+    "KeyedHash",
+    "collision_probability",
+    "any_collision_probability",
+    "domain_bits_for",
+]

@@ -1,0 +1,174 @@
+"""Publisher key management: rotation and broadcast-style revocation (§3.3).
+
+Two mechanisms from the paper:
+
+- **Key rotation** — "The publisher can periodically rotate keys in order to
+  revoke users' access as necessary, and clients can query the publisher
+  periodically for updated keys." :class:`PublisherKeychain` tracks key
+  epochs and derives per-path content keys from each epoch key.
+
+- **Broadcast encryption** — "The publisher could also use broadcast
+  encryption to allow clients to update their keys based on membership
+  changes [25, 41]." :class:`BroadcastKeyTree` implements the complete-
+  subtree method of Naor-Naor-Lotspiech: users sit at the leaves of a binary
+  tree of independent node keys and hold the O(log n) keys on their own
+  path; to distribute a new epoch key while excluding a revoked set, the
+  publisher encrypts it under the minimal subtree cover containing no
+  revoked leaf. Revoked users hold no key in the cover and cannot recover
+  the epoch key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.crypto import aead
+from repro.errors import AccessError, CryptoError
+
+
+def _derive(key: bytes, label: bytes) -> bytes:
+    """Derive a 32-byte subkey bound to ``label``."""
+    return hashlib.blake2b(label, digest_size=32, key=key).digest()
+
+
+@dataclass(frozen=True)
+class KeyEpoch:
+    """One epoch of a publisher's content key.
+
+    Attributes:
+        epoch: monotonically increasing epoch counter.
+        key: the 32-byte epoch master key.
+    """
+
+    epoch: int
+    key: bytes
+
+    def path_key(self, path: str) -> bytes:
+        """Derive the content key used to seal blobs at ``path``."""
+        return _derive(self.key, b"path:" + path.encode("utf-8"))
+
+
+class PublisherKeychain:
+    """A publisher's rotating chain of content-key epochs.
+
+    The publisher seals blobs under the *current* epoch; clients that have
+    refreshed recently decrypt with it, clients holding only older epochs
+    fail with :class:`~repro.errors.IntegrityError` — which is exactly the
+    paper's revocation semantics.
+    """
+
+    def __init__(self, master_secret: bytes):
+        if len(master_secret) < 16:
+            raise CryptoError("master secret must be at least 16 bytes")
+        self._master = hashlib.blake2b(master_secret, digest_size=32).digest()
+        self._epoch = 0
+
+    @property
+    def current_epoch(self) -> int:
+        """The active epoch number."""
+        return self._epoch
+
+    def epoch_key(self, epoch: int | None = None) -> KeyEpoch:
+        """Return the :class:`KeyEpoch` for ``epoch`` (default: current)."""
+        if epoch is None:
+            epoch = self._epoch
+        if epoch < 0 or epoch > self._epoch:
+            raise AccessError(f"epoch {epoch} does not exist (current {self._epoch})")
+        key = _derive(self._master, b"epoch:" + epoch.to_bytes(8, "little"))
+        return KeyEpoch(epoch=epoch, key=key)
+
+    def rotate(self) -> KeyEpoch:
+        """Advance to a new epoch, revoking everyone on the old key."""
+        self._epoch += 1
+        return self.epoch_key()
+
+
+class BroadcastKeyTree:
+    """Complete-subtree broadcast encryption over ``n_users`` leaves.
+
+    Node keys are independent (PRF of the publisher master under the node
+    id), so knowing one subtree key reveals nothing about siblings — the
+    property that makes revocation sound.
+    """
+
+    def __init__(self, master_secret: bytes, n_users: int):
+        if n_users < 1:
+            raise CryptoError("need at least one user")
+        self._master = hashlib.blake2b(master_secret, digest_size=32).digest()
+        self.n_users = n_users
+        # Round up to a full binary tree.
+        self.depth = max(1, (n_users - 1).bit_length())
+        self.n_leaves = 1 << self.depth
+
+    def _node_key(self, node: int) -> bytes:
+        """Key of tree node ``node`` (heap numbering, root = 1)."""
+        return _derive(self._master, b"node:" + node.to_bytes(8, "little"))
+
+    def _leaf_node(self, user: int) -> int:
+        if not 0 <= user < self.n_users:
+            raise AccessError(f"user {user} out of range [0, {self.n_users})")
+        return self.n_leaves + user
+
+    def user_keys(self, user: int) -> Dict[int, bytes]:
+        """The path keys user ``user`` holds: every ancestor incl. its leaf."""
+        node = self._leaf_node(user)
+        keys = {}
+        while node >= 1:
+            keys[node] = self._node_key(node)
+            node //= 2
+        return keys
+
+    def cover(self, revoked: Iterable[int]) -> List[int]:
+        """Minimal subtree cover containing every non-revoked leaf.
+
+        Returns node ids whose subtrees jointly contain all authorised users
+        and no revoked user. With nobody revoked this is just the root.
+        """
+        revoked_leaves: Set[int] = {self._leaf_node(u) for u in revoked}
+        # Valid leaves are the first n_users; padding leaves are treated as
+        # revoked so the cover never grants keys for nonexistent users
+        # (harmless, but keeps the cover tight and the invariant simple).
+        for pad in range(self.n_users, self.n_leaves):
+            revoked_leaves.add(self.n_leaves + pad)
+
+        def visit(node: int, lo: int, hi: int) -> List[int]:
+            # [lo, hi) is the leaf range (in leaf-node ids) under `node`.
+            tainted = any(lo <= leaf < hi for leaf in revoked_leaves)
+            if not tainted:
+                return [node]
+            if hi - lo == 1:
+                return []  # a revoked leaf: excluded entirely
+            mid = (lo + hi) // 2
+            return visit(2 * node, lo, mid) + visit(2 * node + 1, mid, hi)
+
+        return visit(1, self.n_leaves, 2 * self.n_leaves)
+
+    def broadcast(self, payload: bytes, revoked: Iterable[int]) -> List[Tuple[int, bytes]]:
+        """Encrypt ``payload`` so exactly the non-revoked users can read it.
+
+        Returns:
+            A list of ``(node_id, ciphertext)`` pairs — the broadcast body a
+            publisher would publish (out of band or as lightweb blobs).
+        """
+        return [
+            (node, aead.seal(self._node_key(node), payload, aad=b"bcast"))
+            for node in self.cover(revoked)
+        ]
+
+    @staticmethod
+    def receive(user_keys: Dict[int, bytes], broadcast: List[Tuple[int, bytes]]) -> bytes:
+        """Decrypt a broadcast with a user's path keys.
+
+        Raises:
+            AccessError: if the user holds no key in the cover (revoked).
+        """
+        for node, ciphertext in broadcast:
+            key = user_keys.get(node)
+            if key is not None:
+                return aead.open_sealed(key, ciphertext, aad=b"bcast")
+        raise AccessError("no usable key in broadcast cover: access revoked")
+
+
+__all__ = ["KeyEpoch", "PublisherKeychain", "BroadcastKeyTree"]

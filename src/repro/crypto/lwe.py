@@ -1,0 +1,235 @@
+"""Single-server PIR from learning-with-errors (the paper's alternative mode).
+
+§2.2: "Schemes whose security rests only on cryptographic assumptions also
+exist, but these have higher communication and computation costs [7, 35]."
+We implement such a scheme so ZLTP can actually negotiate it: a SimplePIR-
+style construction (Henzinger et al.) from the plain LWE assumption.
+
+The database is arranged as an ``r x c`` matrix of Z_p entries. A query for
+column ``j`` is an LWE encryption of the unit vector ``e_j`` scaled by
+``Δ = q/p``; the server's answer is one matrix-vector product; the client
+removes the ``H·s`` mask using the *hint* ``H = DB·A`` it downloaded once
+and rounds away the noise. Per query the server does O(r·c) word operations
+— linear in the database, like the DPF scan, but with only ONE server and no
+non-collusion assumption, at the cost of the large one-time hint download.
+
+All arithmetic is mod ``q = 2**32``, done in uint64 and masked, which numpy
+vectorises well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import CryptoError
+
+_Q_BITS = 32
+_Q = 1 << _Q_BITS
+_MASK = np.uint64(_Q - 1)
+
+
+@dataclass(frozen=True)
+class LweParams:
+    """Parameters for the LWE PIR scheme.
+
+    Attributes:
+        n: LWE secret dimension (security parameter; >=512 for real security,
+            smaller in tests for speed — correctness is unaffected).
+        p: plaintext modulus; database entries live in Z_p.
+        noise_bound: errors are sampled uniformly from
+            ``[-noise_bound, noise_bound]``.
+    """
+
+    n: int = 512
+    p: int = 256
+    noise_bound: int = 4
+
+    def __post_init__(self):
+        if self.n < 1:
+            raise CryptoError("n must be positive")
+        if not 2 <= self.p <= 2**16:
+            raise CryptoError("p must be in [2, 2^16]")
+        if self.noise_bound < 1:
+            raise CryptoError("noise_bound must be at least 1")
+
+    @property
+    def delta(self) -> int:
+        """The scaling factor Δ = q / p."""
+        return _Q // self.p
+
+    def max_columns(self) -> int:
+        """Largest column count with guaranteed correct decryption.
+
+        Decryption needs ``|DB·e| < Δ/2``; each of the ``c`` summands is at
+        most ``(p-1)·noise_bound``.
+        """
+        per_term = (self.p - 1) * self.noise_bound
+        return max(1, (self.delta // 2 - 1) // per_term)
+
+
+def _mod(x: np.ndarray) -> np.ndarray:
+    return x & _MASK
+
+
+def shape_database(n_records: int) -> Tuple[int, int]:
+    """Choose a near-square ``(rows, cols)`` layout for ``n_records`` cells."""
+    if n_records < 1:
+        raise CryptoError("n_records must be positive")
+    cols = max(1, int(np.ceil(np.sqrt(n_records))))
+    rows = (n_records + cols - 1) // cols
+    return rows, cols
+
+
+class LwePirServer:
+    """The (single) server: holds the DB matrix and the public matrix A."""
+
+    def __init__(self, db: np.ndarray, params: LweParams | None = None, seed: int = 7):
+        """Create a server.
+
+        Args:
+            db: ``(r, c)`` array of integers in ``[0, p)``.
+            params: scheme parameters.
+            seed: seed for the public matrix ``A`` (shared with clients; in
+                deployment this is a transparent public random string).
+        """
+        self.params = params if params is not None else LweParams()
+        db = np.asarray(db, dtype=np.uint64)
+        if db.ndim != 2:
+            raise CryptoError("db must be a 2-D matrix")
+        if db.size and int(db.max()) >= self.params.p:
+            raise CryptoError(f"db entries must be < p = {self.params.p}")
+        if db.shape[1] > self.params.max_columns():
+            raise CryptoError(
+                f"{db.shape[1]} columns exceeds correctness bound "
+                f"{self.params.max_columns()}; lower p or noise_bound"
+            )
+        self.db = db
+        rng = np.random.default_rng(seed)
+        self.a_matrix = rng.integers(0, _Q, size=(db.shape[1], self.params.n), dtype=np.uint64)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """The ``(rows, cols)`` database shape."""
+        return self.db.shape
+
+    def hint(self) -> np.ndarray:
+        """The one-time client download ``H = DB · A mod q`` (r x n)."""
+        return _mod(self.db @ self.a_matrix)
+
+    def answer(self, query: np.ndarray) -> np.ndarray:
+        """Answer a query vector: ``DB · query mod q`` (one linear scan)."""
+        query = np.asarray(query, dtype=np.uint64)
+        if query.shape != (self.db.shape[1],):
+            raise CryptoError(
+                f"query must have shape ({self.db.shape[1]},), got {query.shape}"
+            )
+        return _mod(self.db @ query)
+
+    def update_column(self, column: int, new_values: np.ndarray
+                      ) -> Tuple[int, np.ndarray]:
+        """Replace one database column; returns a compact client hint delta.
+
+        Publishers update blobs (§3.1 pushes); rather than forcing every
+        client to re-download the full hint, the server applies the change
+        and broadcasts ``(column, δ)`` with ``δ = new - old mod q`` — only
+        ``rows`` words on the wire. Clients reconstruct the rank-1 hint
+        increment ``δ ⊗ A[column]`` locally (they hold ``A``).
+
+        Args:
+            column: which record changed.
+            new_values: the column's new Z_p entries, shape ``(rows,)``.
+
+        Returns:
+            ``(column, delta_vector)`` — the broadcastable update.
+        """
+        new_values = np.asarray(new_values, dtype=np.uint64)
+        if new_values.shape != (self.db.shape[0],):
+            raise CryptoError(
+                f"column must have shape ({self.db.shape[0]},), got "
+                f"{new_values.shape}"
+            )
+        if new_values.size and int(new_values.max()) >= self.params.p:
+            raise CryptoError(f"entries must be < p = {self.params.p}")
+        if not 0 <= column < self.db.shape[1]:
+            raise CryptoError(f"column {column} out of range")
+        delta = _mod(new_values - self.db[:, column])
+        self.db = self.db.copy()
+        self.db[:, column] = new_values
+        return column, delta
+
+    def query_bytes(self) -> int:
+        """Upload size of one query in bytes."""
+        return self.db.shape[1] * 4
+
+    def answer_bytes(self) -> int:
+        """Download size of one answer in bytes."""
+        return self.db.shape[0] * 4
+
+    def hint_bytes(self) -> int:
+        """Size of the one-time hint in bytes."""
+        return self.db.shape[0] * self.params.n * 4
+
+
+class LwePirClient:
+    """A client that can privately fetch any database column."""
+
+    def __init__(self, server_a: np.ndarray, hint: np.ndarray, params: LweParams | None = None,
+                 rng: np.random.Generator | None = None):
+        """Create a client from the server's public matrix and hint."""
+        self.params = params if params is not None else LweParams()
+        self.a_matrix = np.asarray(server_a, dtype=np.uint64)
+        self.hint = np.asarray(hint, dtype=np.uint64)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        # Secrets queue FIFO so several queries may be in flight; answers
+        # must come back in query order.
+        self._secrets: list = []
+
+    def apply_hint_update(self, column: int, delta: np.ndarray) -> None:
+        """Fold a server-broadcast ``(column, δ)`` update into the hint."""
+        delta = np.asarray(delta, dtype=np.uint64)
+        if delta.shape != (self.hint.shape[0],):
+            raise CryptoError(
+                f"delta must have shape ({self.hint.shape[0]},), got "
+                f"{delta.shape}"
+            )
+        if not 0 <= column < self.a_matrix.shape[0]:
+            raise CryptoError(f"column {column} out of range")
+        self.hint = _mod(self.hint + np.outer(delta, self.a_matrix[column]))
+
+    def query(self, column: int) -> np.ndarray:
+        """Build an encrypted query for ``column``.
+
+        Returns the query vector to upload. The client remembers the secret
+        for :meth:`decode`; one query at a time (call in lockstep).
+        """
+        c = self.a_matrix.shape[0]
+        if not 0 <= column < c:
+            raise CryptoError(f"column {column} out of range [0, {c})")
+        params = self.params
+        secret = self._rng.integers(0, _Q, size=params.n, dtype=np.uint64)
+        noise = self._rng.integers(
+            -params.noise_bound, params.noise_bound + 1, size=c
+        ).astype(np.int64)
+        query = _mod(self.a_matrix @ secret + noise.astype(np.uint64))
+        query[column] = _mod(query[column : column + 1] + np.uint64(params.delta))[0]
+        self._secrets.append(secret)
+        return query
+
+    def decode(self, answer: np.ndarray) -> np.ndarray:
+        """Recover the queried column (answers decode in query order)."""
+        if not self._secrets:
+            raise CryptoError("decode called before query")
+        secret = self._secrets.pop(0)
+        answer = np.asarray(answer, dtype=np.uint64)
+        masked = _mod(answer - _mod(self.hint @ secret))
+        # Round Δ-scaled values: nearest multiple of Δ, mod p.
+        delta = self.params.delta
+        # Work in int64 to express "nearest" around the wraparound cleanly.
+        vals = ((masked.astype(np.float64) / delta) + 0.5).astype(np.int64)
+        return (vals % self.params.p).astype(np.uint64)
+
+
+__all__ = ["LweParams", "LwePirServer", "LwePirClient", "shape_database"]

@@ -1,0 +1,155 @@
+"""Merkle trees for optional content integrity (extension to §2.1).
+
+The paper scopes integrity out: "ZLTP does not ... provide integrity
+against malicious servers." This module supplies the natural extension the
+architecture invites: a publisher builds a Merkle tree over its site's
+data payloads, ships the **root inside the code blob** (which the client
+fetches anyway, and which changes exactly when the site re-publishes), and
+inlines each payload's authentication path next to the payload. A
+tampering CDN is then caught by the client at render time without any
+extra round trips or any change to the ZLTP privacy argument — the proof
+travels inside the same fixed-size blob.
+
+Hashing is BLAKE2b-256 with distinct leaf/node prefixes (second-preimage
+hardening).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import IntegrityError, ReproError
+
+DIGEST_BYTES = 32
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def leaf_hash(data: bytes) -> bytes:
+    """Hash a leaf payload."""
+    return hashlib.blake2b(_LEAF_PREFIX + data, digest_size=DIGEST_BYTES).digest()
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """Hash an interior node from its children."""
+    return hashlib.blake2b(
+        _NODE_PREFIX + left + right, digest_size=DIGEST_BYTES
+    ).digest()
+
+
+class MerkleTree:
+    """A Merkle tree over an ordered list of byte-string leaves."""
+
+    def __init__(self, leaves: Sequence[bytes]):
+        """Build the tree.
+
+        Args:
+            leaves: the payloads, in a fixed order both sides agree on
+                (lightweb uses sorted path order).
+
+        Raises:
+            ReproError: for an empty leaf list.
+        """
+        if not leaves:
+            raise ReproError("Merkle tree needs at least one leaf")
+        self.n_leaves = len(leaves)
+        level = [leaf_hash(leaf) for leaf in leaves]
+        self._levels: List[List[bytes]] = [level]
+        while len(level) > 1:
+            if len(level) % 2:
+                level = level + [level[-1]]  # duplicate-last padding
+            level = [
+                node_hash(level[i], level[i + 1])
+                for i in range(0, len(level), 2)
+            ]
+            self._levels.append(level)
+
+    @property
+    def root(self) -> bytes:
+        """The 32-byte tree root."""
+        return self._levels[-1][0]
+
+    def proof(self, index: int) -> List[Tuple[str, bytes]]:
+        """The authentication path for leaf ``index``.
+
+        Returns:
+            A list of ``(side, sibling_digest)`` pairs from leaf level to
+            the root, where ``side`` is ``"l"`` if the sibling is on the
+            left.
+        """
+        if not 0 <= index < self.n_leaves:
+            raise ReproError(f"leaf {index} out of range [0, {self.n_leaves})")
+        path = []
+        position = index
+        for level in self._levels[:-1]:
+            padded = level + ([level[-1]] if len(level) % 2 else [])
+            sibling = position ^ 1
+            side = "l" if sibling < position else "r"
+            path.append((side, padded[sibling]))
+            position //= 2
+        return path
+
+    def proof_bytes(self, index: int) -> int:
+        """Wire size of one proof."""
+        return len(self.proof(index)) * (1 + DIGEST_BYTES)
+
+
+def verify_proof(root: bytes, data: bytes,
+                 proof: List[Tuple[str, bytes]]) -> None:
+    """Check a payload against a root via its authentication path.
+
+    Raises:
+        IntegrityError: if the recomputed root does not match.
+    """
+    digest = leaf_hash(data)
+    for side, sibling in proof:
+        if side == "l":
+            digest = node_hash(sibling, digest)
+        elif side == "r":
+            digest = node_hash(digest, sibling)
+        else:
+            raise IntegrityError(f"malformed proof side {side!r}")
+    if digest != root:
+        raise IntegrityError("Merkle proof does not match the published root")
+
+
+def encode_proof(proof: List[Tuple[str, bytes]]) -> str:
+    """Hex-encode a proof for embedding in JSON blob payloads."""
+    return "".join(
+        ("L" if side == "l" else "R") + sibling.hex() for side, sibling in proof
+    )
+
+
+def decode_proof(encoded: str) -> List[Tuple[str, bytes]]:
+    """Inverse of :func:`encode_proof`.
+
+    Raises:
+        IntegrityError: on malformed encodings.
+    """
+    step = 1 + 2 * DIGEST_BYTES
+    if len(encoded) % step:
+        raise IntegrityError("malformed encoded proof length")
+    proof = []
+    for offset in range(0, len(encoded), step):
+        side_char = encoded[offset]
+        if side_char not in ("L", "R"):
+            raise IntegrityError(f"malformed proof side {side_char!r}")
+        try:
+            sibling = bytes.fromhex(encoded[offset + 1 : offset + step])
+        except ValueError as exc:
+            raise IntegrityError("malformed proof hex") from exc
+        proof.append(("l" if side_char == "L" else "r", sibling))
+    return proof
+
+
+__all__ = [
+    "MerkleTree",
+    "verify_proof",
+    "leaf_hash",
+    "node_hash",
+    "encode_proof",
+    "decode_proof",
+    "DIGEST_BYTES",
+]

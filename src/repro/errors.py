@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class. Subsystems define narrower types so
+tests and callers can distinguish protocol violations from cryptographic
+failures from capacity problems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key length, bad domain, ...)."""
+
+
+class IntegrityError(CryptoError):
+    """Authenticated decryption failed: ciphertext or tag was tampered with."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity structure (blob, table, universe) would overflow."""
+
+
+class CollisionError(CapacityError):
+    """Two keys mapped to the same slot and the structure cannot resolve it."""
+
+
+class ProtocolError(ReproError):
+    """A ZLTP endpoint received a malformed or out-of-order message."""
+
+
+class NegotiationError(ProtocolError):
+    """Client and server could not agree on a mode of operation."""
+
+
+class TransportError(ReproError):
+    """The underlying transport failed (closed connection, oversized frame)."""
+
+
+class PathError(ReproError):
+    """A lightweb path is syntactically invalid or violates ownership rules."""
+
+
+class OwnershipError(PathError):
+    """A publisher tried to write under a prefix owned by someone else."""
+
+
+class AccessError(ReproError):
+    """Access-control failure: missing or revoked decryption key."""
+
+
+class BudgetExceededError(ReproError):
+    """Page code tried to exceed its fixed data-fetch budget (paper §3.2)."""
+
+
+class LightscriptError(ReproError):
+    """A code blob contains an invalid lightscript program."""
+
+
+class SimulationError(ReproError):
+    """The network simulator was driven into an inconsistent state."""

@@ -1,0 +1,49 @@
+"""Network simulation and the traffic-analysis adversary.
+
+The paper's motivation (§1) is that anonymizing proxies leak through traffic
+analysis: "a visit to the media-rich New York Times homepage — even over an
+encrypted link — exhibits a very different traffic signature than a visit to
+an article page". This package provides the machinery to *demonstrate* both
+halves of that claim:
+
+- :mod:`repro.netsim.simnet` — a simulated network clock/path that carries
+  real ZLTP transports while timestamping every frame.
+- :mod:`repro.netsim.adversary` — a passive on-path observer recording the
+  (time, direction, size) stream an encrypted link leaks, plus the §3.2
+  event inference (universe, code-fetch, page-visit timing) that remains
+  possible against lightweb.
+- :mod:`repro.netsim.traffic` — classic-web page-load trace generation
+  (per-site resource mixes) for the fingerprinting corpus.
+- :mod:`repro.netsim.fingerprint` — the multinomial naive-Bayes website
+  fingerprinting classifier of Herrmann et al. [31], which succeeds against
+  classic-web traces and collapses to chance against lightweb's fixed-size,
+  fixed-count fetches (benchmark A2).
+"""
+
+from repro.netsim.simnet import SimClock, NetworkPath, SimTransport, sim_transport_pair
+from repro.netsim.adversary import PassiveAdversary, Observation, PageEvent
+from repro.netsim.traffic import ClassicWebTraffic, PageLoadTrace
+from repro.netsim.fingerprint import NaiveBayesFingerprinter
+from repro.netsim.timing import (
+    ActivityArchetype,
+    DEFAULT_ARCHETYPES,
+    TimingClassifier,
+    archetype_corpus,
+)
+
+__all__ = [
+    "SimClock",
+    "NetworkPath",
+    "SimTransport",
+    "sim_transport_pair",
+    "PassiveAdversary",
+    "Observation",
+    "PageEvent",
+    "ClassicWebTraffic",
+    "PageLoadTrace",
+    "NaiveBayesFingerprinter",
+    "ActivityArchetype",
+    "DEFAULT_ARCHETYPES",
+    "TimingClassifier",
+    "archetype_corpus",
+]

@@ -1,0 +1,109 @@
+"""A lightweight simulated network under the ZLTP transports.
+
+ZLTP's client code is synchronous (send, then receive), so the simulator
+does not need a full event loop: a shared :class:`SimClock` advances as
+frames traverse a :class:`NetworkPath` with configurable propagation latency
+and bandwidth, and every traversal is reported to an optional observer (the
+passive adversary). The result is timestamped, size-accurate traffic traces
+from *real protocol runs* — not synthetic approximations — which is what the
+fingerprinting experiments consume.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.core.zltp.transport import InMemoryTransport
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A shared simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise SimulationError("time cannot run backwards")
+        self._now += seconds
+        return self._now
+
+    def sleep_until(self, when: float) -> None:
+        """Advance to an absolute time (no-op if already past it)."""
+        if when > self._now:
+            self._now = when
+
+
+class NetworkPath:
+    """A unidirectional-pair network path with latency and bandwidth.
+
+    Attributes:
+        name: label used in adversary observations (e.g. ``"client-cdn"``).
+        latency_seconds: one-way propagation delay.
+        bandwidth_bps: link bandwidth in bits per second.
+    """
+
+    def __init__(self, clock: SimClock, name: str = "path",
+                 latency_seconds: float = 0.02,
+                 bandwidth_bps: float = 100e6,
+                 observer: Optional[Callable] = None):
+        if latency_seconds < 0 or bandwidth_bps <= 0:
+            raise SimulationError("latency must be >=0 and bandwidth positive")
+        self.clock = clock
+        self.name = name
+        self.latency_seconds = latency_seconds
+        self.bandwidth_bps = bandwidth_bps
+        self.observer = observer
+
+    def transfer(self, direction: str, n_bytes: int) -> float:
+        """Carry ``n_bytes`` across the path; returns the arrival time.
+
+        Advances the shared clock by propagation plus serialisation delay
+        and reports the transfer to the observer.
+        """
+        serialisation = (n_bytes * 8) / self.bandwidth_bps
+        arrival = self.clock.advance(self.latency_seconds + serialisation)
+        if self.observer is not None:
+            self.observer(arrival, self.name, direction, n_bytes)
+        return arrival
+
+
+class SimTransport(InMemoryTransport):
+    """An in-memory transport whose frames traverse a :class:`NetworkPath`."""
+
+    def __init__(self, path: NetworkPath, direction: str, name: str = ""):
+        """Create one endpoint.
+
+        Args:
+            path: the network path frames traverse.
+            direction: the label for frames *sent from this end*
+                (``"up"`` for client→server, ``"down"`` for server→client).
+        """
+        super().__init__(name=name)
+        self._path = path
+        self._direction = direction
+
+    def send_frame(self, payload: bytes) -> None:
+        # Size on the wire includes the 4-byte frame header.
+        self._path.transfer(self._direction, len(payload) + 4)
+        super().send_frame(payload)
+
+
+def sim_transport_pair(path: NetworkPath, client_name: str = "client",
+                       server_name: str = "server"
+                       ) -> Tuple[SimTransport, SimTransport]:
+    """A connected (client_end, server_end) pair over one simulated path."""
+    client_end = SimTransport(path, "up", client_name)
+    server_end = SimTransport(path, "down", server_name)
+    client_end.connect(server_end)
+    return client_end, server_end
+
+
+__all__ = ["SimClock", "NetworkPath", "SimTransport", "sim_transport_pair"]

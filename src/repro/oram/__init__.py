@@ -1,0 +1,34 @@
+"""The hardware-enclave + oblivious-RAM mode of operation (paper §2.2).
+
+"A faster mode of operation allows the client to make private key-value
+lookups by communicating with a server-side hardware enclave (e.g. Intel
+SGX), which uses an oblivious-RAM scheme to privately access a large local
+store in untrustworthy memory. ... This approach has best-possible
+communication costs and appealingly low server-side computational costs:
+both polylogarithmic in the number of key-value pairs."
+
+We have no SGX hardware, so the enclave is *simulated* (see DESIGN.md):
+:class:`~repro.oram.enclave.SimulatedEnclave` draws the trust boundary in
+software and — crucially — records every access the enclave makes to
+untrusted memory, so tests can check the property the whole mode rests on:
+the access trace leaks nothing about which key was requested.
+:class:`~repro.oram.path_oram.PathOram` provides that obliviousness.
+"""
+
+from repro.oram.trace import MemoryTrace, TraceStats, leaf_distribution_pvalue
+from repro.oram.path_oram import PathOram, Block, DictPositionMap
+from repro.oram.position_map import OramPositionMap, RecursivePathOram
+from repro.oram.enclave import SimulatedEnclave, EnclaveZltpStore
+
+__all__ = [
+    "MemoryTrace",
+    "TraceStats",
+    "leaf_distribution_pvalue",
+    "PathOram",
+    "Block",
+    "DictPositionMap",
+    "OramPositionMap",
+    "RecursivePathOram",
+    "SimulatedEnclave",
+    "EnclaveZltpStore",
+]

@@ -1,0 +1,172 @@
+"""A simulated hardware enclave serving ZLTP's enclave-ORAM mode (§2.2).
+
+Real deployments would use Intel SGX; we draw the same trust boundary in
+software. Everything inside :class:`SimulatedEnclave` is "trusted" (the
+attacker cannot read it); everything the enclave reads or writes *outside* —
+the Path ORAM tree in untrusted memory — is visible to the attacker and is
+recorded on the enclave's :class:`~repro.oram.trace.MemoryTrace`.
+
+:class:`EnclaveZltpStore` is the key-value layer ZLTP negotiates as the
+``enclave-oram`` mode: keys are hashed to ORAM addresses (same keyword
+machinery as the PIR modes), values are fixed-size records, and every GET —
+hit or miss — performs exactly one ORAM access, so the trace shape is
+independent of the key.
+
+The paper's caveat applies here too and is modelled honestly: the mode's
+security *assumes* the enclave protects its memory ("a slew of attacks on
+the security of hardware enclaves makes relying on them for data protection
+somewhat risky"). :meth:`SimulatedEnclave.compromise` hands an attacker the
+trusted state, which tests use to show what breaks when the hardware
+assumption fails.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.hashing import KeyedHash
+from repro.errors import AccessError, CryptoError
+from repro.oram.path_oram import PathOram
+from repro.oram.trace import MemoryTrace
+from repro.pir.keyword import decode_record, encode_record
+
+
+class SimulatedEnclave:
+    """The software stand-in for an SGX enclave.
+
+    Attributes:
+        trace: every untrusted-memory access the enclave ever makes.
+    """
+
+    def __init__(self, capacity_bits: int, block_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        self.trace = MemoryTrace()
+        self._oram = PathOram(
+            capacity_bits, block_size, rng=rng, trace=self.trace
+        )
+        self._sealed = True
+
+    @property
+    def capacity_bits(self) -> int:
+        """log2 of the number of ORAM addresses."""
+        return self._oram.capacity_bits
+
+    @property
+    def block_size(self) -> int:
+        """ORAM block payload size."""
+        return self._oram.block_size
+
+    def oblivious_read(self, address: int) -> bytes:
+        """Read a block through the ORAM (trace-recorded)."""
+        return self._oram.read(address)
+
+    def oblivious_write(self, address: int, data: bytes) -> bytes:
+        """Write a block through the ORAM (trace-recorded)."""
+        return self._oram.write(address, data)
+
+    def leaf_history(self):
+        """Leaves touched so far — the attacker-visible path choices."""
+        return list(self._oram.leaf_history)
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf count of the ORAM tree."""
+        return self._oram.n_leaves
+
+    def compromise(self) -> dict:
+        """Model a successful enclave attack (Foreshadow/ZombieLoad/...).
+
+        Returns the trusted state an attacker would exfiltrate. After this,
+        the mode provides no privacy — which is exactly the paper's warning
+        about relying on hardware protections.
+        """
+        self._sealed = False
+        position = self._oram._position
+        snapshot = position.snapshot() if hasattr(position, "snapshot") else {}
+        return {
+            "position_map": snapshot,
+            "stash_addresses": sorted(self._oram._stash.keys()),
+        }
+
+    @property
+    def sealed(self) -> bool:
+        """False once the enclave has been compromised."""
+        return self._sealed
+
+
+class EnclaveZltpStore:
+    """Key-value store served from inside a simulated enclave.
+
+    The ZLTP ``enclave-oram`` mode of operation: per-GET cost is one ORAM
+    access — O(log N) bucket reads/writes — instead of the PIR modes' linear
+    scan, matching the paper's "polylogarithmic in the number of key-value
+    pairs" claim (verified by benchmark A1).
+    """
+
+    def __init__(self, capacity_bits: int, blob_size: int, salt: bytes = b"",
+                 rng: Optional[np.random.Generator] = None):
+        """Create a store for ``2**capacity_bits`` slots of ``blob_size`` bytes.
+
+        ``blob_size`` is the *payload* size; the record header used for key
+        disambiguation is carried inside the ORAM block.
+        """
+        if blob_size < 1:
+            raise CryptoError("blob_size must be positive")
+        self.blob_size = blob_size
+        self._hash = KeyedHash(capacity_bits, salt)
+        from repro.pir.keyword import HEADER_BYTES
+
+        self._enclave = SimulatedEnclave(
+            capacity_bits, blob_size + HEADER_BYTES, rng=rng
+        )
+        self.gets_served = 0
+
+    @property
+    def enclave(self) -> SimulatedEnclave:
+        """The underlying enclave (exposes the trace for leakage tests)."""
+        return self._enclave
+
+    def put(self, key: str, payload: bytes) -> int:
+        """Store ``payload`` under ``key``; returns the ORAM address used.
+
+        Raises:
+            CollisionError: if the slot already holds a *different* key —
+                the §5.1 situation where "the publisher can simply select
+                another key name".
+        """
+        from repro.errors import CollisionError
+
+        record = encode_record(key, payload, self._enclave.block_size)
+        address = self._hash.slot(key)
+        existing = self._enclave.oblivious_read(address)
+        if existing.strip(b"\x00") and decode_record(key, existing) is None:
+            raise CollisionError(
+                f"enclave slot {address} already holds another key"
+            )
+        self._enclave.oblivious_write(address, record)
+        return address
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Privately fetch the value under ``key`` (None if absent).
+
+        Every call performs exactly one ORAM access regardless of outcome.
+
+        Raises:
+            AccessError: if the enclave has been compromised — a real
+                deployment must stop serving once attestation fails.
+        """
+        if not self._enclave.sealed:
+            raise AccessError("enclave compromised; refusing to serve")
+        address = self._hash.slot(key)
+        record = self._enclave.oblivious_read(address)
+        self.gets_served += 1
+        return decode_record(key, record)
+
+    def accesses_per_get(self) -> int:
+        """Untrusted-memory touches per GET: 2·(tree height + 1), fixed."""
+        return 2 * (self._enclave.capacity_bits + 1)
+
+
+__all__ = ["SimulatedEnclave", "EnclaveZltpStore"]

@@ -1,0 +1,229 @@
+"""Path ORAM (Stefanov et al.) over traced untrusted memory.
+
+The enclave keeps the stash and position map in trusted memory and stores
+the data blocks in a binary tree of buckets living in *untrusted* memory.
+Every logical access:
+
+1. looks up (and re-randomises) the block's leaf in the position map,
+2. reads the whole root-to-leaf path into the stash,
+3. serves the block from the stash, and
+4. writes the path back, greedily packing stash blocks as deep as they can
+   legally go.
+
+Because the read path is determined by a leaf that was sampled uniformly at
+random *before* this access — and a fresh uniform leaf is sampled for the
+block's next access — the address trace is independent of the logical access
+sequence. Tests verify this empirically through the
+:mod:`repro.oram.trace` machinery.
+
+Blocks carry their assigned leaf, so eviction never consults the position
+map; the map is touched exactly once per access. That single touch is what
+lets :mod:`repro.oram.position_map` recurse the map into smaller ORAMs
+(the "tailored to hardware enclaves" construction of §2.2) without changing
+this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import CapacityError, CryptoError
+from repro.oram.trace import MemoryTrace
+
+
+@dataclass
+class Block:
+    """A stored block: address tag, assigned leaf, fixed-size payload."""
+
+    address: int
+    leaf: int
+    data: bytes
+
+
+class DictPositionMap:
+    """The baseline position map: a dict in trusted enclave memory."""
+
+    def __init__(self):
+        self._positions: Dict[int, int] = {}
+
+    def get_and_set(self, address: int, new_leaf: int) -> Optional[int]:
+        """Return the current leaf of ``address`` (None if unknown) and
+        atomically assign ``new_leaf``."""
+        old = self._positions.get(address)
+        self._positions[address] = new_leaf
+        return old
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of the mapping (used by compromise modelling)."""
+        return dict(self._positions)
+
+
+class _UntrustedMemory:
+    """Bucketed tree storage outside the trust boundary, fully traced."""
+
+    def __init__(self, n_buckets: int, trace: MemoryTrace):
+        self._buckets: List[List[Block]] = [[] for _ in range(n_buckets)]
+        self.trace = trace
+
+    def read_bucket(self, index: int) -> List[Block]:
+        self.trace.record("r", index)
+        return list(self._buckets[index])
+
+    def write_bucket(self, index: int, blocks: List[Block]) -> None:
+        self.trace.record("w", index)
+        self._buckets[index] = list(blocks)
+
+
+class PathOram:
+    """A Path ORAM storing ``2**capacity_bits`` fixed-size blocks.
+
+    Attributes:
+        capacity_bits: log2 of the number of addressable blocks.
+        block_size: payload size in bytes.
+        bucket_size: Z, blocks per tree bucket (4 is the classic choice).
+    """
+
+    def __init__(
+        self,
+        capacity_bits: int,
+        block_size: int,
+        bucket_size: int = 4,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[MemoryTrace] = None,
+        position_map=None,
+    ):
+        if not 1 <= capacity_bits <= 24:
+            raise CryptoError("capacity_bits must be in [1, 24]")
+        if block_size < 1:
+            raise CryptoError("block_size must be positive")
+        if bucket_size < 1:
+            raise CryptoError("bucket_size must be positive")
+        self.capacity_bits = capacity_bits
+        self.block_size = block_size
+        self.bucket_size = bucket_size
+        # Tree with as many leaves as addressable blocks.
+        self.height = capacity_bits  # levels are 0..height (root..leaf)
+        self.n_leaves = 1 << capacity_bits
+        n_buckets = 2 * self.n_leaves - 1  # heap-layout complete binary tree
+        self.trace = trace if trace is not None else MemoryTrace()
+        self._memory = _UntrustedMemory(n_buckets, self.trace)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        # Trusted state: position map + stash.
+        self._position = position_map if position_map is not None else DictPositionMap()
+        self._stash: Dict[int, Block] = {}
+        self.leaf_history: List[int] = []
+        self.max_stash_seen = 0
+
+    @property
+    def capacity(self) -> int:
+        """Number of addressable blocks."""
+        return 1 << self.capacity_bits
+
+    def stash_size(self) -> int:
+        """Current number of blocks parked in the trusted stash."""
+        return len(self._stash)
+
+    def _random_leaf(self) -> int:
+        return int(self._rng.integers(0, self.n_leaves))
+
+    def _path_buckets(self, leaf: int) -> List[int]:
+        """Heap indices of the root-to-leaf path for ``leaf``."""
+        node = self.n_leaves - 1 + leaf  # heap index of the leaf bucket
+        path = []
+        while True:
+            path.append(node)
+            if node == 0:
+                break
+            node = (node - 1) // 2
+        return list(reversed(path))
+
+    def _can_live_at(self, block_leaf: int, bucket: int) -> bool:
+        """Whether a block mapped to ``block_leaf`` may rest in ``bucket``."""
+        # The bucket must lie on the block's own root-to-leaf path.
+        node = self.n_leaves - 1 + block_leaf
+        while node > bucket:
+            node = (node - 1) // 2
+        return node == bucket
+
+    def access(self, op: str, address: int, data: Optional[bytes] = None,
+               mutate: Optional[Callable[[bytes], bytes]] = None) -> bytes:
+        """Perform one oblivious read, write, or read-modify-write.
+
+        Args:
+            op: ``"r"`` or ``"w"``.
+            address: logical block address in ``[0, capacity)``.
+            data: new payload for writes (exactly ``block_size`` bytes);
+                ignored when ``mutate`` is given.
+            mutate: optional in-enclave transform applied to the current
+                payload; the result is written back in the same path access
+                (used by recursive position maps).
+
+        Returns:
+            The block's payload *before* the operation (zeros if never
+            written).
+        """
+        if op not in ("r", "w"):
+            raise CryptoError("op must be 'r' or 'w'")
+        if not 0 <= address < self.capacity:
+            raise CryptoError(f"address {address} out of range [0, {self.capacity})")
+        if op == "w" and mutate is None:
+            if data is None or len(data) != self.block_size:
+                raise CryptoError(f"write needs exactly {self.block_size} bytes")
+
+        self.trace.mark()
+        new_leaf = self._random_leaf()
+        leaf = self._position.get_and_set(address, new_leaf)
+        if leaf is None:
+            leaf = self._random_leaf()
+        self.leaf_history.append(leaf)
+
+        # Read the whole path into the stash.
+        path = self._path_buckets(leaf)
+        for bucket in path:
+            for block in self._memory.read_bucket(bucket):
+                self._stash[block.address] = block
+
+        old = self._stash.get(address)
+        result = old.data if old is not None else b"\x00" * self.block_size
+        if op == "w":
+            payload = mutate(result) if mutate is not None else bytes(data)
+            if len(payload) != self.block_size:
+                raise CryptoError("mutate must preserve the block size")
+            self._stash[address] = Block(address, new_leaf, payload)
+        else:
+            # Materialise on first read so the block has a home afterwards,
+            # and retag the fresh leaf either way.
+            self._stash[address] = Block(address, new_leaf, result)
+
+        # Write the path back, deepest bucket first, greedily evicting.
+        for bucket in reversed(path):
+            placed: List[Block] = []
+            for addr in list(self._stash.keys()):
+                if len(placed) >= self.bucket_size:
+                    break
+                if self._can_live_at(self._stash[addr].leaf, bucket):
+                    placed.append(self._stash.pop(addr))
+            self._memory.write_bucket(bucket, placed)
+
+        self.max_stash_seen = max(self.max_stash_seen, len(self._stash))
+        if len(self._stash) > self.capacity:
+            raise CapacityError("stash overflow: ORAM invariant violated")
+        return result
+
+    def read(self, address: int) -> bytes:
+        """Oblivious read."""
+        return self.access("r", address)
+
+    def write(self, address: int, data: bytes) -> bytes:
+        """Oblivious write; returns the previous payload."""
+        return self.access("w", address, data)
+
+    def update(self, address: int, mutate: Callable[[bytes], bytes]) -> bytes:
+        """Oblivious read-modify-write in a single path access."""
+        return self.access("w", address, mutate=mutate)
+
+
+__all__ = ["PathOram", "Block", "DictPositionMap"]

@@ -1,0 +1,195 @@
+"""Recursive position maps: squaring the enclave-memory story of §2.2.
+
+A plain Path ORAM keeps one leaf index per block in trusted memory — fine
+for a simulation, but a real enclave serving "hundreds of millions of data
+blobs" cannot hold a position map that large inside SGX. The classic fix
+(and what "an oblivious-RAM scheme tailored to hardware enclaves" implies)
+is recursion: pack the position map into blocks and store *those* in a
+smaller Path ORAM, repeating until the innermost map fits trusted memory.
+
+:class:`OramPositionMap` implements one recursion level (each
+``get_and_set`` is a single read-modify-write path access on the inner
+ORAM), and :class:`RecursivePathOram` assembles the full stack: a data
+ORAM whose map recurses through progressively smaller ORAMs, all recording
+into one shared trace so leakage tests see the union of every level's
+accesses. Per logical access the trace contains exactly one path per level
+— fixed shape, as obliviousness demands.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import CryptoError
+from repro.oram.path_oram import DictPositionMap, PathOram
+from repro.oram.trace import MemoryTrace
+
+#: Entries store ``leaf + 1`` so the all-zero fresh block means "unset".
+_ENTRY_BYTES = 4
+
+
+class OramPositionMap:
+    """A position map stored inside a (smaller) Path ORAM.
+
+    Maps ``2**capacity_bits`` addresses to leaves; entries are packed
+    ``entries_per_block`` to an ORAM block, so the inner ORAM needs only
+    ``capacity / entries_per_block`` blocks.
+    """
+
+    def __init__(self, capacity_bits: int, entries_per_block: int,
+                 rng: Optional[np.random.Generator] = None,
+                 trace: Optional[MemoryTrace] = None,
+                 min_trusted_entries: int = 64):
+        if entries_per_block < 2 or entries_per_block & (entries_per_block - 1):
+            raise CryptoError("entries_per_block must be a power of two >= 2")
+        self.capacity_bits = capacity_bits
+        self.entries_per_block = entries_per_block
+        inner_bits = max(1, capacity_bits - (entries_per_block.bit_length() - 1))
+        block_size = entries_per_block * _ENTRY_BYTES
+        inner_map = build_position_map(
+            inner_bits, entries_per_block, rng=rng, trace=trace,
+            min_trusted_entries=min_trusted_entries,
+        )
+        self._oram = PathOram(
+            inner_bits, block_size, rng=rng, trace=trace,
+            position_map=inner_map,
+        )
+
+    def get_and_set(self, address: int, new_leaf: int) -> Optional[int]:
+        """Read the current leaf for ``address`` and store ``new_leaf``,
+        in one oblivious path access on the inner ORAM."""
+        block_index = address // self.entries_per_block
+        offset = (address % self.entries_per_block) * _ENTRY_BYTES
+        captured: List[Optional[int]] = [None]
+
+        def mutate(block: bytes) -> bytes:
+            (current,) = struct.unpack_from("<I", block, offset)
+            captured[0] = (current - 1) if current else None
+            updated = bytearray(block)
+            struct.pack_into("<I", updated, offset, new_leaf + 1)
+            return bytes(updated)
+
+        self._oram.update(block_index, mutate)
+        return captured[0]
+
+    def snapshot(self) -> dict:
+        """Decode the whole map (attacker-with-enclave-state modelling)."""
+        result = {}
+        for block_index in range(self._oram.capacity):
+            raw = self._oram.read(block_index)
+            if not any(raw):
+                continue
+            for entry in range(self.entries_per_block):
+                (value,) = struct.unpack_from("<I", raw, entry * _ENTRY_BYTES)
+                if value:
+                    result[block_index * self.entries_per_block + entry] = value - 1
+        return result
+
+
+def build_position_map(capacity_bits: int, entries_per_block: int = 64,
+                       rng: Optional[np.random.Generator] = None,
+                       trace: Optional[MemoryTrace] = None,
+                       min_trusted_entries: int = 64):
+    """Build a map for ``2**capacity_bits`` addresses, recursing as needed.
+
+    Maps small enough to fit ``min_trusted_entries`` entries stay in
+    trusted memory (:class:`~repro.oram.path_oram.DictPositionMap`);
+    larger ones go through :class:`OramPositionMap`.
+    """
+    if (1 << capacity_bits) <= min_trusted_entries:
+        return DictPositionMap()
+    return OramPositionMap(
+        capacity_bits, entries_per_block, rng=rng, trace=trace,
+        min_trusted_entries=min_trusted_entries,
+    )
+
+
+class RecursivePathOram:
+    """A Path ORAM whose position map recurses into smaller ORAMs.
+
+    Drop-in for :class:`~repro.oram.path_oram.PathOram` where trusted
+    memory is scarce: trusted state shrinks from O(N) map entries to the
+    stashes plus an O(min_trusted_entries) innermost map, at the cost of
+    one extra path access per recursion level.
+    """
+
+    def __init__(self, capacity_bits: int, block_size: int,
+                 entries_per_block: int = 64,
+                 bucket_size: int = 4,
+                 rng: Optional[np.random.Generator] = None,
+                 trace: Optional[MemoryTrace] = None,
+                 min_trusted_entries: int = 64):
+        self.trace = trace if trace is not None else MemoryTrace()
+        position_map = build_position_map(
+            capacity_bits, entries_per_block, rng=rng, trace=self.trace,
+            min_trusted_entries=min_trusted_entries,
+        )
+        self._data = PathOram(
+            capacity_bits, block_size, bucket_size=bucket_size, rng=rng,
+            trace=self.trace, position_map=position_map,
+        )
+        self.recursion_levels = self._count_levels(position_map)
+
+    @staticmethod
+    def _count_levels(position_map) -> int:
+        levels = 0
+        current = position_map
+        while isinstance(current, OramPositionMap):
+            levels += 1
+            current = current._oram._position
+        return levels
+
+    @property
+    def capacity_bits(self) -> int:
+        """log2 of the addressable block count."""
+        return self._data.capacity_bits
+
+    @property
+    def capacity(self) -> int:
+        """Addressable block count."""
+        return self._data.capacity
+
+    @property
+    def block_size(self) -> int:
+        """Payload size in bytes."""
+        return self._data.block_size
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaves of the data tree."""
+        return self._data.n_leaves
+
+    @property
+    def leaf_history(self) -> List[int]:
+        """Data-tree leaves touched (for uniformity tests)."""
+        return self._data.leaf_history
+
+    def read(self, address: int) -> bytes:
+        """Oblivious read through every recursion level."""
+        return self._data.read(address)
+
+    def write(self, address: int, data: bytes) -> bytes:
+        """Oblivious write; returns the previous payload."""
+        return self._data.write(address, data)
+
+    def accesses_per_op(self) -> int:
+        """Untrusted-memory touches per logical op, across all levels."""
+        total = 2 * (self._data.capacity_bits + 1)
+        position = self._data._position
+        while isinstance(position, OramPositionMap):
+            total += 2 * (position._oram.capacity_bits + 1)
+            position = position._oram._position
+        return total
+
+    def trusted_state_entries(self) -> int:
+        """Entries held in trusted memory (innermost map only)."""
+        position = self._data._position
+        while isinstance(position, OramPositionMap):
+            position = position._oram._position
+        return len(position.snapshot())
+
+
+__all__ = ["OramPositionMap", "RecursivePathOram", "build_position_map"]

@@ -1,0 +1,115 @@
+"""Memory-access traces and empirical obliviousness checking.
+
+The enclave mode is only private if "the memory-access patterns do not leak
+which key-value pairs a client is requesting" (§2.2). An attacker observing
+the untrusted-memory bus sees a sequence of (operation, physical address)
+events; this module records exactly that sequence and provides the
+statistics tests use to check leakage:
+
+- every logical access must touch the *same number* of physical locations
+  (a fixed-shape trace), and
+- the tree paths Path ORAM touches must be indistinguishable from uniform
+  regardless of the logical access pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class MemoryTrace:
+    """An append-only record of untrusted-memory accesses.
+
+    Each event is ``(op, address)`` with ``op`` in ``{"r", "w"}``.
+    """
+
+    events: List[Tuple[str, int]] = field(default_factory=list)
+    _marks: List[int] = field(default_factory=list)
+
+    def record(self, op: str, address: int) -> None:
+        """Append one access event."""
+        self.events.append((op, address))
+
+    def mark(self) -> None:
+        """Mark a boundary between logical operations."""
+        self._marks.append(len(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        self.events.clear()
+        self._marks.clear()
+
+    def segments(self) -> List[List[Tuple[str, int]]]:
+        """Split the trace at the recorded marks (one segment per logical op)."""
+        bounds = [0] + self._marks + [len(self.events)]
+        out = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            if hi > lo:
+                out.append(self.events[lo:hi])
+        return out
+
+    def addresses(self) -> List[int]:
+        """The address sequence, ignoring operation type."""
+        return [addr for _, addr in self.events]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Shape summary of a trace's per-operation segments."""
+
+    n_segments: int
+    segment_lengths: Tuple[int, ...]
+
+    @property
+    def fixed_shape(self) -> bool:
+        """True if every logical operation produced an equal-length segment."""
+        return len(set(self.segment_lengths)) <= 1
+
+
+def trace_stats(trace: MemoryTrace) -> TraceStats:
+    """Summarise a trace's segment structure."""
+    segments = trace.segments()
+    return TraceStats(
+        n_segments=len(segments),
+        segment_lengths=tuple(len(seg) for seg in segments),
+    )
+
+
+def leaf_distribution_pvalue(observed_leaves: Sequence[int], n_leaves: int) -> float:
+    """Chi-square p-value that observed leaf choices are uniform.
+
+    Path ORAM's security reduces to the freshly-sampled leaves being uniform
+    and independent of the logical access pattern; a healthy ORAM should
+    yield a non-tiny p-value here for *any* workload.
+
+    Args:
+        observed_leaves: the leaf index touched by each ORAM access.
+        n_leaves: number of leaves in the ORAM tree.
+
+    Returns:
+        An approximate p-value (chi-square with ``n_leaves - 1`` dof, via
+        the Wilson-Hilferty normal approximation; no scipy dependency).
+    """
+    n = len(observed_leaves)
+    if n == 0 or n_leaves < 2:
+        return 1.0
+    counts = Counter(observed_leaves)
+    expected = n / n_leaves
+    chi2 = sum(
+        (counts.get(leaf, 0) - expected) ** 2 / expected for leaf in range(n_leaves)
+    )
+    dof = n_leaves - 1
+    # Wilson-Hilferty: (chi2/dof)^(1/3) is approximately normal.
+    z = ((chi2 / dof) ** (1.0 / 3.0) - (1 - 2.0 / (9 * dof))) / math.sqrt(2.0 / (9 * dof))
+    # Upper-tail survival of the standard normal.
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+__all__ = ["MemoryTrace", "TraceStats", "trace_stats", "leaf_distribution_pvalue"]

@@ -1,0 +1,39 @@
+"""Private information retrieval — the engine behind ZLTP's private-GET.
+
+Implements both PIR modes the paper discusses (§2.2) plus the deployment
+machinery of §5:
+
+- :mod:`repro.pir.database` — the packed fixed-blob store every mode scans.
+- :mod:`repro.pir.twoserver` — two-server DPF PIR (the prototype's mode).
+- :mod:`repro.pir.singleserver` — single-server LWE PIR.
+- :mod:`repro.pir.keyword` — keyword PIR on top of index PIR (hashed or
+  cuckoo-hashed key placement).
+- :mod:`repro.pir.batching` — §5.1's latency-for-throughput batching.
+- :mod:`repro.pir.sharding` — §5.2's front-end + data-server deployment.
+"""
+
+from repro.pir.database import BlobDatabase
+from repro.pir.twoserver import TwoServerPirClient, TwoServerPirServer, ScanTiming
+from repro.pir.singleserver import SingleServerPirClient, SingleServerPirServer
+from repro.pir.keyword import KeywordIndex, KeywordPirClient, encode_record, decode_record
+from repro.pir.batching import BatchScheduler, BatchCostModel, BatchPoint
+from repro.pir.sharding import ShardedDeployment, FrontEnd, DataServer
+
+__all__ = [
+    "BlobDatabase",
+    "TwoServerPirClient",
+    "TwoServerPirServer",
+    "ScanTiming",
+    "SingleServerPirClient",
+    "SingleServerPirServer",
+    "KeywordIndex",
+    "KeywordPirClient",
+    "encode_record",
+    "decode_record",
+    "BatchScheduler",
+    "BatchCostModel",
+    "BatchPoint",
+    "ShardedDeployment",
+    "FrontEnd",
+    "DataServer",
+]

@@ -1,0 +1,190 @@
+"""Request batching: trade page-load latency for server throughput (§5.1).
+
+"Because the majority of the overhead is due to the cost of scanning over
+the data, we batch together requests, which increases latency (page-load
+time) but improves throughput. By batching 16 requests together, we spend on
+average 167 ms of computation per request for a total latency of 2.6 s and a
+throughput of 6 requests/s. ... In contrast, by only processing one request
+at a time, we achieve a latency of 0.51 s and a throughput of 2 requests/s."
+
+Two pieces live here:
+
+- :class:`BatchScheduler` — a functional scheduler that accumulates incoming
+  requests and answers each batch in a single pass over the database
+  (``answer_batch``), measuring real wall-clock latency and throughput on
+  our Python substrate.
+- :class:`BatchCostModel` — the analytic latency/throughput curve with the
+  paper's constants as defaults, used by benchmark E2 to print the paper's
+  numbers next to measured ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import CryptoError
+from repro.pir.twoserver import TwoServerPirServer
+
+#: Paper constants (§5.1), used as cost-model defaults.
+PAPER_AMORTIZED_REQUEST_SECONDS = 0.167
+PAPER_UNBATCHED_REQUEST_SECONDS = 0.51
+PAPER_BATCH_SIZE = 16
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One point on the latency/throughput trade-off curve.
+
+    Attributes:
+        batch_size: number of requests answered per database pass.
+        latency_seconds: time from a request joining a batch to its answer.
+        throughput_rps: requests answered per second, steady state.
+        per_request_seconds: amortised compute per request.
+    """
+
+    batch_size: int
+    latency_seconds: float
+    throughput_rps: float
+    per_request_seconds: float
+
+
+class BatchCostModel:
+    """The analytic §5.1 trade-off curve.
+
+    The paper's data implies a fixed per-request overhead that batching
+    amortises: an unbatched request costs 0.51 s while each request in a
+    16-batch costs 0.167 s. We model the per-request cost at batch size
+    ``B`` as ``cost(B) = base + overhead / B`` with ``base`` and
+    ``overhead`` solved so the curve passes through *both* published
+    endpoints exactly; latency is ``B * cost(B)`` and steady-state
+    throughput ``1 / cost(B)``.
+    """
+
+    def __init__(
+        self,
+        amortized_seconds: float = PAPER_AMORTIZED_REQUEST_SECONDS,
+        unbatched_seconds: float = PAPER_UNBATCHED_REQUEST_SECONDS,
+        reference_batch: int = PAPER_BATCH_SIZE,
+    ):
+        if amortized_seconds <= 0 or unbatched_seconds <= 0:
+            raise CryptoError("cost constants must be positive")
+        if unbatched_seconds < amortized_seconds:
+            raise CryptoError("unbatched cost cannot beat the amortised cost")
+        if reference_batch < 2:
+            raise CryptoError("reference_batch must be at least 2")
+        self.amortized_seconds = amortized_seconds
+        self.unbatched_seconds = unbatched_seconds
+        self.reference_batch = reference_batch
+        # Solve cost(1) = unbatched, cost(reference_batch) = amortized.
+        ratio = 1.0 - 1.0 / reference_batch
+        self._overhead = (unbatched_seconds - amortized_seconds) / ratio
+        self._base = unbatched_seconds - self._overhead
+
+    def per_request_seconds(self, batch_size: int) -> float:
+        """Amortised compute per request at the given batch size."""
+        if batch_size < 1:
+            raise CryptoError("batch_size must be at least 1")
+        return self._base + self._overhead / batch_size
+
+    def point(self, batch_size: int) -> BatchPoint:
+        """The full latency/throughput point at a batch size."""
+        per_request = self.per_request_seconds(batch_size)
+        return BatchPoint(
+            batch_size=batch_size,
+            latency_seconds=batch_size * per_request,
+            throughput_rps=1.0 / per_request,
+            per_request_seconds=per_request,
+        )
+
+    def curve(self, batch_sizes: List[int]) -> List[BatchPoint]:
+        """Points for a sweep of batch sizes (benchmark E2's series)."""
+        return [self.point(b) for b in batch_sizes]
+
+
+class BatchScheduler:
+    """Accumulate requests and flush them through a server in batches.
+
+    Functional counterpart of the cost model: callers ``submit`` DPF keys,
+    and once ``batch_size`` requests are pending (or on explicit ``flush``)
+    the scheduler answers them all in one ``answer_batch`` call, recording
+    measured latency and throughput.
+    """
+
+    def __init__(self, server: TwoServerPirServer, batch_size: int = PAPER_BATCH_SIZE):
+        if batch_size < 1:
+            raise CryptoError("batch_size must be at least 1")
+        self.server = server
+        self.batch_size = batch_size
+        self._pending: List[Tuple[int, bytes, float]] = []
+        self._next_ticket = 0
+        self._results: dict = {}
+        self.completed_batches = 0
+        self.total_requests = 0
+        self.total_busy_seconds = 0.0
+        self.latencies: List[float] = []
+
+    def submit(self, key_bytes: bytes) -> int:
+        """Queue one request; returns a ticket to collect the answer with.
+
+        Automatically flushes when the batch fills.
+        """
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._pending.append((ticket, key_bytes, time.perf_counter()))
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+        return ticket
+
+    def flush(self) -> None:
+        """Answer every pending request in one database pass."""
+        if not self._pending:
+            return
+        batch = self._pending
+        self._pending = []
+        t0 = time.perf_counter()
+        answers = self.server.answer_batch([raw for _, raw, _ in batch])
+        t1 = time.perf_counter()
+        self.total_busy_seconds += t1 - t0
+        self.completed_batches += 1
+        self.total_requests += len(batch)
+        for (ticket, _, submitted), answer in zip(batch, answers):
+            self._results[ticket] = answer
+            self.latencies.append(t1 - submitted)
+
+    def result(self, ticket: int) -> Optional[bytes]:
+        """Collect (and consume) an answered request, or None if pending."""
+        return self._results.pop(ticket, None)
+
+    @property
+    def pending_count(self) -> int:
+        """Requests waiting for the current batch to fill."""
+        return len(self._pending)
+
+    def measured_point(self) -> BatchPoint:
+        """Summarise measured performance as a :class:`BatchPoint`.
+
+        Raises:
+            CryptoError: if nothing has been answered yet.
+        """
+        if not self.total_requests:
+            raise CryptoError("no completed requests to summarise")
+        per_request = self.total_busy_seconds / self.total_requests
+        mean_latency = sum(self.latencies) / len(self.latencies)
+        return BatchPoint(
+            batch_size=self.batch_size,
+            latency_seconds=mean_latency,
+            throughput_rps=(1.0 / per_request) if per_request > 0 else float("inf"),
+            per_request_seconds=per_request,
+        )
+
+
+__all__ = [
+    "BatchScheduler",
+    "BatchCostModel",
+    "BatchPoint",
+    "PAPER_AMORTIZED_REQUEST_SECONDS",
+    "PAPER_UNBATCHED_REQUEST_SECONDS",
+    "PAPER_BATCH_SIZE",
+]

@@ -1,0 +1,200 @@
+"""The packed blob store that every ZLTP mode of operation scans.
+
+A ZLTP server "holds a list of key-value pairs where each key is an
+arbitrary string, and each value is a fixed-length binary blob" (§2). This
+module is the value side: ``2**domain_bits`` slots of exactly ``blob_size``
+bytes, packed into a contiguous uint64 matrix so the per-request linear scan
+(§5.1's dominant cost) runs as vectorised XOR reductions rather than a
+Python loop — our stand-in for the paper's AVX scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CapacityError, CryptoError
+
+MAX_DOMAIN_BITS = 30
+
+
+class BlobDatabase:
+    """Fixed-size-blob storage over a power-of-two index domain.
+
+    Attributes:
+        domain_bits: log2 of the slot count.
+        blob_size: exact size of every stored blob in bytes.
+    """
+
+    def __init__(self, domain_bits: int, blob_size: int):
+        """Allocate an all-zero database.
+
+        Args:
+            domain_bits: log2 of the number of slots (1..30).
+            blob_size: fixed blob length in bytes (>= 1).
+        """
+        if not 1 <= domain_bits <= MAX_DOMAIN_BITS:
+            raise CryptoError(f"domain_bits must be in [1, {MAX_DOMAIN_BITS}]")
+        if blob_size < 1:
+            raise CryptoError("blob_size must be at least 1 byte")
+        self.domain_bits = domain_bits
+        self.blob_size = blob_size
+        self._words = (blob_size + 7) // 8
+        self._storage = np.zeros((1 << domain_bits, self._words), dtype=np.uint64)
+        self._occupied: set = set()
+        self.scan_count = 0
+        #: Bumped on every write; lets snapshotting consumers (the LWE and
+        #: enclave mode servers) detect staleness and rebuild.
+        self.version = 0
+
+    @property
+    def n_slots(self) -> int:
+        """Total number of slots."""
+        return 1 << self.domain_bits
+
+    @property
+    def n_occupied(self) -> int:
+        """Number of slots that have been written."""
+        return len(self._occupied)
+
+    @property
+    def load_factor(self) -> float:
+        """Fraction of slots written."""
+        return self.n_occupied / self.n_slots
+
+    def memory_bytes(self) -> int:
+        """Bytes of backing storage (the 1 GiB-per-shard figure of §5.2)."""
+        return self._storage.nbytes
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_slots:
+            raise CryptoError(f"slot {index} out of range [0, {self.n_slots})")
+
+    def set_slot(self, index: int, data: bytes) -> None:
+        """Write a blob into a slot, zero-padding up to ``blob_size``.
+
+        Raises:
+            CapacityError: if ``data`` is longer than the fixed blob size —
+                over-long values must be chunked by the caller (the paper's
+                "next link" continuation, §5).
+        """
+        self._check_index(index)
+        if len(data) > self.blob_size:
+            raise CapacityError(
+                f"blob of {len(data)} bytes exceeds fixed size {self.blob_size}"
+            )
+        padded = data.ljust(self._words * 8, b"\x00")
+        self._storage[index] = np.frombuffer(padded, dtype="<u8")
+        self._occupied.add(index)
+        self.version += 1
+
+    def get_slot(self, index: int) -> bytes:
+        """Read the blob at a slot (zero blob if never written)."""
+        self._check_index(index)
+        return self._storage[index].astype("<u8").tobytes()[: self.blob_size]
+
+    def clear_slot(self, index: int) -> None:
+        """Zero a slot and mark it unoccupied."""
+        self._check_index(index)
+        self._storage[index] = 0
+        self._occupied.discard(index)
+        self.version += 1
+
+    def is_occupied(self, index: int) -> bool:
+        """Whether the slot has been written."""
+        return index in self._occupied
+
+    def occupied_slots(self) -> Iterable[int]:
+        """Iterate over written slot indices."""
+        return iter(sorted(self._occupied))
+
+    def xor_scan(self, select_bits: np.ndarray) -> bytes:
+        """XOR together the blobs selected by a share-bit vector.
+
+        This is the server's half of a two-server PIR answer: ``select_bits``
+        is one party's full-domain DPF evaluation. The scan touches every
+        selected row — the linear cost at the heart of the paper's §5.1
+        accounting.
+
+        Args:
+            select_bits: ``(n_slots,)`` array of 0/1 share bits.
+
+        Returns:
+            ``blob_size`` bytes — this party's XOR share of the answer.
+        """
+        select_bits = np.asarray(select_bits)
+        if select_bits.shape != (self.n_slots,):
+            raise CryptoError(
+                f"select_bits must have shape ({self.n_slots},), got {select_bits.shape}"
+            )
+        self.scan_count += 1
+        mask = select_bits.astype(bool)
+        if not mask.any():
+            return b"\x00" * self.blob_size
+        acc = np.bitwise_xor.reduce(self._storage[mask], axis=0)
+        return acc.astype("<u8").tobytes()[: self.blob_size]
+
+    def xor_scan_batch(self, select_matrix: np.ndarray) -> list:
+        """Answer many selection vectors in one pass over the database.
+
+        The §5.1 batching optimisation: the database is walked once while
+        all accumulators are updated, amortising memory traffic across the
+        batch.
+
+        Args:
+            select_matrix: ``(batch, n_slots)`` array of 0/1 share bits.
+
+        Returns:
+            List of ``batch`` byte strings.
+        """
+        select_matrix = np.asarray(select_matrix)
+        if select_matrix.ndim != 2 or select_matrix.shape[1] != self.n_slots:
+            raise CryptoError(
+                f"select_matrix must be (batch, {self.n_slots}), got {select_matrix.shape}"
+            )
+        self.scan_count += 1
+        answers = []
+        for row in select_matrix:
+            mask = row.astype(bool)
+            if mask.any():
+                acc = np.bitwise_xor.reduce(self._storage[mask], axis=0)
+                answers.append(acc.astype("<u8").tobytes()[: self.blob_size])
+            else:
+                answers.append(b"\x00" * self.blob_size)
+        return answers
+
+    def sub_database(self, prefix: int, prefix_bits: int) -> "BlobDatabase":
+        """Extract the shard holding indices with the given top-bit prefix.
+
+        Used by §5.2 sharding: shard ``prefix`` of ``2**prefix_bits`` holds
+        the contiguous index range whose top ``prefix_bits`` bits equal
+        ``prefix``.
+        """
+        if not 0 <= prefix_bits <= self.domain_bits:
+            raise CryptoError("prefix_bits out of range")
+        if not 0 <= prefix < (1 << prefix_bits):
+            raise CryptoError("prefix out of range")
+        sub_bits = self.domain_bits - prefix_bits
+        if sub_bits == 0:
+            raise CryptoError("shard would have a single slot; use fewer shards")
+        shard = BlobDatabase(sub_bits, self.blob_size)
+        base = prefix << sub_bits
+        shard._storage[:] = self._storage[base : base + (1 << sub_bits)]
+        shard._occupied = {
+            i - base for i in self._occupied if base <= i < base + (1 << sub_bits)
+        }
+        return shard
+
+    def as_byte_matrix(self) -> np.ndarray:
+        """View the database as a ``(blob_size, n_slots)`` byte matrix.
+
+        This is the layout the LWE single-server mode consumes: record
+        ``j`` is column ``j``; each row holds one byte position across all
+        records.
+        """
+        flat = self._storage.astype("<u8").view(np.uint8)
+        return flat.reshape(self.n_slots, self._words * 8)[:, : self.blob_size].T.copy()
+
+
+__all__ = ["BlobDatabase"]

@@ -1,0 +1,226 @@
+"""Keyword PIR: private fetches by string key, not index (§2, §5.1).
+
+ZLTP keys are "arbitrary strings" — lightweb paths. The paper bridges
+strings to the DPF index domain by hashing ("With 1 GiB of memory and an
+output domain of size 2^22 ...") and accepts a bounded collision
+probability, optionally reduced "by using cuckoo hashing and probing several
+locations per request".
+
+Both placements are provided:
+
+- ``probes=1``: plain hashed placement; colliding publishers must rename
+  (the paper's default analysis).
+- ``probes>=2``: cuckoo placement; the client privately probes every
+  candidate slot (a fixed number of fetches, so nothing about the key leaks
+  through the probe count) and resolves which slot actually held the key.
+
+To let the client resolve probes — and to reject hash-collision false
+positives — records carry a small self-describing header:
+``key-digest (8) || payload-length (4) || payload``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, List, Optional
+
+from repro.crypto.cuckoo import CuckooTable
+from repro.crypto.hashing import KeyedHash
+from repro.errors import CapacityError, CollisionError, CryptoError
+from repro.pir.database import BlobDatabase
+from repro.pir.twoserver import TwoServerPirClient, TwoServerPirServer
+
+HEADER_BYTES = 12
+_DIGEST_BYTES = 8
+
+
+def key_digest(key: str) -> bytes:
+    """8-byte digest identifying a key inside its record header."""
+    return hashlib.blake2b(key.encode("utf-8"), digest_size=_DIGEST_BYTES).digest()
+
+
+def encode_record(key: str, payload: bytes, blob_size: int) -> bytes:
+    """Pack ``payload`` under ``key`` into a fixed-size record.
+
+    Raises:
+        CapacityError: if the payload plus header exceeds the blob size.
+    """
+    if len(payload) + HEADER_BYTES > blob_size:
+        raise CapacityError(
+            f"payload of {len(payload)} bytes + {HEADER_BYTES} header exceeds "
+            f"blob size {blob_size}"
+        )
+    header = key_digest(key) + struct.pack("<I", len(payload))
+    return (header + payload).ljust(blob_size, b"\x00")
+
+
+def decode_record(key: str, record: bytes) -> Optional[bytes]:
+    """Extract the payload if ``record`` really belongs to ``key``.
+
+    Returns:
+        The payload bytes, or None if the record is empty or belongs to a
+        different (colliding) key.
+    """
+    if len(record) < HEADER_BYTES:
+        return None
+    if record[:_DIGEST_BYTES] != key_digest(key):
+        return None
+    (length,) = struct.unpack_from("<I", record, _DIGEST_BYTES)
+    if HEADER_BYTES + length > len(record):
+        return None
+    return record[HEADER_BYTES : HEADER_BYTES + length]
+
+
+class KeywordIndex:
+    """Server-side key placement: strings → slots of a :class:`BlobDatabase`.
+
+    With ``probes == 1`` this is the paper's plain hashed placement (insert
+    fails on collision); with ``probes >= 2`` it is cuckoo placement.
+    """
+
+    def __init__(self, database: BlobDatabase, probes: int = 1, salt: bytes = b""):
+        if probes < 1:
+            raise CryptoError("probes must be at least 1")
+        self.database = database
+        self.probes = probes
+        self.salt = salt
+        if probes == 1:
+            self._hash = KeyedHash(database.domain_bits, salt)
+            self._cuckoo = None
+        else:
+            self._hash = None
+            self._cuckoo = CuckooTable(database.domain_bits, n_hashes=probes, salt=salt)
+
+    def put(self, key: str, payload: bytes) -> int:
+        """Store ``payload`` under ``key``; returns the chosen slot.
+
+        Raises:
+            CollisionError: plain placement, slot taken by another key — the
+                "publisher can simply select another key name" case.
+            CapacityError: cuckoo placement could not settle, or the payload
+                does not fit the fixed blob size.
+        """
+        record = encode_record(key, payload, self.database.blob_size)
+        if self.probes == 1:
+            slot = self._hash.slot(key)
+            if self.database.is_occupied(slot):
+                existing = decode_record(key, self.database.get_slot(slot))
+                if existing is None:
+                    raise CollisionError(
+                        f"key {key!r} hashes to occupied slot {slot}; "
+                        "choose another key name or enable cuckoo probing"
+                    )
+            self.database.set_slot(slot, record)
+            return slot
+        slot = self._cuckoo.insert(key)
+        # A cuckoo insert may have relocated other residents; re-materialise
+        # any key whose slot moved.
+        self._sync_cuckoo_slots()
+        self.database.set_slot(slot, record)
+        self._records[key] = record
+        return slot
+
+    def remove(self, key: str) -> None:
+        """Delete ``key`` and zero its slot."""
+        if self.probes == 1:
+            slot = self._hash.slot(key)
+            if decode_record(key, self.database.get_slot(slot)) is None:
+                raise KeyError(key)
+            self.database.clear_slot(slot)
+            return
+        slot = self._cuckoo.slot_of(key)
+        self._cuckoo.remove(key)
+        self.database.clear_slot(slot)
+        self._records.pop(key, None)
+
+    def candidate_slots(self, key: str) -> List[int]:
+        """The fixed set of slots a client must privately probe for ``key``."""
+        if self.probes == 1:
+            return [self._hash.slot(key)]
+        return self._cuckoo.candidates(key)
+
+    @property
+    def _records(self):
+        if not hasattr(self, "_records_store"):
+            self._records_store = {}
+        return self._records_store
+
+    def _records_for_save(self) -> Dict[str, int]:
+        """Key-to-slot placements for persistence (cuckoo mode only)."""
+        if self.probes == 1:
+            return {}
+        return {key: slot for key, slot in self._cuckoo.items()}
+
+    def _restore_placements(self, placements: Dict[str, int]) -> None:
+        """Rebuild cuckoo placement state from a persisted snapshot.
+
+        The record bytes are re-read from the (already restored) database,
+        so only the key-to-slot map needs to travel.
+        """
+        if self.probes == 1:
+            return
+        for key, slot in placements.items():
+            self._cuckoo._place(key, int(slot))
+            self._records[key] = self.database.get_slot(int(slot))
+
+    def _sync_cuckoo_slots(self) -> None:
+        """Rewrite records whose cuckoo slot changed during evictions."""
+        for key, slot in self._cuckoo.items():
+            record = self._records.get(key)
+            if record is None:
+                continue
+            current = self.database.get_slot(slot)
+            if decode_record(key, current) is None:
+                self.database.set_slot(slot, record)
+
+
+class KeywordPirClient:
+    """Client-side keyword PIR over a two-server deployment.
+
+    Probing is *always* exactly ``probes`` private fetches, regardless of
+    where (or whether) the key lives, so the access pattern is independent
+    of the key — the invariant ZLTP's security goal (§2.1) requires.
+    """
+
+    def __init__(self, domain_bits: int, blob_size: int, probes: int = 1,
+                 salt: bytes = b""):
+        self.probes = probes
+        self.blob_size = blob_size
+        self._pir = TwoServerPirClient(domain_bits, blob_size)
+        if probes == 1:
+            self._hash = KeyedHash(domain_bits, salt)
+        else:
+            self._table = CuckooTable(domain_bits, n_hashes=probes, salt=salt)
+
+    def candidate_slots(self, key: str) -> List[int]:
+        """Slots to probe for ``key`` (mirrors the server-side placement)."""
+        if self.probes == 1:
+            return [self._hash.slot(key)]
+        return self._table.candidates(key)
+
+    def get(self, key: str, server0: TwoServerPirServer,
+            server1: TwoServerPirServer) -> Optional[bytes]:
+        """Privately fetch the value stored under ``key``.
+
+        Returns:
+            The payload, or None if the key is absent (the client still
+            performed all ``probes`` fetches before concluding that).
+        """
+        found = None
+        for slot in self.candidate_slots(key):
+            record = self._pir.fetch(slot, server0, server1)
+            payload = decode_record(key, record)
+            if payload is not None and found is None:
+                found = payload
+        return found
+
+
+__all__ = [
+    "KeywordIndex",
+    "KeywordPirClient",
+    "encode_record",
+    "decode_record",
+    "key_digest",
+    "HEADER_BYTES",
+]

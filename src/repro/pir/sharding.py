@@ -1,0 +1,168 @@
+"""The sharded ZLTP deployment of §5.2: front-end + data servers.
+
+"To scale up from 1 GiB with a single c5.large data server, we consider a
+deployment of 305 c5.large data servers, each managing 1 GiB of the dataset.
+Such a deployment would also need several front-end servers to intercept
+incoming client requests, route them to the data servers, and combine the
+results."
+
+The key observation the paper makes — and that this module demonstrates
+functionally — is that the front-end can evaluate the *top* of the client's
+DPF tree once and hand each data server only its sub-tree root, so each data
+server's DPF work equals a DPF evaluation over its own small domain
+(:mod:`repro.crypto.dpf_distributed`). XOR-combining the per-shard scan
+answers reproduces the whole-database answer exactly.
+
+Shard assignment is by index prefix: data server ``k`` of ``2**prefix_bits``
+holds the slots whose top bits equal ``k``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.dpf import DpfKey
+from repro.crypto.dpf_distributed import SubtreeKey, eval_subkey_full, split_dpf_key
+from repro.errors import CryptoError
+from repro.pir.database import BlobDatabase
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-request accounting for one data server.
+
+    Attributes:
+        shard: which data server.
+        dpf_seconds: time completing the sub-tree DPF evaluation.
+        scan_seconds: time scanning the shard's blobs.
+        subkey_bytes: size of the sub-tree key the front-end shipped.
+    """
+
+    shard: int
+    dpf_seconds: float
+    scan_seconds: float
+    subkey_bytes: int
+
+
+class DataServer:
+    """One of the §5.2 data servers: a shard of the database."""
+
+    def __init__(self, shard_index: int, shard_db: BlobDatabase):
+        self.shard_index = shard_index
+        self.database = shard_db
+        self.requests_served = 0
+
+    def answer_subkey(self, subkey: SubtreeKey) -> Tuple[bytes, ShardReport]:
+        """Finish the DPF over this shard's sub-domain and scan the shard."""
+        if subkey.prefix != self.shard_index:
+            raise CryptoError(
+                f"subkey for shard {subkey.prefix} sent to shard {self.shard_index}"
+            )
+        if subkey.remaining_bits != self.database.domain_bits:
+            raise CryptoError("subkey depth does not match shard database")
+        t0 = time.perf_counter()
+        bits = eval_subkey_full(subkey)
+        t1 = time.perf_counter()
+        share = self.database.xor_scan(bits)
+        t2 = time.perf_counter()
+        self.requests_served += 1
+        report = ShardReport(
+            shard=self.shard_index,
+            dpf_seconds=t1 - t0,
+            scan_seconds=t2 - t1,
+            subkey_bytes=subkey.size_bytes(),
+        )
+        return share, report
+
+
+class FrontEnd:
+    """The §5.2 front-end: splits DPF keys, routes, and combines answers."""
+
+    def __init__(self, data_servers: List[DataServer], prefix_bits: int,
+                 blob_size: int, party: int):
+        if len(data_servers) != (1 << prefix_bits):
+            raise CryptoError(
+                f"need {1 << prefix_bits} data servers for prefix_bits={prefix_bits}, "
+                f"got {len(data_servers)}"
+            )
+        self.data_servers = data_servers
+        self.prefix_bits = prefix_bits
+        self.blob_size = blob_size
+        self.party = party
+        self.last_reports: List[ShardReport] = []
+        self.last_split_seconds = 0.0
+
+    def answer(self, key_bytes: bytes) -> bytes:
+        """Process one client request end to end across all shards."""
+        key = DpfKey.from_bytes(key_bytes)
+        if key.party != self.party:
+            raise CryptoError(f"key for party {key.party} sent to front-end {self.party}")
+        t0 = time.perf_counter()
+        subkeys = split_dpf_key(key, self.prefix_bits)
+        self.last_split_seconds = time.perf_counter() - t0
+        shares = []
+        reports = []
+        for server, subkey in zip(self.data_servers, subkeys):
+            share, report = server.answer_subkey(subkey)
+            shares.append(share)
+            reports.append(report)
+        self.last_reports = reports
+        acc = np.zeros(self.blob_size, dtype=np.uint8)
+        for share in shares:
+            acc ^= np.frombuffer(share, dtype=np.uint8)
+        return acc.tobytes()
+
+
+class ShardedDeployment:
+    """A full two-party sharded deployment over a logical database.
+
+    Builds, for each PIR party, one front-end plus ``2**prefix_bits`` data
+    servers holding prefix shards of the logical database. The client speaks
+    to it exactly as it would to a pair of unsharded servers.
+    """
+
+    def __init__(self, database: BlobDatabase, prefix_bits: int):
+        """Shard ``database`` ``2**prefix_bits`` ways for both parties.
+
+        Args:
+            database: the logical (whole-universe) database.
+            prefix_bits: log2 of the data-server count per party; must leave
+                at least one level of DPF tree for the data servers.
+        """
+        if not 1 <= prefix_bits < database.domain_bits:
+            raise CryptoError(
+                f"prefix_bits must be in [1, {database.domain_bits}), got {prefix_bits}"
+            )
+        self.database = database
+        self.prefix_bits = prefix_bits
+        self.front_ends = []
+        for party in (0, 1):
+            servers = [
+                DataServer(k, database.sub_database(k, prefix_bits))
+                for k in range(1 << prefix_bits)
+            ]
+            self.front_ends.append(
+                FrontEnd(servers, prefix_bits, database.blob_size, party)
+            )
+
+    @property
+    def n_data_servers(self) -> int:
+        """Data servers per party."""
+        return 1 << self.prefix_bits
+
+    def answer(self, party: int, key_bytes: bytes) -> bytes:
+        """Route a client key to the given party's front-end."""
+        if party not in (0, 1):
+            raise CryptoError("party must be 0 or 1")
+        return self.front_ends[party].answer(key_bytes)
+
+    def shard_memory_bytes(self) -> int:
+        """Backing storage per data server (the paper's 1 GiB per shard)."""
+        return self.front_ends[0].data_servers[0].database.memory_bytes()
+
+
+__all__ = ["ShardedDeployment", "FrontEnd", "DataServer", "ShardReport"]

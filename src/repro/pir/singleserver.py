@@ -1,0 +1,117 @@
+"""Single-server PIR mode: one server, cryptographic assumptions only.
+
+§2.2 notes that "schemes whose security rests only on cryptographic
+assumptions also exist, but these have higher communication and computation
+costs [7, 35]". This module packages the LWE core of
+:mod:`repro.crypto.lwe` behind the same fetch-a-blob interface the
+two-server mode exposes, so ZLTP can negotiate it as the ``pir-lwe`` mode
+and benchmark A1 can compare the modes head-to-head.
+
+The blob database is viewed as a ``(blob_size, n_slots)`` byte matrix; one
+LWE query privately selects a column (= one blob). The client downloads a
+one-time hint (``blob_size x n`` words) when it opens the session — this is
+the higher-communication trade-off the paper alludes to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.lwe import LweParams, LwePirClient, LwePirServer
+from repro.errors import CryptoError
+from repro.pir.database import BlobDatabase
+
+
+class SingleServerPirServer:
+    """A single ZLTP data server running the LWE mode."""
+
+    def __init__(self, database: BlobDatabase, params: Optional[LweParams] = None,
+                 seed: int = 7):
+        """Wrap a blob database for single-server PIR.
+
+        Raises:
+            CryptoError: if the database has more slots than the LWE
+                correctness bound allows for the chosen parameters.
+        """
+        self.database = database
+        self.params = params if params is not None else LweParams()
+        matrix = database.as_byte_matrix().astype(np.uint64)
+        self._core = LwePirServer(matrix, params=self.params, seed=seed)
+        self.requests_served = 0
+
+    def setup_blob(self) -> dict:
+        """The session-setup payload: public matrix seed shape + hint."""
+        return {
+            "hint": self._core.hint(),
+            "a_matrix": self._core.a_matrix,
+            "params": self.params,
+            "n_slots": self.database.n_slots,
+            "blob_size": self.database.blob_size,
+        }
+
+    def answer(self, query: np.ndarray) -> np.ndarray:
+        """Answer one LWE query (one linear pass over the byte matrix)."""
+        self.requests_served += 1
+        return self._core.answer(query)
+
+    def update_slot(self, index: int, data: bytes):
+        """Replace one blob; returns the ``(column, δ)`` delta for clients.
+
+        Keeps the wrapped :class:`~repro.pir.database.BlobDatabase` and the
+        LWE matrix in sync, so publishers can push updates (§3.1) without
+        rebuilding the mode or forcing clients to re-download the hint —
+        the broadcast is just ``blob_size`` words, not the whole hint.
+        """
+        self.database.set_slot(index, data)
+        padded = self.database.get_slot(index)
+        column = np.frombuffer(padded, dtype=np.uint8).astype(np.uint64)
+        return self._core.update_column(index, column)
+
+    def upload_bytes(self) -> int:
+        """Client upload per request."""
+        return self._core.query_bytes()
+
+    def download_bytes(self) -> int:
+        """Client download per request (excluding the one-time hint)."""
+        return self._core.answer_bytes()
+
+    def hint_bytes(self) -> int:
+        """One-time hint download size."""
+        return self._core.hint_bytes()
+
+
+class SingleServerPirClient:
+    """Client for the LWE mode; construct from the server's setup blob."""
+
+    def __init__(self, setup: dict, rng: Optional[np.random.Generator] = None):
+        self.params: LweParams = setup["params"]
+        self.n_slots: int = setup["n_slots"]
+        self.blob_size: int = setup["blob_size"]
+        self._core = LwePirClient(
+            setup["a_matrix"], setup["hint"], params=self.params, rng=rng
+        )
+
+    def query(self, index: int) -> np.ndarray:
+        """Build an encrypted query for blob ``index``."""
+        if not 0 <= index < self.n_slots:
+            raise CryptoError(f"index {index} out of range [0, {self.n_slots})")
+        return self._core.query(index)
+
+    def decode(self, answer: np.ndarray) -> bytes:
+        """Recover the fetched blob from the server's answer."""
+        column = self._core.decode(answer)
+        return column.astype(np.uint8).tobytes()[: self.blob_size]
+
+    def apply_update(self, update) -> None:
+        """Fold a server-broadcast ``(column, δ)`` update into the hint."""
+        column, delta = update
+        self._core.apply_hint_update(column, delta)
+
+    def fetch(self, index: int, server: SingleServerPirServer) -> bytes:
+        """Convenience: run the whole protocol against a local server."""
+        return self.decode(server.answer(self.query(index)))
+
+
+__all__ = ["SingleServerPirServer", "SingleServerPirClient"]

@@ -1,0 +1,32 @@
+"""Synthetic corpora and browsing workloads.
+
+The paper evaluates against the C4 crawl and a Wikipedia snapshot, and
+prices usage with a 50-pages/day, 5-GETs/page user (§4). Neither dataset is
+available offline, and only their statistics matter (see DESIGN.md), so this
+package generates:
+
+- :mod:`repro.workloads.corpus` — deterministic synthetic corpora whose
+  page-count / size-distribution statistics match a
+  :class:`~repro.costmodel.datasets.DatasetSpec`.
+- :mod:`repro.workloads.zipf` — Zipfian page popularity (the paper's §4
+  point that cost is *independent* of popularity is tested against this).
+- :mod:`repro.workloads.sessions` — user browsing-session generation for
+  billing (E5) and traffic experiments (A2).
+"""
+
+from repro.workloads.corpus import SyntheticCorpus, SyntheticPage
+from repro.workloads.zipf import ZipfPopularity
+from repro.workloads.sessions import BrowsingProfile, SessionGenerator, Visit
+from repro.workloads.replay import ReplayReport, replay_sessions, run_replay
+
+__all__ = [
+    "SyntheticCorpus",
+    "SyntheticPage",
+    "ZipfPopularity",
+    "BrowsingProfile",
+    "SessionGenerator",
+    "Visit",
+    "ReplayReport",
+    "replay_sessions",
+    "run_replay",
+]

@@ -1,0 +1,55 @@
+"""Zipfian page popularity.
+
+§4's third economic observation: "the cost of adding a page to a lightweb
+universe is independent of the popularity of a page: adding a page to
+cnn.com is as costly to the system as adding a page to
+poodleclubofamerica.org, even if one site receives 1000x more traffic than
+the other." To *test* that, workloads need a popularity skew to drive
+traffic with — the classic web-traffic model is Zipf.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class ZipfPopularity:
+    """Zipf(s) popularity over ``n_items`` ranked items."""
+
+    def __init__(self, n_items: int, exponent: float = 1.0):
+        if n_items < 1:
+            raise ReproError("need at least one item")
+        if exponent < 0:
+            raise ReproError("exponent must be non-negative")
+        self.n_items = n_items
+        self.exponent = exponent
+        ranks = np.arange(1, n_items + 1, dtype=np.float64)
+        weights = ranks ** (-exponent)
+        self._probabilities = weights / weights.sum()
+
+    def probability(self, rank: int) -> float:
+        """P(item at 1-based ``rank``)."""
+        if not 1 <= rank <= self.n_items:
+            raise ReproError(f"rank {rank} out of [1, {self.n_items}]")
+        return float(self._probabilities[rank - 1])
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The full probability vector (rank order)."""
+        return self._probabilities.copy()
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``n`` item indices (0-based) by popularity."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return rng.choice(self.n_items, size=n, p=self._probabilities)
+
+    def traffic_ratio(self, rank_a: int, rank_b: int) -> float:
+        """How much more traffic rank_a gets than rank_b (the 1000x point)."""
+        return self.probability(rank_a) / self.probability(rank_b)
+
+
+__all__ = ["ZipfPopularity"]

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_PIR2
+from repro.pir.database import BlobDatabase
+from repro.pir.keyword import KeywordIndex
+
+
+@pytest.fixture
+def rng():
+    """Deterministic randomness for reproducible tests."""
+    return np.random.default_rng(0xBEEF)
+
+
+@pytest.fixture
+def small_db():
+    """A 256-slot, 64-byte-blob database with a few records."""
+    db = BlobDatabase(8, 64)
+    for i in range(0, 256, 5):
+        db.set_slot(i, f"record-{i}".encode())
+    return db
+
+
+def make_keyword_db(domain_bits=10, blob_size=128, n_keys=50, probes=2,
+                    salt=b"test"):
+    """A database with keyword-indexed records (shared helper)."""
+    db = BlobDatabase(domain_bits, blob_size)
+    index = KeywordIndex(db, probes=probes, salt=salt)
+    for i in range(n_keys):
+        index.put(f"site{i}.com/page", f"payload-{i}".encode())
+    return db, index
+
+
+@pytest.fixture
+def keyword_db():
+    """(database, index) with 50 keyword records, cuckoo probes=2."""
+    return make_keyword_db()
+
+
+@pytest.fixture
+def small_cdn():
+    """A CDN with one universe and two published sites (pir2 only)."""
+    cdn = Cdn("testcdn", modes=[MODE_PIR2])
+    cdn.create_universe(
+        "main", data_domain_bits=11, code_domain_bits=8, fetch_budget=3
+    )
+    publisher = Publisher("acme")
+    site = publisher.site("news.example")
+    site.add_page("/", "Front page. See [[news.example/world|World]].")
+    site.add_page("/world", {"title": "World", "body": "world news body"})
+    blog = publisher.site("blog.example")
+    blog.add_page("/", "A blog. [[blog.example/post/1|First post]]")
+    blog.add_page("/post/1", {"title": "Post 1", "body": "hello"})
+    publisher.push(cdn, "main")
+    return cdn

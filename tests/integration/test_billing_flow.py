@@ -1,0 +1,107 @@
+"""Integration test for the §4 economics: who pays, and how it's counted."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.prio import DomainQueryAggregator
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_PIR2
+from repro.costmodel.billing import UserProfile, monthly_user_cost
+from repro.costmodel.datasets import C4
+from repro.costmodel.estimator import estimate_deployment
+from repro.workloads.sessions import BrowsingProfile, SessionGenerator
+
+
+def build_world(n_sites=3):
+    cdn = Cdn("bill-cdn", modes=[MODE_PIR2])
+    cdn.create_universe("u", data_domain_bits=10, code_domain_bits=7,
+                        fetch_budget=2)
+    domains = []
+    for i in range(n_sites):
+        publisher = Publisher(f"pub{i}")
+        domain = f"site{i}.example"
+        site = publisher.site(domain)
+        for j in range(3):
+            site.add_page(f"/p{j}", f"page {j}")
+        publisher.push(cdn, "u")
+        domains.append(domain)
+    return cdn, domains
+
+
+class TestCdnSideCounting:
+    def test_cdn_counts_total_gets_only(self):
+        """The CDN sees request volume, never which domain was fetched."""
+        cdn, domains = build_world()
+        browser = LightwebBrowser(rng=np.random.default_rng(0))
+        browser.connect(cdn, "u")
+        for _ in range(4):
+            browser.visit("site0.example/p0")
+        total = cdn.total_gets("u")
+        assert total > 0  # volume visible
+
+    def test_private_per_domain_billing(self):
+        """Clients report page views through the Prio aggregator; the CDN
+        reconstructs per-domain counts without per-request knowledge."""
+        cdn, domains = build_world()
+        aggregator = DomainQueryAggregator(domains,
+                                           rng=np.random.default_rng(1))
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.connect(cdn, "u")
+        schedule = ["site0.example/p0"] * 5 + ["site1.example/p1"] * 2
+        for path in schedule:
+            page = browser.visit(path)
+            aggregator.submit(path.split("/")[0])
+        histogram = aggregator.histogram()
+        assert histogram["site0.example"] == 5
+        assert histogram["site1.example"] == 2
+        assert histogram["site2.example"] == 0
+        # Neither aggregation server's individual state equals the answer.
+        assert list(aggregator.server0.totals()) != [5, 2, 0]
+
+
+class TestUserCostPipeline:
+    def test_measured_sessions_reproduce_dollar15(self):
+        """§4's $15/month from generated sessions + Table 2's request cost."""
+        generator = SessionGenerator(
+            50, 20, profile=BrowsingProfile(pages_per_day=50, gets_per_page=5),
+            seed=3,
+        )
+        month = generator.month(30)
+        gets = generator.data_gets(month)
+        request_cost = estimate_deployment(C4).request_cost_usd
+        measured_cost = gets * request_cost
+        paper_cost = monthly_user_cost(request_cost, UserProfile())
+        # Poisson noise on 1500 visits keeps us within a few percent.
+        assert measured_cost == pytest.approx(paper_cost, rel=0.10)
+        assert 10 < measured_cost < 25  # "roughly $15"
+
+    def test_cost_independent_of_popularity(self):
+        """§4: serving a popular page costs the same as an unpopular one —
+        per-request cost is flat in which page is requested."""
+        cdn, _ = build_world()
+        browser = LightwebBrowser(rng=np.random.default_rng(4))
+        browser.connect(cdn, "u")
+        browser.visit("site0.example/p0")
+        browser.visit("site0.example/p0")  # cache warm both times
+        base = browser.bytes_sent
+        browser.visit("site0.example/p0")  # "popular"
+        popular_bytes = browser.bytes_sent - base
+        base = browser.bytes_sent
+        browser.visit("site2.example/p2")  # cold domain: code fetch extra
+        browser.visit("site2.example/p2")
+        base = browser.bytes_sent
+        browser.visit("site2.example/p2")  # "unpopular", warm
+        unpopular_bytes = browser.bytes_sent - base
+        assert popular_bytes == unpopular_bytes
+
+    def test_adding_pages_raises_everyones_cost_model(self):
+        """§4: per-request cost scales with TOTAL pages in the universe."""
+        from repro.costmodel.datasets import DatasetSpec, GIB
+
+        small = DatasetSpec("s", 10 * GIB, 10_000_000, 1024)
+        grown = DatasetSpec("g", 20 * GIB, 20_000_000, 1024)
+        cost_small = estimate_deployment(small).request_cost_usd
+        cost_grown = estimate_deployment(grown).request_cost_usd
+        assert cost_grown == pytest.approx(2 * cost_small, rel=0.01)

@@ -1,0 +1,68 @@
+"""Content freshness across modes: re-pushes must be served everywhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import ALL_MODES, MODE_ENCLAVE, MODE_PIR2, MODE_PIR_LWE
+from repro.crypto.lwe import LweParams
+
+
+def build(mode):
+    cdn = Cdn("fresh-cdn", modes=[mode], lwe_params=LweParams(n=48),
+              rng=np.random.default_rng(0))
+    cdn.create_universe("u", data_domain_bits=9, code_domain_bits=7,
+                        data_blob_size=1024, code_blob_size=4096,
+                        fetch_budget=2)
+    publisher = Publisher("pub")
+    site = publisher.site("fresh.example")
+    site.add_page("/", "version one")
+    publisher.push(cdn, "u")
+    return cdn, publisher
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_repush_visible_in_every_mode(mode):
+    cdn, publisher = build(mode)
+    # First session: builds (and for lwe/enclave, snapshots) the mode.
+    browser = LightwebBrowser(rng=np.random.default_rng(1))
+    browser.connect(cdn, "u", client_modes=[mode])
+    assert "version one" in browser.visit("fresh.example").text
+
+    site = publisher.site("fresh.example")
+    site.add_page("/", "version two")
+    publisher.push(cdn, "u")
+
+    # A NEW session must see the new content in every mode.
+    fresh = LightwebBrowser(rng=np.random.default_rng(2))
+    fresh.connect(cdn, "u", client_modes=[mode])
+    assert "version two" in fresh.visit("fresh.example").text
+
+
+def test_pir2_repush_visible_to_open_session():
+    """pir2 scans the live database: even an already-open session sees
+    the update once its code cache is dropped."""
+    cdn, publisher = build(MODE_PIR2)
+    browser = LightwebBrowser(rng=np.random.default_rng(3))
+    browser.connect(cdn, "u", client_modes=[MODE_PIR2])
+    browser.visit("fresh.example")
+    site = publisher.site("fresh.example")
+    site.add_page("/", "version two")
+    publisher.push(cdn, "u")
+    browser.forget_domain("fresh.example")
+    assert "version two" in browser.visit("fresh.example").text
+
+
+def test_database_version_counter():
+    from repro.pir.database import BlobDatabase
+
+    db = BlobDatabase(4, 16)
+    v0 = db.version
+    db.set_slot(1, b"x")
+    assert db.version == v0 + 1
+    db.clear_slot(1)
+    assert db.version == v0 + 2
+    db.xor_scan(np.zeros(16, dtype=np.uint8))  # reads don't bump
+    assert db.version == v0 + 2

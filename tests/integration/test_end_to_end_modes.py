@@ -1,0 +1,73 @@
+"""The same lightweb universe browsed through every ZLTP mode (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import ALL_MODES, MODE_ENCLAVE, MODE_PIR2, MODE_PIR_LWE
+from repro.crypto.lwe import LweParams
+
+
+def build_cdn(modes):
+    cdn = Cdn("modes-cdn", modes=modes, lwe_params=LweParams(n=64),
+              rng=np.random.default_rng(99))
+    cdn.create_universe("u", data_domain_bits=9, code_domain_bits=7,
+                        data_blob_size=1024, code_blob_size=4096,
+                        fetch_budget=2)
+    publisher = Publisher("pub")
+    site = publisher.site("paper.example")
+    site.add_page("/", "Lightweb: private browsing without the baggage. "
+                       "[[paper.example/sec2|Section 2]]")
+    site.add_page("/sec2", {"title": "ZLTP", "body": "the private-GET op"})
+    publisher.push(cdn, "u")
+    return cdn
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_browse_in_every_mode(mode):
+    cdn = build_cdn([mode])
+    browser = LightwebBrowser(rng=np.random.default_rng(5))
+    browser.connect(cdn, "u", client_modes=[mode])
+    page = browser.visit("paper.example")
+    assert "private browsing" in page.text
+    section = browser.follow(page, 0)
+    assert "private-GET" in section.text
+
+
+def test_client_mode_preference_negotiated():
+    cdn = build_cdn(ALL_MODES)  # server prefers pir2
+    browser = LightwebBrowser(rng=np.random.default_rng(6))
+    browser.connect(cdn, "u", client_modes=[MODE_ENCLAVE, MODE_PIR_LWE])
+    # Server preference picks the first of ITS list the client offers.
+    assert browser._data_client.mode in (MODE_ENCLAVE, MODE_PIR_LWE)
+    assert "private browsing" in browser.visit("paper.example").text
+
+
+def test_modes_return_identical_content():
+    pages = {}
+    for mode in ALL_MODES:
+        cdn = build_cdn([mode])
+        browser = LightwebBrowser(rng=np.random.default_rng(7))
+        browser.connect(cdn, "u", client_modes=[mode])
+        pages[mode] = browser.visit("paper.example/sec2").text
+    assert len(set(pages.values())) == 1
+
+
+def test_mode_cost_shapes():
+    """A1's claim at test scale: the enclave mode does polylog work while
+    the PIR modes scan; the LWE mode pays a big one-time hint."""
+    cdn_pir = build_cdn([MODE_PIR2])
+    browser = LightwebBrowser(rng=np.random.default_rng(8))
+    browser.connect(cdn_pir, "u", client_modes=[MODE_PIR2])
+    browser.visit("paper.example")
+    pir_bytes = browser.bytes_received
+
+    cdn_lwe = build_cdn([MODE_PIR_LWE])
+    browser_lwe = LightwebBrowser(rng=np.random.default_rng(8))
+    browser_lwe.connect(cdn_lwe, "u", client_modes=[MODE_PIR_LWE])
+    browser_lwe.visit("paper.example")
+    lwe_bytes = browser_lwe.bytes_received
+    # The LWE hint dominates: session setup alone downloads far more.
+    assert lwe_bytes > 5 * pir_bytes

@@ -1,0 +1,104 @@
+"""§3.5 fault tolerance: browser failover across peered CDNs."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.peering import DomainRegistry
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_PIR2
+from repro.errors import TransportError
+
+
+def build_peered_world():
+    registry = DomainRegistry()
+    primary = Cdn("primary", registry=registry, modes=[MODE_PIR2])
+    backup = Cdn("backup", registry=registry, modes=[MODE_PIR2])
+    for cdn in (primary, backup):
+        cdn.create_universe("world", data_domain_bits=10, code_domain_bits=7,
+                            fetch_budget=2)
+    primary.peer_with(backup)
+    publisher = Publisher("acme")
+    site = publisher.site("ha.example")
+    site.add_page("/", "Highly available. [[ha.example/more|more]]")
+    site.add_page("/more", {"title": "More", "body": "still here"})
+    publisher.push(primary, "world")
+    return primary, backup
+
+
+class KillSwitchFactory:
+    """Transport factory that lets a test cut every link it created."""
+
+    def __init__(self):
+        self.server_ends = []
+
+    def __call__(self, name):
+        from repro.core.zltp.transport import transport_pair
+
+        client_end, server_end = transport_pair(name, name)
+        self.server_ends.append(server_end)
+        return client_end, server_end
+
+    def kill(self):
+        for end in self.server_ends:
+            end.close()
+
+
+class TestFailover:
+    def test_visit_survives_primary_death(self):
+        primary, backup = build_peered_world()
+        switch = KillSwitchFactory()
+        browser = LightwebBrowser(rng=np.random.default_rng(0))
+        browser.connect(primary, "world", transport_factory=switch,
+                        fallbacks=[(backup, "world")])
+        assert "Highly available" in browser.visit("ha.example").text
+        assert browser.cdn_name == "primary"
+
+        switch.kill()  # the primary CDN goes dark mid-session
+        page = browser.visit("ha.example/more")
+        assert "still here" in page.text
+        assert browser.cdn_name == "backup"
+
+    def test_code_cache_survives_failover(self):
+        primary, backup = build_peered_world()
+        switch = KillSwitchFactory()
+        browser = LightwebBrowser(rng=np.random.default_rng(1))
+        browser.connect(primary, "world", transport_factory=switch,
+                        fallbacks=[(backup, "world")])
+        browser.visit("ha.example")
+        switch.kill()
+        browser.visit("ha.example/more")
+        # The code blob was cached before the failover: no re-fetch needed.
+        assert browser.gets_for_last_visit()["code-get"] == 0
+
+    def test_no_fallback_raises(self):
+        primary, _backup = build_peered_world()
+        switch = KillSwitchFactory()
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.connect(primary, "world", transport_factory=switch)
+        browser.visit("ha.example")
+        switch.kill()
+        with pytest.raises(TransportError):
+            browser.visit("ha.example/more")
+
+    def test_all_endpoints_dead_raises(self):
+        primary, backup = build_peered_world()
+        switch = KillSwitchFactory()
+
+        class DeadCdn:
+            name = "dead"
+
+            def universe(self, name):
+                return backup.universe(name)
+
+            def connect(self, *args, **kwargs):
+                raise TransportError("refused")
+
+        browser = LightwebBrowser(rng=np.random.default_rng(3))
+        browser.connect(primary, "world", transport_factory=switch,
+                        fallbacks=[(DeadCdn(), "world")])
+        browser.visit("ha.example")
+        switch.kill()
+        with pytest.raises(TransportError):
+            browser.visit("ha.example/more")

@@ -1,0 +1,178 @@
+"""Failure-injection tests: malformed input, tampering, hostile peers."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp import messages as msg
+from repro.core.zltp.client import ZltpClient, connect_client
+from repro.core.zltp.modes import MODE_PIR2
+from repro.core.zltp.server import ZltpServer
+from repro.core.zltp.transport import transport_pair
+from repro.errors import ProtocolError
+from repro.pir.database import BlobDatabase
+from repro.pir.keyword import KeywordIndex
+
+SALT = b"inject"
+
+
+def build_pair():
+    transports = []
+    servers = []
+    for party in (0, 1):
+        db = BlobDatabase(8, 64)
+        index = KeywordIndex(db, probes=2, salt=SALT)
+        for i in range(6):
+            index.put(f"s{i}.com/p", f"v{i}".encode())
+        server = ZltpServer(db, modes=[MODE_PIR2], party=party, salt=SALT,
+                            probes=2)
+        client_end, server_end = transport_pair()
+        server.serve_transport(server_end)
+        servers.append(server)
+        transports.append(client_end)
+    return servers, transports
+
+
+class TestHostileClientInputs:
+    def test_garbage_frame_gets_error_reply(self):
+        _, transports = build_pair()
+        transports[0].send_frame(b"\x00\x01\x02")
+        reply = msg.decode_message(transports[0].recv_frame())
+        assert isinstance(reply, msg.ErrorMessage)
+
+    def test_get_with_bogus_dpf_key(self):
+        _, transports = build_pair()
+        client = connect_client(transports)
+        request = msg.GetRequest(request_id=1, payload=b"not a dpf key")
+        transports[0].send_frame(msg.encode_message(request))
+        reply = msg.decode_message(transports[0].recv_frame())
+        assert isinstance(reply, msg.ErrorMessage)
+
+    def test_wrong_domain_dpf_key(self):
+        from repro.crypto.dpf import gen_dpf
+
+        _, transports = build_pair()
+        connect_client(transports)
+        key0, _ = gen_dpf(0, 12)  # domain 2^12 != server's 2^8
+        request = msg.GetRequest(request_id=2, payload=key0.to_bytes())
+        transports[0].send_frame(msg.encode_message(request))
+        reply = msg.decode_message(transports[0].recv_frame())
+        assert isinstance(reply, msg.ErrorMessage)
+
+
+class TestHostileServerBehaviour:
+    def test_mismatched_response_id_detected(self):
+        _, transports = build_pair()
+        client = connect_client(transports)
+        # Intercept the first transport to corrupt response ids.
+        original_recv = transports[0].recv_frame
+
+        def corrupted_recv():
+            frame = original_recv()
+            message = msg.decode_message(frame)
+            if isinstance(message, msg.GetResponse):
+                forged = msg.GetResponse(request_id=message.request_id + 7,
+                                         payload=message.payload)
+                return msg.encode_message(forged)
+            return frame
+
+        transports[0].recv_frame = corrupted_recv
+        with pytest.raises(ProtocolError):
+            client.get_slot(3)
+
+    def test_disagreeing_hellos_rejected(self):
+        dbs = [BlobDatabase(8, 64), BlobDatabase(8, 128)]  # blob sizes differ
+        transports = []
+        for party, db in enumerate(dbs):
+            server = ZltpServer(db, modes=[MODE_PIR2], party=party,
+                                salt=SALT, probes=2)
+            client_end, server_end = transport_pair()
+            server.serve_transport(server_end)
+            transports.append(client_end)
+        with pytest.raises(ProtocolError):
+            connect_client(transports)
+
+    def test_server_error_surfaces_as_protocol_error(self):
+        _, transports = build_pair()
+        client = ZltpClient(transports, supported_modes=["nonsense-mode"])
+        with pytest.raises(Exception):
+            client.connect()
+
+
+class TestHostileContent:
+    def build_cdn(self):
+        cdn = Cdn("inj-cdn", modes=[MODE_PIR2])
+        cdn.create_universe("u", data_domain_bits=10, code_domain_bits=7,
+                            fetch_budget=2)
+        return cdn
+
+    def test_malformed_data_blob_renders_gracefully(self):
+        cdn = self.build_cdn()
+        publisher = Publisher("pub")
+        site = publisher.site("broken.example")
+        site.add_page("/", "ok page")
+        publisher.push(cdn, "u")
+        # Corrupt the stored data blob in place (CDN-side tampering).
+        universe = cdn.universe("u")
+        index = universe._data_index
+        slot = None
+        for candidate in index.candidate_slots("broken.example/"):
+            from repro.pir.keyword import decode_record
+
+            if decode_record("broken.example/",
+                             universe.data_db.get_slot(candidate)) is not None:
+                slot = candidate
+        from repro.pir.keyword import encode_record
+
+        universe.data_db.set_slot(slot, encode_record(
+            "broken.example/", b"{not-json", universe.data_blob_size))
+        browser = LightwebBrowser(rng=np.random.default_rng(0))
+        browser.connect(cdn, "u")
+        page = browser.visit("broken.example")
+        assert any("malformed" in note for note in page.notes)
+
+    def test_hostile_code_blob_cannot_escape_budget(self):
+        """A malicious program demanding too many fetches is stopped by
+        the browser, not the server."""
+        from repro.core.lightweb.lightscript import LightscriptProgram, Route
+        from repro.errors import BudgetExceededError
+
+        cdn = self.build_cdn()
+        publisher = Publisher("evil")
+        site = publisher.site("evil.example")
+        site.add_page("/", "bait")
+        # Hand-craft a program exceeding the universe budget of 2.
+        site.set_program(LightscriptProgram("evil.example", [
+            Route(pattern=r"^/$",
+                  fetches=tuple(f"evil.example/{i}" for i in range(5)),
+                  render="gotcha"),
+        ]))
+        publisher.push(cdn, "u")
+        browser = LightwebBrowser(rng=np.random.default_rng(1))
+        browser.connect(cdn, "u")
+        with pytest.raises(BudgetExceededError):
+            browser.visit("evil.example")
+
+    def test_hostile_code_blob_cannot_read_other_domains_storage(self):
+        """Domain separation: a template referencing local storage only
+        sees its own domain's bucket."""
+        from repro.core.lightweb.lightscript import LightscriptProgram, Route
+
+        cdn = self.build_cdn()
+        victim = Publisher("victim")
+        victim.site("victim.example").add_page("/", "hello")
+        victim.push(cdn, "u")
+        snoop = Publisher("snoop")
+        site = snoop.site("snoop.example")
+        site.add_page("/", "bait")
+        site.set_program(LightscriptProgram("snoop.example", [
+            Route(pattern=r"^/$", render="stolen=[{local.zip|nothing}]"),
+        ]))
+        snoop.push(cdn, "u")
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.connect(cdn, "u")
+        browser.storage.set("victim.example", "zip", "94704")
+        page = browser.visit("snoop.example")
+        assert "stolen=[nothing]" in page.text

@@ -1,0 +1,118 @@
+"""All the publisher-facing features composed on a single site.
+
+Real sites will not pick one feature: this exercises search + integrity +
+long-article chunking + access control together and checks they do not
+step on each other (the classic interaction-bug breeding ground).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_PIR2
+
+
+@pytest.fixture(scope="module")
+def world():
+    cdn = Cdn("compose-cdn", modes=[MODE_PIR2])
+    cdn.create_universe("u", data_domain_bits=11, code_domain_bits=7,
+                        data_blob_size=2048, code_blob_size=16384,
+                        fetch_budget=2)
+    publisher = Publisher("pub")
+    site = publisher.site("mega.example")
+    site.enable_search()
+    site.enable_integrity()
+    protection = site.enable_access_control(b"mega-master-secret")
+    site.add_page("/", "A site with everything. Try searching for zebras.")
+    site.add_page("/zebra", {"title": "Zebra",
+                             "body": "zebras have stripes " * 3})
+    site.add_page("/long", {"title": "Long zebra treatise",
+                            "body": "zebra facts. " * 400})
+    site.add_protected_page("/premium", {"title": "Premium",
+                                         "body": "secret zebra data"})
+    publisher.push(cdn, "u")
+    return cdn, protection
+
+
+class TestComposition:
+    def test_search_results_verified(self, world):
+        """Search index blobs go through the integrity wrapper too."""
+        cdn, _ = world
+        browser = LightwebBrowser(rng=np.random.default_rng(0))
+        browser.connect(cdn, "u")
+        page = browser.visit("mega.example/search?q=zebras")
+        assert not any("integrity" in note for note in page.notes)
+        assert "Zebra" in page.text
+
+    def test_search_finds_both_articles(self, world):
+        cdn, _ = world
+        browser = LightwebBrowser(rng=np.random.default_rng(1))
+        browser.connect(cdn, "u")
+        page = browser.visit("mega.example/search?q=zebra")
+        targets = page.link_targets()
+        assert "mega.example/zebra" in targets
+        assert "mega.example/long" in targets
+
+    def test_chunked_article_verified_end_to_end(self, world):
+        cdn, _ = world
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.connect(cdn, "u")
+        page = browser.visit("mega.example/long")
+        parts = 1
+        while True:
+            assert not any("integrity" in note for note in page.notes)
+            next_links = [t for t, label in page.links if label == "next"]
+            if not next_links:
+                break
+            page = browser.visit(next_links[0])
+            parts += 1
+        assert parts >= 3
+
+    def test_protected_page_inside_verified_site(self, world):
+        cdn, protection = world
+        subscriber = LightwebBrowser(rng=np.random.default_rng(3))
+        subscriber.keyring.add_account(protection.open_account())
+        subscriber.connect(cdn, "u")
+        page = subscriber.visit("mega.example/premium")
+        assert "secret zebra data" in page.text
+
+        outsider = LightwebBrowser(rng=np.random.default_rng(4))
+        outsider.connect(cdn, "u")
+        denied = outsider.visit("mega.example/premium")
+        assert "secret zebra data" not in denied.text
+        assert any("access denied" in note for note in denied.notes)
+
+    def test_tampering_caught_even_on_search_blobs(self, world):
+        cdn, _ = world
+        from repro.core.lightweb.blobs import encode_json_payload
+        from repro.pir.keyword import decode_record, encode_record
+
+        universe = cdn.universe("u")
+        index = universe._data_index
+        path = "mega.example/_search/stripes.json"
+        slot = None
+        for candidate in index.candidate_slots(path):
+            if decode_record(path, universe.data_db.get_slot(candidate)):
+                slot = candidate
+        assert slot is not None
+        forged = {"c": {"results": ["[[evil.example/|Click me]]"]},
+                  "p": "", "i": 0}
+        universe.data_db.set_slot(slot, encode_record(
+            path, encode_json_payload(forged), universe.data_blob_size))
+        browser = LightwebBrowser(rng=np.random.default_rng(5))
+        browser.connect(cdn, "u")
+        page = browser.visit("mega.example/search?q=stripes")
+        assert "evil.example" not in page.text
+        assert any("integrity violation" in note for note in page.notes)
+
+    def test_every_visit_still_budgeted(self, world):
+        """All features active, the §3.2 contract is untouched."""
+        cdn, _ = world
+        browser = LightwebBrowser(rng=np.random.default_rng(6))
+        browser.connect(cdn, "u")
+        for path in ("mega.example", "mega.example/search?q=zebra",
+                     "mega.example/premium", "mega.example/nope"):
+            browser.visit(path)
+            assert browser.gets_for_last_visit()["data-get"] == 2

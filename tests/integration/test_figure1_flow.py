@@ -1,0 +1,106 @@
+"""Integration test reproducing Figure 1's end-to-end architecture flow.
+
+Figure 1 shows: (0) publishers upload a root code blob and many data blobs
+to the CDN; (1) the user queries a path; (2-3) the client fetches the
+domain's code blob via private-GET; (4-5) the code plans and privately
+fetches data blobs; the page renders. This test walks those exact steps
+with the NYTimes-flavoured content the figure uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.lightscript import LightscriptProgram, Route
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_PIR2
+
+
+@pytest.fixture
+def figure1_world():
+    cdn = Cdn("figure1-cdn", modes=[MODE_PIR2])
+    cdn.create_universe("universe", data_domain_bits=11, code_domain_bits=8,
+                        fetch_budget=2)
+
+    # Step 0: publishers upload code + data blobs.
+    nyt = Publisher("nytimes")
+    site = nyt.site("nytimes.com")
+    site.set_program(LightscriptProgram("nytimes.com", [
+        Route(
+            pattern=r"^/(africa|europe)$",
+            fetches=("nytimes.com/{1}/headlines.json",),
+            render="= {1} headlines =\n{data0.headlines}",
+        ),
+        Route(pattern=r"^/$", render="NYTimes front page"),
+    ]))
+    site.add_page("/africa/headlines.json",
+                  {"headlines": ["Uganda story", "Lagos story"]})
+    site.add_page("/europe/headlines.json",
+                  {"headlines": ["Paris story"]})
+    nyt.push(cdn, "universe")
+
+    for other in ("cnn.com", "washingtonpost.example"):
+        publisher = Publisher(other.split(".")[0])
+        publisher.site(other).add_page("/", f"{other} home")
+        publisher.push(cdn, "universe")
+    return cdn
+
+
+class TestFigure1:
+    def test_full_flow(self, figure1_world):
+        browser = LightwebBrowser(rng=np.random.default_rng(0))
+        browser.connect(figure1_world, "universe")
+
+        # Step 1: the user queries nytimes.com/africa.
+        page = browser.visit("nytimes.com/africa")
+
+        # Steps 2-3: a single code fetch happened.
+        counts = browser.gets_for_last_visit()
+        assert counts["code-get"] == 1
+        # Steps 4-5: the fixed number of data fetches happened.
+        assert counts["data-get"] == 2
+        assert page.fetched_paths == ["nytimes.com/africa/headlines.json"]
+
+        # The page rendered from the fetched JSON.
+        assert "Uganda story" in page.text
+        assert "africa headlines" in page.text
+
+    def test_multiple_publishers_coexist(self, figure1_world):
+        browser = LightwebBrowser(rng=np.random.default_rng(1))
+        browser.connect(figure1_world, "universe")
+        assert "cnn.com home" in browser.visit("cnn.com").text
+        assert "Paris story" in browser.visit("nytimes.com/europe").text
+
+    def test_cached_code_blob_skips_refetch(self, figure1_world):
+        """§3.2: "the client aggressively caches the code blobs"."""
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.connect(figure1_world, "universe")
+        browser.visit("nytimes.com/africa")
+        browser.visit("nytimes.com/europe")
+        assert browser.gets_for_last_visit()["code-get"] == 0
+
+    def test_cdn_never_saw_a_plaintext_path(self, figure1_world):
+        """The ZLTP invariant behind the whole figure: requests reaching
+        the CDN are DPF keys, not paths."""
+        captured = []
+
+        def factory(name):
+            from repro.core.zltp.transport import transport_pair
+
+            client_end, server_end = transport_pair(name, name)
+            original = client_end.send_frame
+
+            def tapped(payload):
+                captured.append(payload)
+                original(payload)
+
+            client_end.send_frame = tapped
+            return client_end, server_end
+
+        browser = LightwebBrowser(rng=np.random.default_rng(3))
+        browser.connect(figure1_world, "universe", transport_factory=factory)
+        browser.visit("nytimes.com/africa")
+        for frame in captured:
+            assert b"africa" not in frame
+            assert b"nytimes" not in frame

@@ -1,0 +1,141 @@
+"""Integration tests for the content-integrity extension.
+
+The paper scopes integrity out of ZLTP (§2.1: the protocol does not
+"provide integrity against malicious servers"); this extension closes the
+gap at the lightweb layer: the Merkle root travels in the code blob, every
+data payload carries its proof, and a tampering CDN is detected at render
+time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_PIR2
+from repro.pir.keyword import decode_record, encode_record
+
+
+def build_world(integrity=True, protected=False):
+    cdn = Cdn("int-cdn", modes=[MODE_PIR2])
+    cdn.create_universe("u", data_domain_bits=10, code_domain_bits=7,
+                        data_blob_size=2048, code_blob_size=8192,
+                        fetch_budget=2)
+    publisher = Publisher("pub")
+    site = publisher.site("verified.example")
+    if integrity:
+        site.enable_integrity()
+    site.add_page("/", "Front. [[verified.example/a|a]]")
+    site.add_page("/a", {"title": "A", "body": "authentic content"})
+    site.add_page("/long", {"title": "Long", "body": "chunk me " * 400})
+    if protected:
+        protection = site.enable_access_control(b"master-secret-material")
+        site.add_protected_page("/secret", {"body": "sealed and verified"})
+        publisher.push(cdn, "u")
+        return cdn, protection
+    publisher.push(cdn, "u")
+    return cdn, None
+
+
+def tamper(cdn, path, new_payload_content):
+    """CDN-side substitution of a stored data blob."""
+    from repro.core.lightweb.blobs import encode_json_payload
+
+    universe = cdn.universe("u")
+    index = universe._data_index
+    for slot in index.candidate_slots(path):
+        record = universe.data_db.get_slot(slot)
+        if decode_record(path, record) is not None:
+            forged = encode_record(path, encode_json_payload(new_payload_content),
+                                   universe.data_blob_size)
+            universe.data_db.set_slot(slot, forged)
+            return
+    raise AssertionError(f"no record found for {path}")
+
+
+class TestHonestServing:
+    def test_verified_site_renders_normally(self):
+        cdn, _ = build_world()
+        browser = LightwebBrowser(rng=np.random.default_rng(0))
+        browser.connect(cdn, "u")
+        page = browser.visit("verified.example/a")
+        assert "authentic content" in page.text
+        assert not page.notes
+
+    def test_chunked_pages_verify(self):
+        cdn, _ = build_world()
+        browser = LightwebBrowser(rng=np.random.default_rng(1))
+        browser.connect(cdn, "u")
+        page = browser.visit("verified.example/long")
+        assert "chunk me" in page.text
+        next_links = [t for t, label in page.links if label == "next"]
+        assert next_links
+        cont = browser.visit(next_links[0])
+        assert "chunk me" in cont.text
+        assert not cont.notes
+
+    def test_protected_pages_verify_then_unseal(self):
+        cdn, protection = build_world(protected=True)
+        account = protection.open_account()
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.keyring.add_account(account)
+        browser.connect(cdn, "u")
+        page = browser.visit("verified.example/secret")
+        assert "sealed and verified" in page.text
+
+
+class TestTamperingDetected:
+    def test_substituted_content_rejected(self):
+        cdn, _ = build_world()
+        tamper(cdn, "verified.example/a",
+               {"c": {"title": "A", "body": "FORGED"}, "p": "", "i": 0})
+        browser = LightwebBrowser(rng=np.random.default_rng(3))
+        browser.connect(cdn, "u")
+        page = browser.visit("verified.example/a")
+        assert "FORGED" not in page.text
+        assert any("integrity violation" in note for note in page.notes)
+
+    def test_unwrapped_substitution_rejected(self):
+        cdn, _ = build_world()
+        tamper(cdn, "verified.example/a", {"title": "A", "body": "FORGED"})
+        browser = LightwebBrowser(rng=np.random.default_rng(4))
+        browser.connect(cdn, "u")
+        page = browser.visit("verified.example/a")
+        assert "FORGED" not in page.text
+        assert any("missing wrapper" in note for note in page.notes)
+
+    def test_cross_path_replay_rejected(self):
+        """Serving page /a's (validly signed) payload for /long still fails:
+        the content is authentic but the render uses the verified payload,
+        so the CDN can at worst serve a different *authentic* page — and
+        with path-bound records even that is caught at the keyword layer."""
+        cdn, _ = build_world()
+        browser = LightwebBrowser(rng=np.random.default_rng(5))
+        browser.connect(cdn, "u")
+        # Overwrite /a's record with /long's record bytes (keyword header
+        # included): the header digest no longer matches /a, so the fetch
+        # comes back empty rather than substituted.
+        universe = cdn.universe("u")
+        index = universe._data_index
+        long_record = None
+        for slot in index.candidate_slots("verified.example/long"):
+            record = universe.data_db.get_slot(slot)
+            if decode_record("verified.example/long", record) is not None:
+                long_record = record
+        for slot in index.candidate_slots("verified.example/a"):
+            if decode_record("verified.example/a",
+                             universe.data_db.get_slot(slot)) is not None:
+                universe.data_db.set_slot(slot, long_record)
+        page = browser.visit("verified.example/a")
+        assert "chunk me" not in page.text
+
+    def test_unverified_site_accepts_tampering(self):
+        """The control: without the extension, substitution succeeds —
+        exactly the §2.1 non-goal the extension closes."""
+        cdn, _ = build_world(integrity=False)
+        tamper(cdn, "verified.example/a", {"title": "A", "body": "FORGED"})
+        browser = LightwebBrowser(rng=np.random.default_rng(6))
+        browser.connect(cdn, "u")
+        page = browser.visit("verified.example/a")
+        assert "FORGED" in page.text

@@ -1,0 +1,151 @@
+"""Integration tests for the §3.2 leakage contract, measured on the wire.
+
+"A network attacker only learns: which universe a user is connected to,
+when the user has visited a new domain (code-page fetch), and when the user
+visits a new page (data-page fetches)."
+
+These tests run real browsing sessions over the simulated network and
+assert both directions: the adversary CAN recover the conceded events, and
+CANNOT distinguish which page was visited.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_PIR2
+from repro.netsim.adversary import PassiveAdversary
+from repro.netsim.fingerprint import NaiveBayesFingerprinter
+from repro.netsim.simnet import NetworkPath, SimClock, sim_transport_pair
+
+
+def build_world(n_sites=6, pages_per_site=4):
+    cdn = Cdn("leak-cdn", modes=[MODE_PIR2])
+    cdn.create_universe("u", data_domain_bits=10, code_domain_bits=7,
+                        data_blob_size=1024, code_blob_size=4096,
+                        fetch_budget=3)
+    for i in range(n_sites):
+        publisher = Publisher(f"pub{i}")
+        site = publisher.site(f"site{i}.example")
+        for j in range(pages_per_site):
+            site.add_page(f"/page{j}", f"content of site {i} page {j} " * (i + 1))
+        publisher.push(cdn, "u")
+    return cdn
+
+
+def connected_browser(cdn, adversary, clock=None, seed=0):
+    clock = clock if clock is not None else SimClock()
+
+    def factory(name):
+        path = NetworkPath(clock, name=name, observer=adversary)
+        return sim_transport_pair(path)
+
+    browser = LightwebBrowser(rng=np.random.default_rng(seed))
+    browser.connect(cdn, "u", transport_factory=factory)
+    return browser, clock
+
+
+class TestWhatLeaks:
+    def test_adversary_sees_universe_endpoints_only(self):
+        cdn = build_world()
+        adversary = PassiveAdversary()
+        browser, _ = connected_browser(cdn, adversary)
+        browser.visit("site0.example/page1")
+        paths = adversary.paths_seen()
+        assert all(path.startswith("leak-cdn/u/") for path in paths)
+
+    def test_adversary_counts_page_views(self):
+        """Timing/count leakage is conceded: the event count is visible."""
+        cdn = build_world()
+        adversary = PassiveAdversary()
+        browser, clock = connected_browser(cdn, adversary)
+        adversary.clear()
+        for i in range(3):
+            clock.advance(60.0)
+            browser.visit(f"site0.example/page{i}")
+        events = adversary.infer_events(gap_seconds=30.0)
+        assert len(events) == 3
+
+    def test_adversary_detects_new_domain_visit(self):
+        """The code fetch (big blob) reveals a first visit to a domain."""
+        cdn = build_world()
+        adversary = PassiveAdversary()
+        browser, clock = connected_browser(cdn, adversary)
+        adversary.clear()
+        clock.advance(60)
+        browser.visit("site1.example/page0")  # cold: code + data
+        clock.advance(60)
+        browser.visit("site1.example/page1")  # warm: data only
+        events = adversary.infer_events(gap_seconds=30.0,
+                                        code_blob_threshold=3000)
+        assert [e.kind for e in events] == ["code-fetch", "page-view"]
+
+
+class TestWhatDoesNotLeak:
+    def test_identical_signature_across_pages(self):
+        """Two different page visits: byte-identical traffic signature."""
+        cdn = build_world()
+        signatures = []
+        for target in ("site2.example/page0", "site2.example/page3"):
+            adversary = PassiveAdversary()
+            browser, _ = connected_browser(cdn, adversary, seed=3)
+            browser.visit("site2.example/page1")  # warm the code cache
+            adversary.clear()
+            browser.visit(target)
+            signatures.append(adversary.request_signature())
+        assert signatures[0] == signatures[1]
+
+    def test_identical_signature_across_domains_after_cache(self):
+        """Even visits to different (cached) domains look identical."""
+        cdn = build_world()
+        adversary = PassiveAdversary()
+        browser, _ = connected_browser(cdn, adversary, seed=4)
+        browser.visit("site3.example/page0")
+        browser.visit("site4.example/page0")
+        adversary.clear()
+        browser.visit("site3.example/page2")
+        first = adversary.request_signature()
+        adversary.clear()
+        browser.visit("site4.example/page1")
+        second = adversary.request_signature()
+        assert first == second
+
+    def test_fingerprinting_collapses_to_chance(self):
+        """The [31] classifier cannot beat chance on lightweb traces."""
+        cdn = build_world(n_sites=4)
+        train_traces, train_labels = [], []
+        test_traces, test_labels = [], []
+        for i in range(4):
+            for rep in range(4):
+                adversary = PassiveAdversary()
+                browser, _ = connected_browser(cdn, adversary, seed=10 + rep)
+                browser.visit(f"site{i}.example/page0")  # code fetch
+                adversary.clear()
+                browser.visit(f"site{i}.example/page{1 + rep % 3}")
+                trace = adversary.trace()
+                if rep < 3:
+                    train_traces.append(trace)
+                    train_labels.append(f"site{i}")
+                else:
+                    test_traces.append(trace)
+                    test_labels.append(f"site{i}")
+        clf = NaiveBayesFingerprinter(bucket_bytes=512)
+        clf.fit(train_traces, train_labels)
+        accuracy = clf.accuracy(test_traces, test_labels)
+        assert accuracy <= 0.5  # 4 classes, chance = 0.25
+
+    def test_missing_page_indistinguishable(self):
+        """Visiting a nonexistent page has the same signature as a hit."""
+        cdn = build_world()
+        adversary = PassiveAdversary()
+        browser, _ = connected_browser(cdn, adversary, seed=5)
+        browser.visit("site5.example/page0")
+        adversary.clear()
+        browser.visit("site5.example/page1")
+        hit = adversary.request_signature()
+        adversary.clear()
+        browser.visit("site5.example/page777")
+        miss = adversary.request_signature()
+        assert hit == miss

@@ -1,0 +1,118 @@
+"""Integration tests for §3.5: multiple universes, tiering, peering."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.peering import DomainRegistry
+from repro.core.lightweb.publisher import Publisher
+from repro.core.lightweb.universe import DEFAULT_TIERS
+from repro.core.zltp.modes import MODE_PIR2
+from repro.errors import CapacityError, OwnershipError
+
+
+class TestTieredUniverses:
+    def test_cdn_offers_small_medium_large(self):
+        """§3.5: tiered universes with different fixed page sizes."""
+        cdn = Cdn("tiered", modes=[MODE_PIR2])
+        for tier in DEFAULT_TIERS:
+            cdn.create_universe(tier.name, data_blob_size=tier.data_blob_size,
+                                data_domain_bits=8, code_domain_bits=6)
+        publisher = Publisher("pub")
+        site = publisher.site("tiers.example")
+        site.add_page("/", "fits everywhere")
+        for tier in DEFAULT_TIERS:
+            publisher.push(cdn, tier.name)
+        # Content is browsable in each tier; blob sizes differ.
+        blob_sizes = set()
+        for tier in DEFAULT_TIERS:
+            browser = LightwebBrowser(rng=np.random.default_rng(1))
+            browser.connect(cdn, tier.name)
+            assert "fits everywhere" in browser.visit("tiers.example").text
+            blob_sizes.add(browser._data_client.blob_size)
+        assert len(blob_sizes) == 3
+
+    def test_large_page_only_fits_large_tier(self):
+        cdn = Cdn("tiered", modes=[MODE_PIR2])
+        cdn.create_universe("small", data_blob_size=512,
+                            data_domain_bits=8, code_domain_bits=6)
+        cdn.create_universe("large", data_blob_size=16384,
+                            data_domain_bits=8, code_domain_bits=6)
+        publisher = Publisher("pub")
+        site = publisher.site("big.example")
+        # Un-chunkable big content (no string body to split).
+        site.add_page("/table", {"rows": [[i, i * 2] for i in range(900)]})
+        with pytest.raises(CapacityError):
+            publisher.push(cdn, "small")
+        publisher.push(cdn, "large")  # fits
+
+    def test_tier_visible_to_observer_is_the_conceded_leakage(self):
+        """§3.5: an attacker learns WHICH tier, never which page."""
+        cdn = Cdn("tiered", modes=[MODE_PIR2])
+        cdn.create_universe("small", data_blob_size=512,
+                            data_domain_bits=8, code_domain_bits=6)
+        publisher = Publisher("pub")
+        publisher.site("t.example").add_page("/", "x")
+        publisher.push(cdn, "small")
+        from repro.netsim.adversary import PassiveAdversary
+        from repro.netsim.simnet import NetworkPath, SimClock, sim_transport_pair
+
+        adversary = PassiveAdversary()
+        clock = SimClock()
+
+        def factory(name):
+            return sim_transport_pair(
+                NetworkPath(clock, name=name, observer=adversary)
+            )
+
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.connect(cdn, "small", transport_factory=factory)
+        browser.visit("t.example")
+        assert any("small" in path for path in adversary.paths_seen())
+
+
+class TestPeering:
+    def build_peered_pair(self):
+        registry = DomainRegistry()
+        cdns = [Cdn(name, registry=registry, modes=[MODE_PIR2])
+                for name in ("akamai", "fastly")]
+        for cdn in cdns:
+            cdn.create_universe("world", data_domain_bits=10,
+                                code_domain_bits=7, fetch_budget=2)
+        cdns[0].peer_with(cdns[1])
+        return cdns
+
+    def test_content_browsable_from_either_cdn(self):
+        akamai, fastly = self.build_peered_pair()
+        publisher = Publisher("acme")
+        site = publisher.site("everywhere.example")
+        site.add_page("/", "replicated everywhere")
+        publisher.push(akamai, "world")
+        for cdn in (akamai, fastly):
+            browser = LightwebBrowser(rng=np.random.default_rng(3))
+            browser.connect(cdn, "world")
+            assert "replicated" in browser.visit("everywhere.example").text
+
+    def test_ownership_consistent_across_peers(self):
+        """§3.5: "each domain has the same owner in each universe"."""
+        akamai, fastly = self.build_peered_pair()
+        acme = Publisher("acme")
+        acme.site("contested.example").add_page("/", "acme content")
+        acme.push(akamai, "world")
+        rival = Publisher("rival")
+        rival.site("contested.example").add_page("/", "rival content")
+        with pytest.raises(OwnershipError):
+            rival.push(fastly, "world")
+
+    def test_update_propagates(self):
+        akamai, fastly = self.build_peered_pair()
+        publisher = Publisher("acme")
+        site = publisher.site("news.example")
+        site.add_page("/", "version one")
+        publisher.push(akamai, "world")
+        site.add_page("/", "version two")
+        publisher.push(akamai, "world")
+        browser = LightwebBrowser(rng=np.random.default_rng(4))
+        browser.connect(fastly, "world")
+        assert "version two" in browser.visit("news.example").text

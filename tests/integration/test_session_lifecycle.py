@@ -1,0 +1,134 @@
+"""Session lifecycle integration: many clients, reconnects, teardown."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp import messages as msg
+from repro.core.zltp.client import connect_client
+from repro.core.zltp.modes import ALL_MODES, MODE_ENCLAVE, MODE_PIR2, MODE_PIR_LWE
+from repro.core.zltp.server import ZltpServer
+from repro.core.zltp.transport import transport_pair
+from repro.crypto.lwe import LweParams
+from repro.errors import ProtocolError, TransportError
+from repro.pir.database import BlobDatabase
+from repro.pir.keyword import KeywordIndex
+
+SALT = b"lifecycle"
+
+
+def build_servers():
+    servers = []
+    for party in (0, 1):
+        db = BlobDatabase(8, 64)
+        index = KeywordIndex(db, probes=2, salt=SALT)
+        for i in range(8):
+            index.put(f"s{i}.com/p", f"v{i}".encode())
+        servers.append(ZltpServer(db, modes=ALL_MODES, party=party,
+                                  salt=SALT, probes=2,
+                                  lwe_params=LweParams(n=32),
+                                  rng=np.random.default_rng(party)))
+    return servers
+
+
+def connect_pair(servers):
+    transports = []
+    for server in servers:
+        client_end, server_end = transport_pair()
+        server.serve_transport(server_end)
+        transports.append(client_end)
+    return connect_client(transports)
+
+
+class TestManyClients:
+    def test_sequential_sessions_independent(self):
+        servers = build_servers()
+        for round_num in range(3):
+            client = connect_pair(servers)
+            assert client.get("s1.com/p") == b"v1"
+            client.close()
+        assert servers[0].sessions_opened == 3
+
+    def test_interleaved_clients(self):
+        servers = build_servers()
+        clients = [connect_pair(servers) for _ in range(3)]
+        for i, client in enumerate(clients):
+            assert client.get(f"s{i}.com/p") == f"v{i}".encode()
+        for client in clients:
+            client.close()
+
+    def test_mixed_modes_one_deployment(self):
+        """One logical server pair serving pir2 and single-endpoint modes
+        concurrently (each CDN 'chooses which modes to support', §3.1)."""
+        servers = build_servers()
+        pir2_client = connect_pair(servers)
+        assert pir2_client.mode == MODE_PIR2
+
+        for mode in (MODE_PIR_LWE, MODE_ENCLAVE):
+            client_end, server_end = transport_pair()
+            servers[0].serve_transport(server_end)
+            solo = connect_client([client_end], supported_modes=[mode],
+                                  rng=np.random.default_rng(9))
+            assert solo.mode == mode
+            assert solo.get("s4.com/p") == b"v4"
+            solo.close()
+        assert pir2_client.get("s2.com/p") == b"v2"  # still alive
+
+
+class TestTeardown:
+    def test_bye_closes_server_side(self):
+        servers = build_servers()
+        client = connect_pair(servers)
+        client.close()
+        # After Bye the transports are closed: further use raises.
+        with pytest.raises((ProtocolError, TransportError)):
+            client.get_slot(0)
+
+    def test_server_error_closes_session(self):
+        servers = build_servers()
+        client = connect_pair(servers)
+        transports = client._transports
+        transports[0].send_frame(
+            msg.encode_message(msg.GetRequest(request_id=1, payload=b"junk"))
+        )
+        reply = msg.decode_message(transports[0].recv_frame())
+        assert isinstance(reply, msg.ErrorMessage)
+        # The session is dead: the server ignores further messages.
+        transports[0].send_frame(
+            msg.encode_message(msg.GetRequest(request_id=2, payload=b"junk"))
+        )
+        assert transports[0].pending() == 0
+
+
+class TestBrowserLifecycle:
+    def test_browser_reconnect_after_close(self, small_cdn):
+        browser = LightwebBrowser(rng=np.random.default_rng(0))
+        browser.connect(small_cdn, "main")
+        browser.visit("news.example")
+        browser.close()
+        assert not browser.connected
+        browser.connect(small_cdn, "main")
+        assert "Front page" in browser.visit("news.example").text
+
+    def test_cache_survives_reconnect(self, small_cdn):
+        browser = LightwebBrowser(rng=np.random.default_rng(1))
+        browser.connect(small_cdn, "main")
+        browser.visit("news.example")
+        browser.close()
+        browser.connect(small_cdn, "main")
+        browser.visit("news.example/world")
+        assert browser.gets_for_last_visit()["code-get"] == 0
+
+    def test_content_update_visible_after_cache_drop(self, small_cdn):
+        publisher = Publisher("acme")
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.connect(small_cdn, "main")
+        assert "Front page" in browser.visit("news.example").text
+        site = publisher.site("news.example")
+        site.add_page("/", "Rewritten front page.")
+        site.add_page("/world", {"title": "World", "body": "world news body"})
+        publisher.push(small_cdn, "main")
+        browser.forget_domain("news.example")
+        assert "Rewritten" in browser.visit("news.example").text

@@ -1,0 +1,57 @@
+"""Property tests for blob packing and chunking invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lightweb.blobs import (
+    chunk_content,
+    encode_json_payload,
+    pack_blob,
+    unpack_blob,
+)
+from repro.errors import CapacityError
+
+import pytest
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=200), st.integers(min_value=8, max_value=512))
+def test_pack_unpack_roundtrip(payload, blob_size):
+    if len(payload) + 4 > blob_size:
+        with pytest.raises(CapacityError):
+            pack_blob(payload, blob_size)
+        return
+    blob = pack_blob(payload, blob_size)
+    assert len(blob) == blob_size
+    assert unpack_blob(blob) == payload
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.text(min_size=0, max_size=3000),
+    st.text(min_size=0, max_size=30),
+    st.integers(min_value=200, max_value=800),
+)
+def test_chunking_reassembles_and_fits(body, title, max_payload):
+    content = {"title": title, "body": body}
+    try:
+        chunks = chunk_content("site.example/page", content, max_payload)
+    except CapacityError:
+        # Legal only when the metadata alone is too big for the budget.
+        probe = dict(content)
+        probe["body"] = ""
+        probe["next"] = "site.example/page~part99"
+        assert len(encode_json_payload(probe)) >= max_payload - 4
+        return
+    # Every chunk fits the budget.
+    for _path, chunk in chunks:
+        assert len(encode_json_payload(chunk)) <= max_payload
+    # Bodies concatenate back to the original.
+    assert "".join(chunk["body"] for _p, chunk in chunks) == body
+    # Chain structure: unique paths, correct next pointers.
+    paths = [path for path, _ in chunks]
+    assert len(set(paths)) == len(paths)
+    for (path, chunk), (next_path, _next_chunk) in zip(chunks, chunks[1:]):
+        assert chunk["next"] == next_path
+    assert "next" not in chunks[-1][1]
+    # Non-body metadata survives on the first chunk.
+    assert chunks[0][1]["title"] == title

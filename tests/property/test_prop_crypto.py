@@ -1,0 +1,66 @@
+"""Property tests for AEAD, keyed hashing, cuckoo tables, and Prio shares."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics.prio import PrioClient, combine_totals
+from repro.crypto import aead
+from repro.crypto.cuckoo import build_table
+from repro.crypto.hashing import KeyedHash
+from repro.errors import CapacityError, IntegrityError
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=300), st.binary(max_size=40), st.binary(min_size=1, max_size=16))
+def test_aead_roundtrip_any_payload(plaintext, associated, key_material):
+    key = aead.generate_key(key_material)
+    sealed = aead.seal(key, plaintext, aad=associated)
+    assert aead.open_sealed(key, sealed, aad=associated) == plaintext
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=1, max_size=120),
+       st.integers(min_value=0, max_value=10**6))
+def test_aead_any_bitflip_detected(plaintext, position):
+    key = aead.generate_key(b"fixed")
+    sealed = bytearray(aead.seal(key, plaintext))
+    sealed[position % len(sealed)] ^= 0x01
+    with pytest.raises(IntegrityError):
+        aead.open_sealed(key, bytes(sealed))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(min_size=1, max_size=60), st.integers(min_value=1, max_value=24))
+def test_keyed_hash_always_in_range(key, bits):
+    h = KeyedHash(bits)
+    for probe in range(3):
+        assert 0 <= h.slot(key, probe) < (1 << bits)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sets(st.text(min_size=1, max_size=12), min_size=1, max_size=40),
+       st.integers(min_value=0, max_value=2**16))
+def test_cuckoo_build_places_every_key(keys, salt_int):
+    keys = sorted(keys)
+    try:
+        table = build_table(keys, domain_bits=8, n_hashes=2,
+                            salt=salt_int.to_bytes(4, "little"))
+    except CapacityError:
+        pytest.skip("unlucky salt family at high load")
+    assert len(table) == len(keys)
+    for key in keys:
+        assert table.slot_of(key) in table.candidates(key)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=32), st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=2**31))
+def test_prio_shares_always_reconstruct(n_domains, index, seed):
+    index = index % n_domains
+    client = PrioClient(n_domains, rng=np.random.default_rng(seed))
+    share0, share1 = client.report(index)
+    combined = combine_totals(share0, share1)
+    expected = np.zeros(n_domains, dtype=np.uint64)
+    expected[index] = 1
+    assert (combined == expected).all()

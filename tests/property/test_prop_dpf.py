@@ -1,0 +1,73 @@
+"""Property-based tests for the DPF — the invariant everything rests on."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.dpf import DpfKey, eval_dpf, eval_dpf_full, gen_dpf
+from repro.crypto.dpf_distributed import eval_subkey_full, split_dpf_key
+
+# Keep domains small enough for full evaluation under hypothesis's budget.
+_DOMAIN = st.integers(min_value=1, max_value=9)
+
+
+@st.composite
+def dpf_case(draw):
+    domain_bits = draw(_DOMAIN)
+    alpha = draw(st.integers(min_value=0, max_value=(1 << domain_bits) - 1))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return domain_bits, alpha, np.random.default_rng(seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dpf_case())
+def test_bit_dpf_point_function(case):
+    """XOR of full evaluations is exactly the indicator of alpha."""
+    domain_bits, alpha, rng = case
+    key0, key1 = gen_dpf(alpha, domain_bits, rng=rng)
+    combined = eval_dpf_full(key0) ^ eval_dpf_full(key1)
+    expected = np.zeros(1 << domain_bits, dtype=np.uint8)
+    expected[alpha] = 1
+    assert (combined == expected).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(dpf_case(), st.binary(min_size=1, max_size=64))
+def test_block_dpf_point_function(case, value):
+    domain_bits, alpha, rng = case
+    key0, key1 = gen_dpf(alpha, domain_bits, value=value, rng=rng)
+    combined = eval_dpf_full(key0) ^ eval_dpf_full(key1)
+    assert bytes(combined[alpha]) == value
+    mask = np.ones(1 << domain_bits, dtype=bool)
+    mask[alpha] = False
+    assert not combined[mask].any()
+
+
+@settings(max_examples=30, deadline=None)
+@given(dpf_case(), st.integers(min_value=0, max_value=511))
+def test_point_eval_consistent_with_full(case, x_raw):
+    domain_bits, alpha, rng = case
+    x = x_raw % (1 << domain_bits)
+    key0, key1 = gen_dpf(alpha, domain_bits, rng=rng)
+    assert eval_dpf(key0, x) == int(eval_dpf_full(key0)[x])
+    assert eval_dpf(key1, x) == int(eval_dpf_full(key1)[x])
+
+
+@settings(max_examples=30, deadline=None)
+@given(dpf_case())
+def test_serialization_roundtrip(case):
+    domain_bits, alpha, rng = case
+    key0, key1 = gen_dpf(alpha, domain_bits, rng=rng)
+    for key in (key0, key1):
+        restored = DpfKey.from_bytes(key.to_bytes())
+        assert (eval_dpf_full(restored) == eval_dpf_full(key)).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(dpf_case(), st.integers(min_value=0, max_value=9))
+def test_distributed_split_equals_full(case, prefix_raw):
+    domain_bits, alpha, rng = case
+    prefix_bits = prefix_raw % (domain_bits + 1)
+    key0, _ = gen_dpf(alpha, domain_bits, rng=rng)
+    subkeys = split_dpf_key(key0, prefix_bits)
+    concat = np.concatenate([eval_subkey_full(s) for s in subkeys])
+    assert (concat == eval_dpf_full(key0)).all()

@@ -1,0 +1,80 @@
+"""Property tests for lightweb paths, lightscript, and storage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lightweb.lightscript import LightscriptProgram, Route
+from repro.core.lightweb.paths import parse_path
+from repro.core.lightweb.storage import LocalStorage
+from repro.errors import LightscriptError, PathError
+
+_domain_label = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?",
+                              fullmatch=True)
+_domain = st.builds(lambda a, b: f"{a}.{b}", _domain_label, _domain_label)
+_rest = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+    max_size=40,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_domain, _rest)
+def test_parse_path_roundtrip(domain, rest):
+    path = domain + "/" + rest
+    parsed = parse_path(path)
+    assert parsed.domain == domain
+    assert parsed.rest == "/" + rest
+    assert parsed.full == path
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=60))
+def test_parse_path_total(path):
+    """Any string either parses or raises PathError — nothing else."""
+    try:
+        parsed = parse_path(path)
+        assert parsed.rest.startswith("/")
+    except PathError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=300))
+def test_lightscript_loader_total(payload):
+    """Hostile code blobs can't crash the browser with odd exceptions."""
+    try:
+        LightscriptProgram.from_json(payload)
+    except LightscriptError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(max_size=80),
+       st.dictionaries(st.from_regex(r"[a-z]{1,8}", fullmatch=True),
+                       st.text(max_size=20), max_size=4))
+def test_render_never_raises(template, storage):
+    """Rendering any template over any storage state must not raise."""
+    try:
+        program = LightscriptProgram(
+            "t.com", [Route(pattern=r"^(/.*)$", render=template)]
+        )
+    except LightscriptError:
+        return
+    route, match = program.match("/x")
+    result = program.render(route, match, storage, {}, [None, {"a": 1}])
+    assert isinstance(result, str)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_domain, st.from_regex(r"[a-z]{1,10}", fullmatch=True),
+       st.one_of(st.text(max_size=30), st.integers(), st.booleans(),
+                 st.lists(st.integers(), max_size=4)))
+def test_storage_roundtrip(domain, key, value):
+    storage = LocalStorage()
+    storage.set(domain, key, value)
+    assert storage.get(domain, key) == value
+    other = domain[:-1] + ("x" if not domain.endswith("x") else "y")
+    try:
+        assert storage.get(other, key) is None
+    except PathError:
+        pass

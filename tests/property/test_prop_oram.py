@@ -1,0 +1,55 @@
+"""Property tests for Path ORAM: it must behave as a plain array, always,
+while keeping its trace shape fixed."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.oram.path_oram import PathOram
+from repro.oram.trace import trace_stats
+
+_op = st.tuples(
+    st.sampled_from(["r", "w"]),
+    st.integers(min_value=0, max_value=15),
+    st.binary(min_size=8, max_size=8),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_op, max_size=60), st.integers(min_value=0, max_value=2**31))
+def test_oram_is_a_correct_array(ops, seed):
+    oram = PathOram(4, 8, rng=np.random.default_rng(seed))
+    reference = {}
+    for op, addr, data in ops:
+        if op == "w":
+            previous = oram.write(addr, data)
+            assert previous == reference.get(addr, b"\x00" * 8)
+            reference[addr] = data
+        else:
+            assert oram.read(addr) == reference.get(addr, b"\x00" * 8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=60),
+       st.integers(min_value=0, max_value=2**31))
+def test_trace_shape_independent_of_ops(ops, seed):
+    """Every logical op touches exactly the same number of buckets."""
+    oram = PathOram(4, 8, rng=np.random.default_rng(seed))
+    for op, addr, data in ops:
+        oram.access(op, addr, data if op == "w" else None)
+    stats = trace_stats(oram.trace)
+    assert stats.fixed_shape
+    assert stats.segment_lengths[0] == 2 * (oram.capacity_bits + 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                max_size=60),
+       st.integers(min_value=0, max_value=2**31))
+def test_address_trace_same_for_data_variants(addresses, seed):
+    """Changing WHAT is written never changes WHERE memory is touched."""
+    oram_a = PathOram(4, 8, rng=np.random.default_rng(seed))
+    oram_b = PathOram(4, 8, rng=np.random.default_rng(seed))
+    for addr in addresses:
+        oram_a.write(addr, b"\xAA" * 8)
+        oram_b.write(addr, b"\xBB" * 8)
+    assert oram_a.trace.addresses() == oram_b.trace.addresses()

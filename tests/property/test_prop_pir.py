@@ -1,0 +1,83 @@
+"""Property tests for the PIR engines: any database, any index, any mode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.lwe import LweParams
+from repro.pir.database import BlobDatabase
+from repro.pir.keyword import decode_record, encode_record
+from repro.pir.singleserver import SingleServerPirClient, SingleServerPirServer
+from repro.pir.twoserver import TwoServerPirClient, TwoServerPirServer
+
+
+@st.composite
+def small_database(draw):
+    domain_bits = draw(st.integers(min_value=2, max_value=7))
+    blob_size = draw(st.integers(min_value=9, max_value=48))
+    n_slots = 1 << domain_bits
+    fills = draw(st.dictionaries(
+        st.integers(min_value=0, max_value=n_slots - 1),
+        st.binary(min_size=0, max_size=blob_size),
+        max_size=12,
+    ))
+    db = BlobDatabase(domain_bits, blob_size)
+    for index, blob in fills.items():
+        db.set_slot(index, blob)
+    return db, fills
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_database(), st.integers(min_value=0, max_value=127))
+def test_two_server_pir_fetches_exact_slot(case, target_raw):
+    db, fills = case
+    target = target_raw % db.n_slots
+    server0 = TwoServerPirServer(db, 0)
+    server1 = TwoServerPirServer(db, 1)
+    client = TwoServerPirClient(db.domain_bits, db.blob_size)
+    got = client.fetch(target, server0, server1)
+    assert got == db.get_slot(target)
+
+
+@settings(max_examples=10, deadline=None)
+@given(small_database(), st.integers(min_value=0, max_value=127),
+       st.integers(min_value=0, max_value=2**31))
+def test_single_server_pir_fetches_exact_slot(case, target_raw, seed):
+    db, _fills = case
+    target = target_raw % db.n_slots
+    server = SingleServerPirServer(db, params=LweParams(n=32))
+    client = SingleServerPirClient(server.setup_blob(),
+                                   rng=np.random.default_rng(seed))
+    assert client.fetch(target, server) == db.get_slot(target)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(min_size=1, max_size=40),
+       st.text(min_size=1, max_size=40),
+       st.binary(max_size=30),
+       st.integers(min_value=48, max_value=128))
+def test_keyword_record_binds_to_its_key(key_a, key_b, payload, blob_size):
+    record = encode_record(key_a, payload, blob_size)
+    assert decode_record(key_a, record) == payload
+    if key_a != key_b:
+        assert decode_record(key_b, record) is None
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=15),
+                          st.binary(min_size=1, max_size=16)),
+                min_size=1, max_size=20))
+def test_database_behaves_like_dict(operations):
+    """Random set/clear sequences: the database equals a plain dict."""
+    db = BlobDatabase(4, 16)
+    reference = {}
+    for index, blob in operations:
+        if blob == b"\x00":  # treat a 1-byte NUL as "clear"
+            db.clear_slot(index)
+            reference.pop(index, None)
+        else:
+            db.set_slot(index, blob)
+            reference[index] = blob.ljust(16, b"\x00")
+    for index in range(16):
+        assert db.get_slot(index) == reference.get(index, b"\x00" * 16)
+    assert db.n_occupied == len(reference)

@@ -1,0 +1,56 @@
+"""Property tests for the cover-traffic schedule invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lightweb.scheduler import CoverTrafficSchedule
+
+_window = st.tuples(
+    st.floats(min_value=0, max_value=11),
+    st.floats(min_value=12, max_value=24),
+)
+_period = st.integers(min_value=60, max_value=7200)
+_visits = st.lists(
+    st.floats(min_value=0, max_value=24 * 3600, allow_nan=False),
+    max_size=30,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_period, _window, _visits, _visits)
+def test_wire_grid_independent_of_behaviour(period, window, visits_a, visits_b):
+    """The defining invariant: two arbitrary users produce identical
+    on-the-wire fetch schedules."""
+    schedule = CoverTrafficSchedule(period, window_hours=window)
+    day_a = schedule.apply(visits_a)
+    day_b = schedule.apply(visits_b)
+    assert day_a.fetch_times == day_b.fetch_times
+
+
+@settings(max_examples=80, deadline=None)
+@given(_period, _window, _visits)
+def test_conservation_and_causality(period, window, visits):
+    """Served + dropped == submitted; service is causal and in-window."""
+    schedule = CoverTrafficSchedule(period, window_hours=window)
+    day = schedule.apply(visits)
+    assert len(day.assignments) + len(day.dropped) == len(visits)
+    assert len(day.assignments) + day.n_dummies == len(day.fetch_times)
+    for real, fetch in day.assignments:
+        assert fetch >= real          # never served before it arrived
+        assert fetch in day.fetch_times
+    # FIFO: both coordinates are sorted.
+    reals = [r for r, _ in day.assignments]
+    fetches = [f for _, f in day.assignments]
+    assert reals == sorted(reals)
+    assert fetches == sorted(fetches)
+    # Every slot serves at most one visit.
+    assert len(set(fetches)) == len(fetches)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_period, _window, _visits)
+def test_latency_nonnegative_and_overhead_bounded(period, window, visits):
+    schedule = CoverTrafficSchedule(period, window_hours=window)
+    day = schedule.apply(visits)
+    assert all(latency >= 0 for latency in day.latencies)
+    assert 0.0 <= day.overhead <= 1.0

@@ -1,0 +1,69 @@
+"""Fuzz the ZLTP server session with arbitrary and shuffled inputs.
+
+The server must never crash, hang, or answer after a fatal error — any
+byte stream either drives the state machine legally or yields exactly one
+ErrorMessage followed by silence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.zltp import messages as msg
+from repro.core.zltp.modes import MODE_PIR2
+from repro.core.zltp.server import ZltpServer
+from repro.pir.database import BlobDatabase
+
+
+def make_session():
+    db = BlobDatabase(6, 32)
+    db.set_slot(3, b"content")
+    return ZltpServer(db, modes=[MODE_PIR2], salt=b"fuzz").create_session()
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(st.binary(max_size=120), min_size=1, max_size=6))
+def test_random_frames_never_crash(frames):
+    session = make_session()
+    replies_after_close = 0
+    closed = False
+    for frame in frames:
+        replies = session.handle_frame(frame)
+        for reply in replies:
+            # Every reply must itself be a decodable message.
+            msg.decode_message(reply)
+        if closed:
+            replies_after_close += len(replies)
+        if session.closed:
+            closed = True
+    assert replies_after_close == 0
+
+
+@st.composite
+def message_sequence(draw):
+    """Sequences of well-formed messages in random (often illegal) order."""
+    pool = [
+        msg.ClientHello(supported_modes=[MODE_PIR2]),
+        msg.ClientHello(supported_modes=["nope"]),
+        msg.SetupRequest(),
+        msg.GetRequest(request_id=draw(st.integers(0, 100)), payload=b"xx"),
+        msg.Bye(),
+    ]
+    picks = draw(st.lists(st.integers(0, len(pool) - 1), min_size=1,
+                          max_size=6))
+    return [pool[i] for i in picks]
+
+
+@settings(max_examples=120, deadline=None)
+@given(message_sequence())
+def test_shuffled_messages_keep_invariants(sequence):
+    session = make_session()
+    for message in sequence:
+        replies = session.handle(message)
+        for reply in replies:
+            assert isinstance(reply, (msg.ServerHello, msg.SetupResponse,
+                                      msg.GetResponse, msg.ErrorMessage))
+        if session.closed:
+            # Once closed, the session stays closed and silent.
+            assert session.handle(msg.SetupRequest()) == []
+            break

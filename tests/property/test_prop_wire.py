@@ -1,0 +1,92 @@
+"""Property tests for framing and the message codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.zltp.messages import (
+    ClientHello,
+    GetRequest,
+    ServerHello,
+    decode_message,
+    decode_payload,
+    encode_message,
+    encode_payload,
+)
+from repro.core.zltp.wire import FrameDecoder, encode_frame
+from repro.errors import ProtocolError, TransportError
+
+import pytest
+
+# JSON-ish values the codec must handle.
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+_value = st.recursive(
+    _scalar,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+_payload = st.dictionaries(st.text(max_size=12), _value, max_size=6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_payload)
+def test_payload_codec_roundtrip(fields):
+    decoded = decode_payload(encode_payload(fields))
+    # Lists come back as lists (tuples were never encoded) — direct compare.
+    assert decoded == fields
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=200))
+def test_decoder_never_crashes_on_garbage(raw):
+    """Arbitrary bytes either decode or raise ProtocolError — no other
+    exception type, no hang."""
+    try:
+        decode_payload(raw)
+    except ProtocolError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=300))
+def test_message_decode_total(raw):
+    try:
+        decode_message(raw)
+    except ProtocolError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.binary(max_size=100), max_size=10),
+       st.integers(min_value=1, max_value=17))
+def test_framing_reassembles_any_chunking(payloads, chunk_size):
+    stream = b"".join(encode_frame(p) for p in payloads)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), chunk_size):
+        out.extend(decoder.feed(stream[i : i + chunk_size]))
+    assert out == payloads
+    assert decoder.pending_bytes == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from(["pir2", "pir-lwe", "enclave-oram"]),
+                min_size=1, max_size=3, unique=True),
+       st.integers(min_value=0, max_value=2**31),
+       st.binary(max_size=64))
+def test_message_roundtrip_random_fields(modes, request_id, payload):
+    for message in (
+        ClientHello(supported_modes=modes),
+        GetRequest(request_id=request_id, payload=payload),
+        ServerHello(blob_size=4096, domain_bits=22, mode=modes[0],
+                    probes=2, salt=payload, mode_params={"x": list(modes)}),
+    ):
+        assert decode_message(encode_message(message)) == message

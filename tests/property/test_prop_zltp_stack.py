@@ -1,0 +1,52 @@
+"""Whole-stack property: anything published is privately retrievable.
+
+Random key-value sets go through the real machinery — keyword placement,
+ZLTP sessions, DPF PIR — and every stored value (and only those) comes
+back through ``GET(key)``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.zltp.client import connect_client
+from repro.core.zltp.modes import MODE_PIR2
+from repro.core.zltp.server import ZltpServer
+from repro.core.zltp.transport import transport_pair
+from repro.errors import CapacityError, CollisionError
+from repro.pir.database import BlobDatabase
+from repro.pir.keyword import KeywordIndex
+
+_key = st.from_regex(r"[a-z]{1,8}\.[a-z]{2,4}/[a-z0-9/]{0,12}", fullmatch=True)
+_pairs = st.dictionaries(_key, st.binary(min_size=0, max_size=40),
+                         min_size=1, max_size=12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_pairs, st.integers(min_value=0, max_value=2**16))
+def test_published_values_retrievable_via_zltp(pairs, salt_int):
+    salt = b"prop" + salt_int.to_bytes(4, "little")
+    stored = {}
+    transports = []
+    databases = [BlobDatabase(9, 80), BlobDatabase(9, 80)]
+    for db in databases:
+        index = KeywordIndex(db, probes=2, salt=salt)
+        local = {}
+        for key, value in sorted(pairs.items()):
+            try:
+                index.put(key, value)
+                local[key] = value
+            except (CollisionError, CapacityError):
+                continue
+        stored = local  # identical across replicas (same salt, same order)
+    for party, db in enumerate(databases):
+        server = ZltpServer(db, modes=[MODE_PIR2], party=party, salt=salt,
+                            probes=2)
+        client_end, server_end = transport_pair()
+        server.serve_transport(server_end)
+        transports.append(client_end)
+    client = connect_client(transports)
+    for key, value in stored.items():
+        assert client.get(key) == value
+    # A key that definitely was not published comes back absent.
+    assert client.get("never.example/missing-key-xyz") is None

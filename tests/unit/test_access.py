@@ -1,0 +1,125 @@
+"""Tests for §3.3 access control and §3.4 paywalls."""
+
+import pytest
+
+from repro.core.lightweb.access import (
+    AccountKeyring,
+    ProtectedPublisher,
+    is_protected,
+)
+from repro.errors import AccessError
+
+
+@pytest.fixture
+def publisher():
+    return ProtectedPublisher("journal.com", b"journal-master-secret",
+                              max_users=16)
+
+
+class TestSealing:
+    def test_envelope_shape(self, publisher):
+        envelope = publisher.seal_content("journal.com/p", {"body": "secret"})
+        assert is_protected(envelope)
+        assert envelope["domain"] == "journal.com"
+        assert envelope["epoch"] == 0
+        assert "secret" not in str(envelope)
+
+    def test_subscriber_can_unseal(self, publisher):
+        account = publisher.open_account()
+        keyring = AccountKeyring()
+        keyring.add_account(account)
+        envelope = publisher.seal_content("journal.com/p", {"body": "secret"})
+        assert keyring.unseal("journal.com/p", envelope) == {"body": "secret"}
+
+    def test_path_binding(self, publisher):
+        """An envelope moved to another path must not decrypt."""
+        account = publisher.open_account()
+        keyring = AccountKeyring()
+        keyring.add_account(account)
+        envelope = publisher.seal_content("journal.com/p1", {"body": "x"})
+        with pytest.raises(AccessError):
+            keyring.unseal("journal.com/p2", envelope)
+
+    def test_non_subscriber_fails(self, publisher):
+        envelope = publisher.seal_content("journal.com/p", {"body": "x"})
+        with pytest.raises(AccessError):
+            AccountKeyring().unseal("journal.com/p", envelope)
+
+    def test_corrupt_envelope_rejected(self, publisher):
+        account = publisher.open_account()
+        keyring = AccountKeyring()
+        keyring.add_account(account)
+        envelope = publisher.seal_content("journal.com/p", {"body": "x"})
+        envelope = dict(envelope)
+        envelope["ct"] = "!!!not-base64!!!"
+        with pytest.raises(AccessError):
+            keyring.unseal("journal.com/p", envelope)
+
+    def test_unprotected_payload_rejected(self):
+        with pytest.raises(AccessError):
+            AccountKeyring().unseal("a.com/p", {"body": "plain"})
+
+
+class TestRevocation:
+    def test_rotation_locks_out_stale_epoch(self, publisher):
+        account = publisher.open_account()
+        keyring = AccountKeyring()
+        keyring.add_account(account)
+        publisher.rotate_keys()  # scheduled rotation, nobody revoked
+        envelope = publisher.seal_content("journal.com/p", {"body": "new"})
+        with pytest.raises(AccessError):
+            keyring.unseal("journal.com/p", envelope)
+
+    def test_refresh_restores_access(self, publisher):
+        account = publisher.open_account()
+        keyring = AccountKeyring()
+        keyring.add_account(account)
+        publisher.rotate_keys()
+        keyring.refresh("journal.com", publisher.epoch_broadcast())
+        envelope = publisher.seal_content("journal.com/p", {"body": "new"})
+        assert keyring.unseal("journal.com/p", envelope) == {"body": "new"}
+
+    def test_revoked_account_cannot_refresh(self, publisher):
+        victim = publisher.open_account()
+        bystander = publisher.open_account()
+        publisher.revoke(victim.user_id)
+        broadcast = publisher.epoch_broadcast()
+        with pytest.raises(AccessError):
+            victim.refresh(broadcast)
+        bystander.refresh(broadcast)  # others are fine
+        keyring = AccountKeyring()
+        keyring.add_account(bystander)
+        envelope = publisher.seal_content("journal.com/p", {"body": "post-revoke"})
+        assert keyring.unseal("journal.com/p", envelope)["body"] == "post-revoke"
+
+    def test_revoked_cannot_read_even_with_old_keys(self, publisher):
+        victim = publisher.open_account()
+        keyring = AccountKeyring()
+        keyring.add_account(victim)
+        publisher.revoke(victim.user_id)
+        envelope = publisher.seal_content("journal.com/p", {"body": "fresh"})
+        with pytest.raises(AccessError):
+            keyring.unseal("journal.com/p", envelope)
+
+
+class TestAccounts:
+    def test_account_ids_increment(self, publisher):
+        a = publisher.open_account()
+        b = publisher.open_account()
+        assert b.user_id == a.user_id + 1
+
+    def test_capacity_exhaustion(self):
+        publisher = ProtectedPublisher("x.com", b"master-secret-bytes",
+                                       max_users=2)
+        publisher.open_account()
+        publisher.open_account()
+        with pytest.raises(AccessError):
+            publisher.open_account()
+
+    def test_keyring_account_lookup(self, publisher):
+        keyring = AccountKeyring()
+        assert not keyring.has_account("journal.com")
+        keyring.add_account(publisher.open_account())
+        assert keyring.has_account("journal.com")
+        with pytest.raises(AccessError):
+            keyring.account("other.com")

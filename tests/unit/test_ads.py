@@ -1,0 +1,111 @@
+"""Tests for local ad targeting (§3.4)."""
+
+from repro.core.lightweb.ads import Ad, AdInventory, select_ad
+
+
+def inventory():
+    return AdInventory([
+        Ad("a1", "Buy hiking boots", keywords=("outdoors", "hiking")),
+        Ad("a2", "Cloud compute deals", keywords=("tech", "cloud")),
+        Ad("a3", "Generic brand thing", keywords=()),
+    ])
+
+
+class TestSelection:
+    def test_interest_match_wins(self):
+        ad = select_ad(inventory(), ["tech"])
+        assert ad.ad_id == "a2"
+
+    def test_multiple_overlap_beats_single(self):
+        inv = AdInventory([
+            Ad("x", "one kw", keywords=("tech",)),
+            Ad("y", "two kw", keywords=("tech", "cloud")),
+        ])
+        assert select_ad(inv, ["tech", "cloud"]).ad_id == "y"
+
+    def test_no_interest_fallback_deterministic(self):
+        assert select_ad(inventory(), []).ad_id == "a1"
+        assert select_ad(inventory(), ["nothing-matching"]).ad_id == "a1"
+
+    def test_case_insensitive(self):
+        assert select_ad(inventory(), ["TECH"]).ad_id == "a2"
+
+    def test_empty_inventory(self):
+        assert select_ad(AdInventory([]), ["tech"]) is None
+
+    def test_tie_breaks_by_id(self):
+        inv = AdInventory([
+            Ad("b", "second", keywords=("k",)),
+            Ad("a", "first", keywords=("k",)),
+        ])
+        assert select_ad(inv, ["k"]).ad_id == "a"
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self):
+        payload = inventory().to_payload()
+        restored = AdInventory.from_payload(payload)
+        assert [ad.ad_id for ad in restored.ads] == ["a1", "a2", "a3"]
+        assert restored.ads[0].keywords == ("outdoors", "hiking")
+
+    def test_tolerates_junk(self):
+        restored = AdInventory.from_payload([{"id": "ok"}, "junk", 42, None])
+        assert len(restored.ads) == 1
+
+    def test_non_list_payload(self):
+        assert AdInventory.from_payload({"not": "a list"}).ads == []
+
+
+class TestBrowserIntegration:
+    def test_selected_ad_injected(self, small_cdn):
+        import numpy as np
+
+        from repro.core.lightweb.browser import LightwebBrowser
+        from repro.core.lightweb.lightscript import LightscriptProgram, Route
+        from repro.core.lightweb.publisher import Publisher
+
+        publisher = Publisher("adsite")
+        site = publisher.site("ads.example")
+        site.add_page("/", {
+            "title": "Sponsored",
+            "body": "content",
+            "ads": inventory().to_payload(),
+        })
+        site.set_program(LightscriptProgram("ads.example", [
+            Route(pattern=r"^/$", fetches=("ads.example/",),
+                  render="{data0.body} -- AD: {data0.selected_ad|none}"),
+        ]))
+        publisher.push(small_cdn, "main")
+        browser = LightwebBrowser(interests=["cloud"],
+                                  rng=np.random.default_rng(7))
+        browser.connect(small_cdn, "main")
+        page = browser.visit("ads.example")
+        assert "Cloud compute deals" in page.text
+
+    def test_targeting_stays_local(self, small_cdn):
+        """The interest profile must never appear in client uploads."""
+        import numpy as np
+
+        from repro.core.lightweb.browser import LightwebBrowser
+
+        browser = LightwebBrowser(interests=["very-secret-interest"],
+                                  rng=np.random.default_rng(8))
+        # Wrap transports to capture upload bytes.
+        captured = []
+
+        def factory(name):
+            from repro.core.zltp.transport import transport_pair
+
+            client_end, server_end = transport_pair(name, name)
+            original = client_end.send_frame
+
+            def tapped(payload):
+                captured.append(payload)
+                original(payload)
+
+            client_end.send_frame = tapped
+            return client_end, server_end
+
+        browser.connect(small_cdn, "main", transport_factory=factory)
+        browser.visit("news.example")
+        assert all(b"very-secret-interest" not in frame for frame in captured)

@@ -1,0 +1,88 @@
+"""Tests for the passive adversary's observation and inference."""
+
+import pytest
+
+from repro.netsim.adversary import Observation, PassiveAdversary
+
+
+def feed(adversary, events):
+    for time, path, direction, size in events:
+        adversary(time, path, direction, size)
+
+
+class TestObservation:
+    def test_recording(self):
+        adversary = PassiveAdversary()
+        feed(adversary, [(0.0, "p", "up", 100), (0.1, "p", "down", 4096)])
+        assert len(adversary.observations) == 2
+        assert adversary.total_bytes() == 4196
+
+    def test_trace_filter_by_path(self):
+        adversary = PassiveAdversary()
+        feed(adversary, [(0.0, "a", "up", 1), (0.1, "b", "up", 2)])
+        assert adversary.trace("a") == [("up", 1)]
+        assert adversary.total_bytes("b") == 2
+
+    def test_paths_seen_order(self):
+        adversary = PassiveAdversary()
+        feed(adversary, [(0.0, "x", "up", 1), (0.1, "y", "up", 1),
+                         (0.2, "x", "up", 1)])
+        assert adversary.paths_seen() == ["x", "y"]
+
+    def test_clear(self):
+        adversary = PassiveAdversary()
+        feed(adversary, [(0.0, "p", "up", 1)])
+        adversary.clear()
+        assert adversary.observations == []
+
+
+class TestEventInference:
+    def test_clusters_by_gap(self):
+        adversary = PassiveAdversary()
+        feed(adversary, [
+            (0.0, "p", "up", 300), (0.1, "p", "down", 4096),
+            (10.0, "p", "up", 300), (10.1, "p", "down", 4096),
+        ])
+        events = adversary.infer_events(gap_seconds=1.0)
+        assert len(events) == 2
+        assert all(e.kind == "page-view" for e in events)
+
+    def test_code_fetch_classified_by_size(self):
+        adversary = PassiveAdversary()
+        feed(adversary, [(0.0, "p", "up", 300), (0.1, "p", "down", 64 * 1024)])
+        events = adversary.infer_events()
+        assert events[0].kind == "code-fetch"
+
+    def test_single_cluster_with_small_gaps(self):
+        adversary = PassiveAdversary()
+        feed(adversary, [(i * 0.1, "p", "up", 100) for i in range(10)])
+        assert len(adversary.infer_events(gap_seconds=1.0)) == 1
+
+    def test_empty_trace(self):
+        assert PassiveAdversary().infer_events() == []
+
+    def test_event_totals(self):
+        adversary = PassiveAdversary()
+        feed(adversary, [(0.0, "p", "up", 10), (0.2, "p", "down", 20)])
+        event = adversary.infer_events()[0]
+        assert event.n_transfers == 2
+        assert event.total_bytes == 30
+
+
+class TestSignature:
+    def test_identical_page_loads_identical_signature(self):
+        """Fixed sizes + fixed counts → one constant histogram."""
+        a = PassiveAdversary()
+        b = PassiveAdversary()
+        load = [(0.0, "p", "up", 300), (0.1, "p", "down", 4100),
+                (0.2, "p", "up", 300), (0.3, "p", "down", 4100)]
+        feed(a, load)
+        feed(b, [(t + 100, p, d, s) for t, p, d, s in load])
+        assert a.request_signature() == b.request_signature()
+
+    def test_different_volumes_distinguishable(self):
+        a = PassiveAdversary()
+        b = PassiveAdversary()
+        feed(a, [(0.0, "p", "down", 1000)])
+        feed(b, [(0.0, "p", "down", 9000)])
+        assert a.request_signature() != b.request_signature()

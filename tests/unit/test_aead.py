@@ -1,0 +1,105 @@
+"""Tests for the authenticated encryption used by §3.3 access control."""
+
+import pytest
+
+from repro.crypto.aead import (
+    KEY_BYTES,
+    NONCE_BYTES,
+    OVERHEAD_BYTES,
+    TAG_BYTES,
+    generate_key,
+    open_sealed,
+    seal,
+)
+from repro.errors import CryptoError, IntegrityError
+
+
+@pytest.fixture
+def key():
+    return generate_key(b"deterministic-test-key")
+
+
+class TestRoundtrip:
+    def test_basic(self, key):
+        sealed = seal(key, b"hello lightweb")
+        assert open_sealed(key, sealed) == b"hello lightweb"
+
+    def test_empty_plaintext(self, key):
+        sealed = seal(key, b"")
+        assert open_sealed(key, sealed) == b""
+
+    def test_large_plaintext(self, key):
+        data = bytes(range(256)) * 64
+        assert open_sealed(key, seal(key, data)) == data
+
+    def test_with_aad(self, key):
+        sealed = seal(key, b"data", aad=b"nytimes.com/world")
+        assert open_sealed(key, sealed, aad=b"nytimes.com/world") == b"data"
+
+    def test_fixed_overhead(self, key):
+        """Ciphertext expansion is constant — required for fixed blobs."""
+        for n in (0, 1, 100, 4000):
+            assert len(seal(key, b"x" * n)) == n + OVERHEAD_BYTES
+        assert OVERHEAD_BYTES == NONCE_BYTES + TAG_BYTES
+
+    def test_explicit_nonce_deterministic(self, key):
+        nonce = b"\x01" * NONCE_BYTES
+        assert seal(key, b"m", nonce=nonce) == seal(key, b"m", nonce=nonce)
+
+    def test_random_nonce_randomises(self, key):
+        assert seal(key, b"m") != seal(key, b"m")
+
+
+class TestRejection:
+    def test_wrong_key(self, key):
+        other = generate_key(b"other")
+        sealed = seal(key, b"secret")
+        with pytest.raises(IntegrityError):
+            open_sealed(other, sealed)
+
+    def test_wrong_aad(self, key):
+        """Path binding: a blob moved to another path must not decrypt."""
+        sealed = seal(key, b"secret", aad=b"a.com/p1")
+        with pytest.raises(IntegrityError):
+            open_sealed(key, sealed, aad=b"a.com/p2")
+
+    def test_flipped_ciphertext_bit(self, key):
+        sealed = bytearray(seal(key, b"secret message"))
+        sealed[NONCE_BYTES + 3] ^= 1
+        with pytest.raises(IntegrityError):
+            open_sealed(key, bytes(sealed))
+
+    def test_flipped_tag_bit(self, key):
+        sealed = bytearray(seal(key, b"secret message"))
+        sealed[-1] ^= 1
+        with pytest.raises(IntegrityError):
+            open_sealed(key, bytes(sealed))
+
+    def test_truncated(self, key):
+        with pytest.raises(IntegrityError):
+            open_sealed(key, seal(key, b"secret")[: OVERHEAD_BYTES - 1])
+
+    def test_bad_key_length(self):
+        with pytest.raises(CryptoError):
+            seal(b"short", b"data")
+
+    def test_bad_nonce_length(self, key):
+        with pytest.raises(CryptoError):
+            seal(key, b"data", nonce=b"short")
+
+
+class TestKeyGeneration:
+    def test_length(self):
+        assert len(generate_key()) == KEY_BYTES
+
+    def test_deterministic_from_material(self):
+        assert generate_key(b"x") == generate_key(b"x")
+        assert generate_key(b"x") != generate_key(b"y")
+
+    def test_fresh_keys_differ(self):
+        assert generate_key() != generate_key()
+
+    def test_ciphertext_hides_plaintext(self, key):
+        sealed = seal(key, b"A" * 64, nonce=b"\x02" * NONCE_BYTES)
+        body = sealed[NONCE_BYTES:-TAG_BYTES]
+        assert b"A" * 8 not in body

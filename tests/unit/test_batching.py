@@ -1,0 +1,135 @@
+"""Tests for §5.1 request batching: the model and the scheduler."""
+
+import pytest
+
+from repro.errors import CryptoError
+from repro.pir.batching import (
+    BatchCostModel,
+    BatchScheduler,
+    PAPER_AMORTIZED_REQUEST_SECONDS,
+    PAPER_BATCH_SIZE,
+    PAPER_UNBATCHED_REQUEST_SECONDS,
+)
+from repro.pir.database import BlobDatabase
+from repro.pir.twoserver import TwoServerPirClient, TwoServerPirServer
+
+
+class TestBatchCostModel:
+    def test_reproduces_paper_endpoints(self):
+        """§5.1: batch 1 → 0.51 s / ~2 rps; batch 16 → 2.6 s / 6 rps."""
+        model = BatchCostModel()
+        single = model.point(1)
+        assert single.latency_seconds == pytest.approx(0.51)
+        assert single.throughput_rps == pytest.approx(2.0, rel=0.05)
+        batched = model.point(PAPER_BATCH_SIZE)
+        assert batched.per_request_seconds == pytest.approx(0.167)
+        assert batched.latency_seconds == pytest.approx(2.67, rel=0.05)
+        assert batched.throughput_rps == pytest.approx(6.0, rel=0.05)
+
+    def test_latency_monotone_increasing(self):
+        model = BatchCostModel()
+        curve = model.curve([1, 2, 4, 8, 16, 32])
+        latencies = [p.latency_seconds for p in curve]
+        assert latencies == sorted(latencies)
+
+    def test_throughput_monotone_increasing(self):
+        model = BatchCostModel()
+        curve = model.curve([1, 2, 4, 8, 16, 32])
+        throughputs = [p.throughput_rps for p in curve]
+        assert throughputs == sorted(throughputs)
+
+    def test_per_request_cost_decreasing(self):
+        model = BatchCostModel()
+        assert (model.per_request_seconds(1)
+                > model.per_request_seconds(4)
+                > model.per_request_seconds(64))
+
+    def test_validation(self):
+        with pytest.raises(CryptoError):
+            BatchCostModel(amortized_seconds=0)
+        with pytest.raises(CryptoError):
+            BatchCostModel(amortized_seconds=1.0, unbatched_seconds=0.5)
+        with pytest.raises(CryptoError):
+            BatchCostModel().point(0)
+
+    def test_custom_constants(self):
+        model = BatchCostModel(amortized_seconds=0.01, unbatched_seconds=0.03,
+                               reference_batch=8)
+        assert model.per_request_seconds(1) == pytest.approx(0.03)
+        assert model.per_request_seconds(8) == pytest.approx(0.01)
+
+
+def make_server(domain_bits=6, blob_size=24):
+    db = BlobDatabase(domain_bits, blob_size)
+    for i in range(db.n_slots):
+        db.set_slot(i, f"row-{i}".encode())
+    return TwoServerPirServer(db, party=0), TwoServerPirClient(domain_bits, blob_size)
+
+
+class TestBatchScheduler:
+    def test_auto_flush_on_full_batch(self):
+        server, client = make_server()
+        scheduler = BatchScheduler(server, batch_size=4)
+        tickets = [scheduler.submit(client.query(i)[0]) for i in range(4)]
+        assert scheduler.pending_count == 0
+        for i, ticket in enumerate(tickets):
+            share = scheduler.result(ticket)
+            assert share is not None and len(share) == 24
+
+    def test_partial_batch_waits(self):
+        server, client = make_server()
+        scheduler = BatchScheduler(server, batch_size=4)
+        ticket = scheduler.submit(client.query(0)[0])
+        assert scheduler.result(ticket) is None
+        assert scheduler.pending_count == 1
+        scheduler.flush()
+        assert scheduler.result(ticket) is not None
+
+    def test_results_are_correct_shares(self):
+        """Scheduler answers must XOR-combine like direct answers."""
+        server0, client = make_server()
+        db1 = BlobDatabase(6, 24)
+        for i in range(64):
+            db1.set_slot(i, f"row-{i}".encode())
+        server1 = TwoServerPirServer(db1, party=1)
+        sched0 = BatchScheduler(server0, batch_size=2)
+        sched1 = BatchScheduler(server1, batch_size=2)
+        pairs = [client.query(i) for i in (3, 7)]
+        t0 = [sched0.submit(k0) for k0, _ in pairs]
+        t1 = [sched1.submit(k1) for _, k1 in pairs]
+        for index, ta, tb in zip((3, 7), t0, t1):
+            record = client.reconstruct(sched0.result(ta), sched1.result(tb))
+            assert record.rstrip(b"\x00") == f"row-{index}".encode()
+
+    def test_measured_point_populated(self):
+        server, client = make_server()
+        scheduler = BatchScheduler(server, batch_size=2)
+        for i in range(4):
+            scheduler.submit(client.query(i)[0])
+        point = scheduler.measured_point()
+        assert point.batch_size == 2
+        assert point.per_request_seconds > 0
+        assert point.throughput_rps > 0
+        assert scheduler.completed_batches == 2
+
+    def test_measured_point_requires_traffic(self):
+        server, _ = make_server()
+        with pytest.raises(CryptoError):
+            BatchScheduler(server, batch_size=2).measured_point()
+
+    def test_result_consumed_once(self):
+        server, client = make_server()
+        scheduler = BatchScheduler(server, batch_size=1)
+        ticket = scheduler.submit(client.query(0)[0])
+        assert scheduler.result(ticket) is not None
+        assert scheduler.result(ticket) is None
+
+    def test_invalid_batch_size(self):
+        server, _ = make_server()
+        with pytest.raises(CryptoError):
+            BatchScheduler(server, batch_size=0)
+
+    def test_paper_constants_exported(self):
+        assert PAPER_UNBATCHED_REQUEST_SECONDS == 0.51
+        assert PAPER_AMORTIZED_REQUEST_SECONDS == 0.167
+        assert PAPER_BATCH_SIZE == 16

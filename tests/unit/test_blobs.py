@@ -1,0 +1,119 @@
+"""Tests for blob packing and content chunking."""
+
+import json
+
+import pytest
+
+from repro.core.lightweb.blobs import (
+    chunk_content,
+    continuation_path,
+    decode_json_payload,
+    encode_json_payload,
+    pack_blob,
+    unpack_blob,
+)
+from repro.errors import CapacityError, ProtocolError
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        blob = pack_blob(b"payload", 64)
+        assert len(blob) == 64
+        assert unpack_blob(blob) == b"payload"
+
+    def test_empty_payload(self):
+        assert unpack_blob(pack_blob(b"", 16)) == b""
+
+    def test_max_payload(self):
+        payload = b"x" * 60
+        assert unpack_blob(pack_blob(payload, 64)) == payload
+
+    def test_oversize_rejected(self):
+        with pytest.raises(CapacityError):
+            pack_blob(b"x" * 61, 64)
+
+    def test_fixed_size_indistinguishable(self):
+        """Two different payload lengths → identical blob length."""
+        assert len(pack_blob(b"a", 128)) == len(pack_blob(b"a" * 100, 128))
+
+    def test_inconsistent_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_blob(b"\xff\xff\xff\xff" + b"short")
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_blob(b"\x01")
+
+
+class TestJsonPayload:
+    def test_roundtrip(self):
+        obj = {"title": "T", "body": "B", "n": 3, "nested": {"a": [1, 2]}}
+        assert decode_json_payload(encode_json_payload(obj)) == obj
+
+    def test_canonical_ordering(self):
+        a = encode_json_payload({"b": 1, "a": 2})
+        b = encode_json_payload({"a": 2, "b": 1})
+        assert a == b
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_json_payload(b"{not json")
+
+    def test_non_utf8_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_json_payload(b"\xff\xfe")
+
+
+class TestChunking:
+    def test_small_content_unchanged(self):
+        content = {"title": "T", "body": "short"}
+        chunks = chunk_content("a.com/p", content, 1000)
+        assert chunks == [("a.com/p", content)]
+
+    def test_long_body_chunked_with_next_links(self):
+        content = {"title": "Long", "body": "word " * 500}
+        chunks = chunk_content("a.com/p", content, 400)
+        assert len(chunks) > 1
+        # First chunk keeps the metadata and points at part 1.
+        first_path, first = chunks[0]
+        assert first_path == "a.com/p"
+        assert first["title"] == "Long"
+        assert first["next"] == continuation_path("a.com/p", 1)
+        # Middle chunks link onward; the last has no next.
+        assert "next" not in chunks[-1][1]
+        for i, (path, chunk) in enumerate(chunks[1:], start=1):
+            assert path == continuation_path("a.com/p", i)
+
+    def test_chunks_reassemble_exactly(self):
+        body = "".join(f"sentence {i}. " for i in range(400))
+        chunks = chunk_content("a.com/p", {"title": "T", "body": body}, 512)
+        reassembled = "".join(chunk["body"] for _, chunk in chunks)
+        assert reassembled == body
+
+    def test_every_chunk_fits_budget(self):
+        body = "x" * 5000
+        chunks = chunk_content("a.com/p", {"title": "T", "body": body}, 600)
+        for _, chunk in chunks:
+            assert len(encode_json_payload(chunk)) <= 600
+
+    def test_json_escaping_respected(self):
+        """Bodies full of escapes must still fit after encoding."""
+        body = '"\\\n' * 800
+        chunks = chunk_content("a.com/p", {"body": body}, 500)
+        for _, chunk in chunks:
+            assert len(encode_json_payload(chunk)) <= 500
+        assert "".join(c["body"] for _, c in chunks) == body
+
+    def test_unchunkable_content_rejected(self):
+        content = {"data": list(range(2000))}  # no string body field
+        with pytest.raises(CapacityError):
+            chunk_content("a.com/p", content, 200)
+
+    def test_oversized_metadata_rejected(self):
+        content = {"title": "t" * 500, "body": "x" * 1000}
+        with pytest.raises(CapacityError):
+            chunk_content("a.com/p", content, 300)
+
+    def test_continuation_path_validation(self):
+        with pytest.raises(CapacityError):
+            continuation_path("a.com/p", 0)

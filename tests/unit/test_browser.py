@@ -1,0 +1,187 @@
+"""Tests for the lightweb browser (§3.2's browsing session anatomy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser, RenderedPage
+from repro.core.lightweb.lightscript import LightscriptProgram, Route
+from repro.core.lightweb.publisher import Publisher
+from repro.errors import PathError, ProtocolError
+
+
+@pytest.fixture
+def browser(small_cdn):
+    browser = LightwebBrowser(rng=np.random.default_rng(1))
+    browser.connect(small_cdn, "main")
+    return browser
+
+
+class TestBasicBrowsing:
+    def test_visit_renders_page(self, browser):
+        page = browser.visit("news.example")
+        assert "Front page" in page.text
+        assert page.path == "news.example/"
+
+    def test_links_extracted_and_labelled(self, browser):
+        page = browser.visit("news.example")
+        assert ("news.example/world", "World") in page.links
+        assert "[[" not in page.text
+        assert "World" in page.text
+
+    def test_follow_link(self, browser):
+        page = browser.visit("news.example")
+        world = browser.follow(page, 0)
+        assert "world news body" in world.text
+
+    def test_follow_bad_index(self, browser):
+        page = browser.visit("news.example")
+        with pytest.raises(PathError):
+            browser.follow(page, 99)
+
+    def test_unknown_domain_raises(self, browser):
+        with pytest.raises(PathError):
+            browser.visit("ghost.example/x")
+
+    def test_unknown_route_renders_not_found(self, small_cdn):
+        # The default program matches everything, so build a custom site
+        # with a narrow route.
+        publisher = Publisher("narrow")
+        site = publisher.site("narrow.example")
+        site.add_page("/only", "the only page")
+        site.set_program(LightscriptProgram("narrow.example", [
+            Route(pattern=r"^/only$", fetches=("narrow.example/only",),
+                  render="{data0.body}"),
+        ]))
+        publisher.push(small_cdn, "main")
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.connect(small_cdn, "main")
+        page = browser.visit("narrow.example/elsewhere")
+        assert "[not found]" in page.text
+        assert page.notes
+
+    def test_history_recorded(self, browser):
+        browser.visit("news.example")
+        browser.visit("blog.example")
+        assert browser.history == ["news.example/", "blog.example/"]
+
+    def test_visit_requires_connection(self):
+        with pytest.raises(ProtocolError):
+            LightwebBrowser().visit("a.com")
+
+    def test_close(self, browser):
+        browser.close()
+        assert not browser.connected
+
+
+class TestLeakageContract:
+    def test_fixed_data_gets_per_visit(self, browser):
+        """§3.2: the number of data GETs per page view is fixed."""
+        budget = browser.fetch_budget
+        browser.visit("news.example")
+        assert browser.gets_for_last_visit()["data-get"] == budget
+        browser.visit("news.example/world")
+        assert browser.gets_for_last_visit()["data-get"] == budget
+
+    def test_not_found_page_same_get_count(self, browser):
+        """Even a 404 must not change the observable fetch count."""
+        budget = browser.fetch_budget
+        browser.visit("news.example/definitely/missing")
+        assert browser.gets_for_last_visit()["data-get"] == budget
+
+    def test_code_fetch_only_on_first_domain_visit(self, browser):
+        browser.visit("news.example")
+        assert browser.gets_for_last_visit()["code-get"] == 1
+        browser.visit("news.example/world")
+        assert browser.gets_for_last_visit()["code-get"] == 0
+
+    def test_forget_domain_forces_code_refetch(self, browser):
+        browser.visit("news.example")
+        browser.forget_domain("news.example")
+        browser.visit("news.example")
+        assert browser.gets_for_last_visit()["code-get"] == 1
+
+    def test_byte_counters_progress(self, browser):
+        browser.visit("news.example")
+        assert browser.bytes_sent > 0
+        assert browser.bytes_received > 0
+
+
+class TestContinuations:
+    def test_long_article_next_link(self, small_cdn):
+        publisher = Publisher("long")
+        site = publisher.site("long.example")
+        site.add_page("/article", {"title": "Long read",
+                                   "body": "paragraph " * 600})
+        publisher.push(small_cdn, "main")
+        browser = LightwebBrowser(rng=np.random.default_rng(3))
+        browser.connect(small_cdn, "main")
+        page = browser.visit("long.example/article")
+        next_links = [t for t, label in page.links if label == "next"]
+        assert next_links
+        cont = browser.visit(next_links[0])
+        assert "paragraph" in cont.text
+
+
+class TestPromptsAndStorage:
+    def test_prompt_fills_storage_once(self, small_cdn):
+        publisher = Publisher("w")
+        site = publisher.site("w.example")
+        site.add_page("/zip/94704.json", {"forecast": "sunny"})
+        site.set_program(LightscriptProgram("w.example", [
+            Route(pattern=r"^/$",
+                  fetches=("w.example/zip/{local.zip|00000}.json",),
+                  render="{data0.forecast|unknown}",
+                  prompts=("zip",)),
+        ]))
+        publisher.push(small_cdn, "main")
+        calls = []
+
+        def prompt(domain, key):
+            calls.append((domain, key))
+            return "94704"
+
+        browser = LightwebBrowser(prompt_handler=prompt,
+                                  rng=np.random.default_rng(4))
+        browser.connect(small_cdn, "main")
+        assert browser.visit("w.example").text == "sunny"
+        assert browser.visit("w.example").text == "sunny"
+        assert calls == [("w.example", "zip")]  # prompted once, cached after
+
+    def test_no_prompt_handler_uses_default(self, small_cdn):
+        publisher = Publisher("w2")
+        site = publisher.site("w2.example")
+        site.add_page("/zip/00000.json", {"forecast": "default-town"})
+        site.set_program(LightscriptProgram("w2.example", [
+            Route(pattern=r"^/$",
+                  fetches=("w2.example/zip/{local.zip|00000}.json",),
+                  render="{data0.forecast|unknown}",
+                  prompts=("zip",)),
+        ]))
+        publisher.push(small_cdn, "main")
+        browser = LightwebBrowser(rng=np.random.default_rng(5))
+        browser.connect(small_cdn, "main")
+        assert browser.visit("w2.example").text == "default-town"
+
+
+class TestQueryParameters:
+    def test_query_reaches_template(self, small_cdn):
+        publisher = Publisher("q")
+        site = publisher.site("q.example")
+        site.add_page("/results/uganda.json", {"hits": "3 articles"})
+        site.set_program(LightscriptProgram("q.example", [
+            Route(pattern=r"^/search$",
+                  fetches=("q.example/results/{query.q|none}.json",),
+                  render="results: {data0.hits|none}"),
+        ]))
+        publisher.push(small_cdn, "main")
+        browser = LightwebBrowser(rng=np.random.default_rng(6))
+        browser.connect(small_cdn, "main")
+        page = browser.visit("q.example/search?q=uganda")
+        assert page.text == "results: 3 articles"
+
+
+class TestRenderedPage:
+    def test_link_targets(self):
+        page = RenderedPage(path="a.com/", text="t",
+                            links=[("a.com/x", "X"), ("b.com/", "B")])
+        assert page.link_targets() == ["a.com/x", "b.com/"]

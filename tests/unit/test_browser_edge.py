@@ -1,0 +1,102 @@
+"""Edge-case tests for the browser beyond the happy paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser, _parse_query
+from repro.core.lightweb.publisher import Publisher
+from repro.errors import PathError, ProtocolError
+
+
+class TestQueryParsing:
+    def test_basic(self):
+        assert _parse_query("a=1&b=two") == {"a": "1", "b": "two"}
+
+    def test_empty(self):
+        assert _parse_query("") == {}
+
+    def test_valueless_key(self):
+        assert _parse_query("flag&x=1") == {"flag": "", "x": "1"}
+
+    def test_duplicate_keys_last_wins(self):
+        assert _parse_query("a=1&a=2") == {"a": "2"}
+
+    def test_stray_separators(self):
+        assert _parse_query("&&a=1&&") == {"a": "1"}
+
+
+class TestBrowserGuards:
+    def test_dummy_page_view_requires_connection(self):
+        with pytest.raises(ProtocolError):
+            LightwebBrowser().dummy_page_view()
+
+    def test_visit_invalid_path(self, small_cdn):
+        browser = LightwebBrowser(rng=np.random.default_rng(0))
+        browser.connect(small_cdn, "main")
+        with pytest.raises(PathError):
+            browser.visit("no_domain_here")
+
+    def test_dummy_page_view_costs_exactly_budget(self, small_cdn):
+        browser = LightwebBrowser(rng=np.random.default_rng(1))
+        browser.connect(small_cdn, "main")
+        before = len(browser.network_log)
+        browser.dummy_page_view()
+        added = browser.network_log[before:]
+        assert len(added) == browser.fetch_budget
+        assert all(event["kind"] == "data-get" for event in added)
+
+    def test_dummy_page_views_leave_history_alone(self, small_cdn):
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.connect(small_cdn, "main")
+        browser.dummy_page_view()
+        assert browser.history == []
+
+
+class TestOddContent:
+    def test_non_dict_blob_wrapped_as_body(self, small_cdn):
+        """A blob holding a bare JSON list still renders via {dataN.body}."""
+        from repro.core.lightweb.blobs import encode_json_payload
+
+        universe = small_cdn.universe("main")
+        universe.register_domain("odd", "odd.example")
+        universe.put_data("odd", "odd.example/list",
+                          encode_json_payload(["alpha", "beta"]))
+        from repro.core.lightweb.lightscript import LightscriptProgram, Route
+
+        program = LightscriptProgram("odd.example", [
+            Route(pattern=r"^/$", fetches=("odd.example/list",),
+                  render="[{data0.body}]"),
+        ])
+        universe.put_code("odd", "odd.example", program.to_json())
+        browser = LightwebBrowser(rng=np.random.default_rng(3))
+        browser.connect(small_cdn, "main")
+        page = browser.visit("odd.example")
+        assert "alpha" in page.text and "beta" in page.text
+
+    def test_empty_render_template(self, small_cdn):
+        publisher = Publisher("empty")
+        site = publisher.site("empty.example")
+        from repro.core.lightweb.lightscript import LightscriptProgram, Route
+
+        site.add_page("/", "unused")
+        site.set_program(LightscriptProgram("empty.example", [
+            Route(pattern=r"^/$"),
+        ]))
+        publisher.push(small_cdn, "main")
+        browser = LightwebBrowser(rng=np.random.default_rng(4))
+        browser.connect(small_cdn, "main")
+        page = browser.visit("empty.example")
+        assert page.text == ""
+        # The budget is still honoured even with zero planned fetches.
+        assert browser.gets_for_last_visit()["data-get"] == browser.fetch_budget
+
+    def test_link_label_defaults_to_target(self, small_cdn):
+        publisher = Publisher("links")
+        site = publisher.site("links.example")
+        site.add_page("/", "see [[links.example/x]]")
+        site.add_page("/x", "x marks")
+        publisher.push(small_cdn, "main")
+        browser = LightwebBrowser(rng=np.random.default_rng(5))
+        browser.connect(small_cdn, "main")
+        page = browser.visit("links.example")
+        assert ("links.example/x", "links.example/x") in page.links

@@ -1,0 +1,66 @@
+"""Tests for fleet capacity planning."""
+
+import pytest
+
+from repro.costmodel.billing import UserProfile
+from repro.costmodel.capacity import FleetPlan, peak_request_rate, plan_fleet
+from repro.costmodel.datasets import C4, WIKIPEDIA
+from repro.errors import ReproError
+
+
+class TestPeakRate:
+    def test_paper_profile_rate(self):
+        # 250 GETs/day over 16 active hours, 2x peak: ~8.7 mHz per user.
+        rate = peak_request_rate(1000, UserProfile())
+        assert rate == pytest.approx(1000 * 250 / (16 * 3600) * 2)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            peak_request_rate(0, UserProfile())
+        with pytest.raises(ReproError):
+            peak_request_rate(10, UserProfile(), active_hours=0)
+
+
+class TestPlanFleet:
+    def test_c4_small_population(self):
+        plan = plan_fleet(C4, n_users=1000)
+        assert plan.n_groups >= 1
+        # One group is 2 x 305 machines.
+        assert plan.n_machines % (2 * 305) == 0
+        assert plan.batch_latency_seconds == pytest.approx(2.67, rel=0.05)
+
+    def test_machines_scale_with_population(self):
+        small = plan_fleet(C4, n_users=1_000)
+        large = plan_fleet(C4, n_users=1_000_000)
+        assert large.n_machines > small.n_machines
+        assert large.n_groups >= 100 * small.n_groups / 2
+
+    def test_per_user_cost_amortises(self):
+        """At scale, fleet cost per user approaches the §4 usage cost."""
+        plan = plan_fleet(C4, n_users=5_000_000)
+        # §4's usage-based figure is ~$15-18/month; an owned fleet at high
+        # utilisation lands in the same regime (same order of magnitude).
+        assert 1 < plan.per_user_monthly_usd < 100
+
+    def test_wikipedia_cheaper_than_c4(self):
+        c4 = plan_fleet(C4, n_users=100_000)
+        wiki = plan_fleet(WIKIPEDIA, n_users=100_000)
+        assert wiki.n_machines < c4.n_machines
+        assert wiki.per_user_monthly_usd < c4.per_user_monthly_usd
+
+    def test_headroom_adds_groups(self):
+        tight = plan_fleet(C4, n_users=500_000, headroom=1.0)
+        padded = plan_fleet(C4, n_users=500_000, headroom=2.0)
+        assert padded.n_groups >= tight.n_groups
+
+    def test_bigger_batches_fewer_groups(self):
+        small_batch = plan_fleet(C4, n_users=500_000, batch_size=2)
+        big_batch = plan_fleet(C4, n_users=500_000, batch_size=32)
+        assert big_batch.n_groups <= small_batch.n_groups
+        assert big_batch.batch_latency_seconds > small_batch.batch_latency_seconds
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            plan_fleet(C4, n_users=100, batch_size=0)
+        with pytest.raises(ReproError):
+            plan_fleet(C4, n_users=100, headroom=0.5)

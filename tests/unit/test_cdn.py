@@ -1,0 +1,137 @@
+"""Tests for the CDN: universes, sessions, pushes, peering hooks."""
+
+import pytest
+
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.peering import DomainRegistry
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_ENCLAVE, MODE_PIR2
+from repro.errors import OwnershipError, PathError
+
+
+class TestUniverseManagement:
+    def test_create_and_lookup(self):
+        cdn = Cdn("akamai")
+        universe = cdn.create_universe("u1", data_domain_bits=8,
+                                       code_domain_bits=6)
+        assert cdn.universe("u1") is universe
+        assert cdn.universes() == ["u1"]
+
+    def test_duplicate_name_rejected(self):
+        cdn = Cdn("akamai")
+        cdn.create_universe("u1", data_domain_bits=8, code_domain_bits=6)
+        with pytest.raises(PathError):
+            cdn.create_universe("u1")
+
+    def test_unknown_universe(self):
+        with pytest.raises(PathError):
+            Cdn("akamai").universe("ghost")
+
+    def test_multiple_tiered_universes(self):
+        """§3.5: one CDN offering small/medium/large universes."""
+        cdn = Cdn("akamai")
+        for name, size in (("small", 512), ("medium", 2048), ("large", 8192)):
+            cdn.create_universe(name, data_blob_size=size,
+                                data_domain_bits=8, code_domain_bits=6)
+        assert len(cdn.universes()) == 3
+        assert cdn.universe("large").data_blob_size == 8192
+
+
+class TestPushes:
+    def test_push_registers_and_stores(self, small_cdn):
+        universe = small_cdn.universe("main")
+        assert universe.owner_of("news.example") == "acme"
+        assert universe.n_pages >= 4
+
+    def test_cross_publisher_domain_conflict(self, small_cdn):
+        rival = Publisher("rival")
+        rival.site("news.example").add_page("/", "squatting")
+        with pytest.raises(OwnershipError):
+            rival.push(small_cdn, "main")
+
+    def test_registry_shared_state(self):
+        registry = DomainRegistry()
+        cdn = Cdn("akamai", registry=registry)
+        cdn.create_universe("u", data_domain_bits=8, code_domain_bits=6)
+        publisher = Publisher("acme")
+        publisher.site("a.com").add_page("/", "x")
+        publisher.push(cdn, "u")
+        assert registry.owner_of("a.com") == "acme"
+
+
+class TestSessions:
+    def test_connect_code_and_data(self, small_cdn):
+        code = small_cdn.connect("main", "code")
+        data = small_cdn.connect("main", "data")
+        assert code.mode == MODE_PIR2
+        assert code.blob_size == small_cdn.universe("main").code_blob_size
+        assert data.blob_size == small_cdn.universe("main").data_blob_size
+
+    def test_kind_validated(self, small_cdn):
+        with pytest.raises(PathError):
+            small_cdn.connect("main", "video")
+
+    def test_mode_preference_respected(self):
+        cdn = Cdn("edge", modes=[MODE_ENCLAVE, MODE_PIR2])
+        cdn.create_universe("u", data_domain_bits=8, code_domain_bits=6)
+        publisher = Publisher("p")
+        publisher.site("a.com").add_page("/", "x")
+        publisher.push(cdn, "u")
+        client = cdn.connect("u", "data")
+        assert client.mode == MODE_ENCLAVE
+
+    def test_gets_counted_for_billing(self, small_cdn):
+        client = small_cdn.connect("main", "data")
+        before = small_cdn.total_gets("main")
+        client.get("news.example/world")
+        assert small_cdn.total_gets("main") > before
+
+    def test_record_gets_manual(self):
+        cdn = Cdn("c")
+        cdn.create_universe("u", data_domain_bits=8, code_domain_bits=6)
+        cdn.record_gets("u", 10)
+        cdn.record_gets("u", 5)
+        assert cdn.total_gets("u") == 15
+
+
+class TestPeering:
+    def test_peering_requires_shared_registry(self):
+        a = Cdn("a")
+        b = Cdn("b")
+        with pytest.raises(OwnershipError):
+            a.peer_with(b)
+
+    def test_push_propagates_to_peer(self):
+        registry = DomainRegistry()
+        a = Cdn("a", registry=registry)
+        b = Cdn("b", registry=registry)
+        for cdn in (a, b):
+            cdn.create_universe("shared", data_domain_bits=9,
+                                code_domain_bits=6)
+        a.peer_with(b)
+        publisher = Publisher("acme")
+        publisher.site("mirror.example").add_page("/", "mirrored content")
+        publisher.push(a, "shared")
+        # The peer received the content without a separate push.
+        assert b.universe("shared").owner_of("mirror.example") == "acme"
+        assert b.universe("shared").n_pages == a.universe("shared").n_pages
+
+    def test_peering_symmetric_and_idempotent(self):
+        registry = DomainRegistry()
+        a = Cdn("a", registry=registry)
+        b = Cdn("b", registry=registry)
+        a.peer_with(b)
+        a.peer_with(b)
+        assert a.peers == [b]
+        assert b.peers == [a]
+
+    def test_push_skips_peers_without_universe(self):
+        registry = DomainRegistry()
+        a = Cdn("a", registry=registry)
+        b = Cdn("b", registry=registry)
+        a.create_universe("only-a", data_domain_bits=8, code_domain_bits=6)
+        a.peer_with(b)
+        publisher = Publisher("acme")
+        publisher.site("solo.example").add_page("/", "x")
+        publisher.push(a, "only-a")  # must not raise
+        assert b.universes() == []

@@ -1,0 +1,100 @@
+"""Tests for the vectorised ChaCha20 block function."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.chacha import chacha20_block, chacha20_stream, xor_stream
+from repro.errors import CryptoError
+
+# RFC 8439 §2.3.2 test vector.
+_RFC_KEY = bytes(range(32))
+_RFC_NONCE = (0x09000000, 0x4A000000, 0x00000000)
+_RFC_COUNTER = 1
+_RFC_FIRST_WORDS = [
+    0xE4E7F110, 0x15593BD1, 0x1FDD0F50, 0xC47120A3,
+    0xC7F4D1C7, 0x0368C033, 0x9AAA2204, 0x4E6CD4C3,
+    0x466482D2, 0x09AA9F07, 0x05D7C214, 0xA2028BD9,
+    0xD19C12B5, 0xB94E16DE, 0xE883D0CB, 0x4E3C50A2,
+]
+
+
+def _rfc_inputs(n=1):
+    keys = np.tile(np.frombuffer(_RFC_KEY, dtype="<u4").astype(np.uint32), (n, 1))
+    counters = np.full(n, _RFC_COUNTER, dtype=np.uint32)
+    nonces = np.tile(np.array(_RFC_NONCE, dtype=np.uint32), (n, 1))
+    return keys, counters, nonces
+
+
+class TestChachaBlock:
+    def test_rfc8439_vector(self):
+        block = chacha20_block(*_rfc_inputs())
+        assert block.shape == (1, 16)
+        assert list(block[0]) == _RFC_FIRST_WORDS
+
+    def test_batch_matches_single(self):
+        keys, counters, nonces = _rfc_inputs(5)
+        batch = chacha20_block(keys, counters, nonces)
+        for row in batch:
+            assert list(row) == _RFC_FIRST_WORDS
+
+    def test_mixed_batch_independent(self):
+        keys, counters, nonces = _rfc_inputs(3)
+        counters = np.array([0, 1, 2], dtype=np.uint32)
+        batch = chacha20_block(keys, counters, nonces)
+        assert list(batch[1]) == _RFC_FIRST_WORDS
+        assert list(batch[0]) != list(batch[1])
+        assert list(batch[2]) != list(batch[1])
+
+    def test_deterministic(self):
+        a = chacha20_block(*_rfc_inputs(4))
+        b = chacha20_block(*_rfc_inputs(4))
+        assert (a == b).all()
+
+    def test_different_keys_differ(self):
+        keys, counters, nonces = _rfc_inputs(2)
+        keys[1, 0] ^= 1
+        batch = chacha20_block(keys, counters, nonces)
+        assert list(batch[0]) != list(batch[1])
+
+    def test_bad_key_shape_rejected(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(
+                np.zeros((2, 7), dtype=np.uint32),
+                np.zeros(2, dtype=np.uint32),
+                np.zeros((2, 3), dtype=np.uint32),
+            )
+
+    def test_mismatched_counters_rejected(self):
+        keys, _counters, nonces = _rfc_inputs(2)
+        with pytest.raises(CryptoError):
+            chacha20_block(keys, np.zeros(3, dtype=np.uint32), nonces)
+
+
+class TestChachaStream:
+    def test_length_exact(self):
+        for length in (0, 1, 63, 64, 65, 200):
+            assert len(chacha20_stream(_RFC_KEY, _RFC_NONCE, length)) == length
+
+    def test_prefix_consistency(self):
+        long = chacha20_stream(_RFC_KEY, _RFC_NONCE, 500)
+        short = chacha20_stream(_RFC_KEY, _RFC_NONCE, 100)
+        assert long[:100] == short
+
+    def test_nonce_separation(self):
+        a = chacha20_stream(_RFC_KEY, (1, 2, 3), 64)
+        b = chacha20_stream(_RFC_KEY, (1, 2, 4), 64)
+        assert a != b
+
+    def test_bad_key_length(self):
+        with pytest.raises(CryptoError):
+            chacha20_stream(b"short", _RFC_NONCE, 10)
+
+    def test_negative_length(self):
+        with pytest.raises(CryptoError):
+            chacha20_stream(_RFC_KEY, _RFC_NONCE, -1)
+
+    def test_xor_stream_roundtrip(self):
+        data = b"the quick brown fox jumps over the lazy dog" * 3
+        enc = xor_stream(_RFC_KEY, _RFC_NONCE, data)
+        assert enc != data
+        assert xor_stream(_RFC_KEY, _RFC_NONCE, enc) == data

@@ -1,0 +1,212 @@
+"""Tests for the ``lightweb`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli.browse import TcpCdnProxy, render_to_terminal
+from repro.cli.main import build_parser, main
+from repro.cli.serve import build_deployment
+from repro.cli.spec import load_site, parse_site_spec
+from repro.core.lightweb.browser import RenderedPage
+from repro.errors import PathError
+
+
+SPEC = {
+    "domain": "cli.example",
+    "integrity": True,
+    "pages": {
+        "/": "CLI front. [[cli.example/about|about]]",
+        "/about": {"title": "About", "body": "served by the CLI"},
+    },
+}
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "site.json"
+    path.write_text(json.dumps(SPEC))
+    return str(path)
+
+
+class TestSpec:
+    def test_parse_basic(self):
+        site = parse_site_spec(SPEC)
+        assert site.domain == "cli.example"
+        assert site.integrity_enabled
+        assert site.pages() == ["/", "/about"]
+
+    def test_parse_with_program(self):
+        spec = dict(SPEC)
+        spec["program"] = {"routes": [
+            {"pattern": "^/$", "fetches": ["cli.example/"],
+             "render": "{data0.body}"},
+        ]}
+        site = parse_site_spec(spec)
+        compiled = site.compile(2048)
+        assert compiled.n_data_blobs == 2
+
+    def test_missing_domain(self):
+        with pytest.raises(PathError):
+            parse_site_spec({"pages": {"/": "x"}})
+
+    def test_missing_pages(self):
+        with pytest.raises(PathError):
+            parse_site_spec({"domain": "a.com"})
+
+    def test_load_file(self, spec_file):
+        assert load_site(spec_file).domain == "cli.example"
+
+    def test_load_missing_file(self):
+        with pytest.raises(PathError):
+            load_site("/nonexistent/site.json")
+
+    def test_load_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(PathError):
+            load_site(str(path))
+
+
+class TestServeAndBrowse:
+    def test_end_to_end_over_tcp(self, spec_file):
+        deployment = build_deployment([spec_file], fetch_budget=2,
+                                      data_domain_bits=10,
+                                      code_domain_bits=7)
+        try:
+            ports = deployment.ports()
+            proxy = TcpCdnProxy("127.0.0.1", ports["code"], ports["data"],
+                                fetch_budget=2)
+            import numpy as np
+
+            from repro.core.lightweb.browser import LightwebBrowser
+
+            browser = LightwebBrowser(rng=np.random.default_rng(0))
+            browser.connect(proxy, "main")
+            page = browser.visit("cli.example")
+            assert "CLI front" in page.text
+            about = browser.follow(page, 0)
+            assert "served by the CLI" in about.text
+            assert not about.notes  # integrity verified cleanly
+            browser.close()
+        finally:
+            deployment.stop()
+
+    def test_browse_command_one_shot(self, spec_file, capsys):
+        deployment = build_deployment([spec_file], fetch_budget=2,
+                                      data_domain_bits=10,
+                                      code_domain_bits=7)
+        try:
+            ports = deployment.ports()
+            code = main([
+                "browse", "cli.example/about",
+                "--code-ports", str(ports["code"][0]), str(ports["code"][1]),
+                "--data-ports", str(ports["data"][0]), str(ports["data"][1]),
+                "--fetch-budget", "2",
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "served by the CLI" in out
+        finally:
+            deployment.stop()
+
+
+class TestStatePersistence:
+    def test_serve_restart_from_state(self, spec_file, tmp_path):
+        state = str(tmp_path / "universe.npz")
+        first = build_deployment([spec_file], fetch_budget=2,
+                                 data_domain_bits=10, code_domain_bits=7,
+                                 state_path=state)
+        first.stop()
+        # Restart with NO specs: content must come back from the archive.
+        second = build_deployment([], fetch_budget=2,
+                                  data_domain_bits=10, code_domain_bits=7,
+                                  state_path=state)
+        try:
+            import numpy as np
+
+            from repro.core.lightweb.browser import LightwebBrowser
+
+            ports = second.ports()
+            proxy = TcpCdnProxy("127.0.0.1", ports["code"], ports["data"],
+                                fetch_budget=2)
+            browser = LightwebBrowser(rng=np.random.default_rng(0))
+            browser.connect(proxy, "main")
+            assert "CLI front" in browser.visit("cli.example").text
+            browser.close()
+        finally:
+            second.stop()
+
+
+class TestInteractiveBrowse:
+    def test_interactive_loop(self, spec_file):
+        deployment = build_deployment([spec_file], fetch_budget=2,
+                                      data_domain_bits=10,
+                                      code_domain_bits=7)
+        try:
+            ports = deployment.ports()
+            from argparse import Namespace
+
+            from repro.cli.browse import cmd_browse
+
+            script = iter(["cli.example", "0", "not_a_path!!", "quit"])
+            printed = []
+            args = Namespace(host="127.0.0.1",
+                             code_ports=ports["code"],
+                             data_ports=ports["data"],
+                             fetch_budget=2, path=[], interactive=True)
+            code = cmd_browse(args, input_fn=lambda _p: next(script),
+                              print_fn=printed.append)
+            assert code == 0
+            output = "\n".join(printed)
+            assert "CLI front" in output          # visited the front page
+            assert "served by the CLI" in output  # followed link 0
+            assert "error:" in output             # bad path surfaced, loop alive
+        finally:
+            deployment.stop()
+
+    def test_interactive_eof_exits(self, spec_file):
+        deployment = build_deployment([spec_file], fetch_budget=2,
+                                      data_domain_bits=10,
+                                      code_domain_bits=7)
+        try:
+            ports = deployment.ports()
+            from argparse import Namespace
+
+            from repro.cli.browse import cmd_browse
+
+            def raise_eof(_prompt):
+                raise EOFError
+
+            args = Namespace(host="127.0.0.1",
+                             code_ports=ports["code"],
+                             data_ports=ports["data"],
+                             fetch_budget=2, path=[], interactive=True)
+            assert cmd_browse(args, input_fn=raise_eof,
+                              print_fn=lambda *_: None) == 0
+        finally:
+            deployment.stop()
+
+
+class TestMisc:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_costs_command(self, capsys):
+        assert main(["costs"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "C4" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "It works." in out
+        assert "data GETs" in out
+
+    def test_render_to_terminal(self):
+        page = RenderedPage(path="a.com/", text="hello",
+                            links=[("a.com/x", "X")], notes=["note!"])
+        out = render_to_terminal(page)
+        assert "a.com/" in out and "[0] X" in out and "note!" in out

@@ -1,0 +1,108 @@
+"""Tests for cuckoo hashing (§5.1's collision mitigation)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.cuckoo import CuckooTable, build_table
+from repro.errors import CapacityError, CollisionError, CryptoError
+
+
+class TestSingleHashPlacement:
+    def test_insert_and_lookup(self):
+        table = CuckooTable(10, n_hashes=1)
+        slot = table.insert("a.com/x")
+        assert table.slot_of("a.com/x") == slot
+        assert "a.com/x" in table
+
+    def test_reinsert_is_idempotent(self):
+        table = CuckooTable(10, n_hashes=1)
+        assert table.insert("k") == table.insert("k")
+        assert len(table) == 1
+
+    def test_collision_raises(self):
+        """The paper's single-hash regime: collisions are fatal per key."""
+        table = CuckooTable(2, n_hashes=1)  # 4 slots: collisions guaranteed
+        with pytest.raises((CollisionError, CapacityError)):
+            for i in range(5):
+                table.insert(f"key-{i}")
+
+    def test_candidates_single(self):
+        table = CuckooTable(10, n_hashes=1)
+        assert len(table.candidates("k")) == 1
+
+
+class TestCuckooPlacement:
+    def test_high_load_succeeds(self):
+        """Cuckoo sustains ~50% load where single-hash fails far earlier."""
+        table = CuckooTable(8, n_hashes=2, rng=np.random.default_rng(1))
+        for i in range(120):  # 47% of 256 slots
+            table.insert(f"key-{i}")
+        assert len(table) == 120
+        for i in range(120):
+            assert table.slot_of(f"key-{i}") in table.candidates(f"key-{i}")
+
+    def test_eviction_preserves_membership(self):
+        table = CuckooTable(6, n_hashes=2, rng=np.random.default_rng(2))
+        keys = [f"k{i}" for i in range(28)]
+        for key in keys:
+            table.insert(key)
+        for key in keys:
+            assert key in table
+            assert table.slot_of(key) in table.candidates(key)
+
+    def test_remove(self):
+        table = CuckooTable(8, n_hashes=2)
+        table.insert("gone")
+        table.remove("gone")
+        assert "gone" not in table
+        with pytest.raises(KeyError):
+            table.slot_of("gone")
+
+    def test_load_factor(self):
+        table = CuckooTable(4, n_hashes=2)
+        assert table.load_factor == 0.0
+        table.insert("a")
+        assert table.load_factor == pytest.approx(1 / 16)
+
+    def test_overfull_raises_capacity(self):
+        table = CuckooTable(3, n_hashes=2, max_evictions=50,
+                            rng=np.random.default_rng(3))
+        with pytest.raises(CapacityError):
+            for i in range(20):  # > 8 slots
+                table.insert(f"key-{i}")
+
+    def test_items_consistent(self):
+        table = CuckooTable(8, n_hashes=2)
+        for i in range(10):
+            table.insert(f"k{i}")
+        placements = dict(table.items())
+        assert len(placements) == 10
+        assert all(slot == table.slot_of(key) for key, slot in placements.items())
+
+    def test_three_hashes(self):
+        table = CuckooTable(6, n_hashes=3, rng=np.random.default_rng(4))
+        for i in range(40):
+            table.insert(f"key-{i}")
+        assert all(len(table.candidates(f"key-{i}")) == 3 for i in range(3))
+
+    def test_invalid_hash_count(self):
+        with pytest.raises(CryptoError):
+            CuckooTable(8, n_hashes=0)
+
+
+class TestBuildTable:
+    def test_build_success(self):
+        keys = [f"site{i}.com" for i in range(100)]
+        table = build_table(keys, 9, n_hashes=2)
+        assert len(table) == 100
+
+    def test_build_retries_with_fresh_salt(self):
+        """Even loads that often fail on a single salt settle on retry."""
+        keys = [f"k{i}" for i in range(24)]  # 75% of 32 slots
+        table = build_table(keys, 5, n_hashes=2, max_rebuilds=32)
+        assert len(table) == 24
+
+    def test_build_impossible_raises(self):
+        keys = [f"k{i}" for i in range(40)]  # > 32 slots: impossible
+        with pytest.raises(CapacityError):
+            build_table(keys, 5, n_hashes=2, max_rebuilds=3)

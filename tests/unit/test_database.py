@@ -1,0 +1,171 @@
+"""Tests for the packed blob database."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, CryptoError
+from repro.pir.database import BlobDatabase
+
+
+class TestSlots:
+    def test_roundtrip(self):
+        db = BlobDatabase(6, 32)
+        db.set_slot(5, b"hello")
+        assert db.get_slot(5) == b"hello".ljust(32, b"\x00")
+
+    def test_exact_size_blob(self):
+        db = BlobDatabase(4, 16)
+        db.set_slot(0, b"x" * 16)
+        assert db.get_slot(0) == b"x" * 16
+
+    def test_oversized_rejected(self):
+        db = BlobDatabase(4, 16)
+        with pytest.raises(CapacityError):
+            db.set_slot(0, b"x" * 17)
+
+    def test_unwritten_slot_is_zero(self):
+        db = BlobDatabase(4, 8)
+        assert db.get_slot(3) == b"\x00" * 8
+        assert not db.is_occupied(3)
+
+    def test_clear_slot(self):
+        db = BlobDatabase(4, 8)
+        db.set_slot(2, b"data")
+        db.clear_slot(2)
+        assert db.get_slot(2) == b"\x00" * 8
+        assert not db.is_occupied(2)
+
+    def test_occupancy_tracking(self):
+        db = BlobDatabase(4, 8)
+        db.set_slot(1, b"a")
+        db.set_slot(9, b"b")
+        assert db.n_occupied == 2
+        assert list(db.occupied_slots()) == [1, 9]
+        assert db.load_factor == pytest.approx(2 / 16)
+
+    def test_index_bounds(self):
+        db = BlobDatabase(4, 8)
+        with pytest.raises(CryptoError):
+            db.set_slot(16, b"x")
+        with pytest.raises(CryptoError):
+            db.get_slot(-1)
+
+    def test_geometry_validation(self):
+        with pytest.raises(CryptoError):
+            BlobDatabase(0, 8)
+        with pytest.raises(CryptoError):
+            BlobDatabase(4, 0)
+        with pytest.raises(CryptoError):
+            BlobDatabase(31, 8)
+
+    def test_odd_blob_size(self):
+        """Non-multiple-of-8 sizes must round-trip exactly."""
+        db = BlobDatabase(3, 13)
+        db.set_slot(0, b"thirteen-byte")
+        assert db.get_slot(0) == b"thirteen-byte"
+
+    def test_memory_bytes(self):
+        db = BlobDatabase(10, 64)
+        assert db.memory_bytes() == 1024 * 64
+
+
+class TestXorScan:
+    def test_single_selection(self):
+        db = BlobDatabase(4, 8)
+        db.set_slot(3, b"target")
+        bits = np.zeros(16, dtype=np.uint8)
+        bits[3] = 1
+        assert db.xor_scan(bits) == b"target\x00\x00"
+
+    def test_xor_of_pair(self):
+        db = BlobDatabase(4, 8)
+        db.set_slot(1, bytes([0xF0] * 8))
+        db.set_slot(2, bytes([0x0F] * 8))
+        bits = np.zeros(16, dtype=np.uint8)
+        bits[1] = bits[2] = 1
+        assert db.xor_scan(bits) == bytes([0xFF] * 8)
+
+    def test_empty_selection(self):
+        db = BlobDatabase(4, 8)
+        db.set_slot(1, b"ignored!")
+        assert db.xor_scan(np.zeros(16, dtype=np.uint8)) == b"\x00" * 8
+
+    def test_all_selected_cancels_pairs(self):
+        db = BlobDatabase(2, 8)
+        db.set_slot(0, b"samesame")
+        db.set_slot(1, b"samesame")
+        bits = np.ones(4, dtype=np.uint8)
+        assert db.xor_scan(bits) == b"\x00" * 8
+
+    def test_shape_validation(self):
+        db = BlobDatabase(4, 8)
+        with pytest.raises(CryptoError):
+            db.xor_scan(np.zeros(8, dtype=np.uint8))
+
+    def test_scan_counter(self):
+        db = BlobDatabase(4, 8)
+        db.xor_scan(np.zeros(16, dtype=np.uint8))
+        db.xor_scan(np.zeros(16, dtype=np.uint8))
+        assert db.scan_count == 2
+
+    def test_batch_scan_matches_singles(self):
+        rng = np.random.default_rng(0)
+        db = BlobDatabase(6, 16)
+        for i in range(64):
+            db.set_slot(i, bytes(rng.integers(0, 256, 16, dtype=np.uint8)))
+        select = rng.integers(0, 2, size=(5, 64)).astype(np.uint8)
+        batch = db.xor_scan_batch(select)
+        singles = [db.xor_scan(row) for row in select]
+        assert batch == singles
+
+    def test_batch_shape_validation(self):
+        db = BlobDatabase(4, 8)
+        with pytest.raises(CryptoError):
+            db.xor_scan_batch(np.zeros((2, 8), dtype=np.uint8))
+
+
+class TestSharding:
+    def test_sub_database_contents(self):
+        db = BlobDatabase(6, 8)
+        db.set_slot(0, b"zero")
+        db.set_slot(17, b"svntn")
+        db.set_slot(63, b"last")
+        shard0 = db.sub_database(0, 2)  # slots 0..15
+        shard1 = db.sub_database(1, 2)  # slots 16..31
+        shard3 = db.sub_database(3, 2)  # slots 48..63
+        assert shard0.get_slot(0).rstrip(b"\x00") == b"zero"
+        assert shard1.get_slot(1).rstrip(b"\x00") == b"svntn"
+        assert shard3.get_slot(15).rstrip(b"\x00") == b"last"
+        assert shard0.n_occupied == 1
+
+    def test_shard_union_covers_everything(self):
+        db = BlobDatabase(5, 8)
+        for i in range(32):
+            db.set_slot(i, bytes([i]))
+        shards = [db.sub_database(k, 3) for k in range(8)]
+        rebuilt = []
+        for shard in shards:
+            for j in range(shard.n_slots):
+                rebuilt.append(shard.get_slot(j))
+        assert rebuilt == [db.get_slot(i) for i in range(32)]
+
+    def test_shard_validation(self):
+        db = BlobDatabase(4, 8)
+        with pytest.raises(CryptoError):
+            db.sub_database(4, 2)
+        with pytest.raises(CryptoError):
+            db.sub_database(0, 5)
+        with pytest.raises(CryptoError):
+            db.sub_database(0, 4)  # single-slot shard
+
+
+class TestByteMatrix:
+    def test_layout(self):
+        db = BlobDatabase(2, 4)
+        db.set_slot(1, b"\x01\x02\x03\x04")
+        db.set_slot(3, b"\xAA\xBB\xCC\xDD")
+        matrix = db.as_byte_matrix()
+        assert matrix.shape == (4, 4)
+        assert list(matrix[:, 1]) == [1, 2, 3, 4]
+        assert list(matrix[:, 3]) == [0xAA, 0xBB, 0xCC, 0xDD]
+        assert not matrix[:, 0].any()

@@ -1,0 +1,68 @@
+"""Tests for the §6 deanonymization experiment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.netsim.deanon import (
+    ProfileLinkingAttack,
+    UserModel,
+    make_population,
+    run_linking_experiment,
+)
+
+
+class TestPopulation:
+    def test_population_shapes(self):
+        users = make_population(5, 50, seed=1)
+        assert len(users) == 5
+        assert all(u.interest_weights.shape == (50,) for u in users)
+
+    def test_profiles_distinct(self):
+        users = make_population(4, 100, seed=2)
+        a = users[0].interest_weights / users[0].interest_weights.sum()
+        b = users[1].interest_weights / users[1].interest_weights.sum()
+        assert not np.allclose(a, b)
+
+    def test_sample_epoch(self):
+        users = make_population(2, 30, seed=3)
+        epoch = users[0].sample_epoch(np.random.default_rng(0))
+        assert epoch and all(0 <= page < 30 for page in epoch)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            make_population(1, 10)
+
+
+class TestLinkingAttack:
+    def test_page_observing_attacker_links_users(self):
+        """The proxy-design failure the paper cites: CDN links users."""
+        accuracy = run_linking_experiment(observe_pages=True, seed=4)
+        assert accuracy > 0.8
+
+    def test_zltp_attacker_near_chance(self):
+        """With opaque requests, linking collapses toward chance."""
+        accuracy = run_linking_experiment(observe_pages=False, seed=4)
+        chance = 1 / 12
+        assert accuracy < 0.4  # volume leaks a little; identity does not
+
+    def test_gap_is_large(self):
+        proxy = run_linking_experiment(observe_pages=True, seed=5)
+        zltp = run_linking_experiment(observe_pages=False, seed=5)
+        assert proxy > 2 * zltp
+
+    def test_attacker_requires_training(self):
+        attacker = ProfileLinkingAttack(10, observe_pages=True)
+        with pytest.raises(ReproError):
+            attacker.link([1, 2, 3])
+
+    def test_accuracy_requires_trials(self):
+        attacker = ProfileLinkingAttack(10, observe_pages=True)
+        attacker.observe_training(0, [1, 2])
+        with pytest.raises(ReproError):
+            attacker.accuracy([])
+
+    def test_single_user_trivially_linked(self):
+        attacker = ProfileLinkingAttack(10, observe_pages=False)
+        attacker.observe_training(7, [1] * 40)
+        assert attacker.link([2] * 38) == 7

@@ -1,0 +1,166 @@
+"""Tests for the distributed point function (the PIR core)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.dpf import (
+    DpfKey,
+    LAMBDA_BITS,
+    MAX_DOMAIN_BITS,
+    dpf_key_bits,
+    eval_dpf,
+    eval_dpf_full,
+    gen_dpf,
+)
+from repro.errors import CryptoError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestBitDpfCorrectness:
+    @pytest.mark.parametrize("domain_bits,alpha", [
+        (1, 0), (1, 1), (3, 5), (4, 0), (4, 15), (8, 200), (10, 777),
+    ])
+    def test_full_domain_combines_to_point(self, domain_bits, alpha, rng):
+        key0, key1 = gen_dpf(alpha, domain_bits, rng=rng)
+        combined = eval_dpf_full(key0) ^ eval_dpf_full(key1)
+        assert combined.sum() == 1
+        assert combined[alpha] == 1
+
+    def test_point_eval_matches_full_eval(self, rng):
+        key0, key1 = gen_dpf(9, 5, rng=rng)
+        full0, full1 = eval_dpf_full(key0), eval_dpf_full(key1)
+        for x in range(32):
+            assert eval_dpf(key0, x) == full0[x]
+            assert eval_dpf(key1, x) == full1[x]
+
+    def test_shares_individually_balanced(self, rng):
+        """Each share alone looks pseudorandom — roughly half ones."""
+        key0, _ = gen_dpf(100, 12, rng=rng)
+        bits = eval_dpf_full(key0)
+        assert 0.40 < bits.mean() < 0.60
+
+    def test_distinct_alphas_distinct_combination(self, rng):
+        k0a, k1a = gen_dpf(3, 4, rng=rng)
+        k0b, k1b = gen_dpf(12, 4, rng=rng)
+        a = eval_dpf_full(k0a) ^ eval_dpf_full(k1a)
+        b = eval_dpf_full(k0b) ^ eval_dpf_full(k1b)
+        assert a[3] == 1 and b[12] == 1
+        assert not (a == b).all()
+
+
+class TestBlockDpfCorrectness:
+    def test_value_at_point(self, rng):
+        value = b"private-web-browsing!"
+        key0, key1 = gen_dpf(6, 4, value=value, rng=rng)
+        combined = eval_dpf_full(key0) ^ eval_dpf_full(key1)
+        assert bytes(combined[6]) == value
+        others = combined[np.arange(16) != 6]
+        assert not others.any()
+
+    def test_point_eval_value_shares(self, rng):
+        value = b"\x01\x02\x03\x04"
+        key0, key1 = gen_dpf(2, 3, value=value, rng=rng)
+        share0 = eval_dpf(key0, 2)
+        share1 = eval_dpf(key1, 2)
+        assert bytes(a ^ b for a, b in zip(share0, share1)) == value
+        share0 = eval_dpf(key0, 5)
+        share1 = eval_dpf(key1, 5)
+        assert bytes(a ^ b for a, b in zip(share0, share1)) == b"\x00" * 4
+
+    def test_large_value_block(self, rng):
+        value = bytes(range(256)) * 16  # 4 KiB, the paper's bucket size
+        key0, key1 = gen_dpf(1, 2, value=value, rng=rng)
+        combined = eval_dpf_full(key0) ^ eval_dpf_full(key1)
+        assert bytes(combined[1]) == value
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(CryptoError):
+            gen_dpf(0, 2, value=b"")
+
+
+class TestDpfValidation:
+    def test_alpha_out_of_domain(self):
+        with pytest.raises(CryptoError):
+            gen_dpf(16, 4)
+
+    def test_negative_alpha(self):
+        with pytest.raises(CryptoError):
+            gen_dpf(-1, 4)
+
+    def test_domain_bits_bounds(self):
+        with pytest.raises(CryptoError):
+            gen_dpf(0, 0)
+        with pytest.raises(CryptoError):
+            gen_dpf(0, MAX_DOMAIN_BITS + 1)
+
+    def test_eval_point_out_of_domain(self, rng):
+        key0, _ = gen_dpf(0, 4, rng=rng)
+        with pytest.raises(CryptoError):
+            eval_dpf(key0, 16)
+
+
+class TestDpfSerialization:
+    def test_roundtrip_bit_key(self, rng):
+        key0, _ = gen_dpf(5, 6, rng=rng)
+        restored = DpfKey.from_bytes(key0.to_bytes())
+        assert (eval_dpf_full(restored) == eval_dpf_full(key0)).all()
+        assert restored.party == key0.party
+        assert restored.out_bytes == 0
+
+    def test_roundtrip_block_key(self, rng):
+        _, key1 = gen_dpf(3, 5, value=b"hello", rng=rng)
+        restored = DpfKey.from_bytes(key1.to_bytes())
+        assert (eval_dpf_full(restored) == eval_dpf_full(key1)).all()
+
+    def test_key_size_grows_linearly_in_depth(self, rng):
+        sizes = []
+        for d in (4, 8, 12):
+            key0, _ = gen_dpf(0, d, rng=rng)
+            sizes.append(key0.size_bytes())
+        assert sizes[1] - sizes[0] == sizes[2] - sizes[1]
+
+    def test_truncated_key_rejected(self, rng):
+        key0, _ = gen_dpf(5, 6, rng=rng)
+        raw = key0.to_bytes()
+        with pytest.raises(CryptoError):
+            DpfKey.from_bytes(raw[:-1])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CryptoError):
+            DpfKey.from_bytes(b"\xff" * 40)
+
+    def test_bad_party_rejected(self, rng):
+        key0, _ = gen_dpf(5, 6, rng=rng)
+        raw = bytearray(key0.to_bytes())
+        raw[0] = 7
+        with pytest.raises(CryptoError):
+            DpfKey.from_bytes(bytes(raw))
+
+    def test_paper_key_size_formula(self):
+        # §5.1: "(λ+2)d where λ is the security parameter (λ = 128)".
+        assert dpf_key_bits(22) == (LAMBDA_BITS + 2) * 22
+        with pytest.raises(CryptoError):
+            dpf_key_bits(0)
+
+
+class TestDpfPrivacy:
+    def test_single_key_independent_of_alpha_statistically(self, rng):
+        """A lone key's expanded bits should not obviously reveal alpha.
+
+        We check a necessary condition: the share vector for alpha=a and a
+        fresh key for alpha=b have statistically similar weight.
+        """
+        key_a, _ = gen_dpf(0, 10, rng=rng)
+        key_b, _ = gen_dpf(1023, 10, rng=rng)
+        weight_a = eval_dpf_full(key_a).mean()
+        weight_b = eval_dpf_full(key_b).mean()
+        assert abs(weight_a - weight_b) < 0.1
+
+    def test_keys_are_distinct_across_calls(self, rng):
+        k1, _ = gen_dpf(5, 8, rng=rng)
+        k2, _ = gen_dpf(5, 8, rng=rng)
+        assert k1.to_bytes() != k2.to_bytes()

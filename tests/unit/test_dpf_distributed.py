@@ -1,0 +1,83 @@
+"""Tests for the §5.2 front-end / data-server DPF split."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.dpf import eval_dpf_full, gen_dpf
+from repro.crypto.dpf_distributed import eval_subkey_full, split_dpf_key
+from repro.errors import CryptoError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestSplitCorrectness:
+    @pytest.mark.parametrize("prefix_bits", [0, 1, 3, 6, 10])
+    def test_concatenation_equals_full_eval(self, prefix_bits, rng):
+        key0, _ = gen_dpf(517, 10, rng=rng)
+        subkeys = split_dpf_key(key0, prefix_bits)
+        assert len(subkeys) == 1 << prefix_bits
+        concat = np.concatenate([eval_subkey_full(s) for s in subkeys])
+        assert (concat == eval_dpf_full(key0)).all()
+
+    def test_both_parties_combine_through_split(self, rng):
+        key0, key1 = gen_dpf(300, 9, rng=rng)
+        out0 = np.concatenate(
+            [eval_subkey_full(s) for s in split_dpf_key(key0, 3)]
+        )
+        out1 = np.concatenate(
+            [eval_subkey_full(s) for s in split_dpf_key(key1, 3)]
+        )
+        combined = out0 ^ out1
+        assert combined.sum() == 1 and combined[300] == 1
+
+    def test_block_output_split(self, rng):
+        key0, key1 = gen_dpf(10, 5, value=b"abcd", rng=rng)
+        out0 = np.concatenate(
+            [eval_subkey_full(s) for s in split_dpf_key(key0, 2)]
+        )
+        out1 = np.concatenate(
+            [eval_subkey_full(s) for s in split_dpf_key(key1, 2)]
+        )
+        combined = out0 ^ out1
+        assert bytes(combined[10]) == b"abcd"
+        assert combined.sum(axis=1)[np.arange(32) != 10].sum() == 0
+
+    def test_full_split_yields_point_shares(self, rng):
+        key0, key1 = gen_dpf(13, 4, rng=rng)
+        subs0 = split_dpf_key(key0, 4)
+        subs1 = split_dpf_key(key1, 4)
+        bits = np.array([
+            int(eval_subkey_full(a)[0]) ^ int(eval_subkey_full(b)[0])
+            for a, b in zip(subs0, subs1)
+        ])
+        assert bits.sum() == 1 and bits[13] == 1
+
+
+class TestSplitProperties:
+    def test_prefix_order(self, rng):
+        key0, _ = gen_dpf(0, 8, rng=rng)
+        subkeys = split_dpf_key(key0, 3)
+        assert [s.prefix for s in subkeys] == list(range(8))
+
+    def test_subkey_sizes_shrink_with_prefix(self, rng):
+        """The data server's key covers only the smaller domain (§5.2)."""
+        key0, _ = gen_dpf(0, 12, rng=rng)
+        shallow = split_dpf_key(key0, 2)[0]
+        deep = split_dpf_key(key0, 8)[0]
+        assert deep.size_bytes() < shallow.size_bytes()
+        assert deep.remaining_bits == 4
+
+    def test_domain_size(self, rng):
+        key0, _ = gen_dpf(0, 10, rng=rng)
+        sub = split_dpf_key(key0, 4)[0]
+        assert sub.domain_size == 1 << 6
+
+    def test_invalid_prefix_bits(self, rng):
+        key0, _ = gen_dpf(0, 6, rng=rng)
+        with pytest.raises(CryptoError):
+            split_dpf_key(key0, 7)
+        with pytest.raises(CryptoError):
+            split_dpf_key(key0, -1)

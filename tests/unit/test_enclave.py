@@ -1,0 +1,102 @@
+"""Tests for the simulated enclave and its key-value store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AccessError
+from repro.oram.enclave import EnclaveZltpStore, SimulatedEnclave
+from repro.oram.trace import trace_stats
+
+
+def make_store(capacity_bits=6, blob_size=48, seed=5):
+    return EnclaveZltpStore(capacity_bits, blob_size,
+                            rng=np.random.default_rng(seed))
+
+
+class TestEnclaveStore:
+    def test_put_get(self):
+        store = make_store()
+        store.put("a.com/page", b"hello enclave")
+        assert store.get("a.com/page") == b"hello enclave"
+
+    def test_get_missing_none(self):
+        store = make_store()
+        assert store.get("never.com/x") is None
+
+    def test_overwrite(self):
+        store = make_store()
+        store.put("k.com/a", b"v1")
+        store.put("k.com/a", b"v2")
+        assert store.get("k.com/a") == b"v2"
+
+    def test_many_keys(self):
+        """Colliding keys raise (the §5.1 rename case); the rest round-trip."""
+        from repro.errors import CollisionError
+
+        store = make_store(capacity_bits=8)
+        stored = []
+        for i in range(40):
+            try:
+                store.put(f"site{i}.com/p", f"value-{i}".encode())
+                stored.append(i)
+            except CollisionError:
+                continue
+        assert len(stored) >= 30  # most keys place cleanly at 16% load
+        for i in stored:
+            assert store.get(f"site{i}.com/p") == f"value-{i}".encode()
+
+    def test_collision_detected(self):
+        from repro.errors import CollisionError
+
+        store = make_store(capacity_bits=1)  # two slots: collision certain
+        with pytest.raises(CollisionError):
+            for i in range(3):
+                store.put(f"k{i}.com/x", b"v")
+
+    def test_gets_counted(self):
+        store = make_store()
+        store.put("a.com/p", b"x")
+        store.get("a.com/p")
+        store.get("missing")
+        assert store.gets_served == 2
+
+
+class TestEnclaveLeakage:
+    def test_fixed_accesses_per_get(self):
+        """Hit or miss, every GET costs the same untrusted-memory touches."""
+        store = make_store()
+        store.put("a.com/p", b"x")
+        store.enclave.trace.clear()
+        store.get("a.com/p")
+        hit_len = len(store.enclave.trace)
+        store.enclave.trace.clear()
+        store.get("missing.example/y")
+        miss_len = len(store.enclave.trace)
+        assert hit_len == miss_len == store.accesses_per_get()
+
+    def test_trace_shape_uniform_across_keys(self):
+        store = make_store()
+        for i in range(8):
+            store.put(f"s{i}.com/p", b"x")
+        store.enclave.trace.clear()
+        for i in range(8):
+            store.get(f"s{i}.com/p")
+        assert trace_stats(store.enclave.trace).fixed_shape
+
+
+class TestCompromise:
+    def test_compromise_reveals_state_and_stops_service(self):
+        store = make_store()
+        store.put("a.com/p", b"x")
+        state = store.enclave.compromise()
+        assert "position_map" in state and "stash_addresses" in state
+        assert not store.enclave.sealed
+        with pytest.raises(AccessError):
+            store.get("a.com/p")
+
+    def test_enclave_direct_api(self):
+        enclave = SimulatedEnclave(4, 16, rng=np.random.default_rng(1))
+        enclave.oblivious_write(3, b"z" * 16)
+        assert enclave.oblivious_read(3) == b"z" * 16
+        assert enclave.n_leaves == 16
+        assert len(enclave.leaf_history()) == 2

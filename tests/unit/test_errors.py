@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_specific_parents(self):
+        assert issubclass(errors.IntegrityError, errors.CryptoError)
+        assert issubclass(errors.CollisionError, errors.CapacityError)
+        assert issubclass(errors.NegotiationError, errors.ProtocolError)
+        assert issubclass(errors.OwnershipError, errors.PathError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BudgetExceededError("x")
+        with pytest.raises(errors.ProtocolError):
+            raise errors.NegotiationError("x")
+
+    def test_library_never_leaks_bare_exceptions(self):
+        """Representative API misuses raise ReproError subclasses, not
+        ValueError/KeyError/TypeError."""
+        from repro.crypto.dpf import gen_dpf
+        from repro.pir.database import BlobDatabase
+
+        with pytest.raises(errors.ReproError):
+            gen_dpf(99, 4)
+        with pytest.raises(errors.ReproError):
+            BlobDatabase(0, 10)
+        from repro.core.lightweb.paths import parse_path
+
+        with pytest.raises(errors.ReproError):
+            parse_path("")

@@ -1,0 +1,86 @@
+"""Tests for the naive-Bayes website fingerprinter (the [31] attack)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.netsim.fingerprint import NaiveBayesFingerprinter
+from repro.netsim.traffic import ClassicWebTraffic
+
+
+def corpus(n_sites=8, loads=6, seed=0):
+    traffic = ClassicWebTraffic()
+    sites = [f"site{i}.com" for i in range(n_sites)]
+    traces = traffic.corpus(sites, loads, seed=seed)
+    return [t.transfers for t in traces], [t.site for t in traces]
+
+
+class TestClassification:
+    def test_beats_chance_on_classic_web(self):
+        """The paper's motivation: encrypted traffic still fingerprints."""
+        train_x, train_y = corpus(seed=1)
+        test_x, test_y = corpus(loads=3, seed=2)
+        clf = NaiveBayesFingerprinter(bucket_bytes=4096)
+        clf.fit(train_x, train_y)
+        accuracy = clf.accuracy(test_x, test_y)
+        assert accuracy > 3 * (1 / 8)  # well above the 12.5% chance rate
+
+    def test_collapses_to_chance_on_fixed_traces(self):
+        """Lightweb's regime: every page load looks identical."""
+        fixed = [("up", 400), ("down", 4200)] * 5
+        n_sites = 8
+        train_x = [list(fixed) for _ in range(n_sites * 4)]
+        train_y = [f"s{i % n_sites}" for i in range(n_sites * 4)]
+        clf = NaiveBayesFingerprinter()
+        clf.fit(train_x, train_y)
+        # Every test trace gets the same prediction → accuracy == chance.
+        test_x = [list(fixed) for _ in range(n_sites)]
+        test_y = [f"s{i}" for i in range(n_sites)]
+        assert clf.accuracy(test_x, test_y) == pytest.approx(1 / n_sites)
+
+    def test_predict_known_profile(self):
+        train_x, train_y = corpus(n_sites=4, loads=8, seed=3)
+        clf = NaiveBayesFingerprinter(bucket_bytes=4096)
+        clf.fit(train_x, train_y)
+        traffic = ClassicWebTraffic(noise=0.0)
+        clean = traffic.page_load("site2.com", np.random.default_rng(0))
+        assert clf.predict(clean.transfers) == "site2.com"
+
+    def test_classes_sorted(self):
+        train_x, train_y = corpus(n_sites=3)
+        clf = NaiveBayesFingerprinter()
+        clf.fit(train_x, train_y)
+        assert clf.classes == sorted(set(train_y))
+
+
+class TestValidation:
+    def test_fit_alignment(self):
+        clf = NaiveBayesFingerprinter()
+        with pytest.raises(ReproError):
+            clf.fit([[("up", 1)]], ["a", "b"])
+
+    def test_empty_fit(self):
+        with pytest.raises(ReproError):
+            NaiveBayesFingerprinter().fit([], [])
+
+    def test_predict_unfitted(self):
+        with pytest.raises(ReproError):
+            NaiveBayesFingerprinter().predict([("up", 1)])
+
+    def test_unknown_label_likelihood(self):
+        clf = NaiveBayesFingerprinter()
+        clf.fit([[("up", 1)]], ["a"])
+        with pytest.raises(ReproError):
+            clf.log_likelihood([("up", 1)], "never")
+
+    def test_bad_params(self):
+        with pytest.raises(ReproError):
+            NaiveBayesFingerprinter(bucket_bytes=0)
+        with pytest.raises(ReproError):
+            NaiveBayesFingerprinter(smoothing=0)
+
+    def test_empty_accuracy_set(self):
+        clf = NaiveBayesFingerprinter()
+        clf.fit([[("up", 1)]], ["a"])
+        with pytest.raises(ReproError):
+            clf.accuracy([], [])

@@ -1,0 +1,106 @@
+"""Tests for keyed hashing and the §5.1 collision analysis."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.hashing import (
+    KeyedHash,
+    any_collision_probability,
+    collision_probability,
+    domain_bits_for,
+)
+from repro.errors import CryptoError
+
+
+class TestKeyedHash:
+    def test_range(self):
+        h = KeyedHash(10)
+        for key in ("a.com/x", "b.com/y", "weird/πath"):
+            assert 0 <= h.slot(key) < 1024
+
+    def test_deterministic(self):
+        h = KeyedHash(12, salt=b"s")
+        assert h.slot("nytimes.com/world") == h.slot("nytimes.com/world")
+
+    def test_salt_changes_mapping(self):
+        keys = [f"k{i}" for i in range(64)]
+        a = KeyedHash(16, salt=b"one")
+        b = KeyedHash(16, salt=b"two")
+        assert any(a.slot(k) != b.slot(k) for k in keys)
+
+    def test_probe_changes_mapping(self):
+        h = KeyedHash(16)
+        keys = [f"k{i}" for i in range(64)]
+        assert any(h.slot(k, probe=0) != h.slot(k, probe=1) for k in keys)
+
+    def test_rekeyed_independent(self):
+        h = KeyedHash(16, salt=b"base")
+        h2 = h.rekeyed(b"extra")
+        keys = [f"k{i}" for i in range(64)]
+        assert any(h.slot(k) != h2.slot(k) for k in keys)
+
+    def test_roughly_uniform(self):
+        h = KeyedHash(4)
+        counts = np.zeros(16)
+        for i in range(4096):
+            counts[h.slot(f"key-{i}")] += 1
+        # Each bucket expects 256; allow generous slack.
+        assert counts.min() > 150 and counts.max() < 400
+
+    def test_domain_bits_validation(self):
+        with pytest.raises(CryptoError):
+            KeyedHash(0)
+        with pytest.raises(CryptoError):
+            KeyedHash(64)
+
+
+class TestCollisionAnalysis:
+    def test_paper_bound(self):
+        """§5.1: 2^20 keys in a 2^22 domain → collision probability 1/4."""
+        assert collision_probability(2**20, 22) == pytest.approx(0.25)
+
+    def test_exact_below_bound(self):
+        exact = collision_probability(2**20, 22, exact=True)
+        assert exact < 0.25
+        assert exact > 0.2
+
+    def test_zero_keys(self):
+        assert collision_probability(0, 22) == 0.0
+
+    def test_caps_at_one(self):
+        assert collision_probability(2**30, 22) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(CryptoError):
+            collision_probability(-1, 22)
+
+    def test_birthday_bound_near_one_at_paper_scale(self):
+        """With 2^20 keys SOME pair almost surely collides — which is why
+        the paper frames the guarantee per insertion."""
+        assert any_collision_probability(2**20, 22) > 0.999
+
+    def test_birthday_small(self):
+        assert any_collision_probability(1, 22) == 0.0
+        assert 0 < any_collision_probability(100, 22) < 0.01
+
+    def test_domain_sizing_inverts_paper_rule(self):
+        assert domain_bits_for(2**20, 0.25) == 22
+
+    def test_domain_sizing_validation(self):
+        with pytest.raises(CryptoError):
+            domain_bits_for(0, 0.25)
+        with pytest.raises(CryptoError):
+            domain_bits_for(100, 0.0)
+
+    def test_monte_carlo_matches_bound(self):
+        """Empirical per-insert collision rate ≈ n/D on a scaled domain."""
+        h = KeyedHash(12)  # 4096 slots
+        occupied = set()
+        for i in range(1024):  # load to n/D = 1/4
+            occupied.add(h.slot(f"existing-{i}"))
+        hits = sum(
+            1 for i in range(2000) if h.slot(f"probe-{i}") in occupied
+        )
+        rate = hits / 2000
+        expected = len(occupied) / 4096
+        assert abs(rate - expected) < 0.05

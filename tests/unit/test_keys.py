@@ -1,0 +1,118 @@
+"""Tests for key rotation and broadcast-encryption revocation (§3.3)."""
+
+import pytest
+
+from repro.crypto import aead
+from repro.crypto.keys import BroadcastKeyTree, KeyEpoch, PublisherKeychain
+from repro.errors import AccessError, CryptoError
+
+
+class TestPublisherKeychain:
+    def test_epoch_zero_initial(self):
+        chain = PublisherKeychain(b"master-secret-material")
+        assert chain.current_epoch == 0
+
+    def test_rotation_advances(self):
+        chain = PublisherKeychain(b"master-secret-material")
+        chain.rotate()
+        chain.rotate()
+        assert chain.current_epoch == 2
+
+    def test_epoch_keys_stable(self):
+        chain = PublisherKeychain(b"master-secret-material")
+        key_a = chain.epoch_key(0).key
+        chain.rotate()
+        assert chain.epoch_key(0).key == key_a
+
+    def test_epochs_differ(self):
+        chain = PublisherKeychain(b"master-secret-material")
+        chain.rotate()
+        assert chain.epoch_key(0).key != chain.epoch_key(1).key
+
+    def test_future_epoch_rejected(self):
+        chain = PublisherKeychain(b"master-secret-material")
+        with pytest.raises(AccessError):
+            chain.epoch_key(3)
+
+    def test_short_secret_rejected(self):
+        with pytest.raises(CryptoError):
+            PublisherKeychain(b"short")
+
+    def test_path_keys_domain_separated(self):
+        epoch = PublisherKeychain(b"master-secret-material").epoch_key()
+        assert epoch.path_key("a.com/x") != epoch.path_key("a.com/y")
+
+    def test_rotation_revokes_old_content_keys(self):
+        """Content sealed under the new epoch is unreadable with the old."""
+        chain = PublisherKeychain(b"master-secret-material")
+        old = chain.epoch_key()
+        new = chain.rotate()
+        sealed = aead.seal(new.path_key("a.com/p"), b"fresh")
+        with pytest.raises(Exception):
+            aead.open_sealed(old.path_key("a.com/p"), sealed)
+
+
+class TestBroadcastKeyTree:
+    def test_all_users_receive_when_none_revoked(self):
+        tree = BroadcastKeyTree(b"master", 8)
+        broadcast = tree.broadcast(b"payload", revoked=[])
+        for user in range(8):
+            assert BroadcastKeyTree.receive(tree.user_keys(user), broadcast) == b"payload"
+
+    def test_cover_is_root_when_none_revoked(self):
+        tree = BroadcastKeyTree(b"master", 8)
+        assert tree.cover([]) == [1]
+
+    def test_revoked_user_excluded(self):
+        tree = BroadcastKeyTree(b"master", 8)
+        broadcast = tree.broadcast(b"payload", revoked=[3])
+        with pytest.raises(AccessError):
+            BroadcastKeyTree.receive(tree.user_keys(3), broadcast)
+        for user in (0, 1, 2, 4, 5, 6, 7):
+            assert BroadcastKeyTree.receive(tree.user_keys(user), broadcast) == b"payload"
+
+    def test_multiple_revocations(self):
+        tree = BroadcastKeyTree(b"master", 16)
+        revoked = [0, 7, 8, 15]
+        broadcast = tree.broadcast(b"p", revoked=revoked)
+        for user in range(16):
+            if user in revoked:
+                with pytest.raises(AccessError):
+                    BroadcastKeyTree.receive(tree.user_keys(user), broadcast)
+            else:
+                assert BroadcastKeyTree.receive(tree.user_keys(user), broadcast) == b"p"
+
+    def test_cover_size_logarithmic(self):
+        """Revoking one of n users needs O(log n) ciphertexts, not O(n)."""
+        tree = BroadcastKeyTree(b"master", 64)
+        assert len(tree.cover([5])) <= 6  # log2(64) = 6
+
+    def test_non_power_of_two_users(self):
+        tree = BroadcastKeyTree(b"master", 5)
+        broadcast = tree.broadcast(b"p", revoked=[2])
+        assert BroadcastKeyTree.receive(tree.user_keys(0), broadcast) == b"p"
+        assert BroadcastKeyTree.receive(tree.user_keys(4), broadcast) == b"p"
+        with pytest.raises(AccessError):
+            BroadcastKeyTree.receive(tree.user_keys(2), broadcast)
+
+    def test_single_user_tree(self):
+        tree = BroadcastKeyTree(b"master", 1)
+        broadcast = tree.broadcast(b"solo", revoked=[])
+        assert BroadcastKeyTree.receive(tree.user_keys(0), broadcast) == b"solo"
+
+    def test_user_out_of_range(self):
+        tree = BroadcastKeyTree(b"master", 4)
+        with pytest.raises(AccessError):
+            tree.user_keys(4)
+
+    def test_user_key_count_logarithmic(self):
+        tree = BroadcastKeyTree(b"master", 64)
+        assert len(tree.user_keys(0)) == 7  # path length log2(64)+1
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(CryptoError):
+            BroadcastKeyTree(b"master", 0)
+
+    def test_revoking_everyone_empty_broadcast(self):
+        tree = BroadcastKeyTree(b"master", 4)
+        assert tree.broadcast(b"p", revoked=[0, 1, 2, 3]) == []

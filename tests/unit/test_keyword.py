@@ -1,0 +1,153 @@
+"""Tests for keyword PIR: records, placement, private lookup."""
+
+import pytest
+
+from repro.errors import CapacityError, CollisionError
+from repro.pir.database import BlobDatabase
+from repro.pir.keyword import (
+    HEADER_BYTES,
+    KeywordIndex,
+    KeywordPirClient,
+    decode_record,
+    encode_record,
+    key_digest,
+)
+from repro.pir.twoserver import make_pair
+
+
+class TestRecordFormat:
+    def test_roundtrip(self):
+        record = encode_record("a.com/x", b"payload", 64)
+        assert len(record) == 64
+        assert decode_record("a.com/x", record) == b"payload"
+
+    def test_wrong_key_returns_none(self):
+        record = encode_record("a.com/x", b"payload", 64)
+        assert decode_record("b.com/y", record) is None
+
+    def test_empty_record_returns_none(self):
+        assert decode_record("a.com/x", b"\x00" * 64) is None
+
+    def test_short_record_returns_none(self):
+        assert decode_record("a.com/x", b"abc") is None
+
+    def test_payload_too_large(self):
+        with pytest.raises(CapacityError):
+            encode_record("k", b"x" * 60, 64)
+
+    def test_max_payload_fits(self):
+        record = encode_record("k", b"x" * (64 - HEADER_BYTES), 64)
+        assert decode_record("k", record) == b"x" * (64 - HEADER_BYTES)
+
+    def test_empty_payload(self):
+        record = encode_record("k", b"", 64)
+        assert decode_record("k", record) == b""
+
+    def test_corrupted_length_returns_none(self):
+        record = bytearray(encode_record("k", b"hi", 64))
+        record[8:12] = (10**6).to_bytes(4, "little")
+        assert decode_record("k", bytes(record)) is None
+
+    def test_digest_stability(self):
+        assert key_digest("x") == key_digest("x")
+        assert key_digest("x") != key_digest("y")
+
+
+class TestKeywordIndex:
+    def test_put_get_single_hash(self):
+        db = BlobDatabase(10, 64)
+        index = KeywordIndex(db, probes=1)
+        slot = index.put("site.com/a", b"data")
+        assert decode_record("site.com/a", db.get_slot(slot)) == b"data"
+
+    def test_single_hash_collision_raises(self):
+        db = BlobDatabase(2, 64)
+        index = KeywordIndex(db, probes=1)
+        with pytest.raises((CollisionError, CapacityError)):
+            for i in range(5):
+                index.put(f"key-{i}", b"x")
+
+    def test_same_key_overwrites(self):
+        db = BlobDatabase(10, 64)
+        index = KeywordIndex(db, probes=1)
+        slot1 = index.put("k", b"old")
+        slot2 = index.put("k", b"new")
+        assert slot1 == slot2
+        assert decode_record("k", db.get_slot(slot2)) == b"new"
+
+    def test_cuckoo_put_many(self):
+        db = BlobDatabase(8, 64)
+        index = KeywordIndex(db, probes=2)
+        for i in range(100):
+            index.put(f"key-{i}", f"v{i}".encode())
+        for i in range(100):
+            found = [
+                decode_record(f"key-{i}", db.get_slot(s))
+                for s in index.candidate_slots(f"key-{i}")
+            ]
+            assert f"v{i}".encode() in [f for f in found if f is not None]
+
+    def test_cuckoo_eviction_keeps_records_fetchable(self):
+        """Records relocated by evictions must be rewritten at new slots."""
+        db = BlobDatabase(6, 64)
+        index = KeywordIndex(db, probes=2)
+        keys = [f"k{i}" for i in range(28)]
+        for key in keys:
+            index.put(key, key.encode())
+        for key in keys:
+            found = [
+                decode_record(key, db.get_slot(s))
+                for s in index.candidate_slots(key)
+            ]
+            assert key.encode() in [f for f in found if f is not None]
+
+    def test_remove(self):
+        db = BlobDatabase(8, 64)
+        index = KeywordIndex(db, probes=2)
+        index.put("gone", b"x")
+        index.remove("gone")
+        found = [
+            decode_record("gone", db.get_slot(s))
+            for s in index.candidate_slots("gone")
+        ]
+        assert all(f is None for f in found)
+
+    def test_remove_missing_raises(self):
+        db = BlobDatabase(8, 64)
+        index = KeywordIndex(db, probes=1)
+        with pytest.raises(KeyError):
+            index.remove("never-was")
+
+
+class TestKeywordPirClient:
+    def _deployment(self, probes):
+        salt = b"kw-test"
+        dbs = [BlobDatabase(9, 64), BlobDatabase(9, 64)]
+        for db in dbs:
+            index = KeywordIndex(db, probes=probes, salt=salt)
+            for i in range(30):
+                index.put(f"site{i}.com/page", f"payload-{i}".encode())
+        s0, s1 = make_pair(*dbs)
+        client = KeywordPirClient(9, 64, probes=probes, salt=salt)
+        return client, s0, s1
+
+    @pytest.mark.parametrize("probes", [1, 2, 3])
+    def test_get_present_key(self, probes):
+        client, s0, s1 = self._deployment(probes)
+        assert client.get("site7.com/page", s0, s1) == b"payload-7"
+
+    @pytest.mark.parametrize("probes", [1, 2])
+    def test_get_absent_key_none(self, probes):
+        client, s0, s1 = self._deployment(probes)
+        assert client.get("missing.com/x", s0, s1) is None
+
+    def test_absent_key_still_probes_fully(self):
+        """The server-visible request count must not depend on presence."""
+        client, s0, s1 = self._deployment(2)
+        before = s0.requests_served
+        client.get("missing.com/x", s0, s1)
+        missing_cost = s0.requests_served - before
+        before = s0.requests_served
+        client.get("site3.com/page", s0, s1)
+        present_cost = s0.requests_served - before
+        assert missing_cost == present_cost == 2

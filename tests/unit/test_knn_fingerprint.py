@@ -1,0 +1,67 @@
+"""Tests for the kNN fingerprinting attack (A2 robustness check)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.netsim.fingerprint import KnnFingerprinter
+from repro.netsim.traffic import ClassicWebTraffic
+
+
+def corpus(n_sites=6, loads=6, seed=0):
+    traffic = ClassicWebTraffic()
+    sites = [f"site{i}.com" for i in range(n_sites)]
+    traces = traffic.corpus(sites, loads, seed=seed)
+    return [t.transfers for t in traces], [t.site for t in traces]
+
+
+class TestKnn:
+    def test_beats_chance_on_classic_web(self):
+        train_x, train_y = corpus(seed=1)
+        test_x, test_y = corpus(loads=3, seed=2)
+        clf = KnnFingerprinter(k=3)
+        clf.fit(train_x, train_y)
+        assert clf.accuracy(test_x, test_y) > 3 * (1 / 6)
+
+    def test_chance_on_identical_traces(self):
+        fixed = [("up", 400), ("down", 4200)] * 5
+        n = 6
+        train_x = [list(fixed) for _ in range(n * 4)]
+        train_y = [f"s{i % n}" for i in range(n * 4)]
+        clf = KnnFingerprinter(k=3)
+        clf.fit(train_x, train_y)
+        # All neighbours are at distance zero: prediction is a fixed
+        # deterministic label, so accuracy over one-per-class == chance.
+        test_x = [list(fixed) for _ in range(n)]
+        test_y = [f"s{i}" for i in range(n)]
+        assert clf.accuracy(test_x, test_y) == pytest.approx(1 / n)
+
+    def test_agrees_with_naive_bayes_qualitatively(self):
+        from repro.netsim.fingerprint import NaiveBayesFingerprinter
+
+        train_x, train_y = corpus(seed=3)
+        test_x, test_y = corpus(loads=3, seed=4)
+        knn = KnnFingerprinter(k=3)
+        knn.fit(train_x, train_y)
+        nb = NaiveBayesFingerprinter(bucket_bytes=4096)
+        nb.fit(train_x, train_y)
+        assert abs(knn.accuracy(test_x, test_y)
+                   - nb.accuracy(test_x, test_y)) < 0.4
+
+    def test_exact_memorisation(self):
+        train_x, train_y = corpus(loads=4, seed=5)
+        clf = KnnFingerprinter(k=1)
+        clf.fit(train_x, train_y)
+        assert clf.accuracy(train_x, train_y) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            KnnFingerprinter(k=0)
+        clf = KnnFingerprinter()
+        with pytest.raises(ReproError):
+            clf.predict([("up", 1)])
+        with pytest.raises(ReproError):
+            clf.fit([[("up", 1)]], [])
+        clf.fit([[("up", 1)]], ["a"])
+        with pytest.raises(ReproError):
+            clf.accuracy([], [])

@@ -1,0 +1,157 @@
+"""Tests for the lightscript page-logic interpreter."""
+
+import pytest
+
+from repro.core.lightweb.lightscript import LightscriptProgram, Route
+from repro.errors import BudgetExceededError, LightscriptError
+
+
+def program(routes=None, domain="test.com"):
+    if routes is None:
+        routes = [Route(pattern=r"^(/.*)$", fetches=("test.com{1}",),
+                        render="{data0.title}: {data0.body}")]
+    return LightscriptProgram(domain, routes)
+
+
+class TestValidation:
+    def test_needs_routes(self):
+        with pytest.raises(LightscriptError):
+            LightscriptProgram("t.com", [])
+
+    def test_bad_regex_rejected(self):
+        with pytest.raises(LightscriptError):
+            LightscriptProgram("t.com", [Route(pattern="([")])
+
+    def test_too_many_routes(self):
+        routes = [Route(pattern=f"^/{i}$") for i in range(300)]
+        with pytest.raises(LightscriptError):
+            LightscriptProgram("t.com", routes)
+
+    def test_oversized_template(self):
+        with pytest.raises(LightscriptError):
+            LightscriptProgram("t.com", [Route(pattern="^/$", render="x" * 10000)])
+
+    def test_bad_version(self):
+        with pytest.raises(LightscriptError):
+            LightscriptProgram("t.com", [Route(pattern="^/$")], version=2)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        prog = program([
+            Route(pattern=r"^/a/(\d+)$", fetches=("t.com/a/{1}",),
+                  render="A {1}", prompts=("zip",)),
+            Route(pattern=r"^/$", render="home"),
+        ])
+        restored = LightscriptProgram.from_json(prog.to_json())
+        assert restored.domain == prog.domain
+        assert [r.pattern for r in restored.routes] == [r.pattern for r in prog.routes]
+        assert restored.routes[0].prompts == ("zip",)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(LightscriptError):
+            LightscriptProgram.from_json(b"not json at all")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(LightscriptError):
+            LightscriptProgram.from_json(b"[1,2,3]")
+
+    def test_missing_routes_rejected(self):
+        with pytest.raises(LightscriptError):
+            LightscriptProgram.from_json(b'{"domain": "t.com"}')
+
+    def test_hostile_regex_in_payload_rejected(self):
+        payload = (b'{"domain":"t.com","routes":[{"pattern":"(["}],'
+                   b'"version":1}')
+        with pytest.raises(LightscriptError):
+            LightscriptProgram.from_json(payload)
+
+
+class TestRouting:
+    def test_first_match_wins(self):
+        prog = program([
+            Route(pattern=r"^/special$", render="special"),
+            Route(pattern=r"^/.*$", render="generic"),
+        ])
+        route, _ = prog.match("/special")
+        assert route.render == "special"
+        route, _ = prog.match("/other")
+        assert route.render == "generic"
+
+    def test_no_match(self):
+        prog = program([Route(pattern=r"^/only$")])
+        route, match = prog.match("/nope")
+        assert route is None and match is None
+
+    def test_capture_groups(self):
+        prog = program([Route(pattern=r"^/(\d{4})/(\d{2})$",
+                              render="year={1} month={2}")])
+        route, match = prog.match("/2023/06")
+        assert prog.render(route, match, {}, {}, []) == "year=2023 month=06"
+
+
+class TestSubstitution:
+    def test_local_storage_with_default(self):
+        prog = program([Route(pattern=r"^/$",
+                              render="zip={local.zip|10001}")])
+        route, match = prog.match("/")
+        assert prog.render(route, match, {}, {}, []) == "zip=10001"
+        assert prog.render(route, match, {"zip": "94704"}, {}, []) == "zip=94704"
+
+    def test_query_params(self):
+        prog = program([Route(pattern=r"^/s$", render="q={query.q|none}")])
+        route, match = prog.match("/s")
+        assert prog.render(route, match, {}, {"q": "uganda"}, []) == "q=uganda"
+        assert prog.render(route, match, {}, {}, []) == "q=none"
+
+    def test_data_navigation(self):
+        prog = program([Route(pattern=r"^/$",
+                              render="{data0.a.b} {data0.items.1} {data1.x|?}")])
+        route, match = prog.match("/")
+        data = [{"a": {"b": "deep"}, "items": ["zero", "one"]}, None]
+        assert prog.render(route, match, {}, {}, data) == "deep one ?"
+
+    def test_missing_data_renders_default(self):
+        prog = program([Route(pattern=r"^/$", render="[{data5.x|absent}]")])
+        route, match = prog.match("/")
+        assert prog.render(route, match, {}, {}, []) == "[absent]"
+
+    def test_list_and_number_stringification(self):
+        prog = program([Route(pattern=r"^/$", render="{data0.n}|{data0.l}")])
+        route, match = prog.match("/")
+        data = [{"n": 42, "l": ["a", "b"]}]
+        assert prog.render(route, match, {}, {}, data) == "42|a\nb"
+
+    def test_unknown_placeholder_empty(self):
+        prog = program([Route(pattern=r"^/$", render="[{bogus.thing}]")])
+        route, match = prog.match("/")
+        assert prog.render(route, match, {}, {}, []) == "[]"
+
+
+class TestFetchPlanning:
+    def test_templates_expanded(self):
+        prog = program([Route(pattern=r"^/city/(\w+)$",
+                              fetches=("w.com/data/{1}.json", "w.com/ads"))])
+        route, match = prog.match("/city/berkeley")
+        plan = prog.plan_fetches(route, match, {}, {}, budget=5)
+        assert plan == ["w.com/data/berkeley.json", "w.com/ads"]
+
+    def test_storage_in_fetch_template(self):
+        prog = program([Route(pattern=r"^/$",
+                              fetches=("w.com/zip/{local.zip|00000}.json",))])
+        route, match = prog.match("/")
+        plan = prog.plan_fetches(route, match, {"zip": "94704"}, {}, budget=5)
+        assert plan == ["w.com/zip/94704.json"]
+
+    def test_budget_enforced(self):
+        """§3.2: a route may never exceed the universe's fixed budget."""
+        prog = program([Route(pattern=r"^/$",
+                              fetches=tuple(f"t.com/{i}" for i in range(6)))])
+        route, match = prog.match("/")
+        with pytest.raises(BudgetExceededError):
+            prog.plan_fetches(route, match, {}, {}, budget=5)
+
+    def test_under_budget_allowed(self):
+        prog = program([Route(pattern=r"^/$", fetches=("t.com/a",))])
+        route, match = prog.match("/")
+        assert len(prog.plan_fetches(route, match, {}, {}, budget=5)) == 1

@@ -1,0 +1,100 @@
+"""Tests for LWE database updates with client hint deltas."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.lwe import LweParams, LwePirClient, LwePirServer
+from repro.errors import CryptoError
+from repro.pir.database import BlobDatabase
+from repro.pir.singleserver import SingleServerPirClient, SingleServerPirServer
+
+
+def make_core(rows=8, cols=16, seed=1):
+    rng = np.random.default_rng(seed)
+    db = rng.integers(0, 256, size=(rows, cols), dtype=np.uint64)
+    params = LweParams(n=48)
+    server = LwePirServer(db, params=params)
+    client = LwePirClient(server.a_matrix, server.hint(), params=params,
+                          rng=np.random.default_rng(seed + 1))
+    return db, server, client
+
+
+class TestCoreUpdates:
+    def test_update_then_fetch_new_value(self):
+        _db, server, client = make_core()
+        new_col = np.arange(8, dtype=np.uint64)
+        column, delta = server.update_column(5, new_col)
+        client.apply_hint_update(column, delta)
+        got = client.decode(server.answer(client.query(5)))
+        assert (got == new_col).all()
+
+    def test_other_columns_unaffected(self):
+        db, server, client = make_core()
+        column, delta = server.update_column(3, np.zeros(8, dtype=np.uint64))
+        client.apply_hint_update(column, delta)
+        got = client.decode(server.answer(client.query(7)))
+        assert (got == db[:, 7]).all()
+
+    def test_stale_client_decodes_garbage(self):
+        """A client that skipped the delta no longer decodes correctly —
+        hint freshness is required, exactly like a full hint re-download."""
+        _db, server, client = make_core()
+        new_col = np.full(8, 200, dtype=np.uint64)
+        server.update_column(2, new_col)  # delta dropped on the floor
+        got = client.decode(server.answer(client.query(2)))
+        assert not (got == new_col).all()
+
+    def test_multiple_updates_compose(self):
+        _db, server, client = make_core()
+        for column, fill in ((0, 1), (1, 2), (0, 3)):
+            new_col = np.full(8, fill, dtype=np.uint64)
+            client.apply_hint_update(*server.update_column(column, new_col))
+        assert (client.decode(server.answer(client.query(0))) == 3).all()
+        assert (client.decode(server.answer(client.query(1))) == 2).all()
+
+    def test_delta_shape(self):
+        _db, server, _client = make_core()
+        column, delta = server.update_column(0, np.zeros(8, dtype=np.uint64))
+        assert column == 0
+        assert delta.shape == (8,)
+
+    def test_validation(self):
+        _db, server, client = make_core()
+        with pytest.raises(CryptoError):
+            server.update_column(99, np.zeros(8, dtype=np.uint64))
+        with pytest.raises(CryptoError):
+            server.update_column(0, np.zeros(7, dtype=np.uint64))
+        with pytest.raises(CryptoError):
+            server.update_column(0, np.full(8, 256, dtype=np.uint64))
+        with pytest.raises(CryptoError):
+            client.apply_hint_update(0, np.zeros((2, 2), dtype=np.uint64))
+        with pytest.raises(CryptoError):
+            client.apply_hint_update(99, np.zeros(8, dtype=np.uint64))
+
+
+class TestBlobLevelUpdates:
+    def test_publisher_push_cycle(self):
+        db = BlobDatabase(5, 24)
+        db.set_slot(9, b"version-one")
+        server = SingleServerPirServer(db, params=LweParams(n=48))
+        client = SingleServerPirClient(server.setup_blob(),
+                                       rng=np.random.default_rng(3))
+        assert client.fetch(9, server).rstrip(b"\x00") == b"version-one"
+        delta = server.update_slot(9, b"version-two")
+        client.apply_update(delta)
+        assert client.fetch(9, server).rstrip(b"\x00") == b"version-two"
+
+    def test_new_slot_appears(self):
+        db = BlobDatabase(5, 24)
+        server = SingleServerPirServer(db, params=LweParams(n=48))
+        client = SingleServerPirClient(server.setup_blob(),
+                                       rng=np.random.default_rng(4))
+        assert client.fetch(3, server) == b"\x00" * 24
+        client.apply_update(server.update_slot(3, b"fresh"))
+        assert client.fetch(3, server).rstrip(b"\x00") == b"fresh"
+
+    def test_delta_much_smaller_than_hint(self):
+        db = BlobDatabase(8, 64)
+        server = SingleServerPirServer(db, params=LweParams(n=48))
+        _column, delta = server.update_slot(0, b"x")
+        assert delta.nbytes < server.hint_bytes() / 10

@@ -1,0 +1,110 @@
+"""Tests for Merkle trees and proof encoding."""
+
+import pytest
+
+from repro.crypto.merkle import (
+    DIGEST_BYTES,
+    MerkleTree,
+    decode_proof,
+    encode_proof,
+    leaf_hash,
+    node_hash,
+    verify_proof,
+)
+from repro.errors import IntegrityError, ReproError
+
+
+def make_tree(n):
+    return MerkleTree([f"leaf-{i}".encode() for i in range(n)]), [
+        f"leaf-{i}".encode() for i in range(n)
+    ]
+
+
+class TestTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+    def test_all_proofs_verify(self, n):
+        tree, leaves = make_tree(n)
+        for index, leaf in enumerate(leaves):
+            verify_proof(tree.root, leaf, tree.proof(index))
+
+    def test_root_deterministic(self):
+        a, _ = make_tree(7)
+        b, _ = make_tree(7)
+        assert a.root == b.root
+
+    def test_root_changes_with_any_leaf(self):
+        base, _ = make_tree(8)
+        for i in range(8):
+            leaves = [f"leaf-{j}".encode() for j in range(8)]
+            leaves[i] = b"tampered"
+            assert MerkleTree(leaves).root != base.root
+
+    def test_proof_size_logarithmic(self):
+        small, _ = make_tree(4)
+        large, _ = make_tree(256)
+        assert len(large.proof(0)) == len(small.proof(0)) + 6
+        assert large.proof_bytes(0) == 8 * (1 + DIGEST_BYTES)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            MerkleTree([])
+
+    def test_index_bounds(self):
+        tree, _ = make_tree(4)
+        with pytest.raises(ReproError):
+            tree.proof(4)
+
+    def test_leaf_node_domain_separation(self):
+        assert leaf_hash(b"x") != node_hash(b"", b"x")
+
+
+class TestVerification:
+    def test_wrong_data_rejected(self):
+        tree, leaves = make_tree(8)
+        with pytest.raises(IntegrityError):
+            verify_proof(tree.root, b"forged", tree.proof(3))
+
+    def test_wrong_index_proof_rejected(self):
+        tree, leaves = make_tree(8)
+        with pytest.raises(IntegrityError):
+            verify_proof(tree.root, leaves[3], tree.proof(4))
+
+    def test_wrong_root_rejected(self):
+        tree, leaves = make_tree(8)
+        other, _ = make_tree(9)
+        with pytest.raises(IntegrityError):
+            verify_proof(other.root, leaves[0], tree.proof(0))
+
+    def test_truncated_proof_rejected(self):
+        tree, leaves = make_tree(8)
+        with pytest.raises(IntegrityError):
+            verify_proof(tree.root, leaves[0], tree.proof(0)[:-1])
+
+    def test_malformed_side_rejected(self):
+        tree, leaves = make_tree(2)
+        bad = [("x", tree.proof(0)[0][1])]
+        with pytest.raises(IntegrityError):
+            verify_proof(tree.root, leaves[0], bad)
+
+
+class TestProofCodec:
+    def test_roundtrip(self):
+        tree, leaves = make_tree(10)
+        for index in range(10):
+            proof = tree.proof(index)
+            assert decode_proof(encode_proof(proof)) == proof
+
+    def test_empty_proof(self):
+        assert decode_proof(encode_proof([])) == []
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(IntegrityError):
+            decode_proof("Lab")
+
+    def test_bad_side_rejected(self):
+        with pytest.raises(IntegrityError):
+            decode_proof("X" + "0" * 64)
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(IntegrityError):
+            decode_proof("L" + "z" * 64)

@@ -1,0 +1,111 @@
+"""Tests for ZLTP message encoding."""
+
+import pytest
+
+from repro.core.zltp.messages import (
+    Bye,
+    ClientHello,
+    ErrorMessage,
+    GetRequest,
+    GetResponse,
+    ServerHello,
+    SetupRequest,
+    SetupResponse,
+    decode_message,
+    decode_payload,
+    encode_message,
+    encode_payload,
+)
+from repro.errors import ProtocolError
+
+
+class TestValueCodec:
+    def test_roundtrip_primitives(self):
+        fields = {
+            "i": 42,
+            "neg": -7,
+            "s": "héllo",
+            "b": b"\x00\xff",
+            "none": None,
+            "t": True,
+            "f": False,
+            "fl": 2.5,
+        }
+        assert decode_payload(encode_payload(fields)) == fields
+
+    def test_roundtrip_nested(self):
+        fields = {"list": [1, "two", b"three", [4, {"five": 5}]], "d": {"x": None}}
+        assert decode_payload(encode_payload(fields)) == fields
+
+    def test_large_int(self):
+        fields = {"big": 2**62, "small": -(2**62)}
+        assert decode_payload(encode_payload(fields)) == fields
+
+    def test_trailing_garbage_rejected(self):
+        raw = encode_payload({"a": 1}) + b"\x00"
+        with pytest.raises(ProtocolError):
+            decode_payload(raw)
+
+    def test_truncation_rejected(self):
+        raw = encode_payload({"a": "long string value"})
+        for cut in (1, len(raw) // 2, len(raw) - 1):
+            with pytest.raises(ProtocolError):
+                decode_payload(raw[:cut])
+
+    def test_non_dict_top_level_rejected(self):
+        out = bytearray()
+        from repro.core.zltp.messages import _encode_value
+
+        _encode_value([1, 2], out)
+        with pytest.raises(ProtocolError):
+            decode_payload(bytes(out))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xfe")
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_payload({"bad": object()})
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_payload({1: "x"})
+
+
+class TestMessages:
+    @pytest.mark.parametrize("message", [
+        ClientHello(supported_modes=["pir2", "pir-lwe"]),
+        ServerHello(blob_size=4096, domain_bits=22, mode="pir2",
+                    probes=2, salt=b"s", mode_params={"party": 0}),
+        SetupRequest(),
+        SetupResponse(params={"hint": b"\x01" * 32}),
+        GetRequest(request_id=7, payload=b"dpf-key-bytes"),
+        GetResponse(request_id=7, payload=b"answer"),
+        ErrorMessage(code="protocol", detail="bad"),
+        Bye(),
+    ])
+    def test_roundtrip(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\x63" + encode_payload({}))
+
+    def test_missing_field_rejected(self):
+        raw = bytes([GetRequest.TAG]) + encode_payload({"request_id": 1})
+        with pytest.raises(ProtocolError):
+            decode_message(raw)
+
+    def test_extra_field_rejected(self):
+        raw = bytes([Bye.TAG]) + encode_payload({"surprise": 1})
+        with pytest.raises(ProtocolError):
+            decode_message(raw)
+
+    def test_malformed_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(bytes([ClientHello.TAG]) + b"\xff\xff")

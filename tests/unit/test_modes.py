@@ -1,0 +1,177 @@
+"""Tests for the ZLTP modes of operation (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.zltp.modes import (
+    ALL_MODES,
+    MODE_ENCLAVE,
+    MODE_PIR2,
+    MODE_PIR_LWE,
+    EnclaveModeClient,
+    EnclaveModeServer,
+    LweModeClient,
+    LweModeServer,
+    Pir2ModeClient,
+    Pir2ModeServer,
+    make_mode_client,
+    make_mode_server,
+    mode_endpoints,
+    negotiate,
+    pack_u64,
+    unpack_u64,
+)
+from repro.crypto.lwe import LweParams
+from repro.errors import CryptoError, NegotiationError, ProtocolError
+from repro.pir.database import BlobDatabase
+
+
+def make_db(domain_bits=6, blob_size=32):
+    db = BlobDatabase(domain_bits, blob_size)
+    for i in range(db.n_slots):
+        db.set_slot(i, f"slot-{i}".encode())
+    return db
+
+
+class TestNegotiation:
+    def test_server_preference_wins(self):
+        assert negotiate([MODE_PIR_LWE, MODE_PIR2], [MODE_PIR2, MODE_PIR_LWE]) == MODE_PIR2
+
+    def test_no_common_mode(self):
+        with pytest.raises(NegotiationError):
+            negotiate([MODE_PIR2], [MODE_ENCLAVE])
+
+    def test_endpoints(self):
+        assert mode_endpoints(MODE_PIR2) == 2
+        assert mode_endpoints(MODE_PIR_LWE) == 1
+        assert mode_endpoints(MODE_ENCLAVE) == 1
+
+    def test_unknown_mode(self):
+        with pytest.raises(NegotiationError):
+            mode_endpoints("quantum")
+
+    def test_all_modes_constructible(self):
+        db = make_db()
+        for mode in ALL_MODES:
+            server = make_mode_server(
+                mode, db, lwe_params=LweParams(n=32),
+                rng=np.random.default_rng(0),
+            )
+            assert server.name == mode
+
+
+class TestArrayCodec:
+    def test_roundtrip_1d(self):
+        arr = np.arange(10, dtype=np.uint64)
+        assert (unpack_u64(pack_u64(arr)) == arr).all()
+
+    def test_roundtrip_2d(self):
+        arr = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        out = unpack_u64(pack_u64(arr))
+        assert out.shape == (3, 4)
+        assert (out == arr).all()
+
+    def test_truncated_rejected(self):
+        raw = pack_u64(np.arange(4, dtype=np.uint64))
+        with pytest.raises(ProtocolError):
+            unpack_u64(raw[:-3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_u64(b"")
+
+    def test_3d_rejected(self):
+        with pytest.raises(CryptoError):
+            pack_u64(np.zeros((2, 2, 2), dtype=np.uint64))
+
+
+class TestPir2Mode:
+    def test_end_to_end(self):
+        db = make_db()
+        server0 = Pir2ModeServer(db, 0)
+        server1 = Pir2ModeServer(db, 1)
+        client = Pir2ModeClient(6, 32)
+        queries = client.queries_for_slot(9)
+        answers = [server0.answer(queries[0]), server1.answer(queries[1])]
+        assert client.decode(answers).rstrip(b"\x00") == b"slot-9"
+
+    def test_hello_params_carry_party(self):
+        db = make_db()
+        assert Pir2ModeServer(db, 1).hello_params() == {"party": 1}
+
+    def test_decode_needs_two_answers(self):
+        client = Pir2ModeClient(6, 32)
+        with pytest.raises(ProtocolError):
+            client.decode([b"only-one"])
+
+    def test_decode_length_mismatch(self):
+        client = Pir2ModeClient(6, 32)
+        with pytest.raises(ProtocolError):
+            client.decode([b"ab", b"abc"])
+
+
+class TestLweMode:
+    def test_end_to_end(self):
+        db = make_db()
+        server = LweModeServer(db, params=LweParams(n=32))
+        client = LweModeClient(
+            32, server.hello_params(), server.setup(),
+            rng=np.random.default_rng(1),
+        )
+        queries = client.queries_for_slot(17)
+        answer = server.answer(queries[0])
+        assert client.decode([answer]).rstrip(b"\x00") == b"slot-17"
+
+    def test_setup_contains_hint(self):
+        server = LweModeServer(make_db(), params=LweParams(n=32))
+        setup = server.setup()
+        assert set(setup) == {"hint", "a_matrix"}
+
+    def test_bad_query_shape_rejected(self):
+        server = LweModeServer(make_db(), params=LweParams(n=32))
+        with pytest.raises(ProtocolError):
+            server.answer(pack_u64(np.zeros((2, 2), dtype=np.uint64)))
+
+
+class TestEnclaveMode:
+    def test_end_to_end(self):
+        db = make_db(domain_bits=5)
+        server = EnclaveModeServer(db, rng=np.random.default_rng(2))
+        client = EnclaveModeClient(server.hello_params())
+        queries = client.queries_for_slot(11)
+        answer = server.answer(queries[0])
+        assert client.decode([answer]).rstrip(b"\x00") == b"slot-11"
+
+    def test_operator_cannot_read_query(self):
+        """The relayed payload is sealed; only the enclave key opens it."""
+        db = make_db(domain_bits=5)
+        server = EnclaveModeServer(db, rng=np.random.default_rng(3))
+        client = EnclaveModeClient(server.hello_params())
+        query = client.queries_for_slot(4)[0]
+        import struct
+        assert struct.pack("<Q", 4) not in query
+
+    def test_tampered_query_rejected(self):
+        db = make_db(domain_bits=5)
+        server = EnclaveModeServer(db, rng=np.random.default_rng(4))
+        client = EnclaveModeClient(server.hello_params())
+        query = bytearray(client.queries_for_slot(4)[0])
+        query[-1] ^= 1
+        with pytest.raises(Exception):
+            server.answer(bytes(query))
+
+    def test_compromised_enclave_refuses_service(self):
+        from repro.errors import AccessError
+
+        db = make_db(domain_bits=5)
+        server = EnclaveModeServer(db, rng=np.random.default_rng(5))
+        client = EnclaveModeClient(server.hello_params())
+        server.enclave.compromise()
+        with pytest.raises(AccessError):
+            server.answer(client.queries_for_slot(0)[0])
+
+    def test_factory_unknown_mode(self):
+        with pytest.raises(NegotiationError):
+            make_mode_server("nope", make_db())
+        with pytest.raises(NegotiationError):
+            make_mode_client("nope", 6, 32, {}, {})

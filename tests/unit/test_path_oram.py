@@ -1,0 +1,123 @@
+"""Tests for Path ORAM: correctness, stash behaviour, obliviousness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CryptoError
+from repro.oram.path_oram import PathOram
+from repro.oram.trace import leaf_distribution_pvalue, trace_stats
+
+
+def make_oram(capacity_bits=5, block_size=16, seed=3):
+    return PathOram(capacity_bits, block_size, rng=np.random.default_rng(seed))
+
+
+class TestCorrectness:
+    def test_write_then_read(self):
+        oram = make_oram()
+        oram.write(7, b"A" * 16)
+        assert oram.read(7) == b"A" * 16
+
+    def test_unwritten_reads_zero(self):
+        oram = make_oram()
+        assert oram.read(3) == b"\x00" * 16
+
+    def test_write_returns_previous(self):
+        oram = make_oram()
+        oram.write(2, b"1" * 16)
+        old = oram.write(2, b"2" * 16)
+        assert old == b"1" * 16
+        assert oram.read(2) == b"2" * 16
+
+    def test_random_workload_matches_reference(self):
+        rng = np.random.default_rng(10)
+        oram = make_oram(capacity_bits=6)
+        reference = {}
+        for _ in range(600):
+            addr = int(rng.integers(0, 64))
+            if rng.random() < 0.5:
+                data = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
+                prev = oram.write(addr, data)
+                assert prev == reference.get(addr, b"\x00" * 16)
+                reference[addr] = data
+            else:
+                assert oram.read(addr) == reference.get(addr, b"\x00" * 16)
+
+    def test_all_addresses_usable(self):
+        oram = make_oram(capacity_bits=4)
+        for addr in range(16):
+            oram.write(addr, bytes([addr]) * 16)
+        for addr in range(16):
+            assert oram.read(addr) == bytes([addr]) * 16
+
+
+class TestStash:
+    def test_stash_stays_small(self):
+        rng = np.random.default_rng(11)
+        oram = make_oram(capacity_bits=7, seed=12)
+        for _ in range(1500):
+            oram.write(int(rng.integers(0, 128)), b"x" * 16)
+        # Classic Path ORAM result: stash is O(log N) w.h.p.
+        assert oram.max_stash_seen <= 30
+
+    def test_stash_size_accessor(self):
+        oram = make_oram()
+        assert oram.stash_size() >= 0
+
+
+class TestValidation:
+    def test_bad_op(self):
+        with pytest.raises(CryptoError):
+            make_oram().access("x", 0)
+
+    def test_address_bounds(self):
+        oram = make_oram(capacity_bits=4)
+        with pytest.raises(CryptoError):
+            oram.read(16)
+
+    def test_write_size_enforced(self):
+        oram = make_oram()
+        with pytest.raises(CryptoError):
+            oram.write(0, b"short")
+
+    def test_geometry_validation(self):
+        with pytest.raises(CryptoError):
+            PathOram(0, 16)
+        with pytest.raises(CryptoError):
+            PathOram(4, 0)
+        with pytest.raises(CryptoError):
+            PathOram(4, 16, bucket_size=0)
+
+
+class TestObliviousness:
+    def test_fixed_trace_shape(self):
+        """Every access touches exactly 2·(height+1) buckets."""
+        oram = make_oram(capacity_bits=5)
+        for i in range(20):
+            oram.write(i % 4, b"y" * 16)
+            oram.read(i % 4)
+        stats = trace_stats(oram.trace)
+        assert stats.fixed_shape
+        assert stats.segment_lengths[0] == 2 * (oram.capacity_bits + 1)
+
+    def test_leaves_uniform_under_sequential_scan(self):
+        oram = make_oram(capacity_bits=4, seed=21)
+        for i in range(800):
+            oram.read(i % 16)
+        assert leaf_distribution_pvalue(oram.leaf_history, oram.n_leaves) > 0.001
+
+    def test_leaves_uniform_under_single_hot_address(self):
+        """Hammering one address must look like any other workload."""
+        oram = make_oram(capacity_bits=4, seed=22)
+        for _ in range(800):
+            oram.read(5)
+        assert leaf_distribution_pvalue(oram.leaf_history, oram.n_leaves) > 0.001
+
+    def test_trace_independent_of_values(self):
+        """Same access sequence, different data → identical address trace."""
+        oram_a = make_oram(seed=33)
+        oram_b = make_oram(seed=33)
+        for i in range(50):
+            oram_a.write(i % 8, bytes([1]) * 16)
+            oram_b.write(i % 8, bytes([2]) * 16)
+        assert oram_a.trace.addresses() == oram_b.trace.addresses()

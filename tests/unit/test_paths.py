@@ -1,0 +1,84 @@
+"""Tests for the lightweb path grammar."""
+
+import pytest
+
+from repro.core.lightweb.paths import (
+    LightwebPath,
+    owner_prefix,
+    parse_path,
+    split_query,
+    validate_domain,
+    MAX_PATH_LENGTH,
+)
+from repro.errors import PathError
+
+
+class TestValidateDomain:
+    @pytest.mark.parametrize("domain", [
+        "nytimes.com", "wikipedia.org", "a.b.c.example",
+        "poodleclubofamerica.org", "weather.com", "x-y.io",
+    ])
+    def test_valid(self, domain):
+        assert validate_domain(domain) == domain
+
+    def test_lowercased(self):
+        assert validate_domain("NYTimes.COM") == "nytimes.com"
+
+    @pytest.mark.parametrize("domain", [
+        "", "nodots", ".leading.com", "trailing.com.", "-bad.com",
+        "bad-.com", "sp ace.com", "under_score.com", "a..b",
+    ])
+    def test_invalid(self, domain):
+        with pytest.raises(PathError):
+            validate_domain(domain)
+
+
+class TestParsePath:
+    def test_paper_example(self):
+        parsed = parse_path("nytimes.com/world/africa/2023/06/headlines.json")
+        assert parsed.domain == "nytimes.com"
+        assert parsed.rest == "/world/africa/2023/06/headlines.json"
+        assert parsed.full == "nytimes.com/world/africa/2023/06/headlines.json"
+
+    def test_bare_domain(self):
+        parsed = parse_path("cnn.com")
+        assert parsed.rest == "/"
+        assert str(parsed) == "cnn.com"
+
+    def test_domain_with_trailing_slash(self):
+        assert parse_path("cnn.com/").rest == "/"
+
+    def test_arbitrary_rest_format(self):
+        """§3.1: "the path may have any format" below the domain."""
+        parsed = parse_path("a.com/literally anything?x=1&y=%20")
+        assert parsed.rest == "/literally anything?x=1&y=%20"
+
+    def test_empty_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("")
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("not_a_domain/page")
+
+    def test_too_long_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("a.com/" + "x" * MAX_PATH_LENGTH)
+
+    def test_control_characters_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("a.com/pa\x00ge")
+
+    def test_owner_prefix(self):
+        assert owner_prefix("nytimes.com/world/africa") == "nytimes.com"
+
+
+class TestSplitQuery:
+    def test_no_query(self):
+        assert split_query("/page") == ("/page", "")
+
+    def test_with_query(self):
+        assert split_query("/search?q=uganda&page=2") == ("/search", "q=uganda&page=2")
+
+    def test_empty_rest(self):
+        assert split_query("") == ("/", "")

@@ -1,0 +1,47 @@
+"""Tests for the shared domain registry (§3.5)."""
+
+import pytest
+
+from repro.core.lightweb.peering import DomainRegistry
+from repro.errors import OwnershipError, PathError
+
+
+class TestDomainRegistry:
+    def test_register_and_lookup(self):
+        registry = DomainRegistry()
+        registry.register("a.com", "acme")
+        assert registry.owner_of("a.com") == "acme"
+        assert registry.owner_of("b.com") is None
+
+    def test_reregistration_same_owner(self):
+        registry = DomainRegistry()
+        registry.register("a.com", "acme")
+        registry.register("a.com", "acme")
+
+    def test_conflict_rejected(self):
+        registry = DomainRegistry()
+        registry.register("a.com", "acme")
+        with pytest.raises(OwnershipError):
+            registry.register("a.com", "rival")
+
+    def test_transfer(self):
+        registry = DomainRegistry()
+        registry.register("a.com", "acme")
+        registry.transfer("a.com", "acme", "newco")
+        assert registry.owner_of("a.com") == "newco"
+
+    def test_transfer_requires_current_owner(self):
+        registry = DomainRegistry()
+        registry.register("a.com", "acme")
+        with pytest.raises(OwnershipError):
+            registry.transfer("a.com", "rival", "newco")
+
+    def test_domains_sorted(self):
+        registry = DomainRegistry()
+        registry.register("z.com", "a")
+        registry.register("a.com", "a")
+        assert registry.domains() == ["a.com", "z.com"]
+
+    def test_invalid_domain(self):
+        with pytest.raises(PathError):
+            DomainRegistry().register("not valid", "x")

@@ -1,0 +1,102 @@
+"""Tests for universe save/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.cdn import Cdn
+from repro.core.lightweb.persistence import load_universe, save_universe
+from repro.core.lightweb.publisher import Publisher
+from repro.core.zltp.modes import MODE_PIR2
+from repro.errors import OwnershipError, ProtocolError
+
+
+@pytest.fixture
+def populated_universe(small_cdn):
+    return small_cdn.universe("main")
+
+
+class TestRoundtrip:
+    def test_geometry_survives(self, populated_universe, tmp_path):
+        path = str(tmp_path / "u.npz")
+        save_universe(populated_universe, path)
+        restored = load_universe(path)
+        assert restored.name == populated_universe.name
+        assert restored.data_blob_size == populated_universe.data_blob_size
+        assert restored.fetch_budget == populated_universe.fetch_budget
+        assert restored.salt == populated_universe.salt
+        assert restored.n_pages == populated_universe.n_pages
+
+    def test_ownership_survives(self, populated_universe, tmp_path):
+        path = str(tmp_path / "u.npz")
+        save_universe(populated_universe, path)
+        restored = load_universe(path)
+        assert restored.owner_of("news.example") == "acme"
+        with pytest.raises(OwnershipError):
+            restored.put_data("rival", "news.example/x", b"squat")
+
+    def test_blob_bytes_identical(self, populated_universe, tmp_path):
+        path = str(tmp_path / "u.npz")
+        save_universe(populated_universe, path)
+        restored = load_universe(path)
+        for slot in populated_universe.data_db.occupied_slots():
+            assert restored.data_db.get_slot(slot) == \
+                populated_universe.data_db.get_slot(slot)
+
+    def test_restored_universe_is_browsable(self, populated_universe, tmp_path):
+        from repro.core.lightweb.browser import LightwebBrowser
+
+        path = str(tmp_path / "u.npz")
+        save_universe(populated_universe, path)
+        cdn = Cdn("restarted", modes=[MODE_PIR2])
+        cdn._universes["main"] = load_universe(path)
+        cdn.gets_by_universe["main"] = 0
+        browser = LightwebBrowser(rng=np.random.default_rng(0))
+        browser.connect(cdn, "main")
+        assert "Front page" in browser.visit("news.example").text
+        assert "world news body" in browser.visit("news.example/world").text
+
+    def test_restored_universe_accepts_new_pushes(self, populated_universe,
+                                                  tmp_path):
+        path = str(tmp_path / "u.npz")
+        save_universe(populated_universe, path)
+        cdn = Cdn("restarted", modes=[MODE_PIR2])
+        cdn._universes["main"] = load_universe(path)
+        cdn.gets_by_universe["main"] = 0
+        publisher = Publisher("acme")
+        site = publisher.site("news.example")
+        site.add_page("/", "post-restart front page")
+        site.add_page("/world", {"title": "World", "body": "world news body"})
+        publisher.push(cdn, "main")
+        from repro.core.lightweb.browser import LightwebBrowser
+
+        browser = LightwebBrowser(rng=np.random.default_rng(1))
+        browser.connect(cdn, "main")
+        assert "post-restart" in browser.visit("news.example").text
+
+
+class TestFailureModes:
+    def test_missing_file(self):
+        with pytest.raises(ProtocolError):
+            load_universe("/nonexistent/universe.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an archive")
+        with pytest.raises(ProtocolError):
+            load_universe(str(path))
+
+    def test_wrong_format_version(self, populated_universe, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = str(tmp_path / "u.npz")
+        save_universe(populated_universe, path)
+        archive = dict(np.load(path, allow_pickle=False))
+        meta = json.loads(bytes(archive["meta"]).decode())
+        meta["format"] = 99
+        archive["meta"] = np.frombuffer(json.dumps(meta).encode(),
+                                        dtype=np.uint8)
+        np.savez_compressed(path, **archive)
+        with pytest.raises(ProtocolError):
+            load_universe(path)

@@ -1,0 +1,124 @@
+"""Tests for recursive position maps and RecursivePathOram."""
+
+import numpy as np
+import pytest
+
+from repro.oram.path_oram import DictPositionMap, PathOram
+from repro.oram.position_map import (
+    OramPositionMap,
+    RecursivePathOram,
+    build_position_map,
+)
+from repro.oram.trace import leaf_distribution_pvalue, trace_stats
+from repro.errors import CryptoError
+
+
+class TestOramPositionMap:
+    def test_get_and_set_roundtrip(self):
+        pm = OramPositionMap(8, 16, rng=np.random.default_rng(0))
+        assert pm.get_and_set(5, 100) is None
+        assert pm.get_and_set(5, 200) == 100
+        assert pm.get_and_set(5, 300) == 200
+
+    def test_entries_independent(self):
+        pm = OramPositionMap(8, 16, rng=np.random.default_rng(1))
+        for addr in range(40):
+            assert pm.get_and_set(addr, addr * 3) is None
+        for addr in range(40):
+            assert pm.get_and_set(addr, 0) == addr * 3
+
+    def test_leaf_zero_representable(self):
+        pm = OramPositionMap(6, 8, rng=np.random.default_rng(2))
+        assert pm.get_and_set(3, 0) is None
+        assert pm.get_and_set(3, 7) == 0
+
+    def test_snapshot(self):
+        pm = OramPositionMap(6, 8, rng=np.random.default_rng(3))
+        pm.get_and_set(1, 11)
+        pm.get_and_set(9, 22)
+        snap = pm.snapshot()
+        assert snap[1] == 11 and snap[9] == 22
+        assert 2 not in snap
+
+    def test_entries_per_block_validation(self):
+        with pytest.raises(CryptoError):
+            OramPositionMap(8, 3)
+
+    def test_build_small_map_stays_trusted(self):
+        pm = build_position_map(4, 16, min_trusted_entries=64)
+        assert isinstance(pm, DictPositionMap)
+
+    def test_build_large_map_recurses(self):
+        pm = build_position_map(12, 16, min_trusted_entries=64,
+                                rng=np.random.default_rng(4))
+        assert isinstance(pm, OramPositionMap)
+
+
+class TestRecursivePathOram:
+    def test_correctness_random_workload(self):
+        rng = np.random.default_rng(5)
+        oram = RecursivePathOram(8, 16, entries_per_block=16,
+                                 min_trusted_entries=16,
+                                 rng=np.random.default_rng(6))
+        reference = {}
+        for _ in range(300):
+            addr = int(rng.integers(0, 256))
+            if rng.random() < 0.5:
+                data = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
+                assert oram.write(addr, data) == reference.get(addr, b"\x00" * 16)
+                reference[addr] = data
+            else:
+                assert oram.read(addr) == reference.get(addr, b"\x00" * 16)
+
+    def test_recursion_depth(self):
+        oram = RecursivePathOram(12, 16, entries_per_block=16,
+                                 min_trusted_entries=16,
+                                 rng=np.random.default_rng(7))
+        # 2^12 -> 2^8 -> 2^4 (=16 entries, trusted): two ORAM map levels.
+        assert oram.recursion_levels == 2
+
+    def test_trusted_state_is_small(self):
+        oram = RecursivePathOram(12, 16, entries_per_block=16,
+                                 min_trusted_entries=16,
+                                 rng=np.random.default_rng(8))
+        for addr in range(0, 4096, 64):
+            oram.write(addr, b"z" * 16)
+        assert oram.trusted_state_entries() <= 16
+
+    def test_fixed_trace_shape_across_levels(self):
+        """Each logical op touches one path per level — fixed total."""
+        oram = RecursivePathOram(8, 16, entries_per_block=16,
+                                 min_trusted_entries=16,
+                                 rng=np.random.default_rng(9))
+        for i in range(30):
+            oram.write(i % 9, b"y" * 16)
+        stats = trace_stats(oram.trace)
+        assert stats.fixed_shape
+        assert stats.segment_lengths[0] == oram.accesses_per_op()
+
+    def test_accesses_per_op_formula(self):
+        oram = RecursivePathOram(8, 16, entries_per_block=16,
+                                 min_trusted_entries=16,
+                                 rng=np.random.default_rng(10))
+        # Data 2^8 (18 touches) + map 2^4 (10 touches) = 28.
+        assert oram.accesses_per_op() == 2 * 9 + 2 * 5
+
+    def test_data_leaves_still_uniform(self):
+        oram = RecursivePathOram(4, 8, entries_per_block=4,
+                                 min_trusted_entries=4,
+                                 rng=np.random.default_rng(11))
+        for _ in range(600):
+            oram.read(5)  # hot-address hammering
+        assert leaf_distribution_pvalue(oram.leaf_history, oram.n_leaves) > 0.001
+
+    def test_compared_to_flat_oram_same_semantics(self):
+        flat = PathOram(6, 8, rng=np.random.default_rng(12))
+        recursive = RecursivePathOram(6, 8, entries_per_block=8,
+                                      min_trusted_entries=8,
+                                      rng=np.random.default_rng(13))
+        for i in range(64):
+            payload = bytes([i]) * 8
+            flat.write(i, payload)
+            recursive.write(i, payload)
+        for i in range(64):
+            assert flat.read(i) == recursive.read(i)

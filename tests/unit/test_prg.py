@@ -1,0 +1,128 @@
+"""Tests for the tree PRG and seed utilities."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.prg import (
+    Prg,
+    SEED_BYTES,
+    convert_seeds,
+    expand_seeds,
+    random_seed,
+    seed_bytes_to_words,
+    seed_words_to_bytes,
+)
+from repro.errors import CryptoError
+
+
+class TestSeedConversion:
+    def test_roundtrip(self):
+        seed = random_seed(np.random.default_rng(1))
+        assert (seed_bytes_to_words(seed_words_to_bytes(seed)) == seed).all()
+
+    def test_bad_length(self):
+        with pytest.raises(CryptoError):
+            seed_bytes_to_words(b"short")
+
+    def test_bad_shape(self):
+        with pytest.raises(CryptoError):
+            seed_words_to_bytes(np.zeros(3, dtype=np.uint32))
+
+    def test_random_seed_deterministic_with_rng(self):
+        a = random_seed(np.random.default_rng(5))
+        b = random_seed(np.random.default_rng(5))
+        assert (a == b).all()
+
+    def test_random_seed_os_entropy(self):
+        a, b = random_seed(), random_seed()
+        assert not (a == b).all()
+
+
+class TestExpandSeeds:
+    def test_shapes(self):
+        seeds = np.arange(8, dtype=np.uint32).reshape(2, 4)
+        left, right, tl, tr = expand_seeds(seeds)
+        assert left.shape == (2, 4) and right.shape == (2, 4)
+        assert tl.shape == (2,) and tr.shape == (2,)
+        assert set(np.unique(tl)) <= {0, 1}
+
+    def test_deterministic(self):
+        seeds = np.arange(4, dtype=np.uint32).reshape(1, 4)
+        first = expand_seeds(seeds)
+        second = expand_seeds(seeds)
+        for a, b in zip(first, second):
+            assert (a == b).all()
+
+    def test_children_differ_from_parent_and_each_other(self):
+        seeds = np.arange(4, dtype=np.uint32).reshape(1, 4)
+        left, right, _, _ = expand_seeds(seeds)
+        assert not (left == seeds).all()
+        assert not (left == right).all()
+
+    def test_distinct_seeds_distinct_children(self):
+        seeds = np.array([[1, 2, 3, 4], [5, 6, 7, 8]], dtype=np.uint32)
+        left, _, _, _ = expand_seeds(seeds)
+        assert not (left[0] == left[1]).all()
+
+    def test_bad_shape(self):
+        with pytest.raises(CryptoError):
+            expand_seeds(np.zeros((2, 3), dtype=np.uint32))
+
+
+class TestConvertSeeds:
+    def test_output_shape(self):
+        seeds = np.arange(8, dtype=np.uint32).reshape(2, 4)
+        out = convert_seeds(seeds, 100)
+        assert out.shape == (2, 100)
+        assert out.dtype == np.uint8
+
+    def test_multi_block_lengths(self):
+        seeds = np.arange(4, dtype=np.uint32).reshape(1, 4)
+        for n in (1, 63, 64, 65, 200, 4096):
+            assert convert_seeds(seeds, n).shape == (1, n)
+
+    def test_prefix_consistency_across_lengths(self):
+        seeds = np.arange(4, dtype=np.uint32).reshape(1, 4)
+        long = convert_seeds(seeds, 256)
+        short = convert_seeds(seeds, 64)
+        assert (long[0, :64] == short[0]).all()
+
+    def test_independent_of_expand(self):
+        seeds = np.arange(4, dtype=np.uint32).reshape(1, 4)
+        left, _, _, _ = expand_seeds(seeds)
+        out = convert_seeds(seeds, 16)
+        assert out[0].tobytes() != left.astype("<u4").tobytes()
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(CryptoError):
+            convert_seeds(np.zeros((1, 4), dtype=np.uint32), 0)
+
+
+class TestPrg:
+    def test_stream_determinism(self):
+        a = Prg(b"0123456789abcdef").read(100)
+        b = Prg(b"0123456789abcdef").read(100)
+        assert a == b
+
+    def test_incremental_equals_bulk(self):
+        p1 = Prg(b"0123456789abcdef")
+        chunks = p1.read(10) + p1.read(90) + p1.read(33)
+        p2 = Prg(b"0123456789abcdef")
+        assert chunks == p2.read(133)
+
+    def test_domain_separation(self):
+        a = Prg(b"0123456789abcdef", domain=0).read(64)
+        b = Prg(b"0123456789abcdef", domain=1).read(64)
+        assert a != b
+
+    def test_accepts_32_byte_seed(self):
+        assert len(Prg(b"x" * 32).read(10)) == 10
+
+    def test_rejects_bad_seed_length(self):
+        with pytest.raises(CryptoError):
+            Prg(b"too-short")
+
+    def test_read_uint64(self):
+        vals = Prg(b"0123456789abcdef").read_uint64(10)
+        assert vals.shape == (10,)
+        assert vals.dtype == np.uint64

@@ -1,0 +1,102 @@
+"""Tests for the private aggregation used in §4 billing."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.prio import (
+    AggregationServer,
+    DomainQueryAggregator,
+    PrioClient,
+    combine_totals,
+)
+from repro.errors import CryptoError, ProtocolError
+
+
+class TestPrioClient:
+    def test_shares_reconstruct_one_hot(self):
+        client = PrioClient(5, rng=np.random.default_rng(0))
+        share0, share1 = client.report(2)
+        combined = combine_totals(share0, share1)
+        assert list(combined) == [0, 0, 1, 0, 0]
+
+    def test_single_share_uniformish(self):
+        """One share alone carries no information about the domain."""
+        client = PrioClient(8, rng=np.random.default_rng(1))
+        shares = [client.report(3)[0] for _ in range(200)]
+        stacked = np.stack(shares).astype(np.float64)
+        means = stacked.mean(axis=0)
+        # Every coordinate should hover around q/2; the hot one no more so.
+        assert means.std() / means.mean() < 0.1
+
+    def test_index_bounds(self):
+        client = PrioClient(3)
+        with pytest.raises(CryptoError):
+            client.report(3)
+
+    def test_needs_domains(self):
+        with pytest.raises(CryptoError):
+            PrioClient(0)
+
+
+class TestAggregationServer:
+    def test_accumulate_and_totals(self):
+        server = AggregationServer("s", 3)
+        server.accumulate(np.array([1, 2, 3], dtype=np.uint64))
+        server.accumulate(np.array([1, 0, 0], dtype=np.uint64))
+        assert list(server.totals()) == [2, 2, 3]
+        assert server.reports_accepted == 2
+
+    def test_shape_checked(self):
+        server = AggregationServer("s", 3)
+        with pytest.raises(ProtocolError):
+            server.accumulate(np.zeros(4, dtype=np.uint64))
+
+    def test_combine_shape_checked(self):
+        with pytest.raises(ProtocolError):
+            combine_totals(np.zeros(2, dtype=np.uint64),
+                           np.zeros(3, dtype=np.uint64))
+
+    def test_modular_wraparound(self):
+        server = AggregationServer("s", 1)
+        big = np.array([2**32 - 1], dtype=np.uint64)
+        server.accumulate(big)
+        server.accumulate(np.array([2], dtype=np.uint64))
+        assert list(server.totals()) == [1]
+
+
+class TestDomainQueryAggregator:
+    def test_histogram(self):
+        aggregator = DomainQueryAggregator(["a.com", "b.com"],
+                                           rng=np.random.default_rng(2))
+        for _ in range(7):
+            assert aggregator.submit("a.com")
+        for _ in range(2):
+            assert aggregator.submit("b.com")
+        assert aggregator.histogram() == {"a.com": 7, "b.com": 2}
+
+    def test_unknown_domain_rejected(self):
+        aggregator = DomainQueryAggregator(["a.com"])
+        assert not aggregator.submit("evil.com")
+        assert aggregator.rejected == 1
+
+    def test_malformed_shares_rejected_by_sum_check(self):
+        """A client cannot stuff the ballot with a non-one-hot vector."""
+        aggregator = DomainQueryAggregator(["a.com", "b.com"],
+                                           rng=np.random.default_rng(3))
+        double_vote = np.array([1, 1], dtype=np.uint64)
+        zero = np.zeros(2, dtype=np.uint64)
+        assert not aggregator.submit_shares(double_vote, zero)
+        assert aggregator.histogram() == {"a.com": 0, "b.com": 0}
+
+    def test_servers_never_see_plain_reports(self):
+        """Each server's accumulated state is a share, not the histogram."""
+        aggregator = DomainQueryAggregator(["a.com", "b.com"],
+                                           rng=np.random.default_rng(4))
+        for _ in range(5):
+            aggregator.submit("a.com")
+        totals0 = aggregator.server0.totals()
+        assert list(totals0) != [5, 0]  # masked
+
+    def test_empty_domain_list_rejected(self):
+        with pytest.raises(CryptoError):
+            DomainQueryAggregator([])

@@ -1,0 +1,126 @@
+"""Tests for site authoring and compilation."""
+
+import pytest
+
+from repro.core.lightweb.blobs import decode_json_payload
+from repro.core.lightweb.lightscript import LightscriptProgram, Route
+from repro.core.lightweb.publisher import CompiledSite, Publisher, Site
+from repro.errors import CapacityError, PathError
+
+
+class TestSiteAuthoring:
+    def test_string_pages_wrapped(self):
+        site = Site("a.com")
+        site.add_page("/about", "We are a site.")
+        compiled = site.compile(1024)
+        content = decode_json_payload(compiled.data_payloads["a.com/about"])
+        assert content["body"] == "We are a site."
+        assert "title" in content
+
+    def test_dict_pages_kept(self):
+        site = Site("a.com")
+        site.add_page("/", {"title": "Home", "body": "b", "extra": [1]})
+        compiled = site.compile(1024)
+        content = decode_json_payload(compiled.data_payloads["a.com/"])
+        assert content["extra"] == [1]
+
+    def test_rest_must_start_with_slash(self):
+        with pytest.raises(PathError):
+            Site("a.com").add_page("no-slash", "x")
+
+    def test_invalid_content_type(self):
+        with pytest.raises(PathError):
+            Site("a.com").add_page("/", 42)
+
+    def test_invalid_domain(self):
+        with pytest.raises(PathError):
+            Site("not a domain")
+
+    def test_pages_listing(self):
+        site = Site("a.com")
+        site.add_page("/b", "x")
+        site.add_page("/a", "y")
+        assert site.pages() == ["/a", "/b"]
+
+    def test_custom_program_domain_checked(self):
+        site = Site("a.com")
+        program = LightscriptProgram("b.com", [Route(pattern="^/$")])
+        with pytest.raises(PathError):
+            site.set_program(program)
+
+
+class TestCompilation:
+    def test_default_program_serves_pages(self):
+        site = Site("a.com")
+        site.add_page("/x", "content")
+        compiled = site.compile(1024)
+        program = LightscriptProgram.from_json(compiled.code_payload)
+        route, match = program.match("/x")
+        assert route is not None
+        plan = program.plan_fetches(route, match, {}, {}, budget=5)
+        assert plan == ["a.com/x"]
+
+    def test_code_size_limit(self):
+        site = Site("a.com")
+        routes = [Route(pattern=f"^/{i}$", render="r" * 100) for i in range(50)]
+        site.set_program(LightscriptProgram("a.com", routes))
+        with pytest.raises(CapacityError):
+            site.compile(1024, max_code_payload=500)
+
+    def test_long_page_chunked(self):
+        site = Site("a.com")
+        site.add_page("/long", {"title": "L", "body": "w " * 2000})
+        compiled = site.compile(512)
+        parts = [p for p in compiled.data_payloads if p.startswith("a.com/long")]
+        assert len(parts) > 1
+        first = decode_json_payload(compiled.data_payloads["a.com/long"])
+        assert first["next"].startswith("a.com/long~part")
+
+    def test_compiled_site_stats(self):
+        site = Site("a.com")
+        site.add_page("/1", "one")
+        site.add_page("/2", "two")
+        compiled = site.compile(1024)
+        assert compiled.n_data_blobs == 2
+        assert compiled.total_data_bytes() > 0
+
+
+class TestProtectedCompilation:
+    def test_protected_page_sealed(self):
+        site = Site("a.com")
+        site.enable_access_control(b"master-secret-material")
+        site.add_protected_page("/secret", {"title": "S", "body": "hidden"})
+        compiled = site.compile(2048)
+        envelope = decode_json_payload(compiled.data_payloads["a.com/secret"])
+        assert envelope.get("__protected__") is True
+        assert "hidden" not in str(envelope)
+
+    def test_protection_requires_enabling(self):
+        site = Site("a.com")
+        with pytest.raises(PathError):
+            site.add_protected_page("/secret", "x")
+
+    def test_oversized_protected_page_rejected(self):
+        site = Site("a.com")
+        site.enable_access_control(b"master-secret-material")
+        site.add_protected_page("/big", {"title": "B", "body": "x" * 5000})
+        with pytest.raises(CapacityError):
+            site.compile(1024)
+
+
+class TestPublisher:
+    def test_site_reuse(self):
+        publisher = Publisher("corp")
+        site_a = publisher.site("a.com")
+        assert publisher.site("a.com") is site_a
+        assert publisher.domains() == ["a.com"]
+
+    def test_push_unknown_domain(self, small_cdn):
+        publisher = Publisher("corp")
+        with pytest.raises(PathError):
+            publisher.push(small_cdn, "main", domain="ghost.com")
+
+    def test_push_returns_domains(self, small_cdn):
+        publisher = Publisher("corp")
+        publisher.site("fresh.example").add_page("/", "hello")
+        assert publisher.push(small_cdn, "main") == ["fresh.example"]

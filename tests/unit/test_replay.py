@@ -1,0 +1,64 @@
+"""Tests for the workload replay harness."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.corpus import SyntheticCorpus
+from repro.workloads.replay import (
+    ReplayReport,
+    build_replay_universe,
+    replay_sessions,
+    run_replay,
+)
+from repro.workloads.sessions import BrowsingProfile, SessionGenerator, Visit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_replay(n_sites=4, pages_per_site=5, n_days=2,
+                      pages_per_day=6.0, fetch_budget=2, seed=3)
+
+
+class TestReplay:
+    def test_get_accounting(self, report):
+        """Every visit cost exactly the budget in data GETs."""
+        assert report.data_gets == report.n_visits * 2
+        assert report.n_days == 2
+        assert report.n_visits > 0
+
+    def test_code_cache_effective(self, report):
+        """At most one code fetch per distinct domain, across all days."""
+        assert report.code_gets <= 4
+        assert report.code_cache_hit_rate() > 0.3
+
+    def test_adversary_sees_visits_not_pages(self, report):
+        """The observer counts page views; the traffic is uniform."""
+        assert report.adversary_events >= report.n_visits * 0.8
+        # One signature for warm visits, one for visits with a code fetch.
+        assert report.distinct_signatures <= 2
+
+    def test_bytes_move(self, report):
+        assert report.bytes_up > 0
+        assert report.bytes_down > report.bytes_up  # download-dominated
+
+    def test_monthly_cost_scaling(self, report):
+        cost = report.monthly_cost(request_cost_usd=0.002)
+        gets_per_day = (report.data_gets + report.code_gets) / 2
+        assert cost == pytest.approx(gets_per_day * 30 * 0.002)
+
+    def test_empty_sessions_rejected(self):
+        corpus = SyntheticCorpus(2, 2, avg_page_bytes=100)
+        cdn = build_replay_universe(corpus, fetch_budget=2,
+                                    data_domain_bits=10)
+        with pytest.raises(ReproError):
+            replay_sessions(cdn, corpus, [])
+
+    def test_explicit_sessions(self):
+        corpus = SyntheticCorpus(2, 3, avg_page_bytes=100, seed=9)
+        cdn = build_replay_universe(corpus, fetch_budget=2,
+                                    data_domain_bits=10)
+        sessions = [[Visit(100.0, 0, 0), Visit(200.0, 1, 2)]]
+        report = replay_sessions(cdn, corpus, sessions, seed=1)
+        assert report.n_visits == 2
+        assert report.data_gets == 4
+        assert report.code_gets == 2  # two cold domains

@@ -1,0 +1,111 @@
+"""Tests for the cover-traffic schedule (the timing-channel defense)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.scheduler import CoverTrafficSchedule, run_scheduled_day
+from repro.errors import ReproError
+
+
+class TestGrid:
+    def test_grid_spacing(self):
+        schedule = CoverTrafficSchedule(1800, window_hours=(8, 10))
+        grid = schedule.grid()
+        assert len(grid) == 4
+        assert grid[0] == 8 * 3600
+        assert grid[1] - grid[0] == 1800
+
+    def test_daily_fetches(self):
+        schedule = CoverTrafficSchedule(600, window_hours=(7, 23))
+        assert schedule.daily_fetches() == 16 * 6
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CoverTrafficSchedule(0)
+        with pytest.raises(ReproError):
+            CoverTrafficSchedule(60, window_hours=(10, 9))
+
+
+class TestApply:
+    def test_wire_times_independent_of_behaviour(self):
+        """The whole point: grids are identical for any two users."""
+        schedule = CoverTrafficSchedule(900, window_hours=(8, 20))
+        morning = schedule.apply([8.1 * 3600, 8.3 * 3600, 8.7 * 3600])
+        evening = schedule.apply([19.0 * 3600, 19.5 * 3600])
+        idle = schedule.apply([])
+        assert morning.fetch_times == evening.fetch_times == idle.fetch_times
+
+    def test_fifo_service(self):
+        schedule = CoverTrafficSchedule(600, window_hours=(8, 9))
+        day = schedule.apply([8.05 * 3600, 8.02 * 3600])
+        reals = [real for real, _fetch in day.assignments]
+        assert reals == sorted(reals)
+        fetches = [fetch for _real, fetch in day.assignments]
+        assert fetches == sorted(fetches)
+
+    def test_latency_bounded_by_period_when_idle(self):
+        schedule = CoverTrafficSchedule(300, window_hours=(8, 12))
+        day = schedule.apply([9 * 3600 + 77])
+        assert len(day.assignments) == 1
+        assert 0 <= day.latencies[0] <= 300
+
+    def test_burst_queues_across_slots(self):
+        schedule = CoverTrafficSchedule(600, window_hours=(8, 10))
+        burst = [8 * 3600 + 1] * 5
+        day = schedule.apply(burst)
+        assert len(day.assignments) == 5
+        fetches = [fetch for _r, fetch in day.assignments]
+        assert len(set(fetches)) == 5  # one per slot
+        assert max(day.latencies) >= 4 * 600 - 1
+
+    def test_dummy_accounting(self):
+        schedule = CoverTrafficSchedule(3600, window_hours=(8, 12))
+        day = schedule.apply([9 * 3600])
+        assert len(day.fetch_times) == 4
+        assert day.n_dummies == 3
+        assert day.overhead == pytest.approx(0.75)
+
+    def test_late_visit_dropped(self):
+        schedule = CoverTrafficSchedule(3600, window_hours=(8, 10))
+        day = schedule.apply([23 * 3600])
+        assert day.dropped == (23 * 3600,)
+        assert len(day.assignments) == 0
+
+    def test_cost_multiplier(self):
+        schedule = CoverTrafficSchedule(576, window_hours=(7, 23))  # 100/day
+        assert schedule.dummy_cost_multiplier(50) == pytest.approx(2.0)
+        with pytest.raises(ReproError):
+            schedule.dummy_cost_multiplier(0)
+
+
+class TestScheduledBrowser:
+    def test_run_day_uniform_wire_trace(self, small_cdn):
+        from repro.core.lightweb.browser import LightwebBrowser
+        from repro.netsim.adversary import PassiveAdversary
+        from repro.netsim.simnet import NetworkPath, SimClock, sim_transport_pair
+
+        schedule = CoverTrafficSchedule(1800, window_hours=(8, 11))
+
+        def run_user(visits, seed):
+            adversary = PassiveAdversary()
+            clock = SimClock()
+
+            def factory(name):
+                return sim_transport_pair(
+                    NetworkPath(clock, name=name, observer=adversary)
+                )
+
+            browser = LightwebBrowser(rng=np.random.default_rng(seed))
+            browser.connect(small_cdn, "main", transport_factory=factory)
+            browser.visit("news.example")  # warm the cache pre-window
+            adversary.clear()
+            plan = run_scheduled_day(browser, clock, schedule, visits)
+            events = adversary.infer_events(gap_seconds=300)
+            return plan, [round(e.time) for e in events]
+
+        plan_a, times_a = run_user([(8.2 * 3600, "news.example/world")], seed=1)
+        plan_b, times_b = run_user([], seed=2)
+        # Same number of observable page-view events at the same times.
+        assert len(times_a) == len(times_b) == len(plan_a.fetch_times)
+        assert times_a == times_b
+        assert plan_a.fetch_times == plan_b.fetch_times

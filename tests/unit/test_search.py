@@ -1,0 +1,123 @@
+"""Tests for private per-site search."""
+
+import numpy as np
+import pytest
+
+from repro.core.lightweb.browser import LightwebBrowser
+from repro.core.lightweb.publisher import Publisher
+from repro.core.lightweb.search import (
+    SEARCH_PREFIX,
+    build_search_pages,
+    search_route,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Private Browsing, without baggage!") == [
+            "private", "browsing", "without", "baggage",
+        ]
+
+    def test_stopwords_removed(self):
+        assert "the" not in tokenize("the quick fox")
+
+    def test_short_words_dropped(self):
+        assert tokenize("a an is ok zz") == []
+
+    def test_numbers_kept(self):
+        assert "2023" in tokenize("headlines 2023")
+
+
+class TestIndexBuild:
+    PAGES = {
+        "/": {"title": "Front", "body": "uganda stories and kampala news"},
+        "/world": {"title": "World", "body": "uganda again, plus paris"},
+        "/tech": {"title": "Tech", "body": "quantum quantum quantum"},
+    }
+
+    def test_terms_indexed(self):
+        pages = build_search_pages("s.example", self.PAGES)
+        assert f"{SEARCH_PREFIX}uganda.json" in pages
+        entry = pages[f"{SEARCH_PREFIX}uganda.json"]
+        assert entry["n_results"] == 2
+        assert any("s.example/" in link for link in entry["results"])
+
+    def test_ranking_by_frequency(self):
+        pages = build_search_pages("s.example", self.PAGES)
+        quantum = pages[f"{SEARCH_PREFIX}quantum.json"]
+        assert "Tech" in quantum["results"][0]
+
+    def test_max_results_cap(self):
+        many = {f"/p{i}": {"title": f"P{i}", "body": "shared term"}
+                for i in range(20)}
+        pages = build_search_pages("s.example", many, max_results=5)
+        assert pages[f"{SEARCH_PREFIX}shared.json"]["n_results"] == 5
+
+    def test_max_terms_cap(self):
+        pages = build_search_pages(
+            "s.example",
+            {"/big": {"title": "B", "body": " ".join(f"word{i:04d}" for i in range(50))}},
+            max_terms=10,
+        )
+        assert len(pages) <= 10
+
+    def test_search_pages_not_self_indexed(self):
+        pages = build_search_pages("s.example", self.PAGES)
+        again = build_search_pages("s.example", {**self.PAGES, **pages})
+        assert set(again) == set(pages)
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def search_cdn(self, small_cdn):
+        publisher = Publisher("searchable")
+        site = publisher.site("wiki.example")
+        site.enable_search()
+        site.add_page("/", "An encyclopedia of oddities.")
+        site.add_page("/okapi", {"title": "Okapi",
+                                 "body": "the okapi is a forest giraffe"})
+        site.add_page("/quokka", {"title": "Quokka",
+                                  "body": "the quokka smiles; giraffe-free"})
+        publisher.push(small_cdn, "main")
+        return small_cdn
+
+    def test_search_hit(self, search_cdn):
+        browser = LightwebBrowser(rng=np.random.default_rng(0))
+        browser.connect(search_cdn, "main")
+        page = browser.visit("wiki.example/search?q=giraffe")
+        assert "Okapi" in page.text
+        assert ("wiki.example/okapi", "Okapi") in page.links
+
+    def test_search_follows_to_article(self, search_cdn):
+        browser = LightwebBrowser(rng=np.random.default_rng(1))
+        browser.connect(search_cdn, "main")
+        page = browser.visit("wiki.example/search?q=quokka")
+        target = [i for i, (t, _l) in enumerate(page.links)
+                  if t == "wiki.example/quokka"][0]
+        article = browser.follow(page, target)
+        assert "smiles" in article.text
+
+    def test_search_miss_renders_gracefully(self, search_cdn):
+        browser = LightwebBrowser(rng=np.random.default_rng(2))
+        browser.connect(search_cdn, "main")
+        page = browser.visit("wiki.example/search?q=nonexistentterm")
+        assert "no results" in page.text
+
+    def test_hit_and_miss_same_wire_signature(self, search_cdn):
+        """The privacy point: searching an absent term is on-the-wire
+        indistinguishable from a hit."""
+        browser = LightwebBrowser(rng=np.random.default_rng(3))
+        browser.connect(search_cdn, "main")
+        browser.visit("wiki.example")  # warm the code cache
+        budget = browser.fetch_budget
+        browser.visit("wiki.example/search?q=giraffe")
+        hit = browser.gets_for_last_visit()
+        browser.visit("wiki.example/search?q=zzzzz")
+        miss = browser.gets_for_last_visit()
+        assert hit == miss == {"code-get": 0, "data-get": budget}
+
+    def test_route_constant(self):
+        route = search_route("a.example")
+        assert route.pattern == r"^/search$"
+        assert "a.example/_search/" in route.fetches[0]

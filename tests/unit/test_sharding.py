@@ -1,0 +1,106 @@
+"""Tests for the §5.2 sharded deployment."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.dpf import gen_dpf
+from repro.errors import CryptoError
+from repro.pir.database import BlobDatabase
+from repro.pir.sharding import DataServer, FrontEnd, ShardedDeployment
+
+
+def make_logical_db(domain_bits=9, blob_size=24):
+    db = BlobDatabase(domain_bits, blob_size)
+    for i in range(db.n_slots):
+        db.set_slot(i, f"cell-{i}".encode())
+    return db
+
+
+class TestShardedDeployment:
+    @pytest.mark.parametrize("prefix_bits", [1, 3, 5])
+    def test_answers_match_unsharded(self, prefix_bits):
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, prefix_bits)
+        for target in (0, 100, 511):
+            k0, k1 = gen_dpf(target, db.domain_bits)
+            a0 = deployment.answer(0, k0.to_bytes())
+            a1 = deployment.answer(1, k1.to_bytes())
+            record = bytes(x ^ y for x, y in zip(a0, a1))
+            assert record.rstrip(b"\x00") == f"cell-{target}".encode()
+
+    def test_server_count(self):
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, 4)
+        assert deployment.n_data_servers == 16
+        assert len(deployment.front_ends[0].data_servers) == 16
+
+    def test_shard_memory_scales_down(self):
+        """§5.2: each data server holds 1/N of the data."""
+        db = make_logical_db()
+        whole = db.memory_bytes()
+        deployment = ShardedDeployment(db, 3)
+        assert deployment.shard_memory_bytes() == whole // 8
+
+    def test_reports_cover_all_shards(self):
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, 3)
+        k0, _ = gen_dpf(17, db.domain_bits)
+        deployment.answer(0, k0.to_bytes())
+        reports = deployment.front_ends[0].last_reports
+        assert len(reports) == 8
+        assert sorted(r.shard for r in reports) == list(range(8))
+        assert all(r.subkey_bytes > 0 for r in reports)
+
+    def test_shard_work_smaller_than_full_domain(self):
+        """The data server's DPF covers only the sub-domain (§5.2)."""
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, 4)
+        k0, _ = gen_dpf(0, db.domain_bits)
+        deployment.answer(0, k0.to_bytes())
+        report = deployment.front_ends[0].last_reports[0]
+        full_key_bytes = len(k0.to_bytes())
+        assert report.subkey_bytes < full_key_bytes
+
+    def test_invalid_prefix_bits(self):
+        db = make_logical_db(domain_bits=5)
+        with pytest.raises(CryptoError):
+            ShardedDeployment(db, 0)
+        with pytest.raises(CryptoError):
+            ShardedDeployment(db, 5)
+
+    def test_invalid_party(self):
+        deployment = ShardedDeployment(make_logical_db(), 2)
+        k0, _ = gen_dpf(0, 9)
+        with pytest.raises(CryptoError):
+            deployment.answer(2, k0.to_bytes())
+
+    def test_wrong_party_key_rejected(self):
+        deployment = ShardedDeployment(make_logical_db(), 2)
+        _, k1 = gen_dpf(0, 9)
+        with pytest.raises(CryptoError):
+            deployment.answer(0, k1.to_bytes())
+
+
+class TestFrontEndAndDataServer:
+    def test_front_end_requires_matching_server_count(self):
+        db = make_logical_db()
+        shard = DataServer(0, db.sub_database(0, 2))
+        with pytest.raises(CryptoError):
+            FrontEnd([shard], prefix_bits=2, blob_size=24, party=0)
+
+    def test_data_server_rejects_foreign_subkey(self):
+        from repro.crypto.dpf_distributed import split_dpf_key
+
+        db = make_logical_db()
+        server = DataServer(1, db.sub_database(1, 2))
+        k0, _ = gen_dpf(0, db.domain_bits)
+        wrong = split_dpf_key(k0, 2)[0]  # subkey for shard 0
+        with pytest.raises(CryptoError):
+            server.answer_subkey(wrong)
+
+    def test_requests_counted_per_shard(self):
+        deployment = ShardedDeployment(make_logical_db(), 2)
+        k0, _ = gen_dpf(3, 9)
+        deployment.answer(0, k0.to_bytes())
+        for server in deployment.front_ends[0].data_servers:
+            assert server.requests_served == 1

@@ -1,0 +1,79 @@
+"""Tests for the single-server (LWE) PIR mode over blob databases."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.lwe import LweParams
+from repro.errors import CryptoError
+from repro.pir.database import BlobDatabase
+from repro.pir.singleserver import SingleServerPirClient, SingleServerPirServer
+
+
+def make_deployment(domain_bits=6, blob_size=24, n=64, seed=11):
+    db = BlobDatabase(domain_bits, blob_size)
+    for i in range(db.n_slots):
+        db.set_slot(i, f"value-{i}".encode())
+    server = SingleServerPirServer(db, params=LweParams(n=n))
+    client = SingleServerPirClient(
+        server.setup_blob(), rng=np.random.default_rng(seed)
+    )
+    return db, server, client
+
+
+class TestFetch:
+    @pytest.mark.parametrize("index", [0, 13, 63])
+    def test_fetch_blob(self, index):
+        db, server, client = make_deployment()
+        got = client.fetch(index, server)
+        assert got.rstrip(b"\x00") == f"value-{index}".encode()
+
+    def test_unwritten_slot(self):
+        db = BlobDatabase(4, 16)
+        server = SingleServerPirServer(db, params=LweParams(n=32))
+        client = SingleServerPirClient(server.setup_blob(),
+                                       rng=np.random.default_rng(1))
+        assert client.fetch(7, server) == b"\x00" * 16
+
+    def test_many_sequential_fetches(self):
+        db, server, client = make_deployment(domain_bits=5)
+        for index in range(32):
+            got = client.fetch(index, server)
+            assert got.rstrip(b"\x00") == f"value-{index}".encode()
+
+    def test_requests_counter(self):
+        _, server, client = make_deployment()
+        client.fetch(0, server)
+        client.fetch(1, server)
+        assert server.requests_served == 2
+
+
+class TestValidationAndSizes:
+    def test_index_out_of_range(self):
+        _, _, client = make_deployment(domain_bits=4)
+        with pytest.raises(CryptoError):
+            client.query(16)
+
+    def test_upload_linear_in_slots(self):
+        _, small, _ = make_deployment(domain_bits=4)
+        _, large, _ = make_deployment(domain_bits=6)
+        assert large.upload_bytes() == 4 * small.upload_bytes()
+
+    def test_download_linear_in_blob_size(self):
+        _, a, _ = make_deployment(blob_size=24)
+        _, b, _ = make_deployment(blob_size=48)
+        assert b.download_bytes() == 2 * a.download_bytes()
+
+    def test_hint_is_the_big_cost(self):
+        """§2.2: single-server mode trades a large one-time download."""
+        _, server, _ = make_deployment()
+        assert server.hint_bytes() > 10 * server.upload_bytes()
+
+    def test_blob_content_verbatim(self):
+        """Byte-exact recovery including non-ASCII bytes."""
+        db = BlobDatabase(4, 16)
+        payload = bytes(range(240, 256))
+        db.set_slot(3, payload)
+        server = SingleServerPirServer(db, params=LweParams(n=32))
+        client = SingleServerPirClient(server.setup_blob(),
+                                       rng=np.random.default_rng(2))
+        assert client.fetch(3, server) == payload

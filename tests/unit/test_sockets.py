@@ -1,0 +1,81 @@
+"""Tests for the real-TCP ZLTP transport."""
+
+import pytest
+
+from repro.core.zltp.client import connect_client
+from repro.core.zltp.modes import MODE_PIR2
+from repro.core.zltp.server import ZltpServer
+from repro.core.zltp.sockets import ZltpTcpServer, connect_tcp
+from repro.errors import TransportError
+from repro.pir.database import BlobDatabase
+from repro.pir.keyword import KeywordIndex
+
+SALT = b"tcp-test"
+
+
+def build_db():
+    db = BlobDatabase(8, 64)
+    index = KeywordIndex(db, probes=2, salt=SALT)
+    for i in range(10):
+        index.put(f"s{i}.com/p", f"tcp-{i}".encode())
+    return db
+
+
+@pytest.fixture
+def tcp_pair():
+    servers = [
+        ZltpTcpServer(ZltpServer(build_db(), modes=[MODE_PIR2], party=party,
+                                 salt=SALT, probes=2))
+        for party in (0, 1)
+    ]
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+class TestTcpTransport:
+    def test_get_over_tcp(self, tcp_pair):
+        transports = [connect_tcp(*srv.address) for srv in tcp_pair]
+        client = connect_client(transports)
+        assert client.get("s4.com/p") == b"tcp-4"
+        client.close()
+
+    def test_multiple_gets_one_session(self, tcp_pair):
+        transports = [connect_tcp(*srv.address) for srv in tcp_pair]
+        client = connect_client(transports)
+        for i in (0, 3, 9):
+            assert client.get(f"s{i}.com/p") == f"tcp-{i}".encode()
+        client.close()
+
+    def test_two_concurrent_clients(self, tcp_pair):
+        clients = []
+        for _ in range(2):
+            transports = [connect_tcp(*srv.address) for srv in tcp_pair]
+            clients.append(connect_client(transports))
+        assert clients[0].get("s1.com/p") == b"tcp-1"
+        assert clients[1].get("s2.com/p") == b"tcp-2"
+        for client in clients:
+            client.close()
+
+    def test_byte_accounting(self, tcp_pair):
+        transport = connect_tcp(*tcp_pair[0].address)
+        assert transport.bytes_sent == 0
+        transport.send_frame(b"probe")
+        assert transport.bytes_sent == 9
+        transport.close()
+
+    def test_send_after_close_raises(self, tcp_pair):
+        transport = connect_tcp(*tcp_pair[0].address)
+        transport.close()
+        with pytest.raises(TransportError):
+            transport.send_frame(b"x")
+
+    def test_recv_after_server_stop(self, tcp_pair):
+        transport = connect_tcp(*tcp_pair[0].address)
+        # Send garbage: server closes the session after the error reply.
+        transport.send_frame(b"\x01garbage")
+        # First frame back is the error message.
+        frame = transport.recv_frame()
+        assert frame
+        with pytest.raises(TransportError):
+            transport.recv_frame()

@@ -1,0 +1,100 @@
+"""Tests for domain-separated local storage."""
+
+import pytest
+
+from repro.core.lightweb.storage import LocalStorage
+from repro.errors import CapacityError, PathError
+
+
+class TestBasics:
+    def test_set_get(self):
+        storage = LocalStorage()
+        storage.set("a.com", "zip", "94704")
+        assert storage.get("a.com", "zip") == "94704"
+
+    def test_default(self):
+        assert LocalStorage().get("a.com", "missing", "fallback") == "fallback"
+
+    def test_json_values(self):
+        storage = LocalStorage()
+        storage.set("a.com", "prefs", {"dark": True, "tags": [1, 2]})
+        assert storage.get("a.com", "prefs") == {"dark": True, "tags": [1, 2]}
+
+    def test_non_serialisable_rejected(self):
+        with pytest.raises(TypeError):
+            LocalStorage().set("a.com", "bad", object())
+
+    def test_delete(self):
+        storage = LocalStorage()
+        storage.set("a.com", "k", 1)
+        storage.delete("a.com", "k")
+        assert storage.get("a.com", "k") is None
+        storage.delete("a.com", "k")  # idempotent
+
+    def test_keys_sorted(self):
+        storage = LocalStorage()
+        storage.set("a.com", "b", 1)
+        storage.set("a.com", "a", 2)
+        assert storage.keys("a.com") == ["a", "b"]
+
+    def test_clear_domain(self):
+        storage = LocalStorage()
+        storage.set("a.com", "k", 1)
+        storage.clear_domain("a.com")
+        assert storage.get("a.com", "k") is None
+
+
+class TestDomainSeparation:
+    def test_domains_isolated(self):
+        """§3.2: "the lightweb browser enforces domain separation"."""
+        storage = LocalStorage()
+        storage.set("a.com", "secret", "alpha")
+        storage.set("b.com", "secret", "beta")
+        assert storage.get("a.com", "secret") == "alpha"
+        assert storage.get("b.com", "secret") == "beta"
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(PathError):
+            LocalStorage().set("not_a_domain", "k", 1)
+
+    def test_clearing_one_domain_spares_others(self):
+        storage = LocalStorage()
+        storage.set("a.com", "k", 1)
+        storage.set("b.com", "k", 2)
+        storage.clear_domain("a.com")
+        assert storage.get("b.com", "k") == 2
+
+
+class TestQuota:
+    def test_quota_enforced(self):
+        storage = LocalStorage(quota_bytes=100)
+        with pytest.raises(CapacityError):
+            storage.set("a.com", "big", "x" * 200)
+
+    def test_failed_write_rolls_back(self):
+        storage = LocalStorage(quota_bytes=100)
+        storage.set("a.com", "k", "small")
+        with pytest.raises(CapacityError):
+            storage.set("a.com", "k", "y" * 200)
+        assert storage.get("a.com", "k") == "small"
+
+    def test_failed_new_key_not_left_behind(self):
+        storage = LocalStorage(quota_bytes=50)
+        with pytest.raises(CapacityError):
+            storage.set("a.com", "huge", "z" * 100)
+        assert storage.keys("a.com") == []
+
+    def test_quota_per_domain(self):
+        storage = LocalStorage(quota_bytes=60)
+        storage.set("a.com", "k", "x" * 30)
+        storage.set("b.com", "k", "x" * 30)  # independent budget
+
+    def test_usage_accounting(self):
+        storage = LocalStorage()
+        assert storage.usage_bytes("a.com") == 0
+        storage.set("a.com", "k", "val")
+        assert storage.usage_bytes("a.com") > 0
+
+    def test_invalid_quota(self):
+        with pytest.raises(CapacityError):
+            LocalStorage(quota_bytes=0)

@@ -1,0 +1,75 @@
+"""Tests for the visit-timing inference channel (§3.2's conceded leakage)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.netsim.timing import (
+    DEFAULT_ARCHETYPES,
+    ActivityArchetype,
+    TimingClassifier,
+    archetype_corpus,
+    hour_histogram,
+)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = hour_histogram([0.0, 3599.0, 3600.0, 7200.0 + 10])
+        assert hist[0] == 2 and hist[1] == 1 and hist[2] == 1
+
+    def test_wraps_over_midnight(self):
+        hist = hour_histogram([25 * 3600.0])
+        assert hist[1] == 1
+
+    def test_empty(self):
+        assert hour_histogram([]).sum() == 0
+
+
+class TestArchetypes:
+    def test_sample_day_within_window(self):
+        archetype = ActivityArchetype("x", (6.0, 9.0), 20)
+        day = archetype.sample_day(np.random.default_rng(0))
+        assert all(6 * 3600 <= t <= 9 * 3600 for t in day)
+        assert day == sorted(day)
+
+    def test_corpus_labels(self):
+        days, labels = archetype_corpus(DEFAULT_ARCHETYPES, 5, seed=1)
+        assert len(days) == 15
+        assert labels.count("morning-news") == 5
+
+
+class TestTimingClassifier:
+    def test_distinguishes_archetypes(self):
+        """The §3.2 concession is real: raw timing classifies users."""
+        train_days, train_labels = archetype_corpus(DEFAULT_ARCHETYPES, 20, seed=2)
+        test_days, test_labels = archetype_corpus(DEFAULT_ARCHETYPES, 10, seed=3)
+        clf = TimingClassifier()
+        clf.fit(train_days, train_labels)
+        assert clf.accuracy(test_days, test_labels) > 0.9
+
+    def test_identical_schedules_indistinguishable(self):
+        """Constant-grid days defeat the classifier: accuracy == chance."""
+        grid = [float(t) for t in range(8 * 3600, 22 * 3600, 1800)]
+        n = len(DEFAULT_ARCHETYPES)
+        train_days = [list(grid) for _ in range(n * 10)]
+        train_labels = [DEFAULT_ARCHETYPES[i % n].name for i in range(n * 10)]
+        clf = TimingClassifier()
+        clf.fit(train_days, train_labels)
+        test_days = [list(grid) for _ in range(n)]
+        test_labels = [a.name for a in DEFAULT_ARCHETYPES]
+        assert clf.accuracy(test_days, test_labels) == pytest.approx(1 / n)
+
+    def test_validation(self):
+        clf = TimingClassifier()
+        with pytest.raises(ReproError):
+            clf.fit([[1.0]], ["a", "b"])
+        with pytest.raises(ReproError):
+            clf.predict([1.0])
+        with pytest.raises(ReproError):
+            TimingClassifier(smoothing=0)
+        clf.fit([[3600.0]], ["a"])
+        with pytest.raises(ReproError):
+            clf.log_likelihood([0.0], "unknown")
+        with pytest.raises(ReproError):
+            clf.accuracy([], [])

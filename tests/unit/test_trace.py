@@ -1,0 +1,78 @@
+"""Tests for memory-trace recording and statistics."""
+
+import numpy as np
+
+from repro.oram.trace import (
+    MemoryTrace,
+    leaf_distribution_pvalue,
+    trace_stats,
+)
+
+
+class TestMemoryTrace:
+    def test_record_and_len(self):
+        trace = MemoryTrace()
+        trace.record("r", 5)
+        trace.record("w", 5)
+        assert len(trace) == 2
+        assert trace.events == [("r", 5), ("w", 5)]
+
+    def test_addresses(self):
+        trace = MemoryTrace()
+        trace.record("r", 1)
+        trace.record("w", 9)
+        assert trace.addresses() == [1, 9]
+
+    def test_segments_via_marks(self):
+        trace = MemoryTrace()
+        trace.mark()
+        trace.record("r", 1)
+        trace.record("r", 2)
+        trace.mark()
+        trace.record("w", 3)
+        segments = trace.segments()
+        assert [len(s) for s in segments] == [2, 1]
+
+    def test_clear(self):
+        trace = MemoryTrace()
+        trace.record("r", 1)
+        trace.mark()
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.segments() == []
+
+    def test_stats_fixed_shape(self):
+        trace = MemoryTrace()
+        for _ in range(3):
+            trace.mark()
+            trace.record("r", 0)
+            trace.record("w", 0)
+        stats = trace_stats(trace)
+        assert stats.n_segments == 3
+        assert stats.fixed_shape
+
+    def test_stats_variable_shape_detected(self):
+        trace = MemoryTrace()
+        trace.mark()
+        trace.record("r", 0)
+        trace.mark()
+        trace.record("r", 0)
+        trace.record("r", 1)
+        assert not trace_stats(trace).fixed_shape
+
+
+class TestLeafDistribution:
+    def test_uniform_leaves_high_pvalue(self):
+        rng = np.random.default_rng(1)
+        leaves = rng.integers(0, 16, size=2000)
+        assert leaf_distribution_pvalue(list(leaves), 16) > 0.01
+
+    def test_skewed_leaves_low_pvalue(self):
+        leaves = [0] * 1000 + [1] * 10
+        assert leaf_distribution_pvalue(leaves, 16) < 1e-6
+
+    def test_empty_trace_neutral(self):
+        assert leaf_distribution_pvalue([], 16) == 1.0
+
+    def test_single_leaf_domain_neutral(self):
+        assert leaf_distribution_pvalue([0, 0, 0], 1) == 1.0

@@ -1,0 +1,63 @@
+"""Tests for the classic-web traffic generator."""
+
+import numpy as np
+
+from repro.netsim.traffic import ClassicWebTraffic, PageLoadTrace
+
+
+class TestSiteProfiles:
+    def test_deterministic_per_site(self):
+        traffic = ClassicWebTraffic()
+        assert traffic.site_profile("nytimes.com") == traffic.site_profile("nytimes.com")
+
+    def test_sites_differ(self):
+        traffic = ClassicWebTraffic()
+        a = traffic.site_profile("nytimes.com")
+        b = traffic.site_profile("example.org")
+        assert a != b
+
+    def test_profile_nonempty_and_positive(self):
+        traffic = ClassicWebTraffic()
+        profile = traffic.site_profile("heavy.com")
+        assert len(profile) >= 7  # at least 1 html + 1 css + 2 js + 3 images
+        assert all(size > 0 for size in profile)
+
+
+class TestPageLoads:
+    def test_structure(self):
+        traffic = ClassicWebTraffic()
+        trace = traffic.page_load("a.com", np.random.default_rng(0))
+        assert isinstance(trace, PageLoadTrace)
+        directions = [d for d, _ in trace.transfers]
+        assert directions.count("up") == directions.count("down")
+        assert trace.total_bytes > 0
+        assert trace.n_transfers == len(trace.transfers)
+
+    def test_loads_noisy_but_similar(self):
+        traffic = ClassicWebTraffic(noise=0.1)
+        rng = np.random.default_rng(1)
+        a = traffic.page_load("news.com", rng)
+        b = traffic.page_load("news.com", rng)
+        assert a.transfers != b.transfers  # jitter applied
+        # Same resource count, broadly similar volume.
+        assert a.n_transfers == b.n_transfers
+        assert 0.5 < a.total_bytes / b.total_bytes < 2.0
+
+    def test_zero_noise_identical(self):
+        traffic = ClassicWebTraffic(noise=0.0)
+        rng = np.random.default_rng(2)
+        a = traffic.page_load("x.com", rng)
+        b = traffic.page_load("x.com", rng)
+        assert a.transfers == b.transfers
+
+    def test_corpus_labels(self):
+        traffic = ClassicWebTraffic()
+        corpus = traffic.corpus(["a.com", "b.com"], loads_per_site=3, seed=5)
+        assert len(corpus) == 6
+        assert sum(1 for t in corpus if t.site == "a.com") == 3
+
+    def test_corpus_deterministic_by_seed(self):
+        traffic = ClassicWebTraffic()
+        a = traffic.corpus(["a.com"], 2, seed=9)
+        b = traffic.corpus(["a.com"], 2, seed=9)
+        assert [t.transfers for t in a] == [t.transfers for t in b]

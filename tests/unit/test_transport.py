@@ -1,0 +1,79 @@
+"""Tests for the in-memory transport."""
+
+import pytest
+
+from repro.core.zltp.transport import InMemoryTransport, transport_pair
+from repro.errors import TransportError
+
+
+class TestTransportPair:
+    def test_send_receive(self):
+        a, b = transport_pair()
+        a.send_frame(b"hello")
+        assert b.recv_frame() == b"hello"
+
+    def test_bidirectional(self):
+        a, b = transport_pair()
+        a.send_frame(b"ping")
+        b.send_frame(b"pong")
+        assert b.recv_frame() == b"ping"
+        assert a.recv_frame() == b"pong"
+
+    def test_fifo_order(self):
+        a, b = transport_pair()
+        for i in range(5):
+            a.send_frame(f"m{i}".encode())
+        assert [b.recv_frame() for _ in range(5)] == [
+            f"m{i}".encode() for i in range(5)
+        ]
+
+    def test_byte_accounting_includes_header(self):
+        a, b = transport_pair()
+        a.send_frame(b"12345")
+        assert a.bytes_sent == 9
+        assert b.bytes_received == 9
+        assert a.bytes_received == 0
+
+    def test_recv_empty_raises(self):
+        a, _ = transport_pair()
+        with pytest.raises(TransportError):
+            a.recv_frame()
+
+    def test_send_after_close_raises(self):
+        a, _ = transport_pair()
+        a.close()
+        with pytest.raises(TransportError):
+            a.send_frame(b"x")
+
+    def test_deliver_to_closed_peer_dropped(self):
+        a, b = transport_pair()
+        b.close()
+        a.send_frame(b"lost")  # no exception; dropped like a dead socket
+        assert b.pending() == 0
+
+    def test_unconnected_send_raises(self):
+        lone = InMemoryTransport("lone")
+        with pytest.raises(TransportError):
+            lone.send_frame(b"x")
+
+    def test_receiver_callback_intercepts(self):
+        a, b = transport_pair()
+        seen = []
+        b.receiver = seen.append
+        a.send_frame(b"dispatch")
+        assert seen == [b"dispatch"]
+        assert b.pending() == 0
+
+    def test_tap_observes_directions(self):
+        a, b = transport_pair()
+        events = []
+        a.tap = lambda direction, size: events.append((direction, size))
+        a.send_frame(b"xyz")
+        b.send_frame(b"kl")
+        assert events == [("send", 7), ("recv", 6)]
+
+    def test_pending_count(self):
+        a, b = transport_pair()
+        a.send_frame(b"1")
+        a.send_frame(b"2")
+        assert b.pending() == 2

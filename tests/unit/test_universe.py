@@ -1,0 +1,144 @@
+"""Tests for content universes: geometry, ownership, storage."""
+
+import pytest
+
+from repro.core.lightweb.universe import (
+    ContentUniverse,
+    DEFAULT_TIERS,
+    UniverseTier,
+)
+from repro.errors import CapacityError, OwnershipError, PathError
+from repro.pir.keyword import HEADER_BYTES
+
+
+def make_universe(**kwargs):
+    defaults = dict(code_domain_bits=6, data_domain_bits=8,
+                    code_blob_size=2048, data_blob_size=512)
+    defaults.update(kwargs)
+    return ContentUniverse("test", **defaults)
+
+
+class TestGeometry:
+    def test_payload_limits(self):
+        universe = make_universe()
+        assert universe.max_data_payload == 512 - HEADER_BYTES
+        assert universe.max_code_payload == 2048 - HEADER_BYTES
+
+    def test_salts_differ_between_key_spaces(self):
+        universe = make_universe()
+        assert universe.code_salt != universe.data_salt
+
+    def test_invalid_budget(self):
+        with pytest.raises(CapacityError):
+            make_universe(fetch_budget=0)
+
+    def test_describe(self):
+        universe = make_universe()
+        info = universe.describe()
+        assert info["name"] == "test"
+        assert info["data_slots"] == 256
+
+    def test_storage_bytes(self):
+        universe = make_universe()
+        assert universe.storage_bytes() == 64 * 2048 + 256 * 512
+
+
+class TestOwnership:
+    def test_register_and_owner(self):
+        universe = make_universe()
+        universe.register_domain("acme", "a.com")
+        assert universe.owner_of("a.com") == "acme"
+        assert universe.domains() == ["a.com"]
+
+    def test_reregistration_same_owner_ok(self):
+        universe = make_universe()
+        universe.register_domain("acme", "a.com")
+        universe.register_domain("acme", "a.com")
+
+    def test_conflicting_owner_rejected(self):
+        universe = make_universe()
+        universe.register_domain("acme", "a.com")
+        with pytest.raises(OwnershipError):
+            universe.register_domain("rival", "a.com")
+
+    def test_write_requires_registration(self):
+        universe = make_universe()
+        with pytest.raises(OwnershipError):
+            universe.put_data("acme", "a.com/x", b"payload")
+
+    def test_write_requires_ownership(self):
+        universe = make_universe()
+        universe.register_domain("acme", "a.com")
+        with pytest.raises(OwnershipError):
+            universe.put_data("rival", "a.com/x", b"payload")
+
+    def test_owner_controls_whole_prefix(self):
+        """§3.1: one publisher controls everything under its domain."""
+        universe = make_universe()
+        universe.register_domain("acme", "a.com")
+        universe.put_data("acme", "a.com/x", b"1")
+        universe.put_data("acme", "a.com/deep/nested/path", b"2")
+        assert universe.n_pages == 2
+
+
+class TestContent:
+    def test_code_blob_replaced_on_repush(self):
+        """§3.2: each domain hosts a single code blob."""
+        from repro.pir.keyword import decode_record
+
+        universe = make_universe()
+        universe.register_domain("acme", "a.com")
+        universe.put_code("acme", "a.com", b"v1")
+        universe.put_code("acme", "a.com", b"v2")
+        found = [
+            decode_record("a.com", universe.code_db.get_slot(s))
+            for s in universe._code_index.candidate_slots("a.com")
+        ]
+        assert b"v2" in [f for f in found if f is not None]
+        assert b"v1" not in [f for f in found if f is not None]
+
+    def test_data_blob_replaced_on_repush(self):
+        universe = make_universe()
+        universe.register_domain("acme", "a.com")
+        universe.put_data("acme", "a.com/x", b"old")
+        universe.put_data("acme", "a.com/x", b"new")
+        assert universe.n_pages == 1
+
+    def test_oversized_payloads_rejected(self):
+        universe = make_universe()
+        universe.register_domain("acme", "a.com")
+        with pytest.raises(CapacityError):
+            universe.put_data("acme", "a.com/x", b"x" * 600)
+        with pytest.raises(CapacityError):
+            universe.put_code("acme", "a.com", b"x" * 3000)
+
+    def test_remove_data(self):
+        universe = make_universe()
+        universe.register_domain("acme", "a.com")
+        universe.put_data("acme", "a.com/x", b"payload")
+        universe.remove_data("acme", "a.com/x")
+        assert universe.n_pages == 0
+
+    def test_remove_checks_ownership(self):
+        universe = make_universe()
+        universe.register_domain("acme", "a.com")
+        universe.put_data("acme", "a.com/x", b"payload")
+        with pytest.raises(OwnershipError):
+            universe.remove_data("rival", "a.com/x")
+
+    def test_invalid_path_rejected(self):
+        universe = make_universe()
+        with pytest.raises(PathError):
+            universe.put_data("acme", "not_a_path", b"x")
+
+
+class TestTiers:
+    def test_default_tiers_ordered(self):
+        """§3.5: small / medium / large page-size tiers."""
+        sizes = [tier.data_blob_size for tier in DEFAULT_TIERS]
+        assert sizes == sorted(sizes)
+        assert len({tier.name for tier in DEFAULT_TIERS}) == 3
+
+    def test_tier_validation(self):
+        with pytest.raises(CapacityError):
+            UniverseTier("tiny", data_blob_size=4, data_domain_bits=10)

@@ -1,0 +1,68 @@
+"""Tests for ZLTP framing."""
+
+import pytest
+
+from repro.core.zltp.wire import (
+    FrameDecoder,
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    encode_frame,
+)
+from repro.errors import TransportError
+
+
+class TestEncodeFrame:
+    def test_layout(self):
+        frame = encode_frame(b"abc")
+        assert frame == b"\x03\x00\x00\x00abc"
+
+    def test_empty_payload(self):
+        assert encode_frame(b"") == b"\x00\x00\x00\x00"
+
+    def test_oversize_rejected(self):
+        with pytest.raises(TransportError):
+            encode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+
+class TestFrameDecoder:
+    def test_single_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+
+    def test_byte_by_byte(self):
+        decoder = FrameDecoder()
+        frames = []
+        for byte in encode_frame(b"slow"):
+            frames.extend(decoder.feed(bytes([byte])))
+        assert frames == [b"slow"]
+
+    def test_multiple_frames_in_one_chunk(self):
+        decoder = FrameDecoder()
+        chunk = encode_frame(b"a") + encode_frame(b"bb") + encode_frame(b"")
+        assert decoder.feed(chunk) == [b"a", b"bb", b""]
+
+    def test_split_across_chunks(self):
+        decoder = FrameDecoder()
+        data = encode_frame(b"split-me")
+        assert decoder.feed(data[:6]) == []
+        assert decoder.feed(data[6:]) == [b"split-me"]
+
+    def test_pending_bytes(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"\x05\x00\x00\x00ab")
+        assert decoder.pending_bytes == 6
+
+    def test_oversized_declaration_fatal(self):
+        decoder = FrameDecoder()
+        huge = (MAX_FRAME_BYTES + 1).to_bytes(4, "little")
+        with pytest.raises(TransportError):
+            decoder.feed(huge)
+
+    def test_interleaved_large_payload(self):
+        decoder = FrameDecoder()
+        payload = bytes(range(256)) * 100
+        data = encode_frame(payload)
+        out = []
+        for i in range(0, len(data), 999):
+            out.extend(decoder.feed(data[i : i + 999]))
+        assert out == [payload]

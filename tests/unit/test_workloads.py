@@ -1,0 +1,129 @@
+"""Tests for synthetic corpora, Zipf popularity, and session generation."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.datasets import C4
+from repro.errors import ReproError
+from repro.workloads.corpus import SyntheticCorpus
+from repro.workloads.sessions import BrowsingProfile, SessionGenerator, Visit
+from repro.workloads.zipf import ZipfPopularity
+
+
+class TestCorpus:
+    def test_page_count(self):
+        corpus = SyntheticCorpus(4, 25, avg_page_bytes=200)
+        assert corpus.n_pages == 100
+        assert len(list(corpus.pages())) == 100
+
+    def test_mean_calibrated(self):
+        corpus = SyntheticCorpus(10, 50, avg_page_bytes=900)
+        assert corpus.mean_page_bytes() == pytest.approx(900, rel=1e-6)
+        sizes = [page.size_bytes for page in corpus.pages()]
+        assert np.mean(sizes) == pytest.approx(900, rel=0.15)
+
+    def test_deterministic(self):
+        a = SyntheticCorpus(2, 3, avg_page_bytes=100, seed=9)
+        b = SyntheticCorpus(2, 3, avg_page_bytes=100, seed=9)
+        assert a.page(1, 2).body == b.page(1, 2).body
+
+    def test_seed_changes_content(self):
+        a = SyntheticCorpus(2, 3, avg_page_bytes=100, seed=1)
+        b = SyntheticCorpus(2, 3, avg_page_bytes=100, seed=2)
+        assert a.page(0, 0).body != b.page(0, 0).body
+
+    def test_heavy_tail(self):
+        corpus = SyntheticCorpus(20, 100, avg_page_bytes=900)
+        sizes = np.array([p.size_bytes for p in corpus.pages()])
+        assert sizes.max() > 3 * sizes.mean()
+
+    def test_for_dataset_matches_spec(self):
+        corpus = SyntheticCorpus.for_dataset(C4, 5, 10)
+        assert corpus.avg_page_bytes == C4.avg_page_bytes
+
+    def test_paths_are_valid_lightweb_paths(self):
+        from repro.core.lightweb.paths import parse_path
+
+        corpus = SyntheticCorpus(3, 3, avg_page_bytes=100)
+        for page in corpus.pages():
+            parsed = parse_path(page.path)
+            assert parsed.domain.endswith(".example")
+
+    def test_bounds(self):
+        corpus = SyntheticCorpus(2, 2, avg_page_bytes=100)
+        with pytest.raises(ReproError):
+            corpus.page(2, 0)
+        with pytest.raises(ReproError):
+            corpus.page(0, 2)
+        with pytest.raises(ReproError):
+            SyntheticCorpus(0, 1)
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        pop = ZipfPopularity(50)
+        assert pop.probabilities.sum() == pytest.approx(1.0)
+
+    def test_rank_ordering(self):
+        pop = ZipfPopularity(10, exponent=1.2)
+        probs = [pop.probability(r) for r in range(1, 11)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_paper_1000x_scenario(self):
+        """§4: one site can receive 1000× the traffic of another."""
+        pop = ZipfPopularity(10_000, exponent=1.0)
+        assert pop.traffic_ratio(1, 1000) == pytest.approx(1000)
+
+    def test_uniform_at_zero_exponent(self):
+        pop = ZipfPopularity(4, exponent=0.0)
+        assert pop.probability(1) == pytest.approx(0.25)
+
+    def test_sampling_skew(self):
+        pop = ZipfPopularity(100, exponent=1.5)
+        samples = pop.sample(5000, np.random.default_rng(0))
+        top = np.mean(samples < 5)
+        assert top > 0.5  # most traffic goes to the head
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ZipfPopularity(0)
+        with pytest.raises(ReproError):
+            ZipfPopularity(10).probability(11)
+
+
+class TestSessions:
+    def test_day_structure(self):
+        generator = SessionGenerator(20, 50, seed=1)
+        day = generator.day()
+        assert all(isinstance(v, Visit) for v in day)
+        times = [v.time_seconds for v in day]
+        assert times == sorted(times)
+        start, end = generator.profile.active_hours
+        assert all(start * 3600 <= t <= end * 3600 for t in times)
+
+    def test_paper_profile_defaults(self):
+        profile = BrowsingProfile()
+        assert profile.pages_per_day == 50
+        assert profile.gets_per_page == 5
+
+    def test_month_volume_near_profile(self):
+        generator = SessionGenerator(20, 50, seed=2)
+        month = generator.month(30)
+        total = sum(len(day) for day in month)
+        assert 0.85 * 1500 < total < 1.15 * 1500
+
+    def test_data_gets_accounting(self):
+        generator = SessionGenerator(5, 5, seed=3)
+        sessions = [[Visit(0, 0, 0), Visit(1, 1, 1)]]
+        assert generator.data_gets(sessions) == 2 * 5
+
+    def test_code_gets_bounded_by_unique_sites(self):
+        generator = SessionGenerator(5, 5, seed=4)
+        sessions = [[Visit(0, 0, 0), Visit(1, 0, 1), Visit(2, 3, 0)]]
+        assert generator.code_gets_upper_bound(sessions) == 2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            BrowsingProfile(active_hours=(10, 9))
+        with pytest.raises(ReproError):
+            SessionGenerator(0, 5)

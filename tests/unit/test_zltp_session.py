@@ -1,0 +1,181 @@
+"""Tests for the ZLTP server session state machine and client."""
+
+import numpy as np
+import pytest
+
+from repro.core.zltp import messages as msg
+from repro.core.zltp.client import ZltpClient, connect_client
+from repro.core.zltp.modes import MODE_ENCLAVE, MODE_PIR2, MODE_PIR_LWE
+from repro.core.zltp.server import ZltpServer
+from repro.core.zltp.transport import transport_pair
+from repro.crypto.lwe import LweParams
+from repro.errors import NegotiationError, ProtocolError
+from repro.pir.database import BlobDatabase
+from repro.pir.keyword import KeywordIndex
+
+SALT = b"session-test"
+
+
+def build_db(domain_bits=9, blob_size=96, n_keys=25):
+    db = BlobDatabase(domain_bits, blob_size)
+    index = KeywordIndex(db, probes=2, salt=SALT)
+    for i in range(n_keys):
+        index.put(f"site{i}.com/page", f"content-{i}".encode())
+    return db
+
+
+def pir2_deployment(**server_kwargs):
+    servers = [
+        ZltpServer(build_db(), modes=[MODE_PIR2], party=party, salt=SALT,
+                   probes=2, **server_kwargs)
+        for party in (0, 1)
+    ]
+    transports = []
+    for server in servers:
+        client_end, server_end = transport_pair()
+        server.serve_transport(server_end)
+        transports.append(client_end)
+    return servers, transports
+
+
+class TestSessionStateMachine:
+    def test_hello_before_get_required(self):
+        server = ZltpServer(build_db(), modes=[MODE_PIR2], salt=SALT, probes=2)
+        session = server.create_session()
+        replies = session.handle(msg.GetRequest(request_id=0, payload=b"x"))
+        assert isinstance(replies[0], msg.ErrorMessage)
+        assert session.closed
+
+    def test_hello_reply_carries_geometry(self):
+        server = ZltpServer(build_db(), modes=[MODE_PIR2], salt=SALT, probes=2)
+        session = server.create_session()
+        reply = session.handle(msg.ClientHello(supported_modes=[MODE_PIR2]))[0]
+        assert isinstance(reply, msg.ServerHello)
+        assert reply.blob_size == 96
+        assert reply.domain_bits == 9
+        assert reply.probes == 2
+        assert reply.salt == SALT
+        assert reply.mode == MODE_PIR2
+
+    def test_no_common_mode_errors(self):
+        server = ZltpServer(build_db(), modes=[MODE_PIR2], salt=SALT)
+        session = server.create_session()
+        reply = session.handle(msg.ClientHello(supported_modes=[MODE_ENCLAVE]))[0]
+        assert isinstance(reply, msg.ErrorMessage)
+        assert reply.code == "negotiation"
+
+    def test_version_mismatch_errors(self):
+        server = ZltpServer(build_db(), modes=[MODE_PIR2], salt=SALT)
+        session = server.create_session()
+        hello = msg.ClientHello(supported_modes=[MODE_PIR2], version=99)
+        reply = session.handle(hello)[0]
+        assert isinstance(reply, msg.ErrorMessage)
+
+    def test_bye_closes(self):
+        server = ZltpServer(build_db(), modes=[MODE_PIR2], salt=SALT)
+        session = server.create_session()
+        assert session.handle(msg.Bye()) == []
+        assert session.closed
+        assert session.handle(msg.ClientHello(supported_modes=[MODE_PIR2])) == []
+
+    def test_malformed_frame_errors(self):
+        server = ZltpServer(build_db(), modes=[MODE_PIR2], salt=SALT)
+        session = server.create_session()
+        replies = session.handle_frame(b"\xff\xff\xff")
+        decoded = msg.decode_message(replies[0])
+        assert isinstance(decoded, msg.ErrorMessage)
+        assert session.closed
+
+    def test_sessions_counted(self):
+        server = ZltpServer(build_db(), modes=[MODE_PIR2], salt=SALT)
+        server.create_session()
+        server.create_session()
+        assert server.sessions_opened == 2
+
+
+class TestClientAgainstServer:
+    def test_pir2_get(self):
+        _, transports = pir2_deployment()
+        client = connect_client(transports)
+        assert client.mode == MODE_PIR2
+        assert client.get("site3.com/page") == b"content-3"
+        assert client.get("absent.com/x") is None
+        client.close()
+
+    def test_pir2_transport_order_normalised(self):
+        """Client must route keys by the server's announced party, even if
+        its transports are handed over in reverse order."""
+        _, transports = pir2_deployment()
+        client = connect_client(list(reversed(transports)))
+        assert client.get("site5.com/page") == b"content-5"
+
+    def test_lwe_get(self):
+        db = build_db(domain_bits=8)
+        server = ZltpServer(db, modes=[MODE_PIR_LWE], salt=SALT, probes=2,
+                            lwe_params=LweParams(n=32))
+        client_end, server_end = transport_pair()
+        server.serve_transport(server_end)
+        client = connect_client([client_end], rng=np.random.default_rng(0))
+        assert client.mode == MODE_PIR_LWE
+        assert client.get("site9.com/page") == b"content-9"
+
+    def test_enclave_get(self):
+        db = build_db(domain_bits=8)
+        server = ZltpServer(db, modes=[MODE_ENCLAVE], salt=SALT, probes=2,
+                            rng=np.random.default_rng(1))
+        client_end, server_end = transport_pair()
+        server.serve_transport(server_end)
+        client = connect_client([client_end])
+        assert client.mode == MODE_ENCLAVE
+        assert client.get("site2.com/page") == b"content-2"
+
+    def test_endpoint_count_enforced(self):
+        db = build_db()
+        server = ZltpServer(db, modes=[MODE_PIR2], salt=SALT, probes=2)
+        client_end, server_end = transport_pair()
+        server.serve_transport(server_end)
+        with pytest.raises(NegotiationError):
+            connect_client([client_end], supported_modes=[MODE_PIR2])
+
+    def test_same_party_pair_rejected(self):
+        servers = [
+            ZltpServer(build_db(), modes=[MODE_PIR2], party=0, salt=SALT, probes=2)
+            for _ in range(2)
+        ]
+        transports = []
+        for server in servers:
+            client_end, server_end = transport_pair()
+            server.serve_transport(server_end)
+            transports.append(client_end)
+        with pytest.raises(NegotiationError):
+            connect_client(transports)
+
+    def test_get_before_connect_rejected(self):
+        _, transports = pir2_deployment()
+        client = ZltpClient(transports)
+        with pytest.raises(ProtocolError):
+            client.get("site0.com/page")
+
+    def test_gets_served_counter(self):
+        servers, transports = pir2_deployment()
+        client = connect_client(transports)
+        client.get("site0.com/page")  # 2 probes
+        assert servers[0].gets_served == 2
+        assert servers[1].gets_served == 2
+
+    def test_byte_counters_move(self):
+        _, transports = pir2_deployment()
+        client = connect_client(transports)
+        base_up, base_down = client.bytes_sent, client.bytes_received
+        client.get("site1.com/page")
+        assert client.bytes_sent > base_up
+        assert client.bytes_received > base_down
+
+    def test_no_transports_rejected(self):
+        with pytest.raises(ProtocolError):
+            ZltpClient([])
+
+    def test_candidate_slots_fixed_count(self):
+        _, transports = pir2_deployment()
+        client = connect_client(transports)
+        assert len(client.candidate_slots("anything.com/x")) == 2
