@@ -1,0 +1,151 @@
+"""E9 — the parallel scan engine: shard fan-out and single-pass batching.
+
+Two claims from this repo's scan-engine work (no direct paper numbers —
+the paper's §5.2 deployment is real machines; here the win is showing the
+*shape* on one host):
+
+1. A front-end that gang-evaluates the fleet's DPF sub-keys in one
+   vectorised pass and fans shard scans out through the engine answers
+   faster than the sequential per-shard walk, and the gap widens with the
+   shard count (≥4 shards must already win).
+2. The truly single-pass batch scan (one blocked walk over storage per
+   batch) beats the per-row baseline once the batch is big enough to
+   amortise the walk (batch ≥8 must win at 128 MiB storage — the block
+   stays cache-hot across the batch's rows while the per-row path streams
+   all of storage once per request).
+
+Measured numbers land in ``BENCH_parallel_scan.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.crypto.dpf import gen_dpf
+from repro.pir.database import BlobDatabase
+from repro.pir.engine import ScanExecutor
+from repro.pir.sharding import ShardedDeployment
+
+FANOUT_DOMAIN_BITS = 13          # 2^13 x 4 KiB = 32 MiB logical database
+FANOUT_PREFIX_BITS = (2, 4)      # 4 and 16 data servers per party
+BATCH_DOMAIN_BITS = 15           # 2^15 x 4 KiB = 128 MiB (>> L2, the regime
+                                 # the single-pass walk is built for)
+BLOB_BYTES = 4096
+BATCH_SIZES = (8, 16)
+_ROUNDS = 3
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel_scan.json"
+
+
+def _filled_db(domain_bits: int, seed: int = 0) -> BlobDatabase:
+    db = BlobDatabase(domain_bits, BLOB_BYTES)
+    rng = np.random.default_rng(seed)
+    for slot in rng.choice(db.n_slots, size=min(64, db.n_slots), replace=False):
+        db.set_slot(int(slot), bytes(rng.integers(0, 256, 512, dtype=np.uint8)))
+    return db
+
+
+def _best_of(fn, rounds: int = _ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def results():
+    data = {"experiment": "E9 parallel scan engine", "fanout": [], "batch": []}
+    yield data
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\n  wrote {RESULTS_PATH}")
+
+
+def test_e9_fanout_vs_sequential(benchmark, results):
+    db = _filled_db(FANOUT_DOMAIN_BITS)
+    key0, _ = gen_dpf(5, FANOUT_DOMAIN_BITS, rng=np.random.default_rng(1))
+    raw = key0.to_bytes()
+
+    rows = []
+    measured = []
+
+    def run_all():
+        measured.clear()
+        for prefix_bits in FANOUT_PREFIX_BITS:
+            sequential = ShardedDeployment(db, prefix_bits, parallel=False)
+            parallel = ShardedDeployment(db, prefix_bits,
+                                         executor=ScanExecutor())
+            assert parallel.answer(0, raw) == sequential.answer(0, raw)
+            seq_s = _best_of(lambda: sequential.answer(0, raw))
+            par_s = _best_of(lambda: parallel.answer(0, raw))
+            fanout = parallel.front_ends[0].last_fanout
+            measured.append({
+                "shards": 1 << prefix_bits,
+                "sequential_seconds": seq_s,
+                "parallel_seconds": par_s,
+                "speedup": seq_s / par_s,
+                "engine_speedup": fanout.speedup if fanout else None,
+            })
+        return measured
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for m in measured:
+        rows.append((
+            f"shards={m['shards']}",
+            f"sequential {m['sequential_seconds']*1e3:.1f} ms, "
+            f"engine {m['parallel_seconds']*1e3:.1f} ms "
+            f"({m['speedup']:.2f}x)",
+        ))
+    report("E9: engine fan-out vs sequential shard walk", rows)
+    results["fanout"] = measured
+    # Shape claim 1: the engine wins from 4 shards up, and keeps winning.
+    for m in measured:
+        if m["shards"] >= 4:
+            assert m["parallel_seconds"] < m["sequential_seconds"], m
+
+
+def test_e9_single_pass_batch_vs_per_row(benchmark, results):
+    db = _filled_db(BATCH_DOMAIN_BITS, seed=2)
+    rng = np.random.default_rng(3)
+
+    rows = []
+    measured = []
+
+    def run_all():
+        measured.clear()
+        for batch in BATCH_SIZES:
+            select = rng.integers(0, 2, size=(batch, db.n_slots),
+                                  dtype=np.uint8).astype(bool)
+            assert db.xor_scan_batch(select) == db.xor_scan_batch_per_row(select)
+            single = _best_of(lambda: db.xor_scan_batch(select))
+            per_row = _best_of(lambda: db.xor_scan_batch_per_row(select))
+            measured.append({
+                "batch": batch,
+                "single_pass_seconds": single,
+                "per_row_seconds": per_row,
+                "speedup": per_row / single,
+            })
+        return measured
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for m in measured:
+        rows.append((
+            f"batch={m['batch']}",
+            f"per-row {m['per_row_seconds']*1e3:.1f} ms, "
+            f"single-pass {m['single_pass_seconds']*1e3:.1f} ms "
+            f"({m['speedup']:.2f}x)",
+        ))
+    rows.append(("storage", f"{db.memory_bytes() / 2**20:.0f} MiB, "
+                            f"amortised rows/request "
+                            f"{db.amortized_rows_per_request:.0f}"))
+    report("E9b: single-pass batch scan vs per-row baseline", rows)
+    results["batch"] = measured
+    # Shape claim 2: one blocked walk beats per-row streaming from batch 8.
+    for m in measured:
+        if m["batch"] >= 8:
+            assert m["single_pass_seconds"] < m["per_row_seconds"], m

@@ -1,0 +1,102 @@
+"""Smoke-run the E9 scan-engine benchmark at toy sizes.
+
+Tier-1 runs this (via ``tests/integration/test_bench_smoke.py``) so the
+benchmark code path — deployment construction, engine fan-out, single-pass
+batching, JSON emission — is exercised on every test run without the real
+E9 sizes. It records timings but asserts only *correctness* (the engine
+paths must be bitwise identical to the baselines); perf claims live in
+``benchmarks/bench_e9_parallel_scan.py`` at real sizes, where they are
+meaningful.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/smoke.py [--out BENCH_parallel_scan.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.crypto.dpf import gen_dpf
+from repro.pir.database import BlobDatabase
+from repro.pir.engine import ScanExecutor
+from repro.pir.sharding import ShardedDeployment
+
+DOMAIN_BITS = 8
+BLOB_BYTES = 256
+PREFIX_BITS = 2
+BATCH = 8
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_parallel_scan.json"
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - t0
+
+
+def run() -> dict:
+    """Exercise the engine paths at toy sizes; return the results record."""
+    db = BlobDatabase(DOMAIN_BITS, BLOB_BYTES)
+    rng = np.random.default_rng(0)
+    for slot in range(0, db.n_slots, 5):
+        db.set_slot(slot, bytes(rng.integers(0, 256, 64, dtype=np.uint8)))
+
+    key0, _ = gen_dpf(7, DOMAIN_BITS, rng=np.random.default_rng(1))
+    raw = key0.to_bytes()
+
+    sequential = ShardedDeployment(db, PREFIX_BITS, parallel=False)
+    parallel = ShardedDeployment(db, PREFIX_BITS, executor=ScanExecutor())
+    seq_answer, seq_s = _timed(lambda: sequential.answer(0, raw))
+    par_answer, par_s = _timed(lambda: parallel.answer(0, raw))
+    fanout = parallel.front_ends[0].last_fanout
+
+    select = rng.integers(0, 2, size=(BATCH, db.n_slots),
+                          dtype=np.uint8).astype(bool)
+    single, single_s = _timed(lambda: db.xor_scan_batch(select))
+    per_row, per_row_s = _timed(lambda: db.xor_scan_batch_per_row(select))
+
+    return {
+        "experiment": "E9 parallel scan engine (smoke, toy sizes)",
+        "fanout": [{
+            "shards": 1 << PREFIX_BITS,
+            "sequential_seconds": seq_s,
+            "parallel_seconds": par_s,
+            "speedup": seq_s / par_s if par_s else None,
+            "engine_speedup": fanout.speedup if fanout else None,
+            "answers_match": par_answer == seq_answer,
+        }],
+        "batch": [{
+            "batch": BATCH,
+            "single_pass_seconds": single_s,
+            "per_row_seconds": per_row_s,
+            "speedup": per_row_s / single_s if single_s else None,
+            "answers_match": single == per_row,
+        }],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+    data = run()
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for section in ("fanout", "batch"):
+        for entry in data[section]:
+            if not entry["answers_match"]:
+                print(f"MISMATCH in {section}: {entry}")
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

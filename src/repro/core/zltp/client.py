@@ -163,6 +163,54 @@ class ZltpClient:
             answers.append(response.payload)
         return self._mode_client.decode(answers)
 
+    def get_slots(self, slots: List[int]) -> List[bytes]:
+        """Privately fetch several slots with pipelined requests.
+
+        All GetRequests are written before any response is read, so a
+        batching-aware server (the §5.1 path) sees them arrive together
+        and can answer the whole run with one pass over the database.
+        Responses on each transport come back in request order; ids are
+        checked against the ids sent.
+
+        Returns:
+            The decoded records, in the order of ``slots``.
+        """
+        self._require_connected()
+        if not slots:
+            return []
+        request_ids: List[int] = []
+        per_slot_queries = []
+        for slot in slots:
+            queries = self._mode_client.queries_for_slot(slot)
+            if len(queries) != len(self._transports):
+                raise ProtocolError("mode produced wrong number of queries")
+            per_slot_queries.append(queries)
+            request_ids.append(self._next_request_id)
+            self._next_request_id += 1
+        for endpoint, transport in enumerate(self._transports):
+            for request_id, queries in zip(request_ids, per_slot_queries):
+                transport.send_frame(
+                    msg.encode_message(
+                        msg.GetRequest(request_id=request_id,
+                                       payload=queries[endpoint])
+                    )
+                )
+        per_slot_answers: List[List[bytes]] = [[] for _ in slots]
+        for transport in self._transports:
+            for i, request_id in enumerate(request_ids):
+                response = self._recv(transport)
+                if not isinstance(response, msg.GetResponse):
+                    raise ProtocolError(
+                        f"expected GetResponse, got {type(response).__name__}"
+                    )
+                if response.request_id != request_id:
+                    raise ProtocolError(
+                        f"response id {response.request_id} != request id "
+                        f"{request_id}"
+                    )
+                per_slot_answers[i].append(response.payload)
+        return [self._mode_client.decode(answers) for answers in per_slot_answers]
+
     def candidate_slots(self, key: str) -> List[int]:
         """The fixed probe slots for ``key`` under the universe's salt."""
         self._require_connected()
@@ -180,8 +228,7 @@ class ZltpClient:
             The value payload, or None if no record for ``key`` exists.
         """
         found = None
-        for slot in self.candidate_slots(key):
-            record = self.get_slot(slot)
+        for record in self.get_slots(self.candidate_slots(key)):
             payload = decode_record(key, record)
             if payload is not None and found is None:
                 found = payload

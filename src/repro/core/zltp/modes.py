@@ -127,6 +127,10 @@ class Pir2ModeServer:
         """Evaluate the DPF key and scan; return this party's XOR share."""
         return self._pir.answer(payload)
 
+    def answer_batch(self, payloads: List[bytes]) -> List[bytes]:
+        """Answer many GETs in one single-pass scan (§5.1 batching)."""
+        return self._pir.answer_batch(payloads)
+
 
 class Pir2ModeClient:
     """Client half of ``pir2``: deals DPF key pairs, XORs the answers."""
@@ -192,6 +196,10 @@ class LweModeServer:
         if query.ndim != 1:
             raise ProtocolError("LWE query must be a vector")
         return pack_u64(self._core.answer(query))
+
+    def answer_batch(self, payloads: List[bytes]) -> List[bytes]:
+        """No cross-request amortisation for LWE; answer one by one."""
+        return [self.answer(payload) for payload in payloads]
 
 
 class LweModeClient:
@@ -271,6 +279,10 @@ class EnclaveModeServer:
         (slot,) = struct.unpack("<Q", raw)
         record = self.enclave.oblivious_read(slot)
         return aead.seal(self.session_key, record, aad=b"zltp-enclave-a")
+
+    def answer_batch(self, payloads: List[bytes]) -> List[bytes]:
+        """ORAM accesses are inherently per-request; answer one by one."""
+        return [self.answer(payload) for payload in payloads]
 
 
 class EnclaveModeClient:

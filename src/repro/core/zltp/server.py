@@ -147,6 +147,62 @@ class ZltpServerSession:
             return [msg.encode_message(msg.ErrorMessage("bad-message", str(exc)))]
         return [msg.encode_message(reply) for reply in self.handle(message)]
 
+    def handle_frames(self, frames: List[bytes]) -> List[bytes]:
+        """Handle a burst of frames, batching pipelined GETs into one scan.
+
+        Transports that read several frames at once (a pipelining TCP
+        client) pass them here: runs of consecutive GetRequests in the
+        ready state are answered with one ``answer_batch`` call, so the
+        mode's single-pass batch scan path serves them in one walk over
+        the database (§5.1). Any other message flushes the pending run and
+        goes through the normal one-message state machine.
+        """
+        replies: List[bytes] = []
+        pending: List[msg.GetRequest] = []
+        for frame in frames:
+            if self._state is _State.CLOSED:
+                break
+            try:
+                message = msg.decode_message(frame)
+            except ProtocolError as exc:
+                replies.extend(self._flush_gets(pending))
+                self._state = _State.CLOSED
+                replies.append(
+                    msg.encode_message(msg.ErrorMessage("bad-message", str(exc)))
+                )
+                return replies
+            if isinstance(message, msg.GetRequest) and self._state is _State.READY:
+                pending.append(message)
+                continue
+            replies.extend(self._flush_gets(pending))
+            if self._state is _State.CLOSED:
+                break
+            replies.extend(msg.encode_message(reply) for reply in self.handle(message))
+        replies.extend(self._flush_gets(pending))
+        return replies
+
+    def _flush_gets(self, pending: List[msg.GetRequest]) -> List[bytes]:
+        """Answer a run of pipelined GetRequests in one batched scan."""
+        if not pending:
+            return []
+        batch, pending[:] = list(pending), []
+        try:
+            answer_batch = getattr(self._mode, "answer_batch", None)
+            if answer_batch is not None:
+                answers = answer_batch([g.payload for g in batch])
+            else:
+                answers = [self._mode.answer(g.payload) for g in batch]
+        except ReproError as exc:
+            self._state = _State.CLOSED
+            return [msg.encode_message(msg.ErrorMessage("protocol", str(exc)))]
+        self._server.gets_served += len(batch)
+        return [
+            msg.encode_message(
+                msg.GetResponse(request_id=request.request_id, payload=answer)
+            )
+            for request, answer in zip(batch, answers)
+        ]
+
     def handle(self, message) -> List[Any]:
         """Advance the state machine by one message; return reply messages."""
         if self._state is _State.CLOSED:

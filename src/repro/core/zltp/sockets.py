@@ -79,7 +79,15 @@ class TcpTransport:
 
 
 class ZltpTcpServer:
-    """Serve a logical ZLTP server on a TCP listening socket."""
+    """Serve a logical ZLTP server on a TCP listening socket.
+
+    Connection threads are tracked and pruned as they finish (no unbounded
+    ``_threads`` growth), live sockets are registered so :meth:`stop` can
+    shut every open connection down and join every worker deterministically.
+    Frames that arrive together in one TCP chunk are handed to the session
+    as a batch, so a pipelining client's GETs reach the mode's single-pass
+    batched scan.
+    """
 
     def __init__(self, server: ZltpServer, host: str = "127.0.0.1", port: int = 0):
         """Bind and start accepting in a background thread.
@@ -96,9 +104,24 @@ class ZltpTcpServer:
         self._listener.listen(16)
         self.address: Tuple[str, int] = self._listener.getsockname()
         self._stopping = threading.Event()
+        self._lock = threading.Lock()
         self._threads: list = []
+        self._conns: set = set()
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
+
+    @property
+    def worker_count(self) -> int:
+        """Live connection-handler threads (finished ones are pruned)."""
+        with self._lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
+            return len(self._threads)
+
+    @property
+    def active_connections(self) -> int:
+        """Currently open client connections."""
+        with self._lock:
+            return len(self._conns)
 
     def _accept_loop(self) -> None:
         while not self._stopping.is_set():
@@ -106,40 +129,80 @@ class ZltpTcpServer:
                 conn, _ = self._listener.accept()
             except OSError:
                 return
+            if self._stopping.is_set():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             )
+            with self._lock:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(thread)
+                self._conns.add(conn)
             thread.start()
-            self._threads.append(thread)
 
     def _serve_connection(self, conn: socket.socket) -> None:
         session = self.server.create_session()
         decoder = FrameDecoder()
         try:
-            while not session.closed:
+            while not session.closed and not self._stopping.is_set():
                 chunk = conn.recv(_RECV_CHUNK)
                 if not chunk:
                     return
-                for frame in decoder.feed(chunk):
-                    for reply in session.handle_frame(frame):
-                        conn.sendall(encode_frame(reply))
-                    if session.closed:
-                        return
+                frames = decoder.feed(chunk)
+                if not frames:
+                    continue
+                for reply in session.handle_frames(frames):
+                    conn.sendall(encode_frame(reply))
         except OSError:
             return
         finally:
+            with self._lock:
+                self._conns.discard(conn)
             try:
                 conn.close()
             except OSError:
                 pass
 
-    def stop(self) -> None:
-        """Stop accepting and close the listener."""
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut down deterministically: listener, live connections, workers.
+
+        Stops accepting, shuts every open connection (unblocking any worker
+        parked in ``recv``), then joins the accept thread and every worker.
+        Safe to call more than once.
+        """
         self._stopping.set()
+        # shutdown() (not just close()) wakes a thread blocked in accept().
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        with self._lock:
+            conns = list(self._conns)
+            threads = list(self._threads)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self._accept_thread.join(timeout)
+        for thread in threads:
+            thread.join(timeout)
+        with self._lock:
+            for conn in list(self._conns):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                self._conns.discard(conn)
+            self._threads = [t for t in self._threads if t.is_alive()]
 
 
 def connect_tcp(host: str, port: int, timeout: Optional[float] = 10.0) -> TcpTransport:

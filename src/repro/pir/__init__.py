@@ -10,9 +10,12 @@ machinery of §5:
   cuckoo-hashed key placement).
 - :mod:`repro.pir.batching` — §5.1's latency-for-throughput batching.
 - :mod:`repro.pir.sharding` — §5.2's front-end + data-server deployment.
+- :mod:`repro.pir.engine` — the scan-execution engine: concurrent shard
+  fan-out with parallel-speedup accounting.
 """
 
 from repro.pir.database import BlobDatabase
+from repro.pir.engine import FanoutReport, ScanExecutor, shared_executor
 from repro.pir.twoserver import TwoServerPirClient, TwoServerPirServer, ScanTiming
 from repro.pir.singleserver import SingleServerPirClient, SingleServerPirServer
 from repro.pir.keyword import KeywordIndex, KeywordPirClient, encode_record, decode_record
@@ -36,4 +39,7 @@ __all__ = [
     "ShardedDeployment",
     "FrontEnd",
     "DataServer",
+    "ScanExecutor",
+    "FanoutReport",
+    "shared_executor",
 ]

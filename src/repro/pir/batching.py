@@ -157,6 +157,16 @@ class BatchScheduler:
         """Collect (and consume) an answered request, or None if pending."""
         return self._results.pop(ticket, None)
 
+    def amortization(self) -> float:
+        """Rows scanned per answered request, from the database's counters.
+
+        Batching is only worth its latency cost if it actually amortises the
+        scan: with the single-pass batch path this converges towards
+        ``n_slots / batch_size`` per pass; the pre-engine per-row path stays
+        pinned at ``n_slots`` regardless of batch size.
+        """
+        return self.server.database.amortized_rows_per_request
+
     @property
     def pending_count(self) -> int:
         """Requests waiting for the current batch to fill."""

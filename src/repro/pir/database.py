@@ -18,6 +18,11 @@ from repro.errors import CapacityError, CryptoError
 
 MAX_DOMAIN_BITS = 30
 
+#: Batched scans walk storage in blocks of roughly this many bytes so each
+#: block stays cache-resident while every accumulator in the batch consumes
+#: it; sized well under typical L2 so the block survives the whole batch.
+SCAN_BLOCK_BYTES = 1 << 18
+
 
 class BlobDatabase:
     """Fixed-size-blob storage over a power-of-two index domain.
@@ -43,9 +48,18 @@ class BlobDatabase:
         self._words = (blob_size + 7) // 8
         self._storage = np.zeros((1 << domain_bits, self._words), dtype=np.uint64)
         self._occupied: set = set()
+        #: Selection vectors answered — one per request, on *every* scan
+        #: path, so batched load is not under-reported (§5.1 accounting).
         self.scan_count = 0
+        #: Walks over the backing storage; a single-pass batch is one walk.
+        self.scan_passes = 0
+        #: Storage rows visited across all walks (each pass touches every
+        #: row — the linear cost §5.1 charges per request, amortised by
+        #: batching).
+        self.rows_scanned = 0
         #: Bumped on every write; lets snapshotting consumers (the LWE and
-        #: enclave mode servers) detect staleness and rebuild.
+        #: enclave mode servers, the sharded deployment) detect staleness
+        #: and rebuild.
         self.version = 0
 
     @property
@@ -129,31 +143,70 @@ class BlobDatabase:
                 f"select_bits must have shape ({self.n_slots},), got {select_bits.shape}"
             )
         self.scan_count += 1
+        self.scan_passes += 1
+        self.rows_scanned += self.n_slots
         mask = select_bits.astype(bool)
         if not mask.any():
             return b"\x00" * self.blob_size
         acc = np.bitwise_xor.reduce(self._storage[mask], axis=0)
         return acc.astype("<u8").tobytes()[: self.blob_size]
 
-    def xor_scan_batch(self, select_matrix: np.ndarray) -> list:
-        """Answer many selection vectors in one pass over the database.
-
-        The §5.1 batching optimisation: the database is walked once while
-        all accumulators are updated, amortising memory traffic across the
-        batch.
-
-        Args:
-            select_matrix: ``(batch, n_slots)`` array of 0/1 share bits.
-
-        Returns:
-            List of ``batch`` byte strings.
-        """
+    def _validate_select_matrix(self, select_matrix) -> np.ndarray:
         select_matrix = np.asarray(select_matrix)
         if select_matrix.ndim != 2 or select_matrix.shape[1] != self.n_slots:
             raise CryptoError(
                 f"select_matrix must be (batch, {self.n_slots}), got {select_matrix.shape}"
             )
-        self.scan_count += 1
+        return select_matrix
+
+    def xor_scan_batch(self, select_matrix: np.ndarray) -> list:
+        """Answer many selection vectors in ONE pass over the database.
+
+        The §5.1 batching optimisation, for real this time: storage is
+        walked block by block exactly once per batch, and while a block is
+        cache-hot every batch row's accumulator consumes it. Memory traffic
+        is therefore amortised across the batch instead of re-streaming the
+        whole database once per request (what a per-row loop — or ``batch``
+        separate :meth:`xor_scan` calls — costs).
+
+        Args:
+            select_matrix: ``(batch, n_slots)`` array of 0/1 share bits.
+
+        Returns:
+            List of ``batch`` byte strings, one XOR share per selection row.
+        """
+        select_matrix = self._validate_select_matrix(select_matrix)
+        batch = select_matrix.shape[0]
+        self.scan_count += batch
+        if batch == 0:
+            return []
+        self.scan_passes += 1
+        self.rows_scanned += self.n_slots
+        select = np.ascontiguousarray(select_matrix.astype(bool))
+        acc = np.zeros((batch, self._words), dtype=np.uint64)
+        rows_per_block = max(1, SCAN_BLOCK_BYTES // (self._words * 8))
+        for start in range(0, self.n_slots, rows_per_block):
+            stop = min(start + rows_per_block, self.n_slots)
+            block = self._storage[start:stop]
+            marks = select[:, start:stop]
+            for b in range(batch):
+                picked = block[marks[b]]
+                if picked.shape[0]:
+                    acc[b] ^= np.bitwise_xor.reduce(picked, axis=0)
+        return [row.astype("<u8").tobytes()[: self.blob_size] for row in acc]
+
+    def xor_scan_batch_per_row(self, select_matrix: np.ndarray) -> list:
+        """Per-row reference batch scan: one full database stream per request.
+
+        Kept as the baseline the E9 benchmark and the equivalence tests
+        compare the single-pass :meth:`xor_scan_batch` against; its counter
+        accounting reflects its real cost (one pass per request).
+        """
+        select_matrix = self._validate_select_matrix(select_matrix)
+        batch = select_matrix.shape[0]
+        self.scan_count += batch
+        self.scan_passes += batch
+        self.rows_scanned += self.n_slots * batch
         answers = []
         for row in select_matrix:
             mask = row.astype(bool)
@@ -163,6 +216,11 @@ class BlobDatabase:
             else:
                 answers.append(b"\x00" * self.blob_size)
         return answers
+
+    @property
+    def amortized_rows_per_request(self) -> float:
+        """Rows streamed per answered request — batching drives this down."""
+        return self.rows_scanned / self.scan_count if self.scan_count else 0.0
 
     def sub_database(self, prefix: int, prefix_bits: int) -> "BlobDatabase":
         """Extract the shard holding indices with the given top-bit prefix.

@@ -1,0 +1,245 @@
+"""The scan-execution engine: concurrent shard fan-out for the §5.2 split.
+
+The paper's deployment story is a front-end that routes each request to 305
+data servers *at once* and XOR-combines their answers as they come back.
+:class:`ScanExecutor` is that fan-out substrate for the in-process
+simulation: a ThreadPoolExecutor-backed task runner that
+:class:`~repro.pir.sharding.FrontEnd` uses to run shard scans concurrently
+and fold the XOR shares together as results land.
+
+Why threads work here: the shard scan is one big numpy XOR reduction
+(:meth:`~repro.pir.database.BlobDatabase.xor_scan`), and numpy releases the
+GIL around its inner loops, so shard scans genuinely overlap on multi-core
+hosts. The Python-level DPF tree walk does *not* release the GIL, which is
+why the engine pairs the executor with the vectorised cross-shard sub-key
+evaluation (:func:`repro.crypto.dpf_distributed.eval_subkeys_batch`): the
+per-level Python overhead is paid once for the whole fleet instead of once
+per data server. On a single-core host the executor sizes itself down to a
+plain loop and the gang evaluation provides the speedup alone.
+
+Every fan-out is accounted: wall-clock vs summed per-task busy time (the
+parallel speedup), task counts, and the last :class:`FanoutReport` — the
+engine counters the benchmarks (E9) and DESIGN.md's sizing notes read.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CryptoError
+
+#: Upper bound on the default worker count; beyond this the per-request
+#: fan-out overhead outweighs the scan overlap for realistic shard sizes.
+DEFAULT_MAX_WORKERS = 8
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where the OS supports it)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class FanoutReport:
+    """Accounting for one fan-out (one request's worth of shard tasks).
+
+    Attributes:
+        tasks: number of shard tasks executed.
+        wall_seconds: elapsed time for the whole fan-out.
+        busy_seconds: sum of per-task execution times.
+        parallel: whether a thread pool (vs an inline loop) ran the tasks.
+    """
+
+    tasks: int
+    wall_seconds: float
+    busy_seconds: float
+    parallel: bool
+
+    @property
+    def speedup(self) -> float:
+        """Busy-over-wall ratio: >1 means tasks genuinely overlapped."""
+        return self.busy_seconds / self.wall_seconds if self.wall_seconds > 0 else 1.0
+
+
+class ScanExecutor:
+    """Runs shard-scan tasks, concurrently where the host allows it.
+
+    With ``max_workers > 1`` tasks go through a lazily created
+    ``ThreadPoolExecutor``; with ``max_workers == 1`` (the default on a
+    single-CPU host) they run inline, so callers never pay thread overhead
+    the hardware cannot repay.
+
+    Attributes:
+        max_workers: the worker budget chosen at construction.
+        fanouts / tasks_run / wall_seconds / busy_seconds: cumulative
+            engine counters across every fan-out through this executor.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise CryptoError("max_workers must be at least 1")
+        if max_workers is None:
+            max_workers = min(DEFAULT_MAX_WORKERS, available_cpus())
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self.fanouts = 0
+        self.tasks_run = 0
+        self.wall_seconds = 0.0
+        self.busy_seconds = 0.0
+        self.last_report: Optional[FanoutReport] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _pool_handle(self) -> Optional[ThreadPoolExecutor]:
+        if self.max_workers == 1:
+            return None
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="scan-engine"
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (idempotent; the pool respawns lazily)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ScanExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this executor actually fans out to threads."""
+        return self.max_workers > 1
+
+    @property
+    def speedup(self) -> float:
+        """Cumulative busy-over-wall ratio across all fan-outs."""
+        return self.busy_seconds / self.wall_seconds if self.wall_seconds > 0 else 1.0
+
+    # ------------------------------------------------------------------
+    # Fan-out primitives
+    # ------------------------------------------------------------------
+
+    def map(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        """Run zero-argument tasks, returning their results in task order."""
+        timed = [self._timed(task) for task in tasks]
+        t0 = time.perf_counter()
+        pool = self._pool_handle()
+        if pool is None:
+            outcomes = [task() for task in timed]
+        else:
+            outcomes = [f.result() for f in [pool.submit(task) for task in timed]]
+        wall = time.perf_counter() - t0
+        results = [result for result, _ in outcomes]
+        self._account(len(tasks), wall, sum(sec for _, sec in outcomes),
+                      pool is not None)
+        return results
+
+    def fanout_xor(
+        self,
+        tasks: Sequence[Callable[[], Tuple[bytes, object]]],
+        nbytes: int,
+    ) -> Tuple[bytes, List[object], FanoutReport]:
+        """Run share-producing tasks and XOR-combine shares as they land.
+
+        Each task returns ``(share_bytes, report)``; shares are folded into
+        one accumulator in *completion* order — the front-end never waits
+        for a straggler shard before consuming faster shards' answers.
+
+        Returns:
+            ``(combined_share, reports, fanout_report)``; ``reports`` is in
+            completion order.
+        """
+        acc = np.zeros(nbytes, dtype=np.uint8)
+        reports: List[object] = []
+        timed = [self._timed(task) for task in tasks]
+        busy = 0.0
+        t0 = time.perf_counter()
+        pool = self._pool_handle()
+        if pool is None:
+            for task in timed:
+                (share, report), seconds = task()
+                acc ^= np.frombuffer(share, dtype=np.uint8)
+                reports.append(report)
+                busy += seconds
+        else:
+            futures = [pool.submit(task) for task in timed]
+            for future in as_completed(futures):
+                (share, report), seconds = future.result()
+                acc ^= np.frombuffer(share, dtype=np.uint8)
+                reports.append(report)
+                busy += seconds
+        wall = time.perf_counter() - t0
+        fanout = self._account(len(tasks), wall, busy, pool is not None)
+        return acc.tobytes(), reports, fanout
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _timed(task: Callable[[], object]) -> Callable[[], Tuple[object, float]]:
+        def run() -> Tuple[object, float]:
+            t0 = time.perf_counter()
+            result = task()
+            return result, time.perf_counter() - t0
+
+        return run
+
+    def _account(self, tasks: int, wall: float, busy: float,
+                 parallel: bool) -> FanoutReport:
+        report = FanoutReport(tasks=tasks, wall_seconds=wall,
+                              busy_seconds=busy, parallel=parallel)
+        with self._lock:
+            self.fanouts += 1
+            self.tasks_run += tasks
+            self.wall_seconds += wall
+            self.busy_seconds += busy
+            self.last_report = report
+        return report
+
+
+_shared_lock = threading.Lock()
+_shared_executor: Optional[ScanExecutor] = None
+
+
+def shared_executor() -> ScanExecutor:
+    """The process-wide default executor.
+
+    Deployments share one pool rather than spawning a thread pool per
+    front-end — the in-process simulation may build hundreds of small
+    deployments (tests, benchmarks) and must not leak a pool per instance.
+    """
+    global _shared_executor
+    with _shared_lock:
+        if _shared_executor is None:
+            _shared_executor = ScanExecutor()
+        return _shared_executor
+
+
+__all__ = [
+    "ScanExecutor",
+    "FanoutReport",
+    "shared_executor",
+    "available_cpus",
+    "DEFAULT_MAX_WORKERS",
+]

@@ -15,6 +15,12 @@ answers reproduces the whole-database answer exactly.
 
 Shard assignment is by index prefix: data server ``k`` of ``2**prefix_bits``
 holds the slots whose top bits equal ``k``.
+
+Execution goes through :mod:`repro.pir.engine`: the front-end gang-evaluates
+the fleet's sub-keys in one vectorised pass, fans the shard scans out
+through a :class:`~repro.pir.engine.ScanExecutor`, and XOR-combines shares
+as they land. Shards are snapshots of the logical database and are rebuilt
+whenever its ``version`` moves (see :meth:`ShardedDeployment.refresh`).
 """
 
 from __future__ import annotations
@@ -26,9 +32,15 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.crypto.dpf import DpfKey
-from repro.crypto.dpf_distributed import SubtreeKey, eval_subkey_full, split_dpf_key
+from repro.crypto.dpf_distributed import (
+    SubtreeKey,
+    eval_subkey_full,
+    eval_subkeys_batch,
+    split_dpf_key,
+)
 from repro.errors import CryptoError
 from repro.pir.database import BlobDatabase
+from repro.pir.engine import FanoutReport, ScanExecutor, shared_executor
 
 
 @dataclass(frozen=True)
@@ -78,12 +90,55 @@ class DataServer:
         )
         return share, report
 
+    def answer_bits(self, subkey: SubtreeKey, bits: np.ndarray,
+                    dpf_seconds: float = 0.0) -> Tuple[bytes, ShardReport]:
+        """Scan the shard with already-evaluated share bits (engine path).
+
+        The front-end gang-evaluates every shard's sub-tree in one
+        vectorised pass (:func:`eval_subkeys_batch`) and hands each data
+        server its row; ``dpf_seconds`` carries this server's amortised
+        share of that pass so per-shard reports stay comparable with the
+        sequential path.
+        """
+        if subkey.prefix != self.shard_index:
+            raise CryptoError(
+                f"subkey for shard {subkey.prefix} sent to shard {self.shard_index}"
+            )
+        if subkey.remaining_bits != self.database.domain_bits:
+            raise CryptoError("subkey depth does not match shard database")
+        t0 = time.perf_counter()
+        share = self.database.xor_scan(bits)
+        scan_seconds = time.perf_counter() - t0
+        self.requests_served += 1
+        report = ShardReport(
+            shard=self.shard_index,
+            dpf_seconds=dpf_seconds,
+            scan_seconds=scan_seconds,
+            subkey_bytes=subkey.size_bytes(),
+        )
+        return share, report
+
+    def answer_bits_batch(self, select_matrix: np.ndarray) -> List[bytes]:
+        """Answer a whole batch against this shard in one single-pass scan."""
+        shares = self.database.xor_scan_batch(select_matrix)
+        self.requests_served += len(shares)
+        return shares
+
 
 class FrontEnd:
-    """The §5.2 front-end: splits DPF keys, routes, and combines answers."""
+    """The §5.2 front-end: splits DPF keys, routes, and combines answers.
+
+    With an :class:`~repro.pir.engine.ScanExecutor` attached, the front-end
+    runs the engine path: the fleet's sub-key evaluation happens as one
+    vectorised gang pass, shard scans fan out through the executor, and XOR
+    shares are folded as results land. Without one (``executor=None``) it
+    walks the data servers sequentially — the pre-engine behaviour, kept as
+    the benchmark baseline.
+    """
 
     def __init__(self, data_servers: List[DataServer], prefix_bits: int,
-                 blob_size: int, party: int):
+                 blob_size: int, party: int,
+                 executor: Optional[ScanExecutor] = None):
         if len(data_servers) != (1 << prefix_bits):
             raise CryptoError(
                 f"need {1 << prefix_bits} data servers for prefix_bits={prefix_bits}, "
@@ -93,17 +148,28 @@ class FrontEnd:
         self.prefix_bits = prefix_bits
         self.blob_size = blob_size
         self.party = party
+        self.executor = executor
         self.last_reports: List[ShardReport] = []
         self.last_split_seconds = 0.0
+        self.last_fanout: Optional[FanoutReport] = None
 
-    def answer(self, key_bytes: bytes) -> bytes:
-        """Process one client request end to end across all shards."""
+    def _split(self, key_bytes: bytes) -> List[SubtreeKey]:
         key = DpfKey.from_bytes(key_bytes)
         if key.party != self.party:
             raise CryptoError(f"key for party {key.party} sent to front-end {self.party}")
         t0 = time.perf_counter()
         subkeys = split_dpf_key(key, self.prefix_bits)
         self.last_split_seconds = time.perf_counter() - t0
+        return subkeys
+
+    def answer(self, key_bytes: bytes) -> bytes:
+        """Process one client request end to end across all shards."""
+        subkeys = self._split(key_bytes)
+        if self.executor is None:
+            return self._answer_sequential(subkeys)
+        return self._answer_parallel(subkeys)
+
+    def _answer_sequential(self, subkeys: List[SubtreeKey]) -> bytes:
         shares = []
         reports = []
         for server, subkey in zip(self.data_servers, subkeys):
@@ -111,10 +177,59 @@ class FrontEnd:
             shares.append(share)
             reports.append(report)
         self.last_reports = reports
+        self.last_fanout = None
         acc = np.zeros(self.blob_size, dtype=np.uint8)
         for share in shares:
             acc ^= np.frombuffer(share, dtype=np.uint8)
         return acc.tobytes()
+
+    def _answer_parallel(self, subkeys: List[SubtreeKey]) -> bytes:
+        t0 = time.perf_counter()
+        bits = eval_subkeys_batch(subkeys)
+        gang_share = (time.perf_counter() - t0) / len(subkeys)
+        tasks = [
+            (lambda server=server, subkey=subkey, row=bits[i]:
+             server.answer_bits(subkey, row, dpf_seconds=gang_share))
+            for i, (server, subkey) in enumerate(zip(self.data_servers, subkeys))
+        ]
+        combined, reports, fanout = self.executor.fanout_xor(tasks, self.blob_size)
+        self.last_reports = sorted(reports, key=lambda r: r.shard)
+        self.last_fanout = fanout
+        return combined
+
+    def answer_batch(self, key_bytes_list: List[bytes]) -> List[bytes]:
+        """Answer many requests with one single-pass scan per shard.
+
+        Each key's sub-trees are gang-evaluated, the per-key share bits are
+        restacked into one ``(batch, sub_domain)`` selection matrix per
+        shard, and every shard runs exactly one
+        :meth:`~repro.pir.database.BlobDatabase.xor_scan_batch` pass —
+        fanned out through the executor when one is attached.
+        """
+        if not key_bytes_list:
+            return []
+        per_key_bits = [eval_subkeys_batch(self._split(raw)) for raw in key_bytes_list]
+        n_shards = len(self.data_servers)
+        matrices = [
+            np.stack([bits[shard] for bits in per_key_bits])
+            for shard in range(n_shards)
+        ]
+
+        def scan(shard: int) -> List[bytes]:
+            return self.data_servers[shard].answer_bits_batch(matrices[shard])
+
+        tasks = [(lambda shard=shard: scan(shard)) for shard in range(n_shards)]
+        if self.executor is None:
+            per_shard = [task() for task in tasks]
+        else:
+            per_shard = self.executor.map(tasks)
+        answers = []
+        for i in range(len(key_bytes_list)):
+            acc = np.zeros(self.blob_size, dtype=np.uint8)
+            for shard in range(n_shards):
+                acc ^= np.frombuffer(per_shard[shard][i], dtype=np.uint8)
+            answers.append(acc.tobytes())
+        return answers
 
 
 class ShardedDeployment:
@@ -125,13 +240,19 @@ class ShardedDeployment:
     to it exactly as it would to a pair of unsharded servers.
     """
 
-    def __init__(self, database: BlobDatabase, prefix_bits: int):
+    def __init__(self, database: BlobDatabase, prefix_bits: int,
+                 executor: Optional[ScanExecutor] = None,
+                 parallel: bool = True):
         """Shard ``database`` ``2**prefix_bits`` ways for both parties.
 
         Args:
             database: the logical (whole-universe) database.
             prefix_bits: log2 of the data-server count per party; must leave
                 at least one level of DPF tree for the data servers.
+            executor: scan engine to fan shard work out through; defaults
+                to the process-wide shared executor.
+            parallel: pass False to force the sequential pre-engine answer
+                path (the E9 benchmark baseline).
         """
         if not 1 <= prefix_bits < database.domain_bits:
             raise CryptoError(
@@ -139,6 +260,9 @@ class ShardedDeployment:
             )
         self.database = database
         self.prefix_bits = prefix_bits
+        if executor is None and parallel:
+            executor = shared_executor()
+        self.executor = executor if parallel else None
         self.front_ends = []
         for party in (0, 1):
             servers = [
@@ -146,19 +270,48 @@ class ShardedDeployment:
                 for k in range(1 << prefix_bits)
             ]
             self.front_ends.append(
-                FrontEnd(servers, prefix_bits, database.blob_size, party)
+                FrontEnd(servers, prefix_bits, database.blob_size, party,
+                         executor=self.executor)
             )
+        self._built_version = database.version
 
     @property
     def n_data_servers(self) -> int:
         """Data servers per party."""
         return 1 << self.prefix_bits
 
+    def refresh(self) -> bool:
+        """Rebuild the shards if the logical database changed underneath.
+
+        Mirrors the :meth:`ZltpServer.mode_server` staleness rule: shards
+        are snapshots taken at build time, so every answer path first
+        checks ``database.version`` and re-extracts each data server's
+        sub-database when a publisher push (§3.1) has landed since.
+
+        Returns:
+            True if the shards were stale and have been rebuilt.
+        """
+        if self._built_version == self.database.version:
+            return False
+        for front_end in self.front_ends:
+            for k, server in enumerate(front_end.data_servers):
+                server.database = self.database.sub_database(k, self.prefix_bits)
+        self._built_version = self.database.version
+        return True
+
     def answer(self, party: int, key_bytes: bytes) -> bytes:
         """Route a client key to the given party's front-end."""
         if party not in (0, 1):
             raise CryptoError("party must be 0 or 1")
+        self.refresh()
         return self.front_ends[party].answer(key_bytes)
+
+    def answer_batch(self, party: int, key_bytes_list: List[bytes]) -> List[bytes]:
+        """Answer a batch through one party: single-pass scans per shard."""
+        if party not in (0, 1):
+            raise CryptoError("party must be 0 or 1")
+        self.refresh()
+        return self.front_ends[party].answer_batch(key_bytes_list)
 
     def shard_memory_bytes(self) -> int:
         """Backing storage per data server (the paper's 1 GiB per shard)."""

@@ -1,0 +1,45 @@
+"""Tier-1 wiring for the benchmark smoke run.
+
+Runs :mod:`benchmarks.smoke` at its toy sizes and checks the result
+*schema* and correctness flags — never timings, so tier-1 stays
+deterministic on any machine.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import smoke  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_parallel_scan.json"
+    assert smoke.main(["--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_smoke_schema(results):
+    assert set(results) == {"experiment", "fanout", "batch"}
+    for entry in results["fanout"]:
+        assert {"shards", "sequential_seconds", "parallel_seconds",
+                "speedup", "engine_speedup", "answers_match"} <= set(entry)
+    for entry in results["batch"]:
+        assert {"batch", "single_pass_seconds", "per_row_seconds",
+                "speedup", "answers_match"} <= set(entry)
+
+
+def test_smoke_correctness_flags(results):
+    assert all(e["answers_match"] for e in results["fanout"])
+    assert all(e["answers_match"] for e in results["batch"])
+
+
+def test_smoke_writes_default_path():
+    # The standalone entry point drops the JSON at the repo root, where
+    # EXPERIMENTS.md points readers.
+    assert smoke.DEFAULT_OUT == REPO_ROOT / "BENCH_parallel_scan.json"

@@ -51,6 +51,36 @@ def test_single_server_pir_fetches_exact_slot(case, target_raw, seed):
     assert client.fetch(target, server) == db.get_slot(target)
 
 
+@settings(max_examples=15, deadline=None)
+@given(small_database(),
+       st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=6),
+       st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=1))
+def test_scan_paths_are_bitwise_identical(case, targets_raw, prefix_raw, party):
+    """Plain scan, single-pass batch, and sharded fan-out must agree bit-for-bit."""
+    from repro.crypto.dpf import eval_dpf_full, gen_dpf
+    from repro.pir.sharding import ShardedDeployment
+
+    db, _fills = case
+    targets = [t % db.n_slots for t in targets_raw]
+    prefix_bits = 1 + prefix_raw % (db.domain_bits - 1)
+    deployment = ShardedDeployment(db, prefix_bits)
+    keys = [gen_dpf(t, db.domain_bits)[party] for t in targets]
+    select = np.stack([eval_dpf_full(k) for k in keys])
+
+    plain = [db.xor_scan(row) for row in select]
+    batched = db.xor_scan_batch(select)
+    per_row = db.xor_scan_batch_per_row(select)
+    sharded = [deployment.answer(party, k.to_bytes()) for k in keys]
+    sharded_batch = deployment.answer_batch(
+        party, [k.to_bytes() for k in keys])
+
+    assert batched == plain
+    assert per_row == plain
+    assert sharded == plain
+    assert sharded_batch == plain
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.text(min_size=1, max_size=40),
        st.text(min_size=1, max_size=40),

@@ -124,6 +124,55 @@ class TestXorScan:
             db.xor_scan_batch(np.zeros((2, 8), dtype=np.uint8))
 
 
+class TestScanAccounting:
+    """Requests, passes, and rows must count consistently across paths."""
+
+    def _filled(self):
+        rng = np.random.default_rng(1)
+        db = BlobDatabase(6, 16)
+        for i in range(0, 64, 3):
+            db.set_slot(i, bytes(rng.integers(0, 256, 16, dtype=np.uint8)))
+        return db, rng
+
+    def test_batch_counts_requests_not_passes(self):
+        db, rng = self._filled()
+        select = rng.integers(0, 2, size=(5, 64)).astype(np.uint8)
+        db.xor_scan_batch(select)
+        assert db.scan_count == 5       # one per request served
+        assert db.scan_passes == 1      # but a single walk over storage
+        assert db.rows_scanned == 64
+
+    def test_single_scan_counts_one_of_each(self):
+        db, _ = self._filled()
+        db.xor_scan(np.zeros(64, dtype=np.uint8))
+        assert (db.scan_count, db.scan_passes, db.rows_scanned) == (1, 1, 64)
+
+    def test_empty_batch_counts_nothing(self):
+        db, _ = self._filled()
+        assert db.xor_scan_batch(np.zeros((0, 64), dtype=np.uint8)) == []
+        assert (db.scan_count, db.scan_passes, db.rows_scanned) == (0, 0, 0)
+
+    def test_per_row_baseline_matches_but_pays_full_passes(self):
+        db, rng = self._filled()
+        select = rng.integers(0, 2, size=(4, 64)).astype(np.uint8)
+        batch = db.xor_scan_batch(select)
+        baseline = db.xor_scan_batch_per_row(select)
+        assert batch == baseline
+        # single-pass: 1 pass; per-row: 4 passes. Requests: 4 + 4.
+        assert db.scan_count == 8
+        assert db.scan_passes == 5
+        assert db.rows_scanned == 5 * 64
+
+    def test_amortized_rows_per_request(self):
+        db, rng = self._filled()
+        assert db.amortized_rows_per_request == 0.0
+        select = rng.integers(0, 2, size=(8, 64)).astype(np.uint8)
+        db.xor_scan_batch(select)
+        assert db.amortized_rows_per_request == pytest.approx(64 / 8)
+        db.xor_scan(select[0])
+        assert db.amortized_rows_per_request == pytest.approx(2 * 64 / 9)
+
+
 class TestSharding:
     def test_sub_database_contents(self):
         db = BlobDatabase(6, 8)

@@ -1,0 +1,105 @@
+"""Tests for the scan-execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.dpf import gen_dpf
+from repro.crypto.dpf_distributed import (
+    eval_subkey_full,
+    eval_subkeys_batch,
+    split_dpf_key,
+)
+from repro.errors import CryptoError
+from repro.pir.engine import (
+    DEFAULT_MAX_WORKERS,
+    FanoutReport,
+    ScanExecutor,
+    available_cpus,
+    shared_executor,
+)
+
+
+class TestScanExecutor:
+    def test_map_preserves_order(self):
+        with ScanExecutor(max_workers=4) as executor:
+            tasks = [(lambda i=i: i * i) for i in range(10)]
+            assert executor.map(tasks) == [i * i for i in range(10)]
+
+    def test_map_empty(self):
+        with ScanExecutor() as executor:
+            assert executor.map([]) == []
+
+    def test_fanout_xor_combines_shares(self):
+        shares = [bytes([i]) * 16 for i in (3, 5, 9, 17)]
+        expected = bytes([3 ^ 5 ^ 9 ^ 17]) * 16
+        with ScanExecutor(max_workers=2) as executor:
+            tasks = [(lambda s=s: (s, f"meta-{s[0]}")) for s in shares]
+            combined, metas, fanout = executor.fanout_xor(tasks, 16)
+        assert combined == expected
+        assert sorted(metas) == sorted(f"meta-{s[0]}" for s in shares)
+        assert isinstance(fanout, FanoutReport)
+        assert fanout.tasks == 4
+
+    def test_counters_accumulate(self):
+        executor = ScanExecutor(max_workers=1)
+        executor.map([lambda: 1, lambda: 2])
+        executor.fanout_xor([lambda: (b"\x00" * 4, None)], 4)
+        assert executor.fanouts == 2
+        assert executor.tasks_run == 3
+        assert executor.wall_seconds > 0
+        assert executor.last_report is not None
+        executor.shutdown()
+
+    def test_sequential_mode_runs_inline(self):
+        executor = ScanExecutor(max_workers=1)
+        assert not executor.parallel
+        assert executor.map([lambda: "inline"]) == ["inline"]
+        # No pool was ever created for the inline path.
+        assert executor._pool is None
+        executor.shutdown()
+
+    def test_speedup_reported(self):
+        with ScanExecutor(max_workers=2) as executor:
+            executor.map([(lambda: sum(range(1000))) for _ in range(4)])
+            report = executor.last_report
+        assert report.wall_seconds > 0
+        assert report.speedup == pytest.approx(
+            report.busy_seconds / report.wall_seconds)
+
+    def test_shutdown_idempotent_and_pool_respawns(self):
+        executor = ScanExecutor(max_workers=2)
+        executor.map([lambda: 1])
+        executor.shutdown()
+        executor.shutdown()
+        # The pool is lazy: a shut-down executor comes back on next use.
+        assert executor.map([lambda: 2]) == [2]
+        executor.shutdown()
+
+    def test_shared_executor_is_singleton(self):
+        assert shared_executor() is shared_executor()
+
+    def test_worker_default_bounded(self):
+        assert 1 <= ScanExecutor().max_workers <= DEFAULT_MAX_WORKERS
+        assert available_cpus() >= 1
+
+
+class TestGangSubkeyEvaluation:
+    @pytest.mark.parametrize("prefix_bits", [1, 2, 4])
+    def test_matches_per_subkey_eval(self, prefix_bits):
+        key0, key1 = gen_dpf(37, 9, rng=np.random.default_rng(0))
+        for key in (key0, key1):
+            subkeys = split_dpf_key(key, prefix_bits)
+            gang = eval_subkeys_batch(subkeys)
+            assert gang.shape == (len(subkeys), 1 << (9 - prefix_bits))
+            for row, subkey in zip(gang, subkeys):
+                np.testing.assert_array_equal(row, eval_subkey_full(subkey))
+
+    def test_rejects_empty(self):
+        with pytest.raises(CryptoError):
+            eval_subkeys_batch([])
+
+    def test_rejects_mixed_parties(self):
+        key0, key1 = gen_dpf(3, 8, rng=np.random.default_rng(1))
+        mixed = [split_dpf_key(key0, 1)[0], split_dpf_key(key1, 1)[1]]
+        with pytest.raises(CryptoError):
+            eval_subkeys_batch(mixed)

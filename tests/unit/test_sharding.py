@@ -81,6 +81,101 @@ class TestShardedDeployment:
             deployment.answer(0, k1.to_bytes())
 
 
+class TestStaleShards:
+    """Regression: shards are snapshots and must follow the logical db."""
+
+    def _fetch(self, deployment, db, target):
+        k0, k1 = gen_dpf(target, db.domain_bits)
+        a0 = deployment.answer(0, k0.to_bytes())
+        a1 = deployment.answer(1, k1.to_bytes())
+        return bytes(x ^ y for x, y in zip(a0, a1))
+
+    def test_set_slot_after_construction_is_served(self):
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, 2)
+        assert self._fetch(deployment, db, 42).rstrip(b"\x00") == b"cell-42"
+        db.set_slot(42, b"republished")
+        assert self._fetch(deployment, db, 42).rstrip(b"\x00") == b"republished"
+
+    def test_clear_slot_after_construction_is_served(self):
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, 3)
+        db.clear_slot(7)
+        assert self._fetch(deployment, db, 7) == bytes(db.blob_size)
+
+    def test_refresh_reports_staleness(self):
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, 2)
+        assert deployment.refresh() is False
+        db.set_slot(0, b"bump")
+        assert deployment.refresh() is True
+        assert deployment.refresh() is False
+
+    def test_batch_path_also_refreshes(self):
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, 2)
+        db.set_slot(9, b"fresh")
+        k0, k1 = gen_dpf(9, db.domain_bits)
+        a0 = deployment.answer_batch(0, [k0.to_bytes()])[0]
+        a1 = deployment.answer_batch(1, [k1.to_bytes()])[0]
+        record = bytes(x ^ y for x, y in zip(a0, a1))
+        assert record.rstrip(b"\x00") == b"fresh"
+
+
+class TestEnginePaths:
+    """The engine fan-out and batch paths must equal the sequential walk."""
+
+    @pytest.mark.parametrize("prefix_bits", [1, 2, 4])
+    def test_parallel_matches_sequential(self, prefix_bits):
+        from repro.pir.engine import ScanExecutor
+
+        db = make_logical_db()
+        sequential = ShardedDeployment(db, prefix_bits, parallel=False)
+        inline = ShardedDeployment(db, prefix_bits)
+        threaded = ShardedDeployment(db, prefix_bits,
+                                     executor=ScanExecutor(max_workers=4))
+        for target in (0, 257, 511):
+            for party in (0, 1):
+                keys = gen_dpf(target, db.domain_bits)
+                raw = keys[party].to_bytes()
+                expected = sequential.answer(party, raw)
+                assert inline.answer(party, raw) == expected
+                assert threaded.answer(party, raw) == expected
+
+    def test_answer_batch_matches_single_answers(self):
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, 2)
+        targets = [1, 100, 100, 503]
+        raws = [gen_dpf(t, db.domain_bits)[0].to_bytes() for t in targets]
+        singles = [deployment.answer(0, raw) for raw in raws]
+        assert deployment.answer_batch(0, raws) == singles
+        assert deployment.answer_batch(0, []) == []
+
+    def test_batch_is_single_pass_per_shard(self):
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, 2)
+        raws = [gen_dpf(t, db.domain_bits)[0].to_bytes() for t in (3, 5, 8, 13)]
+        shard_dbs = [s.database for s in deployment.front_ends[0].data_servers]
+        before = [d.scan_passes for d in shard_dbs]
+        deployment.answer_batch(0, raws)
+        after = [d.scan_passes for d in shard_dbs]
+        assert [a - b for a, b in zip(after, before)] == [1, 1, 1, 1]
+        assert all(d.scan_count - d.scan_passes >= 3 for d in shard_dbs)
+
+    def test_fanout_report_populated(self):
+        db = make_logical_db()
+        deployment = ShardedDeployment(db, 2)
+        k0, _ = gen_dpf(6, db.domain_bits)
+        deployment.answer(0, k0.to_bytes())
+        fanout = deployment.front_ends[0].last_fanout
+        assert fanout is not None
+        assert fanout.tasks == 4
+        assert fanout.busy_seconds >= 0
+        sequential = ShardedDeployment(db, 2, parallel=False)
+        sequential.answer(0, k0.to_bytes())
+        assert sequential.front_ends[0].last_fanout is None
+
+
 class TestFrontEndAndDataServer:
     def test_front_end_requires_matching_server_count(self):
         db = make_logical_db()

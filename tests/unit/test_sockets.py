@@ -1,5 +1,7 @@
 """Tests for the real-TCP ZLTP transport."""
 
+import time
+
 import pytest
 
 from repro.core.zltp.client import connect_client
@@ -79,3 +81,67 @@ class TestTcpTransport:
         assert frame
         with pytest.raises(TransportError):
             transport.recv_frame()
+
+
+class TestServerLifecycle:
+    def test_eight_simultaneous_sessions_then_clean_stop(self, tcp_pair):
+        clients = []
+        for _ in range(8):
+            transports = [connect_tcp(*srv.address) for srv in tcp_pair]
+            clients.append(connect_client(transports))
+        # All eight sessions are live at once on each server.
+        for server in tcp_pair:
+            assert server.active_connections == 8
+            assert server.worker_count == 8
+        for i, client in enumerate(clients):
+            assert client.get(f"s{i % 10}.com/p") == f"tcp-{i % 10}".encode()
+        for client in clients:
+            client.close()
+        for server in tcp_pair:
+            server.stop()
+            assert server.worker_count == 0
+            assert server.active_connections == 0
+            assert not server._accept_thread.is_alive()
+
+    def test_finished_workers_are_pruned(self, tcp_pair):
+        server = tcp_pair[0]
+        for _ in range(5):
+            transport = connect_tcp(*server.address)
+            transport.send_frame(b"\x01garbage")  # session closes itself
+            transport.recv_frame()
+            transport.close()
+        # Opening one more connection prunes the dead handler threads.
+        transport = connect_tcp(*server.address)
+        try:
+            deadline = 50
+            while server.worker_count > 1 and deadline:
+                deadline -= 1
+                time.sleep(0.02)
+            assert server.worker_count <= 1
+        finally:
+            transport.close()
+
+    def test_stop_unblocks_idle_client(self, tcp_pair):
+        server = tcp_pair[0]
+        transport = connect_tcp(*server.address)
+        assert server.active_connections == 1
+        server.stop()
+        # The server shut the socket down; the idle client sees EOF/error.
+        with pytest.raises(TransportError):
+            transport.recv_frame()
+        assert server.active_connections == 0
+        assert server.worker_count == 0
+
+    def test_stop_is_idempotent(self, tcp_pair):
+        server = tcp_pair[0]
+        server.stop()
+        server.stop()
+        assert server.worker_count == 0
+
+    def test_pipelined_gets_one_session(self, tcp_pair):
+        transports = [connect_tcp(*srv.address) for srv in tcp_pair]
+        client = connect_client(transports)
+        slots = [client.candidate_slots(f"s{i}.com/p")[0] for i in range(4)]
+        records = client.get_slots(slots)
+        assert records == [client.get_slot(slot) for slot in slots]
+        client.close()
