@@ -1,0 +1,33 @@
+"""Static analysis enforcing the zero-leakage discipline (``lightweb lint``).
+
+Three rule families over the crypto/PIR/ORAM/ZLTP layers:
+
+- secret-taint (``secret-branch``, ``secret-compare``, ``secret-len``) —
+  :mod:`repro.analysis.taint`;
+- lock discipline for ``# guarded-by:`` state (``guard-write``) —
+  :mod:`repro.analysis.lockcheck`;
+- mode-server answer shape (``wire-shape``) — :mod:`repro.analysis.rules`.
+
+Run as ``python -m repro.analysis <paths>`` or ``lightweb lint``; exit
+codes are 0 (clean), 1 (findings), 2 (internal error).
+"""
+
+from repro.analysis.report import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL,
+    Finding,
+)
+from repro.analysis.rules import AnalysisResult, analyze_paths, analyze_source
+from repro.analysis.taint import ModuleSources
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL",
+    "Finding",
+    "AnalysisResult",
+    "ModuleSources",
+    "analyze_paths",
+    "analyze_source",
+]

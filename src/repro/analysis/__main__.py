@@ -1,0 +1,53 @@
+"""``python -m repro.analysis`` — the zero-leakage linter CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import traceback
+from typing import List, Optional
+
+from repro.analysis.report import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Zero-leakage static analyzer: secret taint, lock "
+                    "discipline, wire shape.",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="Python files or directories to analyze")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    parser.add_argument("--baseline", default=None,
+                        help="JSON baseline of accepted findings")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the analyzer; returns 0 clean / 1 findings / 2 internal error."""
+    args = build_parser().parse_args(argv)
+    try:
+        result = analyze_paths(args.paths, baseline_path=args.baseline)
+        if args.json:
+            print(render_json(result.findings, result.suppressed,
+                              result.baselined, len(result.files)))
+        else:
+            print(render_text(result.findings, len(result.suppressed),
+                              len(result.baselined), len(result.files)))
+    except Exception:  # noqa: BLE001 - the exit-code contract wants 2 here
+        traceback.print_exc()
+        return EXIT_INTERNAL
+    return EXIT_CLEAN if result.clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Lock-discipline checking for ``# guarded-by:`` annotated state.
+
+PR 1 introduced real threads (the scan engine's fan-out pool, the TCP
+server's connection handlers); their shared state is protected only by
+convention. This checker makes the convention mechanical:
+
+- An attribute initialised on a line carrying ``# guarded-by: <lock>``
+  (``self._threads = []  # guarded-by: _lock``) may only be *written* —
+  assigned, augmented, or mutated through a mutating method call like
+  ``.append()``/``.discard()`` — inside a ``with`` block holding a lock
+  of that name. Lock matching is by final attribute name, so
+  ``with self._lock:``, ``with self._server._stats_lock:``, and a bare
+  ``with _shared_lock:`` all count for their respective names.
+- Module-level globals annotated the same way are held to the same rule.
+- ``__init__`` bodies are exempt (no concurrent aliases exist yet), as
+  are the declaration lines themselves.
+
+Reads are deliberately not flagged: the codebase tolerates racy reads of
+monotonic counters, but every read-modify-write must be serialized.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.report import Finding
+
+#: Method calls that mutate their receiver in place.
+MUTATORS = {
+    "append", "add", "discard", "remove", "pop", "extend", "clear",
+    "update", "insert", "setdefault", "popitem", "appendleft",
+}
+
+_ATTR_DECL_RE = re.compile(
+    r"self\.(\w+)\s*(?::[^=]*)?=.*#\s*guarded-by:\s*(\w+)"
+)
+_GLOBAL_DECL_RE = re.compile(
+    r"^(\w+)\s*(?::[^=]*)?=.*#\s*guarded-by:\s*(\w+)"
+)
+
+
+def _final_name(expr: ast.expr) -> Optional[str]:
+    """The last dotted component of a name/attribute chain."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+class LockCheck:
+    """Checks one module's guarded-by discipline."""
+
+    def __init__(self, tree: ast.Module, source: str, path: str):
+        self.tree = tree
+        self.path = path
+        self.attr_guards: Dict[str, str] = {}
+        self.global_guards: Dict[str, str] = {}
+        self.decl_lines: Set[int] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            attr = _ATTR_DECL_RE.search(text)
+            if attr is not None:
+                self.attr_guards[attr.group(1)] = attr.group(2)
+                self.decl_lines.add(lineno)
+                continue
+            glob = _GLOBAL_DECL_RE.match(text)
+            if glob is not None:
+                self.global_guards[glob.group(1)] = glob.group(2)
+                self.decl_lines.add(lineno)
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        if not self.attr_guards and not self.global_guards:
+            return []
+        for qualname, node in self._functions():
+            if node.name == "__init__":
+                continue
+            self._walk(node.body, frozenset(), qualname, node.lineno)
+        return self.findings
+
+    def _functions(self):
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node.name, node
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield f"{node.name}.{item.name}", item
+
+    # -- traversal -----------------------------------------------------
+
+    def _walk(self, stmts: Sequence[ast.stmt], held: frozenset,
+              symbol: str, def_line: int) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.With):
+                inner = set(held)
+                for item in stmt.items:
+                    name = _final_name(item.context_expr)
+                    if name is not None:
+                        inner.add(name)
+                self._walk(stmt.body, frozenset(inner), symbol, def_line)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._check_expr(stmt.test, held, symbol, def_line)
+                self._walk(stmt.body, held, symbol, def_line)
+                self._walk(stmt.orelse, held, symbol, def_line)
+            elif isinstance(stmt, ast.For):
+                self._check_expr(stmt.iter, held, symbol, def_line)
+                self._walk(stmt.body, held, symbol, def_line)
+                self._walk(stmt.orelse, held, symbol, def_line)
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body, held, symbol, def_line)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, held, symbol, def_line)
+                self._walk(stmt.orelse, held, symbol, def_line)
+                self._walk(stmt.finalbody, held, symbol, def_line)
+            elif isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    self._check_target(target, stmt, held, symbol, def_line)
+                if getattr(stmt, "value", None) is not None:
+                    self._check_expr(stmt.value, held, symbol, def_line)
+            elif isinstance(stmt, ast.Expr):
+                self._check_expr(stmt.value, held, symbol, def_line)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                self._check_expr(stmt.value, held, symbol, def_line)
+            # Nested defs start with an empty lock context of their own;
+            # conservatively skip rather than assume inherited locks.
+
+    def _check_target(self, target: ast.expr, stmt: ast.stmt, held: frozenset,
+                      symbol: str, def_line: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_target(elt, stmt, held, symbol, def_line)
+            return
+        if isinstance(target, ast.Attribute):
+            guard = self.attr_guards.get(target.attr)
+            name = f"self.{target.attr}"
+        elif isinstance(target, ast.Name):
+            guard = self.global_guards.get(target.id)
+            name = target.id
+        else:
+            return
+        self._require(guard, name, stmt, held, symbol, def_line)
+
+    def _check_expr(self, expr: ast.expr, held: frozenset,
+                    symbol: str, def_line: int) -> None:
+        """Flag mutating method calls on guarded state anywhere in ``expr``."""
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in MUTATORS:
+                continue
+            base = _final_name(func.value)
+            if base is None:
+                continue
+            guard = self.attr_guards.get(base) or self.global_guards.get(base)
+            self._require(guard, base, node, held, symbol, def_line)
+
+    def _require(self, guard: Optional[str], name: str, node: ast.AST,
+                 held: frozenset, symbol: str, def_line: int) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if guard is None or lineno in self.decl_lines or guard in held:
+            return
+        self.findings.append(Finding(
+            rule="guard-write", path=self.path, line=lineno,
+            col=getattr(node, "col_offset", 0), symbol=symbol,
+            message=f"write to {name} (guarded-by: {guard}) outside "
+                    f"'with {guard}' block",
+            def_line=def_line,
+        ))
+
+
+__all__ = ["LockCheck", "MUTATORS"]

@@ -1,0 +1,223 @@
+"""Findings, suppression pragmas, baselines, and report rendering.
+
+The analyzer's output contract lives here so every rule family (taint,
+lock discipline, wire shape) reports through one channel:
+
+- :class:`Finding` — one rule violation, anchored to file/line/symbol.
+- ``# lint: allow(<rule>) — <reason>`` pragmas — in-source suppressions.
+  A reason is **mandatory**; a pragma without one is itself reported
+  (rule ``bad-pragma``) and suppresses nothing.
+- A JSON baseline file — repo-level suppressions for findings that are
+  accepted long-term. Every entry must carry a ``justification``.
+- Text and JSON renderers plus the process exit codes
+  (0 clean / 1 findings / 2 internal error).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL = 2
+
+#: ``# lint: allow(rule-a, rule-b) — why this is fine``
+_PRAGMA_RE = re.compile(
+    r"#\s*lint:\s*allow\(\s*([\w\-, ]+?)\s*\)\s*(?:[—–:-]+\s*(\S.*))?$"
+)
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    symbol: str  # enclosing function/class qualname, or "<module>"
+    message: str
+    def_line: int = 0  # line of the enclosing ``def`` (0 = none)
+
+    def key(self) -> Tuple[str, str, int, int, str]:
+        return (self.rule, self.path, self.line, self.col, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: [{self.rule}] "
+                f"{self.symbol}: {self.message}")
+
+
+@dataclass
+class Pragma:
+    """A parsed ``# lint: allow(...)`` comment."""
+
+    line: int
+    rules: List[str]
+    reason: str
+    used: bool = field(default=False)
+
+
+def parse_pragmas(source: str, path: str) -> Tuple[List[Pragma], List[Finding]]:
+    """Extract suppression pragmas; reasonless ones become findings."""
+    pragmas: List[Pragma] = []
+    bad: List[Finding] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = [r.strip() for r in match.group(1).split(",") if r.strip()]
+        reason = (match.group(2) or "").strip()
+        if not reason:
+            bad.append(Finding(
+                rule="bad-pragma", path=path, line=lineno, col=0,
+                symbol="<module>",
+                message="allow pragma must state a reason after an em-dash",
+            ))
+            continue
+        pragmas.append(Pragma(line=lineno, rules=rules, reason=reason))
+    return pragmas, bad
+
+
+def apply_pragmas(findings: List[Finding],
+                  pragmas_by_path: Dict[str, List[Pragma]],
+                  ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (unsuppressed, suppressed).
+
+    A pragma suppresses a finding when the finding's rule is listed and
+    the pragma sits on the flagged line, the line above it, or the line
+    of the enclosing ``def`` (function-scoped suppression).
+    """
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        hit = None
+        for pragma in pragmas_by_path.get(finding.path, []):
+            if finding.rule not in pragma.rules:
+                continue
+            if pragma.line in (finding.line, finding.line - 1, finding.def_line):
+                hit = pragma
+                break
+        if hit is not None:
+            hit.used = True
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+@dataclass
+class BaselineEntry:
+    """A repo-level accepted finding: rule + path suffix + symbol."""
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (finding.rule == self.rule
+                and finding.symbol == self.symbol
+                and finding.path.endswith(self.path))
+
+
+def load_baseline(path: Optional[str]) -> Tuple[List[BaselineEntry], List[Finding]]:
+    """Load a baseline file; malformed entries become findings."""
+    if not path:
+        return [], []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [], [Finding(
+            rule="bad-baseline", path=path, line=0, col=0, symbol="<file>",
+            message=f"unreadable baseline: {exc}",
+        )]
+    entries: List[BaselineEntry] = []
+    bad: List[Finding] = []
+    for i, item in enumerate(raw.get("entries", [])):
+        justification = str(item.get("justification", "")).strip()
+        if not justification:
+            bad.append(Finding(
+                rule="bad-baseline", path=path, line=0, col=0,
+                symbol=f"entries[{i}]",
+                message="baseline entry lacks a justification",
+            ))
+            continue
+        entries.append(BaselineEntry(
+            rule=str(item.get("rule", "")),
+            path=str(item.get("path", "")),
+            symbol=str(item.get("symbol", "")),
+            justification=justification,
+        ))
+    return entries, bad
+
+
+def apply_baseline(findings: List[Finding], entries: List[BaselineEntry],
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (unsuppressed, baselined)."""
+    kept: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if any(entry.matches(finding) for entry in entries):
+            baselined.append(finding)
+        else:
+            kept.append(finding)
+    return kept, baselined
+
+
+def render_text(findings: List[Finding], suppressed: int, baselined: int,
+                files: int) -> str:
+    """Human-readable report."""
+    lines = [finding.render() for finding in
+             sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))]
+    lines.append(
+        f"{len(findings)} finding(s) in {files} file(s) "
+        f"({suppressed} pragma-suppressed, {baselined} baselined)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], suppressed: List[Finding],
+                baselined: List[Finding], files: int) -> str:
+    """Machine-readable report for trend tracking."""
+    return json.dumps({
+        "files": files,
+        "counts": {
+            "unsuppressed": len(findings),
+            "suppressed": len(suppressed),
+            "baselined": len(baselined),
+        },
+        "findings": [f.to_dict() for f in
+                     sorted(findings, key=lambda f: (f.path, f.line, f.col))],
+        "suppressed": [f.to_dict() for f in suppressed],
+        "baselined": [f.to_dict() for f in baselined],
+    }, indent=2, sort_keys=True)
+
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL",
+    "Finding",
+    "Pragma",
+    "BaselineEntry",
+    "parse_pragmas",
+    "apply_pragmas",
+    "load_baseline",
+    "apply_baseline",
+    "render_text",
+    "render_json",
+]

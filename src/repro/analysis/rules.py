@@ -1,0 +1,270 @@
+"""Rule configuration and the analyzer entry point.
+
+``DEFAULT_SOURCES`` is the repo's secret-source inventory — the list
+DESIGN.md documents. Sources are declared per module (matched by path
+glob) so that e.g. ``slot`` is a secret inside the ZLTP *client* (the
+querier, whose slot choice must not leak) but public inside the server
+(which legitimately branches on the slots it was openly asked to
+store at publish time).
+
+The wire-shape rule also lives here: every ``answer``/``answer_batch``
+on a ``*ModeServer`` class must return through an approved fixed-slot
+constructor (``pack_u64``, ``aead.seal``, delegation to the PIR core or
+to ``answer`` itself) — never raw variable-length bytes it assembled ad
+hoc, which is how a secret-dependent response size would sneak onto the
+wire.
+
+:func:`analyze_paths` ties the three rule families together with pragma
+and baseline suppression and returns a :class:`AnalysisResult`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.lockcheck import LockCheck
+from repro.analysis.report import (
+    Finding,
+    Pragma,
+    apply_baseline,
+    apply_pragmas,
+    load_baseline,
+    parse_pragmas,
+)
+from repro.analysis.taint import ModuleSources, ModuleTaint
+
+#: Per-module secret-source declarations (path glob → sources).
+DEFAULT_SOURCES: Dict[str, ModuleSources] = {
+    # DPF dealing: the point alpha and the payload beta are the client's
+    # query secrets; fresh seeds are secret until split into keys.
+    "*/crypto/dpf.py": ModuleSources(
+        params={"gen_dpf": ["alpha", "value"]},
+        source_calls={"random_seed"},
+    ),
+    # AEAD: keys and plaintexts never drive control flow.
+    "*/crypto/aead.py": ModuleSources(
+        params={"seal": ["key", "plaintext"], "open_sealed": ["key"],
+                "_subkeys": ["key"], "_tag": ["mac_key"]},
+        source_calls={"generate_key"},
+    ),
+    "*/crypto/keys.py": ModuleSources(
+        params={"_derive": ["key"], "__init__": ["master_secret"]},
+        secret_attrs={"_master"},
+    ),
+    "*/crypto/chacha.py": ModuleSources(
+        params={"chacha20_block": ["keys"], "chacha20_stream": ["key"],
+                "xor_stream": ["key", "data"]},
+    ),
+    # Merkle verification runs client-side over fetched secret content.
+    "*/crypto/merkle.py": ModuleSources(
+        params={"leaf_hash": ["data"], "verify_proof": ["data"]},
+    ),
+    # Cuckoo: client-side probe derivation must be key-oblivious.
+    "*/crypto/cuckoo.py": ModuleSources(
+        params={"CuckooTable.insert": ["key"],
+                "CuckooTable.candidates": ["key"]},
+    ),
+    "*/crypto/lwe.py": ModuleSources(
+        params={"LwePirClient.query": ["column"]},
+    ),
+    "*/crypto/hashing.py": ModuleSources(
+        params={"KeyedHash.slot": ["key"]},
+    ),
+    # PIR clients: the queried index is the whole secret.
+    "*/pir/twoserver.py": ModuleSources(
+        params={"TwoServerPirClient.query": ["index"],
+                "TwoServerPirClient.fetch": ["index"]},
+    ),
+    "*/pir/keyword.py": ModuleSources(
+        params={"key_digest": ["key"], "decode_record": ["key"],
+                "KeywordPirClient.candidate_slots": ["key"],
+                "KeywordPirClient.get": ["key"]},
+    ),
+    # ORAM: the logical address is the secret the trace must not reflect.
+    "*/oram/path_oram.py": ModuleSources(
+        params={"PathOram.access": ["address"], "PathOram.read": ["address"],
+                "PathOram.write": ["address"], "PathOram.update": ["address"],
+                "DictPositionMap.get_and_set": ["address"]},
+    ),
+    "*/oram/position_map.py": ModuleSources(
+        params={"get_and_set": ["address"]},
+    ),
+    "*/oram/enclave.py": ModuleSources(
+        params={"oblivious_read": ["address"], "oblivious_write": ["address"],
+                "EnclaveZltpStore.get": ["key"]},
+    ),
+    # ZLTP client endpoint: requested slots/keys are secrets.
+    "*/core/zltp/client.py": ModuleSources(
+        params={"ZltpClient.get_slot": ["slot"],
+                "ZltpClient.get_slots": ["slots"],
+                "ZltpClient.candidate_slots": ["key"],
+                "ZltpClient.get": ["key"]},
+    ),
+    # Mode clients build the query payloads from the secret slot.
+    "*/core/zltp/modes.py": ModuleSources(
+        params={"queries_for_slot": ["slot"]},
+    ),
+}
+
+#: Mode-server classes checked by the wire-shape rule.
+_MODE_SERVER_RE = re.compile(r".*ModeServer$")
+_ANSWER_METHODS = {"answer", "answer_batch"}
+
+#: Calls a mode-server answer path may return through: the fixed-slot
+#: serializers and delegation to the PIR core / the sibling method.
+APPROVED_ANSWER_CALLS = {"pack_u64", "seal", "answer", "answer_batch"}
+
+
+class WireShape:
+    """Check that mode-server answer paths use fixed-slot helpers."""
+
+    def __init__(self, tree: ast.Module, path: str):
+        self.tree = tree
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        for node in self.tree.body:
+            if isinstance(node, ast.ClassDef) and \
+                    _MODE_SERVER_RE.match(node.name):
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef) and \
+                            item.name in _ANSWER_METHODS:
+                        self._check_method(node.name, item)
+        return self.findings
+
+    def _check_method(self, cls: str, func: ast.FunctionDef) -> None:
+        approved_names = set()
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Assign) and \
+                    self._approved(stmt.value, approved_names):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        approved_names.add(target.id)
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                if not self._approved(stmt.value, approved_names):
+                    self.findings.append(Finding(
+                        rule="wire-shape", path=self.path,
+                        line=stmt.lineno, col=stmt.col_offset,
+                        symbol=f"{cls}.{func.name}",
+                        message="answer path must return through a "
+                                "fixed-slot helper (pack_u64/seal/PIR "
+                                "answer), not ad-hoc bytes",
+                        def_line=func.lineno,
+                    ))
+
+    def _approved(self, expr: ast.expr, approved_names: set) -> bool:
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            name = func.id if isinstance(func, ast.Name) else \
+                func.attr if isinstance(func, ast.Attribute) else None
+            return name in APPROVED_ANSWER_CALLS
+        if isinstance(expr, ast.ListComp):
+            return self._approved(expr.elt, approved_names)
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            return all(self._approved(e, approved_names) for e in expr.elts)
+        if isinstance(expr, ast.Name):
+            return expr.id in approved_names
+        return False
+
+
+def sources_for(path: str,
+                overrides: Optional[Dict[str, ModuleSources]] = None,
+                ) -> ModuleSources:
+    """Resolve the source declarations for a module path."""
+    table = DEFAULT_SOURCES if overrides is None else overrides
+    normalized = path.replace(os.sep, "/")
+    for pattern, sources in table.items():
+        if fnmatch(normalized, pattern):
+            return sources
+    return ModuleSources()
+
+
+def analyze_source(source: str, path: str,
+                   sources: Optional[ModuleSources] = None,
+                   ) -> List[Finding]:
+    """Run all three rule families over one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(rule="parse-error", path=path,
+                        line=exc.lineno or 0, col=exc.offset or 0,
+                        symbol="<module>", message=str(exc.msg))]
+    if sources is None:
+        sources = sources_for(path)
+    findings: List[Finding] = []
+    findings.extend(ModuleTaint(tree, source, path, sources).run())
+    findings.extend(LockCheck(tree, source, path).run())
+    findings.extend(WireShape(tree, path).run())
+    return findings
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    files: List[str] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)  # unsuppressed
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+    return sorted(set(out))
+
+
+def analyze_paths(paths: Sequence[str],
+                  baseline_path: Optional[str] = None,
+                  overrides: Optional[Dict[str, ModuleSources]] = None,
+                  ) -> AnalysisResult:
+    """Analyze files/directories, applying pragmas and the baseline."""
+    result = AnalysisResult()
+    raw: List[Finding] = []
+    pragmas_by_path: Dict[str, List[Pragma]] = {}
+    for filename in collect_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        result.files.append(filename)
+        pragmas, bad_pragmas = parse_pragmas(source, filename)
+        pragmas_by_path[filename] = pragmas
+        raw.extend(bad_pragmas)
+        module_sources = None if overrides is None else \
+            sources_for(filename, overrides)
+        raw.extend(analyze_source(source, filename, sources=module_sources))
+    kept, result.suppressed = apply_pragmas(raw, pragmas_by_path)
+    entries, bad_baseline = load_baseline(baseline_path)
+    kept.extend(bad_baseline)
+    result.findings, result.baselined = apply_baseline(kept, entries)
+    return result
+
+
+__all__ = [
+    "DEFAULT_SOURCES",
+    "APPROVED_ANSWER_CALLS",
+    "WireShape",
+    "AnalysisResult",
+    "sources_for",
+    "analyze_source",
+    "analyze_paths",
+    "collect_files",
+]

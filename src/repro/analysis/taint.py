@@ -1,0 +1,461 @@
+"""Secret-taint tracking over Python ASTs (stdlib ``ast`` only).
+
+The zero-leakage discipline (PAPER.md §2/§3) demands that nothing the
+server or network observes — branches taken, message sizes, comparison
+timing — depends on a client secret. This module implements the dataflow
+half of that check: *declared* secret sources (function parameters,
+attributes, and producer calls, configured per module in
+:mod:`repro.analysis.rules`) are propagated through assignments, tuple
+unpacking, operators, and intra-module calls, and three rules fire where
+a secret reaches an observable channel:
+
+- ``secret-branch`` — an ``if``/``while``/conditional-expression test
+  depends on a secret *value* (early returns are caught because the
+  branch itself is flagged).
+- ``secret-compare`` — ``==``/``!=`` with a secret operand where either
+  side is byte-string-like; these must use ``hmac.compare_digest``.
+- ``secret-len`` — a secret-derived *length* reaches a serialization
+  sink (``struct.pack``/``pack_into``, ``encode_frame``, ``.to_bytes``),
+  i.e. a wire message whose size depends on a secret.
+
+Deliberate carve-outs keep the signal high:
+
+- ``x is None`` / ``is not None`` tests are untainted (presence checks
+  on public structure, the idiom for "key absent" resolution).
+- An ``if`` whose body is only ``raise`` (and ``assert``) is an
+  abort-on-invalid guard: it never produces a secret-dependent *success*
+  path of different shape, so it is not flagged.
+- ``len(secret)`` yields only the weak LENGTH taint: branching on a
+  length is not flagged (lengths of fixed-size blobs are public), but a
+  LENGTH value flowing into a serialization sink still is.
+- Storing into a container (``d[k] = v``, ``xs.append(v)``) does not
+  taint the container; element loads from a tainted container do taint.
+- ``for`` loops and comprehension filters are not flagged: iteration
+  counts over fixed-size structures are public in this codebase.
+
+Inter-procedural precision is per-module: every function is summarized
+(the taint of its return value given its declared sources) to a fixpoint
+over two passes, and call sites combine the summary with the taint of
+the actual arguments. Unknown (cross-module) calls conservatively
+propagate argument taint to their result.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.report import Finding
+
+#: Calls whose result is byte-string-like; a tainted one is "secret bytes"
+#: for the ``secret-compare`` rule.
+BYTES_PRODUCERS = {
+    "digest", "hexdigest", "tobytes", "to_bytes", "bytes",
+    "leaf_hash", "node_hash", "key_digest",
+}
+
+#: Calls that erase taint: constant-time comparison and type checks.
+SANITIZERS = {"compare_digest", "isinstance"}
+
+_SECRET_LINE_RE = re.compile(r"#\s*taint:\s*secret\b")
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Taint lattice element: VALUE (full secret) / LENGTH (weak) + bytes hint."""
+
+    value: bool = False
+    length: bool = False
+    is_bytes: bool = False
+
+    def __or__(self, other: "Taint") -> "Taint":
+        return Taint(self.value or other.value,
+                     self.length or other.length,
+                     self.is_bytes or other.is_bytes)
+
+
+UNTAINTED = Taint()
+
+
+@dataclass
+class ModuleSources:
+    """Declared secret sources for one module.
+
+    Attributes:
+        params: function qualname (``Class.method``) or bare name →
+            parameter names that carry secrets.
+        source_calls: names of calls whose *result* is secret (e.g. a
+            seed or key generator defined or used in this module).
+        secret_attrs: ``self.<attr>`` names that hold secrets.
+    """
+
+    params: Dict[str, List[str]] = field(default_factory=dict)
+    source_calls: Set[str] = field(default_factory=set)
+    secret_attrs: Set[str] = field(default_factory=set)
+
+    def params_for(self, qualname: str, name: str) -> List[str]:
+        if qualname in self.params:
+            return self.params[qualname]
+        return self.params.get(name, [])
+
+
+def _is_raise_only(stmts: Sequence[ast.stmt]) -> bool:
+    return bool(stmts) and all(isinstance(s, ast.Raise) for s in stmts)
+
+
+class _FunctionTaint:
+    """Intra-procedural taint walk over one function body."""
+
+    def __init__(self, module: "ModuleTaint", qualname: str,
+                 node: ast.FunctionDef, collect: bool):
+        self.module = module
+        self.qualname = qualname
+        self.node = node
+        self.collect = collect
+        self.env: Dict[str, Taint] = {}
+        self.return_taint = UNTAINTED
+        sources = module.sources
+        for param in sources.params_for(qualname, node.name):
+            self.env[param] = Taint(value=True)
+        for attr in sources.secret_attrs:
+            self.env[f"self.{attr}"] = Taint(value=True)
+
+    def run(self) -> Taint:
+        # Two sweeps so taint carried around loop back-edges is seen.
+        for _ in range(2):
+            for stmt in self.node.body:
+                self.exec_stmt(stmt)
+        return self.return_taint
+
+    # -- findings ------------------------------------------------------
+
+    def emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if self.collect:
+            self.module.emit(rule, node, self.qualname,
+                             self.node.lineno, message)
+
+    # -- statements ----------------------------------------------------
+
+    def exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval_expr(stmt.value) | self.line_taint(stmt)
+            for target in stmt.targets:
+                self.assign(target, taint, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taint = self.eval_expr(stmt.value) | self.line_taint(stmt)
+                self.assign(stmt.target, taint, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.eval_expr(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                self.env[name] = self.env.get(name, UNTAINTED) | taint
+            elif (isinstance(stmt.target, ast.Attribute)
+                  and isinstance(stmt.target.value, ast.Name)
+                  and stmt.target.value.id == "self"):
+                name = f"self.{stmt.target.attr}"
+                self.env[name] = self.env.get(name, UNTAINTED) | taint
+            # Subscript target: container store, deliberately not tracked.
+        elif isinstance(stmt, ast.If):
+            test = self.eval_expr(stmt.test)
+            guard = not stmt.orelse and _is_raise_only(stmt.body)
+            if test.value and not guard:
+                self.emit("secret-branch", stmt,
+                          "if condition depends on a secret value")
+            # Path-insensitive join: run each arm from the pre-branch
+            # state, then merge, so neither arm's assignments erase the
+            # other's taint.
+            before = dict(self.env)
+            self.exec_block(stmt.body)
+            after_body = self.env
+            self.env = dict(before)
+            self.exec_block(stmt.orelse)
+            self.env = self._join(after_body, self.env)
+        elif isinstance(stmt, ast.While):
+            test = self.eval_expr(stmt.test)
+            if test.value:
+                self.emit("secret-branch", stmt,
+                          "while condition depends on a secret value")
+            self._exec_loop(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self.assign(stmt.target, self.eval_expr(stmt.iter), None)
+            self._exec_loop(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_taint = self.return_taint | self.eval_expr(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                taint = self.eval_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taint, None)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval_expr(stmt.exc)
+        # Nested defs/classes, assert guards, imports, pass/break/...:
+        # out of scope for the intra-procedural walk.
+
+    def _exec_loop(self, body: Sequence[ast.stmt]) -> None:
+        """Run a loop body twice (loop-carried taint) and join with the
+        zero-iteration state."""
+        before = dict(self.env)
+        self.exec_block(body)
+        self.exec_block(body)
+        self.env = self._join(before, self.env)
+
+    @staticmethod
+    def _join(a: Dict[str, Taint], b: Dict[str, Taint]) -> Dict[str, Taint]:
+        return {key: a.get(key, UNTAINTED) | b.get(key, UNTAINTED)
+                for key in set(a) | set(b)}
+
+    def line_taint(self, stmt: ast.stmt) -> Taint:
+        """Inline ``# taint: secret`` annotation support."""
+        if stmt.lineno in self.module.secret_lines:
+            return Taint(value=True, is_bytes=True)
+        return UNTAINTED
+
+    def assign(self, target: ast.expr, taint: Taint,
+               value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, taint, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and \
+                    len(value.elts) == len(target.elts):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    self.assign(sub_target, self.eval_expr(sub_value), sub_value)
+            else:
+                for sub_target in target.elts:
+                    self.assign(sub_target, taint, None)
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                self.env[f"self.{target.attr}"] = taint
+        # Subscript target: container store carve-out.
+
+    # -- expressions ---------------------------------------------------
+
+    def eval_expr(self, node: Optional[ast.expr]) -> Taint:
+        if node is None:
+            return UNTAINTED
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, UNTAINTED)
+        if isinstance(node, ast.Constant):
+            return Taint(is_bytes=isinstance(node.value, (bytes, bytearray)))
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                key = f"self.{node.attr}"
+                if key in self.env:
+                    return self.env[key]
+                return UNTAINTED
+            return self.eval_expr(node.value)
+        if isinstance(node, ast.Subscript):
+            return self.eval_expr(node.value) | self.eval_expr(node.slice)
+        if isinstance(node, ast.Compare):
+            return self.eval_compare(node)
+        if isinstance(node, ast.BoolOp):
+            return self.union(node.values)
+        if isinstance(node, ast.BinOp):
+            return self.eval_expr(node.left) | self.eval_expr(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval_expr(node.operand)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, ast.IfExp):
+            test = self.eval_expr(node.test)
+            if test.value:
+                self.emit("secret-branch", node,
+                          "conditional expression depends on a secret value")
+            return (self.eval_expr(node.body) | self.eval_expr(node.orelse)
+                    | Taint(value=test.value, length=test.length))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return self.union(node.elts)
+        if isinstance(node, ast.Dict):
+            return self.union([v for v in node.values if v is not None])
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for gen in node.generators:
+                self.assign(gen.target, self.eval_expr(gen.iter), None)
+                for cond in gen.ifs:
+                    self.eval_expr(cond)
+            if isinstance(node, ast.DictComp):
+                return self.eval_expr(node.key) | self.eval_expr(node.value)
+            return self.eval_expr(node.elt)
+        if isinstance(node, ast.Starred):
+            return self.eval_expr(node.value)
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval_expr(node.value)
+            self.assign(node.target, taint, node.value)
+            return taint
+        if isinstance(node, ast.JoinedStr):
+            return self.union(node.values)
+        if isinstance(node, ast.FormattedValue):
+            return self.eval_expr(node.value)
+        if isinstance(node, ast.Slice):
+            return (self.eval_expr(node.lower) | self.eval_expr(node.upper)
+                    | self.eval_expr(node.step))
+        if isinstance(node, ast.Lambda):
+            return UNTAINTED
+        return UNTAINTED
+
+    def union(self, nodes: Sequence[ast.expr]) -> Taint:
+        taint = UNTAINTED
+        for node in nodes:
+            taint = taint | self.eval_expr(node)
+        return taint
+
+    def eval_compare(self, node: ast.Compare) -> Taint:
+        operands = [node.left] + list(node.comparators)
+        # Identity tests against None are presence checks on public
+        # structure ("record absent"), never data-dependent timing.
+        if all(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops):
+            for operand in operands:
+                self.eval_expr(operand)
+            return UNTAINTED
+        taints = [self.eval_expr(operand) for operand in operands]
+        has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+        if has_eq and any(t.value for t in taints) and \
+                any(t.is_bytes for t in taints):
+            self.emit("secret-compare", node,
+                      "==/!= on secret bytes leaks through comparison "
+                      "timing; use hmac.compare_digest")
+        return Taint(value=any(t.value for t in taints),
+                     length=any(t.length for t in taints))
+
+    def eval_call(self, node: ast.Call) -> Taint:
+        func = node.func
+        name = None
+        base_taint = UNTAINTED
+        struct_base = False
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+            base_taint = self.eval_expr(func.value)
+            struct_base = isinstance(func.value, ast.Name) and \
+                func.value.id == "struct"
+        arg_nodes = list(node.args) + [kw.value for kw in node.keywords]
+
+        if name in SANITIZERS:
+            for arg in arg_nodes:
+                self.eval_expr(arg)
+            return UNTAINTED
+
+        if name == "len" and len(node.args) == 1:
+            inner = self.eval_expr(node.args[0])
+            return Taint(length=inner.value or inner.length)
+
+        arg_taint = self.union(arg_nodes) | base_taint
+
+        # Serialization sinks: a secret-derived length must not shape a
+        # wire message.
+        is_sink = (name == "encode_frame"
+                   or (struct_base and name in ("pack", "pack_into"))
+                   or (isinstance(func, ast.Attribute) and name == "to_bytes"))
+        if is_sink:
+            for arg in arg_nodes:
+                if self.eval_expr(arg).length:
+                    self.emit(
+                        "secret-len", node,
+                        f"secret-derived length reaches serialization "
+                        f"sink {name}()",
+                    )
+                    break
+
+        result = arg_taint
+        if name in self.module.sources.source_calls:
+            result = result | Taint(value=True)
+        summary = self.module.summary_for(func)
+        if summary is not None:
+            result = result | summary
+        if name in BYTES_PRODUCERS:
+            result = result | Taint(is_bytes=True)
+        return result
+
+
+class ModuleTaint:
+    """Taint analysis of one module: summaries to fixpoint, then findings."""
+
+    def __init__(self, tree: ast.Module, source: str, path: str,
+                 sources: ModuleSources):
+        self.tree = tree
+        self.path = path
+        self.sources = sources
+        self.summaries: Dict[str, Taint] = {}
+        self.findings: List[Finding] = []
+        self._seen: Set[Tuple] = set()
+        self.secret_lines: Set[int] = {
+            lineno for lineno, text in enumerate(source.splitlines(), start=1)
+            if _SECRET_LINE_RE.search(text)
+        }
+
+    def functions(self) -> List[Tuple[str, ast.FunctionDef]]:
+        out: List[Tuple[str, ast.FunctionDef]] = []
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append((node.name, node))
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        out.append((f"{node.name}.{item.name}", item))
+        return out
+
+    def summary_for(self, func: ast.expr) -> Optional[Taint]:
+        if isinstance(func, ast.Name):
+            return self.summaries.get(func.id)
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and func.value.id == "self":
+            return self.summaries.get(func.attr)
+        return None
+
+    def emit(self, rule: str, node: ast.AST, symbol: str, def_line: int,
+             message: str) -> None:
+        key = (rule, getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(Finding(
+            rule=rule, path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            symbol=symbol, message=message, def_line=def_line,
+        ))
+
+    def run(self) -> List[Finding]:
+        funcs = self.functions()
+        # Two summary passes reach a fixpoint for the acyclic call
+        # structure these modules have; findings only on the final pass.
+        for _ in range(2):
+            for qualname, node in funcs:
+                taint = _FunctionTaint(self, qualname, node, collect=False).run()
+                self.summaries[qualname] = taint
+                self.summaries[node.name] = taint
+        for qualname, node in funcs:
+            _FunctionTaint(self, qualname, node, collect=True).run()
+        return self.findings
+
+
+__all__ = [
+    "Taint",
+    "UNTAINTED",
+    "ModuleSources",
+    "ModuleTaint",
+    "BYTES_PRODUCERS",
+    "SANITIZERS",
+]

@@ -1,0 +1,36 @@
+"""``lightweb lint`` — run the zero-leakage static analyzer from the CLI.
+
+Thin delegation to :mod:`repro.analysis` so the argparse surface lives
+with the other subcommands and the analyzer stays importable (and
+testable) without the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import analyze_paths
+
+
+def cmd_lint(args, print_fn=print) -> int:
+    """Analyze the requested paths; exit 0 clean / 1 findings / 2 error."""
+    try:
+        result = analyze_paths(args.paths, baseline_path=args.baseline)
+        if args.json:
+            print_fn(render_json(result.findings, result.suppressed,
+                                 result.baselined, len(result.files)))
+        else:
+            print_fn(render_text(result.findings, len(result.suppressed),
+                                 len(result.baselined), len(result.files)))
+    except Exception as exc:  # noqa: BLE001 - exit-code contract
+        print_fn(f"lint internal error: {exc}")
+        return EXIT_INTERNAL
+    return EXIT_CLEAN if result.clean else EXIT_FINDINGS
+
+
+__all__ = ["cmd_lint"]

@@ -51,6 +51,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="self-contained in-process demo")
     demo.set_defaults(func=_cmd_demo)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the zero-leakage static analyzer",
+        description="Check source trees against the privacy discipline: "
+                    "secret-taint rules (no secret-dependent branches, "
+                    "comparisons, or message sizes), guarded-by lock "
+                    "discipline, and mode-server wire shape.",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to analyze (default: src)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit a machine-readable JSON report")
+    lint.add_argument("--baseline", default=None,
+                      help="JSON baseline of accepted findings")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 
@@ -100,6 +116,12 @@ def _cmd_costs(args) -> int:
           f"4 KiB ${fi_bytes_cost(4 * KIB):.6f}; "
           f"ZLTP/Fi = {zltp_vs_fi_ratio(c4.request_cost_usd):.0f}x")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.cli.lint import cmd_lint
+
+    return cmd_lint(args)
 
 
 def _cmd_demo(args) -> int:

@@ -19,6 +19,12 @@ A *site spec* is a JSON document a publisher writes by hand::
 
 :func:`load_site` turns one into a ready-to-push
 :class:`~repro.core.lightweb.publisher.Site`.
+
+Specs are plain data — they carry no code and face no privacy rules of
+their own; the serving stack that moves them (crypto/PIR/ZLTP layers) is
+what ``lightweb lint`` (:mod:`repro.analysis`) holds to the zero-leakage
+discipline. Spec errors surface as :class:`~repro.errors.PathError` with
+the offending field named, since publishers write these by hand.
 """
 
 from __future__ import annotations

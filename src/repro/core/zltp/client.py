@@ -163,7 +163,7 @@ class ZltpClient:
             answers.append(response.payload)
         return self._mode_client.decode(answers)
 
-    def get_slots(self, slots: List[int]) -> List[bytes]:
+    def get_slots(self, slots: List[int]) -> List[bytes]:  # lint: allow(secret-branch) — only the *number* of requested slots shapes control flow here, and the request count is public by design (§2.1 leaks it); the slot values never branch
         """Privately fetch several slots with pipelined requests.
 
         All GetRequests are written before any response is read, so a

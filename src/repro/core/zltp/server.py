@@ -16,6 +16,7 @@ simulator, and real TCP sockets.
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -71,8 +72,12 @@ class ZltpServer:
         self._lwe_params = lwe_params
         self._rng = rng
         self._mode_servers: Dict[str, Any] = {}
-        self.sessions_opened = 0
-        self.gets_served = 0
+        # One logical server is shared by every connection thread of a
+        # ZltpTcpServer, so the stats counters are read-modify-written
+        # concurrently and need their own lock.
+        self._stats_lock = threading.Lock()
+        self.sessions_opened = 0  # guarded-by: _stats_lock
+        self.gets_served = 0  # guarded-by: _stats_lock
 
     def mode_server(self, mode: str):
         """Get (building lazily) the server half of a mode.
@@ -96,7 +101,8 @@ class ZltpServer:
 
     def create_session(self) -> "ZltpServerSession":
         """Open a new protocol session."""
-        self.sessions_opened += 1
+        with self._stats_lock:
+            self.sessions_opened += 1
         return ZltpServerSession(self)
 
     def serve_transport(self, transport) -> "ZltpServerSession":
@@ -195,7 +201,8 @@ class ZltpServerSession:
         except ReproError as exc:
             self._state = _State.CLOSED
             return [msg.encode_message(msg.ErrorMessage("protocol", str(exc)))]
-        self._server.gets_served += len(batch)
+        with self._server._stats_lock:
+            self._server.gets_served += len(batch)
         return [
             msg.encode_message(
                 msg.GetResponse(request_id=request.request_id, payload=answer)
@@ -233,7 +240,8 @@ class ZltpServerSession:
             return [msg.SetupResponse(params=self._mode.setup())]
         if isinstance(message, msg.GetRequest):
             answer = self._mode.answer(message.payload)
-            self._server.gets_served += 1
+            with self._server._stats_lock:
+                self._server.gets_served += 1
             return [msg.GetResponse(request_id=message.request_id, payload=answer)]
         raise ProtocolError(f"unexpected {type(message).__name__} in ready state")
 

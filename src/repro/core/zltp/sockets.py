@@ -105,8 +105,8 @@ class ZltpTcpServer:
         self.address: Tuple[str, int] = self._listener.getsockname()
         self._stopping = threading.Event()
         self._lock = threading.Lock()
-        self._threads: list = []
-        self._conns: set = set()
+        self._threads: list = []  # guarded-by: _lock
+        self._conns: set = set()  # guarded-by: _lock
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
 

@@ -147,7 +147,7 @@ class DpfKey:
         )
 
 
-def gen_dpf(
+def gen_dpf(  # lint: allow(secret-branch) — dealer-side: alpha/beta are the dealer's own secrets; only the pseudorandom keys leave this process, so local branching on alpha is unobservable
     alpha: int,
     domain_bits: int,
     value: Optional[bytes] = None,

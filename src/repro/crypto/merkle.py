@@ -17,6 +17,7 @@ hardening).
 from __future__ import annotations
 
 import hashlib
+import hmac
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import IntegrityError, ReproError
@@ -111,7 +112,10 @@ def verify_proof(root: bytes, data: bytes,
             digest = node_hash(digest, sibling)
         else:
             raise IntegrityError(f"malformed proof side {side!r}")
-    if digest != root:
+    # Constant-time: the recomputed digest is derived from fetched secret
+    # content, and an early-exit compare would let a tampering CDN probe
+    # it byte by byte through verification timing.
+    if not hmac.compare_digest(digest, root):
         raise IntegrityError("Merkle proof does not match the published root")
 
 

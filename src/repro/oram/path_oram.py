@@ -148,7 +148,8 @@ class PathOram:
             node = (node - 1) // 2
         return node == bucket
 
-    def access(self, op: str, address: int, data: Optional[bytes] = None,
+    def access(self, op: str, address: int,  # lint: allow(secret-branch) — eviction branches on block leaves, which are sampled uniformly at random independent of the address sequence (the Path ORAM invariant; verified empirically by the trace tests)
+               data: Optional[bytes] = None,
                mutate: Optional[Callable[[bytes], bytes]] = None) -> bytes:
         """Perform one oblivious read, write, or read-modify-write.
 

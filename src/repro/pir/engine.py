@@ -90,13 +90,13 @@ class ScanExecutor:
         if max_workers is None:
             max_workers = min(DEFAULT_MAX_WORKERS, available_cpus())
         self.max_workers = max_workers
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.fanouts = 0
-        self.tasks_run = 0
-        self.wall_seconds = 0.0
-        self.busy_seconds = 0.0
-        self.last_report: Optional[FanoutReport] = None
+        self.fanouts = 0  # guarded-by: _lock
+        self.tasks_run = 0  # guarded-by: _lock
+        self.wall_seconds = 0.0  # guarded-by: _lock
+        self.busy_seconds = 0.0  # guarded-by: _lock
+        self.last_report: Optional[FanoutReport] = None  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -219,7 +219,7 @@ class ScanExecutor:
 
 
 _shared_lock = threading.Lock()
-_shared_executor: Optional[ScanExecutor] = None
+_shared_executor: Optional[ScanExecutor] = None  # guarded-by: _shared_lock
 
 
 def shared_executor() -> ScanExecutor:

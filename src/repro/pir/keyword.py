@@ -22,6 +22,7 @@ positives — records carry a small self-describing header:
 from __future__ import annotations
 
 import hashlib
+import hmac
 import struct
 from typing import Dict, List, Optional
 
@@ -64,7 +65,9 @@ def decode_record(key: str, record: bytes) -> Optional[bytes]:
     """
     if len(record) < HEADER_BYTES:
         return None
-    if record[:_DIGEST_BYTES] != key_digest(key):
+    # Constant-time: the expected digest is derived from the secret key,
+    # so a short-circuiting compare would leak key bytes through timing.
+    if not hmac.compare_digest(record[:_DIGEST_BYTES], key_digest(key)):
         return None
     (length,) = struct.unpack_from("<I", record, _DIGEST_BYTES)
     if HEADER_BYTES + length > len(record):

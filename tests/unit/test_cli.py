@@ -210,3 +210,26 @@ class TestMisc:
                             links=[("a.com/x", "X")], notes=["note!"])
         out = render_to_terminal(page)
         assert "a.com/" in out and "[0] X" in out and "note!" in out
+
+
+class TestLint:
+    def test_lint_json_on_leaky_module(self, tmp_path, capsys):
+        module = tmp_path / "leaky.py"
+        module.write_text(
+            "import struct\n"
+            "\n"
+            "def frame(payload):\n"
+            '    secret = b"k"  # taint: secret\n'
+            '    return struct.pack("<I", len(secret)) + payload\n'
+        )
+        assert main(["lint", "--json", str(module)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["unsuppressed"] == 1
+        assert payload["findings"][0]["rule"] == "secret-len"
+        assert payload["findings"][0]["symbol"] == "frame"
+
+    def test_lint_clean_module(self, tmp_path, capsys):
+        module = tmp_path / "clean.py"
+        module.write_text("def add(a, b):\n    return a + b\n")
+        assert main(["lint", str(module)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out

@@ -1,0 +1,40 @@
+"""Tier-1 gate: the analyzer must report zero unsuppressed findings on src/.
+
+This is the enforcement point for the zero-leakage discipline: any new
+secret-dependent branch, comparison, length leak, unguarded shared-state
+write, or ad-hoc mode-server wire shape fails the suite until it is
+fixed or explicitly justified with a ``# lint: allow(...)`` pragma.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.report import EXIT_CLEAN
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_src_tree_is_lint_clean():
+    result = analyze_paths([str(SRC)])
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.findings == [], f"unsuppressed lint findings:\n{rendered}"
+    assert result.clean
+    # A meaningful run: the whole source tree was actually scanned.
+    assert len(result.files) > 50
+
+
+def test_every_suppression_carries_a_reason():
+    result = analyze_paths([str(SRC)])
+    # parse_pragmas flags reasonless pragmas as bad-pragma, so a clean run
+    # already implies this — assert it directly so the intent is explicit.
+    assert all(f.rule != "bad-pragma" for f in result.findings)
+    assert result.suppressed, "expected the documented pragmas to be exercised"
+
+
+def test_cli_gate_exit_code(capsys):
+    from repro.analysis.__main__ import main
+
+    assert main([str(SRC)]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
