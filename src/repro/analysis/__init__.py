@@ -6,7 +6,9 @@ Three rule families over the crypto/PIR/ORAM/ZLTP layers:
   :mod:`repro.analysis.taint`;
 - lock discipline for ``# guarded-by:`` state (``guard-write``) —
   :mod:`repro.analysis.lockcheck`;
-- mode-server answer shape (``wire-shape``) — :mod:`repro.analysis.rules`.
+- backend-server answer shape (``wire-shape``, coverage derived from the
+  :mod:`repro.core.backend` registry) plus registration enforcement
+  (``backend-registry``) — :mod:`repro.analysis.rules`.
 
 Run as ``python -m repro.analysis <paths>`` or ``lightweb lint``; exit
 codes are 0 (clean), 1 (findings), 2 (internal error).
@@ -18,7 +20,12 @@ from repro.analysis.report import (
     EXIT_INTERNAL,
     Finding,
 )
-from repro.analysis.rules import AnalysisResult, analyze_paths, analyze_source
+from repro.analysis.rules import (
+    AnalysisResult,
+    analyze_paths,
+    analyze_source,
+    registry_server_names,
+)
 from repro.analysis.taint import ModuleSources
 
 __all__ = [
@@ -30,4 +37,5 @@ __all__ = [
     "ModuleSources",
     "analyze_paths",
     "analyze_source",
+    "registry_server_names",
 ]

@@ -8,11 +8,18 @@ querier, whose slot choice must not leak) but public inside the server
 store at publish time).
 
 The wire-shape rule also lives here: every ``answer``/``answer_batch``
-on a ``*ModeServer`` class must return through an approved fixed-slot
-constructor (``pack_u64``, ``aead.seal``, delegation to the PIR core or
-to ``answer`` itself) — never raw variable-length bytes it assembled ad
-hoc, which is how a secret-dependent response size would sneak onto the
-wire.
+on a registered backend server class (registry membership via
+:func:`repro.core.backend.registered_server_class_names`, with the
+legacy ``*ModeServer`` name pattern kept as a safety net) must return
+through an approved fixed-slot constructor (``pack_u64``, ``aead.seal``,
+delegation to the PIR core or to ``answer`` itself) — never raw
+variable-length bytes it assembled ad hoc, which is how a
+secret-dependent response size would sneak onto the wire. The companion
+``backend-registry`` rule closes the rename loophole from the other
+side: a class in the ``repro`` tree *shaped* like a mode server
+(defining both ``answer`` and ``hello_params``) that is not registered
+is itself a finding, so an ad-hoc server can never silently drop out of
+wire-shape coverage.
 
 :func:`analyze_paths` ties the three rule families together with pragma
 and baseline suppression and returns a :class:`AnalysisResult`.
@@ -111,17 +118,45 @@ DEFAULT_SOURCES: Dict[str, ModuleSources] = {
     ),
 }
 
-#: Mode-server classes checked by the wire-shape rule.
+#: Legacy name pattern for mode-server classes: kept as a safety net so
+#: an unimported (hence unregistered) server class is still checked.
 _MODE_SERVER_RE = re.compile(r".*ModeServer$")
 _ANSWER_METHODS = {"answer", "answer_batch"}
+
+#: Methods that make a class "shaped" like a backend server: defining
+#: both is the wire-facing surface the registry tracks.
+_SERVER_SHAPE_METHODS = {"answer", "hello_params"}
 
 #: Calls a mode-server answer path may return through: the fixed-slot
 #: serializers and delegation to the PIR core / the sibling method.
 APPROVED_ANSWER_CALLS = {"pack_u64", "seal", "answer", "answer_batch"}
 
 
+def registry_server_names() -> set:
+    """Class names of every registered backend server (live registry).
+
+    Imported lazily so the analyzer stays usable on trees that do not
+    ship the backend registry at all.
+    """
+    try:
+        from repro.core.backend import registered_server_class_names
+    except ImportError:  # pragma: no cover - analyzer used standalone
+        return set()
+    return set(registered_server_class_names())
+
+
 class WireShape:
-    """Check that mode-server answer paths use fixed-slot helpers."""
+    """Check that backend-server answer paths use fixed-slot helpers.
+
+    Coverage is registry membership first: any top-level class whose name
+    matches a registered backend's server class is checked, wherever it
+    lives and whatever it is called. The old ``*ModeServer`` name pattern
+    is retained as a safety net for classes the current process never
+    imported. Classes in the ``repro`` tree that are *shaped* like a mode
+    server but registered nowhere get a ``backend-registry`` finding
+    instead — an ad-hoc server must not exist outside the registry's
+    (and therefore this rule's) sight.
+    """
 
     def __init__(self, tree: ast.Module, path: str):
         self.tree = tree
@@ -129,14 +164,50 @@ class WireShape:
         self.findings: List[Finding] = []
 
     def run(self) -> List[Finding]:
+        registered = registry_server_names()
         for node in self.tree.body:
-            if isinstance(node, ast.ClassDef) and \
-                    _MODE_SERVER_RE.match(node.name):
+            if not isinstance(node, ast.ClassDef) or self._is_protocol(node):
+                continue
+            if node.name in registered or _MODE_SERVER_RE.match(node.name):
                 for item in node.body:
                     if isinstance(item, ast.FunctionDef) and \
                             item.name in _ANSWER_METHODS:
                         self._check_method(node.name, item)
+            elif self._server_shaped(node) and self._in_repro_tree():
+                self.findings.append(Finding(
+                    rule="backend-registry", path=self.path,
+                    line=node.lineno, col=node.col_offset,
+                    symbol=node.name,
+                    message="mode-server-shaped class (answer + "
+                            "hello_params) is not registered with "
+                            "repro.core.backend — register it via "
+                            "declare_backend so wire-shape coverage "
+                            "cannot be silently dropped",
+                    def_line=node.lineno,
+                ))
         return self.findings
+
+    @staticmethod
+    def _is_protocol(node: ast.ClassDef) -> bool:
+        """Whether the class is a typing Protocol (interface, not a server)."""
+        for base in node.bases:
+            name = base.id if isinstance(base, ast.Name) else \
+                base.attr if isinstance(base, ast.Attribute) else None
+            if name == "Protocol":
+                return True
+        return False
+
+    @staticmethod
+    def _server_shaped(node: ast.ClassDef) -> bool:
+        """Whether the class defines the wire-facing server surface."""
+        methods = {item.name for item in node.body
+                   if isinstance(item, ast.FunctionDef)}
+        return _SERVER_SHAPE_METHODS <= methods
+
+    def _in_repro_tree(self) -> bool:
+        """Whether this module is part of the shipped ``repro`` package."""
+        normalized = self.path.replace(os.sep, "/")
+        return "/repro/" in normalized or normalized.startswith("repro/")
 
     def _check_method(self, cls: str, func: ast.FunctionDef) -> None:
         approved_names = set()
@@ -261,6 +332,7 @@ def analyze_paths(paths: Sequence[str],
 __all__ = [
     "DEFAULT_SOURCES",
     "APPROVED_ANSWER_CALLS",
+    "registry_server_names",
     "WireShape",
     "AnalysisResult",
     "sources_for",

@@ -1,8 +1,11 @@
 """``lightweb browse`` — a terminal lightweb client over TCP.
 
-Connects the two session kinds (four TCP connections for pir2), then
-either visits the paths given on the command line or drops into a small
-interactive loop (`path` to visit, a number to follow a link, `quit`).
+Connects the two session kinds (four TCP connections for pir2, two for
+the single-endpoint modes), then either visits the paths given on the
+command line or drops into a small interactive loop (`path` to visit, a
+number to follow a link, `quit`). ``--modes`` restricts what the client
+offers in its hello — give one port per kind to browse a single-server
+mode (``--modes lwe --code-ports P --data-ports P``).
 """
 
 from __future__ import annotations
@@ -60,10 +63,13 @@ def render_to_terminal(page: RenderedPage) -> str:
 
 def cmd_browse(args, input_fn=input, print_fn=print) -> int:
     """Entry point for ``lightweb browse``."""
+    from repro.cli.serve import parse_modes
+
     proxy = TcpCdnProxy(args.host, args.code_ports, args.data_ports,
                         fetch_budget=args.fetch_budget)
     browser = LightwebBrowser(rng=np.random.default_rng())
-    browser.connect(proxy, "main")
+    browser.connect(proxy, "main",
+                    client_modes=parse_modes(getattr(args, "modes", None)))
 
     last: Optional[RenderedPage] = None
     for path in args.path:

@@ -26,21 +26,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--data-blob-size", type=int, default=4096)
     serve.add_argument("--fetch-budget", type=int, default=5)
     serve.add_argument("--port-base", type=int, default=0,
-                       help="first of 4 consecutive ports (0 = ephemeral)")
+                       help="first of the consecutive listener ports "
+                            "(0 = ephemeral)")
     serve.add_argument("--state", default="",
                        help="universe archive to load/save (restart "
                             "without re-pushing)")
+    serve.add_argument("--modes", default=None,
+                       help="comma-separated ZLTP modes to serve, e.g. "
+                            "'pir2,lwe,enclave' (default: every "
+                            "registered backend)")
     serve.set_defaults(func=_cmd_serve)
 
     browse = sub.add_parser("browse", help="browse a running deployment")
     browse.add_argument("path", nargs="*", help="lightweb paths to visit")
     browse.add_argument("--host", default="127.0.0.1")
-    browse.add_argument("--code-ports", type=int, nargs=2, required=True,
-                        metavar=("P0", "P1"))
-    browse.add_argument("--data-ports", type=int, nargs=2, required=True,
-                        metavar=("P0", "P1"))
+    browse.add_argument("--code-ports", type=int, nargs="+", required=True,
+                        metavar="PORT",
+                        help="code-session ports, one per endpoint of the "
+                             "intended mode (two for pir2)")
+    browse.add_argument("--data-ports", type=int, nargs="+", required=True,
+                        metavar="PORT",
+                        help="data-session ports, one per endpoint of the "
+                             "intended mode (two for pir2)")
     browse.add_argument("--fetch-budget", type=int, default=5,
                         help="must match the served universe")
+    browse.add_argument("--modes", default=None,
+                        help="comma-separated modes to offer, e.g. 'lwe' "
+                             "(default: every registered backend)")
     browse.add_argument("-i", "--interactive", action="store_true")
     browse.set_defaults(func=_cmd_browse)
 

@@ -1,21 +1,39 @@
 """``lightweb serve`` — host a universe behind real TCP ZLTP listeners.
 
-One deployment exposes four listeners per universe (code/data sessions ×
-the two non-colluding pir2 parties), on consecutive ports:
+One deployment exposes one listener per (session kind × party), where the
+party count is the largest endpoint count any served mode needs — two
+when ``pir2`` is offered, one for a single-server-only deployment. With
+the default registry that is four listeners on consecutive ports:
 
     base+0  code party 0        base+2  data party 0
     base+1  code party 1        base+3  data party 1
+
+Which modes are served is registry-driven: every registered backend by
+default, or the ``--modes pir2,lwe,enclave`` subset (aliases accepted).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cli.spec import load_site
+from repro.core import backend as backend_registry
 from repro.core.lightweb.cdn import Cdn
-from repro.core.zltp.modes import MODE_PIR2
 from repro.core.zltp.sockets import ZltpTcpServer
+
+
+def parse_modes(value: Optional[str]) -> Optional[List[str]]:
+    """Parse a ``--modes`` value: comma-separated names or aliases.
+
+    Returns canonical mode names, or None when no restriction was given
+    (serve everything registered). Unknown names raise the registry's
+    typed :class:`~repro.errors.NegotiationError`.
+    """
+    if not value:
+        return None
+    names = [part.strip() for part in value.split(",") if part.strip()]
+    return [backend_registry.resolve_mode(name) for name in names]
 
 
 @dataclass
@@ -26,10 +44,16 @@ class RunningDeployment:
     universe_name: str
     listeners: Dict[Tuple[str, int], ZltpTcpServer]
 
+    @property
+    def n_parties(self) -> int:
+        """Listeners per session kind (the widest served mode's endpoints)."""
+        return max(party for (_kind, party) in self.listeners) + 1
+
     def ports(self) -> Dict[str, List[int]]:
-        """``{"code": [p0, p1], "data": [p0, p1]}``."""
+        """``{"code": [ports by party...], "data": [ports by party...]}``."""
         return {
-            kind: [self.listeners[(kind, party)].address[1] for party in (0, 1)]
+            kind: [self.listeners[(kind, party)].address[1]
+                   for party in range(self.n_parties)]
             for kind in ("code", "data")
         }
 
@@ -44,16 +68,19 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
                      data_domain_bits: int = 12, code_domain_bits: int = 8,
                      fetch_budget: int = 5, host: str = "127.0.0.1",
                      port_base: int = 0,
-                     state_path: str = "") -> RunningDeployment:
+                     state_path: str = "",
+                     modes: Optional[List[str]] = None) -> RunningDeployment:
     """Create a CDN from site specs (or saved state) and expose it over TCP.
 
     Args:
         spec_paths: site-spec JSON files to publish.
         universe_name: name of the hosted universe.
-        port_base: first of four consecutive ports (0 = ephemeral ports).
+        port_base: first of the consecutive listener ports (0 = ephemeral).
         state_path: optional universe archive; loaded if it exists (specs
             are then pushed on top), and (re)written after the build, so a
             restarted server resumes without losing earlier pushes.
+        modes: served modes (names or registry aliases); default is every
+            registered backend.
 
     Returns:
         A :class:`RunningDeployment`; call ``stop()`` to tear down.
@@ -62,7 +89,7 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
 
     from repro.core.lightweb.persistence import load_universe, save_universe
 
-    cdn = Cdn("cli-cdn", modes=[MODE_PIR2])
+    cdn = Cdn("cli-cdn", modes=modes)
     if state_path and os.path.exists(state_path):
         universe = load_universe(state_path)
         cdn._universes[universe_name] = universe
@@ -84,10 +111,12 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
     if state_path:
         save_universe(universe, state_path)
 
+    n_parties = max(backend_registry.mode_endpoints(mode)
+                    for mode in cdn.modes)
     listeners: Dict[Tuple[str, int], ZltpTcpServer] = {}
     offset = 0
     for kind in ("code", "data"):
-        for party in (0, 1):
+        for party in range(n_parties):
             port = port_base + offset if port_base else 0
             server = cdn._server(universe_name, kind, party)
             listeners[(kind, party)] = ZltpTcpServer(server, host=host,
@@ -106,11 +135,13 @@ def cmd_serve(args) -> int:
         fetch_budget=args.fetch_budget,
         port_base=args.port_base,
         state_path=args.state,
+        modes=parse_modes(getattr(args, "modes", None)),
     )
     universe = deployment.cdn.universe(args.universe)
     ports = deployment.ports()
     print(f"universe {args.universe!r}: {universe.n_pages} data blobs, "
           f"domains {universe.domains()}")
+    print(f"modes         : {', '.join(deployment.cdn.modes)}")
     print(f"code sessions : ports {ports['code']}")
     print(f"data sessions : ports {ports['data']}")
     print("serving; Ctrl-C to stop.")
@@ -125,4 +156,5 @@ def cmd_serve(args) -> int:
     return 0
 
 
-__all__ = ["build_deployment", "RunningDeployment", "cmd_serve"]
+__all__ = ["build_deployment", "RunningDeployment", "cmd_serve",
+           "parse_modes"]

@@ -23,11 +23,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import backend as backend_registry
+from repro.core.backend import RequestStats, mode_endpoints, negotiate
 from repro.core.lightweb.peering import DomainRegistry
 from repro.core.lightweb.publisher import CompiledSite
 from repro.core.lightweb.universe import ContentUniverse
 from repro.core.zltp.client import ZltpClient
-from repro.core.zltp.modes import ALL_MODES, MODE_PIR2, mode_endpoints, negotiate
 from repro.core.zltp.server import ZltpServer
 from repro.core.zltp.transport import transport_pair
 from repro.crypto.lwe import LweParams
@@ -42,7 +43,8 @@ class Cdn:
     def __init__(self, name: str, registry: Optional[DomainRegistry] = None,
                  modes: Optional[List[str]] = None,
                  lwe_params: Optional[LweParams] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 executor: Optional[object] = None):
         """Create a CDN.
 
         Args:
@@ -52,19 +54,44 @@ class Cdn:
             modes: ZLTP modes this CDN supports, in preference order —
                 "Each CDN chooses which ZLTP modes of operation to support,
                 based on the cost tolerance and privacy demands of its
-                users" (§3.1).
+                users" (§3.1). Aliases (``lwe``, ``enclave``) are accepted;
+                the default is every registered backend.
             lwe_params: parameters for the ``pir-lwe`` mode, if offered.
             rng: deterministic randomness for tests.
+            executor: optional :class:`~repro.pir.engine.ScanExecutor`;
+                every logical server forwards its per-backend
+                :class:`RequestStats` there.
         """
         self.name = name
         self.registry = registry if registry is not None else DomainRegistry()
-        self.modes = list(modes) if modes is not None else list(ALL_MODES)
+        offered = list(modes) if modes is not None \
+            else backend_registry.registered_modes()
+        self.modes = [backend_registry.resolve_mode(mode) for mode in offered]
         self._lwe_params = lwe_params
         self._rng = rng
+        self._executor = executor
         self._universes: Dict[str, ContentUniverse] = {}
         self._servers: Dict[Tuple[str, str, int], ZltpServer] = {}
         self.peers: List["Cdn"] = []
         self.gets_by_universe: Dict[str, int] = {}
+
+    def advertised_modes(self) -> List[Dict[str, object]]:
+        """Registry-derived description of every mode this CDN serves.
+
+        One entry per supported mode: name, endpoint count, security
+        assumption, and whether a one-time setup download is required —
+        what a CDN's catalogue page would advertise to §3.1 clients.
+        """
+        out: List[Dict[str, object]] = []
+        for mode in self.modes:
+            spec = backend_registry.get_backend(mode)
+            out.append({
+                "mode": spec.name,
+                "endpoints": spec.endpoints,
+                "assumption": spec.assumption,
+                "needs_setup": spec.needs_setup,
+            })
+        return out
 
     # ------------------------------------------------------------------
     # Universe management
@@ -158,6 +185,7 @@ class Cdn:
                 probes=universe.probes,
                 lwe_params=self._lwe_params,
                 rng=self._rng,
+                executor=self._executor,
             )
             self._servers[key] = server
         return server
@@ -183,7 +211,8 @@ class Cdn:
         Returns:
             A connected :class:`ZltpClient`.
         """
-        offered = list(client_modes) if client_modes is not None else list(ALL_MODES)
+        offered = list(client_modes) if client_modes is not None \
+            else backend_registry.registered_modes()
         chosen = negotiate(offered, self.modes)
         n_endpoints = mode_endpoints(chosen)
         factory = transport_factory if transport_factory is not None else (
@@ -219,6 +248,23 @@ class Cdn:
             if uname == universe_name
         )
         return direct + self.gets_by_universe.get(universe_name, 0)
+
+    def stats_by_mode(self, universe_name: str) -> Dict[str, RequestStats]:
+        """Per-backend serving stats for a universe, across all servers.
+
+        The same :class:`RequestStats` records the ZLTP sessions measured,
+        merged over every logical server (code/data, both parties) of the
+        universe — the §4 billing input broken down by mode.
+        """
+        merged: Dict[str, RequestStats] = {}
+        for (uname, _kind, _party), server in self._servers.items():
+            if uname != universe_name:
+                continue
+            for mode, stats in server.stats_by_mode().items():
+                if mode not in merged:
+                    merged[mode] = RequestStats()
+                merged[mode].merge(stats)
+        return merged
 
 
 __all__ = ["Cdn", "TransportFactory"]

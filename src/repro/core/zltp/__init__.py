@@ -35,6 +35,7 @@ from repro.core.zltp.modes import (
     MODE_ENCLAVE,
     ALL_MODES,
     mode_endpoints,
+    negotiate,
 )
 from repro.core.zltp.server import ZltpServer, ZltpServerSession
 from repro.core.zltp.client import ZltpClient
@@ -59,6 +60,7 @@ __all__ = [
     "MODE_ENCLAVE",
     "ALL_MODES",
     "mode_endpoints",
+    "negotiate",
     "ZltpServer",
     "ZltpServerSession",
     "ZltpClient",

@@ -21,13 +21,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.core import backend as backend_registry
 from repro.core.zltp import messages as msg
-from repro.core.zltp.modes import (
-    ALL_MODES,
-    MODE_PIR_LWE,
-    make_mode_client,
-    mode_endpoints,
-)
 from repro.crypto.cuckoo import CuckooTable
 from repro.crypto.hashing import KeyedHash
 from repro.errors import NegotiationError, ProtocolError, TransportError
@@ -53,7 +48,8 @@ class ZltpClient:
             raise ProtocolError("need at least one transport")
         self._transports = list(transports)
         self.supported_modes = (
-            list(supported_modes) if supported_modes is not None else list(ALL_MODES)
+            list(supported_modes) if supported_modes is not None
+            else backend_registry.registered_modes()
         )
         self._rng = rng
         self._next_request_id = 0
@@ -91,24 +87,26 @@ class ZltpClient:
                     first.probes, first.salt):
                 raise ProtocolError("endpoints disagree on universe geometry")
 
-        needed = mode_endpoints(first.mode)
-        if needed != len(self._transports):
+        spec = backend_registry.get_backend(first.mode)
+        if spec.endpoints != len(self._transports):
             raise NegotiationError(
-                f"mode {first.mode!r} needs {needed} endpoint(s), "
+                f"mode {first.mode!r} needs {spec.endpoints} endpoint(s), "
                 f"client has {len(self._transports)}"
             )
-        if first.mode == "pir2":
+        if spec.endpoints > 1:
+            # Multi-endpoint backends announce each endpoint's party in
+            # the hello; order transports so index b talks to party b.
             parties = [h.mode_params.get("party") for h in server_hellos]
-            if sorted(parties) != [0, 1]:
+            if sorted(parties) != list(range(spec.endpoints)):
                 raise NegotiationError(
-                    f"pir2 endpoints must be parties 0 and 1, got {parties}"
+                    f"{spec.name} endpoints must be parties "
+                    f"0..{spec.endpoints - 1}, got {parties}"
                 )
-            # Order transports so index b talks to party b.
-            order = sorted(range(2), key=lambda i: parties[i])
+            order = sorted(range(spec.endpoints), key=lambda i: parties[i])
             self._transports = [self._transports[i] for i in order]
 
         setup: Dict[str, Any] = {}
-        if first.mode == MODE_PIR_LWE:
+        if spec.needs_setup:
             transport = self._transports[0]
             transport.send_frame(msg.encode_message(msg.SetupRequest()))
             response = self._recv(transport)
@@ -121,8 +119,8 @@ class ZltpClient:
         self.domain_bits = first.domain_bits
         self.probes = first.probes
         self.salt = first.salt
-        self._mode_client = make_mode_client(
-            first.mode, first.domain_bits, first.blob_size,
+        self._mode_client = spec.build_client(
+            first.domain_bits, first.blob_size,
             first.mode_params, setup, rng=self._rng,
         )
         if self.probes == 1:

@@ -1,10 +1,15 @@
-"""ZLTP modes of operation (§2.2) behind one uniform interface.
+"""ZLTP modes of operation (§2.2): the three built-in backend registrations.
 
 Each mode supplies a server half (turn an opaque query payload into an
 opaque answer payload over the blob database) and a client half (build the
 query payloads for a slot, decode the answer payloads into the record).
+Both halves are thin adapters over the real engines in
+:mod:`repro.pir.twoserver`, :mod:`repro.pir.singleserver` /
+:mod:`repro.crypto.lwe`, and :mod:`repro.oram.enclave`, registered with
+the :mod:`repro.core.backend` registry — which is the single source of
+truth for mode names, endpoint counts, and negotiation preference order.
 Sessions negotiate a mode by name; §2.1's security assumptions differ per
-mode and are documented on each class.
+mode and are documented on each registration.
 
 =================  ==========  ====================================
 mode name          endpoints   assumption (§2.1)
@@ -22,11 +27,21 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.core import backend
+from repro.core.backend import (
+    BackendCost,
+    ServerContext,
+    create_client,
+    create_server,
+    mode_endpoints,
+    negotiate,
+)
 from repro.crypto import aead
 from repro.crypto.dpf import gen_dpf
 from repro.crypto.lwe import LweParams, LwePirClient, LwePirServer
-from repro.errors import CryptoError, NegotiationError, ProtocolError
+from repro.errors import ProtocolError
 from repro.oram.enclave import SimulatedEnclave
+from repro.pir.codec import pack_u64, unpack_u64
 from repro.pir.database import BlobDatabase
 from repro.pir.twoserver import TwoServerPirServer
 
@@ -34,78 +49,25 @@ MODE_PIR2 = "pir2"
 MODE_PIR_LWE = "pir-lwe"
 MODE_ENCLAVE = "enclave-oram"
 
-#: Default server preference order: strongest guarantees first.
+#: Default server preference order: strongest guarantees first. Derived
+#: from the same preference ranks the registry sorts by.
 ALL_MODES = [MODE_PIR2, MODE_PIR_LWE, MODE_ENCLAVE]
-
-_ENDPOINTS = {MODE_PIR2: 2, MODE_PIR_LWE: 1, MODE_ENCLAVE: 1}
-
-
-def mode_endpoints(mode: str) -> int:
-    """How many ZLTP server sessions the client must open for a mode."""
-    try:
-        return _ENDPOINTS[mode]
-    except KeyError:
-        raise NegotiationError(f"unknown mode {mode!r}") from None
-
-
-def negotiate(client_modes: List[str], server_modes: List[str]) -> str:
-    """Pick the mode: first server-preferred mode the client supports.
-
-    Raises:
-        NegotiationError: if there is no common mode.
-    """
-    for mode in server_modes:
-        if mode in client_modes:
-            return mode
-    raise NegotiationError(
-        f"no common mode: client {client_modes}, server {server_modes}"
-    )
-
-
-# --------------------------------------------------------------------------
-# Array (de)serialisation for LWE payloads
-# --------------------------------------------------------------------------
-
-
-def pack_u64(arr: np.ndarray) -> bytes:
-    """Serialise a 1- or 2-D uint64 array: ndim, dims, little-endian data."""
-    arr = np.ascontiguousarray(arr, dtype=np.uint64)
-    if arr.ndim not in (1, 2):
-        raise CryptoError("only 1-D/2-D arrays supported")
-    header = struct.pack("<B", arr.ndim) + b"".join(
-        struct.pack("<I", dim) for dim in arr.shape
-    )
-    return header + arr.astype("<u8").tobytes()
-
-
-def unpack_u64(raw: bytes) -> np.ndarray:
-    """Inverse of :func:`pack_u64`, with strict validation."""
-    if len(raw) < 1:
-        raise ProtocolError("empty array payload")
-    ndim = raw[0]
-    if ndim not in (1, 2):
-        raise ProtocolError(f"bad array ndim {ndim}")
-    offset = 1
-    shape = []
-    for _ in range(ndim):
-        if offset + 4 > len(raw):
-            raise ProtocolError("truncated array shape")
-        (dim,) = struct.unpack_from("<I", raw, offset)
-        shape.append(dim)
-        offset += 4
-    expected = int(np.prod(shape)) * 8
-    if len(raw) - offset != expected:
-        raise ProtocolError(
-            f"array data length {len(raw) - offset} != expected {expected}"
-        )
-    return np.frombuffer(raw, dtype="<u8", offset=offset).reshape(shape).astype(np.uint64)
 
 
 # --------------------------------------------------------------------------
 # pir2: two-server DPF PIR
 # --------------------------------------------------------------------------
 
+PIR2 = backend.declare_backend(
+    MODE_PIR2, endpoints=2, preference=0,
+    assumption="non-collusion (>=1 of 2 honest)",
+    snapshots_database=False,
+    cost=BackendCost(servers_per_request=2, linear_scan=True,
+                     note="two non-colluding linear scans per request"),
+)
 
+
+@PIR2.server
 class Pir2ModeServer:
     """Server half of ``pir2`` — one of the two non-colluding parties."""
 
@@ -114,6 +76,12 @@ class Pir2ModeServer:
     def __init__(self, database: BlobDatabase, party: int):
         self._pir = TwoServerPirServer(database, party)
         self.party = party
+
+    @classmethod
+    def from_context(cls, database: BlobDatabase,
+                     ctx: ServerContext) -> "Pir2ModeServer":
+        """Registry hook: build this party's half from a server context."""
+        return cls(database, ctx.party)
 
     def hello_params(self) -> Dict[str, Any]:
         """Mode parameters for the ServerHello."""
@@ -132,6 +100,7 @@ class Pir2ModeServer:
         return self._pir.answer_batch(payloads)
 
 
+@PIR2.client
 class Pir2ModeClient:
     """Client half of ``pir2``: deals DPF key pairs, XORs the answers."""
 
@@ -143,6 +112,13 @@ class Pir2ModeClient:
         self.domain_bits = domain_bits
         self.blob_size = blob_size
         self._rng = rng
+
+    @classmethod
+    def from_hello(cls, domain_bits: int, blob_size: int,
+                   hello_params: Dict[str, Any], setup: Dict[str, Any],
+                   rng: Optional[np.random.Generator] = None) -> "Pir2ModeClient":
+        """Registry hook: build the client from the hello exchange."""
+        return cls(domain_bits, blob_size, rng=rng)
 
     def queries_for_slot(self, slot: int) -> List[bytes]:
         """One DPF key per server."""
@@ -164,7 +140,16 @@ class Pir2ModeClient:
 # pir-lwe: single-server LWE PIR
 # --------------------------------------------------------------------------
 
+PIR_LWE = backend.declare_backend(
+    MODE_PIR_LWE, endpoints=1, preference=1,
+    assumption="cryptographic (LWE hardness)",
+    aliases=("lwe",), needs_setup=True,
+    cost=BackendCost(servers_per_request=1, linear_scan=True,
+                     note="one linear scan per request + one-time hint"),
+)
 
+
+@PIR_LWE.server
 class LweModeServer:
     """Server half of ``pir-lwe``: answers are one matrix-vector product."""
 
@@ -177,7 +162,14 @@ class LweModeServer:
         self._core = LwePirServer(matrix, params=self.params, seed=seed)
         self.blob_size = database.blob_size
 
+    @classmethod
+    def from_context(cls, database: BlobDatabase,
+                     ctx: ServerContext) -> "LweModeServer":
+        """Registry hook: build the server from a server context."""
+        return cls(database, params=ctx.lwe_params)
+
     def hello_params(self) -> Dict[str, Any]:
+        """The LWE public parameters the client must mirror."""
         return {
             "n": self.params.n,
             "p": self.params.p,
@@ -192,6 +184,7 @@ class LweModeServer:
         }
 
     def answer(self, payload: bytes) -> bytes:
+        """One matrix-vector product over the database matrix."""
         query = unpack_u64(payload)
         if query.ndim != 1:
             raise ProtocolError("LWE query must be a vector")
@@ -202,6 +195,7 @@ class LweModeServer:
         return [self.answer(payload) for payload in payloads]
 
 
+@PIR_LWE.client
 class LweModeClient:
     """Client half of ``pir-lwe``; requires the setup payload first."""
 
@@ -222,10 +216,19 @@ class LweModeClient:
             params=params, rng=rng,
         )
 
+    @classmethod
+    def from_hello(cls, domain_bits: int, blob_size: int,
+                   hello_params: Dict[str, Any], setup: Dict[str, Any],
+                   rng: Optional[np.random.Generator] = None) -> "LweModeClient":
+        """Registry hook: build the client from the hello + setup payloads."""
+        return cls(blob_size, hello_params, setup, rng=rng)
+
     def queries_for_slot(self, slot: int) -> List[bytes]:
+        """One LWE query vector for the single server."""
         return [pack_u64(self._core.query(slot))]
 
     def decode(self, answers: List[bytes]) -> bytes:
+        """Strip the noise and recover the record bytes."""
         if len(answers) != 1:
             raise ProtocolError("pir-lwe expects one answer")
         column = self._core.decode(unpack_u64(answers[0]))
@@ -236,7 +239,16 @@ class LweModeClient:
 # enclave-oram
 # --------------------------------------------------------------------------
 
+ENCLAVE = backend.declare_backend(
+    MODE_ENCLAVE, endpoints=1, preference=2,
+    assumption="hardware (enclave protects secrets)",
+    aliases=("enclave",),
+    cost=BackendCost(servers_per_request=1, linear_scan=False,
+                     note="polylog ORAM accesses inside the enclave"),
+)
 
+
+@ENCLAVE.server
 class EnclaveModeServer:
     """Server half of ``enclave-oram``.
 
@@ -258,15 +270,24 @@ class EnclaveModeServer:
             self.enclave.oblivious_write(slot, database.get_slot(slot))
         self.domain_bits = database.domain_bits
 
+    @classmethod
+    def from_context(cls, database: BlobDatabase,
+                     ctx: ServerContext) -> "EnclaveModeServer":
+        """Registry hook: build the enclave server from a server context."""
+        return cls(database, rng=ctx.rng)
+
     def hello_params(self) -> Dict[str, Any]:
+        """Attestation stand-in: hand the client the session key."""
         # In deployment this would be an attestation transcript + key
         # exchange; here the simulated enclave hands the client its key.
         return {"session_key": self.session_key}
 
     def setup(self) -> Dict[str, Any]:
+        """No one-time setup payload for the enclave mode."""
         return {}
 
     def answer(self, payload: bytes) -> bytes:
+        """Unseal the slot, read it obliviously, seal the record back."""
         if not self.enclave.sealed:
             from repro.errors import AccessError
 
@@ -285,6 +306,7 @@ class EnclaveModeServer:
         return [self.answer(payload) for payload in payloads]
 
 
+@ENCLAVE.client
 class EnclaveModeClient:
     """Client half of ``enclave-oram``: slot sealed in, record sealed out."""
 
@@ -294,18 +316,27 @@ class EnclaveModeClient:
     def __init__(self, hello_params: Dict[str, Any]):
         self.session_key = hello_params["session_key"]
 
+    @classmethod
+    def from_hello(cls, domain_bits: int, blob_size: int,
+                   hello_params: Dict[str, Any], setup: Dict[str, Any],
+                   rng: Optional[np.random.Generator] = None) -> "EnclaveModeClient":
+        """Registry hook: build the client from the hello exchange."""
+        return cls(hello_params)
+
     def queries_for_slot(self, slot: int) -> List[bytes]:
+        """Seal the slot number to the enclave."""
         raw = struct.pack("<Q", slot)
         return [aead.seal(self.session_key, raw, aad=b"zltp-enclave-q")]
 
     def decode(self, answers: List[bytes]) -> bytes:
+        """Unseal the enclave's answer into the record."""
         if len(answers) != 1:
             raise ProtocolError("enclave-oram expects one answer")
         return aead.open_sealed(self.session_key, answers[0], aad=b"zltp-enclave-a")
 
 
 # --------------------------------------------------------------------------
-# Factories
+# Factories (compatibility veneer over the registry)
 # --------------------------------------------------------------------------
 
 
@@ -313,26 +344,16 @@ def make_mode_server(mode: str, database: BlobDatabase, party: int = 0,
                      lwe_params: Optional[LweParams] = None,
                      rng: Optional[np.random.Generator] = None):
     """Build the server half of a mode over a blob database."""
-    if mode == MODE_PIR2:
-        return Pir2ModeServer(database, party)
-    if mode == MODE_PIR_LWE:
-        return LweModeServer(database, params=lwe_params)
-    if mode == MODE_ENCLAVE:
-        return EnclaveModeServer(database, rng=rng)
-    raise NegotiationError(f"unknown mode {mode!r}")
+    return create_server(mode, database, party=party, lwe_params=lwe_params,
+                         rng=rng)
 
 
 def make_mode_client(mode: str, domain_bits: int, blob_size: int,
                      hello_params: Dict[str, Any], setup: Dict[str, Any],
                      rng: Optional[np.random.Generator] = None):
     """Build the client half of a negotiated mode."""
-    if mode == MODE_PIR2:
-        return Pir2ModeClient(domain_bits, blob_size, rng=rng)
-    if mode == MODE_PIR_LWE:
-        return LweModeClient(blob_size, hello_params, setup, rng=rng)
-    if mode == MODE_ENCLAVE:
-        return EnclaveModeClient(hello_params)
-    raise NegotiationError(f"unknown mode {mode!r}")
+    return create_client(mode, domain_bits, blob_size, hello_params, setup,
+                         rng=rng)
 
 
 __all__ = [

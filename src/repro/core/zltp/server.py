@@ -8,6 +8,12 @@ negotiated mode each session chose. In the paper's deployment a CDN runs two
 such logical servers (the non-colluding pair) across many machines; here the
 :class:`~repro.pir.sharding.ShardedDeployment` plays the many-machines part.
 
+Modes are looked up in the :mod:`repro.core.backend` registry — the server
+has no per-mode code paths of its own, so a newly registered backend is
+served without touching this module. Every answer call is accounted on a
+shared :class:`~repro.core.backend.RequestStats` record, aggregated
+per-mode on the server and optionally forwarded to a scan executor.
+
 :class:`ZltpServerSession` is a pure state machine — messages in, messages
 out — so the same code is exercised by in-memory transports, the network
 simulator, and real TCP sockets.
@@ -21,13 +27,15 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.zltp import messages as msg
-from repro.core.zltp.modes import (
-    ALL_MODES,
-    make_mode_server,
-    mode_endpoints,
+from repro.core import backend as backend_registry
+from repro.core.backend import (
+    RequestStats,
+    ServerContext,
     negotiate,
+    timed_answer,
+    timed_answer_batch,
 )
+from repro.core.zltp import messages as msg
 from repro.core.zltp.transport import Transport
 from repro.crypto.lwe import LweParams
 from repro.errors import NegotiationError, ProtocolError, ReproError
@@ -45,11 +53,15 @@ class ZltpServer:
 
     Attributes:
         database: the fixed-size-blob store being served.
-        party: this server's role in a two-server pair (0 or 1); only
-            meaningful for the ``pir2`` mode.
+        modes: canonical mode names served, in this server's preference
+            order (default: every registered backend).
+        party: this server's role in a multi-endpoint backend pair
+            (0-based); only meaningful for modes with ``endpoints > 1``.
         salt: the universe's keyword-hash salt, announced to clients.
         probes: fixed probe count per keyword lookup (1 = plain hashing,
             >=2 = cuckoo).
+        executor: optional :class:`~repro.pir.engine.ScanExecutor` that
+            per-backend serving stats are forwarded to.
     """
 
     def __init__(
@@ -61,14 +73,18 @@ class ZltpServer:
         probes: int = 1,
         lwe_params: Optional[LweParams] = None,
         rng: Optional[np.random.Generator] = None,
+        executor: Optional[Any] = None,
     ):
         self.database = database
-        self.modes = list(modes) if modes is not None else list(ALL_MODES)
-        for mode in self.modes:
-            mode_endpoints(mode)  # validates names early
+        offered = list(modes) if modes is not None \
+            else backend_registry.registered_modes()
+        # Canonicalise aliases and validate names early (raises
+        # NegotiationError on an unknown mode).
+        self.modes = [backend_registry.resolve_mode(mode) for mode in offered]
         self.party = party
         self.salt = salt
         self.probes = probes
+        self.executor = executor
         self._lwe_params = lwe_params
         self._rng = rng
         self._mode_servers: Dict[str, Any] = {}
@@ -77,26 +93,63 @@ class ZltpServer:
         # concurrently and need their own lock.
         self._stats_lock = threading.Lock()
         self.sessions_opened = 0  # guarded-by: _stats_lock
-        self.gets_served = 0  # guarded-by: _stats_lock
+        self._stats_by_mode: Dict[str, RequestStats] = {}  # guarded-by: _stats_lock
+
+    @property
+    def gets_served(self) -> int:
+        """Total private-GETs answered, across every mode."""
+        with self._stats_lock:
+            return sum(stats.queries for stats in self._stats_by_mode.values())
+
+    def stats_for(self, mode: str) -> RequestStats:
+        """A snapshot of the serving stats for one mode."""
+        canonical = backend_registry.resolve_mode(mode)
+        with self._stats_lock:
+            stats = self._stats_by_mode.get(canonical)
+            return stats.copy() if stats is not None else RequestStats()
+
+    def stats_by_mode(self) -> Dict[str, RequestStats]:
+        """Snapshots of the serving stats for every mode that served."""
+        with self._stats_lock:
+            return {mode: stats.copy()
+                    for mode, stats in self._stats_by_mode.items()}
+
+    def record_stats(self, mode: str, delta: RequestStats) -> None:
+        """Fold one session's answer-call delta into the per-mode totals.
+
+        The same delta is forwarded to the attached scan executor (if
+        any), so engine-level reports see exactly the counters the
+        protocol layer measured — one structure end to end.
+        """
+        with self._stats_lock:
+            if mode not in self._stats_by_mode:
+                self._stats_by_mode[mode] = RequestStats()
+            self._stats_by_mode[mode].merge(delta)
+        if self.executor is not None:
+            record = getattr(self.executor, "record_backend", None)
+            if record is not None:
+                record(mode, delta)
 
     def mode_server(self, mode: str):
         """Get (building lazily) the server half of a mode.
 
         Modes that snapshot the database at build time (pir-lwe's matrix,
-        enclave-oram's ORAM load) are rebuilt when the database has changed
-        since — otherwise a publisher re-push (§3.1) would be visible in
-        ``pir2`` but stale in the other modes.
+        enclave-oram's ORAM load — ``snapshots_database`` in the registry)
+        are rebuilt when the database has changed since — otherwise a
+        publisher re-push (§3.1) would be visible in ``pir2`` but stale in
+        the other modes.
         """
-        cached = self._mode_servers.get(mode)
+        spec = backend_registry.get_backend(mode)
+        cached = self._mode_servers.get(spec.name)
         if cached is not None:
             server, built_version = cached
-            if built_version == self.database.version or mode == "pir2":
+            if not spec.snapshots_database or \
+                    built_version == self.database.version:
                 return server
-        server = make_mode_server(
-            mode, self.database, party=self.party,
-            lwe_params=self._lwe_params, rng=self._rng,
-        )
-        self._mode_servers[mode] = (server, self.database.version)
+        server = spec.build_server(self.database, ServerContext(
+            party=self.party, lwe_params=self._lwe_params, rng=self._rng,
+        ))
+        self._mode_servers[spec.name] = (server, self.database.version)
         return server
 
     def create_session(self) -> "ZltpServerSession":
@@ -124,13 +177,19 @@ class ZltpServer:
 
 
 class ZltpServerSession:
-    """Per-connection protocol state machine."""
+    """Per-connection protocol state machine.
+
+    Attributes:
+        stats: this session's own :class:`RequestStats` — the same deltas
+            that are folded into the server's per-mode totals.
+    """
 
     def __init__(self, server: ZltpServer):
         self._server = server
         self._state = _State.AWAIT_HELLO
         self._mode_name: Optional[str] = None
         self._mode = None
+        self.stats = RequestStats()
 
     @property
     def closed(self) -> bool:
@@ -187,22 +246,26 @@ class ZltpServerSession:
         replies.extend(self._flush_gets(pending))
         return replies
 
+    def _account(self, delta: RequestStats) -> None:
+        """Fold an answer-call delta into the session and server stats."""
+        self.stats.merge(delta)
+        if self._mode_name is not None:
+            self._server.record_stats(self._mode_name, delta)
+
     def _flush_gets(self, pending: List[msg.GetRequest]) -> List[bytes]:
         """Answer a run of pipelined GetRequests in one batched scan."""
         if not pending:
             return []
         batch, pending[:] = list(pending), []
+        delta = RequestStats()
         try:
-            answer_batch = getattr(self._mode, "answer_batch", None)
-            if answer_batch is not None:
-                answers = answer_batch([g.payload for g in batch])
-            else:
-                answers = [self._mode.answer(g.payload) for g in batch]
+            answers = timed_answer_batch(
+                self._mode, [g.payload for g in batch], delta
+            )
         except ReproError as exc:
             self._state = _State.CLOSED
             return [msg.encode_message(msg.ErrorMessage("protocol", str(exc)))]
-        with self._server._stats_lock:
-            self._server.gets_served += len(batch)
+        self._account(delta)
         return [
             msg.encode_message(
                 msg.GetResponse(request_id=request.request_id, payload=answer)
@@ -239,9 +302,9 @@ class ZltpServerSession:
         if isinstance(message, msg.SetupRequest):
             return [msg.SetupResponse(params=self._mode.setup())]
         if isinstance(message, msg.GetRequest):
-            answer = self._mode.answer(message.payload)
-            with self._server._stats_lock:
-                self._server.gets_served += 1
+            delta = RequestStats()
+            answer = timed_answer(self._mode, message.payload, delta)
+            self._account(delta)
             return [msg.GetResponse(request_id=message.request_id, payload=answer)]
         raise ProtocolError(f"unexpected {type(message).__name__} in ready state")
 

@@ -33,6 +33,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core import backend as backend_registry
 from repro.costmodel.aws import C5_LARGE, InstanceType
 from repro.costmodel.datasets import GIB, KIB, DatasetSpec
 from repro.crypto.dpf import LAMBDA_BITS, gen_dpf
@@ -44,7 +45,20 @@ from repro.pir.twoserver import TwoServerPirServer
 PAPER_BUCKET_BYTES = 4 * KIB
 
 #: Two-server overhead: every request is processed at both servers (§5.1).
+#: Kept as a named constant for the Table 2 arithmetic; per-backend values
+#: come from the registry via :func:`servers_per_request`.
 N_SERVERS = 2
+
+
+def servers_per_request(backend: str = "pir2") -> int:
+    """Logical servers that process every request, by registered backend.
+
+    The Table 2 ``x2`` is ``pir2``'s non-colluding pair; single-server
+    backends (``pir-lwe``, ``enclave-oram``) cost one scan per request.
+    Looked up from the backend registry's :class:`~repro.core.backend.
+    BackendCost`, so a newly registered backend is priceable by name.
+    """
+    return backend_registry.get_backend(backend).cost.servers_per_request
 
 
 @dataclass(frozen=True)
@@ -155,6 +169,7 @@ def estimate_deployment(
     shard: ShardMicrobenchmark = PAPER_SHARD,
     instance: InstanceType = C5_LARGE,
     batch_latency_seconds: float = 2.6,
+    backend: str = "pir2",
 ) -> DeploymentEstimate:
     """Scale a shard microbenchmark up to a dataset-wide deployment (§5.2).
 
@@ -164,21 +179,25 @@ def estimate_deployment(
         instance: the machine each shard runs on.
         batch_latency_seconds: the per-shard batched latency that lower-
             bounds page-load time (§5.1's 2.6 s at batch 16).
+        backend: registered backend name; its cost parameters set how
+            many logical servers every request pays for (Table 2 prices
+            the paper's ``pir2`` prototype).
 
     Returns:
         The full Table 2 row plus intermediate quantities.
     """
+    n_servers = servers_per_request(backend)
     n_shards = dataset.n_shards(shard.shard_bytes)
-    # Every shard works for the full per-shard request time, on both
-    # logical servers; all the instance's vCPUs participate in the scan.
-    machine_seconds = N_SERVERS * n_shards * shard.request_seconds
+    # Every shard works for the full per-shard request time, on every
+    # logical server; all the instance's vCPUs participate in the scan.
+    machine_seconds = n_servers * n_shards * shard.request_seconds
     vcpu_seconds = machine_seconds * instance.vcpus
     request_cost = instance.machine_seconds_to_usd(machine_seconds)
     # Communication (§5.2): the client's DPF key must cover the whole
     # logical domain: per-shard domain plus the shard-routing prefix.
     total_domain_bits = shard.domain_bits + math.log2(n_shards)
-    upload = N_SERVERS * paper_key_bytes(int(round(total_domain_bits)))
-    download = N_SERVERS * shard.blob_bytes
+    upload = n_servers * paper_key_bytes(int(round(total_domain_bits)))
+    download = n_servers * shard.blob_bytes
     return DeploymentEstimate(
         dataset=dataset,
         n_shards=n_shards,
@@ -247,4 +266,5 @@ __all__ = [
     "PAPER_SHARD",
     "PAPER_BUCKET_BYTES",
     "N_SERVERS",
+    "servers_per_request",
 ]

@@ -12,8 +12,10 @@ machinery of §5:
 - :mod:`repro.pir.sharding` — §5.2's front-end + data-server deployment.
 - :mod:`repro.pir.engine` — the scan-execution engine: concurrent shard
   fan-out with parallel-speedup accounting.
+- :mod:`repro.pir.codec` — the uint64-array wire codec LWE payloads use.
 """
 
+from repro.pir.codec import pack_u64, unpack_u64
 from repro.pir.database import BlobDatabase
 from repro.pir.engine import FanoutReport, ScanExecutor, shared_executor
 from repro.pir.twoserver import TwoServerPirClient, TwoServerPirServer, ScanTiming
@@ -23,6 +25,8 @@ from repro.pir.batching import BatchScheduler, BatchCostModel, BatchPoint
 from repro.pir.sharding import ShardedDeployment, FrontEnd, DataServer
 
 __all__ = [
+    "pack_u64",
+    "unpack_u64",
     "BlobDatabase",
     "TwoServerPirClient",
     "TwoServerPirServer",

@@ -1,0 +1,52 @@
+"""Array (de)serialisation for PIR wire payloads.
+
+LWE queries, answers, and hints travel as uint64 arrays. The codec is a
+tiny fixed header (ndim, little-endian dims) followed by little-endian
+array data, with strict validation on the way in — a malformed peer
+payload must become a typed protocol error, never a numpy exception.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import CryptoError, ProtocolError
+
+
+def pack_u64(arr: np.ndarray) -> bytes:
+    """Serialise a 1- or 2-D uint64 array: ndim, dims, little-endian data."""
+    arr = np.ascontiguousarray(arr, dtype=np.uint64)
+    if arr.ndim not in (1, 2):
+        raise CryptoError("only 1-D/2-D arrays supported")
+    header = struct.pack("<B", arr.ndim) + b"".join(
+        struct.pack("<I", dim) for dim in arr.shape
+    )
+    return header + arr.astype("<u8").tobytes()
+
+
+def unpack_u64(raw: bytes) -> np.ndarray:
+    """Inverse of :func:`pack_u64`, with strict validation."""
+    if len(raw) < 1:
+        raise ProtocolError("empty array payload")
+    ndim = raw[0]
+    if ndim not in (1, 2):
+        raise ProtocolError(f"bad array ndim {ndim}")
+    offset = 1
+    shape = []
+    for _ in range(ndim):
+        if offset + 4 > len(raw):
+            raise ProtocolError("truncated array shape")
+        (dim,) = struct.unpack_from("<I", raw, offset)
+        shape.append(dim)
+        offset += 4
+    expected = int(np.prod(shape)) * 8
+    if len(raw) - offset != expected:
+        raise ProtocolError(
+            f"array data length {len(raw) - offset} != expected {expected}"
+        )
+    return np.frombuffer(raw, dtype="<u8", offset=offset).reshape(shape).astype(np.uint64)
+
+
+__all__ = ["pack_u64", "unpack_u64"]

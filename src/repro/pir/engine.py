@@ -20,6 +20,20 @@ plain loop and the gang evaluation provides the speedup alone.
 Every fan-out is accounted: wall-clock vs summed per-task busy time (the
 parallel speedup), task counts, and the last :class:`FanoutReport` — the
 engine counters the benchmarks (E9) and DESIGN.md's sizing notes read.
+
+Dispatch is *chunked*: a fan-out submits at most ``max_workers`` futures,
+each worker runs a contiguous slice of the task list and (for XOR
+fan-outs) folds its slice's shares locally before the front-end combines
+the per-worker accumulators. This keeps the per-request future/queue
+overhead constant in the worker count instead of linear in the shard
+count, and moves most of the XOR folding off the consuming thread — the
+outcome of the E9 ``engine_speedup < 1`` investigation (EXPERIMENTS.md).
+
+The engine also aggregates the protocol layer's per-backend
+:class:`~repro.core.backend.RequestStats`: servers attached to an
+executor forward every answer-call delta through :meth:`ScanExecutor.
+record_backend`, so engine-level reports and benchmark JSON carry exactly
+the counters the ZLTP sessions measured.
 """
 
 from __future__ import annotations
@@ -27,12 +41,13 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backend import RequestStats
 from repro.errors import CryptoError
 
 #: Upper bound on the default worker count; beyond this the per-request
@@ -97,6 +112,7 @@ class ScanExecutor:
         self.wall_seconds = 0.0  # guarded-by: _lock
         self.busy_seconds = 0.0  # guarded-by: _lock
         self.last_report: Optional[FanoutReport] = None  # guarded-by: _lock
+        self.backend_stats: Dict[str, RequestStats] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -140,18 +156,27 @@ class ScanExecutor:
     # ------------------------------------------------------------------
 
     def map(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
-        """Run zero-argument tasks, returning their results in task order."""
-        timed = [self._timed(task) for task in tasks]
+        """Run zero-argument tasks, returning their results in task order.
+
+        Dispatch is chunked: at most ``max_workers`` futures are submitted,
+        each running a contiguous slice of the task list, so the per-task
+        future overhead does not grow with the fan-out width.
+        """
         t0 = time.perf_counter()
         pool = self._pool_handle()
         if pool is None:
-            outcomes = [task() for task in timed]
+            results, busy = self._run_chunk(list(tasks))
         else:
-            outcomes = [f.result() for f in [pool.submit(task) for task in timed]]
+            results = []
+            busy = 0.0
+            futures = [pool.submit(self._run_chunk, chunk)
+                       for chunk in self._chunks(list(tasks))]
+            for future in futures:
+                chunk_results, chunk_busy = future.result()
+                results.extend(chunk_results)
+                busy += chunk_busy
         wall = time.perf_counter() - t0
-        results = [result for result, _ in outcomes]
-        self._account(len(tasks), wall, sum(sec for _, sec in outcomes),
-                      pool is not None)
+        self._account(len(tasks), wall, busy, pool is not None)
         return results
 
     def fanout_xor(
@@ -159,51 +184,110 @@ class ScanExecutor:
         tasks: Sequence[Callable[[], Tuple[bytes, object]]],
         nbytes: int,
     ) -> Tuple[bytes, List[object], FanoutReport]:
-        """Run share-producing tasks and XOR-combine shares as they land.
+        """Run share-producing tasks and XOR-combine their shares.
 
-        Each task returns ``(share_bytes, report)``; shares are folded into
-        one accumulator in *completion* order — the front-end never waits
-        for a straggler shard before consuming faster shards' answers.
+        Each task returns ``(share_bytes, report)``. Tasks are dispatched
+        in at most ``max_workers`` contiguous chunks; each worker folds
+        its own chunk's shares into a local accumulator as they are
+        produced, and the caller's thread only combines the per-worker
+        accumulators (one XOR per worker, not per shard).
 
         Returns:
             ``(combined_share, reports, fanout_report)``; ``reports`` is in
-            completion order.
+            worker-completion order within each chunk.
         """
         acc = np.zeros(nbytes, dtype=np.uint8)
         reports: List[object] = []
-        timed = [self._timed(task) for task in tasks]
         busy = 0.0
         t0 = time.perf_counter()
         pool = self._pool_handle()
         if pool is None:
-            for task in timed:
-                (share, report), seconds = task()
-                acc ^= np.frombuffer(share, dtype=np.uint8)
-                reports.append(report)
-                busy += seconds
+            chunk_acc, chunk_reports, chunk_busy = self._run_xor_chunk(
+                list(tasks), nbytes)
+            acc ^= chunk_acc
+            reports.extend(chunk_reports)
+            busy += chunk_busy
         else:
-            futures = [pool.submit(task) for task in timed]
-            for future in as_completed(futures):
-                (share, report), seconds = future.result()
-                acc ^= np.frombuffer(share, dtype=np.uint8)
-                reports.append(report)
-                busy += seconds
+            futures = [pool.submit(self._run_xor_chunk, chunk, nbytes)
+                       for chunk in self._chunks(list(tasks))]
+            for future in futures:
+                chunk_acc, chunk_reports, chunk_busy = future.result()
+                acc ^= chunk_acc
+                reports.extend(chunk_reports)
+                busy += chunk_busy
         wall = time.perf_counter() - t0
         fanout = self._account(len(tasks), wall, busy, pool is not None)
         return acc.tobytes(), reports, fanout
 
     # ------------------------------------------------------------------
+    # Per-backend protocol stats
+    # ------------------------------------------------------------------
+
+    def record_backend(self, mode: str, delta: RequestStats) -> None:
+        """Fold a protocol-layer answer-call delta into per-backend totals.
+
+        :class:`~repro.core.zltp.server.ZltpServer` forwards every
+        session's :class:`RequestStats` delta here when it is attached to
+        an executor, so one structure carries the counters from the
+        protocol layer to engine reports and benchmark JSON.
+        """
+        with self._lock:
+            if mode not in self.backend_stats:
+                self.backend_stats[mode] = RequestStats()
+            self.backend_stats[mode].merge(delta)
+
+    def backend_report(self) -> Dict[str, RequestStats]:
+        """Snapshots of the per-backend stats recorded so far."""
+        with self._lock:
+            return {mode: stats.copy()
+                    for mode, stats in self.backend_stats.items()}
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _timed(task: Callable[[], object]) -> Callable[[], Tuple[object, float]]:
-        def run() -> Tuple[object, float]:
-            t0 = time.perf_counter()
-            result = task()
-            return result, time.perf_counter() - t0
+    def _chunks(self, tasks: List[Callable]) -> List[List[Callable]]:
+        """Split tasks into at most ``max_workers`` contiguous slices."""
+        n_chunks = min(self.max_workers, len(tasks))
+        if n_chunks <= 1:
+            return [tasks] if tasks else []
+        size, extra = divmod(len(tasks), n_chunks)
+        chunks = []
+        start = 0
+        for i in range(n_chunks):
+            end = start + size + (1 if i < extra else 0)
+            chunks.append(tasks[start:end])
+            start = end
+        return chunks
 
-        return run
+    @staticmethod
+    def _run_chunk(chunk: List[Callable[[], object]],
+                   ) -> Tuple[List[object], float]:
+        """Run one contiguous slice of tasks, timing the whole slice."""
+        t0 = time.perf_counter()
+        results = [task() for task in chunk]
+        return results, time.perf_counter() - t0
+
+    @staticmethod
+    def _run_xor_chunk(chunk: List[Callable[[], Tuple[bytes, object]]],
+                       nbytes: int,
+                       ) -> Tuple[np.ndarray, List[object], float]:
+        """Run one slice of share tasks, folding shares locally.
+
+        The local fold is part of the timed span: on the inline path this
+        makes ``busy`` cover the real per-request work (so the reported
+        speedup is an honest ~1.0 rather than charging the fold to wall
+        only), and on the pooled path the fold genuinely runs inside the
+        worker.
+        """
+        t0 = time.perf_counter()
+        acc = np.zeros(nbytes, dtype=np.uint8)
+        reports: List[object] = []
+        for task in chunk:
+            share, report = task()
+            acc ^= np.frombuffer(share, dtype=np.uint8)
+            reports.append(report)
+        return acc, reports, time.perf_counter() - t0
 
     def _account(self, tasks: int, wall: float, busy: float,
                  parallel: bool) -> FanoutReport:

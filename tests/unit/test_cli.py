@@ -92,6 +92,56 @@ class TestServeAndBrowse:
         finally:
             deployment.stop()
 
+    def test_serve_all_registered_modes_by_default(self, spec_file):
+        from repro.core.backend import registered_modes
+
+        deployment = build_deployment([spec_file], fetch_budget=2,
+                                      data_domain_bits=10,
+                                      code_domain_bits=7)
+        try:
+            assert deployment.cdn.modes == registered_modes()
+            # Listener width follows the widest served mode (pir2 -> 2).
+            assert deployment.n_parties == 2
+            ports = deployment.ports()
+            assert len(ports["code"]) == 2 and len(ports["data"]) == 2
+        finally:
+            deployment.stop()
+
+    def test_serve_and_browse_single_server_mode(self, spec_file, capsys):
+        # enclave-oram is the single-endpoint mode whose setup fits the
+        # wire (the LWE hint for 64 KiB code blobs exceeds the frame cap,
+        # so LWE end-to-end coverage lives on in-memory transports).
+        deployment = build_deployment([spec_file], fetch_budget=2,
+                                      data_domain_bits=10,
+                                      code_domain_bits=7,
+                                      modes=["enclave"])
+        try:
+            assert deployment.cdn.modes == ["enclave-oram"]
+            assert deployment.n_parties == 1
+            ports = deployment.ports()
+            code = main([
+                "browse", "cli.example/about",
+                "--code-ports", str(ports["code"][0]),
+                "--data-ports", str(ports["data"][0]),
+                "--fetch-budget", "2",
+                "--modes", "enclave",
+            ])
+            assert code == 0
+            assert "served by the CLI" in capsys.readouterr().out
+        finally:
+            deployment.stop()
+
+    def test_parse_modes(self):
+        from repro.cli.serve import parse_modes
+        from repro.errors import NegotiationError
+
+        assert parse_modes(None) is None
+        assert parse_modes("") is None
+        assert parse_modes("pir2,lwe,enclave") == \
+            ["pir2", "pir-lwe", "enclave-oram"]
+        with pytest.raises(NegotiationError):
+            parse_modes("pir2,bogus")
+
     def test_browse_command_one_shot(self, spec_file, capsys):
         deployment = build_deployment([spec_file], fetch_budget=2,
                                       data_domain_bits=10,

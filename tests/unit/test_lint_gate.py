@@ -38,3 +38,53 @@ def test_cli_gate_exit_code(capsys):
     assert main([str(SRC)]) == EXIT_CLEAN
     out = capsys.readouterr().out
     assert "0 finding(s)" in out
+
+
+def test_every_registered_backend_server_is_wire_shape_covered():
+    """Registry membership drives wire-shape coverage (ISSUE 3 satellite).
+
+    For every backend in the live registry, a class with its server-class
+    name whose answer path returns ad-hoc bytes must produce a wire-shape
+    finding — even under a name the legacy ``*ModeServer`` pattern would
+    miss (coverage comes from the registry, not the spelling).
+    """
+    from repro.analysis import analyze_source, registry_server_names
+    from repro.core.backend import registered_specs
+
+    covered = registry_server_names()
+    for spec in registered_specs():
+        assert spec.server_cls is not None
+        name = spec.server_cls.__name__
+        assert name in covered
+        leaky = (
+            f"class {name}:\n"
+            "    def answer(self, payload):\n"
+            "        return b'oops' + payload\n"
+        )
+        findings = analyze_source(leaky, "fixture/mod.py")
+        assert [f.rule for f in findings] == ["wire-shape"], name
+
+
+def test_unregistered_ad_hoc_server_is_a_finding(tmp_path):
+    """A mode-server-shaped class outside the registry is itself flagged.
+
+    The ``backend-registry`` rule fires for classes in the shipped
+    ``repro`` tree that define the wire surface (answer + hello_params)
+    without being registered — so renaming a server away from both the
+    registry and the ``*ModeServer`` pattern cannot drop coverage.
+    """
+    from repro.analysis import analyze_source
+
+    rogue = (
+        "class SneakyServer:\n"
+        "    def hello_params(self):\n"
+        "        return {}\n"
+        "    def answer(self, payload):\n"
+        "        return b'oops' + payload\n"
+    )
+    findings = analyze_source(rogue, "src/repro/pir/sneaky.py")
+    assert [f.rule for f in findings] == ["backend-registry"]
+    assert findings[0].symbol == "SneakyServer"
+    # Outside the shipped tree (test fixtures, scratch files) the shape
+    # alone is not an offence.
+    assert analyze_source(rogue, "fixture/mod.py") == []
