@@ -1,0 +1,121 @@
+"""E10 — instrumentation overhead of the observability layer.
+
+The repo's claim (DESIGN.md "Observability"): tracing and metrics must be
+cheap enough to leave compiled in. Every hot-path timing now goes through
+``repro.obs.trace.span`` — including the E9 scan path, where each shard
+scan is wrapped in ``span("pir2.shard_scan", ...)``. This benchmark
+quantifies what that wrapper costs against the raw scan:
+
+1. ``raw``            — ``BlobDatabase.xor_scan`` called directly.
+2. ``span_off``       — the same scan wrapped in a span with *no tracer
+   active* (the production default: two ``perf_counter`` calls).
+3. ``span_tracing``   — the same scan under an active tracer (span-tree
+   node allocation + contextvar bookkeeping), the debugging mode.
+
+The acceptance bar is overhead < 5% for the always-on ``span_off`` path
+at E9 scan sizes. Measured numbers land in ``BENCH_observability.json``
+at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.obs.trace import span, tracing
+from repro.pir.database import BlobDatabase
+
+DOMAIN_BITS = 13                 # 2^13 x 4 KiB = 32 MiB scanned per call
+BLOB_BYTES = 4096
+SCANS_PER_ROUND = 4
+_ROUNDS = 5
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_observability.json"
+
+
+def _filled_db(domain_bits: int, seed: int = 0) -> BlobDatabase:
+    db = BlobDatabase(domain_bits, BLOB_BYTES)
+    rng = np.random.default_rng(seed)
+    for slot in rng.choice(db.n_slots, size=min(64, db.n_slots), replace=False):
+        db.set_slot(int(slot), bytes(rng.integers(0, 256, 512, dtype=np.uint8)))
+    return db
+
+
+def _best_of(fn, rounds: int = _ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_overhead(domain_bits: int = DOMAIN_BITS,
+                     scans_per_round: int = SCANS_PER_ROUND,
+                     rounds: int = _ROUNDS) -> dict:
+    """Time raw vs span-wrapped scans; return the comparison record."""
+    db = _filled_db(domain_bits)
+    rng = np.random.default_rng(1)
+    bits = rng.integers(0, 2, size=db.n_slots, dtype=np.uint8).astype(bool)
+
+    def run_raw():
+        for _ in range(scans_per_round):
+            db.xor_scan(bits)
+
+    def run_span_off():
+        for _ in range(scans_per_round):
+            with span("pir2.shard_scan", shard=0):
+                db.xor_scan(bits)
+
+    def run_span_tracing():
+        with tracing():
+            for _ in range(scans_per_round):
+                with span("pir2.shard_scan", shard=0):
+                    db.xor_scan(bits)
+
+    raw_s = _best_of(run_raw, rounds)
+    span_off_s = _best_of(run_span_off, rounds)
+    span_tracing_s = _best_of(run_span_tracing, rounds)
+    return {
+        "scan_mib": db.memory_bytes() / 2**20,
+        "scans_per_round": scans_per_round,
+        "raw_seconds": raw_s,
+        "span_off_seconds": span_off_s,
+        "span_tracing_seconds": span_tracing_s,
+        "overhead_span_off": span_off_s / raw_s - 1.0,
+        "overhead_span_tracing": span_tracing_s / raw_s - 1.0,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    data = {"experiment": "E10 observability overhead", "overhead": {}}
+    yield data
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\n  wrote {RESULTS_PATH}")
+
+
+def test_e10_span_overhead_on_scan_path(benchmark, results):
+    measured = {}
+
+    def run_all():
+        measured.update(measure_overhead())
+        return measured
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("E10: span overhead on the E9 scan path", [
+        ("scan size", f"{measured['scan_mib']:.0f} MiB per call"),
+        ("raw", f"{measured['raw_seconds']*1e3:.2f} ms"),
+        ("span (no tracer)",
+         f"{measured['span_off_seconds']*1e3:.2f} ms "
+         f"({measured['overhead_span_off']*100:+.2f}%)"),
+        ("span (tracing)",
+         f"{measured['span_tracing_seconds']*1e3:.2f} ms "
+         f"({measured['overhead_span_tracing']*100:+.2f}%)"),
+    ])
+    results["overhead"] = measured
+    # The always-on instrumentation must cost < 5% of scan throughput.
+    assert measured["overhead_span_off"] < 0.05, measured

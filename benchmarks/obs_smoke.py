@@ -1,0 +1,58 @@
+"""Smoke-run the E10 observability-overhead measurement at reduced sizes.
+
+Tier-1 runs this (via ``tests/integration/test_obs_smoke.py``) so the
+overhead claim — span-wrapped scans within 5% of raw scans — is checked
+on every test run. The scan is kept large enough (16 MiB) that a scan
+takes milliseconds while a span costs microseconds, so the 5% bar holds
+with wide margin even on noisy CI machines; the real E9-sized numbers
+live in ``benchmarks/bench_e10_obs_overhead.py``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/obs_smoke.py [--out BENCH_observability.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from benchmarks.bench_e10_obs_overhead import measure_overhead
+
+DOMAIN_BITS = 12                 # 2^12 x 4 KiB = 16 MiB scanned per call
+SCANS_PER_ROUND = 4
+ROUNDS = 3
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_observability.json"
+
+
+def run() -> dict:
+    """Measure span overhead at smoke sizes; return the results record."""
+    measured = measure_overhead(domain_bits=DOMAIN_BITS,
+                                scans_per_round=SCANS_PER_ROUND,
+                                rounds=ROUNDS)
+    return {
+        "experiment": "E10 observability overhead (smoke, reduced sizes)",
+        "overhead": measured,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+    data = run()
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    overhead = data["overhead"]["overhead_span_off"]
+    if overhead >= 0.05:
+        print(f"OVERHEAD TOO HIGH: span (no tracer) costs "
+              f"{overhead*100:.2f}% >= 5%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,17 +32,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_line(text: str) -> None:
+    # Local writer: this module must stay importable without repro.cli,
+    # so it does not borrow the CLI's emit() seam.
+    sys.stdout.write(text + "\n")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the analyzer; returns 0 clean / 1 findings / 2 internal error."""
     args = build_parser().parse_args(argv)
     try:
         result = analyze_paths(args.paths, baseline_path=args.baseline)
         if args.json:
-            print(render_json(result.findings, result.suppressed,
-                              result.baselined, len(result.files)))
+            _write_line(render_json(result.findings, result.suppressed,
+                                    result.baselined, len(result.files)))
         else:
-            print(render_text(result.findings, len(result.suppressed),
-                              len(result.baselined), len(result.files)))
+            _write_line(render_text(result.findings, len(result.suppressed),
+                                    len(result.baselined),
+                                    len(result.files)))
     except Exception:  # noqa: BLE001 - the exit-code contract wants 2 here
         traceback.print_exc()
         return EXIT_INTERNAL

@@ -21,7 +21,14 @@ side: a class in the ``repro`` tree *shaped* like a mode server
 is itself a finding, so an ad-hoc server can never silently drop out of
 wire-shape coverage.
 
-:func:`analyze_paths` ties the three rule families together with pragma
+The taint walk also drives the ``telemetry-leak`` rule (sinks in
+:mod:`repro.analysis.taint`): observability calls — ``span(...)``,
+``annotate``/``inc``/``set``/``observe``/``labels``, logger methods —
+must never receive a secret-tainted value, so the telemetry layer added
+for the paper's performance accounting cannot itself become a side
+channel.
+
+:func:`analyze_paths` ties the rule families together with pragma
 and baseline suppression and returns a :class:`AnalysisResult`.
 """
 

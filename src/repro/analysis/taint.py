@@ -17,6 +17,12 @@ a secret reaches an observable channel:
 - ``secret-len`` — a secret-derived *length* reaches a serialization
   sink (``struct.pack``/``pack_into``, ``encode_frame``, ``.to_bytes``),
   i.e. a wire message whose size depends on a secret.
+- ``telemetry-leak`` — a secret-tainted value (or secret-derived
+  length) reaches an observability sink: a ``span(...)`` call, a span
+  ``annotate``, a metric ``inc``/``set``/``observe``/``labels``, or a
+  logger call (``info``/``warning``/...). Telemetry is an observable
+  channel exactly like a wire message — a metric labelled by a
+  secret-derived value turns series cardinality into a query log.
 
 Deliberate carve-outs keep the signal high:
 
@@ -58,6 +64,17 @@ BYTES_PRODUCERS = {
 
 #: Calls that erase taint: constant-time comparison and type checks.
 SANITIZERS = {"compare_digest", "isinstance"}
+
+#: Observability sinks for the ``telemetry-leak`` rule. Bare names are
+#: matched for direct calls (``span(...)``); method names for attribute
+#: calls (``sp.annotate(...)``, ``counter.inc(...)``, ``log.info(...)``).
+#: ``log`` itself is deliberately absent: ``math.log``/``np.log`` are
+#: attribute calls named ``log`` and are arithmetic, not telemetry.
+TELEMETRY_NAME_SINKS = {"span"}
+TELEMETRY_METHOD_SINKS = {
+    "annotate", "inc", "set", "observe", "labels",
+    "debug", "info", "warning", "error", "exception", "critical",
+}
 
 _SECRET_LINE_RE = re.compile(r"#\s*taint:\s*secret\b")
 
@@ -378,6 +395,27 @@ class _FunctionTaint:
                     )
                     break
 
+        # Observability sinks: span attributes, metric labels/values, and
+        # log fields are observable channels; nothing secret-tainted (by
+        # value or derived length) may be recorded in them.
+        is_telemetry = (
+            (isinstance(func, ast.Name) and name in TELEMETRY_NAME_SINKS)
+            or (isinstance(func, ast.Attribute)
+                and name in TELEMETRY_METHOD_SINKS)
+        )
+        if is_telemetry:
+            for arg in arg_nodes:
+                taint = self.eval_expr(arg)
+                if taint.value or taint.length:
+                    self.emit(
+                        "telemetry-leak", node,
+                        f"secret-tainted value recorded in telemetry "
+                        f"sink {name}(); metric labels, span attributes "
+                        f"and log fields must be independent of client "
+                        f"secrets",
+                    )
+                    break
+
         result = arg_taint
         if name in self.module.sources.source_calls:
             result = result | Taint(value=True)
@@ -458,4 +496,6 @@ __all__ = [
     "ModuleTaint",
     "BYTES_PRODUCERS",
     "SANITIZERS",
+    "TELEMETRY_NAME_SINKS",
+    "TELEMETRY_METHOD_SINKS",
 ]

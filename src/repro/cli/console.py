@@ -1,0 +1,23 @@
+"""The one sanctioned CLI output channel.
+
+Everything a ``lightweb`` subcommand shows the user goes through
+:func:`emit`; diagnostics and server events go through :mod:`repro.obs.
+logs` loggers instead. Keeping user-facing output behind a single seam
+(rather than bare ``print`` calls scattered through ``src/``) is what
+lets the hygiene test assert "no bare prints" mechanically, and keeps
+command output redirectable in tests without monkey-patching builtins.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+
+def emit(text: str = "", stream: Optional[TextIO] = None) -> None:
+    """Write one line of user-facing CLI output (stdout by default)."""
+    out = stream if stream is not None else sys.stdout
+    out.write(text + "\n")
+
+
+__all__ = ["emit"]

@@ -15,9 +15,10 @@ from repro.analysis.report import (
     render_text,
 )
 from repro.analysis.rules import analyze_paths
+from repro.cli.console import emit
 
 
-def cmd_lint(args, print_fn=print) -> int:
+def cmd_lint(args, print_fn=emit) -> int:
     """Analyze the requested paths; exit 0 clean / 1 findings / 2 error."""
     try:
         result = analyze_paths(args.paths, baseline_path=args.baseline)

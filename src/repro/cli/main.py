@@ -35,6 +35,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated ZLTP modes to serve, e.g. "
                             "'pir2,lwe,enclave' (default: every "
                             "registered backend)")
+    serve.add_argument("--stats-port", type=int, default=None,
+                       help="also expose a stats/metrics HTTP endpoint on "
+                            "this port (0 = ephemeral)")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit structured JSON logs, one object per line")
     serve.set_defaults(func=_cmd_serve)
 
     browse = sub.add_parser("browse", help="browse a running deployment")
@@ -55,6 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: every registered backend)")
     browse.add_argument("-i", "--interactive", action="store_true")
     browse.set_defaults(func=_cmd_browse)
+
+    stats = sub.add_parser(
+        "stats",
+        help="fetch a running deployment's stats/metrics snapshot",
+        description="Query the stats endpoint a deployment exposes with "
+                    "`lightweb serve --stats-port` (text exposition by "
+                    "default, raw JSON with --json).",
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, required=True,
+                       help="the deployment's stats port")
+    stats.add_argument("--json", action="store_true",
+                       help="print the JSON snapshot instead of text")
+    stats.set_defaults(func=_cmd_stats)
 
     costs = sub.add_parser("costs", help="print the paper's cost analytics")
     costs.add_argument("--measure", action="store_true",
@@ -94,7 +113,14 @@ def _cmd_browse(args) -> int:
     return cmd_browse(args)
 
 
+def _cmd_stats(args) -> int:
+    from repro.cli.stats import cmd_stats
+
+    return cmd_stats(args)
+
+
 def _cmd_costs(args) -> int:
+    from repro.cli.console import emit
     from repro.costmodel.billing import (
         UserProfile,
         fi_bytes_cost,
@@ -115,18 +141,18 @@ def _cmd_costs(args) -> int:
                                                  blob_bytes=4096,
                                                  n_requests=2)))
     for label, shard in shards:
-        print(f"Table 2 ({label} shard constants):")
+        emit(f"Table 2 ({label} shard constants):")
         for dataset in (C4, WIKIPEDIA):
             row = estimate_deployment(dataset, shard=shard).row()
-            print(f"  {row['dataset']:<10} {row['vcpu_sec']:>8.1f} vCPU-s  "
-                  f"${row['request_cost_usd']:.5f}/req  "
-                  f"{row['communication_kib']:.1f} KiB")
+            emit(f"  {row['dataset']:<10} {row['vcpu_sec']:>8.1f} vCPU-s  "
+                 f"${row['request_cost_usd']:.5f}/req  "
+                 f"{row['communication_kib']:.1f} KiB")
     c4 = estimate_deployment(C4)
-    print(f"monthly user cost (50 pages/day x 5 GETs): "
-          f"${monthly_user_cost(c4.request_cost_usd, UserProfile()):.2f}")
-    print(f"Fi anchors: NYT homepage ${fi_page_cost():.3f}; "
-          f"4 KiB ${fi_bytes_cost(4 * KIB):.6f}; "
-          f"ZLTP/Fi = {zltp_vs_fi_ratio(c4.request_cost_usd):.0f}x")
+    emit(f"monthly user cost (50 pages/day x 5 GETs): "
+         f"${monthly_user_cost(c4.request_cost_usd, UserProfile()):.2f}")
+    emit(f"Fi anchors: NYT homepage ${fi_page_cost():.3f}; "
+         f"4 KiB ${fi_bytes_cost(4 * KIB):.6f}; "
+         f"ZLTP/Fi = {zltp_vs_fi_ratio(c4.request_cost_usd):.0f}x")
     return 0
 
 
@@ -139,6 +165,7 @@ def _cmd_lint(args) -> int:
 def _cmd_demo(args) -> int:
     import numpy as np
 
+    from repro.cli.console import emit
     from repro.core.lightweb.browser import LightwebBrowser
     from repro.core.lightweb.cdn import Cdn
     from repro.core.lightweb.publisher import Publisher
@@ -157,12 +184,12 @@ def _cmd_demo(args) -> int:
     browser = LightwebBrowser(rng=np.random.default_rng())
     browser.connect(cdn, "demo")
     page = browser.visit("demo.example")
-    print(page.text)
+    emit(page.text)
     page = browser.follow(page, 0)
-    print(page.text)
+    emit(page.text)
     counts = browser.gets_for_last_visit()
-    print(f"\n(the last visit cost {counts['data-get']} data GETs — "
-          f"the fixed budget)")
+    emit(f"\n(the last visit cost {counts['data-get']} data GETs — "
+         f"the fixed budget)")
     return 0
 
 

@@ -14,13 +14,22 @@ default, or the ``--modes pir2,lwe,enclave`` subset (aliases accepted).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.cli.console import emit
 from repro.cli.spec import load_site
 from repro.core import backend as backend_registry
 from repro.core.lightweb.cdn import Cdn
-from repro.core.zltp.sockets import ZltpTcpServer
+from repro.core.zltp.sockets import StatsTcpServer, ZltpTcpServer
+from repro.obs.logs import (
+    configure_console_logging,
+    configure_json_logging,
+    get_logger,
+)
+from repro.obs.metrics import REGISTRY
+
+_log = get_logger(__name__)
 
 
 def parse_modes(value: Optional[str]) -> Optional[List[str]]:
@@ -43,6 +52,7 @@ class RunningDeployment:
     cdn: Cdn
     universe_name: str
     listeners: Dict[Tuple[str, int], ZltpTcpServer]
+    stats: Optional[StatsTcpServer] = field(default=None)
 
     @property
     def n_parties(self) -> int:
@@ -57,8 +67,21 @@ class RunningDeployment:
             for kind in ("code", "data")
         }
 
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Deployment-wide serving counters plus the metrics registry."""
+        merged = self.cdn.stats_by_mode(self.universe_name)
+        return {
+            "universe": self.universe_name,
+            "gets_served": self.cdn.gets_by_universe.get(self.universe_name, 0),
+            "modes": {mode: stats.as_dict()
+                      for mode, stats in sorted(merged.items())},
+            "metrics": REGISTRY.as_dict(),
+        }
+
     def stop(self) -> None:
-        """Stop every listener."""
+        """Stop the stats endpoint and every listener."""
+        if self.stats is not None:
+            self.stats.stop()
         for listener in self.listeners.values():
             listener.stop()
 
@@ -69,7 +92,8 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
                      fetch_budget: int = 5, host: str = "127.0.0.1",
                      port_base: int = 0,
                      state_path: str = "",
-                     modes: Optional[List[str]] = None) -> RunningDeployment:
+                     modes: Optional[List[str]] = None,
+                     stats_port: Optional[int] = None) -> RunningDeployment:
     """Create a CDN from site specs (or saved state) and expose it over TCP.
 
     Args:
@@ -81,6 +105,8 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
             restarted server resumes without losing earlier pushes.
         modes: served modes (names or registry aliases); default is every
             registered backend.
+        stats_port: when given, also expose the deployment-wide stats
+            snapshot on an HTTP sidecar at this port (0 = ephemeral).
 
     Returns:
         A :class:`RunningDeployment`; call ``stop()`` to tear down.
@@ -122,12 +148,20 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
             listeners[(kind, party)] = ZltpTcpServer(server, host=host,
                                                      port=port)
             offset += 1
-    return RunningDeployment(cdn=cdn, universe_name=universe_name,
-                             listeners=listeners)
+    deployment = RunningDeployment(cdn=cdn, universe_name=universe_name,
+                                   listeners=listeners)
+    if stats_port is not None:
+        deployment.stats = StatsTcpServer(deployment.stats_snapshot,
+                                          host=host, port=stats_port)
+    return deployment
 
 
 def cmd_serve(args) -> int:
     """Entry point for ``lightweb serve``."""
+    if getattr(args, "log_json", False):
+        configure_json_logging()
+    else:
+        configure_console_logging()
     deployment = build_deployment(
         args.spec,
         universe_name=args.universe,
@@ -136,15 +170,23 @@ def cmd_serve(args) -> int:
         port_base=args.port_base,
         state_path=args.state,
         modes=parse_modes(getattr(args, "modes", None)),
+        stats_port=getattr(args, "stats_port", None),
     )
     universe = deployment.cdn.universe(args.universe)
     ports = deployment.ports()
-    print(f"universe {args.universe!r}: {universe.n_pages} data blobs, "
-          f"domains {universe.domains()}")
-    print(f"modes         : {', '.join(deployment.cdn.modes)}")
-    print(f"code sessions : ports {ports['code']}")
-    print(f"data sessions : ports {ports['data']}")
-    print("serving; Ctrl-C to stop.")
+    emit(f"universe {args.universe!r}: {universe.n_pages} data blobs, "
+         f"domains {universe.domains()}")
+    emit(f"modes         : {', '.join(deployment.cdn.modes)}")
+    emit(f"code sessions : ports {ports['code']}")
+    emit(f"data sessions : ports {ports['data']}")
+    if deployment.stats is not None:
+        emit(f"stats endpoint: port {deployment.stats.address[1]}")
+    emit("serving; Ctrl-C to stop.")
+    _log.info("deployment serving", extra={
+        "universe": args.universe,
+        "modes": list(deployment.cdn.modes),
+        "ports": ports,
+    })
     try:
         import threading
 
@@ -153,6 +195,7 @@ def cmd_serve(args) -> int:
         pass
     finally:
         deployment.stop()
+        _log.info("deployment stopped", extra={"universe": args.universe})
     return 0
 
 

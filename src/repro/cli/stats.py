@@ -1,0 +1,61 @@
+"""``lightweb stats`` — read a running deployment's observability snapshot.
+
+Fetches the stats exposition a :class:`~repro.core.zltp.sockets.
+StatsTcpServer` serves (``lightweb serve --stats-port``, or the
+``stats_port`` argument of :class:`~repro.core.zltp.sockets.
+ZltpTcpServer`) and prints it: the Prometheus-style text form by
+default, or the raw JSON snapshot with ``--json``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from repro.cli.console import emit
+from repro.errors import TransportError
+
+_RECV_CHUNK = 65536
+
+
+def fetch_stats(host: str, port: int, as_json: bool = False,
+                timeout: Optional[float] = 10.0) -> str:
+    """GET the stats endpoint and return the response body.
+
+    Raises:
+        TransportError: on connection failure or a malformed response.
+    """
+    path = "/metrics.json" if as_json else "/metrics"
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            sock.sendall(
+                f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+            )
+            data = b""
+            while True:
+                chunk = sock.recv(_RECV_CHUNK)
+                if not chunk:
+                    break
+                data += chunk
+    except OSError as exc:
+        raise TransportError(
+            f"could not fetch stats from {host}:{port}: {exc}") from exc
+    head, sep, body = data.partition(b"\r\n\r\n")
+    if not sep or not head.startswith(b"HTTP/"):
+        raise TransportError(f"malformed stats response from {host}:{port}")
+    return body.decode("utf-8", errors="replace")
+
+
+def cmd_stats(args) -> int:
+    """Entry point for ``lightweb stats``."""
+    try:
+        body = fetch_stats(args.host, args.port, as_json=args.json)
+    except TransportError as exc:
+        emit(f"stats error: {exc}")
+        return 1
+    emit(body.rstrip("\n"))
+    return 0
+
+
+__all__ = ["fetch_stats", "cmd_stats"]

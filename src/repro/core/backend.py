@@ -52,7 +52,6 @@ engine, and the benchmarks report per-backend metrics from one structure.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -61,7 +60,8 @@ try:  # pragma: no cover - Protocol is typing-only sugar
 except ImportError:  # pragma: no cover - very old pythons
     Protocol = object  # type: ignore[assignment]
 
-from repro.errors import NegotiationError, ProtocolError
+from repro.errors import NegotiationError, ProtocolError, ReproError
+from repro.obs.trace import span
 
 
 # --------------------------------------------------------------------------
@@ -91,9 +91,30 @@ class RequestStats:
     bytes_down: int = 0
     scan_seconds: float = 0.0
 
+    # Deliberately a plain class attribute, not a dataclass field:
+    # freezing must not change equality or the serialised form, so a
+    # frozen snapshot still compares equal to a live record with the
+    # same counters.
+    _frozen = False
+
+    def freeze(self) -> "RequestStats":
+        """Make this record immutable; returns self for chaining.
+
+        Reports hand out frozen snapshots so a caller can never mutate
+        (or observe mid-update tearing of) the live accounting state.
+        """
+        self._frozen = True
+        return self
+
     def add(self, queries: int = 0, bytes_up: int = 0, bytes_down: int = 0,
             scan_seconds: float = 0.0) -> "RequestStats":
-        """Accumulate raw deltas in place; returns self for chaining."""
+        """Accumulate raw deltas in place; returns self for chaining.
+
+        Raises:
+            ReproError: if this record is a frozen snapshot.
+        """
+        if self._frozen:
+            raise ReproError("RequestStats snapshot is frozen")
         self.queries += queries
         self.bytes_up += bytes_up
         self.bytes_down += bytes_down
@@ -133,10 +154,11 @@ class RequestStats:
 def timed_answer(server: "PirBackend", payload: bytes,
                  stats: RequestStats) -> bytes:
     """Run one backend ``answer`` call, accounting it on ``stats``."""
-    t0 = time.perf_counter()
-    answer = server.answer(payload)
+    with span("backend.answer") as sp:
+        answer = server.answer(payload)
+        sp.annotate(bytes_up=len(payload), bytes_down=len(answer))
     stats.add(queries=1, bytes_up=len(payload), bytes_down=len(answer),
-              scan_seconds=time.perf_counter() - t0)
+              scan_seconds=sp.elapsed)
     return answer
 
 
@@ -147,16 +169,17 @@ def timed_answer_batch(server: "PirBackend", payloads: Sequence[bytes],
     Falls back to per-payload ``answer`` calls when the backend does not
     implement batching.
     """
-    t0 = time.perf_counter()
-    answer_batch = getattr(server, "answer_batch", None)
-    if answer_batch is not None:
-        answers = answer_batch(list(payloads))
-    else:
-        answers = [server.answer(payload) for payload in payloads]
-    stats.add(queries=len(answers),
-              bytes_up=sum(len(p) for p in payloads),
-              bytes_down=sum(len(a) for a in answers),
-              scan_seconds=time.perf_counter() - t0)
+    with span("backend.answer_batch", batch=len(payloads)) as sp:
+        answer_batch = getattr(server, "answer_batch", None)
+        if answer_batch is not None:
+            answers = answer_batch(list(payloads))
+        else:
+            answers = [server.answer(payload) for payload in payloads]
+        bytes_up = sum(len(p) for p in payloads)
+        bytes_down = sum(len(a) for a in answers)
+        sp.annotate(bytes_up=bytes_up, bytes_down=bytes_down)
+    stats.add(queries=len(answers), bytes_up=bytes_up,
+              bytes_down=bytes_down, scan_seconds=sp.elapsed)
     return answers
 
 

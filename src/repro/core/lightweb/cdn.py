@@ -264,7 +264,7 @@ class Cdn:
                 if mode not in merged:
                     merged[mode] = RequestStats()
                 merged[mode].merge(stats)
-        return merged
+        return {mode: stats.freeze() for mode, stats in merged.items()}
 
 
 __all__ = ["Cdn", "TransportFactory"]

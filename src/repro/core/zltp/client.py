@@ -26,6 +26,7 @@ from repro.core.zltp import messages as msg
 from repro.crypto.cuckoo import CuckooTable
 from repro.crypto.hashing import KeyedHash
 from repro.errors import NegotiationError, ProtocolError, TransportError
+from repro.obs.trace import span
 from repro.pir.keyword import decode_record
 
 
@@ -225,12 +226,15 @@ class ZltpClient:
         Returns:
             The value payload, or None if no record for ``key`` exists.
         """
-        found = None
-        for record in self.get_slots(self.candidate_slots(key)):
-            payload = decode_record(key, record)
-            if payload is not None and found is None:
-                found = payload
-        return found
+        # The span carries only the public probe count and mode — never
+        # the key, its slots, or whether it was found.
+        with span("zltp.client.get", mode=self.mode, probes=self.probes):
+            found = None
+            for record in self.get_slots(self.candidate_slots(key)):
+                payload = decode_record(key, record)
+                if payload is not None and found is None:
+                    found = payload
+            return found
 
     # ------------------------------------------------------------------
     # Housekeeping

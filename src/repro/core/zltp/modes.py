@@ -69,18 +69,34 @@ PIR2 = backend.declare_backend(
 
 @PIR2.server
 class Pir2ModeServer:
-    """Server half of ``pir2`` — one of the two non-colluding parties."""
+    """Server half of ``pir2`` — one of the two non-colluding parties.
+
+    By default the party is a single :class:`TwoServerPirServer` scanning
+    the whole database. With the ``prefix_bits`` server option set, the
+    party instead runs the §5.2 deployment shape — a
+    :class:`~repro.pir.sharding.ShardedPartyServer` front-end fanning
+    shard scans out through the scan engine — behind the same wire
+    surface.
+    """
 
     name = MODE_PIR2
 
-    def __init__(self, database: BlobDatabase, party: int):
-        self._pir = TwoServerPirServer(database, party)
+    def __init__(self, database: BlobDatabase, party: int, core=None):
+        self._pir = core if core is not None else TwoServerPirServer(
+            database, party)
         self.party = party
 
     @classmethod
     def from_context(cls, database: BlobDatabase,
                      ctx: ServerContext) -> "Pir2ModeServer":
         """Registry hook: build this party's half from a server context."""
+        prefix_bits = ctx.options.get("prefix_bits")
+        if prefix_bits:
+            from repro.pir.sharding import ShardedPartyServer
+
+            core = ShardedPartyServer(database, int(prefix_bits), ctx.party,
+                                      executor=ctx.options.get("executor"))
+            return cls(database, ctx.party, core=core)
         return cls(database, ctx.party)
 
     def hello_params(self) -> Dict[str, Any]:

@@ -39,6 +39,8 @@ from repro.core.zltp import messages as msg
 from repro.core.zltp.transport import Transport
 from repro.crypto.lwe import LweParams
 from repro.errors import NegotiationError, ProtocolError, ReproError
+from repro.obs.metrics import record_request_stats
+from repro.obs.trace import span
 from repro.pir.database import BlobDatabase
 
 
@@ -62,6 +64,9 @@ class ZltpServer:
             >=2 = cuckoo).
         executor: optional :class:`~repro.pir.engine.ScanExecutor` that
             per-backend serving stats are forwarded to.
+        options: free-form per-backend server options, passed through to
+            every mode's ``from_context`` (e.g. ``prefix_bits`` to serve
+            pir2 through a sharded front-end).
     """
 
     def __init__(
@@ -74,6 +79,7 @@ class ZltpServer:
         lwe_params: Optional[LweParams] = None,
         rng: Optional[np.random.Generator] = None,
         executor: Optional[Any] = None,
+        options: Optional[Dict[str, Any]] = None,
     ):
         self.database = database
         offered = list(modes) if modes is not None \
@@ -87,6 +93,7 @@ class ZltpServer:
         self.executor = executor
         self._lwe_params = lwe_params
         self._rng = rng
+        self._options: Dict[str, Any] = dict(options or {})
         self._mode_servers: Dict[str, Any] = {}
         # One logical server is shared by every connection thread of a
         # ZltpTcpServer, so the stats counters are read-modify-written
@@ -102,24 +109,27 @@ class ZltpServer:
             return sum(stats.queries for stats in self._stats_by_mode.values())
 
     def stats_for(self, mode: str) -> RequestStats:
-        """A snapshot of the serving stats for one mode."""
+        """A frozen snapshot of the serving stats for one mode."""
         canonical = backend_registry.resolve_mode(mode)
         with self._stats_lock:
             stats = self._stats_by_mode.get(canonical)
-            return stats.copy() if stats is not None else RequestStats()
+            snapshot = stats.copy() if stats is not None else RequestStats()
+        return snapshot.freeze()
 
     def stats_by_mode(self) -> Dict[str, RequestStats]:
-        """Snapshots of the serving stats for every mode that served."""
+        """Frozen snapshots of the serving stats for every mode that served."""
         with self._stats_lock:
-            return {mode: stats.copy()
+            return {mode: stats.copy().freeze()
                     for mode, stats in self._stats_by_mode.items()}
 
     def record_stats(self, mode: str, delta: RequestStats) -> None:
         """Fold one session's answer-call delta into the per-mode totals.
 
         The same delta is forwarded to the attached scan executor (if
-        any), so engine-level reports see exactly the counters the
-        protocol layer measured — one structure end to end.
+        any) and folded into the process-wide metrics registry, so engine
+        reports, ``lightweb stats``, and benchmark JSON all see exactly
+        the counters the protocol layer measured — one structure end to
+        end.
         """
         with self._stats_lock:
             if mode not in self._stats_by_mode:
@@ -129,6 +139,7 @@ class ZltpServer:
             record = getattr(self.executor, "record_backend", None)
             if record is not None:
                 record(mode, delta)
+        record_request_stats(mode, delta)
 
     def mode_server(self, mode: str):
         """Get (building lazily) the server half of a mode.
@@ -146,8 +157,12 @@ class ZltpServer:
             if not spec.snapshots_database or \
                     built_version == self.database.version:
                 return server
+        ctx_options = dict(self._options)
+        if self.executor is not None:
+            ctx_options.setdefault("executor", self.executor)
         server = spec.build_server(self.database, ServerContext(
             party=self.party, lwe_params=self._lwe_params, rng=self._rng,
+            options=ctx_options,
         ))
         self._mode_servers[spec.name] = (server, self.database.version)
         return server
@@ -259,9 +274,13 @@ class ZltpServerSession:
         batch, pending[:] = list(pending), []
         delta = RequestStats()
         try:
-            answers = timed_answer_batch(
-                self._mode, [g.payload for g in batch], delta
-            )
+            with span("zltp.session.get_batch", mode=self._mode_name,
+                      batch=len(batch)) as sp:
+                answers = timed_answer_batch(
+                    self._mode, [g.payload for g in batch], delta
+                )
+                sp.annotate(queries=delta.queries, bytes_up=delta.bytes_up,
+                            bytes_down=delta.bytes_down)
         except ReproError as exc:
             self._state = _State.CLOSED
             return [msg.encode_message(msg.ErrorMessage("protocol", str(exc)))]
@@ -303,7 +322,10 @@ class ZltpServerSession:
             return [msg.SetupResponse(params=self._mode.setup())]
         if isinstance(message, msg.GetRequest):
             delta = RequestStats()
-            answer = timed_answer(self._mode, message.payload, delta)
+            with span("zltp.session.get", mode=self._mode_name) as sp:
+                answer = timed_answer(self._mode, message.payload, delta)
+                sp.annotate(queries=delta.queries, bytes_up=delta.bytes_up,
+                            bytes_down=delta.bytes_down)
             self._account(delta)
             return [msg.GetResponse(request_id=message.request_id, payload=answer)]
         raise ProtocolError(f"unexpected {type(message).__name__} in ready state")

@@ -7,19 +7,30 @@ on a listening socket (one thread per connection — plenty for a prototype
 whose per-request cost is a linear database scan), and :func:`connect_tcp`
 returns a blocking :class:`TcpTransport` usable directly by
 :class:`~repro.core.zltp.client.ZltpClient`.
+
+:class:`StatsTcpServer` is the observability sidecar: a deliberately tiny
+HTTP/1.0 responder (the ZLTP wire itself carries only fixed-size frames,
+so stats ride a separate listener) exposing the server's serving counters
+and the process metrics registry as text or JSON — what ``lightweb
+stats`` and scrapers read.
 """
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
-from typing import Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.zltp.server import ZltpServer
 from repro.core.zltp.wire import FrameDecoder, encode_frame
 from repro.errors import TransportError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import REGISTRY
 
 _RECV_CHUNK = 65536
+
+_log = get_logger(__name__)
 
 
 class TcpTransport:
@@ -78,6 +89,100 @@ class TcpTransport:
         return self._bytes_received
 
 
+class StatsTcpServer:
+    """Serve an observability snapshot over HTTP/1.0, one request per
+    connection.
+
+    ``GET /metrics.json`` (or any path ending in ``.json``) returns the
+    snapshot as JSON; every other path returns the Prometheus-style text
+    exposition. The payload comes from a caller-supplied zero-argument
+    ``snapshot`` callable, so the same sidecar fronts a single
+    :class:`ZltpServer` or a whole deployment aggregate.
+
+    Hand-rolled on purpose: no routing, no keep-alive, no request body —
+    just enough HTTP for ``curl`` and ``lightweb stats``, with the same
+    deterministic :meth:`stop` discipline as :class:`ZltpTcpServer`.
+    """
+
+    def __init__(self, snapshot: Callable[[], Dict[str, Any]],
+                 host: str = "127.0.0.1", port: int = 0):
+        self._snapshot = snapshot
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(8)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._stopping = threading.Event()
+        self._thread = threading.Thread(target=self._serve_loop, daemon=True)
+        self._thread.start()
+        _log.info("stats endpoint listening", extra={
+            "host": self.address[0], "port": self.address[1]})
+
+    def _serve_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                self._serve_request(conn)
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _serve_request(self, conn: socket.socket) -> None:
+        conn.settimeout(5.0)
+        data = b""
+        while b"\r\n" not in data:
+            chunk = conn.recv(_RECV_CHUNK)
+            if not chunk:
+                return
+            data += chunk
+        request_line = data.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = request_line.split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        if path.endswith(".json"):
+            body = json.dumps(self._snapshot(), indent=2).encode()
+            ctype = "application/json"
+        else:
+            body = self._render_text().encode()
+            ctype = "text/plain; charset=utf-8"
+        header = (
+            "HTTP/1.0 200 OK\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        conn.sendall(header + body)
+
+    def _render_text(self) -> str:
+        snap = self._snapshot()
+        lines = []
+        for key, value in snap.items():
+            if key == "metrics":
+                continue
+            lines.append(f"# {key}: {json.dumps(value)}")
+        text = REGISTRY.render_text()
+        return "\n".join(lines) + ("\n" if lines else "") + text
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop listening and join the serving thread (idempotent)."""
+        self._stopping.set()
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout)
+
+
 class ZltpTcpServer:
     """Serve a logical ZLTP server on a TCP listening socket.
 
@@ -89,13 +194,17 @@ class ZltpTcpServer:
     batched scan.
     """
 
-    def __init__(self, server: ZltpServer, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, server: ZltpServer, host: str = "127.0.0.1", port: int = 0,
+                 stats_port: Optional[int] = None):
         """Bind and start accepting in a background thread.
 
         Args:
             server: the logical server to expose.
             host: bind address.
             port: bind port; 0 picks a free ephemeral port.
+            stats_port: also serve this server's stats snapshot over HTTP
+                on this port (0 picks a free one); None disables the
+                sidecar.
         """
         self.server = server
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -107,8 +216,27 @@ class ZltpTcpServer:
         self._lock = threading.Lock()
         self._threads: list = []  # guarded-by: _lock
         self._conns: set = set()  # guarded-by: _lock
+        self.stats: Optional[StatsTcpServer] = None
+        if stats_port is not None:
+            self.stats = StatsTcpServer(self.stats_snapshot, host=host,
+                                        port=stats_port)
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
+        _log.info("zltp endpoint listening", extra={
+            "host": self.address[0], "port": self.address[1],
+            "modes": list(server.modes)})
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """JSON-ready serving counters plus the process metrics registry."""
+        return {
+            "sessions_opened": self.server.sessions_opened,
+            "gets_served": self.server.gets_served,
+            "modes": {
+                mode: stats.as_dict()
+                for mode, stats in sorted(self.server.stats_by_mode().items())
+            },
+            "metrics": REGISTRY.as_dict(),
+        }
 
     @property
     def worker_count(self) -> int:
@@ -175,6 +303,8 @@ class ZltpTcpServer:
         Safe to call more than once.
         """
         self._stopping.set()
+        if self.stats is not None:
+            self.stats.stop(timeout)
         # shutdown() (not just close()) wakes a thread blocked in accept().
         try:
             self._listener.shutdown(socket.SHUT_RDWR)
@@ -203,6 +333,8 @@ class ZltpTcpServer:
                     pass
                 self._conns.discard(conn)
             self._threads = [t for t in self._threads if t.is_alive()]
+        _log.info("zltp endpoint stopped", extra={
+            "host": self.address[0], "port": self.address[1]})
 
 
 def connect_tcp(host: str, port: int, timeout: Optional[float] = 10.0) -> TcpTransport:
@@ -212,4 +344,4 @@ def connect_tcp(host: str, port: int, timeout: Optional[float] = 10.0) -> TcpTra
     return TcpTransport(sock, name=f"tcp:{host}:{port}")
 
 
-__all__ = ["TcpTransport", "ZltpTcpServer", "connect_tcp"]
+__all__ = ["TcpTransport", "ZltpTcpServer", "StatsTcpServer", "connect_tcp"]

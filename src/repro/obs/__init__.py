@@ -1,0 +1,61 @@
+"""repro.obs — zero-leakage observability: spans, metrics, structured logs.
+
+Three pieces, one discipline:
+
+* :mod:`repro.obs.trace` — ``with span("pir2.shard_scan", shard=i):``
+  nested trace spans with cross-thread propagation, exportable as JSON.
+* :mod:`repro.obs.metrics` — counters/gauges/fixed-bucket histograms in
+  a process-wide :data:`REGISTRY`, exposed by ``lightweb stats``.
+* :mod:`repro.obs.logs` — module loggers and JSON-lines log output.
+
+The discipline: telemetry is an observable channel, so nothing
+secret-tainted may flow into a span attribute, metric label/value, or
+log field. The ``telemetry-leak`` rule in :mod:`repro.analysis`
+enforces this statically as part of the tier-1 lint gate.
+"""
+
+from repro.obs.logs import (
+    configure_console_logging,
+    configure_json_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_fanout,
+    record_request_stats,
+)
+from repro.obs.trace import (
+    Span,
+    SpanHandle,
+    Tracer,
+    current_span,
+    span,
+    tracing,
+    use_span,
+)
+
+__all__ = [
+    "span",
+    "current_span",
+    "use_span",
+    "tracing",
+    "Span",
+    "SpanHandle",
+    "Tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "REGISTRY",
+    "DEFAULT_SECONDS_BUCKETS",
+    "record_request_stats",
+    "record_fanout",
+    "get_logger",
+    "configure_json_logging",
+    "configure_console_logging",
+]

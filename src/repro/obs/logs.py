@@ -1,0 +1,123 @@
+"""Structured logging for repro: module loggers and JSON-lines output.
+
+All of ``repro`` logs through the stdlib ``logging`` tree rooted at the
+``"repro"`` logger — modules call :func:`get_logger` with their
+``__name__`` and never print. The CLI chooses the rendering:
+:func:`configure_console_logging` for humans, or
+:func:`configure_json_logging` (``lightweb serve --log-json``) which
+emits exactly one JSON object per line so log shippers can parse the
+stream without heuristics.
+
+The same zero-leakage discipline as spans and metrics applies: log
+fields are an observable channel, so the ``telemetry-leak`` analyzer
+rule flags ``logger.info(...)``-style calls whose arguments are
+secret-tainted.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Any, Dict, Optional, TextIO
+
+ROOT_LOGGER_NAME = "repro"
+
+# Attributes present on every LogRecord (plus formatter artefacts);
+# anything else was passed via extra= and belongs in the JSON object.
+_RESERVED = set(vars(logging.makeLogRecord({}))) | {"message", "asctime"}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Module logger under the ``repro`` tree (accepts any module name)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render each record as one JSON object on one line.
+
+    Keys: ``ts`` (unix seconds), ``level``, ``logger``, ``message``,
+    any ``extra=`` fields verbatim, and ``exc`` when an exception is
+    attached.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=False)
+
+
+class ConsoleFormatter(logging.Formatter):
+    """Human-oriented single-line rendering with extras appended."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        ts = time.strftime("%H:%M:%S", time.localtime(record.created))
+        extras = " ".join(
+            f"{key}={value!r}"
+            for key, value in record.__dict__.items()
+            if key not in _RESERVED and not key.startswith("_")
+        )
+        line = f"{ts} {record.levelname.lower():<7} {record.name}: {record.getMessage()}"
+        if extras:
+            line = f"{line} [{extras}]"
+        if record.exc_info:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+def _install_handler(formatter: logging.Formatter,
+                     stream: Optional[TextIO],
+                     level: int) -> logging.Handler:
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    # Idempotent: replace any handler a previous configure_* call added,
+    # so reconfiguring (tests, repeated serve invocations) never stacks
+    # duplicate output lines.
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(formatter)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return handler
+
+
+def configure_json_logging(stream: Optional[TextIO] = None,
+                           level: int = logging.INFO) -> logging.Handler:
+    """Emit one JSON object per line on ``stream`` (default stderr)."""
+    return _install_handler(JsonLineFormatter(), stream, level)
+
+
+def configure_console_logging(stream: Optional[TextIO] = None,
+                              level: int = logging.INFO) -> logging.Handler:
+    """Emit human-readable single-line records on ``stream`` (default stderr)."""
+    return _install_handler(ConsoleFormatter(), stream, level)
+
+
+__all__ = [
+    "get_logger",
+    "JsonLineFormatter",
+    "ConsoleFormatter",
+    "configure_json_logging",
+    "configure_console_logging",
+    "ROOT_LOGGER_NAME",
+]

@@ -1,0 +1,329 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One process-wide :data:`REGISTRY` collects the repo's operational
+numbers — queries served per mode, bytes up/down, scan-engine fan-outs,
+scan-latency distributions — and snapshots them as JSON
+(:meth:`MetricsRegistry.as_dict`) or a Prometheus-style text exposition
+(:meth:`MetricsRegistry.render_text`) for the ``lightweb stats``
+subcommand and the TCP stats endpoint.
+
+Two zero-leakage properties are structural here, not conventions:
+
+* **Histogram buckets are fixed a priori.** A histogram that adapted its
+  bucket boundaries to observed values would encode the distribution of
+  client behaviour into the exposition format itself — boundary values
+  become a side channel. Buckets are chosen once, at declaration time,
+  from public engineering knowledge only.
+* **Label values must be public.** The ``telemetry-leak`` analyzer rule
+  flags any ``inc``/``set``/``observe``/``labels`` call whose arguments
+  are secret-tainted, so a per-label-value series can never be keyed by
+  a client secret (which would turn series cardinality into a query
+  log).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Default latency buckets (seconds) — fixed a priori; see module docstring.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """Monotonically increasing per-label-set totals."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._series: Dict[LabelKey, float] = {}  # guarded-by: _lock
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            series = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._series.items())
+            ]
+        return {"kind": self.kind, "help": self.help, "series": series}
+
+    def render_text(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} counter"]
+        with self._lock:
+            for key, value in sorted(self._series.items()):
+                lines.append(f"{self.name}{_render_labels(key)} {value:g}")
+        return lines
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, worker count)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._series: Dict[LabelKey, float] = {}  # guarded-by: _lock
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            series = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._series.items())
+            ]
+        return {"kind": self.kind, "help": self.help, "series": series}
+
+    def render_text(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} gauge"]
+        with self._lock:
+            for key, value in sorted(self._series.items()):
+                lines.append(f"{self.name}{_render_labels(key)} {value:g}")
+        return lines
+
+
+class Histogram:
+    """Fixed-boundary histogram with Prometheus ``le`` (≤) semantics.
+
+    A value equal to a boundary lands in that boundary's bucket; values
+    above the last boundary land in the implicit +Inf overflow bucket.
+    Boundaries are immutable after construction (see module docstring
+    for why data-dependent buckets are forbidden).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str,
+                 buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS):
+        if not buckets:
+            raise ReproError(f"histogram {name} needs at least one bucket")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ReproError(
+                f"histogram {name} buckets must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        # Per label-set: [bucket counts (+overflow)], sum, count.
+        self._series: Dict[LabelKey, Dict[str, Any]] = {}  # guarded-by: _lock
+
+    def observe(self, value: float, **labels: Any) -> None:
+        v = float(value)
+        # le semantics: bisect_left puts v == bound into bound's bucket;
+        # index == len(bounds) is the +Inf overflow bucket.
+        idx = bisect_left(self.bounds, v)
+        key = _label_key(labels)
+        with self._lock:
+            cell = self._series.get(key)
+            if cell is None:
+                cell = {"counts": [0] * (len(self.bounds) + 1),
+                        "sum": 0.0, "count": 0}
+                self._series[key] = cell
+            cell["counts"][idx] += 1
+            cell["sum"] += v
+            cell["count"] += 1
+
+    def snapshot(self, **labels: Any) -> Dict[str, Any]:
+        """Bucket counts, sum, and count for one label set."""
+        with self._lock:
+            cell = self._series.get(_label_key(labels))
+            if cell is None:
+                return {"counts": [0] * (len(self.bounds) + 1),
+                        "sum": 0.0, "count": 0}
+            return {"counts": list(cell["counts"]),
+                    "sum": cell["sum"], "count": cell["count"]}
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            series = [
+                {
+                    "labels": dict(key),
+                    "counts": list(cell["counts"]),
+                    "sum": cell["sum"],
+                    "count": cell["count"],
+                }
+                for key, cell in sorted(self._series.items())
+            ]
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "buckets": list(self.bounds),
+            "series": series,
+        }
+
+    def render_text(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} histogram"]
+        with self._lock:
+            for key, cell in sorted(self._series.items()):
+                cumulative = 0
+                for bound, n in zip(self.bounds, cell["counts"]):
+                    cumulative += n
+                    le = _render_labels(key, f'le="{bound:g}"')
+                    lines.append(f"{self.name}_bucket{le} {cumulative}")
+                cumulative += cell["counts"][-1]
+                le = _render_labels(key, 'le="+Inf"')
+                lines.append(f"{self.name}_bucket{le} {cumulative}")
+                lines.append(
+                    f"{self.name}_sum{_render_labels(key)} {cell['sum']:g}")
+                lines.append(
+                    f"{self.name}_count{_render_labels(key)} {cell['count']}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named collection of metrics with get-or-create declaration.
+
+    Re-declaring a name returns the existing instrument if the kind
+    matches (so modules can declare at import or first use without
+    ordering constraints) and raises if it does not.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}  # guarded-by: _lock
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ReproError(
+                        f"metric {name} already registered as {existing.kind}")
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of every registered metric."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.as_dict() for name, metric in sorted(metrics)}
+
+    def render_text(self) -> str:
+        """Prometheus-style text exposition of every registered metric."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        lines: List[str] = []
+        for _, metric in sorted(metrics):
+            lines.extend(metric.render_text())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: Process-wide default registry, exposed by ``lightweb stats``.
+REGISTRY = MetricsRegistry()
+
+
+def record_request_stats(mode: str, delta, registry: Optional[MetricsRegistry] = None) -> None:
+    """Fold one per-request ``RequestStats`` delta into the registry.
+
+    Called by the ZLTP server at the protocol layer — the single point
+    where every backend's per-request accounting already flows — so the
+    registry view and ``ScanExecutor.backend_report()`` reconcile by
+    construction. ``mode`` is a public wire identifier.
+    """
+    reg = registry if registry is not None else REGISTRY
+    reg.counter(
+        "zltp_queries_total", "PIR queries answered, by backend mode",
+    ).inc(delta.queries, mode=mode)
+    reg.counter(
+        "zltp_bytes_up_total", "Request payload bytes received, by mode",
+    ).inc(delta.bytes_up, mode=mode)
+    reg.counter(
+        "zltp_bytes_down_total", "Answer payload bytes sent, by mode",
+    ).inc(delta.bytes_down, mode=mode)
+    reg.histogram(
+        "zltp_scan_seconds", "Server-side answer wall time, by mode",
+    ).observe(delta.scan_seconds, mode=mode)
+
+
+def record_fanout(tasks: int, wall_seconds: float, busy_seconds: float,
+                  registry: Optional[MetricsRegistry] = None) -> None:
+    """Record one scan-engine fan-out (task count and wall/busy time)."""
+    reg = registry if registry is not None else REGISTRY
+    reg.counter(
+        "engine_fanouts_total", "Parallel fan-outs dispatched by ScanExecutor",
+    ).inc(1)
+    reg.counter(
+        "engine_tasks_total", "Tasks executed across all fan-outs",
+    ).inc(tasks)
+    reg.histogram(
+        "engine_fanout_wall_seconds", "Wall time per fan-out",
+    ).observe(wall_seconds)
+    reg.counter(
+        "engine_busy_seconds_total", "Summed worker busy time across fan-outs",
+    ).inc(busy_seconds)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_SECONDS_BUCKETS",
+    "record_request_stats",
+    "record_fanout",
+]

@@ -1,0 +1,248 @@
+"""Trace spans: follow one private GET through every layer as a tree.
+
+The paper's performance story (§4–§5) is an accounting of *where* a
+request's time goes — DPF evaluation vs. scan vs. network. This module
+replaces the ad-hoc ``time.perf_counter()`` pairs that used to measure
+those phases with one primitive::
+
+    with span("pir2.shard_scan", shard=k) as sp:
+        share = database.xor_scan(bits)
+    report.scan_seconds = sp.elapsed
+
+``span`` *always* times (``sp.elapsed`` is valid whether or not anyone is
+tracing), so the existing accounting — :class:`~repro.core.backend.
+RequestStats`, :class:`~repro.pir.sharding.ShardReport`, the engine
+counters — keeps reading the same numbers it always did. When a
+:class:`Tracer` is active, each span additionally becomes a node in a
+tree: nesting follows a ``contextvars`` context within a thread, and
+crosses thread boundaries explicitly (the scan engine captures
+:func:`current_span` before submitting to its pool and re-enters it in
+the worker via :func:`use_span`). The result is one exportable JSON tree
+per request: client → ZLTP session → backend dispatch → scan engine →
+shard scan.
+
+Zero-leakage rule (enforced by the ``telemetry-leak`` analyzer rule):
+span names and attributes must never carry secret-tainted values — a
+span attribute is an observable channel exactly like a wire message.
+Shard indices, byte totals of fixed-size payloads, mode names, and batch
+counts are public by the protocol's own design (§2.1); queried slots,
+keys, and record contents are not.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ReproError
+
+#: The innermost open span *node* of the current execution context.
+_current_span: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+_tracer_lock = threading.Lock()
+_active_tracer: Optional["Tracer"] = None  # guarded-by: _tracer_lock
+
+
+class Span:
+    """One node of a trace tree: a named, timed operation with attributes.
+
+    Attributes:
+        name: dotted span name from the taxonomy (DESIGN.md).
+        attrs: public, non-secret key/value annotations.
+        wall_seconds: elapsed wall time, set when the span closes.
+        children: sub-spans, in completion order.
+    """
+
+    __slots__ = ("name", "attrs", "wall_seconds", "children")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.wall_seconds: float = 0.0
+        # Mutated only by Tracer.attach under the owning tracer's _lock
+        # (worker threads close child spans concurrently).
+        self.children: List["Span"] = []
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form of this span and its whole subtree."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "wall_seconds": self.wall_seconds,
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.wall_seconds * 1e3:.3f} ms, "
+                f"{len(self.children)} children)")
+
+
+class SpanHandle:
+    """What ``with span(...)`` yields: timing always, a tree node if tracing.
+
+    Attributes:
+        name: the span name.
+        elapsed: wall seconds, valid once the ``with`` block exits (0.0
+            while still open).
+        node: the attached :class:`Span`, or None when no tracer is
+            active.
+    """
+
+    __slots__ = ("name", "elapsed", "node")
+
+    def __init__(self, name: str, node: Optional[Span]):
+        self.name = name
+        self.elapsed: float = 0.0
+        self.node = node
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach public attributes to the span (no-op when not tracing).
+
+        Never pass secret-derived values; the ``telemetry-leak`` lint
+        rule flags call sites that do.
+        """
+        if self.node is not None:
+            self.node.attrs.update(attrs)
+
+
+class Tracer:
+    """Collects finished spans into per-request trees.
+
+    One tracer is installed process-wide (server connection threads and
+    engine workers must all see it, so a contextvar alone cannot carry
+    the activation). Attachment is thread-safe; roots are spans that
+    closed with no enclosing span in their context.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.roots: List[Span] = []  # guarded-by: _lock
+
+    def attach(self, node: Span, parent: Optional[Span]) -> None:
+        """File a closed span under its parent (or as a new root)."""
+        with self._lock:
+            if parent is None:
+                self.roots.append(node)
+            else:
+                parent.children.append(node)
+
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        """Install this tracer as the process-wide collector.
+
+        Raises:
+            ReproError: if another tracer is already active (traces from
+                unrelated requests would interleave silently).
+        """
+        global _active_tracer
+        with _tracer_lock:
+            if _active_tracer is not None:
+                raise ReproError("a tracer is already active")
+            _active_tracer = self
+        try:
+            yield self
+        finally:
+            with _tracer_lock:
+                _active_tracer = None
+
+    def export(self) -> List[Dict[str, Any]]:
+        """The collected trees as JSON-ready dicts (roots in close order)."""
+        with self._lock:
+            roots = list(self.roots)
+        return [root.as_dict() for root in roots]
+
+    def export_json(self, indent: Optional[int] = None) -> str:
+        """The collected trees serialised as a JSON array."""
+        return json.dumps(self.export(), indent=indent)
+
+
+@contextmanager
+def tracing() -> Iterator[Tracer]:
+    """Collect spans for the duration of the block: ``with tracing() as t:``."""
+    tracer = Tracer()
+    with tracer.activate():
+        yield tracer
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span node of this execution context, if any.
+
+    Fan-out code captures this before handing work to another thread and
+    re-enters it there with :func:`use_span`, so cross-thread children
+    land under the right parent.
+    """
+    return _current_span.get()
+
+
+@contextmanager
+def use_span(node: Optional[Span]) -> Iterator[None]:
+    """Adopt ``node`` as the current span (cross-thread propagation).
+
+    Passing None is a no-op passthrough — the ambient context (which in
+    the inline, same-thread case already holds the right parent) is left
+    untouched.
+    """
+    if node is None:
+        yield
+        return
+    token = _current_span.set(node)
+    try:
+        yield
+    finally:
+        _current_span.reset(token)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[SpanHandle]:
+    """Time a named operation; record it as a trace-tree node if tracing.
+
+    The handle's ``elapsed`` is always populated when the block exits —
+    including on exception — so accounting code can use spans without
+    caring whether a tracer is active. Keyword arguments become span
+    attributes; they must be public values (the ``telemetry-leak`` rule
+    enforces this).
+    """
+    # Racy read by design: activation is rare, the hot path must not
+    # take a lock per span. A span that misses a just-installed tracer
+    # simply goes unrecorded; its timing is still returned to the caller.
+    tracer = _active_tracer
+    if tracer is None:
+        handle = SpanHandle(name, None)
+        t0 = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            handle.elapsed = time.perf_counter() - t0
+        return
+    node = Span(name, attrs)
+    handle = SpanHandle(name, node)
+    parent = _current_span.get()
+    token = _current_span.set(node)
+    t0 = time.perf_counter()
+    try:
+        yield handle
+    except BaseException as exc:
+        node.attrs["error"] = type(exc).__name__
+        raise
+    finally:
+        handle.elapsed = time.perf_counter() - t0
+        node.wall_seconds = handle.elapsed
+        _current_span.reset(token)
+        tracer.attach(node, parent)
+
+
+__all__ = [
+    "Span",
+    "SpanHandle",
+    "Tracer",
+    "tracing",
+    "span",
+    "current_span",
+    "use_span",
+]

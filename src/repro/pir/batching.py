@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import CryptoError
+from repro.obs.trace import span
 from repro.pir.twoserver import TwoServerPirServer
 
 #: Paper constants (§5.1), used as cost-model defaults.
@@ -143,10 +144,10 @@ class BatchScheduler:
             return
         batch = self._pending
         self._pending = []
-        t0 = time.perf_counter()
-        answers = self.server.answer_batch([raw for _, raw, _ in batch])
+        with span("batch.flush", batch=len(batch)) as sp:
+            answers = self.server.answer_batch([raw for _, raw, _ in batch])
         t1 = time.perf_counter()
-        self.total_busy_seconds += t1 - t0
+        self.total_busy_seconds += sp.elapsed
         self.completed_batches += 1
         self.total_requests += len(batch)
         for (ticket, _, submitted), answer in zip(batch, answers):

@@ -49,6 +49,8 @@ import numpy as np
 
 from repro.core.backend import RequestStats
 from repro.errors import CryptoError
+from repro.obs.metrics import record_fanout
+from repro.obs.trace import Span, current_span, span, use_span
 
 #: Upper bound on the default worker count; beyond this the per-request
 #: fan-out overhead outweighs the scan overlap for realistic shard sizes.
@@ -162,21 +164,23 @@ class ScanExecutor:
         each running a contiguous slice of the task list, so the per-task
         future overhead does not grow with the fan-out width.
         """
-        t0 = time.perf_counter()
-        pool = self._pool_handle()
-        if pool is None:
-            results, busy = self._run_chunk(list(tasks))
-        else:
-            results = []
-            busy = 0.0
-            futures = [pool.submit(self._run_chunk, chunk)
-                       for chunk in self._chunks(list(tasks))]
-            for future in futures:
-                chunk_results, chunk_busy = future.result()
-                results.extend(chunk_results)
-                busy += chunk_busy
-        wall = time.perf_counter() - t0
-        self._account(len(tasks), wall, busy, pool is not None)
+        with span("engine.map", tasks=len(tasks)) as sp:
+            pool = self._pool_handle()
+            if pool is None:
+                results, busy = self._run_chunk(list(tasks))
+            else:
+                # Workers run outside this context; hand them the open
+                # span explicitly so their sub-spans nest under it.
+                parent = current_span()
+                results = []
+                busy = 0.0
+                futures = [pool.submit(self._run_chunk, chunk, parent)
+                           for chunk in self._chunks(list(tasks))]
+                for future in futures:
+                    chunk_results, chunk_busy = future.result()
+                    results.extend(chunk_results)
+                    busy += chunk_busy
+        self._account(len(tasks), sp.elapsed, busy, pool is not None)
         return results
 
     def fanout_xor(
@@ -199,24 +203,25 @@ class ScanExecutor:
         acc = np.zeros(nbytes, dtype=np.uint8)
         reports: List[object] = []
         busy = 0.0
-        t0 = time.perf_counter()
-        pool = self._pool_handle()
-        if pool is None:
-            chunk_acc, chunk_reports, chunk_busy = self._run_xor_chunk(
-                list(tasks), nbytes)
-            acc ^= chunk_acc
-            reports.extend(chunk_reports)
-            busy += chunk_busy
-        else:
-            futures = [pool.submit(self._run_xor_chunk, chunk, nbytes)
-                       for chunk in self._chunks(list(tasks))]
-            for future in futures:
-                chunk_acc, chunk_reports, chunk_busy = future.result()
+        with span("engine.fanout", tasks=len(tasks)) as sp:
+            pool = self._pool_handle()
+            if pool is None:
+                chunk_acc, chunk_reports, chunk_busy = self._run_xor_chunk(
+                    list(tasks), nbytes)
                 acc ^= chunk_acc
                 reports.extend(chunk_reports)
                 busy += chunk_busy
-        wall = time.perf_counter() - t0
-        fanout = self._account(len(tasks), wall, busy, pool is not None)
+            else:
+                parent = current_span()
+                futures = [pool.submit(self._run_xor_chunk, chunk, nbytes,
+                                       parent)
+                           for chunk in self._chunks(list(tasks))]
+                for future in futures:
+                    chunk_acc, chunk_reports, chunk_busy = future.result()
+                    acc ^= chunk_acc
+                    reports.extend(chunk_reports)
+                    busy += chunk_busy
+        fanout = self._account(len(tasks), sp.elapsed, busy, pool is not None)
         return acc.tobytes(), reports, fanout
 
     # ------------------------------------------------------------------
@@ -237,9 +242,14 @@ class ScanExecutor:
             self.backend_stats[mode].merge(delta)
 
     def backend_report(self) -> Dict[str, RequestStats]:
-        """Snapshots of the per-backend stats recorded so far."""
+        """Frozen snapshots of the per-backend stats recorded so far.
+
+        The snapshots are immutable (``add``/``merge`` raise), so a
+        caller holding a report can never corrupt — or race against —
+        the live per-backend accounting.
+        """
         with self._lock:
-            return {mode: stats.copy()
+            return {mode: stats.copy().freeze()
                     for mode, stats in self.backend_stats.items()}
 
     # ------------------------------------------------------------------
@@ -262,15 +272,23 @@ class ScanExecutor:
 
     @staticmethod
     def _run_chunk(chunk: List[Callable[[], object]],
+                   parent: Optional[Span] = None,
                    ) -> Tuple[List[object], float]:
-        """Run one contiguous slice of tasks, timing the whole slice."""
-        t0 = time.perf_counter()
-        results = [task() for task in chunk]
-        return results, time.perf_counter() - t0
+        """Run one contiguous slice of tasks, timing the whole slice.
+
+        ``parent`` re-enters the dispatching fan-out's span in a pool
+        worker (None on the inline path, where the ambient context
+        already holds it).
+        """
+        with use_span(parent):
+            t0 = time.perf_counter()
+            results = [task() for task in chunk]
+            return results, time.perf_counter() - t0
 
     @staticmethod
     def _run_xor_chunk(chunk: List[Callable[[], Tuple[bytes, object]]],
                        nbytes: int,
+                       parent: Optional[Span] = None,
                        ) -> Tuple[np.ndarray, List[object], float]:
         """Run one slice of share tasks, folding shares locally.
 
@@ -278,16 +296,17 @@ class ScanExecutor:
         makes ``busy`` cover the real per-request work (so the reported
         speedup is an honest ~1.0 rather than charging the fold to wall
         only), and on the pooled path the fold genuinely runs inside the
-        worker.
+        worker. ``parent`` re-enters the fan-out's span in a pool worker.
         """
-        t0 = time.perf_counter()
-        acc = np.zeros(nbytes, dtype=np.uint8)
-        reports: List[object] = []
-        for task in chunk:
-            share, report = task()
-            acc ^= np.frombuffer(share, dtype=np.uint8)
-            reports.append(report)
-        return acc, reports, time.perf_counter() - t0
+        with use_span(parent):
+            t0 = time.perf_counter()
+            acc = np.zeros(nbytes, dtype=np.uint8)
+            reports: List[object] = []
+            for task in chunk:
+                share, report = task()
+                acc ^= np.frombuffer(share, dtype=np.uint8)
+                reports.append(report)
+            return acc, reports, time.perf_counter() - t0
 
     def _account(self, tasks: int, wall: float, busy: float,
                  parallel: bool) -> FanoutReport:
@@ -299,6 +318,7 @@ class ScanExecutor:
             self.wall_seconds += wall
             self.busy_seconds += busy
             self.last_report = report
+        record_fanout(tasks, wall, busy)
         return report
 
 

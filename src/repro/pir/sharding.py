@@ -25,7 +25,6 @@ whenever its ``version`` moves (see :meth:`ShardedDeployment.refresh`).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -39,6 +38,7 @@ from repro.crypto.dpf_distributed import (
     split_dpf_key,
 )
 from repro.errors import CryptoError
+from repro.obs.trace import span
 from repro.pir.database import BlobDatabase
 from repro.pir.engine import FanoutReport, ScanExecutor, shared_executor
 
@@ -76,16 +76,15 @@ class DataServer:
             )
         if subkey.remaining_bits != self.database.domain_bits:
             raise CryptoError("subkey depth does not match shard database")
-        t0 = time.perf_counter()
-        bits = eval_subkey_full(subkey)
-        t1 = time.perf_counter()
-        share = self.database.xor_scan(bits)
-        t2 = time.perf_counter()
+        with span("pir2.shard_dpf", shard=self.shard_index) as sp_dpf:
+            bits = eval_subkey_full(subkey)
+        with span("pir2.shard_scan", shard=self.shard_index) as sp_scan:
+            share = self.database.xor_scan(bits)
         self.requests_served += 1
         report = ShardReport(
             shard=self.shard_index,
-            dpf_seconds=t1 - t0,
-            scan_seconds=t2 - t1,
+            dpf_seconds=sp_dpf.elapsed,
+            scan_seconds=sp_scan.elapsed,
             subkey_bytes=subkey.size_bytes(),
         )
         return share, report
@@ -106,21 +105,22 @@ class DataServer:
             )
         if subkey.remaining_bits != self.database.domain_bits:
             raise CryptoError("subkey depth does not match shard database")
-        t0 = time.perf_counter()
-        share = self.database.xor_scan(bits)
-        scan_seconds = time.perf_counter() - t0
+        with span("pir2.shard_scan", shard=self.shard_index) as sp:
+            share = self.database.xor_scan(bits)
         self.requests_served += 1
         report = ShardReport(
             shard=self.shard_index,
             dpf_seconds=dpf_seconds,
-            scan_seconds=scan_seconds,
+            scan_seconds=sp.elapsed,
             subkey_bytes=subkey.size_bytes(),
         )
         return share, report
 
     def answer_bits_batch(self, select_matrix: np.ndarray) -> List[bytes]:
         """Answer a whole batch against this shard in one single-pass scan."""
-        shares = self.database.xor_scan_batch(select_matrix)
+        with span("pir2.shard_scan", shard=self.shard_index,
+                  batch=int(select_matrix.shape[0])):
+            shares = self.database.xor_scan_batch(select_matrix)
         self.requests_served += len(shares)
         return shares
 
@@ -157,9 +157,9 @@ class FrontEnd:
         key = DpfKey.from_bytes(key_bytes)
         if key.party != self.party:
             raise CryptoError(f"key for party {key.party} sent to front-end {self.party}")
-        t0 = time.perf_counter()
-        subkeys = split_dpf_key(key, self.prefix_bits)
-        self.last_split_seconds = time.perf_counter() - t0
+        with span("pir2.key_split", shards=1 << self.prefix_bits) as sp:
+            subkeys = split_dpf_key(key, self.prefix_bits)
+        self.last_split_seconds = sp.elapsed
         return subkeys
 
     def answer(self, key_bytes: bytes) -> bytes:
@@ -184,9 +184,9 @@ class FrontEnd:
         return acc.tobytes()
 
     def _answer_parallel(self, subkeys: List[SubtreeKey]) -> bytes:
-        t0 = time.perf_counter()
-        bits = eval_subkeys_batch(subkeys)
-        gang_share = (time.perf_counter() - t0) / len(subkeys)
+        with span("pir2.gang_eval", shards=len(subkeys)) as sp:
+            bits = eval_subkeys_batch(subkeys)
+        gang_share = sp.elapsed / len(subkeys)
         tasks = [
             (lambda server=server, subkey=subkey, row=bits[i]:
              server.answer_bits(subkey, row, dpf_seconds=gang_share))
@@ -230,6 +230,72 @@ class FrontEnd:
                 acc ^= np.frombuffer(per_shard[shard][i], dtype=np.uint8)
             answers.append(acc.tobytes())
         return answers
+
+
+class ShardedPartyServer:
+    """One party's sharded serving stack: front-end + data-server fleet.
+
+    This is the §5.2 deployment shape for a *single* ZLTP server process:
+    where :class:`ShardedDeployment` simulates both non-colluding parties
+    in one object (handy for tests and benchmarks), each real server runs
+    exactly one party's shards. The pir2 mode server builds one of these
+    when its ``prefix_bits`` option is set, which routes every answer
+    through :class:`FrontEnd` and the scan engine — so a live ZLTP
+    request produces the full front-end → shard trace.
+
+    Speaks the same ``answer`` / ``answer_batch`` surface as
+    :class:`~repro.pir.twoserver.TwoServerPirServer`, including the
+    staleness rule: shards are snapshots, rebuilt when the logical
+    database's ``version`` moves.
+    """
+
+    def __init__(self, database: BlobDatabase, prefix_bits: int, party: int,
+                 executor: Optional[ScanExecutor] = None):
+        if party not in (0, 1):
+            raise CryptoError("party must be 0 or 1")
+        if not 1 <= prefix_bits < database.domain_bits:
+            raise CryptoError(
+                f"prefix_bits must be in [1, {database.domain_bits}), got {prefix_bits}"
+            )
+        self.database = database
+        self.prefix_bits = prefix_bits
+        self.party = party
+        self.executor = executor if executor is not None else shared_executor()
+        servers = [
+            DataServer(k, database.sub_database(k, prefix_bits))
+            for k in range(1 << prefix_bits)
+        ]
+        self.front_end = FrontEnd(servers, prefix_bits, database.blob_size,
+                                  party, executor=self.executor)
+        self._built_version = database.version
+
+    @property
+    def n_data_servers(self) -> int:
+        """Data servers behind this party's front-end."""
+        return 1 << self.prefix_bits
+
+    def refresh(self) -> bool:
+        """Re-extract the shards if the logical database changed.
+
+        Returns:
+            True if the shards were stale and have been rebuilt.
+        """
+        if self._built_version == self.database.version:
+            return False
+        for k, server in enumerate(self.front_end.data_servers):
+            server.database = self.database.sub_database(k, self.prefix_bits)
+        self._built_version = self.database.version
+        return True
+
+    def answer(self, key_bytes: bytes) -> bytes:
+        """Answer one private-GET through the front-end fan-out."""
+        self.refresh()
+        return self.front_end.answer(key_bytes)
+
+    def answer_batch(self, key_bytes_list: List[bytes]) -> List[bytes]:
+        """Answer a pipelined batch: one single-pass scan per shard."""
+        self.refresh()
+        return self.front_end.answer_batch(key_bytes_list)
 
 
 class ShardedDeployment:
@@ -318,4 +384,5 @@ class ShardedDeployment:
         return self.front_ends[0].data_servers[0].database.memory_bytes()
 
 
-__all__ = ["ShardedDeployment", "FrontEnd", "DataServer", "ShardReport"]
+__all__ = ["ShardedDeployment", "ShardedPartyServer", "FrontEnd",
+           "DataServer", "ShardReport"]

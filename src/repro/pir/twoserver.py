@@ -25,7 +25,6 @@ DPF-evaluation-vs-data-scan cost split the paper does (64 ms vs 103 ms of a
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -33,6 +32,7 @@ import numpy as np
 
 from repro.crypto.dpf import DpfKey, eval_dpf_full, gen_dpf
 from repro.errors import CryptoError
+from repro.obs.trace import span
 from repro.pir.database import BlobDatabase
 
 
@@ -80,21 +80,22 @@ class TwoServerPirServer:
         """Answer one request and report the DPF/scan cost split."""
         key = DpfKey.from_bytes(key_bytes)
         self._check_key(key)
-        t0 = time.perf_counter()
-        bits = eval_dpf_full(key)
-        t1 = time.perf_counter()
-        blob = self.database.xor_scan(bits)
-        t2 = time.perf_counter()
+        with span("pir2.dpf_eval") as sp_dpf:
+            bits = eval_dpf_full(key)
+        with span("pir2.scan") as sp_scan:
+            blob = self.database.xor_scan(bits)
         self.requests_served += 1
-        return blob, ScanTiming(dpf_seconds=t1 - t0, scan_seconds=t2 - t1)
+        return blob, ScanTiming(dpf_seconds=sp_dpf.elapsed,
+                                scan_seconds=sp_scan.elapsed)
 
     def answer_batch(self, key_blobs: List[bytes]) -> List[bytes]:
         """Answer a batch of requests in one database pass (§5.1 batching)."""
-        keys = [DpfKey.from_bytes(raw) for raw in key_blobs]
-        for key in keys:
-            self._check_key(key)
-        select = np.stack([eval_dpf_full(key) for key in keys])
-        answers = self.database.xor_scan_batch(select)
+        with span("pir2.scan_batch", batch=len(key_blobs)):
+            keys = [DpfKey.from_bytes(raw) for raw in key_blobs]
+            for key in keys:
+                self._check_key(key)
+            select = np.stack([eval_dpf_full(key) for key in keys])
+            answers = self.database.xor_scan_batch(select)
         self.requests_served += len(keys)
         return answers
 

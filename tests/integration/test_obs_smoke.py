@@ -1,0 +1,49 @@
+"""Tier-1 wiring for the E10 observability-overhead smoke run.
+
+Runs :mod:`benchmarks.obs_smoke` and asserts the one perf claim the PR
+makes — always-on span instrumentation costs < 5% of scan throughput —
+plus the meta-check that the ``telemetry-leak`` analyzer rule has fixture
+coverage in the analysis test suite.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import obs_smoke  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_observability.json"
+    assert obs_smoke.main(["--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_smoke_schema(results):
+    assert set(results) == {"experiment", "overhead"}
+    assert {"scan_mib", "scans_per_round", "raw_seconds", "span_off_seconds",
+            "span_tracing_seconds", "overhead_span_off",
+            "overhead_span_tracing"} <= set(results["overhead"])
+
+
+def test_smoke_overhead_under_five_percent(results):
+    # The scan is milliseconds and a span is microseconds, so this holds
+    # with wide margin; it failing means the span fast path regressed.
+    assert results["overhead"]["overhead_span_off"] < 0.05, results
+
+
+def test_smoke_writes_default_path():
+    assert obs_smoke.DEFAULT_OUT == REPO_ROOT / "BENCH_observability.json"
+
+
+def test_telemetry_leak_rule_has_fixture_coverage():
+    # The lint gate keeps src/ clean; this keeps the *rule itself* honest —
+    # the analysis suite must carry a fixture proving telemetry-leak fires.
+    source = (REPO_ROOT / "tests" / "unit" / "test_analysis.py").read_text()
+    assert "telemetry-leak" in source

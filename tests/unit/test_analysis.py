@@ -224,6 +224,59 @@ class TestSecretLen:
         assert findings == []
 
 
+class TestTelemetryLeak:
+    def test_fires_on_secret_metric_label(self):
+        findings = run("""
+            def f(secret, registry):
+                registry.counter("lookups").inc(1, key=secret)
+        """, SECRET_PARAM)
+        assert rules_of(findings) == ["telemetry-leak"]
+
+    def test_fires_on_secret_span_attribute(self):
+        findings = run("""
+            def f(secret):
+                with span("zltp.session.get", slot=secret):
+                    return 0
+        """, SECRET_PARAM)
+        assert rules_of(findings) == ["telemetry-leak"]
+
+    def test_fires_on_secret_derived_length_in_annotate(self):
+        # Even the weak LENGTH taint is an observable channel here.
+        findings = run("""
+            def f(secret, sp):
+                sp.annotate(bytes_up=len(secret))
+        """, SECRET_PARAM)
+        assert rules_of(findings) == ["telemetry-leak"]
+
+    def test_fires_on_secret_log_field(self):
+        findings = run("""
+            def f(secret, log):
+                log.info("served %s", secret)
+        """, SECRET_PARAM)
+        assert rules_of(findings) == ["telemetry-leak"]
+
+    def test_quiet_on_public_labels_and_values(self):
+        findings = run("""
+            def f(secret, registry, sp, mode, nbytes):
+                registry.counter("queries").inc(1, mode=mode)
+                registry.histogram("lat").observe(0.01, mode=mode)
+                sp.annotate(bytes_down=nbytes)
+                return secret
+        """, SECRET_PARAM)
+        assert findings == []
+
+    def test_quiet_on_math_log_of_secret(self):
+        # ``log`` is not a telemetry method sink: math.log/np.log are
+        # arithmetic on the value, not an observable channel.
+        findings = run("""
+            import math
+
+            def f(secret):
+                return math.log(secret + 1)
+        """, SECRET_PARAM)
+        assert findings == []
+
+
 class TestGuardWrite:
     def test_fires_on_unlocked_write(self):
         findings = run("""

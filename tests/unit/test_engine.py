@@ -83,6 +83,72 @@ class TestScanExecutor:
         assert available_cpus() >= 1
 
 
+class TestBackendReportSnapshots:
+    def test_report_snapshots_are_frozen(self):
+        from repro.core.backend import RequestStats
+        from repro.errors import ReproError
+
+        with ScanExecutor(max_workers=1) as executor:
+            executor.record_backend("pir2", RequestStats(queries=1))
+            report = executor.backend_report()
+            with pytest.raises(ReproError):
+                report["pir2"].add(queries=1)
+            with pytest.raises(ReproError):
+                report["pir2"].merge(RequestStats(queries=1))
+
+    def test_report_does_not_alias_live_stats(self):
+        from repro.core.backend import RequestStats
+
+        with ScanExecutor(max_workers=1) as executor:
+            executor.record_backend("pir2", RequestStats(queries=1))
+            report = executor.backend_report()
+            executor.record_backend("pir2", RequestStats(queries=4))
+            # The earlier snapshot must not have moved.
+            assert report["pir2"].queries == 1
+            assert executor.backend_report()["pir2"].queries == 5
+
+    def test_concurrent_record_and_report(self):
+        # Regression: hammer record_backend from several threads while a
+        # reader keeps snapshotting. Every snapshot must be internally
+        # consistent (queries == bytes_up here, since each delta keeps
+        # them equal) and the final totals exact.
+        import threading
+
+        from repro.core.backend import RequestStats
+
+        n_writers, per_writer = 4, 200
+        with ScanExecutor(max_workers=1) as executor:
+            start = threading.Barrier(n_writers + 1)
+            snapshots = []
+
+            def write():
+                start.wait()
+                for _ in range(per_writer):
+                    executor.record_backend(
+                        "pir2", RequestStats(queries=1, bytes_up=1))
+
+            def read():
+                start.wait()
+                for _ in range(100):
+                    report = executor.backend_report()
+                    if "pir2" in report:
+                        snapshots.append(report["pir2"])
+
+            threads = [threading.Thread(target=write)
+                       for _ in range(n_writers)]
+            threads.append(threading.Thread(target=read))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            for snap in snapshots:
+                assert snap.queries == snap.bytes_up
+            final = executor.backend_report()["pir2"]
+            assert final.queries == n_writers * per_writer
+            assert final.bytes_up == n_writers * per_writer
+
+
 class TestGangSubkeyEvaluation:
     @pytest.mark.parametrize("prefix_bits", [1, 2, 4])
     def test_matches_per_subkey_eval(self, prefix_bits):

@@ -1,0 +1,339 @@
+"""Unit tests for :mod:`repro.obs` — spans, metrics, structured logging.
+
+Metric tests use private :class:`MetricsRegistry` instances so the
+process-wide ``REGISTRY`` (which the ZLTP/engine layers feed) is never
+polluted or depended on. Span tests activate their own tracer and always
+tear it down via the ``tracing()`` context manager.
+"""
+
+import ast
+import io
+import json
+import logging
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.core.backend import RequestStats
+from repro.errors import ReproError
+from repro.obs.logs import (
+    ConsoleFormatter,
+    JsonLineFormatter,
+    configure_console_logging,
+    configure_json_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    record_fanout,
+    record_request_stats,
+)
+from repro.obs.trace import (
+    Tracer,
+    current_span,
+    span,
+    tracing,
+    use_span,
+)
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+# ----------------------------------------------------------------------
+# Metrics: counters and gauges
+# ----------------------------------------------------------------------
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("q_total", "queries")
+        c.inc(mode="pir2")
+        c.inc(2, mode="pir2")
+        c.inc(5, mode="lwe")
+        assert c.value(mode="pir2") == 3
+        assert c.value(mode="lwe") == 5
+        assert c.value(mode="enclave") == 0
+
+    def test_counter_rejects_negative_increments(self):
+        c = MetricsRegistry().counter("q_total")
+        with pytest.raises(ReproError):
+            c.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(4)
+        g.add(-1)
+        assert g.value() == 3
+
+    def test_registry_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_registry_rejects_kind_mismatch(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ReproError):
+            reg.gauge("a")
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("a", "help a").inc(2, mode="pir2")
+        snap = reg.as_dict()
+        assert snap["a"]["kind"] == "counter"
+        assert snap["a"]["series"] == [
+            {"labels": {"mode": "pir2"}, "value": 2.0}]
+
+
+# ----------------------------------------------------------------------
+# Metrics: histogram bucketing edge cases
+# ----------------------------------------------------------------------
+
+class TestHistogramBuckets:
+    def test_value_equal_to_boundary_lands_in_that_bucket(self):
+        # Prometheus le (≤) semantics: v == bound counts toward bound.
+        h = Histogram("lat", "", buckets=(0.001, 0.01, 0.1))
+        h.observe(0.01)
+        assert h.snapshot()["counts"] == [0, 1, 0, 0]
+
+    def test_value_above_last_boundary_lands_in_overflow(self):
+        h = Histogram("lat", "", buckets=(0.001, 0.01, 0.1))
+        h.observe(99.0)
+        assert h.snapshot()["counts"] == [0, 0, 0, 1]
+
+    def test_value_below_first_boundary_lands_in_first_bucket(self):
+        h = Histogram("lat", "", buckets=(0.001, 0.01, 0.1))
+        h.observe(0.0)
+        assert h.snapshot()["counts"] == [1, 0, 0, 0]
+
+    def test_sum_and_count_track_observations(self):
+        h = Histogram("lat", "", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(2.5)
+        snap = h.snapshot()
+        assert snap["count"] == 2
+        assert snap["sum"] == pytest.approx(3.0)
+        assert snap["counts"] == [1, 1]
+
+    def test_buckets_must_be_strictly_increasing(self):
+        with pytest.raises(ReproError):
+            Histogram("lat", "", buckets=(0.1, 0.1))
+        with pytest.raises(ReproError):
+            Histogram("lat", "", buckets=(0.2, 0.1))
+        with pytest.raises(ReproError):
+            Histogram("lat", "", buckets=())
+
+    def test_default_buckets_are_fixed_and_increasing(self):
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(DEFAULT_SECONDS_BUCKETS)
+        assert len(set(DEFAULT_SECONDS_BUCKETS)) == len(DEFAULT_SECONDS_BUCKETS)
+
+    def test_render_text_cumulative_buckets_and_inf(self):
+        h = Histogram("lat", "latency", buckets=(0.01, 0.1))
+        h.observe(0.005, mode="pir2")
+        h.observe(0.05, mode="pir2")
+        h.observe(5.0, mode="pir2")
+        text = "\n".join(h.render_text())
+        assert 'lat_bucket{mode="pir2",le="0.01"} 1' in text
+        assert 'lat_bucket{mode="pir2",le="0.1"} 2' in text
+        assert 'lat_bucket{mode="pir2",le="+Inf"} 3' in text
+        assert 'lat_count{mode="pir2"} 3' in text
+
+
+# ----------------------------------------------------------------------
+# Metrics: the accounting helpers
+# ----------------------------------------------------------------------
+
+class TestRecorders:
+    def test_record_request_stats_folds_delta(self):
+        reg = MetricsRegistry()
+        delta = RequestStats(queries=2, bytes_up=100, bytes_down=300,
+                             scan_seconds=0.002)
+        record_request_stats("pir2", delta, registry=reg)
+        record_request_stats("pir2", delta, registry=reg)
+        assert reg.counter("zltp_queries_total").value(mode="pir2") == 4
+        assert reg.counter("zltp_bytes_up_total").value(mode="pir2") == 200
+        assert reg.counter("zltp_bytes_down_total").value(mode="pir2") == 600
+        hist = reg.histogram("zltp_scan_seconds")
+        assert hist.snapshot(mode="pir2")["count"] == 2
+
+    def test_record_fanout(self):
+        reg = MetricsRegistry()
+        record_fanout(4, 0.01, 0.03, registry=reg)
+        record_fanout(8, 0.02, 0.05, registry=reg)
+        assert reg.counter("engine_fanouts_total").value() == 2
+        assert reg.counter("engine_tasks_total").value() == 12
+        assert reg.counter("engine_busy_seconds_total").value() == \
+            pytest.approx(0.08)
+        assert reg.histogram("engine_fanout_wall_seconds").snapshot()["count"] == 2
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+class TestSpans:
+    def test_elapsed_is_valid_with_tracing_off(self):
+        with span("work") as sp:
+            assert sp.node is None
+            sp.annotate(shard=1)  # no-op, must not raise
+        assert sp.elapsed >= 0.0
+
+    def test_nesting_builds_a_tree(self):
+        with tracing() as tracer:
+            with span("outer", mode="pir2"):
+                with span("inner", shard=3) as sp:
+                    sp.annotate(bytes_down=256)
+        trees = tracer.export()
+        assert len(trees) == 1
+        root = trees[0]
+        assert root["name"] == "outer"
+        assert root["attrs"] == {"mode": "pir2"}
+        assert [c["name"] for c in root["children"]] == ["inner"]
+        inner = root["children"][0]
+        assert inner["attrs"] == {"shard": 3, "bytes_down": 256}
+        assert inner["wall_seconds"] <= root["wall_seconds"]
+
+    def test_exception_closes_span_with_error_attr(self):
+        with tracing() as tracer:
+            with pytest.raises(ValueError):
+                with span("outer"):
+                    with span("boom") as sp:
+                        raise ValueError("nope")
+            # The context unwound cleanly: a new span is again a root child.
+            assert current_span() is None
+        assert sp.elapsed >= 0.0
+        [root] = tracer.export()
+        [child] = root["children"]
+        assert child["attrs"]["error"] == "ValueError"
+        assert root["attrs"]["error"] == "ValueError"
+
+    def test_cross_thread_propagation_via_use_span(self):
+        with tracing() as tracer:
+            with span("parent"):
+                parent = current_span()
+
+                def worker():
+                    with use_span(parent):
+                        with span("child", shard=0):
+                            pass
+
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        [root] = tracer.export()
+        assert [c["name"] for c in root["children"]] == ["child"]
+
+    def test_use_span_none_is_a_passthrough(self):
+        with tracing() as tracer:
+            with span("parent"):
+                with use_span(None):
+                    with span("child"):
+                        pass
+        [root] = tracer.export()
+        assert [c["name"] for c in root["children"]] == ["child"]
+
+    def test_only_one_tracer_may_be_active(self):
+        with tracing():
+            with pytest.raises(ReproError):
+                Tracer().activate().__enter__()
+
+    def test_export_json_round_trips(self):
+        with tracing() as tracer:
+            with span("a", shard=1):
+                pass
+        trees = json.loads(tracer.export_json())
+        assert trees[0]["name"] == "a"
+        assert trees[0]["attrs"] == {"shard": 1}
+
+
+# ----------------------------------------------------------------------
+# Structured logging
+# ----------------------------------------------------------------------
+
+class TestLogging:
+    def teardown_method(self):
+        # Drop any handler a test installed on the repro root logger.
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_obs_handler", False):
+                root.removeHandler(handler)
+                handler.close()
+
+    def test_get_logger_prefixes_foreign_names(self):
+        assert get_logger("mymod").name == "repro.mymod"
+        assert get_logger("repro.pir.engine").name == "repro.pir.engine"
+
+    def test_json_logging_emits_one_object_per_line(self):
+        stream = io.StringIO()
+        configure_json_logging(stream=stream)
+        log = get_logger("test.jsonl")
+        log.info("served", extra={"mode": "pir2", "queries": 3})
+        log.warning("slow")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["message"] == "served"
+        assert first["level"] == "info"
+        assert first["logger"] == "repro.test.jsonl"
+        assert first["mode"] == "pir2"
+        assert first["queries"] == 3
+        assert isinstance(first["ts"], float)
+        assert json.loads(lines[1])["level"] == "warning"
+
+    def test_json_logging_serialises_exceptions_and_odd_values(self):
+        stream = io.StringIO()
+        configure_json_logging(stream=stream)
+        log = get_logger("test.exc")
+        try:
+            raise RuntimeError("kaboom")
+        except RuntimeError:
+            log.exception("failed", extra={"obj": object()})
+        payload = json.loads(stream.getvalue())
+        assert "RuntimeError: kaboom" in payload["exc"]
+        assert payload["obj"].startswith("<object object")
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_json_logging(stream=first)
+        configure_json_logging(stream=second)
+        get_logger("test.stack").info("once")
+        assert first.getvalue() == ""
+        assert len(second.getvalue().splitlines()) == 1
+
+    def test_console_formatter_appends_extras(self):
+        stream = io.StringIO()
+        configure_console_logging(stream=stream)
+        get_logger("test.console").info("hello", extra={"mode": "pir2"})
+        line = stream.getvalue()
+        assert "repro.test.console: hello" in line
+        assert "mode='pir2'" in line
+
+    def test_formatters_importable_standalone(self):
+        record = logging.makeLogRecord({"msg": "x", "levelname": "INFO",
+                                        "name": "repro.t"})
+        assert json.loads(JsonLineFormatter().format(record))["message"] == "x"
+        assert "repro.t: x" in ConsoleFormatter().format(record)
+
+
+# ----------------------------------------------------------------------
+# Hygiene: the CLI's emit()/logging seams are the only output channels
+# ----------------------------------------------------------------------
+
+def _print_calls(tree: ast.AST):
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            yield node
+
+
+def test_no_bare_prints_in_src():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in _print_calls(tree):
+            offenders.append(f"{path}:{node.lineno}")
+    assert offenders == [], f"bare print() in src/: {offenders}"
