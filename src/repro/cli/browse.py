@@ -6,6 +6,11 @@ command line or drops into a small interactive loop (`path` to visit, a
 number to follow a link, `quit`). ``--modes`` restricts what the client
 offers in its hello — give one port per kind to browse a single-server
 mode (``--modes lwe --code-ports P --data-ports P``).
+
+Every session rides a reconnecting transport: a dropped TCP connection
+is re-dialled with backoff and the session resumed in place, and
+``--code-replica-ports`` / ``--data-replica-ports`` (the ports ``serve
+--replicas`` prints) add failover targets per endpoint.
 """
 
 from __future__ import annotations
@@ -15,8 +20,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.lightweb.browser import LightwebBrowser, RenderedPage
+from repro.core.resilience import RetryPolicy
 from repro.core.zltp.client import connect_client
-from repro.core.zltp.sockets import connect_tcp
+from repro.core.zltp.sockets import connect_tcp_resilient
 
 
 class TcpCdnProxy:
@@ -29,10 +35,18 @@ class TcpCdnProxy:
 
     def __init__(self, host: str, code_ports: List[int],
                  data_ports: List[int], fetch_budget: int = 5,
-                 universe_name: str = "main"):
+                 universe_name: str = "main",
+                 code_replica_ports: Optional[List[int]] = None,
+                 data_replica_ports: Optional[List[int]] = None,
+                 retries: int = 4,
+                 op_deadline_seconds: Optional[float] = None):
         self.name = f"tcp:{host}"
         self._host = host
         self._ports = {"code": code_ports, "data": data_ports}
+        self._replicas = {"code": list(code_replica_ports or []),
+                          "data": list(data_replica_ports or [])}
+        self._retries = retries
+        self._op_deadline_seconds = op_deadline_seconds
         self._universe = self._Universe(fetch_budget)
         self._universe_name = universe_name
 
@@ -40,11 +54,30 @@ class TcpCdnProxy:
         """Universe metadata (the browser only needs the fetch budget)."""
         return self._universe
 
+    def _candidates(self, kind: str, index: int) -> List[tuple]:
+        """Dial candidates for one endpoint: its primary, then replicas.
+
+        The replica list is flat in the order ``serve --replicas`` prints
+        (round by round, party by party), so endpoint ``index`` of ``k``
+        owns every ``index + n*k``-th replica port.
+        """
+        primaries = self._ports[kind]
+        candidates = [(self._host, primaries[index])]
+        candidates += [(self._host, port)
+                       for port in self._replicas[kind][index::len(primaries)]]
+        return candidates
+
     def connect(self, universe_name: str, kind: str, client_modes=None,
                 transport_factory=None, rng=None):
         """Dial the deployment's listeners for one session kind."""
-        transports = [connect_tcp(self._host, port)
-                      for port in self._ports[kind]]
+        transports = [
+            connect_tcp_resilient(
+                self._candidates(kind, index),
+                policy=RetryPolicy(max_attempts=self._retries),
+                op_deadline_seconds=self._op_deadline_seconds,
+            )
+            for index in range(len(self._ports[kind]))
+        ]
         return connect_client(transports, supported_modes=client_modes,
                               rng=rng)
 
@@ -66,7 +99,13 @@ def cmd_browse(args, input_fn=input, print_fn=print) -> int:
     from repro.cli.serve import parse_modes
 
     proxy = TcpCdnProxy(args.host, args.code_ports, args.data_ports,
-                        fetch_budget=args.fetch_budget)
+                        fetch_budget=args.fetch_budget,
+                        code_replica_ports=getattr(args, "code_replica_ports",
+                                                   None),
+                        data_replica_ports=getattr(args, "data_replica_ports",
+                                                   None),
+                        retries=getattr(args, "retries", 4),
+                        op_deadline_seconds=getattr(args, "op_deadline", None))
     browser = LightwebBrowser(rng=np.random.default_rng())
     browser.connect(proxy, "main",
                     client_modes=parse_modes(getattr(args, "modes", None)))

@@ -38,6 +38,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--stats-port", type=int, default=None,
                        help="also expose a stats/metrics HTTP endpoint on "
                             "this port (0 = ephemeral)")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="extra listeners per endpoint over the same "
+                            "logical servers — failover targets for "
+                            "resilient clients")
     serve.add_argument("--log-json", action="store_true",
                        help="emit structured JSON logs, one object per line")
     serve.set_defaults(func=_cmd_serve)
@@ -58,6 +62,20 @@ def build_parser() -> argparse.ArgumentParser:
     browse.add_argument("--modes", default=None,
                         help="comma-separated modes to offer, e.g. 'lwe' "
                              "(default: every registered backend)")
+    browse.add_argument("--code-replica-ports", type=int, nargs="*",
+                        default=None, metavar="PORT",
+                        help="replica code-session ports to fail over to, "
+                             "in the order `serve --replicas` prints them")
+    browse.add_argument("--data-replica-ports", type=int, nargs="*",
+                        default=None, metavar="PORT",
+                        help="replica data-session ports to fail over to, "
+                             "in the order `serve --replicas` prints them")
+    browse.add_argument("--retries", type=int, default=4,
+                        help="reconnect attempts per failed operation "
+                             "(0 disables backoff retries)")
+    browse.add_argument("--op-deadline", type=float, default=None,
+                        help="per-operation deadline in seconds covering "
+                             "the whole retry loop (default: none)")
     browse.add_argument("-i", "--interactive", action="store_true")
     browse.set_defaults(func=_cmd_browse)
 

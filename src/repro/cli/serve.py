@@ -53,6 +53,12 @@ class RunningDeployment:
     universe_name: str
     listeners: Dict[Tuple[str, int], ZltpTcpServer]
     stats: Optional[StatsTcpServer] = field(default=None)
+    #: Extra listeners over the *same* logical servers, keyed like
+    #: ``listeners``: the failover targets a resilient client dials when
+    #: a primary endpoint dies (same salt, geometry, and mode state, so
+    #: a reconnect-resume validates against the negotiated session).
+    replicas: Dict[Tuple[str, int], List[ZltpTcpServer]] = \
+        field(default_factory=dict)
 
     @property
     def n_parties(self) -> int:
@@ -63,6 +69,15 @@ class RunningDeployment:
         """``{"code": [ports by party...], "data": [ports by party...]}``."""
         return {
             kind: [self.listeners[(kind, party)].address[1]
+                   for party in range(self.n_parties)]
+            for kind in ("code", "data")
+        }
+
+    def replica_ports(self) -> Dict[str, List[List[int]]]:
+        """Replica listener ports: ``{"code": [per-party port lists], ...}``."""
+        return {
+            kind: [[listener.address[1]
+                    for listener in self.replicas.get((kind, party), [])]
                    for party in range(self.n_parties)]
             for kind in ("code", "data")
         }
@@ -79,11 +94,14 @@ class RunningDeployment:
         }
 
     def stop(self) -> None:
-        """Stop the stats endpoint and every listener."""
+        """Stop the stats endpoint and every listener (replicas included)."""
         if self.stats is not None:
             self.stats.stop()
         for listener in self.listeners.values():
             listener.stop()
+        for group in self.replicas.values():
+            for listener in group:
+                listener.stop()
 
 
 def build_deployment(spec_paths: List[str], universe_name: str = "main",
@@ -93,7 +111,8 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
                      port_base: int = 0,
                      state_path: str = "",
                      modes: Optional[List[str]] = None,
-                     stats_port: Optional[int] = None) -> RunningDeployment:
+                     stats_port: Optional[int] = None,
+                     replicas: int = 0) -> RunningDeployment:
     """Create a CDN from site specs (or saved state) and expose it over TCP.
 
     Args:
@@ -107,6 +126,8 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
             registered backend.
         stats_port: when given, also expose the deployment-wide stats
             snapshot on an HTTP sidecar at this port (0 = ephemeral).
+        replicas: additional listeners per (kind, party) over the same
+            logical servers — failover targets for resilient clients.
 
     Returns:
         A :class:`RunningDeployment`; call ``stop()`` to tear down.
@@ -148,8 +169,20 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
             listeners[(kind, party)] = ZltpTcpServer(server, host=host,
                                                      port=port)
             offset += 1
+    # Replica listeners share the logical servers (the cdn caches them
+    # per (universe, kind, party)), so a client failing over mid-session
+    # lands on the same salt, geometry, and mode state.
+    replica_map: Dict[Tuple[str, int], List[ZltpTcpServer]] = {}
+    for _round in range(replicas):
+        for kind in ("code", "data"):
+            for party in range(n_parties):
+                port = port_base + offset if port_base else 0
+                server = cdn._server(universe_name, kind, party)
+                replica_map.setdefault((kind, party), []).append(
+                    ZltpTcpServer(server, host=host, port=port))
+                offset += 1
     deployment = RunningDeployment(cdn=cdn, universe_name=universe_name,
-                                   listeners=listeners)
+                                   listeners=listeners, replicas=replica_map)
     if stats_port is not None:
         deployment.stats = StatsTcpServer(deployment.stats_snapshot,
                                           host=host, port=stats_port)
@@ -171,6 +204,7 @@ def cmd_serve(args) -> int:
         state_path=args.state,
         modes=parse_modes(getattr(args, "modes", None)),
         stats_port=getattr(args, "stats_port", None),
+        replicas=getattr(args, "replicas", 0),
     )
     universe = deployment.cdn.universe(args.universe)
     ports = deployment.ports()
@@ -179,6 +213,10 @@ def cmd_serve(args) -> int:
     emit(f"modes         : {', '.join(deployment.cdn.modes)}")
     emit(f"code sessions : ports {ports['code']}")
     emit(f"data sessions : ports {ports['data']}")
+    if deployment.replicas:
+        replica_ports = deployment.replica_ports()
+        emit(f"code replicas : ports {replica_ports['code']}")
+        emit(f"data replicas : ports {replica_ports['data']}")
     if deployment.stats is not None:
         emit(f"stats endpoint: port {deployment.stats.address[1]}")
     emit("serving; Ctrl-C to stop.")

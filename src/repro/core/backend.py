@@ -52,6 +52,7 @@ engine, and the benchmarks report per-backend metrics from one structure.
 from __future__ import annotations
 
 import threading
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -84,12 +85,16 @@ class RequestStats:
         bytes_down: total answer-payload bytes produced.
         scan_seconds: wall time spent inside backend ``answer`` /
             ``answer_batch`` calls.
+        retries: shard/task retries absorbed while answering (a request
+            that needed a retry still succeeded — this counts the
+            recoveries, not failures).
     """
 
     queries: int = 0
     bytes_up: int = 0
     bytes_down: int = 0
     scan_seconds: float = 0.0
+    retries: int = 0
 
     # Deliberately a plain class attribute, not a dataclass field:
     # freezing must not change equality or the serialised form, so a
@@ -107,7 +112,7 @@ class RequestStats:
         return self
 
     def add(self, queries: int = 0, bytes_up: int = 0, bytes_down: int = 0,
-            scan_seconds: float = 0.0) -> "RequestStats":
+            scan_seconds: float = 0.0, retries: int = 0) -> "RequestStats":
         """Accumulate raw deltas in place; returns self for chaining.
 
         Raises:
@@ -119,19 +124,22 @@ class RequestStats:
         self.bytes_up += bytes_up
         self.bytes_down += bytes_down
         self.scan_seconds += scan_seconds
+        self.retries += retries
         return self
 
     def merge(self, other: "RequestStats") -> "RequestStats":
         """Fold another record into this one in place."""
         return self.add(queries=other.queries, bytes_up=other.bytes_up,
                         bytes_down=other.bytes_down,
-                        scan_seconds=other.scan_seconds)
+                        scan_seconds=other.scan_seconds,
+                        retries=other.retries)
 
     def copy(self) -> "RequestStats":
         """An independent snapshot of the current counters."""
         return RequestStats(queries=self.queries, bytes_up=self.bytes_up,
                             bytes_down=self.bytes_down,
-                            scan_seconds=self.scan_seconds)
+                            scan_seconds=self.scan_seconds,
+                            retries=self.retries)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form (what benchmark result files embed)."""
@@ -140,22 +148,45 @@ class RequestStats:
             "bytes_up": self.bytes_up,
             "bytes_down": self.bytes_down,
             "scan_seconds": self.scan_seconds,
+            "retries": self.retries,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RequestStats":
-        """Inverse of :meth:`as_dict` (used when re-reading benchmark JSON)."""
+        """Inverse of :meth:`as_dict` (used when re-reading benchmark JSON).
+
+        ``retries`` defaults to 0 so JSON written before the resilience
+        counters existed still round-trips.
+        """
         return cls(queries=int(data["queries"]),
                    bytes_up=int(data["bytes_up"]),
                    bytes_down=int(data["bytes_down"]),
-                   scan_seconds=float(data["scan_seconds"]))
+                   scan_seconds=float(data["scan_seconds"]),
+                   retries=int(data.get("retries", 0)))
+
+
+# The RequestStats delta of the answer call currently executing on this
+# thread/context. Layers *below* the backend seam (the scan engine's
+# shard-retry path) attribute recoveries to the request being answered
+# through this, without threading a stats handle down every call chain.
+_active_stats: ContextVar[Optional[RequestStats]] = ContextVar(
+    "repro_backend_active_stats", default=None)
+
+
+def current_request_stats() -> Optional[RequestStats]:
+    """The live stats delta of the in-flight answer call, if any."""
+    return _active_stats.get()
 
 
 def timed_answer(server: "PirBackend", payload: bytes,
                  stats: RequestStats) -> bytes:
     """Run one backend ``answer`` call, accounting it on ``stats``."""
     with span("backend.answer") as sp:
-        answer = server.answer(payload)
+        token = _active_stats.set(stats)
+        try:
+            answer = server.answer(payload)
+        finally:
+            _active_stats.reset(token)
         sp.annotate(bytes_up=len(payload), bytes_down=len(answer))
     stats.add(queries=1, bytes_up=len(payload), bytes_down=len(answer),
               scan_seconds=sp.elapsed)
@@ -170,11 +201,15 @@ def timed_answer_batch(server: "PirBackend", payloads: Sequence[bytes],
     implement batching.
     """
     with span("backend.answer_batch", batch=len(payloads)) as sp:
-        answer_batch = getattr(server, "answer_batch", None)
-        if answer_batch is not None:
-            answers = answer_batch(list(payloads))
-        else:
-            answers = [server.answer(payload) for payload in payloads]
+        token = _active_stats.set(stats)
+        try:
+            answer_batch = getattr(server, "answer_batch", None)
+            if answer_batch is not None:
+                answers = answer_batch(list(payloads))
+            else:
+                answers = [server.answer(payload) for payload in payloads]
+        finally:
+            _active_stats.reset(token)
         bytes_up = sum(len(p) for p in payloads)
         bytes_down = sum(len(a) for a in answers)
         sp.annotate(bytes_up=bytes_up, bytes_down=bytes_down)
@@ -514,6 +549,7 @@ def create_client(mode: str, domain_bits: int, blob_size: int,
 
 __all__ = [
     "RequestStats",
+    "current_request_stats",
     "timed_answer",
     "timed_answer_batch",
     "PirBackend",

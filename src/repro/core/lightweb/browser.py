@@ -39,6 +39,7 @@ from repro.core.lightweb.lightscript import LightscriptProgram
 from repro.core.lightweb.paths import parse_path, split_query
 from repro.core.lightweb.storage import LocalStorage
 from repro.errors import AccessError, PathError, ProtocolError, TransportError
+from repro.obs.metrics import record_failover, record_retry
 
 _LINK_RE = re.compile(r"\[\[([^\]|]+)(?:\|([^\]]*))?\]\]")
 
@@ -104,6 +105,8 @@ class LightwebBrowser:
         self.history: List[str] = []
         self.network_log: List[Dict[str, Any]] = []
         self._dummy_counter = 0
+        #: CDN failovers this browser performed (§3.5; also in metrics).
+        self.failovers = 0
 
     # ------------------------------------------------------------------
     # Step 1: connect to a CDN
@@ -152,9 +155,11 @@ class LightwebBrowser:
             self._endpoint_index += 1
             try:
                 self._connect_current()
-                return True
             except (TransportError, ProtocolError):
                 continue
+            self.failovers += 1
+            record_failover("browser")
+            return True
         return False
 
     @property
@@ -191,6 +196,7 @@ class LightwebBrowser:
         except TransportError:
             if not self._failover():
                 raise
+            record_retry("browser")
             return self._visit_once(path)
 
     def _visit_once(self, path: str) -> RenderedPage:

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.core import backend as backend_registry
+from repro.core.resilience import Deadline
 from repro.core.zltp import messages as msg
 from repro.crypto.cuckoo import CuckooTable
 from repro.crypto.hashing import KeyedHash
@@ -98,6 +99,13 @@ class ZltpClient:
             # Multi-endpoint backends announce each endpoint's party in
             # the hello; order transports so index b talks to party b.
             parties = [h.mode_params.get("party") for h in server_hellos]
+            if any(not isinstance(party, int) for party in parties):
+                # A hello without a party assignment is a negotiation
+                # failure, not a TypeError from sorting None against int.
+                raise NegotiationError(
+                    f"{spec.name} endpoints must each announce an integer "
+                    f"party, got {parties}"
+                )
             if sorted(parties) != list(range(spec.endpoints)):
                 raise NegotiationError(
                     f"{spec.name} endpoints must be parties "
@@ -129,7 +137,53 @@ class ZltpClient:
         else:
             self._cuckoo = CuckooTable(first.domain_bits, n_hashes=self.probes,
                                        salt=first.salt)
+        self._hello_signature = (first.blob_size, first.domain_bits,
+                                 first.mode, first.probes, first.salt)
         self._connected = True
+        # Resilient transports journal request frames from here on and
+        # re-run the hello (restricted to the negotiated session) on
+        # every reconnect, before replaying unanswered requests.
+        for endpoint, transport in enumerate(self._transports):
+            if hasattr(transport, "mark_established"):
+                transport.on_reconnect = self._make_resume(endpoint)
+                transport.mark_established()
+
+    def _make_resume(self, endpoint: int):
+        """A reconnect hook that restores this endpoint's session."""
+        def resume(raw) -> None:
+            self._resume_session(endpoint, raw)
+        return resume
+
+    def _resume_session(self, endpoint: int, raw) -> None:
+        """Re-run the hello on a re-dialled transport and validate that
+        the server (or its replica) still matches the negotiated session.
+
+        Only the already-negotiated mode is offered, so a replica cannot
+        silently renegotiate. A mismatched geometry, mode, or party is a
+        :class:`~repro.errors.ProtocolError` — retrying cannot fix it.
+        """
+        hello = msg.ClientHello(supported_modes=[self.mode])
+        raw.send_frame(msg.encode_message(hello))
+        reply = msg.decode_message(raw.recv_frame())
+        if isinstance(reply, msg.ErrorMessage):
+            raise ProtocolError(
+                f"server error {reply.code}: {reply.detail}")
+        if not isinstance(reply, msg.ServerHello):
+            raise ProtocolError(
+                f"expected ServerHello on resume, got {type(reply).__name__}")
+        signature = (reply.blob_size, reply.domain_bits, reply.mode,
+                     reply.probes, reply.salt)
+        if signature != self._hello_signature:
+            raise ProtocolError(
+                "reconnected endpoint disagrees with the negotiated session")
+        spec = backend_registry.get_backend(self.mode)
+        if spec.endpoints > 1:
+            party = reply.mode_params.get("party")
+            if party != endpoint:
+                raise ProtocolError(
+                    f"reconnected endpoint {endpoint} announced party "
+                    f"{party!r}"
+                )
 
     # ------------------------------------------------------------------
     # The private-GET operation
@@ -162,7 +216,7 @@ class ZltpClient:
             answers.append(response.payload)
         return self._mode_client.decode(answers)
 
-    def get_slots(self, slots: List[int]) -> List[bytes]:  # lint: allow(secret-branch) — only the *number* of requested slots shapes control flow here, and the request count is public by design (§2.1 leaks it); the slot values never branch
+    def get_slots(self, slots: List[int], deadline_seconds: Optional[float] = None) -> List[bytes]:  # lint: allow(secret-branch) — only the *number* of requested slots shapes control flow here, and the request count is public by design (§2.1 leaks it); the slot values never branch
         """Privately fetch several slots with pipelined requests.
 
         All GetRequests are written before any response is read, so a
@@ -171,12 +225,20 @@ class ZltpClient:
         Responses on each transport come back in request order; ids are
         checked against the ids sent.
 
+        Args:
+            slots: database slots to fetch.
+            deadline_seconds: optional budget for the whole batch; checked
+                between responses, so a session stuck reconnecting raises
+                :class:`~repro.errors.DeadlineError` instead of hanging.
+
         Returns:
             The decoded records, in the order of ``slots``.
         """
         self._require_connected()
         if not slots:
             return []
+        deadline = (Deadline.start(deadline_seconds)
+                    if deadline_seconds is not None else None)
         request_ids: List[int] = []
         per_slot_queries = []
         for slot in slots:
@@ -197,6 +259,8 @@ class ZltpClient:
         per_slot_answers: List[List[bytes]] = [[] for _ in slots]
         for transport in self._transports:
             for i, request_id in enumerate(request_ids):
+                if deadline is not None:
+                    deadline.check("get_slots")
                 response = self._recv(transport)
                 if not isinstance(response, msg.GetResponse):
                     raise ProtocolError(
@@ -217,11 +281,17 @@ class ZltpClient:
             return [self._hash.slot(key)]
         return self._cuckoo.candidates(key)
 
-    def get(self, key: str) -> Optional[bytes]:
+    def get(self, key: str,
+            deadline_seconds: Optional[float] = None) -> Optional[bytes]:
         """The ZLTP API (§2): privately fetch the value stored under ``key``.
 
         Always performs exactly ``probes`` slot fetches, so the observable
         request count is independent of the key and of whether it exists.
+
+        Args:
+            key: the keyword to look up.
+            deadline_seconds: optional wall-clock budget for the lookup
+                (a fixed public number, never derived from the key).
 
         Returns:
             The value payload, or None if no record for ``key`` exists.
@@ -230,7 +300,8 @@ class ZltpClient:
         # the key, its slots, or whether it was found.
         with span("zltp.client.get", mode=self.mode, probes=self.probes):
             found = None
-            for record in self.get_slots(self.candidate_slots(key)):
+            for record in self.get_slots(self.candidate_slots(key),
+                                         deadline_seconds=deadline_seconds):
                 payload = decode_record(key, record)
                 if payload is not None and found is None:
                     found = payload
@@ -241,12 +312,22 @@ class ZltpClient:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Send Bye on every endpoint and close the transports."""
+        """Send Bye on every endpoint and close the transports.
+
+        The goodbye is best-effort: on a resilient transport it goes
+        through ``try_send_frame``, so a dead connection is *not*
+        re-established just to say Bye.
+        """
+        bye = msg.encode_message(msg.Bye())
         for transport in self._transports:
-            try:
-                transport.send_frame(msg.encode_message(msg.Bye()))
-            except TransportError:
-                pass
+            try_send = getattr(transport, "try_send_frame", None)
+            if try_send is not None:
+                try_send(bye)
+            else:
+                try:
+                    transport.send_frame(bye)
+                except TransportError:
+                    pass
             transport.close()
         self._connected = False
 

@@ -20,8 +20,10 @@ from __future__ import annotations
 import json
 import socket
 import threading
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.resilience import ReconnectingTransport, RetryPolicy, resilient
+from repro.core.zltp import messages as msg
 from repro.core.zltp.server import ZltpServer
 from repro.core.zltp.wire import FrameDecoder, encode_frame
 from repro.errors import TransportError
@@ -126,8 +128,10 @@ class StatsTcpServer:
                 return
             try:
                 self._serve_request(conn)
-            except OSError:
-                pass
+            except Exception:
+                # A raising snapshot (or a malformed request) must not
+                # kill the sidecar thread: the next scrape still works.
+                _log.exception("stats request failed")
             finally:
                 try:
                     conn.close()
@@ -145,14 +149,23 @@ class StatsTcpServer:
         request_line = data.split(b"\r\n", 1)[0].decode("latin-1")
         parts = request_line.split()
         path = parts[1] if len(parts) >= 2 else "/"
-        if path.endswith(".json"):
-            body = json.dumps(self._snapshot(), indent=2).encode()
-            ctype = "application/json"
-        else:
-            body = self._render_text().encode()
+        # Route on the path component only; /metrics.json?pretty=1 is
+        # still a JSON request.
+        path = path.split("?", 1)[0]
+        status = "200 OK"
+        try:
+            if path.endswith(".json"):
+                body = json.dumps(self._snapshot(), indent=2).encode()
+                ctype = "application/json"
+            else:
+                body = self._render_text().encode()
+                ctype = "text/plain; charset=utf-8"
+        except Exception as exc:
+            status = "500 Internal Server Error"
+            body = f"snapshot failed: {exc}\n".encode()
             ctype = "text/plain; charset=utf-8"
         header = (
-            "HTTP/1.0 200 OK\r\n"
+            f"HTTP/1.0 {status}\r\n"
             f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n\r\n"
@@ -287,6 +300,16 @@ class ZltpTcpServer:
                     conn.sendall(encode_frame(reply))
         except OSError:
             return
+        except Exception as exc:
+            # A handler bug must not kill the connection silently: tell
+            # the client why its session died, then tear it down.
+            _log.exception("connection handler failed")
+            error = msg.ErrorMessage("internal", str(exc))
+            try:
+                conn.sendall(encode_frame(msg.encode_message(error)))
+            except OSError:
+                pass
+            return
         finally:
             with self._lock:
                 self._conns.discard(conn)
@@ -337,11 +360,54 @@ class ZltpTcpServer:
             "host": self.address[0], "port": self.address[1]})
 
 
-def connect_tcp(host: str, port: int, timeout: Optional[float] = 10.0) -> TcpTransport:
-    """Open a TCP connection to a ZLTP server and wrap it as a transport."""
-    sock = socket.create_connection((host, port), timeout=timeout)
-    sock.settimeout(timeout)
+def connect_tcp(host: str, port: int, timeout: Optional[float] = 10.0,
+                io_timeout: Optional[float] = None) -> TcpTransport:
+    """Open a TCP connection to a ZLTP server and wrap it as a transport.
+
+    Args:
+        host: server address.
+        port: server port.
+        timeout: connection-establishment timeout only.
+        io_timeout: per-recv/send timeout for the established session;
+            None (the default) blocks indefinitely. A PIR answer is a
+            full database scan, so the dial timeout must not double as
+            the I/O timeout — a slow mode is not a dead connection.
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        # Typed like every other transport failure, so retry policies and
+        # endpoint pools treat a refused dial as a recoverable event.
+        raise TransportError(f"connect to {host}:{port} failed: {exc}") from exc
+    sock.settimeout(io_timeout)
     return TcpTransport(sock, name=f"tcp:{host}:{port}")
 
 
-__all__ = ["TcpTransport", "ZltpTcpServer", "StatsTcpServer", "connect_tcp"]
+def connect_tcp_resilient(candidates: List[Tuple[str, int]],
+                          policy: Optional[RetryPolicy] = None,
+                          timeout: Optional[float] = 10.0,
+                          io_timeout: Optional[float] = None,
+                          op_deadline_seconds: Optional[float] = None
+                          ) -> ReconnectingTransport:
+    """A reconnecting transport over one or more (host, port) endpoints.
+
+    Dials the first reachable candidate and transparently re-dials (with
+    failover across the remaining candidates) when the TCP session drops
+    mid-stream. The caller still drives the ZLTP handshake; see
+    :class:`repro.core.resilience.ReconnectingTransport` for the replay
+    discipline.
+    """
+    if not candidates:
+        raise TransportError("connect_tcp_resilient needs at least one endpoint")
+    dials = [
+        (lambda host=host, port=port:
+         connect_tcp(host, port, timeout=timeout, io_timeout=io_timeout))
+        for host, port in candidates
+    ]
+    name = "tcp:" + ",".join(f"{host}:{port}" for host, port in candidates)
+    return resilient(dials, policy=policy,
+                     op_deadline_seconds=op_deadline_seconds, name=name)
+
+
+__all__ = ["TcpTransport", "ZltpTcpServer", "StatsTcpServer", "connect_tcp",
+           "connect_tcp_resilient"]

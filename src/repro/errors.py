@@ -39,6 +39,10 @@ class TransportError(ReproError):
     """The underlying transport failed (closed connection, oversized frame)."""
 
 
+class DeadlineError(TransportError):
+    """A per-request deadline expired before the operation completed."""
+
+
 class PathError(ReproError):
     """A lightweb path is syntactically invalid or violates ownership rules."""
 

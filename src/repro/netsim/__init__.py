@@ -21,6 +21,7 @@ halves of that claim:
 """
 
 from repro.netsim.simnet import SimClock, NetworkPath, SimTransport, sim_transport_pair
+from repro.netsim.faults import FaultRule, FaultSchedule, FaultyTransport
 from repro.netsim.adversary import PassiveAdversary, Observation, PageEvent
 from repro.netsim.traffic import ClassicWebTraffic, PageLoadTrace
 from repro.netsim.fingerprint import NaiveBayesFingerprinter
@@ -36,6 +37,9 @@ __all__ = [
     "NetworkPath",
     "SimTransport",
     "sim_transport_pair",
+    "FaultRule",
+    "FaultSchedule",
+    "FaultyTransport",
     "PassiveAdversary",
     "Observation",
     "PageEvent",

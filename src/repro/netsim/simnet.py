@@ -13,8 +13,11 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Tuple
 
+import numpy as np
+
 from repro.core.zltp.transport import InMemoryTransport
-from repro.errors import SimulationError
+from repro.core.zltp.wire import encode_frame
+from repro.errors import SimulationError, TransportError
 
 
 class SimClock:
@@ -48,30 +51,45 @@ class NetworkPath:
         name: label used in adversary observations (e.g. ``"client-cdn"``).
         latency_seconds: one-way propagation delay.
         bandwidth_bps: link bandwidth in bits per second.
+        loss_rate: probability a frame is lost in flight (0 disables).
+        frames_dropped: frames lost so far (chaos tests assert on this).
     """
 
     def __init__(self, clock: SimClock, name: str = "path",
                  latency_seconds: float = 0.02,
                  bandwidth_bps: float = 100e6,
-                 observer: Optional[Callable] = None):
+                 observer: Optional[Callable] = None,
+                 loss_rate: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
         if latency_seconds < 0 or bandwidth_bps <= 0:
             raise SimulationError("latency must be >=0 and bandwidth positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError("loss_rate must be in [0, 1)")
         self.clock = clock
         self.name = name
         self.latency_seconds = latency_seconds
         self.bandwidth_bps = bandwidth_bps
         self.observer = observer
+        self.loss_rate = loss_rate
+        # Seeded by default so lossy runs replay deterministically.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.frames_dropped = 0
 
-    def transfer(self, direction: str, n_bytes: int) -> float:
-        """Carry ``n_bytes`` across the path; returns the arrival time.
+    def transfer(self, direction: str, n_bytes: int) -> Optional[float]:
+        """Carry ``n_bytes`` across the path; returns the arrival time,
+        or None when the frame was lost in flight.
 
         Advances the shared clock by propagation plus serialisation delay
-        and reports the transfer to the observer.
+        and reports the transfer to the observer either way: an on-path
+        adversary sees a frame *leave* whether or not it arrives.
         """
         serialisation = (n_bytes * 8) / self.bandwidth_bps
         arrival = self.clock.advance(self.latency_seconds + serialisation)
         if self.observer is not None:
             self.observer(arrival, self.name, direction, n_bytes)
+        if self.loss_rate > 0 and float(self._rng.random()) < self.loss_rate:
+            self.frames_dropped += 1
+            return None
         return arrival
 
 
@@ -92,7 +110,19 @@ class SimTransport(InMemoryTransport):
 
     def send_frame(self, payload: bytes) -> None:
         # Size on the wire includes the 4-byte frame header.
-        self._path.transfer(self._direction, len(payload) + 4)
+        arrival = self._path.transfer(self._direction, len(payload) + 4)
+        if arrival is None:
+            # Lost in flight: the sender's accounting and any tap see
+            # the frame leave, but the peer never receives it. The
+            # synchronous client then finds no pending frame on its
+            # next recv — a TransportError, the retry layer's trigger.
+            if self._closed:
+                raise TransportError(f"transport {self.name!r} is closed")
+            frame = encode_frame(payload)
+            self._bytes_sent += len(frame)
+            if self.tap is not None:
+                self.tap("send", len(frame))
+            return
         super().send_frame(payload)
 
 

@@ -26,8 +26,11 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    record_failover,
     record_fanout,
+    record_reconnect,
     record_request_stats,
+    record_retry,
 )
 from repro.obs.trace import (
     Span,
@@ -55,6 +58,9 @@ __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
     "record_request_stats",
     "record_fanout",
+    "record_retry",
+    "record_reconnect",
+    "record_failover",
     "get_logger",
     "configure_json_logging",
     "configure_console_logging",

@@ -317,6 +317,42 @@ def record_fanout(tasks: int, wall_seconds: float, busy_seconds: float,
     ).inc(busy_seconds)
 
 
+def record_retry(layer: str,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+    """Count one retry attempt at a resilience layer.
+
+    ``layer`` is a public structural label (``"transport"``,
+    ``"engine"``, ``"browser"``) — never derived from request contents;
+    retries are triggered only by public failure events.
+    """
+    reg = registry if registry is not None else REGISTRY
+    reg.counter(
+        "resilience_retries_total", "Retry attempts, by resilience layer",
+    ).inc(1, layer=layer)
+
+
+def record_reconnect(outcome: str,
+                     registry: Optional[MetricsRegistry] = None) -> None:
+    """Count one transport reconnection attempt's outcome.
+
+    ``outcome`` is one of the fixed labels ``"ok"``, ``"failed"``, or
+    ``"deadline"`` — public connection-level events only.
+    """
+    reg = registry if registry is not None else REGISTRY
+    reg.counter(
+        "transport_reconnects_total", "Transport reconnections, by outcome",
+    ).inc(1, outcome=outcome)
+
+
+def record_failover(layer: str,
+                    registry: Optional[MetricsRegistry] = None) -> None:
+    """Count one failover to a sibling endpoint or worker."""
+    reg = registry if registry is not None else REGISTRY
+    reg.counter(
+        "resilience_failovers_total", "Failovers to a sibling, by layer",
+    ).inc(1, layer=layer)
+
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -326,4 +362,7 @@ __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
     "record_request_stats",
     "record_fanout",
+    "record_retry",
+    "record_reconnect",
+    "record_failover",
 ]

@@ -47,9 +47,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.backend import RequestStats
+from repro.core.backend import RequestStats, current_request_stats
 from repro.errors import CryptoError
-from repro.obs.metrics import record_fanout
+from repro.obs.metrics import record_fanout, record_retry
 from repro.obs.trace import Span, current_span, span, use_span
 
 #: Upper bound on the default worker count; beyond this the per-request
@@ -74,12 +74,14 @@ class FanoutReport:
         wall_seconds: elapsed time for the whole fan-out.
         busy_seconds: sum of per-task execution times.
         parallel: whether a thread pool (vs an inline loop) ran the tasks.
+        retries: tasks that raised and were re-run on a sibling worker.
     """
 
     tasks: int
     wall_seconds: float
     busy_seconds: float
     parallel: bool
+    retries: int = 0
 
     @property
     def speedup(self) -> float:
@@ -95,22 +97,37 @@ class ScanExecutor:
     single-CPU host) they run inline, so callers never pay thread overhead
     the hardware cannot repay.
 
+    A raising shard task does not abort its fan-out: the dispatcher
+    re-runs it (``task_retries`` times, default once) on a sibling
+    worker — whichever pool thread is free — before giving up and
+    propagating the original exception. Recoveries are counted in
+    ``tasks_retried``, in the metrics registry, and on the in-flight
+    request's :class:`RequestStats`.
+
     Attributes:
         max_workers: the worker budget chosen at construction.
+        task_retries: sibling-worker re-runs allowed per failed task.
         fanouts / tasks_run / wall_seconds / busy_seconds: cumulative
             engine counters across every fan-out through this executor.
+        tasks_retried / tasks_failed: recoveries and permanent failures.
     """
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(self, max_workers: Optional[int] = None,
+                 task_retries: int = 1):
         if max_workers is not None and max_workers < 1:
             raise CryptoError("max_workers must be at least 1")
         if max_workers is None:
             max_workers = min(DEFAULT_MAX_WORKERS, available_cpus())
+        if task_retries < 0:
+            raise CryptoError("task_retries must be >= 0")
         self.max_workers = max_workers
+        self.task_retries = task_retries
         self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
         self._lock = threading.Lock()
         self.fanouts = 0  # guarded-by: _lock
         self.tasks_run = 0  # guarded-by: _lock
+        self.tasks_retried = 0  # guarded-by: _lock
+        self.tasks_failed = 0  # guarded-by: _lock
         self.wall_seconds = 0.0  # guarded-by: _lock
         self.busy_seconds = 0.0  # guarded-by: _lock
         self.last_report: Optional[FanoutReport] = None  # guarded-by: _lock
@@ -166,21 +183,31 @@ class ScanExecutor:
         """
         with span("engine.map", tasks=len(tasks)) as sp:
             pool = self._pool_handle()
+            failures: List[Tuple[int, Callable[[], object], Exception]] = []
             if pool is None:
-                results, busy = self._run_chunk(list(tasks))
+                results, busy, failures = self._run_chunk(list(tasks))
             else:
                 # Workers run outside this context; hand them the open
                 # span explicitly so their sub-spans nest under it.
                 parent = current_span()
                 results = []
                 busy = 0.0
-                futures = [pool.submit(self._run_chunk, chunk, parent)
-                           for chunk in self._chunks(list(tasks))]
+                futures = [pool.submit(self._run_chunk, chunk, parent, start)
+                           for chunk, start in self._chunks(list(tasks))]
                 for future in futures:
-                    chunk_results, chunk_busy = future.result()
+                    chunk_results, chunk_busy, chunk_failures = future.result()
                     results.extend(chunk_results)
                     busy += chunk_busy
-        self._account(len(tasks), sp.elapsed, busy, pool is not None)
+                    failures.extend(chunk_failures)
+            retried = len(failures)
+            for position, task, exc in failures:
+                result, retry_busy = self._retry_task(task, exc, pool)
+                results[position] = result
+                busy += retry_busy
+            if retried:
+                sp.annotate(retries=retried)
+        self._account(len(tasks), sp.elapsed, busy, pool is not None,
+                      retries=retried)
         return results
 
     def fanout_xor(
@@ -205,23 +232,36 @@ class ScanExecutor:
         busy = 0.0
         with span("engine.fanout", tasks=len(tasks)) as sp:
             pool = self._pool_handle()
+            failures: List[Tuple[int, Callable, Exception]] = []
             if pool is None:
-                chunk_acc, chunk_reports, chunk_busy = self._run_xor_chunk(
-                    list(tasks), nbytes)
+                chunk_acc, chunk_reports, chunk_busy, failures = \
+                    self._run_xor_chunk(list(tasks), nbytes)
                 acc ^= chunk_acc
                 reports.extend(chunk_reports)
                 busy += chunk_busy
             else:
                 parent = current_span()
                 futures = [pool.submit(self._run_xor_chunk, chunk, nbytes,
-                                       parent)
-                           for chunk in self._chunks(list(tasks))]
+                                       parent, start)
+                           for chunk, start in self._chunks(list(tasks))]
                 for future in futures:
-                    chunk_acc, chunk_reports, chunk_busy = future.result()
+                    chunk_acc, chunk_reports, chunk_busy, chunk_failures = \
+                        future.result()
                     acc ^= chunk_acc
                     reports.extend(chunk_reports)
                     busy += chunk_busy
-        fanout = self._account(len(tasks), sp.elapsed, busy, pool is not None)
+                    failures.extend(chunk_failures)
+            retried = len(failures)
+            for _position, task, exc in failures:
+                result, retry_busy = self._retry_task(task, exc, pool)
+                share, report = result
+                acc ^= np.frombuffer(share, dtype=np.uint8)
+                reports.append(report)
+                busy += retry_busy
+            if retried:
+                sp.annotate(retries=retried)
+        fanout = self._account(len(tasks), sp.elapsed, busy, pool is not None,
+                               retries=retried)
         return acc.tobytes(), reports, fanout
 
     # ------------------------------------------------------------------
@@ -256,40 +296,57 @@ class ScanExecutor:
     # Internals
     # ------------------------------------------------------------------
 
-    def _chunks(self, tasks: List[Callable]) -> List[List[Callable]]:
-        """Split tasks into at most ``max_workers`` contiguous slices."""
+    def _chunks(self, tasks: List[Callable]
+                ) -> List[Tuple[List[Callable], int]]:
+        """Split tasks into at most ``max_workers`` contiguous slices.
+
+        Returns ``(slice, start_offset)`` pairs so per-task failure
+        positions can be reported globally.
+        """
         n_chunks = min(self.max_workers, len(tasks))
         if n_chunks <= 1:
-            return [tasks] if tasks else []
+            return [(tasks, 0)] if tasks else []
         size, extra = divmod(len(tasks), n_chunks)
         chunks = []
         start = 0
         for i in range(n_chunks):
             end = start + size + (1 if i < extra else 0)
-            chunks.append(tasks[start:end])
+            chunks.append((tasks[start:end], start))
             start = end
         return chunks
 
     @staticmethod
     def _run_chunk(chunk: List[Callable[[], object]],
                    parent: Optional[Span] = None,
-                   ) -> Tuple[List[object], float]:
+                   offset: int = 0,
+                   ) -> Tuple[List[object], float, List[Tuple[int, Callable, Exception]]]:
         """Run one contiguous slice of tasks, timing the whole slice.
 
         ``parent`` re-enters the dispatching fan-out's span in a pool
         worker (None on the inline path, where the ambient context
-        already holds it).
+        already holds it). A raising task does not abort the slice: its
+        global position, the task, and the exception are reported back
+        so the dispatcher can retry it on a sibling worker.
         """
         with use_span(parent):
             t0 = time.perf_counter()
-            results = [task() for task in chunk]
-            return results, time.perf_counter() - t0
+            results: List[object] = []
+            failures: List[Tuple[int, Callable, Exception]] = []
+            for i, task in enumerate(chunk):
+                try:
+                    results.append(task())
+                except Exception as exc:
+                    results.append(None)
+                    failures.append((offset + i, task, exc))
+            return results, time.perf_counter() - t0, failures
 
     @staticmethod
     def _run_xor_chunk(chunk: List[Callable[[], Tuple[bytes, object]]],
                        nbytes: int,
                        parent: Optional[Span] = None,
-                       ) -> Tuple[np.ndarray, List[object], float]:
+                       offset: int = 0,
+                       ) -> Tuple[np.ndarray, List[object], float,
+                                  List[Tuple[int, Callable, Exception]]]:
         """Run one slice of share tasks, folding shares locally.
 
         The local fold is part of the timed span: on the inline path this
@@ -297,21 +354,67 @@ class ScanExecutor:
         speedup is an honest ~1.0 rather than charging the fold to wall
         only), and on the pooled path the fold genuinely runs inside the
         worker. ``parent`` re-enters the fan-out's span in a pool worker.
+        A raising task is excluded from the local fold and reported back
+        for a sibling-worker retry.
         """
         with use_span(parent):
             t0 = time.perf_counter()
             acc = np.zeros(nbytes, dtype=np.uint8)
             reports: List[object] = []
-            for task in chunk:
-                share, report = task()
+            failures: List[Tuple[int, Callable, Exception]] = []
+            for i, task in enumerate(chunk):
+                try:
+                    share, report = task()
+                except Exception as exc:
+                    failures.append((offset + i, task, exc))
+                    continue
                 acc ^= np.frombuffer(share, dtype=np.uint8)
                 reports.append(report)
-            return acc, reports, time.perf_counter() - t0
+            return acc, reports, time.perf_counter() - t0, failures
+
+    def _retry_task(self, task: Callable, cause: Exception,
+                    pool: Optional[ThreadPoolExecutor]
+                    ) -> Tuple[object, float]:
+        """Re-run a failed shard task, preferring a sibling worker.
+
+        Submitting the retry to the pool lands it on whichever worker is
+        free — by construction not stuck in the state that broke the
+        first run. Each successful recovery is counted on the executor,
+        in the metrics registry, and on the in-flight request's
+        :class:`RequestStats` (so ``backend_report()`` and the stats
+        endpoint surface it). When every retry fails, the original
+        exception propagates to the protocol layer.
+
+        Returns:
+            ``(result, busy_seconds)`` of the successful re-run.
+        """
+        last = cause
+        for _attempt in range(self.task_retries):
+            with span("engine.task_retry") as sp:
+                try:
+                    if pool is not None:
+                        result = pool.submit(task).result()
+                    else:
+                        result = task()
+                except Exception as exc:
+                    last = exc
+                    continue
+            with self._lock:
+                self.tasks_retried += 1
+            record_retry("engine")
+            stats = current_request_stats()
+            if stats is not None:
+                stats.add(retries=1)
+            return result, sp.elapsed
+        with self._lock:
+            self.tasks_failed += 1
+        raise last
 
     def _account(self, tasks: int, wall: float, busy: float,
-                 parallel: bool) -> FanoutReport:
+                 parallel: bool, retries: int = 0) -> FanoutReport:
         report = FanoutReport(tasks=tasks, wall_seconds=wall,
-                              busy_seconds=busy, parallel=parallel)
+                              busy_seconds=busy, parallel=parallel,
+                              retries=retries)
         with self._lock:
             self.fanouts += 1
             self.tasks_run += tasks

@@ -26,7 +26,7 @@ whenever its ``version`` moves (see :meth:`ShardedDeployment.refresh`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -149,9 +149,33 @@ class FrontEnd:
         self.blob_size = blob_size
         self.party = party
         self.executor = executor
+        #: Optional hook called with a shard index when its task raises,
+        #: *before* the engine's sibling-worker retry re-runs the task.
+        #: The sharded deployments install a re-extraction of the shard
+        #: from the logical database here, so a corrupted or dead shard
+        #: is rebuilt and the retried scan answers correctly (graceful
+        #: shard degradation rather than a failed request).
+        self.shard_repair: Optional[Callable[[int], None]] = None
+        self.shards_repaired = 0
         self.last_reports: List[ShardReport] = []
         self.last_split_seconds = 0.0
         self.last_fanout: Optional[FanoutReport] = None
+
+    def _guard(self, shard: int, fn: Callable[[], object]) -> Callable[[], object]:
+        """Wrap a shard task with the repair hook.
+
+        The engine retries a raising task as-is; this wrapper makes the
+        retry meaningful by repairing the shard's backing store first.
+        """
+        def run():
+            try:
+                return fn()
+            except Exception:
+                if self.shard_repair is not None:
+                    self.shard_repair(shard)
+                    self.shards_repaired += 1
+                raise
+        return run
 
     def _split(self, key_bytes: bytes) -> List[SubtreeKey]:
         key = DpfKey.from_bytes(key_bytes)
@@ -188,8 +212,8 @@ class FrontEnd:
             bits = eval_subkeys_batch(subkeys)
         gang_share = sp.elapsed / len(subkeys)
         tasks = [
-            (lambda server=server, subkey=subkey, row=bits[i]:
-             server.answer_bits(subkey, row, dpf_seconds=gang_share))
+            self._guard(i, lambda server=server, subkey=subkey, row=bits[i]:
+                        server.answer_bits(subkey, row, dpf_seconds=gang_share))
             for i, (server, subkey) in enumerate(zip(self.data_servers, subkeys))
         ]
         combined, reports, fanout = self.executor.fanout_xor(tasks, self.blob_size)
@@ -218,7 +242,8 @@ class FrontEnd:
         def scan(shard: int) -> List[bytes]:
             return self.data_servers[shard].answer_bits_batch(matrices[shard])
 
-        tasks = [(lambda shard=shard: scan(shard)) for shard in range(n_shards)]
+        tasks = [self._guard(shard, lambda shard=shard: scan(shard))
+                 for shard in range(n_shards)]
         if self.executor is None:
             per_shard = [task() for task in tasks]
         else:
@@ -267,12 +292,24 @@ class ShardedPartyServer:
         ]
         self.front_end = FrontEnd(servers, prefix_bits, database.blob_size,
                                   party, executor=self.executor)
+        self.front_end.shard_repair = self._repair_shard
         self._built_version = database.version
 
     @property
     def n_data_servers(self) -> int:
         """Data servers behind this party's front-end."""
         return 1 << self.prefix_bits
+
+    def _repair_shard(self, shard: int) -> None:
+        """Rebuild one dead shard from the logical database.
+
+        The logical database is the durable source of truth; a shard is
+        only a snapshot, so a data server that started raising is
+        repaired by re-extracting its sub-database — the same operation
+        :meth:`refresh` performs for staleness, scoped to one shard.
+        """
+        server = self.front_end.data_servers[shard]
+        server.database = self.database.sub_database(shard, self.prefix_bits)
 
     def refresh(self) -> bool:
         """Re-extract the shards if the logical database changed.
@@ -339,7 +376,20 @@ class ShardedDeployment:
                 FrontEnd(servers, prefix_bits, database.blob_size, party,
                          executor=self.executor)
             )
+        for front_end in self.front_ends:
+            front_end.shard_repair = self._make_repair(front_end)
         self._built_version = database.version
+
+    def _make_repair(self, front_end: FrontEnd) -> Callable[[int], None]:
+        """A per-front-end shard-repair hook: re-extract one dead shard.
+
+        Same rebuild as :meth:`refresh`, scoped to a single data server,
+        so the engine's sibling-worker retry runs against a fresh shard.
+        """
+        def repair(shard: int) -> None:
+            front_end.data_servers[shard].database = \
+                self.database.sub_database(shard, self.prefix_bits)
+        return repair
 
     @property
     def n_data_servers(self) -> int:

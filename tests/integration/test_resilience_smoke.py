@@ -1,0 +1,60 @@
+"""Tier-1 wiring for the E11 availability-under-loss smoke run.
+
+Runs :mod:`benchmarks.resilience_smoke` and asserts the availability
+claim this PR makes — every private GET completes at every tested loss
+rate, recovered by the resilience layer — plus the determinism property
+the whole chaos methodology rests on (seeded loss + simulated clock ⇒
+bit-identical measurements run over run).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import resilience_smoke  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_resilience.json"
+    assert resilience_smoke.main(["--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_smoke_schema(results):
+    assert set(results) == {"experiment", "rows"}
+    assert len(results["rows"]) == len(resilience_smoke.LOSS_RATES)
+    for row in results["rows"]:
+        assert {"loss_rate", "ops", "completed", "availability",
+                "frames_dropped", "reconnects", "transport_retries",
+                "sim_seconds"} <= set(row)
+
+
+def test_smoke_full_availability_at_every_loss_rate(results):
+    for row in results["rows"]:
+        assert row["availability"] == 1.0, row
+
+
+def test_smoke_lossy_rows_actually_exercised_recovery(results):
+    # A lossy run that dropped nothing (or never reconnected) would make
+    # the availability claim vacuous.
+    lossy = [row for row in results["rows"] if row["loss_rate"] > 0]
+    assert lossy
+    for row in lossy:
+        assert row["frames_dropped"] > 0
+        assert row["reconnects"] > 0
+
+
+def test_smoke_is_deterministic():
+    # Same seeds, same simulated clock: the measurement is a pure
+    # function. This is what makes chaos regressions bisectable.
+    assert resilience_smoke.run() == resilience_smoke.run()
+
+
+def test_smoke_writes_default_path():
+    assert resilience_smoke.DEFAULT_OUT == REPO_ROOT / "BENCH_resilience.json"

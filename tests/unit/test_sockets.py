@@ -1,13 +1,18 @@
 """Tests for the real-TCP ZLTP transport."""
 
+import json
+import socket
+import threading
 import time
 
 import pytest
 
+from repro.core.zltp import messages as msg
 from repro.core.zltp.client import connect_client
 from repro.core.zltp.modes import MODE_PIR2
 from repro.core.zltp.server import ZltpServer
-from repro.core.zltp.sockets import ZltpTcpServer, connect_tcp
+from repro.core.zltp.sockets import StatsTcpServer, ZltpTcpServer, connect_tcp
+from repro.core.zltp.wire import encode_frame
 from repro.errors import TransportError
 from repro.pir.database import BlobDatabase
 from repro.pir.keyword import KeywordIndex
@@ -124,6 +129,12 @@ class TestServerLifecycle:
     def test_stop_unblocks_idle_client(self, tcp_pair):
         server = tcp_pair[0]
         transport = connect_tcp(*server.address)
+        # connect_tcp returns as soon as the kernel accepts the SYN; give
+        # the accept loop a moment to register the connection.
+        deadline = 50
+        while server.active_connections < 1 and deadline:
+            deadline -= 1
+            time.sleep(0.02)
         assert server.active_connections == 1
         server.stop()
         # The server shut the socket down; the idle client sees EOF/error.
@@ -145,3 +156,160 @@ class TestServerLifecycle:
         records = client.get_slots(slots)
         assert records == [client.get_slot(slot) for slot in slots]
         client.close()
+
+
+def http_get(address, path):
+    """Minimal HTTP/1.0 GET; returns (status_line, header_bytes, body)."""
+    with socket.create_connection(address, timeout=5) as sock:
+        sock.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    header, _, body = data.partition(b"\r\n\r\n")
+    return header.split(b"\r\n", 1)[0].decode(), header, body
+
+
+@pytest.fixture
+def slow_listener():
+    """A raw TCP listener whose handler thread is scripted per test."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    threads = []
+
+    def spawn(handler):
+        def run():
+            conn, _ = listener.accept()
+            try:
+                handler(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        threads.append(thread)
+        return listener.getsockname()
+
+    yield spawn
+    listener.close()
+    for thread in threads:
+        thread.join(5)
+
+
+class TestTimeoutSplit:
+    """connect_tcp: the dial timeout must not double as the I/O timeout."""
+
+    def test_connect_timeout_does_not_bound_session_io(self, slow_listener):
+        def serve(conn):
+            conn.recv(65536)  # the request frame
+            time.sleep(0.5)   # a scan much slower than the dial timeout
+            conn.sendall(encode_frame(b"slow answer"))
+
+        address = slow_listener(serve)
+        transport = connect_tcp(*address, timeout=0.2)
+        try:
+            transport.send_frame(b"query")
+            # Before the fix the 0.2 s connect timeout stayed armed on
+            # the socket and this recv died while the server was slowly
+            # (but successfully) answering.
+            assert transport.recv_frame() == b"slow answer"
+        finally:
+            transport.close()
+
+    def test_explicit_io_timeout_still_bounds_session_io(self, slow_listener):
+        def serve(conn):
+            conn.recv(65536)
+            conn.recv(65536)  # never answers; unblocked by client close
+
+        address = slow_listener(serve)
+        transport = connect_tcp(*address, timeout=1.0, io_timeout=0.1)
+        try:
+            transport.send_frame(b"query")
+            with pytest.raises(TransportError):
+                transport.recv_frame()
+        finally:
+            transport.close()
+
+
+class TestInternalErrorReply:
+    def test_handler_bug_sends_error_message_not_silence(self, tcp_pair):
+        class BoomSession:
+            closed = False
+
+            def handle_frames(self, frames):
+                raise RuntimeError("handler bug")
+
+        server = tcp_pair[0]
+        server.server.create_session = lambda: BoomSession()
+        transport = connect_tcp(*server.address)
+        try:
+            transport.send_frame(
+                msg.encode_message(msg.ClientHello(["pir2"])))
+            reply = msg.decode_message(transport.recv_frame())
+            assert isinstance(reply, msg.ErrorMessage)
+            assert reply.code == "internal"
+            assert "handler bug" in reply.detail
+        finally:
+            transport.close()
+
+    def test_server_survives_a_crashed_connection(self, tcp_pair):
+        class BoomSession:
+            closed = False
+
+            def handle_frames(self, frames):
+                raise RuntimeError("handler bug")
+
+        server = tcp_pair[0]
+        original = server.server.create_session
+        server.server.create_session = lambda: BoomSession()
+        crashed = connect_tcp(*server.address)
+        crashed.send_frame(msg.encode_message(msg.ClientHello(["pir2"])))
+        crashed.recv_frame()  # the ErrorMessage
+        crashed.close()
+        # Healthy sessions still work after the crash.
+        server.server.create_session = original
+        transports = [connect_tcp(*srv.address) for srv in tcp_pair]
+        client = connect_client(transports)
+        assert client.get("s7.com/p") == b"tcp-7"
+        client.close()
+
+
+class TestStatsSidecar:
+    def test_raising_snapshot_returns_500_and_keeps_serving(self):
+        calls = {"n": 0}
+
+        def snapshot():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("stats bug")
+            return {"ok": True, "metrics": {}}
+
+        sidecar = StatsTcpServer(snapshot)
+        try:
+            status, _, body = http_get(sidecar.address, "/metrics.json")
+            assert "500" in status
+            assert b"snapshot failed" in body
+            # The sidecar thread survived: the next scrape succeeds.
+            status, _, body = http_get(sidecar.address, "/metrics.json")
+            assert "200" in status
+            assert json.loads(body)["ok"] is True
+        finally:
+            sidecar.stop()
+
+    def test_query_string_does_not_break_json_routing(self):
+        sidecar = StatsTcpServer(lambda: {"gets": 3, "metrics": {}})
+        try:
+            status, header, body = http_get(sidecar.address,
+                                            "/metrics.json?pretty=1")
+            assert "200" in status
+            assert b"application/json" in header
+            assert json.loads(body)["gets"] == 3
+        finally:
+            sidecar.stop()

@@ -150,6 +150,30 @@ class TestClientAgainstServer:
         with pytest.raises(NegotiationError):
             connect_client(transports)
 
+    def test_partyless_hello_rejected(self):
+        """A pir2 hello whose mode_params omit "party" must fail negotiation
+        with a clear error, not crash sorting None against int."""
+
+        class ScriptedTransport:
+            def __init__(self, reply):
+                self._replies = [msg.encode_message(reply)]
+                self.closed = False
+
+            def send_frame(self, frame):
+                pass
+
+            def recv_frame(self):
+                return self._replies.pop(0)
+
+            def close(self):
+                self.closed = True
+
+        hello = msg.ServerHello(blob_size=96, domain_bits=9, mode=MODE_PIR2,
+                                probes=2, salt=SALT, mode_params={})
+        transports = [ScriptedTransport(hello) for _ in range(2)]
+        with pytest.raises(NegotiationError, match="integer party"):
+            connect_client(transports, supported_modes=[MODE_PIR2])
+
     def test_get_before_connect_rejected(self):
         _, transports = pir2_deployment()
         client = ZltpClient(transports)
