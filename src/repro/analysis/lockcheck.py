@@ -15,6 +15,19 @@ convention. This checker makes the convention mechanical:
 - ``__init__`` bodies are exempt (no concurrent aliases exist yet), as
   are the declaration lines themselves.
 
+The event-loop session core (PR 6) adds a second ownership discipline:
+reactor state has no lock at all — it is single-threaded *by
+construction*, touched only from the reactor thread. For that state the
+``with``-block rule is the wrong invariant, so a second annotation makes
+the actual one mechanical:
+
+- An attribute initialised on a line carrying ``# owned-by: <prefix>``
+  (``self._conns = {}  # owned-by: _react``) may only be written inside
+  methods whose name starts with that prefix (plus ``__init__``). Code
+  that wants to touch reactor state from another thread must go through
+  the wake-up pipe and a ``_react_*`` method — exactly what the checker
+  forces.
+
 Reads are deliberately not flagged: the codebase tolerates racy reads of
 monotonic counters, but every read-modify-write must be serialized.
 """
@@ -39,6 +52,9 @@ _ATTR_DECL_RE = re.compile(
 _GLOBAL_DECL_RE = re.compile(
     r"^(\w+)\s*(?::[^=]*)?=.*#\s*guarded-by:\s*(\w+)"
 )
+_ATTR_OWNED_RE = re.compile(
+    r"self\.(\w+)\s*(?::[^=]*)?=.*#\s*owned-by:\s*(\w+)"
+)
 
 
 def _final_name(expr: ast.expr) -> Optional[str]:
@@ -58,11 +74,17 @@ class LockCheck:
         self.path = path
         self.attr_guards: Dict[str, str] = {}
         self.global_guards: Dict[str, str] = {}
+        self.attr_owners: Dict[str, str] = {}
         self.decl_lines: Set[int] = set()
         for lineno, text in enumerate(source.splitlines(), start=1):
             attr = _ATTR_DECL_RE.search(text)
             if attr is not None:
                 self.attr_guards[attr.group(1)] = attr.group(2)
+                self.decl_lines.add(lineno)
+                continue
+            owned = _ATTR_OWNED_RE.search(text)
+            if owned is not None:
+                self.attr_owners[owned.group(1)] = owned.group(2)
                 self.decl_lines.add(lineno)
                 continue
             glob = _GLOBAL_DECL_RE.match(text)
@@ -72,7 +94,8 @@ class LockCheck:
         self.findings: List[Finding] = []
 
     def run(self) -> List[Finding]:
-        if not self.attr_guards and not self.global_guards:
+        if not self.attr_guards and not self.global_guards \
+                and not self.attr_owners:
             return []
         for qualname, node in self._functions():
             if node.name == "__init__":
@@ -138,6 +161,8 @@ class LockCheck:
         if isinstance(target, ast.Attribute):
             guard = self.attr_guards.get(target.attr)
             name = f"self.{target.attr}"
+            self._require_owner(self.attr_owners.get(target.attr), name,
+                                stmt, symbol, def_line)
         elif isinstance(target, ast.Name):
             guard = self.global_guards.get(target.id)
             name = target.id
@@ -159,6 +184,8 @@ class LockCheck:
                 continue
             guard = self.attr_guards.get(base) or self.global_guards.get(base)
             self._require(guard, base, node, held, symbol, def_line)
+            self._require_owner(self.attr_owners.get(base), base, node,
+                                symbol, def_line)
 
     def _require(self, guard: Optional[str], name: str, node: ast.AST,
                  held: frozenset, symbol: str, def_line: int) -> None:
@@ -170,6 +197,23 @@ class LockCheck:
             col=getattr(node, "col_offset", 0), symbol=symbol,
             message=f"write to {name} (guarded-by: {guard}) outside "
                     f"'with {guard}' block",
+            def_line=def_line,
+        ))
+
+    def _require_owner(self, owner: Optional[str], name: str, node: ast.AST,
+                       symbol: str, def_line: int) -> None:
+        """Owned state may only be written by the owning method family."""
+        lineno = getattr(node, "lineno", 0)
+        if owner is None or lineno in self.decl_lines:
+            return
+        method = symbol.rsplit(".", 1)[-1]
+        if method == "__init__" or method.startswith(owner):
+            return
+        self.findings.append(Finding(
+            rule="owner-write", path=self.path, line=lineno,
+            col=getattr(node, "col_offset", 0), symbol=symbol,
+            message=f"write to {name} (owned-by: {owner}) from "
+                    f"non-owning method {method!r}",
             def_line=def_line,
         ))
 

@@ -42,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extra listeners per endpoint over the same "
                             "logical servers — failover targets for "
                             "resilient clients")
+    serve.add_argument("--server-kind", default=None,
+                       help="session core for every listener: 'eventloop' "
+                            "(one reactor thread multiplexing all "
+                            "sessions; default) or 'threaded' "
+                            "(thread-per-connection fallback)")
     serve.add_argument("--log-json", action="store_true",
                        help="emit structured JSON logs, one object per line")
     serve.set_defaults(func=_cmd_serve)
@@ -107,7 +112,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Check source trees against the privacy discipline: "
                     "secret-taint rules (no secret-dependent branches, "
                     "comparisons, or message sizes), guarded-by lock "
-                    "discipline, and mode-server wire shape.",
+                    "discipline, owned-by single-thread ownership, and "
+                    "mode-server wire shape.",
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to analyze (default: src)")

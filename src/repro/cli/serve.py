@@ -21,6 +21,7 @@ from repro.cli.console import emit
 from repro.cli.spec import load_site
 from repro.core import backend as backend_registry
 from repro.core.lightweb.cdn import Cdn
+from repro.core.zltp.serving import DEFAULT_SERVER_KIND, create_tcp_server
 from repro.core.zltp.sockets import StatsTcpServer, ZltpTcpServer
 from repro.obs.logs import (
     configure_console_logging,
@@ -51,13 +52,16 @@ class RunningDeployment:
 
     cdn: Cdn
     universe_name: str
-    listeners: Dict[Tuple[str, int], ZltpTcpServer]
+    #: Listener objects satisfy the shared serving interface of
+    #: :mod:`repro.core.zltp.serving`; which flavour backs them is the
+    #: deployment's ``--server-kind`` choice.
+    listeners: Dict[Tuple[str, int], Any]
     stats: Optional[StatsTcpServer] = field(default=None)
     #: Extra listeners over the *same* logical servers, keyed like
     #: ``listeners``: the failover targets a resilient client dials when
     #: a primary endpoint dies (same salt, geometry, and mode state, so
     #: a reconnect-resume validates against the negotiated session).
-    replicas: Dict[Tuple[str, int], List[ZltpTcpServer]] = \
+    replicas: Dict[Tuple[str, int], List[Any]] = \
         field(default_factory=dict)
 
     @property
@@ -112,7 +116,8 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
                      state_path: str = "",
                      modes: Optional[List[str]] = None,
                      stats_port: Optional[int] = None,
-                     replicas: int = 0) -> RunningDeployment:
+                     replicas: int = 0,
+                     server_kind: Optional[str] = None) -> RunningDeployment:
     """Create a CDN from site specs (or saved state) and expose it over TCP.
 
     Args:
@@ -128,6 +133,9 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
             snapshot on an HTTP sidecar at this port (0 = ephemeral).
         replicas: additional listeners per (kind, party) over the same
             logical servers — failover targets for resilient clients.
+        server_kind: serving flavour for every listener (a name from
+            :func:`repro.core.zltp.serving.server_kinds`); default is the
+            event-loop session core.
 
     Returns:
         A :class:`RunningDeployment`; call ``stop()`` to tear down.
@@ -160,26 +168,27 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
 
     n_parties = max(backend_registry.mode_endpoints(mode)
                     for mode in cdn.modes)
-    listeners: Dict[Tuple[str, int], ZltpTcpServer] = {}
+    listeners: Dict[Tuple[str, int], Any] = {}
     offset = 0
     for kind in ("code", "data"):
         for party in range(n_parties):
             port = port_base + offset if port_base else 0
             server = cdn._server(universe_name, kind, party)
-            listeners[(kind, party)] = ZltpTcpServer(server, host=host,
-                                                     port=port)
+            listeners[(kind, party)] = create_tcp_server(
+                server_kind, server, host=host, port=port)
             offset += 1
     # Replica listeners share the logical servers (the cdn caches them
     # per (universe, kind, party)), so a client failing over mid-session
     # lands on the same salt, geometry, and mode state.
-    replica_map: Dict[Tuple[str, int], List[ZltpTcpServer]] = {}
+    replica_map: Dict[Tuple[str, int], List[Any]] = {}
     for _round in range(replicas):
         for kind in ("code", "data"):
             for party in range(n_parties):
                 port = port_base + offset if port_base else 0
                 server = cdn._server(universe_name, kind, party)
                 replica_map.setdefault((kind, party), []).append(
-                    ZltpTcpServer(server, host=host, port=port))
+                    create_tcp_server(server_kind, server, host=host,
+                                      port=port))
                 offset += 1
     deployment = RunningDeployment(cdn=cdn, universe_name=universe_name,
                                    listeners=listeners, replicas=replica_map)
@@ -205,12 +214,14 @@ def cmd_serve(args) -> int:
         modes=parse_modes(getattr(args, "modes", None)),
         stats_port=getattr(args, "stats_port", None),
         replicas=getattr(args, "replicas", 0),
+        server_kind=getattr(args, "server_kind", None),
     )
     universe = deployment.cdn.universe(args.universe)
     ports = deployment.ports()
     emit(f"universe {args.universe!r}: {universe.n_pages} data blobs, "
          f"domains {universe.domains()}")
     emit(f"modes         : {', '.join(deployment.cdn.modes)}")
+    emit(f"session core  : {getattr(args, 'server_kind', None) or DEFAULT_SERVER_KIND}")
     emit(f"code sessions : ports {ports['code']}")
     emit(f"data sessions : ports {ports['data']}")
     if deployment.replicas:

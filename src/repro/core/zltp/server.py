@@ -100,7 +100,24 @@ class ZltpServer:
         # concurrently and need their own lock.
         self._stats_lock = threading.Lock()
         self.sessions_opened = 0  # guarded-by: _stats_lock
+        self.sessions_closed = 0  # guarded-by: _stats_lock
         self._stats_by_mode: Dict[str, RequestStats] = {}  # guarded-by: _stats_lock
+
+    @property
+    def sessions_active(self) -> int:
+        """Sessions opened and not yet torn down.
+
+        Transports must balance every :meth:`create_session` with a
+        :meth:`ZltpServerSession.close` (the TCP servers do it in their
+        connection-teardown paths), so this gauge reconciles to zero on
+        a drained server.
+        """
+        with self._stats_lock:
+            return self.sessions_opened - self.sessions_closed
+
+    def _note_session_closed(self) -> None:
+        with self._stats_lock:
+            self.sessions_closed += 1
 
     @property
     def gets_served(self) -> int:
@@ -211,6 +228,24 @@ class ZltpServerSession:
         """Whether the session has terminated."""
         return self._state is _State.CLOSED
 
+    def _mark_closed(self) -> None:
+        """Terminal-state transition; notifies the server exactly once."""
+        if self._state is _State.CLOSED:
+            return
+        self._state = _State.CLOSED
+        self._server._note_session_closed()
+
+    def close(self) -> None:
+        """Tear the session down (idempotent).
+
+        Transports call this from their connection-teardown paths so a
+        peer that vanishes mid-session — early EOF, a reset, a handler
+        crash — still balances the server's session accounting; a
+        session that already closed itself through the state machine is
+        left as-is.
+        """
+        self._mark_closed()
+
     @property
     def mode(self) -> Optional[str]:
         """The negotiated mode name, once the hello exchange completed."""
@@ -223,7 +258,7 @@ class ZltpServerSession:
         try:
             message = msg.decode_message(frame)
         except ProtocolError as exc:
-            self._state = _State.CLOSED
+            self._mark_closed()
             return [msg.encode_message(msg.ErrorMessage("bad-message", str(exc)))]
         return [msg.encode_message(reply) for reply in self.handle(message)]
 
@@ -246,7 +281,7 @@ class ZltpServerSession:
                 message = msg.decode_message(frame)
             except ProtocolError as exc:
                 replies.extend(self._flush_gets(pending))
-                self._state = _State.CLOSED
+                self._mark_closed()
                 replies.append(
                     msg.encode_message(msg.ErrorMessage("bad-message", str(exc)))
                 )
@@ -282,7 +317,7 @@ class ZltpServerSession:
                 sp.annotate(queries=delta.queries, bytes_up=delta.bytes_up,
                             bytes_down=delta.bytes_down)
         except ReproError as exc:
-            self._state = _State.CLOSED
+            self._mark_closed()
             return [msg.encode_message(msg.ErrorMessage("protocol", str(exc)))]
         self._account(delta)
         return [
@@ -299,17 +334,17 @@ class ZltpServerSession:
         try:
             return self._dispatch(message)
         except NegotiationError as exc:
-            self._state = _State.CLOSED
+            self._mark_closed()
             return [msg.ErrorMessage("negotiation", str(exc))]
         except ReproError as exc:
             # Mode-level failures (bad DPF key, malformed LWE query, broken
             # seal) are the client's fault; report and tear down.
-            self._state = _State.CLOSED
+            self._mark_closed()
             return [msg.ErrorMessage("protocol", str(exc))]
 
     def _dispatch(self, message) -> List[Any]:
         if isinstance(message, msg.Bye):
-            self._state = _State.CLOSED
+            self._mark_closed()
             return []
         if self._state is _State.AWAIT_HELLO:
             if not isinstance(message, msg.ClientHello):

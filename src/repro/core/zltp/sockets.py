@@ -28,7 +28,7 @@ from repro.core.zltp.server import ZltpServer
 from repro.core.zltp.wire import FrameDecoder, encode_frame
 from repro.errors import TransportError
 from repro.obs.logs import get_logger
-from repro.obs.metrics import REGISTRY
+from repro.obs.metrics import REGISTRY, record_truncated_frame
 
 _RECV_CHUNK = 65536
 
@@ -36,49 +36,91 @@ _log = get_logger(__name__)
 
 
 class TcpTransport:
-    """A blocking framed transport over a connected TCP socket."""
+    """A blocking framed transport over a connected TCP socket.
+
+    Thread-safety: a resilient client closes transports from watchdog or
+    failover threads while a session thread is parked in ``recv_frame``,
+    so the closed flag is read and written only under ``_lock`` and
+    :meth:`close` is idempotent. The blocking socket calls themselves run
+    *outside* the lock (holding it would deadlock a concurrent close);
+    ``close()`` first marks the transport closed, then ``shutdown()``s
+    the socket, which unblocks any in-flight ``recv``/``send`` — that
+    thread re-checks the flag and surfaces a typed "closed" error rather
+    than a raw ``OSError`` from a torn-down file descriptor.
+    """
 
     def __init__(self, sock: socket.socket, name: str = "tcp"):
         self._sock = sock
         self.name = name
         self._decoder = FrameDecoder()
         self._pending: list = []
-        self._closed = False
+        self._lock = threading.Lock()
+        self._closed = False  # guarded-by: _lock
+        self._torn_down = False  # guarded-by: _lock
         self._bytes_sent = 0
         self._bytes_received = 0
 
+    @property
+    def closed(self) -> bool:
+        """Whether the transport has been closed (locally or by the peer)."""
+        with self._lock:
+            return self._closed
+
+    def _closed_error(self) -> TransportError:
+        return TransportError(f"transport {self.name!r} is closed")
+
     def send_frame(self, payload: bytes) -> None:
-        if self._closed:
-            raise TransportError(f"transport {self.name!r} is closed")
+        if self.closed:
+            raise self._closed_error()
         frame = encode_frame(payload)
         try:
             self._sock.sendall(frame)
         except OSError as exc:
+            if self.closed:
+                raise self._closed_error() from exc
             raise TransportError(f"send failed: {exc}") from exc
         self._bytes_sent += len(frame)
 
     def recv_frame(self) -> bytes:
         while not self._pending:
-            if self._closed:
-                raise TransportError(f"transport {self.name!r} is closed")
+            if self.closed:
+                raise self._closed_error()
             try:
                 chunk = self._sock.recv(_RECV_CHUNK)
             except OSError as exc:
+                if self.closed:
+                    # A concurrent close() tore the socket down under us;
+                    # report the close, not the incidental errno.
+                    raise self._closed_error() from exc
                 raise TransportError(f"recv failed: {exc}") from exc
             if not chunk:
-                self._closed = True
+                with self._lock:
+                    self._closed = True
                 raise TransportError("connection closed by peer")
             self._bytes_received += len(chunk)
             self._pending.extend(self._decoder.feed(chunk))
         return self._pending.pop(0)
 
     def close(self) -> None:
-        self._closed = True
+        """Close the transport; safe to call from any thread, any number
+        of times."""
+        with self._lock:
+            self._closed = True
+            if self._torn_down:
+                return
+            # A peer-initiated close only flips _closed; the descriptor
+            # is still ours to release, exactly once, right here.
+            self._torn_down = True
+        # shutdown() unblocks a thread parked in recv()/sendall() before
+        # the descriptor goes away.
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
-        self._sock.close()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
 
     @property
     def bytes_sent(self) -> int:
@@ -142,7 +184,13 @@ class StatsTcpServer:
         conn.settimeout(5.0)
         data = b""
         while b"\r\n" not in data:
-            chunk = conn.recv(_RECV_CHUNK)
+            try:
+                chunk = conn.recv(_RECV_CHUNK)
+            except OSError:
+                # A scraper that connected and reset before sending a
+                # request line is a client event, not a server failure.
+                _log.debug("stats client disconnected before request")
+                return
             if not chunk:
                 return
             data += chunk
@@ -170,7 +218,12 @@ class StatsTcpServer:
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
-        conn.sendall(header + body)
+        try:
+            conn.sendall(header + body)
+        except OSError:
+            # The scraper hung up mid-response. Its loss — nothing is
+            # wrong server-side, so no "stats request failed" traceback.
+            _log.debug("stats client disconnected mid-write")
 
     def _render_text(self) -> str:
         snap = self._snapshot()
@@ -229,6 +282,7 @@ class ZltpTcpServer:
         self._lock = threading.Lock()
         self._threads: list = []  # guarded-by: _lock
         self._conns: set = set()  # guarded-by: _lock
+        self.truncated_frames = 0  # guarded-by: _lock
         self.stats: Optional[StatsTcpServer] = None
         if stats_port is not None:
             self.stats = StatsTcpServer(self.stats_snapshot, host=host,
@@ -285,6 +339,29 @@ class ZltpTcpServer:
                 self._conns.add(conn)
             thread.start()
 
+    def _note_truncated_frame(self, conn: socket.socket,
+                              pending_bytes: int) -> None:
+        """Surface a partial frame left behind by a dying connection.
+
+        Bytes sitting in a connection's decoder when the peer vanishes
+        used to be dropped on the floor; a truncated frame is a protocol
+        event worth counting and (best-effort, for a peer that only
+        half-closed its write side) reporting back.
+        """
+        with self._lock:
+            self.truncated_frames += 1
+        record_truncated_frame()
+        _log.warning("connection closed mid-frame", extra={
+            "pending_bytes": pending_bytes})
+        error = msg.ErrorMessage(
+            "truncated-frame",
+            f"connection closed with {pending_bytes} bytes of a partial frame",
+        )
+        try:
+            conn.sendall(encode_frame(msg.encode_message(error)))
+        except OSError:
+            pass
+
     def _serve_connection(self, conn: socket.socket) -> None:
         session = self.server.create_session()
         decoder = FrameDecoder()
@@ -292,6 +369,10 @@ class ZltpTcpServer:
             while not session.closed and not self._stopping.is_set():
                 chunk = conn.recv(_RECV_CHUNK)
                 if not chunk:
+                    # Peer closed. Bytes still buffered in the decoder mean
+                    # the stream died mid-frame — surface it, don't drop it.
+                    if decoder.pending_bytes:
+                        self._note_truncated_frame(conn, decoder.pending_bytes)
                     return
                 frames = decoder.feed(chunk)
                 if not frames:
@@ -311,6 +392,10 @@ class ZltpTcpServer:
                 pass
             return
         finally:
+            # Every exit path — peer close, OSError, handler crash, clean
+            # Bye — tears the server-side session down so the logical
+            # server's session accounting balances.
+            session.close()
             with self._lock:
                 self._conns.discard(conn)
             try:

@@ -353,6 +353,34 @@ def record_failover(layer: str,
     ).inc(1, layer=layer)
 
 
+def record_truncated_frame(registry: Optional[MetricsRegistry] = None) -> None:
+    """Count one connection that died mid-frame (a partial frame was
+    left in its decoder).
+
+    A connection-level event — nothing about frame *contents* is
+    recorded, only that a stream ended on a frame boundary violation.
+    """
+    reg = registry if registry is not None else REGISTRY
+    reg.counter(
+        "zltp_truncated_frames_total",
+        "Connections that closed with a partial frame buffered",
+    ).inc(1)
+
+
+def record_active_sessions(server_kind: str, active: int,
+                           registry: Optional[MetricsRegistry] = None) -> None:
+    """Gauge the live ZLTP session count for one server flavour.
+
+    ``server_kind`` is a fixed structural label (``"threaded"``,
+    ``"eventloop"``); the count is aggregate concurrency, never anything
+    per-session.
+    """
+    reg = registry if registry is not None else REGISTRY
+    reg.gauge(
+        "zltp_active_sessions", "Live ZLTP sessions, by server kind",
+    ).set(active, server=server_kind)
+
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -365,4 +393,6 @@ __all__ = [
     "record_retry",
     "record_reconnect",
     "record_failover",
+    "record_truncated_frame",
+    "record_active_sessions",
 ]

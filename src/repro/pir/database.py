@@ -62,6 +62,54 @@ class BlobDatabase:
         #: and rebuild.
         self.version = 0
 
+    @classmethod
+    def view_over(cls, storage: np.ndarray, blob_size: int) -> "BlobDatabase":
+        """Wrap existing packed-uint64 storage without copying it.
+
+        The multiprocess scan workers (:mod:`repro.pir.procpool`) map a
+        shard's storage out of a shared-memory segment and need the full
+        scan surface (:meth:`xor_scan`, :meth:`xor_scan_batch`) over that
+        buffer *zero-copy* — this constructor adopts the array in place.
+        The view does not track occupancy (shared shards are scan-only)
+        and writes through it would race other processes; treat it as
+        read-only.
+
+        Args:
+            storage: ``(2**k, words)`` C-contiguous uint64 array.
+            blob_size: the blob length the row width must accommodate.
+        """
+        storage = np.asarray(storage)
+        if storage.ndim != 2 or storage.dtype != np.uint64:
+            raise CryptoError("storage view must be a 2-D uint64 array")
+        n_rows, words = storage.shape
+        domain_bits = n_rows.bit_length() - 1
+        if n_rows != (1 << domain_bits):
+            raise CryptoError(f"storage rows must be a power of two, got {n_rows}")
+        if words != (blob_size + 7) // 8:
+            raise CryptoError(
+                f"storage is {words} words wide; blob_size {blob_size} needs "
+                f"{(blob_size + 7) // 8}")
+        db = cls.__new__(cls)
+        db.domain_bits = domain_bits
+        db.blob_size = blob_size
+        db._words = words
+        db._storage = storage
+        db._occupied = set()
+        db.scan_count = 0
+        db.scan_passes = 0
+        db.rows_scanned = 0
+        db.version = 0
+        return db
+
+    def packed_words(self) -> np.ndarray:
+        """The backing ``(n_slots, words)`` uint64 storage (do not mutate).
+
+        Exposed so shared-memory materialisation can copy the packed
+        layout wholesale instead of round-tripping through per-slot byte
+        strings.
+        """
+        return self._storage
+
     @property
     def n_slots(self) -> int:
         """Total number of slots."""

@@ -89,7 +89,47 @@ class FanoutReport:
         return self.busy_seconds / self.wall_seconds if self.wall_seconds > 0 else 1.0
 
 
-class ScanExecutor:
+class BackendStatsRecorder:
+    """Per-backend protocol-stats aggregation shared by the scan engines.
+
+    Both the in-process thread executor (:class:`ScanExecutor`) and the
+    multiprocess pool (:class:`repro.pir.procpool.ProcScanPool`) sit
+    behind :class:`~repro.core.zltp.server.ZltpServer`'s ``executor``
+    attachment point and must carry the protocol layer's
+    :class:`RequestStats` deltas into engine reports and benchmark JSON
+    — one structure end to end, whichever engine runs the scans.
+    """
+
+    def _init_backend_stats(self) -> None:
+        self._backend_lock = threading.Lock()
+        self.backend_stats: Dict[str, RequestStats] = {}  # guarded-by: _backend_lock
+
+    def record_backend(self, mode: str, delta: RequestStats) -> None:
+        """Fold a protocol-layer answer-call delta into per-backend totals.
+
+        :class:`~repro.core.zltp.server.ZltpServer` forwards every
+        session's :class:`RequestStats` delta here when it is attached to
+        an executor, so one structure carries the counters from the
+        protocol layer to engine reports and benchmark JSON.
+        """
+        with self._backend_lock:
+            if mode not in self.backend_stats:
+                self.backend_stats[mode] = RequestStats()
+            self.backend_stats[mode].merge(delta)
+
+    def backend_report(self) -> Dict[str, RequestStats]:
+        """Frozen snapshots of the per-backend stats recorded so far.
+
+        The snapshots are immutable (``add``/``merge`` raise), so a
+        caller holding a report can never corrupt — or race against —
+        the live per-backend accounting.
+        """
+        with self._backend_lock:
+            return {mode: stats.copy().freeze()
+                    for mode, stats in self.backend_stats.items()}
+
+
+class ScanExecutor(BackendStatsRecorder):
     """Runs shard-scan tasks, concurrently where the host allows it.
 
     With ``max_workers > 1`` tasks go through a lazily created
@@ -131,7 +171,7 @@ class ScanExecutor:
         self.wall_seconds = 0.0  # guarded-by: _lock
         self.busy_seconds = 0.0  # guarded-by: _lock
         self.last_report: Optional[FanoutReport] = None  # guarded-by: _lock
-        self.backend_stats: Dict[str, RequestStats] = {}  # guarded-by: _lock
+        self._init_backend_stats()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -263,34 +303,6 @@ class ScanExecutor:
         fanout = self._account(len(tasks), sp.elapsed, busy, pool is not None,
                                retries=retried)
         return acc.tobytes(), reports, fanout
-
-    # ------------------------------------------------------------------
-    # Per-backend protocol stats
-    # ------------------------------------------------------------------
-
-    def record_backend(self, mode: str, delta: RequestStats) -> None:
-        """Fold a protocol-layer answer-call delta into per-backend totals.
-
-        :class:`~repro.core.zltp.server.ZltpServer` forwards every
-        session's :class:`RequestStats` delta here when it is attached to
-        an executor, so one structure carries the counters from the
-        protocol layer to engine reports and benchmark JSON.
-        """
-        with self._lock:
-            if mode not in self.backend_stats:
-                self.backend_stats[mode] = RequestStats()
-            self.backend_stats[mode].merge(delta)
-
-    def backend_report(self) -> Dict[str, RequestStats]:
-        """Frozen snapshots of the per-backend stats recorded so far.
-
-        The snapshots are immutable (``add``/``merge`` raise), so a
-        caller holding a report can never corrupt — or race against —
-        the live per-backend accounting.
-        """
-        with self._lock:
-            return {mode: stats.copy().freeze()
-                    for mode, stats in self.backend_stats.items()}
 
     # ------------------------------------------------------------------
     # Internals
@@ -444,6 +456,7 @@ def shared_executor() -> ScanExecutor:
 
 
 __all__ = [
+    "BackendStatsRecorder",
     "ScanExecutor",
     "FanoutReport",
     "shared_executor",

@@ -1,0 +1,572 @@
+"""Multiprocess shard scanning over shared memory — past the GIL at last.
+
+E9's ``engine_speedup ≈ 1.0`` told the truth about the thread pool: numpy
+releases the GIL inside its reductions, but the per-block Python driving
+(slicing, fancy indexing, accumulator bookkeeping) reacquires it between
+every kernel, so threaded shard scans interleave rather than overlap.
+This module is the §5.2 answer with real process parallelism:
+
+- each shard's packed-uint64 storage is materialised **once** into a
+  ``multiprocessing.shared_memory`` segment (the paper's "data server
+  holding 1 GiB of the dataset");
+- one worker process per core attaches the segments and scans them
+  **zero-copy** — ``np.ndarray(..., buffer=shm.buf)`` wrapped back into a
+  :meth:`BlobDatabase.view_over`, so workers run the exact same
+  ``xor_scan`` / ``xor_scan_batch`` code as everything else;
+- only the request's selection bits and the ``blob_size`` answer share
+  cross the process boundary — the database never moves again.
+
+The pool plugs into the rest of the stack exactly where the thread engine
+does: fan-outs are accounted as :class:`~repro.pir.engine.FanoutReport`
+(wall vs summed busy, ``engine_speedup``), per-backend protocol stats
+flow through the shared :class:`~repro.pir.engine.BackendStatsRecorder`
+so ``backend_report()`` and the stats endpoint read identically, and a
+worker that dies mid-scan triggers the same ``shard_repair`` → retry path
+the engine grew in PR 5 — the segment is re-materialised from the logical
+database, the task re-dispatched to a live worker, and the recovery
+counted in ``tasks_retried`` plus ``resilience_retries_total``.
+
+Worker-death semantics: a shared segment outlives the worker that mapped
+it (POSIX shm unlink removes the *name*; live mappings persist), so a
+crash never corrupts shards — recovery is purely re-dispatch. The repair
+hook matters for the other failure class: a shard whose segment content
+went bad, which re-registration rebuilds from the durable logical
+database.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.backend import current_request_stats
+from repro.errors import CryptoError, ReproError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import record_fanout, record_retry
+from repro.obs.trace import span
+from repro.pir.database import BlobDatabase
+from repro.pir.engine import (
+    DEFAULT_MAX_WORKERS,
+    BackendStatsRecorder,
+    FanoutReport,
+    available_cpus,
+)
+
+_log = get_logger(__name__)
+
+
+def _preferred_start_method() -> str:
+    """``fork`` where the OS offers it (segments and imports come free);
+    ``spawn`` elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _worker_main(conn) -> None:
+    """Scan-worker loop: attach shared shards, answer scan commands.
+
+    Runs in a child process. Commands arrive as tuples on a duplex pipe:
+
+    - ``("attach", key, seg_name, n_rows, words, blob_size)``
+    - ``("scan", key, select_bytes)`` → ``("ok", share, busy_seconds)``
+    - ``("scan_batch", key, matrix_bytes, batch)`` →
+      ``("ok", [shares], busy_seconds)``
+    - ``("ping",)`` → ``("ok", None, 0.0)``
+    - ``("exit",)``
+
+    Failures inside a scan come back as ``("err", repr)`` so the parent
+    can run the repair/retry path without losing the worker.
+    """
+    attached: Dict[str, Tuple[shared_memory.SharedMemory, BlobDatabase]] = {}
+    try:
+        while True:
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = command[0]
+            if op == "exit":
+                break
+            if op == "ping":
+                conn.send(("ok", None, 0.0))
+                continue
+            try:
+                if op == "attach":
+                    _, key, seg_name, n_rows, words, blob_size = command
+                    old = attached.pop(key, None)
+                    if old is not None:
+                        old[0].close()
+                    # CPython registers attachments with the resource
+                    # tracker as if the attacher owned the segment
+                    # (bpo-39959); under fork the tracker is shared with
+                    # the parent, so a child-side (un)register would
+                    # clobber the parent's ownership record. Suppress
+                    # registration for the attach instead.
+                    from multiprocessing import resource_tracker
+
+                    orig_register = resource_tracker.register
+                    resource_tracker.register = lambda *a, **k: None
+                    try:
+                        shm = shared_memory.SharedMemory(name=seg_name)
+                    finally:
+                        resource_tracker.register = orig_register
+                    storage = np.ndarray((n_rows, words), dtype=np.uint64,
+                                         buffer=shm.buf)
+                    attached[key] = (shm, BlobDatabase.view_over(storage,
+                                                                 blob_size))
+                    conn.send(("ok", None, 0.0))
+                elif op == "scan":
+                    _, key, select_bytes = command
+                    _shm, db = attached[key]
+                    bits = np.frombuffer(select_bytes, dtype=np.uint8)
+                    t0 = time.perf_counter()
+                    share = db.xor_scan(bits)
+                    conn.send(("ok", share, time.perf_counter() - t0))
+                elif op == "scan_batch":
+                    _, key, matrix_bytes, batch = command
+                    _shm, db = attached[key]
+                    matrix = np.frombuffer(
+                        matrix_bytes, dtype=np.uint8
+                    ).reshape(batch, db.n_slots)
+                    t0 = time.perf_counter()
+                    shares = db.xor_scan_batch(matrix)
+                    conn.send(("ok", shares, time.perf_counter() - t0))
+                else:
+                    conn.send(("err", f"unknown op {op!r}"))
+            except Exception as exc:  # a bad scan must not kill the worker
+                try:
+                    conn.send(("err", repr(exc)))
+                except (BrokenPipeError, OSError):
+                    break
+    finally:
+        for shm, _db in attached.values():
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class _Segment:
+    """Parent-side handle on one shard's shared-memory materialisation."""
+
+    __slots__ = ("name", "n_rows", "words", "blob_size", "shm")
+
+    def __init__(self, database: BlobDatabase):
+        storage = np.ascontiguousarray(database.packed_words())
+        self.n_rows, self.words = storage.shape
+        self.blob_size = database.blob_size
+        self.shm = shared_memory.SharedMemory(create=True,
+                                              size=storage.nbytes)
+        self.name = self.shm.name
+        view = np.ndarray(storage.shape, dtype=np.uint64, buffer=self.shm.buf)
+        view[:] = storage
+
+    def attach_command(self, key: str) -> tuple:
+        return ("attach", key, self.name, self.n_rows, self.words,
+                self.blob_size)
+
+    def destroy(self) -> None:
+        try:
+            self.shm.close()
+        except (OSError, BufferError):
+            pass
+        try:
+            self.shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+class _Worker:
+    """One scan process plus its command pipe."""
+
+    __slots__ = ("process", "conn", "index")
+
+    def __init__(self, ctx, index: int):
+        self.index = index
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=_worker_main, args=(child_conn,),
+                                   daemon=True, name=f"scan-worker-{index}")
+        self.process.start()
+        child_conn.close()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        try:
+            self.conn.send(("exit",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class WorkerDiedError(ReproError):
+    """A scan worker process vanished while a task was in flight."""
+
+
+class ProcScanPool(BackendStatsRecorder):
+    """A process-per-core scan engine over shared-memory shards.
+
+    Speaks the executor reporting surface (``fanouts`` / ``tasks_run`` /
+    ``wall_seconds`` / ``busy_seconds`` / ``speedup`` / ``last_report`` /
+    ``backend_report()``), so engine-level benchmarks and the ZLTP
+    server's stats forwarding treat it exactly like a
+    :class:`~repro.pir.engine.ScanExecutor`. The scan *dispatch* surface
+    is different by necessity — closures do not cross process boundaries
+    — so the front-end hands it shard keys plus selection bits instead
+    of thunks (``shares_shards`` is the capability flag it checks).
+
+    Attributes:
+        max_workers: worker-process budget (default: one per core, capped
+            like the thread engine).
+        tasks_retried / tasks_failed / workers_respawned: recovery
+            counters, mirrored into the metrics registry.
+    """
+
+    #: Capability flag: front-ends register shard databases with this
+    #: executor and dispatch by key instead of by closure.
+    shares_shards = True
+    parallel = True
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 task_retries: int = 1):
+        if max_workers is not None and max_workers < 1:
+            raise CryptoError("max_workers must be at least 1")
+        if task_retries < 0:
+            raise CryptoError("task_retries must be >= 0")
+        self.max_workers = max_workers if max_workers is not None \
+            else min(DEFAULT_MAX_WORKERS, available_cpus())
+        self.task_retries = task_retries
+        self._ctx = multiprocessing.get_context(
+            start_method or _preferred_start_method())
+        self._lock = threading.Lock()
+        self._workers: List[_Worker] = []  # guarded-by: _lock
+        self._segments: Dict[str, _Segment] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self.fanouts = 0  # guarded-by: _lock
+        self.tasks_run = 0  # guarded-by: _lock
+        self.tasks_retried = 0  # guarded-by: _lock
+        self.tasks_failed = 0  # guarded-by: _lock
+        self.workers_respawned = 0  # guarded-by: _lock
+        self.wall_seconds = 0.0  # guarded-by: _lock
+        self.busy_seconds = 0.0  # guarded-by: _lock
+        self.last_report: Optional[FanoutReport] = None  # guarded-by: _lock
+        self._init_backend_stats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_workers(self) -> List[_Worker]:
+        """Spawn the worker fleet lazily (first fan-out pays the fork)."""
+        with self._lock:
+            if self._closed:
+                raise ReproError("scan pool is shut down")
+            while len(self._workers) < self.max_workers:
+                worker = _Worker(self._ctx, len(self._workers))
+                for key, segment in self._segments.items():
+                    self._attach(worker, key, segment)
+                self._workers.append(worker)
+            return list(self._workers)
+
+    @staticmethod
+    def _attach(worker: _Worker, key: str, segment: _Segment) -> None:
+        worker.conn.send(segment.attach_command(key))
+        reply = worker.conn.recv()
+        if reply[0] != "ok":
+            raise ReproError(f"worker failed to attach shard {key}: {reply[1]}")
+
+    def shutdown(self) -> None:
+        """Stop every worker and release every shared segment (idempotent)."""
+        with self._lock:
+            workers, self._workers = self._workers, []
+            segments, self._segments = dict(self._segments), {}
+            self._closed = True
+        for worker in workers:
+            worker.stop()
+        for segment in segments.values():
+            segment.destroy()
+
+    def __enter__(self) -> "ProcScanPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self):  # best-effort: tests/benchmarks call shutdown()
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    @property
+    def worker_count(self) -> int:
+        """Live worker processes."""
+        with self._lock:
+            return sum(1 for worker in self._workers if worker.alive)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the current fleet (chaos tests kill these)."""
+        return [worker.process.pid for worker in self._ensure_workers()]
+
+    @property
+    def speedup(self) -> float:
+        """Cumulative busy-over-wall ratio across all fan-outs."""
+        return self.busy_seconds / self.wall_seconds if self.wall_seconds > 0 else 1.0
+
+    # ------------------------------------------------------------------
+    # Shard registration
+    # ------------------------------------------------------------------
+
+    def register_shard(self, key: str, database: BlobDatabase) -> None:
+        """(Re-)materialise one shard into shared memory.
+
+        Copies the shard's packed storage into a fresh segment and
+        broadcasts the attachment to every worker. Re-registering an
+        existing key is the repair path: the old segment is unlinked
+        (workers still mapping it keep a valid view until they attach
+        the replacement) and the new content takes over.
+        """
+        segment = _Segment(database)
+        with self._lock:
+            if self._closed:
+                segment.destroy()
+                raise ReproError("scan pool is shut down")
+            old = self._segments.get(key)
+            self._segments[key] = segment
+            workers = list(self._workers)
+        for worker in workers:
+            try:
+                self._attach(worker, key, segment)
+            except (BrokenPipeError, EOFError, OSError):
+                self._respawn(worker)
+        if old is not None:
+            old.destroy()
+
+    def unregister_shards(self, keys: Sequence[str]) -> None:
+        """Drop segments for keys no longer served (front-end teardown)."""
+        with self._lock:
+            dropped = [self._segments.pop(key) for key in keys
+                       if key in self._segments]
+        for segment in dropped:
+            segment.destroy()
+
+    def registered_shards(self) -> List[str]:
+        """Keys currently materialised in shared memory."""
+        with self._lock:
+            return list(self._segments)
+
+    # ------------------------------------------------------------------
+    # Scan dispatch
+    # ------------------------------------------------------------------
+
+    def fanout_xor_bits(self, keys: Sequence[str], bits_rows: np.ndarray,
+                        nbytes: int,
+                        repair: Optional[Callable[[int], None]] = None,
+                        ) -> Tuple[bytes, List[float], FanoutReport]:
+        """Scan every shard with its selection row; XOR-fold the shares.
+
+        Args:
+            keys: registered shard keys, one per row of ``bits_rows``.
+            bits_rows: ``(n_shards, sub_domain)`` 0/1 selection bits.
+            nbytes: answer share size (the blob size).
+            repair: optional hook called with the failing *position*
+                before a task is retried (the shard-repair path).
+
+        Returns:
+            ``(combined_share, per_shard_busy_seconds, fanout_report)``.
+        """
+        commands = [
+            ("scan", key,
+             np.ascontiguousarray(bits_rows[i], dtype=np.uint8).tobytes())
+            for i, key in enumerate(keys)
+        ]
+        with span("engine.fanout", tasks=len(keys), engine="procpool") as sp:
+            replies, retried = self._dispatch(commands, repair)
+            acc = np.zeros(nbytes, dtype=np.uint8)
+            busys: List[float] = []
+            for share, busy in replies:
+                acc ^= np.frombuffer(share, dtype=np.uint8)
+                busys.append(busy)
+            if retried:
+                sp.annotate(retries=retried)
+        report = self._account(len(keys), sp.elapsed, sum(busys),
+                               retries=retried)
+        return acc.tobytes(), busys, report
+
+    def map_scan_batch(self, keys: Sequence[str],
+                       matrices: Sequence[np.ndarray],
+                       repair: Optional[Callable[[int], None]] = None,
+                       ) -> List[List[bytes]]:
+        """Run one single-pass batch scan per shard, in parallel.
+
+        Args:
+            keys: registered shard keys.
+            matrices: per-shard ``(batch, sub_domain)`` selection bits.
+            repair: as in :meth:`fanout_xor_bits`.
+
+        Returns:
+            Per-shard lists of XOR shares, in ``keys`` order.
+        """
+        commands = []
+        for key, matrix in zip(keys, matrices):
+            matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+            commands.append(("scan_batch", key, matrix.tobytes(),
+                             matrix.shape[0]))
+        with span("engine.fanout", tasks=len(keys), engine="procpool") as sp:
+            replies, retried = self._dispatch(commands, repair)
+            if retried:
+                sp.annotate(retries=retried)
+        self._account(len(keys), sp.elapsed,
+                      sum(busy for _shares, busy in replies),
+                      retries=retried)
+        return [shares for shares, _busy in replies]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, commands: List[tuple],
+                  repair: Optional[Callable[[int], None]],
+                  ) -> Tuple[List[Tuple[object, float]], int]:
+        """Pipeline commands across the fleet; collect in command order.
+
+        Commands are dealt round-robin (shard *i* → worker ``i % n``, the
+        affinity that keeps a shard's pages hot in one worker's cache),
+        written eagerly so every worker is busy at once, then collected.
+        A worker that died or errored triggers the repair → re-dispatch
+        path, once per failing task.
+        """
+        workers = self._ensure_workers()
+        n = len(workers)
+        assignments: List[List[int]] = [[] for _ in range(n)]
+        for position in range(len(commands)):
+            assignments[position % n].append(position)
+        for worker, positions in zip(workers, assignments):
+            for position in positions:
+                try:
+                    worker.conn.send(commands[position])
+                except (BrokenPipeError, OSError):
+                    # Collected (and repaired) below, when the recv fails.
+                    break
+        results: List[Optional[Tuple[object, float]]] = [None] * len(commands)
+        failed: List[int] = []
+        for worker, positions in zip(workers, assignments):
+            broken = False
+            for position in positions:
+                if broken:
+                    failed.append(position)
+                    continue
+                try:
+                    reply = worker.conn.recv()
+                except (EOFError, OSError):
+                    self._respawn(worker)
+                    broken = True
+                    failed.append(position)
+                    continue
+                if reply[0] == "ok":
+                    results[position] = (reply[1], reply[2])
+                else:
+                    failed.append(position)
+        retried = 0
+        for position in failed:
+            results[position] = self._retry(commands, position, repair)
+            retried += 1
+        return [result for result in results if result is not None], retried
+
+    def _retry(self, commands: List[tuple], position: int,
+               repair: Optional[Callable[[int], None]],
+               ) -> Tuple[object, float]:
+        """Repair the shard, then re-run one failed task on a live worker."""
+        last: Exception = WorkerDiedError(
+            f"scan task {position} lost its worker")
+        for _attempt in range(max(1, self.task_retries)):
+            if repair is not None:
+                repair(position)
+            workers = self._ensure_workers()
+            worker = workers[position % len(workers)]
+            if not worker.alive:
+                worker = self._respawn(worker)
+            try:
+                worker.conn.send(commands[position])
+                reply = worker.conn.recv()
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                self._respawn(worker)
+                last = WorkerDiedError(f"retry of task {position} failed: {exc}")
+                continue
+            if reply[0] == "ok":
+                with self._lock:
+                    self.tasks_retried += 1
+                record_retry("engine")
+                stats = current_request_stats()
+                if stats is not None:
+                    stats.add(retries=1)
+                return reply[1], reply[2]
+            last = ReproError(f"scan task {position} failed: {reply[1]}")
+        with self._lock:
+            self.tasks_failed += 1
+        raise last
+
+    def _respawn(self, dead: _Worker) -> _Worker:
+        """Replace one dead worker in place, re-attaching every segment."""
+        try:
+            dead.stop(timeout=0.5)
+        except Exception:
+            pass
+        with self._lock:
+            if self._closed or dead not in self._workers:
+                raise ReproError("scan pool is shut down")
+            index = self._workers.index(dead)
+            replacement = _Worker(self._ctx, index)
+            segments = dict(self._segments)
+            self._workers[index] = replacement
+            self.workers_respawned += 1
+        _log.warning("scan worker respawned", extra={"index": index})
+        for key, segment in segments.items():
+            self._attach(replacement, key, segment)
+        return replacement
+
+    def _account(self, tasks: int, wall: float, busy: float,
+                 retries: int = 0) -> FanoutReport:
+        report = FanoutReport(tasks=tasks, wall_seconds=wall,
+                              busy_seconds=busy, parallel=True,
+                              retries=retries)
+        with self._lock:
+            self.fanouts += 1
+            self.tasks_run += tasks
+            self.wall_seconds += wall
+            self.busy_seconds += busy
+            self.last_report = report
+        record_fanout(tasks, wall, busy)
+        return report
+
+
+__all__ = ["ProcScanPool", "WorkerDiedError"]

@@ -25,8 +25,9 @@ whenever its ``version`` moves (see :meth:`ShardedDeployment.refresh`).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,6 +42,10 @@ from repro.errors import CryptoError
 from repro.obs.trace import span
 from repro.pir.database import BlobDatabase
 from repro.pir.engine import FanoutReport, ScanExecutor, shared_executor
+
+#: Distinguishes front-end instances sharing one scan pool, so their
+#: shard segments never collide under the pool's string keys.
+_frontend_uids = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -134,6 +139,17 @@ class FrontEnd:
     shares are folded as results land. Without one (``executor=None``) it
     walks the data servers sequentially — the pre-engine behaviour, kept as
     the benchmark baseline.
+
+    An executor advertising ``shares_shards`` (the multiprocess
+    :class:`~repro.pir.procpool.ProcScanPool`) gets the zero-copy path
+    instead: each shard's packed storage is registered into a
+    shared-memory segment on first use (and re-registered whenever the
+    shard's database object is swapped — the refresh and repair paths
+    both reassign it), and scans are dispatched by key + selection bits
+    rather than by closure, since closures cannot cross process
+    boundaries. The ``shard_repair`` hook fires through the same
+    contract on worker death: repair the logical shard, re-materialise
+    its segment, retry.
     """
 
     def __init__(self, data_servers: List[DataServer], prefix_bits: int,
@@ -160,6 +176,48 @@ class FrontEnd:
         self.last_reports: List[ShardReport] = []
         self.last_split_seconds = 0.0
         self.last_fanout: Optional[FanoutReport] = None
+        #: Whether the attached executor scans shards out of shared
+        #: memory (dispatch by key) instead of running closures in-process.
+        self.pooled = bool(getattr(executor, "shares_shards", False))
+        self._pool_uid = next(_frontend_uids)
+        # Which database object each shard key currently has materialised
+        # in the pool; refresh/repair swap the object, and the next answer
+        # re-registers any shard whose identity moved.
+        self._pool_synced: Dict[int, BlobDatabase] = {}
+
+    def _pool_key(self, shard: int) -> str:
+        return f"fe{self._pool_uid}p{self.party}:{shard}"
+
+    def _sync_pool(self) -> None:
+        """Materialise any shard whose backing database was swapped."""
+        for shard, server in enumerate(self.data_servers):
+            if self._pool_synced.get(shard) is not server.database:
+                self.executor.register_shard(self._pool_key(shard),
+                                             server.database)
+                self._pool_synced[shard] = server.database
+
+    def _pool_repair(self, shard: int) -> None:
+        """Pool-side repair hook: rebuild the shard, re-share its segment.
+
+        Called by the pool with the failing shard position before it
+        re-dispatches the task. Runs the deployment's ``shard_repair``
+        (re-extract from the logical database) when installed, then
+        pushes whatever the shard's database now is back into shared
+        memory so the retry scans fresh content.
+        """
+        if self.shard_repair is not None:
+            self.shard_repair(shard)
+            self.shards_repaired += 1
+        server = self.data_servers[shard]
+        self.executor.register_shard(self._pool_key(shard), server.database)
+        self._pool_synced[shard] = server.database
+
+    def detach_pool(self) -> None:
+        """Release this front-end's shared-memory segments (idempotent)."""
+        if self.pooled and self._pool_synced:
+            self.executor.unregister_shards(
+                [self._pool_key(shard) for shard in self._pool_synced])
+            self._pool_synced = {}
 
     def _guard(self, shard: int, fn: Callable[[], object]) -> Callable[[], object]:
         """Wrap a shard task with the repair hook.
@@ -211,6 +269,21 @@ class FrontEnd:
         with span("pir2.gang_eval", shards=len(subkeys)) as sp:
             bits = eval_subkeys_batch(subkeys)
         gang_share = sp.elapsed / len(subkeys)
+        if self.pooled:
+            self._sync_pool()
+            keys = [self._pool_key(shard) for shard in range(len(subkeys))]
+            combined, busys, fanout = self.executor.fanout_xor_bits(
+                keys, bits, self.blob_size, repair=self._pool_repair)
+            self.last_reports = [
+                ShardReport(shard=shard, dpf_seconds=gang_share,
+                            scan_seconds=busys[shard],
+                            subkey_bytes=subkeys[shard].size_bytes())
+                for shard in range(len(subkeys))
+            ]
+            self.last_fanout = fanout
+            for server in self.data_servers:
+                server.requests_served += 1
+            return combined
         tasks = [
             self._guard(i, lambda server=server, subkey=subkey, row=bits[i]:
                         server.answer_bits(subkey, row, dpf_seconds=gang_share))
@@ -242,12 +315,20 @@ class FrontEnd:
         def scan(shard: int) -> List[bytes]:
             return self.data_servers[shard].answer_bits_batch(matrices[shard])
 
-        tasks = [self._guard(shard, lambda shard=shard: scan(shard))
-                 for shard in range(n_shards)]
-        if self.executor is None:
-            per_shard = [task() for task in tasks]
+        if self.pooled:
+            self._sync_pool()
+            per_shard = self.executor.map_scan_batch(
+                [self._pool_key(shard) for shard in range(n_shards)],
+                matrices, repair=self._pool_repair)
+            for server in self.data_servers:
+                server.requests_served += len(key_bytes_list)
         else:
-            per_shard = self.executor.map(tasks)
+            tasks = [self._guard(shard, lambda shard=shard: scan(shard))
+                     for shard in range(n_shards)]
+            if self.executor is None:
+                per_shard = [task() for task in tasks]
+            else:
+                per_shard = self.executor.map(tasks)
         answers = []
         for i in range(len(key_bytes_list)):
             acc = np.zeros(self.blob_size, dtype=np.uint8)

@@ -1,0 +1,73 @@
+"""Tier-1 wiring for the E12 concurrency benchmark smoke run.
+
+Runs :mod:`benchmarks.async_smoke` at its toy sizes and checks the result
+schema, correctness flags, and the *structural* gates — the event loop
+must sustain at least as many concurrent sessions as the threaded
+baseline on exactly one service thread. Timings are recorded, never
+asserted, so tier-1 stays deterministic on any machine (the speedup
+claims live in ``benchmarks/bench_e12_async_sessions.py``).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import async_smoke  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_async_sessions.json"
+    assert async_smoke.main(["--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_smoke_schema(results):
+    assert set(results) == {"experiment", "sessions", "engine"}
+    kinds = {entry["kind"] for entry in results["sessions"]}
+    assert kinds == {"threaded", "eventloop"}
+    for entry in results["sessions"]:
+        assert {"kind", "concurrent_sessions", "negotiated_sessions",
+                "service_threads", "sessions_per_thread", "open_seconds",
+                "get_roundtrip_ok"} <= set(entry)
+    engines = {entry["engine"] for entry in results["engine"]}
+    assert engines == {"threaded", "procpool"}
+    for entry in results["engine"]:
+        assert {"engine", "workers", "answer_seconds", "engine_speedup",
+                "answers_match"} <= set(entry)
+
+
+def test_eventloop_sustains_no_fewer_sessions_than_threads(results):
+    by_kind = {entry["kind"]: entry for entry in results["sessions"]}
+    assert (by_kind["eventloop"]["concurrent_sessions"]
+            >= by_kind["threaded"]["concurrent_sessions"])
+
+
+def test_eventloop_spends_exactly_one_service_thread(results):
+    by_kind = {entry["kind"]: entry for entry in results["sessions"]}
+    assert by_kind["eventloop"]["service_threads"] == 1
+    # Thread-per-connection really does spend one thread per session —
+    # the cost the reactor removes.
+    threaded = by_kind["threaded"]
+    assert threaded["service_threads"] == threaded["concurrent_sessions"]
+
+
+def test_every_kind_still_answers_while_loaded(results):
+    assert all(entry["get_roundtrip_ok"] for entry in results["sessions"])
+    assert all(entry["negotiated_sessions"] == entry["concurrent_sessions"]
+               for entry in results["sessions"])
+
+
+def test_pool_answers_are_bitwise_identical(results):
+    assert all(entry["answers_match"] for entry in results["engine"])
+
+
+def test_smoke_writes_default_path():
+    # The standalone entry point drops the JSON at the repo root, where
+    # EXPERIMENTS.md points readers.
+    assert async_smoke.DEFAULT_OUT == REPO_ROOT / "BENCH_async_sessions.json"

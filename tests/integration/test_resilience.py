@@ -31,6 +31,7 @@ from repro.core.zltp.sockets import (
     connect_tcp,
     connect_tcp_resilient,
 )
+from repro.core.zltp.serving import create_tcp_server
 from repro.core.zltp.transport import transport_pair
 from repro.crypto.dpf import gen_dpf
 from repro.errors import DeadlineError
@@ -330,11 +331,15 @@ class TestEndpointFailoverAcceptance:
     with the retries visible in ``/metrics.json``.
     """
 
-    def test_killed_endpoint_fails_over_with_identical_records(self):
+    @pytest.mark.parametrize("server_kind", ["threaded", "eventloop"])
+    def test_killed_endpoint_fails_over_with_identical_records(
+            self, server_kind):
         db = build_db()
         logical = party_servers(db)
-        primaries = [ZltpTcpServer(server) for server in logical]
-        replicas = [ZltpTcpServer(server) for server in logical]
+        primaries = [create_tcp_server(server_kind, server)
+                     for server in logical]
+        replicas = [create_tcp_server(server_kind, server)
+                    for server in logical]
         sidecar = StatsTcpServer(lambda: {"metrics": REGISTRY.as_dict()})
         policy_args = dict(max_attempts=6, base_delay=0.01, jitter=0.0)
         try:

@@ -530,3 +530,80 @@ class TestCliContract:
         path = tmp_path / "broken.py"
         path.write_text("def f(:\n")
         assert analysis_main([str(path)]) == EXIT_FINDINGS
+
+
+class TestOwnerWrite:
+    """The owned-by single-thread ownership rule (reactor state)."""
+
+    def test_fires_on_write_from_non_owning_method(self):
+        findings = run("""
+            class Reactor:
+                def __init__(self):
+                    self._conns = {}  # owned-by: _react
+
+                def stop(self):
+                    self._conns = {}
+        """)
+        assert rules_of(findings) == ["owner-write"]
+        assert "owned-by: _react" in findings[0].message
+
+    def test_fires_on_mutating_call_from_non_owning_method(self):
+        findings = run("""
+            class Reactor:
+                def __init__(self):
+                    self._conns = {}  # owned-by: _react
+
+                def stop(self):
+                    self._conns.clear()
+        """)
+        assert rules_of(findings) == ["owner-write"]
+
+    def test_quiet_inside_owning_method_family(self):
+        findings = run("""
+            class Reactor:
+                def __init__(self):
+                    self._conns = {}  # owned-by: _react
+
+                def _react_teardown(self, fd):
+                    self._conns.pop(fd, None)
+
+                def _react_loop(self):
+                    self._conns = {}
+        """)
+        assert findings == []
+
+    def test_init_is_exempt(self):
+        findings = run("""
+            class Reactor:
+                def __init__(self):
+                    self._conns = {}  # owned-by: _react
+                    self._conns.update({})
+        """)
+        assert findings == []
+
+    def test_reads_are_not_flagged(self):
+        findings = run("""
+            class Reactor:
+                def __init__(self):
+                    self._conns = {}  # owned-by: _react
+
+                def active(self):
+                    return len(self._conns)
+        """)
+        assert findings == []
+
+    def test_coexists_with_guarded_by(self):
+        findings = run("""
+            import threading
+
+            class Server:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+                    self._conns = {}  # owned-by: _react
+
+                def bad(self):
+                    self.count += 1
+                    self._conns.clear()
+        """)
+        assert rules_of(findings) == ["guard-write", "owner-write"]

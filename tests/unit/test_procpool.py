@@ -1,0 +1,174 @@
+"""Tests for the shared-memory multiprocess scan pool."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.crypto.dpf import gen_dpf
+from repro.errors import CryptoError, ReproError
+from repro.pir.database import BlobDatabase
+from repro.pir.engine import ScanExecutor
+from repro.pir.procpool import ProcScanPool
+from repro.pir.sharding import ShardedDeployment, ShardedPartyServer
+
+DOMAIN_BITS = 9
+BLOB = 24
+
+
+def build_db(seed=3):
+    db = BlobDatabase(DOMAIN_BITS, BLOB)
+    rng = np.random.default_rng(seed)
+    payloads = {}
+    for i in range(0, db.n_slots, 5):
+        payloads[i] = rng.bytes(BLOB)
+        db.set_slot(i, payloads[i])
+    return db, payloads
+
+
+def answer_pair(deployment, index):
+    k0, k1 = gen_dpf(index, DOMAIN_BITS)
+    a0 = deployment.answer(0, k0.to_bytes())
+    a1 = deployment.answer(1, k1.to_bytes())
+    return bytes(x ^ y for x, y in zip(a0, a1))
+
+
+@pytest.fixture
+def pool():
+    pool = ProcScanPool(max_workers=2)
+    yield pool
+    pool.shutdown()
+
+
+class TestPoolScans:
+    def test_fanout_matches_threaded_engine(self, pool):
+        db, payloads = build_db()
+        pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+        threaded = ShardedDeployment(db, prefix_bits=2,
+                                     executor=ScanExecutor(max_workers=2))
+        for index in (0, 135, 510):
+            assert answer_pair(pooled, index) == answer_pair(threaded, index)
+        assert answer_pair(pooled, 135) == payloads[135]
+        assert pool.fanouts >= 1
+        assert pool.tasks_run >= 4
+
+    def test_batch_matches_single_answers(self, pool):
+        db, payloads = build_db()
+        pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+        indices = [0, 5, 135, 510]
+        keys0, keys1 = [], []
+        for i in indices:
+            k0, k1 = gen_dpf(i, DOMAIN_BITS)
+            keys0.append(k0.to_bytes())
+            keys1.append(k1.to_bytes())
+        b0 = pooled.answer_batch(0, keys0)
+        b1 = pooled.answer_batch(1, keys1)
+        for n, i in enumerate(indices):
+            record = bytes(x ^ y for x, y in zip(b0[n], b1[n]))
+            assert record == payloads.get(i, b"\x00" * BLOB)
+
+    def test_refresh_rematerialises_shared_segments(self, pool):
+        db, _ = build_db()
+        pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+        assert answer_pair(pooled, 7) == b"\x00" * BLOB  # unwritten slot
+        db.set_slot(7, b"fresh!".ljust(BLOB, b"\x00"))
+        # The shard snapshot AND its shared segment must both refresh.
+        assert answer_pair(pooled, 7) == b"fresh!".ljust(BLOB, b"\x00")
+
+    def test_party_server_over_pool(self, pool):
+        db, payloads = build_db()
+        parties = [
+            ShardedPartyServer(db, prefix_bits=2, party=party, executor=pool)
+            for party in (0, 1)
+        ]
+        k0, k1 = gen_dpf(135, DOMAIN_BITS)
+        a0 = parties[0].answer(k0.to_bytes())
+        a1 = parties[1].answer(k1.to_bytes())
+        assert bytes(x ^ y for x, y in zip(a0, a1)) == payloads[135]
+
+    def test_reports_surface_matches_engine(self, pool):
+        db, _ = build_db()
+        pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+        answer_pair(pooled, 135)
+        front_end = pooled.front_ends[0]
+        assert len(front_end.last_reports) == 4
+        assert front_end.last_fanout is not None
+        assert front_end.last_fanout.tasks == 4
+        assert front_end.last_fanout.parallel is True
+        assert all(report.scan_seconds >= 0
+                   for report in front_end.last_reports)
+        assert pool.speedup > 0
+
+
+class TestPoolRecovery:
+    def test_worker_death_mid_life_recovers_via_repair(self, pool):
+        """The acceptance scenario: SIGKILL a worker, next answer heals."""
+        db, payloads = build_db()
+        pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+        baseline = answer_pair(pooled, 135)
+        assert baseline == payloads[135]
+
+        os.kill(pool.worker_pids()[0], signal.SIGKILL)
+        time.sleep(0.2)
+
+        assert answer_pair(pooled, 135) == baseline
+        assert pool.tasks_retried >= 1
+        assert pool.workers_respawned >= 1
+        front_end = pooled.front_ends[0]
+        assert front_end.shards_repaired >= 1
+        assert pool.worker_count == 2  # fleet is whole again
+
+    def test_retry_accounting_reaches_fanout_report(self, pool):
+        db, _ = build_db()
+        pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+        answer_pair(pooled, 1)
+        os.kill(pool.worker_pids()[0], signal.SIGKILL)
+        time.sleep(0.2)
+        answer_pair(pooled, 1)
+        reports = [front_end.last_fanout for front_end in pooled.front_ends]
+        assert sum(report.retries for report in reports) >= 1
+
+
+class TestPoolLifecycle:
+    def test_shutdown_is_idempotent_and_releases_segments(self):
+        pool = ProcScanPool(max_workers=1)
+        db, _ = build_db()
+        pool.register_shard("only", db)
+        assert pool.registered_shards() == ["only"]
+        pool.worker_pids()  # force spawn
+        pool.shutdown()
+        pool.shutdown()
+        assert pool.worker_count == 0
+        assert pool.registered_shards() == []
+        with pytest.raises(ReproError):
+            pool.register_shard("late", db)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(CryptoError):
+            ProcScanPool(max_workers=0)
+
+    def test_unregister_drops_segments(self):
+        pool = ProcScanPool(max_workers=1)
+        try:
+            db, _ = build_db()
+            pool.register_shard("a", db)
+            pool.register_shard("b", db)
+            pool.unregister_shards(["a"])
+            assert pool.registered_shards() == ["b"]
+        finally:
+            pool.shutdown()
+
+    def test_frontend_detach_pool_unregisters_keys(self):
+        pool = ProcScanPool(max_workers=1)
+        try:
+            db, _ = build_db()
+            pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+            answer_pair(pooled, 0)
+            assert len(pool.registered_shards()) == 8  # 4 shards x 2 parties
+            for front_end in pooled.front_ends:
+                front_end.detach_pool()
+            assert pool.registered_shards() == []
+        finally:
+            pool.shutdown()

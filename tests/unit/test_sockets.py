@@ -2,6 +2,7 @@
 
 import json
 import socket
+import struct
 import threading
 import time
 
@@ -246,6 +247,9 @@ class TestInternalErrorReply:
             def handle_frames(self, frames):
                 raise RuntimeError("handler bug")
 
+            def close(self):
+                self.closed = True
+
         server = tcp_pair[0]
         server.server.create_session = lambda: BoomSession()
         transport = connect_tcp(*server.address)
@@ -265,6 +269,9 @@ class TestInternalErrorReply:
 
             def handle_frames(self, frames):
                 raise RuntimeError("handler bug")
+
+            def close(self):
+                self.closed = True
 
         server = tcp_pair[0]
         original = server.server.create_session
@@ -311,5 +318,168 @@ class TestStatsSidecar:
             assert "200" in status
             assert b"application/json" in header
             assert json.loads(body)["gets"] == 3
+        finally:
+            sidecar.stop()
+
+
+class TestTransportThreadSafety:
+    """Regression: close() racing a blocked recv_frame() across threads.
+
+    The browser's watchdog closes a transport while a reader thread is
+    parked in ``recv_frame`` — exactly the reconnect path of
+    :class:`~repro.core.resilience.ReconnectingTransport`. The old
+    transport had no lock and a non-idempotent close; the race could
+    surface as a secondary exception instead of the typed
+    :class:`TransportError`.
+    """
+
+    def test_close_unblocks_reader_with_typed_error(self, tcp_pair):
+        transport = connect_tcp(*tcp_pair[0].address)
+        failures = []
+
+        def read():
+            try:
+                transport.recv_frame()
+                failures.append("recv returned without error")
+            except TransportError:
+                pass  # the one acceptable outcome
+            except BaseException as exc:  # noqa: BLE001 - the regression
+                failures.append(f"wrong exception: {exc!r}")
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        time.sleep(0.1)  # let the reader park in recv
+        transport.close()
+        reader.join(5)
+        assert not reader.is_alive()
+        assert failures == []
+        assert transport.closed
+
+    def test_concurrent_closes_are_idempotent(self, tcp_pair):
+        transport = connect_tcp(*tcp_pair[0].address)
+        errors = []
+
+        def close():
+            try:
+                transport.close()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5)
+        assert errors == []
+        with pytest.raises(TransportError):
+            transport.send_frame(b"x")
+
+    def test_send_after_peer_close_raises_typed_error(self, tcp_pair):
+        server = tcp_pair[0]
+        transport = connect_tcp(*server.address)
+        transport.send_frame(b"\x01garbage")  # session replies then closes
+        transport.recv_frame()
+        with pytest.raises(TransportError):
+            # Two sends: the first may land in the kernel buffer of a
+            # half-closed socket; the second must surface the close.
+            transport.send_frame(b"x")
+            time.sleep(0.1)
+            transport.send_frame(b"y")
+        transport.close()
+
+
+class TestTruncatedFrames:
+    def test_partial_frame_is_reported_not_dropped(self, tcp_pair):
+        server = tcp_pair[0]
+        sock = socket.create_connection(server.address, timeout=5)
+        frame = encode_frame(b"x" * 64)
+        sock.sendall(frame[: len(frame) // 2])
+        sock.shutdown(socket.SHUT_WR)
+        sock.settimeout(5)
+        data = sock.recv(65536)
+        assert b"truncated-frame" in data
+        deadline = 50
+        while server.truncated_frames < 1 and deadline:
+            deadline -= 1
+            time.sleep(0.02)
+        assert server.truncated_frames == 1
+        sock.close()
+
+    def test_clean_close_counts_nothing(self, tcp_pair):
+        server = tcp_pair[0]
+        sock = socket.create_connection(server.address, timeout=5)
+        sock.close()
+        deadline = 50
+        while server.active_connections and deadline:
+            deadline -= 1
+            time.sleep(0.02)
+        assert server.truncated_frames == 0
+
+    def test_session_teardown_balances_on_early_return(self, tcp_pair):
+        """Every exit path of the connection handler closes the session."""
+        server = tcp_pair[0]
+        logical = server.server
+        # Path 1: garbage frame (session error-close).
+        crashed = connect_tcp(*server.address)
+        crashed.send_frame(b"\x01garbage")
+        crashed.recv_frame()
+        crashed.close()
+        # Path 2: peer vanishes mid-frame (the old leak).
+        sock = socket.create_connection(server.address, timeout=5)
+        frame = encode_frame(b"y" * 32)
+        sock.sendall(frame[:3])
+        sock.shutdown(socket.SHUT_WR)
+        sock.recv(65536)
+        sock.close()
+        # Path 3: clean idle disconnect.
+        idle = socket.create_connection(server.address, timeout=5)
+        idle.close()
+        deadline = 100
+        while logical.sessions_active and deadline:
+            deadline -= 1
+            time.sleep(0.02)
+        assert logical.sessions_active == 0
+
+
+class TestStatsEarlyClose:
+    def test_scraper_hangup_mid_write_logs_no_traceback(self, caplog):
+        """A scraper that dies mid-response is noise, not an error."""
+        def slow_snapshot():
+            time.sleep(0.2)
+            return {"big": "x" * 65536, "metrics": {}}
+
+        sidecar = StatsTcpServer(slow_snapshot)
+        try:
+            with caplog.at_level("DEBUG"):
+                sock = socket.create_connection(sidecar.address, timeout=5)
+                sock.sendall(b"GET /metrics.json HTTP/1.0\r\n\r\n")
+                # Hang up hard (RST) before the snapshot finishes.
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+                sock.close()
+                time.sleep(0.5)
+            noisy = [record for record in caplog.records
+                     if record.levelname in ("ERROR", "WARNING", "EXCEPTION")]
+            assert noisy == []
+            # And the sidecar still serves the next scraper.
+            status, _, body = http_get(sidecar.address, "/metrics.json")
+            assert "200" in status
+        finally:
+            sidecar.stop()
+
+    def test_scraper_hangup_before_request_logs_no_traceback(self, caplog):
+        sidecar = StatsTcpServer(lambda: {"metrics": {}})
+        try:
+            with caplog.at_level("DEBUG"):
+                sock = socket.create_connection(sidecar.address, timeout=5)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+                sock.close()
+                time.sleep(0.3)
+            noisy = [record for record in caplog.records
+                     if record.levelname in ("ERROR", "WARNING", "EXCEPTION")]
+            assert noisy == []
+            status, _, _ = http_get(sidecar.address, "/metrics.json")
+            assert "200" in status
         finally:
             sidecar.stop()
