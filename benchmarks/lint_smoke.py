@@ -1,0 +1,94 @@
+"""Smoke-run the E13 lint-performance benchmark over ``src/``.
+
+Tier-1 runs this (via ``tests/integration/test_lint_bench_smoke.py``) so
+the whole-program analyzer's summary cache is exercised against a cold
+run on every test run. It records timings but gates only on *structure*
+and *correctness*:
+
+- the cached run must produce findings byte-identical to the cold run
+  (the cache is an optimisation, never an answer change);
+- both runs must leave ``src/`` at zero unsuppressed findings;
+- the cached run must revalidate every module from the cache (no
+  re-extraction when nothing changed).
+
+Wall-clock numbers are recorded for EXPERIMENTS.md but never asserted
+as ratios — tier-1 stays deterministic on any machine.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/lint_smoke.py [--out BENCH_lint.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.report import render_json
+from repro.analysis.rules import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_lint.json"
+SRC = REPO_ROOT / "src"
+
+
+def _timed_lint(cache_path: str) -> dict:
+    """One full ``analyze_paths`` over src/ against ``cache_path``."""
+    t0 = time.perf_counter()
+    result = analyze_paths([str(SRC)], cache_path=cache_path)
+    seconds = time.perf_counter() - t0
+    report = render_json(result.findings, result.suppressed,
+                         result.baselined, len(result.files))
+    return {
+        "seconds": seconds,
+        "files": len(result.files),
+        "findings": len(result.findings),
+        "suppressed": len(result.suppressed),
+        "report": report,
+    }
+
+
+def run() -> dict:
+    """Cold vs cached whole-program lint over src/; return the record."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = str(Path(tmp) / "summaries.json")
+        cold = _timed_lint(cache)
+        cached = _timed_lint(cache)
+    identical = cold["report"] == cached["report"]
+    record = {
+        "experiment": "E13 whole-program lint: cold vs summary-cached "
+                      "runs over src/",
+        "cold": {k: v for k, v in cold.items() if k != "report"},
+        "cached": {k: v for k, v in cached.items() if k != "report"},
+        "reports_identical": identical,
+        "speedup": (cold["seconds"] / cached["seconds"]
+                    if cached["seconds"] else None),
+    }
+    return record
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns 0 when every gate holds."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+    data = run()
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    failures = []
+    if not data["reports_identical"]:
+        failures.append("cached findings differ from the cold run")
+    for leg in ("cold", "cached"):
+        if data[leg]["findings"]:
+            failures.append(f"{leg} run left unsuppressed findings in src/")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import traceback
 from typing import List, Optional
 
 from repro.analysis.report import (
@@ -18,10 +18,13 @@ from repro.analysis.rules import analyze_paths
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Argparse surface for the standalone analyzer entry point."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Zero-leakage static analyzer: secret taint, lock "
-                    "discipline, wire shape.",
+                    "discipline, wire shape, plus whole-program "
+                    "interprocedural rules (taint flows, lock-order "
+                    "cycles, thread escapes, caller-side constant-time).",
     )
     parser.add_argument("paths", nargs="+",
                         help="Python files or directories to analyze")
@@ -29,6 +32,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit a machine-readable JSON report")
     parser.add_argument("--baseline", default=None,
                         help="JSON baseline of accepted findings")
+    parser.add_argument("--intra-only", action="store_true",
+                        help="skip the whole-program engine (per-module "
+                             "rules only)")
+    parser.add_argument("--cache", default="",
+                        help="on-disk summary cache for the whole-program "
+                             "engine (created if missing)")
     return parser
 
 
@@ -41,8 +50,16 @@ def _write_line(text: str) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the analyzer; returns 0 clean / 1 findings / 2 internal error."""
     args = build_parser().parse_args(argv)
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        _write_line(f"lint error: no such path: {', '.join(missing)}")
+        return EXIT_INTERNAL
     try:
-        result = analyze_paths(args.paths, baseline_path=args.baseline)
+        result = analyze_paths(
+            args.paths, baseline_path=args.baseline,
+            whole_program=not args.intra_only,
+            cache_path=args.cache,
+        )
         if args.json:
             _write_line(render_json(result.findings, result.suppressed,
                                     result.baselined, len(result.files)))
@@ -50,8 +67,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _write_line(render_text(result.findings, len(result.suppressed),
                                     len(result.baselined),
                                     len(result.files)))
-    except Exception:  # noqa: BLE001 - the exit-code contract wants 2 here
-        traceback.print_exc()
+    except Exception as exc:  # noqa: BLE001 - the exit-code contract wants 2
+        _write_line(f"lint internal error: {exc}")
         return EXIT_INTERNAL
     return EXIT_CLEAN if result.clean else EXIT_FINDINGS
 

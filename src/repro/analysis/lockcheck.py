@@ -158,6 +158,10 @@ class LockCheck:
             for elt in target.elts:
                 self._check_target(elt, stmt, held, symbol, def_line)
             return
+        if isinstance(target, (ast.Subscript, ast.Starred)):
+            # An item store mutates the container exactly like .append().
+            self._check_target(target.value, stmt, held, symbol, def_line)
+            return
         if isinstance(target, ast.Attribute):
             guard = self.attr_guards.get(target.attr)
             name = f"self.{target.attr}"

@@ -41,19 +41,26 @@ class Finding:
     symbol: str  # enclosing function/class qualname, or "<module>"
     message: str
     def_line: int = 0  # line of the enclosing ``def`` (0 = none)
+    family: str = "intra"  # rule family: intra | taint-flow | lock-order
+    #                        | escape | const-time
+    chain: Tuple[str, ...] = ()  # witness call chain (interprocedural)
 
     def key(self) -> Tuple[str, str, int, int, str]:
         return (self.rule, self.path, self.line, self.col, self.message)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "symbol": self.symbol,
             "message": self.message,
+            "family": self.family,
         }
+        if self.chain:
+            out["chain"] = list(self.chain)
+        return out
 
     def render(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: [{self.rule}] "
@@ -190,10 +197,19 @@ def render_text(findings: List[Finding], suppressed: int, baselined: int,
     return "\n".join(lines)
 
 
+#: Version of the ``--json`` report layout. Schema 2 adds the top-level
+#: ``schema`` marker, a ``family`` key on every finding, and a ``chain``
+#: key (witness call path) on interprocedural findings. All schema-1
+#: keys are preserved unchanged — consumers written against schema 1
+#: keep working.
+JSON_SCHEMA_VERSION = 2
+
+
 def render_json(findings: List[Finding], suppressed: List[Finding],
                 baselined: List[Finding], files: int) -> str:
     """Machine-readable report for trend tracking."""
     return json.dumps({
+        "schema": JSON_SCHEMA_VERSION,
         "files": files,
         "counts": {
             "unsuppressed": len(findings),
@@ -211,6 +227,7 @@ __all__ = [
     "EXIT_CLEAN",
     "EXIT_FINDINGS",
     "EXIT_INTERNAL",
+    "JSON_SCHEMA_VERSION",
     "Finding",
     "Pragma",
     "BaselineEntry",

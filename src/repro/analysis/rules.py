@@ -314,21 +314,44 @@ def collect_files(paths: Sequence[str]) -> List[str]:
 def analyze_paths(paths: Sequence[str],
                   baseline_path: Optional[str] = None,
                   overrides: Optional[Dict[str, ModuleSources]] = None,
+                  whole_program: bool = True,
+                  cache_path: str = "",
                   ) -> AnalysisResult:
-    """Analyze files/directories, applying pragmas and the baseline."""
+    """Analyze files/directories, applying pragmas and the baseline.
+
+    By default the whole-program engine runs on top of the per-module
+    rules: cross-module taint flows, lock-order cycles, thread escapes,
+    and caller-side constant-time findings are merged in (deduplicated
+    positionally against the intra findings, which keep their plainer
+    messages). ``whole_program=False`` restores the PR-2 behaviour;
+    ``cache_path`` names an on-disk summary cache (see
+    :mod:`repro.analysis.wholeprogram.cache`).
+    """
     result = AnalysisResult()
     raw: List[Finding] = []
     pragmas_by_path: Dict[str, List[Pragma]] = {}
+    file_sources: List[tuple] = []
     for filename in collect_files(paths):
         with open(filename, "r", encoding="utf-8") as handle:
             source = handle.read()
         result.files.append(filename)
+        file_sources.append((filename, source))
         pragmas, bad_pragmas = parse_pragmas(source, filename)
         pragmas_by_path[filename] = pragmas
         raw.extend(bad_pragmas)
         module_sources = None if overrides is None else \
             sources_for(filename, overrides)
         raw.extend(analyze_source(source, filename, sources=module_sources))
+    if whole_program and file_sources:
+        from repro.analysis.wholeprogram.engine import analyze_project
+        seen = {(f.rule, f.path, f.line, f.col) for f in raw}
+        for finding in analyze_project(
+                file_sources,
+                lambda path: sources_for(path, overrides),
+                cache_path=cache_path):
+            if (finding.rule, finding.path, finding.line,
+                    finding.col) not in seen:
+                raw.append(finding)
     kept, result.suppressed = apply_pragmas(raw, pragmas_by_path)
     entries, bad_baseline = load_baseline(baseline_path)
     kept.extend(bad_baseline)

@@ -1,0 +1,45 @@
+"""Whole-program analysis: call graph, summaries, interprocedural rules.
+
+PR 2's analyzer stops at module boundaries: a secret that flows
+``crypto/dpf.py → pir/engine.py → obs/trace.py`` is invisible to the
+per-module taint walk, a lock-order inversion between two modules never
+shows up in either one alone, and reactor state handed to a thread in a
+closure defeats the ``owned-by:`` check entirely. This package closes
+those gaps with a project-wide pipeline:
+
+1. :mod:`~repro.analysis.wholeprogram.callgraph` parses every module
+   once, resolves imports (absolute, aliased, relative), binds class
+   methods through cross-module inheritance, and resolves call sites to
+   fully-qualified function ids — a project :class:`Project` plus a
+   symbol table the later phases share.
+2. :mod:`~repro.analysis.wholeprogram.summaries` runs a *parametric*
+   taint walk per function (taint expressed as a function of the
+   caller's arguments, not a fixed bit), collecting per-function
+   summaries: taints-return, taints-params, conditional observation
+   points (branch / compare / serialization / telemetry), lock
+   acquisitions with held-set context, and thread/process escape sites.
+   Summaries iterate to a fixpoint so chains of helpers converge.
+3. :mod:`~repro.analysis.wholeprogram.interproc` propagates the declared
+   secret-source inventory across resolved call edges to a fixpoint and
+   evaluates four rule families on top: cross-module secret taint
+   (``secret-branch``/``secret-compare``/``secret-len``/
+   ``telemetry-leak`` with witness call chains), lock-order deadlock
+   cycles (``lock-order``), owned/guarded state escaping to other
+   threads or processes (``thread-escape``), and interprocedural
+   constant-time checking (``ct-call`` at every caller of a
+   non-constant-time helper).
+4. :mod:`~repro.analysis.wholeprogram.cache` keys each module's
+   extracted summary by content hash so repeated runs (the tier-1 gate,
+   watch loops) skip extraction for unchanged files; the global
+   propagation always re-runs, so cached and cold findings are
+   identical by construction.
+
+``lightweb lint`` runs this engine by default (``--intra-only`` falls
+back to the PR-2 per-module analysis); :func:`analyze_project` is the
+library entry point.
+"""
+
+from repro.analysis.wholeprogram.callgraph import Project, build_project
+from repro.analysis.wholeprogram.engine import analyze_project
+
+__all__ = ["Project", "build_project", "analyze_project"]

@@ -1,0 +1,427 @@
+"""Project model: modules, symbols, imports, classes, call resolution.
+
+Everything downstream (summaries, interprocedural rules) works on
+fully-qualified *function ids* of the form ``<module>:<Qual.name>``
+(``repro.crypto.dpf:gen_dpf``, ``repro.pir.procpool:ProcScanPool._retry``).
+This module builds that namespace from plain ``ast`` parses:
+
+- **Module naming** walks parent directories while ``__init__.py``
+  files exist, so ``src/repro/pir/engine.py`` becomes
+  ``repro.pir.engine`` and a loose fixture file becomes its bare stem.
+- **Import resolution** handles ``import a.b.c [as x]``,
+  ``from a.b import sym [as y]`` (following package re-exports
+  transitively), and relative ``from .sib import sym`` forms.
+- **Class-method binding** is inheritance-aware across modules: a
+  ``self.helper()`` call in a subclass resolves through the base-class
+  list (depth-first, in declaration order — a linearisation that is
+  exact for this codebase's single-inheritance shapes).
+- **Decorators** do not hide functions: a decorated ``def`` keeps its
+  identity, and ``staticmethod``/``classmethod`` adjust how call-site
+  arguments bind to parameters.
+
+Resolution is deliberately *partial*: a call that cannot be resolved
+(dynamic dispatch, builtins, third-party code) yields ``None`` and the
+analyses fall back to their conservative local behaviour, exactly like
+the intra-module engine.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Follow package re-export chains at most this deep.
+_MAX_REEXPORT_DEPTH = 6
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file, derived from ``__init__.py`` chains."""
+    path = os.path.abspath(path)
+    directory, filename = os.path.split(path)
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, pkg = os.path.split(directory)
+        if not pkg:
+            break
+        parts.insert(0, pkg)
+    return ".".join(parts) if parts else stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    fid: str                      # "<module>:<Qual.name>"
+    module: str
+    qualname: str                 # "name" or "Class.name"
+    node: ast.AST                 # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str]     # enclosing class, if a method
+    params: List[str]             # declared parameter names, in order
+    is_static: bool = False
+    is_classmethod: bool = False
+    decorators: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    def bound_params(self) -> List[str]:
+        """Parameter names as seen by a *bound* call (no self/cls)."""
+        if self.class_name is not None and not self.is_static and self.params:
+            return self.params[1:]
+        return self.params
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its resolved method table."""
+
+    cid: str                      # "<module>:<ClassName>"
+    module: str
+    name: str
+    node: ast.ClassDef
+    base_names: List[str]         # raw base expressions, dotted text
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fid
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    is_package: bool
+    #: local name -> ("module", dotted) | ("symbol", "module:sym")
+    imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    functions: Dict[str, str] = field(default_factory=dict)   # name -> fid
+    classes: Dict[str, str] = field(default_factory=dict)     # name -> cid
+
+
+def _decorator_names(node) -> List[str]:
+    names = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.append(target.attr)
+    return names
+
+
+def _param_names(node) -> List[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    """Render a Name/Attribute chain as dotted text, else None."""
+    parts: List[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Project:
+    """All modules of one analysis run, with shared resolution tables."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.modules_by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # -- construction --------------------------------------------------
+
+    def add_module(self, path: str, source: str, tree: ast.Module) -> ModuleInfo:
+        name = module_name_for(path)
+        info = ModuleInfo(
+            name=name, path=path, source=source, tree=tree,
+            is_package=os.path.basename(path) == "__init__.py",
+        )
+        self.modules[name] = info
+        self.modules_by_path[path] = info
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, node, None)
+            elif isinstance(node, ast.ClassDef):
+                cid = f"{name}:{node.name}"
+                bases = [b for b in (_dotted(base) for base in node.bases)
+                         if b is not None]
+                self.classes[cid] = ClassInfo(
+                    cid=cid, module=name, name=node.name, node=node,
+                    base_names=bases,
+                )
+                info.classes[node.name] = cid
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(info, item, node.name)
+        return info
+
+    def _add_function(self, module: ModuleInfo, node,
+                      class_name: Optional[str]) -> None:
+        qualname = f"{class_name}.{node.name}" if class_name else node.name
+        fid = f"{module.name}:{qualname}"
+        decorators = _decorator_names(node)
+        self.functions[fid] = FunctionInfo(
+            fid=fid, module=module.name, qualname=qualname, node=node,
+            class_name=class_name, params=_param_names(node),
+            is_static="staticmethod" in decorators,
+            is_classmethod="classmethod" in decorators,
+            decorators=decorators,
+        )
+        if class_name is None:
+            module.functions[node.name] = fid
+        else:
+            cid = f"{module.name}:{class_name}"
+            self.classes[cid].methods[node.name] = fid
+
+    def link(self) -> None:
+        """Resolve every module's import table (call after all adds)."""
+        for info in self.modules.values():
+            self._link_module(info)
+
+    def _link_module(self, info: ModuleInfo) -> None:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    info.imports[bound] = ("module", target)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(info, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    info.imports[bound] = ("symbol", f"{base}:{alias.name}")
+
+    @staticmethod
+    def _import_base(info: ModuleInfo, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        # Relative import: strip (level - 1) trailing components from the
+        # *package* name (the module's own name for a package __init__).
+        parts = info.name.split(".")
+        if not info.is_package:
+            parts = parts[:-1]
+        strip = node.level - 1
+        if strip:
+            parts = parts[:-strip] if strip < len(parts) else []
+        base = ".".join(parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base or None
+
+    # -- symbol resolution ---------------------------------------------
+
+    def resolve_symbol(self, module: str, name: str,
+                       depth: int = 0) -> Optional[str]:
+        """Resolve a bare name in a module to ``fid``/``cid``/module name.
+
+        Follows ``from pkg import sym`` chains through package
+        re-exports. Returns a function id, class id, or module name —
+        distinguished by the caller via the lookup tables.
+        """
+        info = self.modules.get(module)
+        if info is None or depth > _MAX_REEXPORT_DEPTH:
+            return None
+        if name in info.functions:
+            return info.functions[name]
+        if name in info.classes:
+            return info.classes[name]
+        bound = info.imports.get(name)
+        if bound is None:
+            return None
+        kind, target = bound
+        if kind == "module":
+            return target if target in self.modules else None
+        target_module, _, symbol = target.partition(":")
+        # ``from a.b import c`` where c is itself the module a.b.c.
+        submodule = f"{target_module}.{symbol}"
+        if target_module in self.modules:
+            resolved = self.resolve_symbol(target_module, symbol, depth + 1)
+            if resolved is not None:
+                return resolved
+        if submodule in self.modules:
+            return submodule
+        return None
+
+    def resolve_dotted(self, module: str, dotted: str) -> Optional[str]:
+        """Resolve a dotted chain (``pkg.mod.func``) rooted in a module."""
+        head, _, rest = dotted.partition(".")
+        target = self.resolve_symbol(module, head)
+        if target is None:
+            return None
+        while rest:
+            part, _, rest = rest.partition(".")
+            if target in self.modules:
+                target = self.resolve_symbol(target, part)
+                if target is None:
+                    return None
+            elif target in self.classes:
+                target = self.classes[target].methods.get(part)
+                if target is None:
+                    return None
+            else:
+                return None
+        return target
+
+    # -- method binding ------------------------------------------------
+
+    def mro(self, cid: str) -> List[str]:
+        """Approximate MRO: the class, then bases depth-first in order."""
+        out: List[str] = []
+        stack = [cid]
+        seen = set()
+        while stack:
+            current = stack.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            out.append(current)
+            cls = self.classes[current]
+            resolved_bases = []
+            for base in cls.base_names:
+                base_ref = self.resolve_dotted(cls.module, base)
+                if base_ref in self.classes:
+                    resolved_bases.append(base_ref)
+            stack = resolved_bases + stack
+        return out
+
+    def lookup_method(self, cid: str, name: str) -> Optional[str]:
+        for klass in self.mro(cid):
+            fid = self.classes[klass].methods.get(name)
+            if fid is not None:
+                return fid
+        return None
+
+    def class_of_method(self, fid: str) -> Optional[str]:
+        info = self.functions.get(fid)
+        if info is None or info.class_name is None:
+            return None
+        return f"{info.module}:{info.class_name}"
+
+    # -- call resolution -----------------------------------------------
+
+    def resolve_call(self, module: str, call: ast.Call,
+                     self_class: Optional[str] = None,
+                     type_env: Optional[Dict[str, str]] = None,
+                     ) -> Optional[Tuple[str, Optional[str]]]:
+        """Resolve one call site.
+
+        Returns ``(fid, instance_cid)`` where ``instance_cid`` is the
+        class whose instance the call returns (for constructor calls),
+        or ``None`` when the target is unknown.
+        """
+        func = call.func
+        type_env = type_env or {}
+        if isinstance(func, ast.Name):
+            target = self.resolve_symbol(module, func.id)
+            return self._as_callable(target)
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        # self.method(...) — bind through the MRO.
+        if isinstance(base, ast.Name) and base.id in ("self", "cls") \
+                and self_class is not None:
+            fid = self.lookup_method(self_class, func.attr)
+            return (fid, None) if fid is not None else None
+        # instance.method(...) for a variable of known class.
+        if isinstance(base, ast.Name) and base.id in type_env:
+            fid = self.lookup_method(type_env[base.id], func.attr)
+            return (fid, None) if fid is not None else None
+        # Module.attr / Class.attr / pkg.mod.func chains.
+        dotted = _dotted(func)
+        if dotted is not None:
+            target = self.resolve_dotted(module, dotted)
+            resolved = self._as_callable(target)
+            if resolved is not None:
+                return resolved
+        # ClassName(...).method(...) — constructor base.
+        if isinstance(base, ast.Call):
+            inner = self.resolve_call(module, base, self_class, type_env)
+            if inner is not None and inner[1] is not None:
+                fid = self.lookup_method(inner[1], func.attr)
+                return (fid, None) if fid is not None else None
+        return None
+
+    def _as_callable(self, target: Optional[str],
+                     ) -> Optional[Tuple[str, Optional[str]]]:
+        if target is None:
+            return None
+        if target in self.functions:
+            return (target, None)
+        if target in self.classes:
+            init = self.lookup_method(target, "__init__")
+            return (init, target) if init is not None else (None, target)
+        return None
+
+    def bind_args(self, fid: Optional[str], call: ast.Call,
+                  bound: bool = True) -> Dict[str, ast.expr]:
+        """Map call-site argument expressions onto callee parameter names.
+
+        ``bound`` strips the implicit self/cls slot (method calls and
+        constructor calls). ``*args``/``**kwargs`` at the call site stop
+        positional binding at that point; keyword args always bind.
+        """
+        out: Dict[str, ast.expr] = {}
+        if fid is None or fid not in self.functions:
+            return out
+        info = self.functions[fid]
+        params = info.bound_params() if bound else info.params
+        index = 0
+        for arg in call.args:
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(params):
+                out[params[index]] = arg
+                index += 1
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in info.params:
+                out[keyword.arg] = keyword.value
+        return out
+
+
+def build_project(files: Sequence[Tuple[str, str]]) -> Project:
+    """Build and link a :class:`Project` from ``(path, source)`` pairs.
+
+    Files that fail to parse are skipped here — the per-module analysis
+    already reports them as ``parse-error`` findings.
+    """
+    project = Project()
+    for path, source in files:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        project.add_module(path, source, tree)
+    project.link()
+    return project
+
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+    "module_name_for",
+]

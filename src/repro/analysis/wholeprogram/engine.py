@@ -1,0 +1,110 @@
+"""Orchestration: parse → (cached) extraction fixpoint → global rules.
+
+:func:`analyze_project` is the whole-program entry point used by
+``repro.analysis.rules.analyze_paths``. It parses every file (cheap,
+and the call-resolution tables need the full project either way), loads
+content-valid summaries from the cache, extracts the rest to a fixpoint,
+demotes cached entries whose callee digests drifted (see
+:mod:`.cache`), and runs the interprocedural rule families over the
+final pool. Findings come back in a deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.report import Finding
+from repro.analysis.taint import ModuleSources
+from repro.analysis.wholeprogram import cache as summary_cache
+from repro.analysis.wholeprogram.callgraph import build_project
+from repro.analysis.wholeprogram.interproc import run_interproc
+from repro.analysis.wholeprogram.summaries import (
+    FunctionSummary,
+    SummaryBuilder,
+)
+
+#: Extraction fixpoint bound. Summaries compose through return taints,
+#: so convergence depth tracks the longest helper chain — single digits
+#: in practice; the bound only guards pathological inputs.
+_MAX_PASSES = 10
+
+
+def analyze_project(files: Sequence[Tuple[str, str]],
+                    sources_for_path: Callable[[str], ModuleSources],
+                    cache_path: str = "",
+                    ) -> List[Finding]:
+    """Run the whole-program analysis over ``(path, source)`` pairs."""
+    project = build_project(files)
+    builder = SummaryBuilder(project, sources_for_path)
+    # Annotations feed lock reentrancy and escape checks during the
+    # *global* phase too — parse them for every module up front so a
+    # fully-cached run sees exactly what a cold run sees.
+    for module in project.modules:
+        builder.annotations_for(module)
+
+    digests = {path: summary_cache.source_digest(source)
+               for path, source in files}
+    cached = summary_cache.load_cache(cache_path) if cache_path else None
+
+    fixed = set()
+    if cached is not None:
+        for module, info in project.modules.items():
+            entry = cached["modules"].get(info.path)
+            if not entry or entry.get("sha") != digests.get(info.path):
+                continue
+            for fid, raw in entry.get("functions", {}).items():
+                if fid in project.functions:
+                    builder.summaries[fid] = FunctionSummary.from_dict(raw)
+            for fid, deps in entry.get("deps", {}).items():
+                builder.deps[fid] = dict(deps)
+            fixed.add(module)
+
+    live = sorted(m for m in project.modules if m not in fixed)
+    _extract_fixpoint(builder, live)
+
+    # Dependency invalidation: a cached module whose callee summaries
+    # drifted must be re-extracted against the fresh pool.
+    while True:
+        demoted = [m for m in sorted(fixed) if _deps_stale(builder, m)]
+        if not demoted:
+            break
+        fixed.difference_update(demoted)
+        _extract_fixpoint(builder, demoted)
+
+    if cache_path:
+        modules: Dict[str, Dict] = {}
+        for module, info in project.modules.items():
+            fids = [fid for fid, f in project.functions.items()
+                    if f.module == module and fid in builder.summaries]
+            modules[info.path] = {
+                "sha": digests[info.path],
+                "functions": {fid: builder.summaries[fid].to_dict()
+                              for fid in fids},
+                "deps": {fid: builder.deps.get(fid, {}) for fid in fids},
+            }
+        summary_cache.save_cache(cache_path, modules)
+
+    return run_interproc(builder)
+
+
+def _extract_fixpoint(builder: SummaryBuilder,
+                      modules: Sequence[str]) -> None:
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for module in modules:
+            changed |= builder.extract_module(module)
+        if not changed:
+            break
+
+
+def _deps_stale(builder: SummaryBuilder, module: str) -> bool:
+    for fid, finfo in builder.project.functions.items():
+        if finfo.module != module:
+            continue
+        for callee, digest in builder.deps.get(fid, {}).items():
+            if builder.returns_digest(callee) != digest:
+                return True
+    return False
+
+
+__all__ = ["analyze_project"]

@@ -1,0 +1,429 @@
+"""Global fixpoint propagation and the four interprocedural rule families.
+
+Input: the per-function :class:`~repro.analysis.wholeprogram.summaries.
+FunctionSummary` pool. Output: :class:`~repro.analysis.report.Finding`
+objects, each carrying a ``family`` tag and — for flows that cross
+functions — a ``chain`` of human-readable witness steps.
+
+Families:
+
+``taint-flow``
+    Secret parameters are propagated over resolved call edges to a
+    fixpoint (``SecretParam``/``LenParam`` facts with provenance), then
+    every conditional observation point whose trigger condition is met
+    fires as the matching intra rule name (``secret-branch``,
+    ``secret-compare``, ``secret-len``, ``telemetry-leak``) at the
+    observation site, with the witness call chain attached.
+
+``const-time``
+    Bytes-equality observation points are additionally *lifted* through
+    the call graph: every caller (direct or transitive) that feeds a
+    secret into a non-constant-time compare is flagged at its own call
+    site (rule ``ct-call``) — the paper's constant-time discipline is a
+    caller-side contract, not just a helper-side one.
+
+``lock-order``
+    Local ``with``-nesting edges plus call-context edges (locks held at
+    a call × locks transitively acquired by the callee) form a global
+    lock-order graph; every elementary cycle — including re-acquisition
+    self-cycles on non-reentrant locks — is reported once (rule
+    ``lock-order``) with the full witness path.
+
+``escape``
+    ``owned-by:`` / ``guarded-by:`` state handed to another thread or
+    process (closure capture, thread-target argument, executor/pool
+    submission) fires rule ``thread-escape`` at the spawn site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.report import Finding
+from repro.analysis.wholeprogram.callgraph import Project
+from repro.analysis.wholeprogram.summaries import (
+    FunctionSummary,
+    ModuleAnnotations,
+    SummaryBuilder,
+)
+
+_OBS_RULES = {
+    "branch": "secret-branch",
+    "compare": "secret-compare",
+    "len-sink": "secret-len",
+    "telemetry": "telemetry-leak",
+}
+
+#: Bound on propagation rounds — generous; real call graphs converge in
+#: a handful of rounds, this only guards against resolver bugs.
+_MAX_ROUNDS = 32
+
+
+Chain = Tuple[str, ...]
+
+
+def _short(path: str) -> str:
+    return path.rsplit("/", 2)[-1] if "/" in path else path
+
+
+def _call_step(caller: FunctionSummary, line: int, callee_fid: str,
+               param: str) -> str:
+    return (f"{_short(caller.path)}:{line} {caller.qualname}() passes "
+            f"secret to {callee_fid}({param}=...)")
+
+
+class InterprocAnalysis:
+    """One global evaluation over a fixed summary pool."""
+
+    def __init__(self, project: Project,
+                 summaries: Dict[str, FunctionSummary],
+                 annotations: Dict[str, ModuleAnnotations]):
+        self.project = project
+        self.summaries = summaries
+        self.annotations = annotations
+        #: (fid, param) -> witness chain for "this param is secret".
+        self.secret_params: Dict[Tuple[str, str], Chain] = {}
+        #: (fid, param) -> witness chain for "this param is a secret length".
+        self.len_params: Dict[Tuple[str, str], Chain] = {}
+
+    # -- phase 1: secret-parameter propagation -------------------------
+
+    def propagate(self) -> None:
+        for _ in range(_MAX_ROUNDS):
+            if not self._propagate_once():
+                break
+
+    def _propagate_once(self) -> bool:
+        changed = False
+        for caller in self.summaries.values():
+            for edge in caller.calls:
+                if edge.callee not in self.summaries:
+                    continue
+                for param, taint in edge.args.items():
+                    key = (edge.callee, param)
+                    step = _call_step(caller, edge.line, edge.callee, param)
+                    if key not in self.secret_params:
+                        chain = self._value_chain(caller, taint)
+                        if chain is not None:
+                            self.secret_params[key] = chain + (step,)
+                            changed = True
+                    if key not in self.len_params:
+                        chain = self._length_chain(caller, taint)
+                        if chain is not None:
+                            self.len_params[key] = chain + (step,)
+                            changed = True
+        return changed
+
+    def _value_chain(self, caller: FunctionSummary, taint) -> Optional[Chain]:
+        """Witness that this argument carries a secret *value*, or None."""
+        if taint.secret:
+            return (sorted(taint.roots)[0],) if taint.roots else ("secret",)
+        for param in sorted(taint.params):
+            chain = self.secret_params.get((caller.fid, param))
+            if chain is not None:
+                return chain
+        return None
+
+    def _length_chain(self, caller: FunctionSummary, taint) -> Optional[Chain]:
+        """Witness that this argument is a secret-derived *length*."""
+        if taint.length:
+            return ((sorted(taint.length_roots)[0],)
+                    if taint.length_roots else ("len(secret)",))
+        for param in sorted(taint.length_params):
+            chain = self.secret_params.get((caller.fid, param))
+            if chain is not None:
+                return chain + (f"len({param}) in {caller.fid}",)
+        for param in sorted(taint.params):
+            chain = self.len_params.get((caller.fid, param))
+            if chain is not None:
+                return chain
+        return None
+
+    # -- phase 2: observation points ------------------------------------
+
+    def taint_findings(self) -> List[Finding]:
+        out: List[Finding] = []
+        for summary in self.summaries.values():
+            for obs in summary.obs:
+                finding = self._fire_obs(summary, obs)
+                if finding is not None:
+                    out.append(finding)
+        return out
+
+    def _fire_obs(self, summary: FunctionSummary, obs) -> Optional[Finding]:
+        chain: Optional[Chain] = None
+        if obs.roots:
+            chain = (sorted(obs.roots)[0],)
+        if chain is None:
+            for param in sorted(obs.requires):
+                hit = self.secret_params.get((summary.fid, param))
+                if hit is not None:
+                    chain = hit
+                    break
+        if chain is None:
+            for param in sorted(obs.requires_len):
+                hit = self.len_params.get((summary.fid, param))
+                if hit is not None:
+                    chain = hit
+                    break
+        if chain is None:
+            return None
+        rule = _OBS_RULES[obs.kind]
+        site = (f"{_short(summary.path)}:{obs.line} {summary.qualname}(): "
+                f"{obs.detail or obs.kind}")
+        return Finding(
+            rule=rule, path=summary.path, line=obs.line, col=obs.col,
+            symbol=summary.qualname,
+            message=(f"secret reaches {obs.detail or obs.kind} "
+                     f"via {len(chain)}-step flow"),
+            def_line=summary.def_line, family="taint-flow",
+            chain=chain + (site,),
+        )
+
+    # -- phase 3: interprocedural constant-time (ct-call) ---------------
+
+    def const_time_findings(self) -> List[Finding]:
+        """Flag every caller that feeds a secret into a bytes-compare.
+
+        Compare observation points are lifted caller-ward: if ``helper``
+        compares param ``x`` non-constant-time and ``mid`` passes its own
+        param ``y`` as ``x``, then ``mid`` acquires a lifted compare site
+        at the call line requiring ``y`` — so ``outer`` feeding a secret
+        into ``mid`` is flagged too, at ``outer``'s own call site.
+        """
+        # fid -> list of (line, col, requires, target description, tail).
+        lifted: Dict[str, List[Tuple[int, int, FrozenSet[str], str, Chain]]]
+        lifted = {}
+        for summary in self.summaries.values():
+            entries = []
+            for obs in summary.obs:
+                if obs.kind == "compare" and obs.requires:
+                    desc = (f"non-constant-time compare in "
+                            f"{summary.fid} at {_short(summary.path)}:"
+                            f"{obs.line}")
+                    entries.append((obs.line, obs.col, obs.requires, desc, ()))
+            if entries:
+                lifted[summary.fid] = entries
+
+        findings: List[Finding] = []
+        emitted: Set[Tuple[str, int, int, str]] = set()
+
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for caller in self.summaries.values():
+                for edge in caller.calls:
+                    for (_line, _col, requires, desc, tail) in \
+                            list(lifted.get(edge.callee, ())):
+                        own_req: Set[str] = set()
+                        definite: Optional[Chain] = None
+                        for param in sorted(requires):
+                            taint = edge.args.get(param)
+                            if taint is None:
+                                continue
+                            if definite is None:
+                                definite = self._value_chain(caller, taint)
+                            own_req |= taint.params
+                        step = (f"{_short(caller.path)}:{edge.line} "
+                                f"{caller.qualname}() calls {edge.callee}()")
+                        if definite is not None:
+                            key = (caller.fid, edge.line, edge.col, desc)
+                            if key not in emitted:
+                                emitted.add(key)
+                                findings.append(Finding(
+                                    rule="ct-call", path=caller.path,
+                                    line=edge.line, col=edge.col,
+                                    symbol=caller.qualname,
+                                    message=(f"secret argument reaches "
+                                             f"{desc}; use compare_digest "
+                                             f"in the helper or declassify"),
+                                    def_line=caller.def_line,
+                                    family="const-time",
+                                    chain=definite + (step,) + tail + (desc,),
+                                ))
+                        frozen = frozenset(own_req)
+                        if frozen:
+                            entry = (edge.line, edge.col, frozen, desc,
+                                     (step,) + tail)
+                            bucket = lifted.setdefault(caller.fid, [])
+                            if not any(e[0] == edge.line and e[1] == edge.col
+                                       and e[3] == desc for e in bucket):
+                                bucket.append(entry)
+                                changed = True
+            if not changed:
+                break
+        return findings
+
+    # -- phase 4: lock-order cycles --------------------------------------
+
+    def lock_findings(self) -> List[Finding]:
+        reentrant = self._reentrant_lock_ids()
+        # lock -> lock edges, each with one witness (path, line, desc).
+        edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
+
+        for summary in self.summaries.values():
+            for held, acquired, line in summary.lock_edges:
+                if held == acquired and acquired in reentrant:
+                    continue
+                edges.setdefault((held, acquired), (
+                    summary.path, line,
+                    f"{_short(summary.path)}:{line} {summary.qualname}() "
+                    f"acquires {acquired} while holding {held}"))
+
+        trans_acq = self._transitive_acquires()
+        for summary in self.summaries.values():
+            for edge in summary.calls:
+                if not edge.held or edge.callee not in self.summaries:
+                    continue
+                for lock, via in trans_acq.get(edge.callee, {}).items():
+                    for held in edge.held:
+                        if held == lock and lock in reentrant:
+                            continue
+                        edges.setdefault((held, lock), (
+                            summary.path, edge.line,
+                            f"{_short(summary.path)}:{edge.line} "
+                            f"{summary.qualname}() holds {held} and calls "
+                            f"{edge.callee}(), which acquires {lock} ({via})"
+                        ))
+
+        return self._cycles_to_findings(edges)
+
+    def _reentrant_lock_ids(self) -> Set[str]:
+        out: Set[str] = set()
+        all_locks: Set[str] = set()
+        for summary in self.summaries.values():
+            all_locks.update(summary.acquires)
+            for held, acquired, _line in summary.lock_edges:
+                all_locks.update((held, acquired))
+        for lock in all_locks:
+            module = lock.split(":", 1)[0]
+            names = self.annotations.get(module)
+            if names is not None and \
+                    lock.rsplit(".", 1)[-1] in names.reentrant_locks:
+                out.add(lock)
+        return out
+
+    def _transitive_acquires(self) -> Dict[str, Dict[str, str]]:
+        """fid -> {lock id: short 'via' description} (fixpoint)."""
+        acq: Dict[str, Dict[str, str]] = {}
+        for summary in self.summaries.values():
+            acq[summary.fid] = {
+                lock: f"directly in {summary.fid}"
+                for lock in summary.acquires
+            }
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for summary in self.summaries.values():
+                mine = acq[summary.fid]
+                for edge in summary.calls:
+                    for lock, via in acq.get(edge.callee, {}).items():
+                        if lock not in mine:
+                            mine[lock] = f"via {edge.callee}"
+                            changed = True
+            if not changed:
+                break
+        return acq
+
+    def _cycles_to_findings(self,
+                            edges: Dict[Tuple[str, str],
+                                        Tuple[str, int, str]],
+                            ) -> List[Finding]:
+        adjacency: Dict[str, List[str]] = {}
+        for (src, dst) in edges:
+            adjacency.setdefault(src, []).append(dst)
+        for neighbours in adjacency.values():
+            neighbours.sort()
+
+        findings: List[Finding] = []
+        reported: Set[FrozenSet[str]] = set()
+
+        def find_cycle(start: str) -> Optional[List[str]]:
+            """Shortest path start -> ... -> start (BFS over the graph)."""
+            queue: List[List[str]] = [[start]]
+            seen = {start}
+            while queue:
+                path = queue.pop(0)
+                for nxt in adjacency.get(path[-1], ()):
+                    if nxt == start:
+                        return path + [start]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        queue.append(path + [nxt])
+            return None
+
+        for start in sorted(adjacency):
+            cycle = find_cycle(start)
+            if cycle is None:
+                continue
+            key = frozenset(cycle)
+            if key in reported:
+                continue
+            reported.add(key)
+            witness: List[str] = []
+            for src, dst in zip(cycle, cycle[1:]):
+                witness.append(edges[(src, dst)][2])
+            anchor_path, anchor_line, _ = edges[(cycle[0], cycle[1])]
+            order = " -> ".join(cycle)
+            if len(cycle) == 2 and cycle[0] == cycle[1]:
+                message = (f"re-acquisition of non-reentrant lock "
+                           f"{cycle[0]} (self-deadlock)")
+            else:
+                message = f"lock-order cycle: {order}"
+            findings.append(Finding(
+                rule="lock-order", path=anchor_path, line=anchor_line,
+                col=0, symbol="<lock-graph>", message=message,
+                family="lock-order", chain=tuple(witness),
+            ))
+        return findings
+
+    # -- phase 5: thread/process escapes ---------------------------------
+
+    def escape_findings(self) -> List[Finding]:
+        out: List[Finding] = []
+        seen: Set[Tuple[str, int, int, str]] = set()
+        for summary in self.summaries.values():
+            for escape in summary.escapes:
+                key = (summary.path, escape.line, escape.col, escape.attr)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if escape.annotation == "owned-by":
+                    message = (f"self.{escape.attr} is owned-by "
+                               f"{escape.owner}* but escapes to another "
+                               f"thread via {escape.mechanism}")
+                else:
+                    message = (f"self.{escape.attr} is guarded-by "
+                               f"{escape.owner} but a {escape.mechanism} "
+                               f"crossing a thread boundary mutates it "
+                               f"without the lock")
+                out.append(Finding(
+                    rule="thread-escape", path=summary.path,
+                    line=escape.line, col=escape.col,
+                    symbol=summary.qualname, message=message,
+                    def_line=summary.def_line, family="escape",
+                    chain=(f"{_short(summary.path)}:{escape.line} "
+                           f"{summary.qualname}() spawn site "
+                           f"[{escape.mechanism}]",),
+                ))
+        return out
+
+
+def run_interproc(builder: SummaryBuilder) -> List[Finding]:
+    """All interprocedural findings for one extracted summary pool."""
+    analysis = InterprocAnalysis(builder.project, builder.summaries,
+                                 builder.annotations)
+    analysis.propagate()
+    findings: List[Finding] = []
+    findings.extend(analysis.taint_findings())
+    findings.extend(analysis.const_time_findings())
+    findings.extend(analysis.lock_findings())
+    findings.extend(analysis.escape_findings())
+    # Stable order + positional dedup (keep the first, richest chain).
+    unique: Dict[Tuple[str, str, int, int], Finding] = {}
+    for finding in findings:
+        unique.setdefault(
+            (finding.rule, finding.path, finding.line, finding.col), finding)
+    return sorted(unique.values(),
+                  key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+__all__ = ["InterprocAnalysis", "run_interproc"]

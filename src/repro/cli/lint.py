@@ -7,6 +7,8 @@ testable) without the CLI.
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis.report import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
@@ -18,10 +20,23 @@ from repro.analysis.rules import analyze_paths
 from repro.cli.console import emit
 
 
+def missing_paths(paths) -> list:
+    """The requested paths that do not exist on disk."""
+    return [path for path in paths if not os.path.exists(path)]
+
+
 def cmd_lint(args, print_fn=emit) -> int:
     """Analyze the requested paths; exit 0 clean / 1 findings / 2 error."""
+    missing = missing_paths(args.paths)
+    if missing:
+        print_fn(f"lint error: no such path: {', '.join(missing)}")
+        return EXIT_INTERNAL
     try:
-        result = analyze_paths(args.paths, baseline_path=args.baseline)
+        result = analyze_paths(
+            args.paths, baseline_path=args.baseline,
+            whole_program=not getattr(args, "intra_only", False),
+            cache_path=getattr(args, "cache", "") or "",
+        )
         if args.json:
             print_fn(render_json(result.findings, result.suppressed,
                                  result.baselined, len(result.files)))
@@ -34,4 +49,4 @@ def cmd_lint(args, print_fn=emit) -> int:
     return EXIT_CLEAN if result.clean else EXIT_FINDINGS
 
 
-__all__ = ["cmd_lint"]
+__all__ = ["cmd_lint", "missing_paths"]

@@ -121,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit a machine-readable JSON report")
     lint.add_argument("--baseline", default=None,
                       help="JSON baseline of accepted findings")
+    lint.add_argument("--intra-only", action="store_true",
+                      help="skip the whole-program engine (per-module "
+                           "rules only, the pre-PR-7 behaviour)")
+    lint.add_argument("--cache", default="",
+                      help="path to an on-disk summary cache for the "
+                           "whole-program engine (created if missing)")
     lint.set_defaults(func=_cmd_lint)
     return parser
 

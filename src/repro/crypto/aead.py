@@ -52,10 +52,10 @@ def _nonce_words(nonce: bytes) -> tuple:
 
 
 def _xor(data: bytes, stream: bytes) -> bytes:
-    if not data:
-        return b""
+    # Branch-free, including the empty-plaintext case: an emptiness
+    # early-out would branch on secret plaintext length.
     a = np.frombuffer(data, dtype=np.uint8)
-    b = np.frombuffer(stream, dtype=np.uint8)
+    b = np.frombuffer(stream[: len(data)], dtype=np.uint8)
     return (a ^ b).tobytes()
 
 

@@ -70,6 +70,7 @@ def decode_record(key: str, record: bytes) -> Optional[bytes]:
     if not hmac.compare_digest(record[:_DIGEST_BYTES], key_digest(key)):
         return None
     (length,) = struct.unpack_from("<I", record, _DIGEST_BYTES)
+    # lint: allow(secret-branch) — client-side bounds check on a fixed-size slot after oblivious retrieval; nothing here is observable by the servers
     if HEADER_BYTES + length > len(record):
         return None
     return record[HEADER_BYTES : HEADER_BYTES + length]

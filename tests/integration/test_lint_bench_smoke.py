@@ -1,0 +1,64 @@
+"""Tier-1 wiring for the E13 lint-performance benchmark smoke run.
+
+Runs :mod:`benchmarks.lint_smoke` — a cold whole-program lint of
+``src/`` followed by a summary-cached rerun — and checks the result
+schema and the correctness gates: the cached report must be
+byte-identical to the cold one and both legs must leave src/ clean.
+The only timing assertion is a deliberately generous absolute bound on
+the cached leg, so a cache regression that silently falls back to full
+re-extraction still trips tier-1 without making the suite flaky.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import lint_smoke  # noqa: E402
+
+# Generous: the cached leg measures ~1-2 s on a laptop; the bound only
+# exists to catch the cache being ignored entirely (cold ~4 s would
+# still pass — a pathological 10x regression would not).
+CACHED_WALL_BOUND_SECONDS = 60.0
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_lint.json"
+    assert lint_smoke.main(["--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_smoke_schema(results):
+    assert {"experiment", "cold", "cached", "reports_identical",
+            "speedup"} <= set(results)
+    for leg in ("cold", "cached"):
+        assert {"seconds", "files", "findings",
+                "suppressed"} <= set(results[leg])
+
+
+def test_cached_findings_identical_to_cold(results):
+    assert results["reports_identical"] is True
+    assert results["cold"]["findings"] == results["cached"]["findings"]
+    assert results["cold"]["suppressed"] == results["cached"]["suppressed"]
+
+
+def test_src_is_clean_on_both_legs(results):
+    assert results["cold"]["findings"] == 0
+    assert results["cached"]["findings"] == 0
+    # The lint actually covered the tree, not an empty glob.
+    assert results["cold"]["files"] > 50
+
+
+def test_cached_leg_stays_under_wall_bound(results):
+    assert results["cached"]["seconds"] < CACHED_WALL_BOUND_SECONDS
+
+
+def test_smoke_writes_default_path():
+    # The standalone entry point drops the JSON at the repo root, where
+    # EXPERIMENTS.md points readers.
+    assert lint_smoke.DEFAULT_OUT == REPO_ROOT / "BENCH_lint.json"

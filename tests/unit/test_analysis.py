@@ -321,6 +321,35 @@ class TestGuardWrite:
         """)
         assert rules_of(findings) == ["guard-write"]
 
+    def test_item_store_counts_as_a_write(self):
+        findings = run("""
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}  # guarded-by: _lock
+
+                def put(self, k, v):
+                    self._items[k] = v
+        """)
+        assert rules_of(findings) == ["guard-write"]
+
+    def test_item_store_on_owned_attr_fires_owner_write(self):
+        findings = run("""
+            class Loop:
+                def __init__(self):
+                    self._conns = {}  # owned-by: _react
+
+                def poke(self):
+                    self._conns["x"] = 1
+
+                def _react_add(self):
+                    self._conns["y"] = 2
+        """)
+        assert rules_of(findings) == ["owner-write"]
+        assert findings[0].symbol == "Loop.poke"
+
     def test_wrong_lock_does_not_count(self):
         findings = run("""
             import threading
@@ -363,6 +392,102 @@ class TestGuardWrite:
                     _cache = 42
         """)
         assert findings == []
+
+
+class TestLockShapes:
+    """Lock-acquisition shapes: multi-item ``with`` and re-acquisition."""
+
+    def test_multi_item_with_guards_the_write(self):
+        findings = run("""
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+                    self.count = 0  # guarded-by: _b_lock
+
+                def bump(self):
+                    with self._a_lock, self._b_lock:
+                        self.count += 1
+        """)
+        assert findings == []
+
+    def test_multi_item_with_without_the_guard_lock_fires(self):
+        findings = run("""
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+                    self.count = 0  # guarded-by: _b_lock
+
+                def bump(self):
+                    with self._a_lock:
+                        self.count += 1
+        """)
+        assert rules_of(findings) == ["guard-write"]
+
+    def test_nested_with_accumulates_held_locks(self):
+        findings = run("""
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+                    self.count = 0  # guarded-by: _b_lock
+
+                def bump(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            self.count += 1
+        """)
+        assert findings == []
+
+    def test_nested_reacquisition_is_a_lock_order_finding(self, tmp_path):
+        # Intra lockcheck treats the inner ``with`` as satisfied (the
+        # lock *is* named), so the deadlock is the whole-program
+        # engine's to catch: re-acquiring a non-reentrant Lock
+        # self-deadlocks.
+        mod = tmp_path / "re.py"
+        mod.write_text(textwrap.dedent("""
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            self.count += 1
+        """))
+        result = analyze_paths([str(mod)])
+        rules = [f.rule for f in result.findings]
+        assert "lock-order" in rules
+        msg = next(f for f in result.findings if f.rule == "lock-order")
+        assert "self-deadlock" in msg.message
+
+    def test_nested_reacquisition_of_rlock_is_quiet(self, tmp_path):
+        mod = tmp_path / "re_ok.py"
+        mod.write_text(textwrap.dedent("""
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self.count = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            self.count += 1
+        """))
+        result = analyze_paths([str(mod)])
+        assert result.findings == []
 
 
 class TestWireShape:

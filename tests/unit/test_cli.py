@@ -283,3 +283,82 @@ class TestLint:
         module.write_text("def add(a, b):\n    return a + b\n")
         assert main(["lint", str(module)]) == 0
         assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_nonexistent_path_exits_2_with_one_line_error(self, capsys):
+        assert main(["lint", "/no/such/lint/target"]) == 2
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1
+        assert "no such path" in out
+        assert "Traceback" not in out
+
+    def test_lint_nonexistent_directory_is_an_error_not_clean(self, capsys):
+        # Before schema 2 a missing *directory* silently expanded to zero
+        # files and exited 0 — a green lint run that linted nothing.
+        assert main(["lint", "/no/such/dir/"]) == 2
+        assert "no such path" in capsys.readouterr().out
+
+    def test_lint_json_schema_2_with_schema_1_compat(self, tmp_path, capsys):
+        """Schema 2 adds keys; every schema-1 consumer key must remain."""
+        module = tmp_path / "leaky.py"
+        module.write_text(
+            "import struct\n"
+            "\n"
+            "def frame(payload):\n"
+            '    secret = b"k"  # taint: secret\n'
+            '    return struct.pack("<I", len(secret)) + payload\n'
+        )
+        assert main(["lint", "--json", str(module)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 2
+        # Schema-1 top-level contract.
+        for key in ("files", "counts", "findings", "suppressed", "baselined"):
+            assert key in payload
+        for key in ("unsuppressed", "suppressed", "baselined"):
+            assert key in payload["counts"]
+        # Schema-1 per-finding contract, plus the new family key.
+        finding = payload["findings"][0]
+        for key in ("rule", "path", "line", "col", "symbol", "message"):
+            assert key in finding
+        assert finding["family"] == "intra"
+
+    def test_lint_json_interproc_finding_carries_chain(self, tmp_path,
+                                                       capsys):
+        (tmp_path / "helper.py").write_text(
+            "def open_gate(flag):\n"
+            "    if flag:\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        (tmp_path / "entry.py").write_text(
+            "from helper import open_gate\n"
+            "\n"
+            "def run(secret):\n"
+            '    token = b"t"  # taint: secret\n'
+            "    return open_gate(token)\n"
+        )
+        assert main(["lint", "--json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        flows = [f for f in payload["findings"]
+                 if f["family"] == "taint-flow"]
+        assert flows, payload["findings"]
+        assert flows[0]["rule"] == "secret-branch"
+        assert len(flows[0]["chain"]) >= 2
+        assert any("open_gate" in step for step in flows[0]["chain"])
+
+    def test_lint_intra_only_skips_cross_module_findings(self, tmp_path,
+                                                         capsys):
+        (tmp_path / "helper.py").write_text(
+            "def open_gate(flag):\n"
+            "    if flag:\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        (tmp_path / "entry.py").write_text(
+            "from helper import open_gate\n"
+            "\n"
+            "def run(secret):\n"
+            '    token = b"t"  # taint: secret\n'
+            "    return open_gate(token)\n"
+        )
+        assert main(["lint", "--intra-only", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out

@@ -1,0 +1,522 @@
+"""Tests for the whole-program engine (``repro.analysis.wholeprogram``).
+
+Each interprocedural rule family gets a firing fixture that crosses a
+module boundary plus its known-good twin, per the PR's acceptance
+criteria: taint through a two-module call chain, a two-lock ordering
+cycle with a witness path, an ``owned-by`` field captured by a closure
+handed to another thread, and a non-constant-time helper flagged at its
+caller. Cache behaviour (cold == cached, dependency invalidation) is
+covered at the end.
+"""
+
+import textwrap
+
+from repro.analysis.taint import ModuleSources
+from repro.analysis.wholeprogram.callgraph import (
+    build_project,
+    module_name_for,
+)
+from repro.analysis.wholeprogram.engine import analyze_project
+
+
+def project_findings(modules, sources=None, cache_path=""):
+    """Run the engine over ``{filename: source}`` fixture modules."""
+    files = [(f"/fx/{name}", textwrap.dedent(source))
+             for name, source in sorted(modules.items())]
+    declared = sources or {}
+
+    def sources_for(path):
+        return declared.get(path.rsplit("/", 1)[-1], ModuleSources())
+
+    return analyze_project(files, sources_for, cache_path=cache_path)
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestCallGraph:
+    def test_module_name_follows_init_chain(self, tmp_path):
+        pkg = tmp_path / "pkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("")
+        assert module_name_for(str(pkg / "mod.py")) == "pkg.sub.mod"
+        assert module_name_for(str(pkg / "__init__.py")) == "pkg.sub"
+        assert module_name_for(str(tmp_path / "loose.py")) == "loose"
+
+    def test_resolves_aliased_and_relative_imports(self, tmp_path):
+        # Module names derive from on-disk __init__.py chains, so this
+        # fixture writes a real package.
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        contents = {
+            pkg / "__init__.py": "from pkg.core import helper\n",
+            pkg / "core.py": "def helper():\n    return 1\n",
+            pkg / "user.py": textwrap.dedent("""
+                from . import helper
+                from pkg import core as c
+
+                def use():
+                    helper()
+                    c.helper()
+            """),
+        }
+        files = []
+        for path, source in contents.items():
+            path.write_text(source)
+            files.append((str(path), source))
+        project = build_project(files)
+        assert project.resolve_symbol("pkg.user", "helper") == \
+            "pkg.core:helper"
+        assert project.resolve_dotted("pkg.user", "c.helper") == \
+            "pkg.core:helper"
+
+    def test_method_binding_through_cross_module_inheritance(self):
+        files = [
+            ("/fx/base.py", textwrap.dedent("""
+                class Base:
+                    def ping(self):
+                        return 1
+            """)),
+            ("/fx/child.py", textwrap.dedent("""
+                from base import Base
+
+                class Child(Base):
+                    pass
+            """)),
+        ]
+        project = build_project(files)
+        assert project.lookup_method("child:Child", "ping") == "base:Base.ping"
+
+
+class TestCrossModuleTaint:
+    """Family 1: declared secrets followed through call sites."""
+
+    MODULES = {
+        "helper.py": """
+            def open_gate(flag):
+                if flag:
+                    return 1
+                return 0
+        """,
+        "entry.py": """
+            from helper import open_gate
+
+            def lookup(secret):
+                return open_gate(secret)
+        """,
+    }
+    SOURCES = {"entry.py": ModuleSources(params={"lookup": ["secret"]})}
+
+    def test_two_module_call_chain_fires_with_witness(self):
+        findings = project_findings(self.MODULES, self.SOURCES)
+        assert rules_of(findings) == ["secret-branch"]
+        finding = findings[0]
+        assert finding.path.endswith("helper.py")
+        assert finding.family == "taint-flow"
+        # The witness names the declared root, the call site, and the
+        # observation site, in order.
+        assert "declared secret source" in finding.chain[0]
+        assert "open_gate" in finding.chain[1]
+        assert finding.chain[-1].endswith("if condition")
+
+    def test_safe_twin_public_argument_is_silent(self):
+        modules = dict(self.MODULES)
+        modules["entry.py"] = """
+            from helper import open_gate
+
+            def lookup(secret, public_n):
+                unused = secret
+                return open_gate(public_n)
+        """
+        assert project_findings(modules, self.SOURCES) == []
+
+    def test_length_flow_reaches_cross_module_sink(self):
+        modules = {
+            "packer.py": """
+                import struct
+
+                def frame(n):
+                    return struct.pack("<I", n)
+            """,
+            "entry.py": """
+                from packer import frame
+
+                def send(secret):
+                    return frame(len(secret))
+            """,
+        }
+        sources = {"entry.py": ModuleSources(params={"send": ["secret"]})}
+        findings = project_findings(modules, sources)
+        assert rules_of(findings) == ["secret-len"]
+        assert findings[0].path.endswith("packer.py")
+
+    def test_declassifier_stops_the_flow(self):
+        modules = {
+            "helper.py": """
+                def open_gate(flag):
+                    if flag:
+                        return 1
+                    return 0
+            """,
+            "entry.py": """
+                from helper import open_gate
+
+                def queries_for_slot(slot):
+                    return slot * 2
+
+                def lookup(secret):
+                    return open_gate(queries_for_slot(secret))
+            """,
+        }
+        sources = {"entry.py": ModuleSources(params={"lookup": ["secret"]})}
+        assert project_findings(modules, sources) == []
+
+
+class TestConstTimeAtCaller:
+    """Family 4: non-constant-time helpers flagged at every caller."""
+
+    MODULES = {
+        "helper.py": """
+            EXPECTED = b"\\x00" * 16
+
+            def check_token(token):
+                return token == EXPECTED
+        """,
+        "mid.py": """
+            from helper import check_token
+
+            def relay(value):
+                return check_token(value)
+        """,
+        "entry.py": """
+            from mid import relay
+
+            def verify(secret):
+                return relay(secret)
+        """,
+    }
+    SOURCES = {"entry.py": ModuleSources(params={"verify": ["secret"]})}
+
+    def test_flagged_at_direct_and_transitive_callers(self):
+        findings = project_findings(self.MODULES, self.SOURCES)
+        ct = [f for f in findings if f.rule == "ct-call"]
+        assert sorted(f.path.rsplit("/", 1)[-1] for f in ct) == \
+            ["entry.py", "mid.py"]
+        assert all(f.family == "const-time" for f in ct)
+        assert all("compare_digest" in f.message for f in ct)
+        # The helper-side compare itself is also reported, as the
+        # intra rule name with the full flow.
+        assert [f.rule for f in findings if f.path.endswith("helper.py")] \
+            == ["secret-compare"]
+
+    def test_safe_twin_constant_time_helper_is_silent(self):
+        modules = dict(self.MODULES)
+        modules["helper.py"] = """
+            import hmac
+
+            EXPECTED = b"\\x00" * 16
+
+            def check_token(token):
+                return hmac.compare_digest(token, EXPECTED)
+        """
+        assert project_findings(modules, self.SOURCES) == []
+
+
+class TestLockOrder:
+    """Family 2: global lock-order cycles with witness paths."""
+
+    MODULES = {
+        "pool.py": """
+            import threading
+            from registry import register
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def push(self, item):
+                    with self._lock:
+                        register(item)
+        """,
+        "registry.py": """
+            import threading
+            from pool import Pool
+
+            _registry_lock = threading.Lock()
+
+            def register(item):
+                with _registry_lock:
+                    return item
+
+            def flush(pool: Pool):
+                with _registry_lock:
+                    pool.push(None)
+        """,
+    }
+
+    def test_two_lock_cycle_reports_witness_path(self):
+        findings = project_findings(self.MODULES)
+        cycles = [f for f in findings if f.rule == "lock-order"
+                  and "cycle" in f.message]
+        assert len(cycles) == 1
+        cycle = cycles[0]
+        assert "pool:Pool._lock" in cycle.message
+        assert "registry:_registry_lock" in cycle.message
+        # Witness: one step per edge, naming holder and acquisition.
+        assert len(cycle.chain) == 2
+        assert any("Pool.push" in step for step in cycle.chain)
+        assert any("flush" in step for step in cycle.chain)
+
+    def test_safe_twin_consistent_order_is_silent(self):
+        modules = dict(self.MODULES)
+        # flush() takes no lock of its own, so both paths acquire in the
+        # same global order: Pool._lock before _registry_lock.
+        modules["registry.py"] = """
+            import threading
+            from pool import Pool
+
+            _registry_lock = threading.Lock()
+
+            def register(item):
+                with _registry_lock:
+                    return item
+
+            def flush(pool: Pool):
+                pool.push(None)
+        """
+        assert project_findings(modules) == []
+
+    def test_transitive_reacquisition_is_a_self_deadlock(self):
+        modules = {
+            "core.py": """
+                import threading
+
+                _lock = threading.Lock()
+
+                def outer():
+                    with _lock:
+                        inner()
+
+                def inner():
+                    with _lock:
+                        return 1
+            """,
+        }
+        findings = project_findings(modules)
+        assert rules_of(findings) == ["lock-order"]
+        assert "re-acquisition" in findings[0].message
+
+    def test_rlock_reacquisition_is_allowed(self):
+        modules = {
+            "core.py": """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+
+                    def outer(self):
+                        with self._lock:
+                            self.inner()
+
+                    def inner(self):
+                        with self._lock:
+                            return 1
+            """,
+        }
+        assert project_findings(modules) == []
+
+
+class TestThreadEscape:
+    """Family 3: owned/guarded state escaping to other threads."""
+
+    MODULES = {
+        "reactor.py": """
+            import threading
+
+            class Reactor:
+                def __init__(self):
+                    self._conns = {}  # owned-by: _react
+                    self._stats = []  # guarded-by: _lock
+                    self._lock = threading.Lock()
+
+                def start(self):
+                    thread = threading.Thread(target=self._react_loop)
+                    thread.start()
+
+                def _react_loop(self):
+                    while self._conns:
+                        pass
+        """,
+    }
+
+    def test_owned_field_captured_by_closure_fires(self):
+        modules = dict(self.MODULES)
+        # Annotations are declared per module, so the owned field is
+        # (re)declared where the leaking closure lives.
+        modules["spawner.py"] = """
+            import threading
+            from reactor import Reactor
+
+            class Leaky(Reactor):
+                def __init__(self):
+                    super().__init__()
+                    self._conns = {}  # owned-by: _react
+
+                def leak(self):
+                    def drainer():
+                        self._conns.clear()
+                    threading.Thread(target=drainer).start()
+        """
+        findings = project_findings(modules)
+        escapes = [f for f in findings if f.rule == "thread-escape"]
+        assert len(escapes) == 1
+        assert escapes[0].path.endswith("spawner.py")
+        assert "_conns" in escapes[0].message
+        assert "owned-by" in escapes[0].message
+
+    def test_owner_thread_spawn_is_allowed(self):
+        # Reactor.start hands _react_loop (owner-prefixed) to its thread:
+        # that is the legitimate ownership transfer, not an escape.
+        assert project_findings(self.MODULES) == []
+
+    def test_guarded_mutation_in_thread_closure_fires(self):
+        modules = {
+            "worker.py": """
+                import threading
+
+                class Agg:
+                    def __init__(self):
+                        self._stats = []  # guarded-by: _lock
+                        self._lock = threading.Lock()
+
+                    def bad(self):
+                        def push():
+                            self._stats.append(1)
+                        threading.Thread(target=push).start()
+            """,
+        }
+        findings = project_findings(modules)
+        assert rules_of(findings) == ["thread-escape"]
+        assert "guarded-by" in findings[0].message
+
+    def test_guarded_mutation_under_lock_in_closure_is_silent(self):
+        modules = {
+            "worker.py": """
+                import threading
+
+                class Agg:
+                    def __init__(self):
+                        self._stats = []  # guarded-by: _lock
+                        self._lock = threading.Lock()
+
+                    def good(self):
+                        def push():
+                            with self._lock:
+                                self._stats.append(1)
+                        threading.Thread(target=push).start()
+            """,
+        }
+        assert project_findings(modules) == []
+
+    def test_owned_field_as_executor_submit_arg_fires(self):
+        modules = {
+            "worker.py": """
+                class Fanout:
+                    def __init__(self, pool):
+                        self._segments = []  # owned-by: _scan
+                        self._pool = pool
+
+                    def kick(self):
+                        self._pool.submit(print, self._segments)
+            """,
+        }
+        findings = project_findings(modules)
+        assert rules_of(findings) == ["thread-escape"]
+        assert "thread-arg" in findings[0].message
+
+
+class TestSummaryCache:
+    MODULES = {
+        "helper.py": """
+            def open_gate(flag):
+                if flag:
+                    return 1
+                return 0
+        """,
+        "entry.py": """
+            from helper import open_gate
+
+            def lookup(secret):
+                return open_gate(secret)
+        """,
+    }
+    SOURCES = {"entry.py": ModuleSources(params={"lookup": ["secret"]})}
+
+    def test_cold_and_cached_findings_identical(self, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        cold = project_findings(self.MODULES, self.SOURCES, cache_path=cache)
+        warm = project_findings(self.MODULES, self.SOURCES, cache_path=cache)
+        assert [f.to_dict() for f in cold] == [f.to_dict() for f in warm]
+        assert cold and cold[0].rule == "secret-branch"
+
+    def test_edit_invalidates_dependent_modules(self, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        project_findings(self.MODULES, self.SOURCES, cache_path=cache)
+        # Change *helper.py only*: its return value now taints callers'
+        # downstream use. entry.py's file hash is unchanged — only the
+        # dependency digests can catch this.
+        modules = dict(self.MODULES)
+        modules["helper.py"] = """
+            def open_gate(flag):
+                return flag
+
+            def consume(flag):
+                if flag:
+                    return 1
+                return 0
+        """
+        modules["entry.py"] = """
+            from helper import open_gate, consume
+
+            def lookup(secret):
+                return consume(open_gate(secret))
+        """
+        # entry.py changed here too (fixture simplicity); the digest
+        # machinery is exercised by the unchanged-caller case below.
+        findings = project_findings(modules, self.SOURCES, cache_path=cache)
+        assert "secret-branch" in rules_of(findings)
+
+    def test_unchanged_caller_revalidated_when_callee_summary_drifts(
+            self, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        base = {
+            "helper.py": """
+                def derive(value):
+                    return 0
+            """,
+            "entry.py": """
+                from helper import derive
+
+                def lookup(secret):
+                    token = derive(secret)
+                    if token:
+                        return 1
+                    return 0
+            """,
+        }
+        assert project_findings(base, self.SOURCES, cache_path=cache) == []
+        # helper.py now returns its (secret) argument; entry.py's source
+        # is byte-identical, so a hash-only cache would keep its stale
+        # summary and miss the new flow.
+        changed = dict(base)
+        changed["helper.py"] = """
+            def derive(value):
+                return value
+        """
+        findings = project_findings(changed, self.SOURCES, cache_path=cache)
+        assert rules_of(findings) == ["secret-branch"]
+        assert findings[0].path.endswith("entry.py")
