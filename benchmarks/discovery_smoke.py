@@ -1,0 +1,228 @@
+"""Smoke-run the E14 discovery measurement: resolve latency + healing.
+
+Two halves, matching the two claims the discovery layer makes:
+
+* **Resolve latency** — wall-clock round trips against a real TCP
+  :class:`~repro.core.discovery.DirectoryServer` (one fixed-size frame
+  per request), reported as percentiles. This half touches real sockets
+  and so is *not* part of the deterministic record.
+* **Failover via rediscovery** — real pir2 sessions over seeded-lossy
+  simulated paths where the party-0 primary is killed mid-batch and its
+  replacement is only announced *afterwards*: every completion past the
+  kill point had to re-resolve through the directory. Entirely on
+  :class:`~repro.netsim.simnet.SimClock` with seeded RNGs, so
+  ``availability_rows()`` is a pure function — same numbers every run.
+
+Tier-1 runs this (via ``tests/integration/test_discovery_smoke.py``) so
+the availability-via-rediscovery claim is checked on every test run.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/discovery_smoke.py [--out BENCH_discovery.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.discovery import (
+    AnnounceRecord,
+    CapabilityQuery,
+    DirectoryClient,
+    DirectoryServer,
+    InProcessDirectory,
+    resolved_pool,
+)
+from repro.core.resilience import RetryPolicy, resilient_pool
+from repro.core.zltp.client import connect_client
+from repro.core.zltp.server import ZltpServer
+from repro.errors import TransportError
+from repro.netsim.simnet import NetworkPath, SimClock, sim_transport_pair
+from repro.pir.database import BlobDatabase
+from repro.pir.keyword import KeywordIndex
+
+SECRET = b"e14-smoke"
+SALT = b"e14-smoke"
+LOSS_RATES = (0.0, 0.1, 0.25)
+OPS_PER_RATE = 30
+RESOLVES = 25
+SEED = 14
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_discovery.json"
+
+
+def _record(party: int, role: str) -> AnnounceRecord:
+    return AnnounceRecord(
+        server_id=f"smoke/{party}/{role}", host=f"sim-{party}-{role}",
+        port=0, universe="main", kind="data", party=party,
+        modes=("pir2",)).sign(SECRET)
+
+
+class _SimWorld:
+    """Two pir2 parties behind a directory, over seeded-lossy sim paths.
+
+    Each announced endpoint gets its own :class:`NetworkPath`; killing
+    an endpoint closes its live transports and makes further dials fail,
+    exactly like a SIGKILLed process whose port stops answering.
+    """
+
+    def __init__(self, loss_rate: float, seed: int):
+        self.clock = SimClock()
+        self.directory = InProcessDirectory(secret=SECRET,
+                                            clock=lambda: self.clock.now)
+        db = BlobDatabase(8, 64)
+        index = KeywordIndex(db, probes=2, salt=SALT)
+        for i in range(OPS_PER_RATE):
+            index.put(f"s{i}.com/p", f"e14-{i}".encode())
+        self.db = db
+        # Primary and replica share the logical server (as replicas do in
+        # a real deployment), so session resume survives the failover.
+        self._servers = {party: ZltpServer(db, modes=["pir2"], party=party,
+                                           salt=SALT, probes=2)
+                         for party in (0, 1)}
+        self.paths = {}
+        self._live = {}
+        self._killed = set()
+        for offset, (party, role) in enumerate(
+                [(0, "primary"), (0, "replica"), (1, "primary")]):
+            host = f"sim-{party}-{role}"
+            self.paths[host] = NetworkPath(
+                self.clock, name=host,
+                rng=np.random.default_rng(seed + offset))
+            self._live[host] = []
+        for party in (0, 1):
+            self.directory.announce(_record(party, "primary"))
+
+    def connect(self, host: str, port: int):
+        if host in self._killed:
+            raise TransportError(f"{host} is down")
+        client_end, server_end = sim_transport_pair(self.paths[host])
+        party = int(host.split("-")[1])
+        self._servers[party].serve_transport(server_end)
+        self._live[host].append(client_end)
+        return client_end
+
+    def kill(self, party: int, role: str) -> None:
+        """SIGKILL one endpoint: live connections die, dials refuse, the
+        directory drops it — and the replacement announces itself."""
+        host = f"sim-{party}-{role}"
+        self._killed.add(host)
+        for transport in self._live[host]:
+            transport.close()
+        self.directory.withdraw(f"smoke/{party}/{role}")
+        self.directory.announce(_record(party, "replica"))
+
+    def set_loss(self, loss_rate: float) -> None:
+        for path in self.paths.values():
+            path.loss_rate = loss_rate
+
+
+def measure_availability(loss_rate: float, n_ops: int = OPS_PER_RATE,
+                         seed: int = SEED) -> dict:
+    """Run ``n_ops`` private GETs; kill the party-0 primary halfway."""
+    world = _SimWorld(loss_rate, seed)
+    transports = [
+        resilient_pool(
+            resolved_pool(world.directory,
+                          CapabilityQuery("main", "data", party=party),
+                          connect=world.connect),
+            policy=RetryPolicy(max_attempts=12, base_delay=0.01, jitter=0.1,
+                               rng=np.random.default_rng(seed + 10 + party),
+                               sleep=world.clock.advance))
+        for party in (0, 1)
+    ]
+    client = connect_client(transports, supported_modes=["pir2"])
+    world.set_loss(loss_rate)
+    completed = 0
+    for i in range(n_ops):
+        if i == n_ops // 2:
+            # The replica is only announced here: every op past this
+            # point that touches party 0 had to rediscover it.
+            world.kill(0, "primary")
+        slot = client.candidate_slots(f"s{i}.com/p")[0]
+        try:
+            if client.get_slot(slot) == world.db.get_slot(slot):
+                completed += 1
+        except TransportError:
+            pass  # counted as lost; availability drops
+    client.close()
+    return {
+        "loss_rate": loss_rate,
+        "ops": n_ops,
+        "completed": completed,
+        "availability": completed / n_ops,
+        "rediscoveries": sum(t.pool.refreshes for t in transports),
+        "reconnects": sum(t.reconnects for t in transports),
+        "frames_dropped": sum(p.frames_dropped
+                              for p in world.paths.values()),
+        "sim_seconds": world.clock.now,
+    }
+
+
+def availability_rows() -> list:
+    """The deterministic half: one row per loss rate."""
+    return [measure_availability(rate) for rate in LOSS_RATES]
+
+
+def measure_resolve_latency(n_resolves: int = RESOLVES) -> dict:
+    """Wall-clock resolve round trips against a real TCP directory."""
+    directory = DirectoryServer(secret=SECRET)
+    try:
+        client = DirectoryClient(*directory.address, secret=SECRET)
+        for party in (0, 1):
+            for role in ("primary", "replica"):
+                client.announce(_record(party, role))
+        query = CapabilityQuery("main", "data", party=0)
+        samples = []
+        for _ in range(n_resolves):
+            start = time.perf_counter()
+            found = client.resolve(query)
+            samples.append(time.perf_counter() - start)
+            assert len(found) == 2
+        samples.sort()
+        return {
+            "resolves": n_resolves,
+            "records_announced": 4,
+            "p50_ms": samples[len(samples) // 2] * 1e3,
+            "p95_ms": samples[int(len(samples) * 0.95)] * 1e3,
+            "max_ms": samples[-1] * 1e3,
+        }
+    finally:
+        directory.stop()
+
+
+def run() -> dict:
+    return {
+        "experiment": "E14 discovery resolve latency and "
+                      "failover-via-rediscovery (smoke)",
+        "resolve_latency": measure_resolve_latency(),
+        "rows": availability_rows(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+    data = run()
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    bad = [row for row in data["rows"]
+           if row["availability"] < 1.0 or row["rediscoveries"] == 0]
+    if bad:
+        for row in bad:
+            print(f"DISCOVERY REGRESSION: {row['completed']}/{row['ops']} "
+                  f"completed, {row['rediscoveries']} rediscoveries "
+                  f"at loss_rate={row['loss_rate']}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,34 +4,129 @@ Connects the two session kinds (four TCP connections for pir2, two for
 the single-endpoint modes), then either visits the paths given on the
 command line or drops into a small interactive loop (`path` to visit, a
 number to follow a link, `quit`). ``--modes`` restricts what the client
-offers in its hello — give one port per kind to browse a single-server
-mode (``--modes lwe --code-ports P --data-ports P``).
+offers in its hello.
 
-Every session rides a reconnecting transport: a dropped TCP connection
-is re-dialled with backoff and the session resumed in place, and
-``--code-replica-ports`` / ``--data-replica-ports`` (the ports ``serve
---replicas`` prints) add failover targets per endpoint.
+Endpoints come from discovery: with ``--directory HOST:PORT`` the client
+resolves capability queries against a live directory server (the ports,
+fetch budget, and party layout all come from the announce records — no
+port flags at all), and every session rides a self-healing pool that
+*re-resolves* when its candidates die, so a replacement server announced
+after the client connected still heals the session. The old
+``--code-ports``/``--data-ports`` (and replica-port) flags still work:
+they pre-populate a local static directory
+(:func:`repro.core.discovery.static_directory`) and flow through exactly
+the same resolution path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
+from repro.core.discovery import (
+    DEFAULT_SECRET,
+    CachingResolver,
+    CapabilityQuery,
+    DirectoryClient,
+    resolved_pool,
+    static_directory,
+)
 from repro.core.lightweb.browser import LightwebBrowser, RenderedPage
-from repro.core.resilience import RetryPolicy
+from repro.core.resilience import RetryPolicy, resilient_pool
 from repro.core.zltp.client import connect_client
-from repro.core.zltp.sockets import connect_tcp_resilient
+from repro.core.zltp.sockets import connect_tcp
+from repro.errors import DiscoveryError
 
 
-class TcpCdnProxy:
-    """Adapts raw TCP endpoints to the ``cdn.connect`` interface the
-    browser expects, plus the universe metadata it needs."""
+class DirectoryCdnProxy:
+    """Adapts a discovery directory to the ``cdn.connect`` interface the
+    browser expects.
+
+    Everything the old port-flag proxy was told by hand is resolved:
+    the party layout comes from the announced records, the fetch budget
+    from their ``attrs``, and each party's transport is a
+    :func:`~repro.core.discovery.resolved_pool` — ranked candidates now,
+    re-resolution against the directory when they all die. The proxy
+    only ever issues structural queries (universe, kind, party) — never
+    anything about *what* is being fetched.
+    """
 
     class _Universe:
         def __init__(self, fetch_budget):
             self.fetch_budget = fetch_budget
+
+    def __init__(self, resolver: Any, universe_name: str = "main",
+                 retries: int = 4,
+                 op_deadline_seconds: Optional[float] = None,
+                 connect: Any = connect_tcp):
+        self.name = f"directory:{universe_name}"
+        self._resolver = resolver
+        self._universe_name = universe_name
+        self._retries = retries
+        self._op_deadline_seconds = op_deadline_seconds
+        self._connect = connect
+        self._universe: Optional[DirectoryCdnProxy._Universe] = None
+
+    def universe(self, name: str):
+        """Universe metadata, resolved from the announce records."""
+        if self._universe is None:
+            records = self._resolver.resolve(
+                CapabilityQuery(universe=self._universe_name, kind="data"))
+            if not records:
+                raise DiscoveryError(
+                    f"no server announced for universe "
+                    f"{self._universe_name!r}")
+            self._universe = self._Universe(
+                int(records[0].attrs.get("fetch_budget", 5)))
+        return self._universe
+
+    def connect(self, universe_name: str, kind: str, client_modes=None,
+                transport_factory=None, rng=None):
+        """Resolve one session kind's endpoints and dial them.
+
+        The party layout (one transport for the single-server modes, two
+        for pir2's non-colluding pair) is whatever the records announce;
+        each party gets its own self-healing pool.
+        """
+        records = self._resolver.resolve(
+            CapabilityQuery(universe=self._universe_name, kind=kind))
+        if not records:
+            raise DiscoveryError(
+                f"no {kind} server announced for universe "
+                f"{self._universe_name!r}")
+        n_parties = max(record.party for record in records) + 1
+        transports = []
+        for party in range(n_parties):
+            pool = resolved_pool(
+                self._resolver,
+                CapabilityQuery(universe=self._universe_name, kind=kind,
+                                party=party),
+                connect=self._connect,
+            )
+            transports.append(resilient_pool(
+                pool, policy=RetryPolicy(max_attempts=self._retries),
+                op_deadline_seconds=self._op_deadline_seconds,
+            ))
+        return connect_client(transports, supported_modes=client_modes,
+                              rng=rng)
+
+
+class TcpCdnProxy(DirectoryCdnProxy):
+    """The port-flag shim: fixed endpoint lists as a static directory.
+
+    Keeps the old ``cdn.connect`` surface for callers that pass explicit
+    ``--code-ports``/``--data-ports`` (and flat replica lists in the
+    order ``serve --replicas`` prints), but no longer hand-builds dial
+    lists: the flags synthesize never-expiring announce records into an
+    in-process directory and the whole resolution path is shared with
+    real deployments.
+
+    Raises:
+        DiscoveryError: at construction, when a replica list's length is
+            not a multiple of its kind's endpoint count — the silent
+            replica misassignment the old flat-list slicing allowed.
+    """
 
     def __init__(self, host: str, code_ports: List[int],
                  data_ports: List[int], fetch_budget: int = 5,
@@ -39,47 +134,21 @@ class TcpCdnProxy:
                  code_replica_ports: Optional[List[int]] = None,
                  data_replica_ports: Optional[List[int]] = None,
                  retries: int = 4,
-                 op_deadline_seconds: Optional[float] = None):
+                 op_deadline_seconds: Optional[float] = None,
+                 connect: Any = connect_tcp):
+        directory = static_directory(
+            host,
+            {"code": code_ports, "data": data_ports},
+            replicas_by_kind={"code": list(code_replica_ports or []),
+                              "data": list(data_replica_ports or [])},
+            universe=universe_name,
+            attrs={"fetch_budget": fetch_budget},
+        )
+        super().__init__(
+            CachingResolver(directory, grace_seconds=None),
+            universe_name=universe_name, retries=retries,
+            op_deadline_seconds=op_deadline_seconds, connect=connect)
         self.name = f"tcp:{host}"
-        self._host = host
-        self._ports = {"code": code_ports, "data": data_ports}
-        self._replicas = {"code": list(code_replica_ports or []),
-                          "data": list(data_replica_ports or [])}
-        self._retries = retries
-        self._op_deadline_seconds = op_deadline_seconds
-        self._universe = self._Universe(fetch_budget)
-        self._universe_name = universe_name
-
-    def universe(self, name: str):
-        """Universe metadata (the browser only needs the fetch budget)."""
-        return self._universe
-
-    def _candidates(self, kind: str, index: int) -> List[tuple]:
-        """Dial candidates for one endpoint: its primary, then replicas.
-
-        The replica list is flat in the order ``serve --replicas`` prints
-        (round by round, party by party), so endpoint ``index`` of ``k``
-        owns every ``index + n*k``-th replica port.
-        """
-        primaries = self._ports[kind]
-        candidates = [(self._host, primaries[index])]
-        candidates += [(self._host, port)
-                       for port in self._replicas[kind][index::len(primaries)]]
-        return candidates
-
-    def connect(self, universe_name: str, kind: str, client_modes=None,
-                transport_factory=None, rng=None):
-        """Dial the deployment's listeners for one session kind."""
-        transports = [
-            connect_tcp_resilient(
-                self._candidates(kind, index),
-                policy=RetryPolicy(max_attempts=self._retries),
-                op_deadline_seconds=self._op_deadline_seconds,
-            )
-            for index in range(len(self._ports[kind]))
-        ]
-        return connect_client(transports, supported_modes=client_modes,
-                              rng=rng)
 
 
 def render_to_terminal(page: RenderedPage) -> str:
@@ -94,20 +163,44 @@ def render_to_terminal(page: RenderedPage) -> str:
     return "\n".join(lines)
 
 
+def _build_proxy(args):
+    """The browse endpoint source: a live directory, or the port-flag shim."""
+    from repro.cli.serve import parse_hostport
+
+    directory_flag = getattr(args, "directory", None)
+    if directory_flag:
+        host, port = parse_hostport(directory_flag)
+        secret = getattr(args, "directory_secret", None)
+        client = DirectoryClient(
+            host, port,
+            secret=secret.encode() if secret else DEFAULT_SECRET)
+        return DirectoryCdnProxy(
+            CachingResolver(client),
+            universe_name=getattr(args, "universe", "main"),
+            retries=getattr(args, "retries", 4),
+            op_deadline_seconds=getattr(args, "op_deadline", None))
+    if not args.code_ports or not args.data_ports:
+        raise DiscoveryError(
+            "give either --directory HOST:PORT or both --code-ports and "
+            "--data-ports")
+    return TcpCdnProxy(args.host, args.code_ports, args.data_ports,
+                       fetch_budget=args.fetch_budget,
+                       universe_name=getattr(args, "universe", "main"),
+                       code_replica_ports=getattr(args, "code_replica_ports",
+                                                  None),
+                       data_replica_ports=getattr(args, "data_replica_ports",
+                                                  None),
+                       retries=getattr(args, "retries", 4),
+                       op_deadline_seconds=getattr(args, "op_deadline", None))
+
+
 def cmd_browse(args, input_fn=input, print_fn=print) -> int:
     """Entry point for ``lightweb browse``."""
     from repro.cli.serve import parse_modes
 
-    proxy = TcpCdnProxy(args.host, args.code_ports, args.data_ports,
-                        fetch_budget=args.fetch_budget,
-                        code_replica_ports=getattr(args, "code_replica_ports",
-                                                   None),
-                        data_replica_ports=getattr(args, "data_replica_ports",
-                                                   None),
-                        retries=getattr(args, "retries", 4),
-                        op_deadline_seconds=getattr(args, "op_deadline", None))
+    proxy = _build_proxy(args)
     browser = LightwebBrowser(rng=np.random.default_rng())
-    browser.connect(proxy, "main",
+    browser.connect(proxy, getattr(args, "universe", "main"),
                     client_modes=parse_modes(getattr(args, "modes", None)))
 
     last: Optional[RenderedPage] = None
@@ -141,4 +234,5 @@ def cmd_browse(args, input_fn=input, print_fn=print) -> int:
     return 0
 
 
-__all__ = ["TcpCdnProxy", "cmd_browse", "render_to_terminal"]
+__all__ = ["DirectoryCdnProxy", "TcpCdnProxy", "cmd_browse",
+           "render_to_terminal"]

@@ -1,0 +1,48 @@
+"""``lightweb directory`` — run the server-discovery directory.
+
+The directory is the control plane that replaces port-flag wiring:
+deployments announce their endpoints to it (``lightweb serve
+--directory HOST:PORT``) and clients resolve capability queries from it
+(``lightweb browse --directory HOST:PORT``). It holds only signed,
+TTL'd :class:`~repro.core.discovery.AnnounceRecord`\\ s — public server
+topology, never anything about what any client fetches.
+"""
+
+from __future__ import annotations
+
+from repro.cli.console import emit
+from repro.core.discovery import DEFAULT_SECRET, DirectoryServer
+from repro.obs.logs import (
+    configure_console_logging,
+    configure_json_logging,
+    get_logger,
+)
+
+_log = get_logger(__name__)
+
+
+def cmd_directory(args) -> int:
+    """Entry point for ``lightweb directory``."""
+    if getattr(args, "log_json", False):
+        configure_json_logging()
+    else:
+        configure_console_logging()
+    secret = getattr(args, "secret", None)
+    server = DirectoryServer(
+        secret=secret.encode() if secret else DEFAULT_SECRET,
+        host=args.host, port=args.port)
+    emit(f"directory listening on {server.address[0]}:{server.address[1]}")
+    emit("serving; Ctrl-C to stop.")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        _log.info("directory stopped")
+    return 0
+
+
+__all__ = ["cmd_directory"]

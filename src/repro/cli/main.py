@@ -47,6 +47,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(one reactor thread multiplexing all "
                             "sessions; default) or 'threaded' "
                             "(thread-per-connection fallback)")
+    serve.add_argument("--directory", default=None, metavar="HOST:PORT",
+                       help="announce this deployment's endpoints to a "
+                            "directory server (`lightweb directory`); "
+                            "re-announces periodically with fresh load")
+    serve.add_argument("--directory-secret", default=None,
+                       help="deployment secret MAC-signing the announce "
+                            "records (must match the directory's clients)")
+    serve.add_argument("--announce-interval", type=float, default=5.0,
+                       help="seconds between re-announces; records expire "
+                            "after three missed intervals")
     serve.add_argument("--log-json", action="store_true",
                        help="emit structured JSON logs, one object per line")
     serve.set_defaults(func=_cmd_serve)
@@ -54,16 +64,29 @@ def build_parser() -> argparse.ArgumentParser:
     browse = sub.add_parser("browse", help="browse a running deployment")
     browse.add_argument("path", nargs="*", help="lightweb paths to visit")
     browse.add_argument("--host", default="127.0.0.1")
-    browse.add_argument("--code-ports", type=int, nargs="+", required=True,
+    browse.add_argument("--directory", default=None, metavar="HOST:PORT",
+                        help="resolve endpoints through a directory server "
+                             "instead of port flags; ports, parties, and "
+                             "the fetch budget all come from the announce "
+                             "records")
+    browse.add_argument("--directory-secret", default=None,
+                        help="deployment secret for verifying announce "
+                             "records (must match the servers')")
+    browse.add_argument("--universe", default="main",
+                        help="universe to browse")
+    browse.add_argument("--code-ports", type=int, nargs="+", default=None,
                         metavar="PORT",
                         help="code-session ports, one per endpoint of the "
-                             "intended mode (two for pir2)")
-    browse.add_argument("--data-ports", type=int, nargs="+", required=True,
+                             "intended mode (two for pir2); unnecessary "
+                             "with --directory")
+    browse.add_argument("--data-ports", type=int, nargs="+", default=None,
                         metavar="PORT",
                         help="data-session ports, one per endpoint of the "
-                             "intended mode (two for pir2)")
+                             "intended mode (two for pir2); unnecessary "
+                             "with --directory")
     browse.add_argument("--fetch-budget", type=int, default=5,
-                        help="must match the served universe")
+                        help="must match the served universe (ignored with "
+                             "--directory: the records carry it)")
     browse.add_argument("--modes", default=None,
                         help="comma-separated modes to offer, e.g. 'lwe' "
                              "(default: every registered backend)")
@@ -97,6 +120,25 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="print the JSON snapshot instead of text")
     stats.set_defaults(func=_cmd_stats)
+
+    directory = sub.add_parser(
+        "directory",
+        help="run a server-discovery directory",
+        description="Serve the discovery directory deployments announce "
+                    "to (`serve --directory`) and clients resolve "
+                    "endpoints from (`browse --directory`). Records are "
+                    "MAC-signed with the deployment secret and expire by "
+                    "TTL when a server stops re-announcing.",
+    )
+    directory.add_argument("--host", default="127.0.0.1")
+    directory.add_argument("--port", type=int, default=0,
+                           help="listen port (0 = ephemeral)")
+    directory.add_argument("--secret", default=None,
+                           help="deployment secret announce records must "
+                                "be signed with")
+    directory.add_argument("--log-json", action="store_true",
+                           help="emit structured JSON logs")
+    directory.set_defaults(func=_cmd_directory)
 
     costs = sub.add_parser("costs", help="print the paper's cost analytics")
     costs.add_argument("--measure", action="store_true",
@@ -141,6 +183,12 @@ def _cmd_browse(args) -> int:
     from repro.cli.browse import cmd_browse
 
     return cmd_browse(args)
+
+
+def _cmd_directory(args) -> int:
+    from repro.cli.directory import cmd_directory
+
+    return cmd_directory(args)
 
 
 def _cmd_stats(args) -> int:

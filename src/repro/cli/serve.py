@@ -20,9 +20,16 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.cli.console import emit
 from repro.cli.spec import load_site
 from repro.core import backend as backend_registry
+from repro.core.discovery import (
+    DEFAULT_SECRET,
+    AnnounceRecord,
+    Announcer,
+    DirectoryClient,
+)
 from repro.core.lightweb.cdn import Cdn
 from repro.core.zltp.serving import DEFAULT_SERVER_KIND, create_tcp_server
 from repro.core.zltp.sockets import StatsTcpServer, ZltpTcpServer
+from repro.errors import NegotiationError, ReproError
 from repro.obs.logs import (
     configure_console_logging,
     configure_json_logging,
@@ -36,14 +43,29 @@ _log = get_logger(__name__)
 def parse_modes(value: Optional[str]) -> Optional[List[str]]:
     """Parse a ``--modes`` value: comma-separated names or aliases.
 
-    Returns canonical mode names, or None when no restriction was given
-    (serve everything registered). Unknown names raise the registry's
-    typed :class:`~repro.errors.NegotiationError`.
+    Returns canonical mode names (deduplicated, first occurrence wins),
+    or None when no restriction was given (serve everything registered).
+    Unknown names raise a one-line
+    :class:`~repro.errors.NegotiationError` naming every valid mode and
+    alias, instead of surfacing as a late registry lookup failure.
     """
     if not value:
         return None
     names = [part.strip() for part in value.split(",") if part.strip()]
-    return [backend_registry.resolve_mode(name) for name in names]
+    resolved: List[str] = []
+    for name in names:
+        try:
+            canonical = backend_registry.resolve_mode(name)
+        except NegotiationError:
+            valid = ", ".join(
+                spec.name + (f" (aka {', '.join(spec.aliases)})"
+                             if spec.aliases else "")
+                for spec in backend_registry.registered_specs())
+            raise NegotiationError(
+                f"unknown mode {name!r}; valid modes: {valid}") from None
+        if canonical not in resolved:
+            resolved.append(canonical)
+    return resolved
 
 
 @dataclass
@@ -63,6 +85,8 @@ class RunningDeployment:
     #: a reconnect-resume validates against the negotiated session).
     replicas: Dict[Tuple[str, int], List[Any]] = \
         field(default_factory=dict)
+    #: The periodic directory announcer, when ``--directory`` is wired.
+    announcer: Optional[Announcer] = field(default=None)
 
     @property
     def n_parties(self) -> int:
@@ -86,6 +110,42 @@ class RunningDeployment:
             for kind in ("code", "data")
         }
 
+    def announce_records(self, ttl_seconds: Optional[float] = 15.0
+                         ) -> List[AnnounceRecord]:
+        """Unsigned announce records for every listener, replicas included.
+
+        Each record derives its capability metadata and load snapshot
+        from the listener's logical server
+        (:meth:`~repro.core.zltp.server.ZltpServer.capability_snapshot`),
+        and carries the universe's fetch budget in ``attrs`` so a
+        discovered client needs no out-of-band configuration. The
+        :class:`~repro.core.discovery.Announcer` signs them and stamps
+        the generation on every tick.
+        """
+        budget = self.cdn.universe(self.universe_name).fetch_budget
+        records: List[AnnounceRecord] = []
+
+        def make(listener: Any, kind: str, party: int, role: str,
+                 index: int) -> AnnounceRecord:
+            snap = listener.server.capability_snapshot()
+            host, port = listener.address
+            return AnnounceRecord(
+                server_id=(f"{self.universe_name}/{kind}/{party}/"
+                           f"{role}{index}"),
+                host=host, port=port, universe=self.universe_name,
+                kind=kind, party=party, modes=tuple(snap["modes"]),
+                prefix_bits=snap["prefix_bits"], cost=snap["cost"],
+                load=snap["load"], attrs={"fetch_budget": budget},
+                ttl_seconds=ttl_seconds,
+            )
+
+        for (kind, party), listener in sorted(self.listeners.items()):
+            records.append(make(listener, kind, party, "primary", 0))
+        for (kind, party), group in sorted(self.replicas.items()):
+            for index, listener in enumerate(group):
+                records.append(make(listener, kind, party, "replica", index))
+        return records
+
     def stats_snapshot(self) -> Dict[str, Any]:
         """Deployment-wide serving counters plus the metrics registry."""
         merged = self.cdn.stats_by_mode(self.universe_name)
@@ -98,7 +158,10 @@ class RunningDeployment:
         }
 
     def stop(self) -> None:
-        """Stop the stats endpoint and every listener (replicas included)."""
+        """Stop the announcer (withdrawing its records), the stats
+        endpoint, and every listener (replicas included)."""
+        if self.announcer is not None:
+            self.announcer.stop(withdraw=True)
         if self.stats is not None:
             self.stats.stop()
         for listener in self.listeners.values():
@@ -198,6 +261,36 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
     return deployment
 
 
+def parse_hostport(value: str, what: str = "--directory") -> Tuple[str, int]:
+    """Parse a ``host:port`` flag value with a one-line typed error."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ReproError(f"{what} expects HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def attach_announcer(deployment: RunningDeployment, directory: Any,
+                     secret: bytes = DEFAULT_SECRET,
+                     interval_seconds: float = 5.0,
+                     ttl_seconds: Optional[float] = 15.0) -> Announcer:
+    """Start announcing a deployment's records to a directory.
+
+    The announcer re-reads :meth:`RunningDeployment.announce_records` on
+    every tick (fresh load, bumped generation) and is stopped — with its
+    records withdrawn — by :meth:`RunningDeployment.stop`. The TTL is
+    three intervals by default, so a SIGKILLed deployment ages out of
+    the directory after a few missed re-announces.
+    """
+    announcer = Announcer(
+        directory,
+        lambda: deployment.announce_records(ttl_seconds=ttl_seconds),
+        secret=secret, interval_seconds=interval_seconds,
+        name=f"announce:{deployment.universe_name}",
+    ).start()
+    deployment.announcer = announcer
+    return announcer
+
+
 def cmd_serve(args) -> int:
     """Entry point for ``lightweb serve``."""
     if getattr(args, "log_json", False):
@@ -216,6 +309,20 @@ def cmd_serve(args) -> int:
         replicas=getattr(args, "replicas", 0),
         server_kind=getattr(args, "server_kind", None),
     )
+    directory_flag = getattr(args, "directory", None)
+    if directory_flag:
+        host, port = parse_hostport(directory_flag)
+        secret = getattr(args, "directory_secret", None)
+        interval = getattr(args, "announce_interval", 5.0)
+        attach_announcer(
+            deployment,
+            DirectoryClient(host, port,
+                            secret=secret.encode() if secret
+                            else DEFAULT_SECRET),
+            secret=secret.encode() if secret else DEFAULT_SECRET,
+            interval_seconds=interval,
+            ttl_seconds=interval * 3,
+        )
     universe = deployment.cdn.universe(args.universe)
     ports = deployment.ports()
     emit(f"universe {args.universe!r}: {universe.n_pages} data blobs, "
@@ -230,6 +337,9 @@ def cmd_serve(args) -> int:
         emit(f"data replicas : ports {replica_ports['data']}")
     if deployment.stats is not None:
         emit(f"stats endpoint: port {deployment.stats.address[1]}")
+    if deployment.announcer is not None:
+        emit(f"directory     : announcing to {directory_flag} "
+             f"({len(deployment.announce_records())} records)")
     emit("serving; Ctrl-C to stop.")
     _log.info("deployment serving", extra={
         "universe": args.universe,
@@ -249,4 +359,4 @@ def cmd_serve(args) -> int:
 
 
 __all__ = ["build_deployment", "RunningDeployment", "cmd_serve",
-           "parse_modes"]
+           "parse_modes", "parse_hostport", "attach_announcer"]

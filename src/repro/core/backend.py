@@ -502,6 +502,31 @@ def mode_endpoints(mode: str) -> int:
     return get_backend(mode).endpoints
 
 
+def capability_metadata(modes: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, Any]]:
+    """Per-mode public capability metadata, derived from the registry.
+
+    This is what a server embeds in its discovery announce records (and
+    what placement tooling prices deployments from): for each mode, the
+    endpoint count a client session needs, the negotiation preference
+    rank, whether a one-time setup download exists, and the
+    :class:`BackendCost` parameters. Everything here is wire-visible
+    protocol structure — nothing per-client, nothing secret.
+    """
+    names = [resolve_mode(name) for name in modes] if modes is not None \
+        else registered_modes()
+    out: Dict[str, Dict[str, Any]] = {}
+    for name in names:
+        spec = get_backend(name)
+        out[name] = {
+            "endpoints": spec.endpoints,
+            "preference": spec.preference,
+            "needs_setup": spec.needs_setup,
+            "servers_per_request": spec.cost.servers_per_request,
+            "linear_scan": spec.cost.linear_scan,
+        }
+    return out
+
+
 def negotiate(client_modes: Sequence[str],
               server_modes: Sequence[str]) -> str:
     """Pick the mode: first server-preferred mode the client supports.
@@ -565,6 +590,7 @@ __all__ = [
     "registered_modes",
     "registered_server_class_names",
     "mode_endpoints",
+    "capability_metadata",
     "negotiate",
     "create_server",
     "create_client",

@@ -168,26 +168,35 @@ class EndpointPool:
     dial pins the pool to that candidate until it fails, so a client
     that failed over keeps using the replica instead of hammering the
     dead primary on every reconnect.
+
+    A pool built from discovery additionally carries a ``refresh`` hook:
+    when every current candidate is dead, the hook is asked — once per
+    :meth:`dial` call — for a replacement candidate list (a re-resolve
+    against the directory), so endpoints announced *after* the pool was
+    built still heal it. The once-per-dial bound matters: the retry
+    policy driving repeated ``dial`` calls is what paces re-resolution,
+    so a dead deployment costs one directory round-trip per backoff step,
+    not an unbounded resolve loop.
     """
 
-    def __init__(self, dials: Sequence[Callable[[], Any]], name: str = "pool"):
+    def __init__(self, dials: Sequence[Callable[[], Any]], name: str = "pool",
+                 refresh: Optional[
+                     Callable[[], Sequence[Callable[[], Any]]]] = None):
         if not dials:
             raise TransportError("endpoint pool needs at least one candidate")
         self._dials = list(dials)
         self._index = 0
         self.name = name
+        self.refresh = refresh
         self.failovers = 0
+        self.refreshes = 0
 
     def __len__(self) -> int:
         return len(self._dials)
 
-    def dial(self) -> Any:
-        """Connect to the first candidate that answers, starting from the
-        last known-good one.
-
-        Raises:
-            TransportError: when every candidate fails.
-        """
+    def _dial_candidates(self) -> Any:
+        """One pass over the current candidate list; returns a transport
+        or raises the last candidate's TransportError."""
         last_error: Optional[Exception] = None
         for offset in range(len(self._dials)):
             index = (self._index + offset) % len(self._dials)
@@ -207,6 +216,42 @@ class EndpointPool:
             f"all {len(self._dials)} endpoints of {self.name!r} failed: "
             f"{last_error}"
         ) from last_error
+
+    def dial(self) -> Any:
+        """Connect to the first candidate that answers, starting from the
+        last known-good one.
+
+        When every candidate fails and a ``refresh`` hook is installed,
+        the hook supplies a replacement candidate list (discovery
+        re-resolve) and the pass runs once more over it.
+
+        Raises:
+            TransportError: when every candidate fails (and the refresh
+                hook, if any, produced nothing new that answers).
+        """
+        try:
+            return self._dial_candidates()
+        except TransportError as exc:
+            if self.refresh is None:
+                raise
+            replacements = list(self.refresh() or [])
+            if not replacements:
+                raise
+            self.refreshes += 1
+            self.failovers += 1
+            record_failover("discovery")
+            _log.info("pool exhausted; candidates refreshed via discovery",
+                      extra={"pool": self.name,
+                             "candidates": len(replacements)})
+            self._dials = replacements
+            self._index = 0
+            try:
+                return self._dial_candidates()
+            except TransportError as refreshed_exc:
+                raise TransportError(
+                    f"pool {self.name!r} failed even after a discovery "
+                    f"refresh: {refreshed_exc}"
+                ) from exc
 
 
 class ReconnectingTransport:
@@ -458,6 +503,25 @@ class ReconnectingTransport:
         return True
 
 
+def resilient_pool(pool: EndpointPool,
+                   policy: Optional[RetryPolicy] = None,
+                   op_deadline_seconds: Optional[float] = None,
+                   name: Optional[str] = None) -> ReconnectingTransport:
+    """A :class:`ReconnectingTransport` over an existing pool.
+
+    The discovery layer builds pools whose candidates came from a
+    capability resolve (and whose ``refresh`` hook re-resolves); this
+    wraps one with the same journal-replay resilience ``resilient``
+    gives hand-built dial lists.
+    """
+    transport = ReconnectingTransport(
+        pool.dial, policy=policy,
+        op_deadline_seconds=op_deadline_seconds,
+        name=name if name is not None else pool.name)
+    transport.pool = pool
+    return transport
+
+
 def resilient(dials: Sequence[Callable[[], Any]],
               policy: Optional[RetryPolicy] = None,
               op_deadline_seconds: Optional[float] = None,
@@ -487,4 +551,5 @@ __all__ = [
     "EndpointPool",
     "ReconnectingTransport",
     "resilient",
+    "resilient_pool",
 ]

@@ -139,6 +139,33 @@ class ZltpServer:
             return {mode: stats.copy().freeze()
                     for mode, stats in self._stats_by_mode.items()}
 
+    def capability_snapshot(self) -> Dict[str, Any]:
+        """Public capability + load metadata for discovery announces.
+
+        Everything here is what an announce record carries: the served
+        modes with their registry-derived metadata, this server's party,
+        the sharded front-end's prefix width (0 when unsharded), and an
+        aggregate load snapshot — live sessions, total queries, total
+        scan seconds. All of it is deployment topology and aggregate
+        counters; nothing is per-client or per-fetch.
+        """
+        with self._stats_lock:
+            active = self.sessions_opened - self.sessions_closed
+            queries = sum(s.queries for s in self._stats_by_mode.values())
+            scan_seconds = sum(s.scan_seconds
+                               for s in self._stats_by_mode.values())
+        return {
+            "modes": list(self.modes),
+            "party": self.party,
+            "prefix_bits": int(self._options.get("prefix_bits", 0)),
+            "cost": backend_registry.capability_metadata(self.modes),
+            "load": {
+                "sessions_active": float(active),
+                "queries": float(queries),
+                "scan_seconds": float(scan_seconds),
+            },
+        }
+
     def record_stats(self, mode: str, delta: RequestStats) -> None:
         """Fold one session's answer-call delta into the per-mode totals.
 

@@ -65,3 +65,8 @@ class LightscriptError(ReproError):
 
 class SimulationError(ReproError):
     """The network simulator was driven into an inconsistent state."""
+
+
+class DiscoveryError(ReproError):
+    """Server discovery failed: no capable endpoint, bad announce record,
+    or a forged/expired directory entry."""

@@ -31,7 +31,9 @@ class FaultRule:
     """One scripted fault: at the ``index``-th ``op``, do ``action``.
 
     Attributes:
-        op: ``"send"`` or ``"recv"``.
+        op: ``"send"``, ``"recv"``, or ``"dial"`` (connection
+            establishment, applied by :class:`FaultyDialFactory`; only
+            ``"error"`` and ``"delay"`` actions make sense there).
         index: 0-based count of that operation on the wrapped transport.
         action: ``"drop"`` (swallow the frame), ``"error"`` (raise
             :class:`~repro.errors.TransportError`), ``"close"`` (close
@@ -46,10 +48,14 @@ class FaultRule:
     delay_seconds: float = 0.0
 
     def __post_init__(self):
-        if self.op not in ("send", "recv"):
-            raise SimulationError(f"fault op must be send/recv, got {self.op!r}")
+        if self.op not in ("send", "recv", "dial"):
+            raise SimulationError(
+                f"fault op must be send/recv/dial, got {self.op!r}")
         if self.action not in ACTIONS:
             raise SimulationError(f"unknown fault action {self.action!r}")
+        if self.op == "dial" and self.action not in ("error", "delay"):
+            raise SimulationError(
+                f"dial faults can only 'error' or 'delay', got {self.action!r}")
         if self.index < 0 or self.delay_seconds < 0:
             raise SimulationError("fault index and delay must be >= 0")
 
@@ -164,4 +170,50 @@ class FaultyTransport:
         return self._inner.bytes_received
 
 
-__all__ = ["FaultRule", "FaultSchedule", "FaultyTransport", "ACTIONS"]
+class FaultyDialFactory:
+    """Inject scripted failures at connection *establishment*.
+
+    Wraps a zero-argument dial callable; the shared schedule's ``"dial"``
+    rules decide which dial attempts fail (``"error"``) or stall
+    (``"delay"``), indexed by attempt count across every incarnation.
+    This is how chaos tests script "the primary is dead from attempt 3
+    on" against endpoint pools and discovery refresh — the failure mode
+    :class:`FaultyTransport` cannot express, because it needs a
+    connection to already exist.
+
+    ``fail_forever_after`` (optional) marks an attempt index from which
+    *every* dial fails, on top of the scripted one-shot rules — a
+    SIGKILLed server stays dead without enumerating rules for each
+    retry.
+    """
+
+    def __init__(self, dial: Callable[[], Any], schedule: FaultSchedule,
+                 sleep: Callable[[float], None] = time.sleep,
+                 name: str = "faulty-dial",
+                 fail_forever_after: Optional[int] = None):
+        self._dial = dial
+        self._schedule = schedule
+        self._sleep = sleep
+        self.name = name
+        self.fail_forever_after = fail_forever_after
+        self.dials = 0
+
+    def __call__(self) -> Any:
+        index = self.dials
+        self.dials += 1
+        rule = self._schedule.take("dial", index)
+        if rule is not None:
+            if rule.delay_seconds > 0:
+                self._sleep(rule.delay_seconds)
+            if rule.action == "error":
+                raise TransportError(
+                    f"injected dial failure on {self.name!r} (#{index})")
+        if self.fail_forever_after is not None and \
+                index >= self.fail_forever_after:
+            raise TransportError(
+                f"{self.name!r} is down (dial #{index})")
+        return self._dial()
+
+
+__all__ = ["FaultRule", "FaultSchedule", "FaultyTransport",
+           "FaultyDialFactory", "ACTIONS"]

@@ -353,6 +353,49 @@ def record_failover(layer: str,
     ).inc(1, layer=layer)
 
 
+def record_announce(outcome: str,
+                    registry: Optional[MetricsRegistry] = None) -> None:
+    """Count one directory announce by outcome.
+
+    ``outcome`` is one of the fixed labels ``"ok"``, ``"rejected"``
+    (signature failure), or ``"stale"`` (generation raced backwards) —
+    control-plane events about public server topology only.
+    """
+    reg = registry if registry is not None else REGISTRY
+    reg.counter(
+        "discovery_announces_total", "Directory announces, by outcome",
+    ).inc(1, outcome=outcome)
+
+
+def record_resolve(source: str, seconds: Optional[float] = None,
+                   registry: Optional[MetricsRegistry] = None) -> None:
+    """Count one capability resolve by where the answer came from.
+
+    ``source`` is one of the fixed labels ``"directory"`` (live answer),
+    ``"cache"`` (directory down, TTL-grace fallback), or ``"failed"``
+    (no answer at all). Queries are structural — universe/kind/mode —
+    never per-fetch, so nothing here can key on what a client is reading.
+    """
+    reg = registry if registry is not None else REGISTRY
+    reg.counter(
+        "discovery_resolves_total", "Capability resolves, by answer source",
+    ).inc(1, source=source)
+    if seconds is not None:
+        reg.histogram(
+            "discovery_resolve_seconds", "Wall time per capability resolve",
+        ).observe(seconds)
+
+
+def record_rediscovery(registry: Optional[MetricsRegistry] = None) -> None:
+    """Count one pool refresh that re-resolved endpoints via discovery
+    (every pooled candidate was dead and the directory supplied more)."""
+    reg = registry if registry is not None else REGISTRY
+    reg.counter(
+        "discovery_rediscoveries_total",
+        "Endpoint pools refreshed by re-resolving through discovery",
+    ).inc(1)
+
+
 def record_truncated_frame(registry: Optional[MetricsRegistry] = None) -> None:
     """Count one connection that died mid-frame (a partial frame was
     left in its decoder).
@@ -393,6 +436,9 @@ __all__ = [
     "record_retry",
     "record_reconnect",
     "record_failover",
+    "record_announce",
+    "record_resolve",
+    "record_rediscovery",
     "record_truncated_frame",
     "record_active_sessions",
 ]

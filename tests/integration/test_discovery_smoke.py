@@ -1,0 +1,70 @@
+"""Tier-1 wiring for the E14 discovery smoke run.
+
+Runs :mod:`benchmarks.discovery_smoke` and asserts the claim this PR
+makes — when the primary dies mid-batch and its replacement is only
+announced afterwards, every private GET still completes because the
+endpoint pool re-resolves through the directory — plus the determinism
+of the simulated-clock half (seeded loss + SimClock ⇒ bit-identical
+rows run over run).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import discovery_smoke  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_discovery.json"
+    assert discovery_smoke.main(["--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_smoke_schema(results):
+    assert set(results) == {"experiment", "resolve_latency", "rows"}
+    assert len(results["rows"]) == len(discovery_smoke.LOSS_RATES)
+    for row in results["rows"]:
+        assert {"loss_rate", "ops", "completed", "availability",
+                "rediscoveries", "reconnects", "frames_dropped",
+                "sim_seconds"} <= set(row)
+    latency = results["resolve_latency"]
+    assert latency["resolves"] == discovery_smoke.RESOLVES
+    assert 0 < latency["p50_ms"] <= latency["p95_ms"] <= latency["max_ms"]
+
+
+def test_smoke_full_availability_at_every_loss_rate(results):
+    for row in results["rows"]:
+        assert row["availability"] == 1.0, row
+
+
+def test_smoke_every_row_actually_rediscovered(results):
+    # The primary is killed in every row — a row that never refreshed
+    # its pool would make the healing claim vacuous.
+    for row in results["rows"]:
+        assert row["rediscoveries"] > 0, row
+        assert row["reconnects"] > 0, row
+
+
+def test_smoke_lossy_rows_dropped_frames(results):
+    lossy = [row for row in results["rows"] if row["loss_rate"] > 0]
+    assert lossy
+    for row in lossy:
+        assert row["frames_dropped"] > 0
+
+
+def test_smoke_availability_rows_are_deterministic():
+    # The sim half is a pure function of its seeds; only the wall-clock
+    # latency half may vary run to run.
+    assert discovery_smoke.availability_rows() == \
+        discovery_smoke.availability_rows()
+
+
+def test_smoke_writes_default_path():
+    assert discovery_smoke.DEFAULT_OUT == REPO_ROOT / "BENCH_discovery.json"

@@ -142,6 +142,62 @@ class TestServeAndBrowse:
         with pytest.raises(NegotiationError):
             parse_modes("pir2,bogus")
 
+    def test_parse_modes_unknown_alias_names_valid_modes(self):
+        from repro.cli.serve import parse_modes
+        from repro.errors import NegotiationError
+
+        with pytest.raises(NegotiationError) as err:
+            parse_modes("pir3")
+        message = str(err.value)
+        assert message.count("\n") == 0  # one line
+        assert "pir3" in message
+        # Every registered mode (and its aliases) is named, so the user
+        # can fix the flag without reading source.
+        assert "pir2" in message
+        assert "pir-lwe" in message and "lwe" in message
+        assert "enclave-oram" in message
+
+    def test_parse_modes_dedupes_repeats(self):
+        from repro.cli.serve import parse_modes
+
+        # Repeats — including an alias of an already-seen mode — collapse
+        # to the first occurrence.
+        assert parse_modes("pir2,pir2,lwe,pir-lwe") == ["pir2", "pir-lwe"]
+
+    def test_parse_hostport(self):
+        from repro.cli.serve import parse_hostport
+        from repro.errors import ReproError
+
+        assert parse_hostport("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        for bad in ("127.0.0.1", "host:", ":9000", "host:a"):
+            with pytest.raises(ReproError):
+                parse_hostport(bad)
+
+    def test_replica_list_length_validated_at_construction(self):
+        from repro.errors import DiscoveryError
+
+        # Two pir2 endpoints per kind, but three replica ports: the old
+        # flat slicing silently misassigned them; now it is a clear,
+        # typed error at proxy construction.
+        with pytest.raises(DiscoveryError) as err:
+            TcpCdnProxy("127.0.0.1", [9001, 9002], [9003, 9004],
+                        data_replica_ports=[9103, 9104, 9105])
+        assert "multiple of the endpoint count" in str(err.value)
+        # A valid multiple (2 rounds for 2 endpoints) constructs fine.
+        TcpCdnProxy("127.0.0.1", [9001, 9002], [9003, 9004],
+                    data_replica_ports=[9103, 9104, 9203, 9204])
+
+    def test_browse_requires_directory_or_ports(self):
+        from argparse import Namespace
+
+        from repro.cli.browse import _build_proxy
+        from repro.errors import DiscoveryError
+
+        with pytest.raises(DiscoveryError):
+            _build_proxy(Namespace(host="127.0.0.1", directory=None,
+                                   code_ports=None, data_ports=None,
+                                   fetch_budget=5))
+
     def test_browse_command_one_shot(self, spec_file, capsys):
         deployment = build_deployment([spec_file], fetch_budget=2,
                                       data_domain_bits=10,

@@ -223,6 +223,60 @@ class TestEndpointPool:
         with pytest.raises(TransportError):
             EndpointPool([])
 
+    def test_all_dead_error_type_and_failover_accounting(self):
+        # Every candidate dead: the error must be the typed
+        # TransportError (so retry layers treat it as recoverable), the
+        # pool's own counter must reflect the failed rotation, and the
+        # process metric must count each failover exactly once.
+        from repro.obs.metrics import REGISTRY
+
+        def dead():
+            raise TransportError("down")
+
+        before = REGISTRY.counter(
+            "resilience_failovers_total").value(layer="transport")
+        pool = EndpointPool([dead, dead, dead], name="trio")
+        with pytest.raises(TransportError) as err:
+            pool.dial()
+        assert type(err.value) is TransportError
+        assert err.value.__cause__ is not None  # chains the last dial error
+        # A failed full rotation records no failover: the pool never
+        # moved to a *working* sibling.
+        assert pool.failovers == 0
+        assert REGISTRY.counter(
+            "resilience_failovers_total").value(layer="transport") == before
+        # A later successful rotation still starts from the pinned index.
+        with pytest.raises(TransportError):
+            pool.dial()
+
+    def test_pinning_after_the_pinned_endpoint_dies(self):
+        # Fail over to replica 1 and pin there; when replica 1 dies the
+        # pool must rotate onward (to replica 2, wrapping past the dead
+        # primary as needed) and re-pin, counting each move.
+        up = {0: False, 1: True, 2: True}
+
+        def make(index):
+            def dial():
+                if not up[index]:
+                    raise TransportError(f"endpoint {index} down")
+                return f"transport:{index}"
+            return dial
+
+        pool = EndpointPool([make(0), make(1), make(2)])
+        assert pool.dial() == "transport:1"
+        assert pool.failovers == 1
+        up[1] = False
+        assert pool.dial() == "transport:2"
+        assert pool.failovers == 2
+        # Pinned to 2 now; the wrap-around order from 2 is 2 itself.
+        assert pool.dial() == "transport:2"
+        assert pool.failovers == 2
+        # 2 dies, 0 recovered: rotation wraps past dead 1 back to 0.
+        up[2] = False
+        up[0] = True
+        assert pool.dial() == "transport:0"
+        assert pool.failovers == 3
+
 
 class TestReconnectingTransport:
     def make(self, raws, **kwargs):
