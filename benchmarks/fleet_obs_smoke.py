@@ -1,0 +1,187 @@
+"""E15 smoke — cost of the fleet observability plane.
+
+Two measurements back PR 9's perf claims:
+
+1. **Merged-registry overhead.** Each procpool worker now wraps every
+   shard scan in a span and feeds a worker-local registry (histogram
+   observe + counter inc), and the parent periodically merges the
+   flushed snapshots. The scan loop is timed raw vs instrumented — the
+   same 5% bar E10 set for span instrumentation (PR 4) applies to the
+   full worker-side metrics path.
+2. **Fleet scrape latency.** Four stats sidecars are scraped through
+   :func:`repro.obs.fleet.scrape_fleet`; the per-server timeouts run
+   concurrently, so four servers should cost about one round-trip, not
+   four.
+
+Tier-1 runs this via ``tests/integration/test_fleet_obs_smoke.py``.
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/fleet_obs_smoke.py [--out BENCH_fleet_obs.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.fleet import ScrapeTarget, scrape_fleet
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_into,
+    relabel_snapshot,
+    snapshot_total,
+)
+from repro.obs.trace import span
+from repro.pir.database import BlobDatabase
+
+# E9/E10-sized scans (2^13 x 4 KiB = 32 MiB per call): the metric ops
+# run cache-cold after each scan — their true production state — so the
+# scan must be production-sized too or the relative overhead doubles.
+DOMAIN_BITS = 13
+BLOB_BYTES = 4096
+# 16 scans between parent polls is still far *more* polling than
+# production (the parent polls per scrape, i.e. every few seconds of
+# scanning) — and long enough rounds (~25 ms) that scheduler noise on a
+# shared CI box stays small against the measured quantity.
+SCANS_PER_ROUND = 16
+ROUNDS = 5
+FLEET_SIZE = 4
+SCRAPE_ROUNDS = 3
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_fleet_obs.json"
+
+
+def _filled_db(domain_bits: int, seed: int = 0) -> BlobDatabase:
+    db = BlobDatabase(domain_bits, BLOB_BYTES)
+    rng = np.random.default_rng(seed)
+    for slot in rng.choice(db.n_slots, size=min(64, db.n_slots),
+                           replace=False):
+        db.set_slot(int(slot),
+                    bytes(rng.integers(0, 256, 512, dtype=np.uint8)))
+    return db
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_merge_overhead(domain_bits: int = DOMAIN_BITS,
+                           scans_per_round: int = SCANS_PER_ROUND,
+                           rounds: int = ROUNDS) -> dict:
+    """Raw scans vs the worker loop's full metrics path.
+
+    The instrumented loop is exactly what ``procpool._worker_main``
+    runs per scan: a span for timing, a histogram observe, a counter
+    inc — plus, once per round, the snapshot/relabel/merge the parent's
+    polling adds on top.
+    """
+    db = _filled_db(domain_bits)
+    rng = np.random.default_rng(1)
+    bits = rng.integers(0, 2, size=db.n_slots, dtype=np.uint8).astype(bool)
+
+    registry = MetricsRegistry()
+    hist = registry.histogram("procpool_scan_seconds",
+                              "seconds per shard scan")
+    scans = registry.counter("procpool_scans_total", "shard scans run")
+
+    def run_raw():
+        for _ in range(scans_per_round):
+            db.xor_scan(bits)
+
+    merged: dict = {}
+
+    def run_instrumented():
+        for _ in range(scans_per_round):
+            with span("procpool.shard_scan", op="scan") as sp:
+                db.xor_scan(bits)
+            hist.observe(sp.elapsed, op="scan")
+            scans.inc(op="scan")
+        # The parent-side poll: cumulative flush, worker relabel, merge.
+        merge_into(merged, relabel_snapshot(registry.snapshot(), worker=0))
+
+    # Interleave the two variants round by round (rather than timing
+    # all-raw then all-instrumented) so a transient load spike on a
+    # shared CI box hits both paths alike; best-of then needs only one
+    # quiet round apiece for a fair ratio.
+    raw_s = instrumented_s = float("inf")
+    for _ in range(rounds):
+        raw_s = min(raw_s, _best_of(run_raw, 1))
+        instrumented_s = min(instrumented_s, _best_of(run_instrumented, 1))
+    return {
+        "scan_mib": db.memory_bytes() / 2**20,
+        "scans_per_round": scans_per_round,
+        "raw_seconds": raw_s,
+        "instrumented_seconds": instrumented_s,
+        "overhead_instrumented": instrumented_s / raw_s - 1.0,
+    }
+
+
+def measure_fleet_scrape(fleet_size: int = FLEET_SIZE,
+                         rounds: int = SCRAPE_ROUNDS) -> dict:
+    """Stand up ``fleet_size`` stats sidecars and time a full scrape."""
+    from repro.core.zltp.sockets import StatsTcpServer
+
+    registry = MetricsRegistry()
+    registry.counter("procpool_scans_total", "shard scans run").inc(8.0)
+    snap = registry.snapshot()
+
+    sidecars = [
+        StatsTcpServer(lambda snap=snap: {"metrics": snap}, port=0)
+        for _ in range(fleet_size)
+    ]
+    targets = [
+        ScrapeTarget(server_id=f"bench/{i}", host=sidecar.address[0],
+                     port=sidecar.address[1])
+        for i, sidecar in enumerate(sidecars)
+    ]
+    try:
+        fleet = scrape_fleet(targets)  # warm-up + correctness probe
+        assert fleet.up_count == fleet_size
+        assert snapshot_total(fleet.merged, "procpool_scans_total") == \
+            8.0 * fleet_size
+        scrape_s = _best_of(lambda: scrape_fleet(targets), rounds)
+    finally:
+        for sidecar in sidecars:
+            sidecar.stop()
+    return {
+        "servers": fleet_size,
+        "scrape_seconds": scrape_s,
+        "scrape_seconds_per_server": scrape_s / fleet_size,
+    }
+
+
+def run() -> dict:
+    return {
+        "experiment": "E15 fleet observability (smoke, reduced sizes)",
+        "overhead": measure_merge_overhead(),
+        "fleet_scrape": measure_fleet_scrape(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+    data = run()
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    overhead = data["overhead"]["overhead_instrumented"]
+    if overhead >= 0.05:
+        print(f"OVERHEAD TOO HIGH: worker metrics path costs "
+              f"{overhead*100:.2f}% >= 5%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

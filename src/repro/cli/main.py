@@ -115,11 +115,62 @@ def build_parser() -> argparse.ArgumentParser:
                     "default, raw JSON with --json).",
     )
     stats.add_argument("--host", default="127.0.0.1")
-    stats.add_argument("--port", type=int, required=True,
-                       help="the deployment's stats port")
+    stats.add_argument("--port", type=int, default=None,
+                       help="the deployment's stats port (unnecessary "
+                            "with --directory)")
     stats.add_argument("--json", action="store_true",
                        help="print the JSON snapshot instead of text")
+    stats.add_argument("--directory", default=None, metavar="HOST:PORT",
+                       help="scrape every announced server's sidecar "
+                            "and print the merged fleet exposition "
+                            "instead of one server's")
+    stats.add_argument("--directory-secret", default=None,
+                       help="deployment secret for verifying announce "
+                            "records (must match the servers')")
+    stats.add_argument("--timeout", type=float, default=2.0,
+                       help="per-server scrape timeout in seconds "
+                            "(--directory mode)")
     stats.set_defaults(func=_cmd_stats)
+
+    top = sub.add_parser(
+        "top",
+        help="merged observability view of an announced fleet",
+        description="Resolve every server announced to a directory, "
+                    "scrape each stats sidecar concurrently, and render "
+                    "a per-server table plus fleet-merged totals. Dead "
+                    "sidecars show as DOWN rows; the scrape never fails "
+                    "because part of the fleet did.",
+    )
+    top.add_argument("--directory", required=True, metavar="HOST:PORT",
+                     help="the directory server the fleet announces to")
+    top.add_argument("--directory-secret", default=None,
+                     help="deployment secret for verifying announce "
+                          "records (must match the servers')")
+    top.add_argument("--timeout", type=float, default=2.0,
+                     help="per-server scrape timeout in seconds")
+    top.add_argument("--metrics", action="store_true",
+                     help="also print the merged Prometheus-style "
+                          "exposition after the table")
+    top.add_argument("--json", action="store_true",
+                     help="print the raw fleet snapshot as JSON")
+    top.set_defaults(func=_cmd_top)
+
+    trace = sub.add_parser(
+        "trace",
+        help="read a deployment's flight recorder",
+        description="Fetch /debug/traces.json from the stats sidecar "
+                    "and render the retained request trace trees: the "
+                    "recent ring plus the always-kept slow and errored "
+                    "exemplars.",
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, required=True,
+                       help="the deployment's stats port")
+    trace.add_argument("--timeout", type=float, default=10.0,
+                       help="fetch timeout in seconds")
+    trace.add_argument("--json", action="store_true",
+                       help="print the raw export instead of trees")
+    trace.set_defaults(func=_cmd_trace)
 
     directory = sub.add_parser(
         "directory",
@@ -195,6 +246,18 @@ def _cmd_stats(args) -> int:
     from repro.cli.stats import cmd_stats
 
     return cmd_stats(args)
+
+
+def _cmd_top(args) -> int:
+    from repro.cli.top import cmd_top
+
+    return cmd_top(args)
+
+
+def _cmd_trace(args) -> int:
+    from repro.cli.trace import cmd_trace
+
+    return cmd_trace(args)
 
 
 def _cmd_costs(args) -> int:

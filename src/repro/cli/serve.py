@@ -35,7 +35,7 @@ from repro.obs.logs import (
     configure_json_logging,
     get_logger,
 )
-from repro.obs.metrics import REGISTRY
+from repro.obs.metrics import REGISTRY, merge_snapshots
 
 _log = get_logger(__name__)
 
@@ -123,6 +123,11 @@ class RunningDeployment:
         the generation on every tick.
         """
         budget = self.cdn.universe(self.universe_name).fetch_budget
+        attrs: Dict[str, Any] = {"fetch_budget": budget}
+        if self.stats is not None:
+            # Fleet scrapers ("lightweb top") find the sidecar through
+            # the records — one port attribute, no extra configuration.
+            attrs["stats_port"] = self.stats.address[1]
         records: List[AnnounceRecord] = []
 
         def make(listener: Any, kind: str, party: int, role: str,
@@ -135,7 +140,7 @@ class RunningDeployment:
                 host=host, port=port, universe=self.universe_name,
                 kind=kind, party=party, modes=tuple(snap["modes"]),
                 prefix_bits=snap["prefix_bits"], cost=snap["cost"],
-                load=snap["load"], attrs={"fetch_budget": budget},
+                load=snap["load"], attrs=dict(attrs),
                 ttl_seconds=ttl_seconds,
             )
 
@@ -146,16 +151,58 @@ class RunningDeployment:
                 records.append(make(listener, kind, party, "replica", index))
         return records
 
+    def _logical_servers(self) -> List[Any]:
+        """Distinct logical servers behind the listeners (replicas share
+        them, so the set is deduplicated by identity)."""
+        seen: List[Any] = []
+        for listener in list(self.listeners.values()) + \
+                [l for group in self.replicas.values() for l in group]:
+            server = getattr(listener, "server", None)
+            if server is not None and all(server is not s for s in seen):
+                seen.append(server)
+        return seen
+
     def stats_snapshot(self) -> Dict[str, Any]:
-        """Deployment-wide serving counters plus the metrics registry."""
+        """Deployment-wide serving counters plus the merged metrics
+        snapshot (process registry folded with any scan-pool workers the
+        logical servers drive)."""
         merged = self.cdn.stats_by_mode(self.universe_name)
+        metrics = merge_snapshots(
+            [REGISTRY.snapshot()] +
+            [snap for snap in (server.executor_metrics()
+                               for server in self._logical_servers())
+             if snap])
         return {
             "universe": self.universe_name,
-            "gets_served": self.cdn.gets_by_universe.get(self.universe_name, 0),
+            "sessions_opened": sum(server.sessions_opened
+                                   for server in self._logical_servers()),
+            "gets_served": self.cdn.total_gets(self.universe_name),
             "modes": {mode: stats.as_dict()
                       for mode, stats in sorted(merged.items())},
-            "metrics": REGISTRY.as_dict(),
+            "metrics": metrics,
         }
+
+    def traces_snapshot(self) -> Dict[str, Any]:
+        """Every logical server's flight-recorder export, concatenated.
+
+        Same schema as :meth:`~repro.obs.flight.FlightRecorder.export`
+        (counters summed, rings concatenated in listener order), so the
+        ``lightweb trace`` renderer treats a deployment exactly like a
+        single server.
+        """
+        counters = {"recorded": 0, "slow_kept": 0, "errors_kept": 0}
+        rings: Dict[str, List[Any]] = {"recent": [], "slow": [], "errored": []}
+        threshold = None
+        for server in self._logical_servers():
+            export = server.flight.export()
+            if threshold is None:
+                threshold = export.get("slow_threshold_seconds")
+            for key in counters:
+                counters[key] += export.get("counters", {}).get(key, 0)
+            for key in rings:
+                rings[key].extend(export.get(key, []))
+        return {"slow_threshold_seconds": threshold,
+                "counters": counters, **rings}
 
     def stop(self) -> None:
         """Stop the announcer (withdrawing its records), the stats
@@ -257,7 +304,8 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
                                    listeners=listeners, replicas=replica_map)
     if stats_port is not None:
         deployment.stats = StatsTcpServer(deployment.stats_snapshot,
-                                          host=host, port=stats_port)
+                                          host=host, port=stats_port,
+                                          traces=deployment.traces_snapshot)
     return deployment
 
 

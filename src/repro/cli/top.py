@@ -1,0 +1,69 @@
+"""``lightweb top`` — one merged observability view of the whole fleet.
+
+Resolves every announced server from a directory (``lightweb
+directory``), scrapes each endpoint's stats sidecar concurrently, and
+renders a per-server table plus the fleet-merged metrics snapshot.
+Dead sidecars render as ``DOWN`` rows; the scrape itself never fails
+because part of the fleet did.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.cli.console import emit
+from repro.core.discovery import DEFAULT_SECRET, DirectoryClient
+from repro.errors import DiscoveryError, TransportError
+from repro.obs.fleet import (
+    FleetSnapshot,
+    render_fleet,
+    scrape_fleet,
+    targets_from_records,
+)
+
+
+def directory_fleet_snapshot(directory: str,
+                             secret: Optional[str] = None,
+                             timeout: Optional[float] = 2.0
+                             ) -> FleetSnapshot:
+    """Resolve the announced fleet and scrape every stats sidecar.
+
+    Args:
+        directory: the directory server, as ``HOST:PORT``.
+        secret: deployment secret verifying the announce records
+            (default: the dev secret).
+        timeout: per-server scrape timeout in seconds.
+
+    Raises:
+        ValueError: ``directory`` is not ``HOST:PORT``.
+        TransportError: the directory itself is unreachable.
+        DiscoveryError: a record fails signature verification.
+    """
+    from repro.cli.serve import parse_hostport
+
+    host, port = parse_hostport(directory, what="--directory")
+    client = DirectoryClient(
+        host, port,
+        secret=secret.encode() if secret else DEFAULT_SECRET)
+    records = client.records()
+    return scrape_fleet(targets_from_records(records), timeout=timeout)
+
+
+def cmd_top(args) -> int:
+    """Entry point for ``lightweb top``."""
+    try:
+        fleet = directory_fleet_snapshot(
+            args.directory, secret=args.directory_secret,
+            timeout=args.timeout)
+    except (TransportError, DiscoveryError, ValueError) as exc:
+        emit(f"top error: {exc}")
+        return 1
+    if args.json:
+        emit(json.dumps(fleet.as_dict(), indent=2))
+        return 0
+    emit(render_fleet(fleet, metrics_text=args.metrics))
+    return 0
+
+
+__all__ = ["directory_fleet_snapshot", "cmd_top"]

@@ -1,0 +1,89 @@
+"""``lightweb trace`` — read a deployment's flight recorder.
+
+Fetches ``/debug/traces.json`` from the stats sidecar (``lightweb
+serve --stats-port``) and renders the retained request trace trees:
+the recent ring plus the always-kept slow and errored exemplars. Spans
+carry only fixed operation names, fixed-key attributes, and timings —
+never request contents — so the flight recorder is safe to leave on
+in production (see DESIGN.md, Observability).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.cli.console import emit
+from repro.errors import TransportError
+from repro.obs.fleet import http_get
+
+
+def fetch_traces(host: str, port: int,
+                 timeout: float = 10.0) -> Dict[str, Any]:
+    """GET ``/debug/traces.json`` and return the decoded export.
+
+    Raises:
+        TransportError: on connection failure, a non-200 status (a
+            sidecar without a flight recorder answers 404), or a
+            non-JSON body.
+    """
+    body = http_get(host, port, "/debug/traces.json", timeout=timeout)
+    try:
+        export = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise TransportError(
+            f"{host}:{port}/debug/traces.json returned invalid JSON: "
+            f"{exc}") from exc
+    if not isinstance(export, dict):
+        raise TransportError(
+            f"{host}:{port}/debug/traces.json returned a non-object")
+    return export
+
+
+def render_span(node: Dict[str, Any], depth: int = 0) -> List[str]:
+    """One span tree as indented lines, millisecond timings."""
+    attrs = node.get("attrs") or {}
+    attr_text = "".join(f" {key}={attrs[key]}" for key in sorted(attrs))
+    lines = [f"{'  ' * depth}{node.get('name', '?')} "
+             f"{node.get('wall_seconds', 0.0) * 1e3:.3f} ms{attr_text}"]
+    for child in node.get("children") or []:
+        lines.extend(render_span(child, depth + 1))
+    return lines
+
+
+def render_traces(export: Dict[str, Any]) -> str:
+    """Human-readable flight-recorder dump: counters, then each ring."""
+    counters = export.get("counters") or {}
+    lines = [
+        f"flight recorder: {counters.get('recorded', 0)} recorded, "
+        f"{counters.get('slow_kept', 0)} slow kept, "
+        f"{counters.get('errors_kept', 0)} errored kept "
+        f"(slow >= {export.get('slow_threshold_seconds', 0.0) * 1e3:.0f} ms)"
+    ]
+    for ring in ("errored", "slow", "recent"):
+        roots = export.get(ring) or []
+        lines.append("")
+        lines.append(f"# {ring} ({len(roots)})")
+        if not roots:
+            lines.append("(empty)")
+            continue
+        for root in roots:
+            lines.extend(render_span(root))
+    return "\n".join(lines)
+
+
+def cmd_trace(args) -> int:
+    """Entry point for ``lightweb trace``."""
+    try:
+        export = fetch_traces(args.host, args.port, timeout=args.timeout)
+    except TransportError as exc:
+        emit(f"trace error: {exc}")
+        return 1
+    if args.json:
+        emit(json.dumps(export, indent=2))
+        return 0
+    emit(render_traces(export))
+    return 0
+
+
+__all__ = ["fetch_traces", "render_span", "render_traces", "cmd_trace"]

@@ -279,14 +279,18 @@ class CapabilityQuery:
 def rank_records(records: Sequence[AnnounceRecord]) -> List[AnnounceRecord]:
     """Least-loaded first, deterministic tie-break on server id.
 
-    Load is the announced aggregate (live sessions, then cumulative
-    scan seconds) — public counters, refreshed on every re-announce, so
-    a hot server drifts to the back of every pool built after its next
-    announce.
+    Load is the announced aggregate (live sessions, then cumulative CPU
+    time) — public counters, refreshed on every re-announce, so a hot
+    server drifts to the back of every pool built after its next
+    announce. CPU time counts both the parent process's scan seconds and
+    ``worker_busy_seconds`` burned inside its scan-pool workers: a
+    multiprocess server's load lives mostly in its workers, and ranking
+    only the parent's share would make the busiest machines look idle.
     """
     return sorted(records, key=lambda r: (
         r.load.get("sessions_active", 0.0),
-        r.load.get("scan_seconds", 0.0),
+        r.load.get("scan_seconds", 0.0) +
+        r.load.get("worker_busy_seconds", 0.0),
         r.server_id,
     ))
 
@@ -446,6 +450,13 @@ class DirectoryServer:
         if op == "withdraw":
             found = self.directory.withdraw(str(request.get("server_id", "")))
             return {"ok": True, "found": found}
+        if op == "records":
+            # Fleet tooling ("lightweb top") wants every live endpoint,
+            # unfiltered — the same public metadata resolve serves, just
+            # without a capability query.
+            return {"ok": True,
+                    "records": [record.to_dict()
+                                for record in self.directory.records()]}
         raise DiscoveryError(f"unknown directory op {op!r}")
 
     def stop(self, timeout: float = 5.0) -> None:
@@ -537,6 +548,18 @@ class DirectoryClient:
     def resolve(self, query: CapabilityQuery) -> List[AnnounceRecord]:
         """Matching records, signature-verified locally, ranked."""
         reply = self._request({"op": "resolve", "query": query.to_dict()})
+        return rank_records(self._verified(reply))
+
+    def records(self) -> List[AnnounceRecord]:
+        """Every live record, signature-verified locally, ranked.
+
+        The fleet-scraping entry point: ``lightweb top`` asks for the
+        whole directory and scrapes each endpoint's stats sidecar.
+        """
+        reply = self._request({"op": "records"})
+        return rank_records(self._verified(reply))
+
+    def _verified(self, reply: Dict[str, Any]) -> List[AnnounceRecord]:
         records = []
         for data in reply.get("records", []):
             record = AnnounceRecord.from_dict(data)
@@ -545,7 +568,7 @@ class DirectoryClient:
                     f"directory returned a forged record for "
                     f"{record.server_id!r}")
             records.append(record)
-        return rank_records(records)
+        return records
 
 
 class CachingResolver:

@@ -53,7 +53,6 @@ from repro.core.zltp.wire import FrameDecoder, encode_frame
 from repro.errors import TransportError
 from repro.obs.logs import get_logger
 from repro.obs.metrics import (
-    REGISTRY,
     record_active_sessions,
     record_truncated_frame,
 )
@@ -139,7 +138,8 @@ class ZltpEventLoopServer:
         self.stats: Optional[StatsTcpServer] = None
         if stats_port is not None:
             self.stats = StatsTcpServer(self.stats_snapshot, host=host,
-                                        port=stats_port)
+                                        port=stats_port,
+                                        traces=server.flight.export)
         self._thread = threading.Thread(target=self._react_loop, daemon=True,
                                         name="zltp-reactor")
         self._thread.start()
@@ -164,7 +164,9 @@ class ZltpEventLoopServer:
         return 1 if self._thread.is_alive() else 0
 
     def stats_snapshot(self) -> Dict[str, Any]:
-        """JSON-ready serving counters plus the process metrics registry."""
+        """JSON-ready serving counters plus the merged metrics snapshot
+        (process registry + scan-pool workers, as in the threaded
+        server)."""
         return {
             "sessions_opened": self.server.sessions_opened,
             "gets_served": self.server.gets_served,
@@ -172,7 +174,7 @@ class ZltpEventLoopServer:
                 mode: stats.as_dict()
                 for mode, stats in sorted(self.server.stats_by_mode().items())
             },
-            "metrics": REGISTRY.as_dict(),
+            "metrics": self.server.metrics_snapshot(),
         }
 
     def stop(self, timeout: float = 5.0) -> None:

@@ -39,7 +39,13 @@ from repro.core.zltp import messages as msg
 from repro.core.zltp.transport import Transport
 from repro.crypto.lwe import LweParams
 from repro.errors import NegotiationError, ProtocolError, ReproError
-from repro.obs.metrics import record_request_stats
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import (
+    REGISTRY,
+    merge_snapshots,
+    record_request_stats,
+    snapshot_total,
+)
 from repro.obs.trace import span
 from repro.pir.database import BlobDatabase
 
@@ -67,6 +73,9 @@ class ZltpServer:
         options: free-form per-backend server options, passed through to
             every mode's ``from_context`` (e.g. ``prefix_bits`` to serve
             pir2 through a sharded front-end).
+        flight: the always-on :class:`~repro.obs.flight.FlightRecorder`
+            that retains recent/slow/errored request trace trees (pass
+            one to tune capacities or the slow threshold).
     """
 
     def __init__(
@@ -80,6 +89,7 @@ class ZltpServer:
         rng: Optional[np.random.Generator] = None,
         executor: Optional[Any] = None,
         options: Optional[Dict[str, Any]] = None,
+        flight: Optional[FlightRecorder] = None,
     ):
         self.database = database
         offered = list(modes) if modes is not None \
@@ -91,6 +101,7 @@ class ZltpServer:
         self.salt = salt
         self.probes = probes
         self.executor = executor
+        self.flight = flight if flight is not None else FlightRecorder()
         self._lwe_params = lwe_params
         self._rng = rng
         self._options: Dict[str, Any] = dict(options or {})
@@ -154,17 +165,46 @@ class ZltpServer:
             queries = sum(s.queries for s in self._stats_by_mode.values())
             scan_seconds = sum(s.scan_seconds
                                for s in self._stats_by_mode.values())
+        load = {
+            "sessions_active": float(active),
+            "queries": float(queries),
+            "scan_seconds": float(scan_seconds),
+        }
+        worker_snap = self.executor_metrics()
+        if worker_snap is not None:
+            # CPU time burned inside pool workers — the part of this
+            # machine's load the parent-process counters cannot see.
+            load["worker_busy_seconds"] = snapshot_total(
+                worker_snap, "procpool_scan_seconds", field="sum")
         return {
             "modes": list(self.modes),
             "party": self.party,
             "prefix_bits": int(self._options.get("prefix_bits", 0)),
             "cost": backend_registry.capability_metadata(self.modes),
-            "load": {
-                "sessions_active": float(active),
-                "queries": float(queries),
-                "scan_seconds": float(scan_seconds),
-            },
+            "load": load,
         }
+
+    def executor_metrics(self) -> Optional[Dict[str, Any]]:
+        """The attached executor's worker-registry snapshot, if it has one."""
+        if self.executor is None:
+            return None
+        snapshot = getattr(self.executor, "metrics_snapshot", None)
+        if snapshot is None:
+            return None
+        return snapshot()
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The process registry merged with the executor's worker metrics.
+
+        This is what the stats sidecar exposes: one snapshot in which
+        ``procpool_scan_seconds{worker=...}`` from every scan process
+        sits next to the parent's own counters, all in the mergeable
+        format :func:`~repro.obs.metrics.merge_into` understands.
+        """
+        worker_snap = self.executor_metrics()
+        if worker_snap is None:
+            return merge_snapshots([REGISTRY.snapshot()])
+        return merge_snapshots([REGISTRY.snapshot(), worker_snap])
 
     def record_stats(self, mode: str, delta: RequestStats) -> None:
         """Fold one session's answer-call delta into the per-mode totals.
@@ -336,13 +376,15 @@ class ZltpServerSession:
         batch, pending[:] = list(pending), []
         delta = RequestStats()
         try:
-            with span("zltp.session.get_batch", mode=self._mode_name,
-                      batch=len(batch)) as sp:
-                answers = timed_answer_batch(
-                    self._mode, [g.payload for g in batch], delta
-                )
-                sp.annotate(queries=delta.queries, bytes_up=delta.bytes_up,
-                            bytes_down=delta.bytes_down)
+            with self._server.flight.capture():
+                with span("zltp.session.get_batch", mode=self._mode_name,
+                          batch=len(batch)) as sp:
+                    answers = timed_answer_batch(
+                        self._mode, [g.payload for g in batch], delta
+                    )
+                    sp.annotate(queries=delta.queries,
+                                bytes_up=delta.bytes_up,
+                                bytes_down=delta.bytes_down)
         except ReproError as exc:
             self._mark_closed()
             return [msg.encode_message(msg.ErrorMessage("protocol", str(exc)))]
@@ -384,10 +426,12 @@ class ZltpServerSession:
             return [msg.SetupResponse(params=self._mode.setup())]
         if isinstance(message, msg.GetRequest):
             delta = RequestStats()
-            with span("zltp.session.get", mode=self._mode_name) as sp:
-                answer = timed_answer(self._mode, message.payload, delta)
-                sp.annotate(queries=delta.queries, bytes_up=delta.bytes_up,
-                            bytes_down=delta.bytes_down)
+            with self._server.flight.capture():
+                with span("zltp.session.get", mode=self._mode_name) as sp:
+                    answer = timed_answer(self._mode, message.payload, delta)
+                    sp.annotate(queries=delta.queries,
+                                bytes_up=delta.bytes_up,
+                                bytes_down=delta.bytes_down)
             self._account(delta)
             return [msg.GetResponse(request_id=message.request_id, payload=answer)]
         raise ProtocolError(f"unexpected {type(message).__name__} in ready state")

@@ -28,7 +28,11 @@ from repro.core.zltp.server import ZltpServer
 from repro.core.zltp.wire import FrameDecoder, encode_frame
 from repro.errors import TransportError
 from repro.obs.logs import get_logger
-from repro.obs.metrics import REGISTRY, record_truncated_frame
+from repro.obs.metrics import (
+    REGISTRY,
+    record_truncated_frame,
+    render_snapshot_text,
+)
 
 _RECV_CHUNK = 65536
 
@@ -138,7 +142,9 @@ class StatsTcpServer:
     connection.
 
     ``GET /metrics.json`` (or any path ending in ``.json``) returns the
-    snapshot as JSON; every other path returns the Prometheus-style text
+    snapshot as JSON; ``GET /debug/traces.json`` returns the flight
+    recorder's retained trace trees (when a ``traces`` callable was
+    given); every other path returns the Prometheus-style text
     exposition. The payload comes from a caller-supplied zero-argument
     ``snapshot`` callable, so the same sidecar fronts a single
     :class:`ZltpServer` or a whole deployment aggregate.
@@ -149,8 +155,10 @@ class StatsTcpServer:
     """
 
     def __init__(self, snapshot: Callable[[], Dict[str, Any]],
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 traces: Optional[Callable[[], Dict[str, Any]]] = None):
         self._snapshot = snapshot
+        self._traces = traces
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -202,7 +210,15 @@ class StatsTcpServer:
         path = path.split("?", 1)[0]
         status = "200 OK"
         try:
-            if path.endswith(".json"):
+            if path == "/debug/traces.json":
+                if self._traces is None:
+                    status = "404 Not Found"
+                    body = b"no flight recorder attached\n"
+                    ctype = "text/plain; charset=utf-8"
+                else:
+                    body = json.dumps(self._traces(), indent=2).encode()
+                    ctype = "application/json"
+            elif path.endswith(".json"):
                 body = json.dumps(self._snapshot(), indent=2).encode()
                 ctype = "application/json"
             else:
@@ -232,7 +248,15 @@ class StatsTcpServer:
             if key == "metrics":
                 continue
             lines.append(f"# {key}: {json.dumps(value)}")
-        text = REGISTRY.render_text()
+        # Render the snapshot's own metrics — which may be a merged view
+        # (parent registry + pool workers) the live REGISTRY never saw —
+        # falling back to the process registry for snapshot callables
+        # that carry no metrics key.
+        metrics = snap.get("metrics")
+        if metrics is not None:
+            text = render_snapshot_text(metrics)
+        else:
+            text = REGISTRY.render_text()
         return "\n".join(lines) + ("\n" if lines else "") + text
 
     def stop(self, timeout: float = 5.0) -> None:
@@ -286,7 +310,8 @@ class ZltpTcpServer:
         self.stats: Optional[StatsTcpServer] = None
         if stats_port is not None:
             self.stats = StatsTcpServer(self.stats_snapshot, host=host,
-                                        port=stats_port)
+                                        port=stats_port,
+                                        traces=server.flight.export)
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
         _log.info("zltp endpoint listening", extra={
@@ -294,7 +319,13 @@ class ZltpTcpServer:
             "modes": list(server.modes)})
 
     def stats_snapshot(self) -> Dict[str, Any]:
-        """JSON-ready serving counters plus the process metrics registry."""
+        """JSON-ready serving counters plus the merged metrics snapshot.
+
+        The ``metrics`` key is :meth:`ZltpServer.metrics_snapshot` — the
+        process registry folded together with the scan pool workers'
+        registries, in the mergeable cross-process format — so a scrape
+        of this endpoint sees every core's work, not just the parent's.
+        """
         return {
             "sessions_opened": self.server.sessions_opened,
             "gets_served": self.server.gets_served,
@@ -302,7 +333,7 @@ class ZltpTcpServer:
                 mode: stats.as_dict()
                 for mode, stats in sorted(self.server.stats_by_mode().items())
             },
-            "metrics": REGISTRY.as_dict(),
+            "metrics": self.server.metrics_snapshot(),
         }
 
     @property

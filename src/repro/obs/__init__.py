@@ -7,6 +7,10 @@ Three pieces, one discipline:
 * :mod:`repro.obs.metrics` — counters/gauges/fixed-bucket histograms in
   a process-wide :data:`REGISTRY`, exposed by ``lightweb stats``.
 * :mod:`repro.obs.logs` — module loggers and JSON-lines log output.
+* :mod:`repro.obs.flight` — bounded flight recorder of completed request
+  trace trees, served at ``/debug/traces.json``.
+* :mod:`repro.obs.fleet` — directory-driven fleet scraping behind
+  ``lightweb top``.
 
 The discipline: telemetry is an observable channel, so nothing
 secret-tainted may flow into a span attribute, metric label/value, or
@@ -14,6 +18,10 @@ log field. The ``telemetry-leak`` rule in :mod:`repro.analysis`
 enforces this statically as part of the tier-1 lint gate.
 """
 
+from repro.obs.flight import (
+    DEFAULT_SLOW_SECONDS,
+    FlightRecorder,
+)
 from repro.obs.logs import (
     configure_console_logging,
     configure_json_logging,
@@ -26,11 +34,16 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_into,
+    merge_snapshots,
     record_failover,
     record_fanout,
     record_reconnect,
     record_request_stats,
     record_retry,
+    relabel_snapshot,
+    render_snapshot_text,
+    snapshot_total,
 )
 from repro.obs.trace import (
     Span,
@@ -38,6 +51,7 @@ from repro.obs.trace import (
     Tracer,
     current_span,
     span,
+    tracer_active,
     tracing,
     use_span,
 )
@@ -50,12 +64,20 @@ __all__ = [
     "Span",
     "SpanHandle",
     "Tracer",
+    "tracer_active",
+    "FlightRecorder",
+    "DEFAULT_SLOW_SECONDS",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "REGISTRY",
     "DEFAULT_SECONDS_BUCKETS",
+    "merge_into",
+    "merge_snapshots",
+    "relabel_snapshot",
+    "render_snapshot_text",
+    "snapshot_total",
     "record_request_stats",
     "record_fanout",
     "record_retry",

@@ -1,0 +1,300 @@
+"""Fleet scraping: one merged metrics view of every announced server.
+
+The directory (PR 8) knows every live endpoint; each endpoint's stats
+sidecar serves a mergeable metrics snapshot (``/metrics.json``). This
+module closes the loop: resolve the fleet, scrape every sidecar
+concurrently with per-server timeouts, and fold the snapshots into one
+fleet view with :func:`~repro.obs.metrics.merge_into` — the exact code
+path the parent process already uses to fold its scan workers in, one
+layer down.
+
+Unreachable servers are first-class results, not exceptions: a fleet
+scrape returns a ``DOWN`` row for a dead sidecar and merges whatever the
+rest answered. Observability of a fleet must not have the fleet's
+availability as a prerequisite.
+
+Zero-leakage note: everything scraped here is what the sidecars already
+expose — aggregate counters and fixed-bucket histograms under a-priori
+label sets, plus the fixed ``server=<id>`` relabel stamped at merge
+time. Server ids and stats ports are deployment topology from announce
+records, the same public control-plane metadata clients resolve against.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import TransportError
+from repro.obs.metrics import (
+    merge_into,
+    relabel_snapshot,
+    render_snapshot_text,
+    snapshot_total,
+)
+
+_RECV_CHUNK = 65536
+
+#: Announce-record attribute naming the endpoint's stats sidecar port.
+STATS_PORT_ATTR = "stats_port"
+
+
+def http_get(host: str, port: int, path: str,
+             timeout: Optional[float] = 10.0) -> str:
+    """GET one path from a stats sidecar; return the response body.
+
+    Speaks exactly the HTTP/1.0 subset :class:`~repro.core.zltp.sockets.
+    StatsTcpServer` serves. The status line is parsed and enforced — a
+    sidecar's 500 (a raising snapshot) must surface as an error, never
+    be mistaken for a valid exposition.
+
+    Raises:
+        TransportError: on connection failure, a malformed response, or
+            a non-200 status.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            sock.sendall(
+                f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+            )
+            data = b""
+            while True:
+                chunk = sock.recv(_RECV_CHUNK)
+                if not chunk:
+                    break
+                data += chunk
+    except OSError as exc:
+        raise TransportError(
+            f"could not fetch {path} from {host}:{port}: {exc}") from exc
+    head, sep, body = data.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1", errors="replace")
+    parts = status_line.split()
+    if not sep or len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise TransportError(
+            f"malformed response from {host}:{port}: {status_line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise TransportError(
+            f"malformed status line from {host}:{port}: "
+            f"{status_line!r}") from exc
+    if status != 200:
+        raise TransportError(
+            f"{host}:{port}{path} answered {status_line.split(' ', 1)[1]}")
+    return body.decode("utf-8", errors="replace")
+
+
+@dataclass(frozen=True)
+class ScrapeTarget:
+    """One stats sidecar to scrape.
+
+    Attributes:
+        server_id: display identity (one sidecar may front several
+            logical listeners; the first announced id names it).
+        host / port: where the sidecar listens.
+        listeners: every announced server id sharing this sidecar.
+    """
+
+    server_id: str
+    host: str
+    port: int
+    listeners: tuple = ()
+
+
+def targets_from_records(records: Sequence[Any]) -> List[ScrapeTarget]:
+    """Scrape targets from announce records, one per distinct sidecar.
+
+    A deployment announces one record per listener (code/data × party)
+    but runs a single stats sidecar, so records sharing
+    ``attrs["stats_port"]`` on the same host collapse to one target.
+    Records without a stats port (a deployment run without
+    ``--stats-port``) are skipped — they have nothing to scrape.
+    """
+    by_addr: Dict[tuple, List[Any]] = {}
+    order: List[tuple] = []
+    for record in records:
+        port = record.attrs.get(STATS_PORT_ATTR)
+        if port is None:
+            continue
+        addr = (record.host, int(port))
+        if addr not in by_addr:
+            by_addr[addr] = []
+            order.append(addr)
+        by_addr[addr].append(record)
+    targets = []
+    for addr in order:
+        group = sorted(by_addr[addr], key=lambda r: r.server_id)
+        targets.append(ScrapeTarget(
+            server_id=group[0].server_id, host=addr[0], port=addr[1],
+            listeners=tuple(r.server_id for r in group)))
+    return targets
+
+
+@dataclass
+class ServerScrape:
+    """One target's scrape outcome: a stats snapshot, or why not.
+
+    Attributes:
+        target: the sidecar scraped.
+        stats: the decoded ``/metrics.json`` snapshot (None when down).
+        error: the failure description (None when up).
+    """
+
+    target: ScrapeTarget
+    stats: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def up(self) -> bool:
+        return self.stats is not None
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """The scrape's mergeable metrics snapshot ({} when down)."""
+        if self.stats is None:
+            return {}
+        metrics = self.stats.get("metrics")
+        return metrics if isinstance(metrics, dict) else {}
+
+
+@dataclass
+class FleetSnapshot:
+    """A whole fleet's scrape: per-server outcomes plus the merged view.
+
+    Attributes:
+        scrapes: one entry per target, in target order (``DOWN`` servers
+            included, with their error).
+        merged: every reachable server's metrics folded together, each
+            series stamped ``server=<id>`` before merging so the fleet
+            total still breaks down by origin.
+    """
+
+    scrapes: List[ServerScrape] = field(default_factory=list)
+    merged: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def up_count(self) -> int:
+        return sum(1 for scrape in self.scrapes if scrape.up)
+
+    @property
+    def down_count(self) -> int:
+        return len(self.scrapes) - self.up_count
+
+    def total(self, name: str, field_name: str = "value") -> float:
+        """Fleet-wide total of one merged metric (see
+        :func:`~repro.obs.metrics.snapshot_total`)."""
+        return snapshot_total(self.merged, name, field=field_name)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (what ``lightweb top --json`` prints)."""
+        return {
+            "servers": [
+                {
+                    "server_id": scrape.target.server_id,
+                    "host": scrape.target.host,
+                    "port": scrape.target.port,
+                    "listeners": list(scrape.target.listeners),
+                    "up": scrape.up,
+                    "error": scrape.error,
+                    "stats": scrape.stats,
+                }
+                for scrape in self.scrapes
+            ],
+            "merged": self.merged,
+        }
+
+
+def scrape_server(target: ScrapeTarget,
+                  timeout: Optional[float] = 2.0) -> ServerScrape:
+    """Scrape one sidecar; a failure becomes a ``DOWN`` result."""
+    try:
+        body = http_get(target.host, target.port, "/metrics.json",
+                        timeout=timeout)
+        stats = json.loads(body)
+        if not isinstance(stats, dict):
+            raise TransportError(
+                f"{target.host}:{target.port} returned non-object stats")
+    except (TransportError, json.JSONDecodeError) as exc:
+        return ServerScrape(target=target, error=str(exc))
+    return ServerScrape(target=target, stats=stats)
+
+
+def scrape_fleet(targets: Sequence[ScrapeTarget],
+                 timeout: Optional[float] = 2.0) -> FleetSnapshot:
+    """Scrape every target concurrently and merge what answered.
+
+    One thread per target (a fleet scrape is a handful of sockets, and
+    the per-server timeout must not serialise: a dead server costs one
+    timeout, not one per position in line).
+    """
+    fleet = FleetSnapshot()
+    if not targets:
+        return fleet
+    with ThreadPoolExecutor(max_workers=len(targets),
+                            thread_name_prefix="fleet-scrape") as pool:
+        fleet.scrapes = list(pool.map(
+            lambda target: scrape_server(target, timeout=timeout), targets))
+    for scrape in fleet.scrapes:
+        if scrape.up:
+            merge_into(fleet.merged,
+                       relabel_snapshot(scrape.metrics,
+                                        server=scrape.target.server_id))
+    return fleet
+
+
+def render_fleet(fleet: FleetSnapshot, metrics_text: bool = False) -> str:
+    """Human-readable fleet summary: per-server rows, then fleet totals.
+
+    Args:
+        fleet: the scrape to render.
+        metrics_text: also append the merged snapshot's full
+            Prometheus-style exposition.
+    """
+    lines: List[str] = []
+    header = (f"{'SERVER':<36} {'STATE':<6} {'SESSIONS':>8} "
+              f"{'GETS':>8} {'SCANS':>8} {'SCAN-S':>9}")
+    lines.append(header)
+    for scrape in fleet.scrapes:
+        target = scrape.target
+        label = f"{target.server_id} ({target.host}:{target.port})"
+        if not scrape.up:
+            lines.append(f"{label:<36} {'DOWN':<6} {'-':>8} {'-':>8} "
+                         f"{'-':>8} {'-':>9}  {scrape.error}")
+            continue
+        stats = scrape.stats or {}
+        metrics = scrape.metrics
+        scans = snapshot_total(metrics, "procpool_scans_total")
+        scan_s = snapshot_total(metrics, "procpool_scan_seconds",
+                                field="sum")
+        lines.append(
+            f"{label:<36} {'UP':<6} "
+            f"{stats.get('sessions_opened', 0):>8} "
+            f"{stats.get('gets_served', 0):>8} "
+            f"{scans:>8.0f} {scan_s:>9.3f}")
+    lines.append("")
+    lines.append(
+        f"fleet: {fleet.up_count} up, {fleet.down_count} down; "
+        f"worker scans {fleet.total('procpool_scans_total'):.0f}, "
+        f"worker scan seconds "
+        f"{fleet.total('procpool_scan_seconds', 'sum'):.3f}")
+    if metrics_text:
+        lines.append("")
+        lines.append(render_snapshot_text(fleet.merged).rstrip("\n"))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "STATS_PORT_ATTR",
+    "http_get",
+    "ScrapeTarget",
+    "targets_from_records",
+    "ServerScrape",
+    "FleetSnapshot",
+    "scrape_server",
+    "scrape_fleet",
+    "render_fleet",
+]

@@ -1,0 +1,138 @@
+"""Flight recorder: a bounded ring of completed request trace trees.
+
+Metrics answer "how is the fleet doing?"; the flight recorder answers
+"show me the last request that was *slow*" — without anyone having had a
+tracer attached in advance. Every served request is captured as a span
+tree (via :meth:`~repro.obs.trace.Tracer.activate_context`, the
+non-exclusive per-request collection path) and filed into three bounded
+rings:
+
+* ``recent`` — the last N requests, overwritten ring-style;
+* ``slow``  — exemplars over the configured latency threshold, kept even
+  as the recent ring churns (a p999 straggler survives the thousand fast
+  requests that follow it);
+* ``errored`` — exemplars whose tree carries an ``error`` attribute
+  (the span context manager stamps one on any exception).
+
+Zero-leakage argument (also in DESIGN.md): the recorder stores only what
+spans already carry, and the ``telemetry-leak`` analyzer rule guarantees
+span names and attributes are never secret-tainted — so a retained tree
+describes *where time went* (mode, shard count, batch size, byte totals
+of fixed-size payloads), never *what was fetched*. The retention rule
+itself keys on public values only: wall time against a fixed a-priori
+threshold, and the presence of an error — both observable to any on-path
+adversary anyway. Capacities and the threshold are fixed at construction
+(config, not data), so ring occupancy encodes nothing about content.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.trace import Span, Tracer, tracer_active
+
+#: Default "slow" threshold — a private GET is a full database scan, so
+#: hundreds of milliseconds is normal; over a quarter second is worth an
+#: exemplar. Public engineering knowledge, fixed a priori.
+DEFAULT_SLOW_SECONDS = 0.25
+
+
+def _tree_errored(node: Span) -> bool:
+    """Whether a span tree carries an ``error`` attribute anywhere."""
+    if "error" in node.attrs:
+        return True
+    return any(_tree_errored(child) for child in node.children)
+
+
+class FlightRecorder:
+    """Bounded retention of completed root-span trees.
+
+    Attributes:
+        capacity: size of the ``recent`` ring.
+        slow_threshold_seconds: root wall time at or above which a tree
+            is also kept as a slow exemplar.
+        exemplar_capacity: size of each of the ``slow``/``errored``
+            rings.
+        recorded / slow_kept / errors_kept: lifetime counters.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 slow_threshold_seconds: float = DEFAULT_SLOW_SECONDS,
+                 exemplar_capacity: int = 16):
+        self.capacity = int(capacity)
+        self.slow_threshold_seconds = float(slow_threshold_seconds)
+        self.exemplar_capacity = int(exemplar_capacity)
+        self._lock = threading.Lock()
+        self._recent: deque = deque(maxlen=self.capacity)  # guarded-by: _lock
+        self._slow: deque = deque(maxlen=self.exemplar_capacity)  # guarded-by: _lock
+        self._errored: deque = deque(maxlen=self.exemplar_capacity)  # guarded-by: _lock
+        self.recorded = 0  # guarded-by: _lock
+        self.slow_kept = 0  # guarded-by: _lock
+        self.errors_kept = 0  # guarded-by: _lock
+
+    def record(self, root: Span) -> None:
+        """File one completed root span tree into the rings."""
+        slow = root.wall_seconds >= self.slow_threshold_seconds
+        errored = _tree_errored(root)
+        with self._lock:
+            self._recent.append(root)
+            self.recorded += 1
+            if slow:
+                self._slow.append(root)
+                self.slow_kept += 1
+            if errored:
+                self._errored.append(root)
+                self.errors_kept += 1
+
+    @contextmanager
+    def capture(self) -> Iterator[Optional[Tracer]]:
+        """Collect every span closed inside the block as request trees.
+
+        Yields the per-request tracer, or None when a process-wide
+        tracer is active (debug tracing takes precedence; the capture
+        steps aside rather than stealing its spans). Trees are filed
+        even when the block raises — an errored request is exactly what
+        the ``errored`` ring is for.
+        """
+        if tracer_active():
+            yield None
+            return
+        tracer = Tracer()
+        try:
+            with tracer.activate_context():
+                yield tracer
+        finally:
+            for root in tracer.roots:
+                self.record(root)
+
+    def export(self) -> Dict[str, Any]:
+        """JSON-ready rings + counters (what ``/debug/traces.json`` serves)."""
+        with self._lock:
+            recent = [root.as_dict() for root in self._recent]
+            slow = [root.as_dict() for root in self._slow]
+            errored = [root.as_dict() for root in self._errored]
+            counters = {
+                "recorded": self.recorded,
+                "slow_kept": self.slow_kept,
+                "errors_kept": self.errors_kept,
+            }
+        return {
+            "slow_threshold_seconds": self.slow_threshold_seconds,
+            "capacity": self.capacity,
+            "exemplar_capacity": self.exemplar_capacity,
+            "counters": counters,
+            "recent": recent,
+            "slow": slow,
+            "errored": errored,
+        }
+
+    def recent_roots(self) -> List[Span]:
+        """The live recent ring, newest last (tests and tooling)."""
+        with self._lock:
+            return list(self._recent)
+
+
+__all__ = ["FlightRecorder", "DEFAULT_SLOW_SECONDS"]

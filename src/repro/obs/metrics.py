@@ -179,6 +179,30 @@ class Histogram:
             return {"counts": list(cell["counts"]),
                     "sum": cell["sum"], "count": cell["count"]}
 
+    def merge_cells(self, series: Sequence[Dict[str, Any]]) -> None:
+        """Add snapshot series cells into this histogram's live counts.
+
+        Callers must have validated the bucket layout against
+        :attr:`bounds`; cells whose count arrays disagree in length are
+        rejected here as a backstop.
+        """
+        for cell in series:
+            counts = cell["counts"]
+            if len(counts) != len(self.bounds) + 1:
+                raise ReproError(
+                    f"cannot merge histogram {self.name}: cell has "
+                    f"{len(counts)} buckets, expected {len(self.bounds) + 1}")
+            key = _label_key(dict(cell["labels"]))
+            with self._lock:
+                mine = self._series.get(key)
+                if mine is None:
+                    mine = {"counts": [0] * (len(self.bounds) + 1),
+                            "sum": 0.0, "count": 0}
+                    self._series[key] = mine
+                mine["counts"] = [a + b for a, b in zip(mine["counts"], counts)]
+                mine["sum"] += cell["sum"]
+                mine["count"] += cell["count"]
+
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
             series = [
@@ -215,6 +239,170 @@ class Histogram:
                 lines.append(
                     f"{self.name}_count{_render_labels(key)} {cell['count']}")
         return lines
+
+
+def _blank_series_cell(kind: str, buckets: Optional[List[float]]) -> Any:
+    if kind == "histogram":
+        return {"counts": [0] * (len(buckets or []) + 1), "sum": 0.0,
+                "count": 0}
+    return 0.0
+
+
+def merge_into(dst: Dict[str, Any], src: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold one registry snapshot into another, in place.
+
+    Snapshots are the JSON-ready form :meth:`MetricsRegistry.snapshot`
+    returns — the same dicts ``/metrics.json`` serves — so the parent
+    process merging worker snapshots and ``lightweb top`` merging fleet
+    scrapes run the exact same code. Semantics per kind:
+
+    * **counter / gauge**: per-label-set values are summed (a fleet
+      gauge like active sessions is an aggregate across servers, so the
+      sum *is* the fleet value).
+    * **histogram**: bucket-wise count sums plus ``sum``/``count`` sums.
+      Two histograms with different bucket layouts are rejected loudly
+      (:class:`~repro.errors.ReproError`) — silently realigning buckets
+      would fabricate a distribution nobody measured.
+
+    A metric present in only one snapshot is copied through; merging an
+    empty snapshot is the identity.
+
+    Raises:
+        ReproError: on a kind mismatch or a histogram bucket-layout
+            mismatch for the same metric name.
+    """
+    for name, metric in src.items():
+        into = dst.get(name)
+        if into is None:
+            dst[name] = {
+                "kind": metric["kind"],
+                "help": metric.get("help", ""),
+                **({"buckets": list(metric["buckets"])}
+                   if metric["kind"] == "histogram" else {}),
+                "series": [dict(cell, labels=dict(cell["labels"]))
+                           for cell in metric.get("series", [])],
+            }
+            continue
+        if into["kind"] != metric["kind"]:
+            raise ReproError(
+                f"cannot merge metric {name}: kind {metric['kind']} vs "
+                f"{into['kind']}")
+        if metric["kind"] == "histogram" and \
+                list(into.get("buckets", [])) != list(metric.get("buckets", [])):
+            raise ReproError(
+                f"cannot merge histogram {name}: bucket layouts differ "
+                f"({into.get('buckets')} vs {metric.get('buckets')})")
+        by_labels = {_label_key(cell["labels"]): cell
+                     for cell in into["series"]}
+        for cell in metric.get("series", []):
+            key = _label_key(cell["labels"])
+            mine = by_labels.get(key)
+            if mine is None:
+                mine = {"labels": dict(cell["labels"])}
+                if metric["kind"] == "histogram":
+                    mine.update(_blank_series_cell("histogram",
+                                                   metric.get("buckets")))
+                else:
+                    mine["value"] = 0.0
+                into["series"].append(mine)
+                by_labels[key] = mine
+            if metric["kind"] == "histogram":
+                if len(mine["counts"]) != len(cell["counts"]):
+                    raise ReproError(
+                        f"cannot merge histogram {name}: bucket counts "
+                        f"differ in length")
+                mine["counts"] = [a + b for a, b in zip(mine["counts"],
+                                                        cell["counts"])]
+                mine["sum"] += cell["sum"]
+                mine["count"] += cell["count"]
+            else:
+                mine["value"] += cell["value"]
+        into["series"].sort(key=lambda cell: _label_key(cell["labels"]))
+    return dst
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge registry snapshots into one (see :func:`merge_into`)."""
+    merged: Dict[str, Any] = {}
+    for snap in snapshots:
+        merge_into(merged, snap)
+    return merged
+
+
+def relabel_snapshot(snap: Dict[str, Any], **labels: Any) -> Dict[str, Any]:
+    """A copy of ``snap`` with fixed labels added to every series.
+
+    This is how cross-process aggregation stays attributable: the parent
+    stamps each worker's snapshot with ``worker=<index>`` (and a fleet
+    scraper could stamp ``server=<id>``) before merging, so the merged
+    view still breaks down by origin. Label *names* must come from a
+    fixed a-priori set (worker index, server id — deployment topology,
+    never request contents); the ``telemetry-leak`` rule applies to
+    relabels exactly as it does to ``inc``/``observe`` calls.
+    """
+    fixed = {k: str(v) for k, v in labels.items()}
+    out: Dict[str, Any] = {}
+    for name, metric in snap.items():
+        copied = {k: (list(v) if isinstance(v, list) else v)
+                  for k, v in metric.items() if k != "series"}
+        copied["series"] = [
+            dict(cell, labels={**dict(cell["labels"]), **fixed})
+            for cell in metric.get("series", [])
+        ]
+        out[name] = copied
+    return out
+
+
+def render_snapshot_text(snap: Dict[str, Any]) -> str:
+    """Prometheus-style text exposition of a snapshot dict.
+
+    The registry's own :meth:`MetricsRegistry.render_text` renders live
+    instruments; this renders the *snapshot* form, so merged views (a
+    parent registry plus worker snapshots, or a whole scraped fleet)
+    expose identically to a single process.
+    """
+    lines: List[str] = []
+    for name, metric in sorted(snap.items()):
+        lines.append(f"# HELP {name} {metric.get('help', '')}")
+        lines.append(f"# TYPE {name} {metric['kind']}")
+        series = sorted(metric.get("series", []),
+                        key=lambda cell: _label_key(cell["labels"]))
+        if metric["kind"] == "histogram":
+            bounds = metric.get("buckets", [])
+            for cell in series:
+                key = _label_key(cell["labels"])
+                cumulative = 0
+                for bound, n in zip(bounds, cell["counts"]):
+                    cumulative += n
+                    le = _render_labels(key, f'le="{bound:g}"')
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += cell["counts"][-1]
+                le = _render_labels(key, 'le="+Inf"')
+                lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(f"{name}_sum{_render_labels(key)} {cell['sum']:g}")
+                lines.append(
+                    f"{name}_count{_render_labels(key)} {cell['count']}")
+        else:
+            for cell in series:
+                labels = _render_labels(_label_key(cell["labels"]))
+                lines.append(f"{name}{labels} {cell['value']:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_total(snap: Dict[str, Any], name: str,
+                   field: str = "value") -> float:
+    """Sum one metric's series across every label set in a snapshot.
+
+    For counters/gauges ``field`` is ``"value"``; for histograms pass
+    ``"sum"`` (total observed seconds) or ``"count"`` (observations).
+    Missing metrics total 0.0 — load derivation must not fail on a
+    server that has not scanned yet.
+    """
+    metric = snap.get(name)
+    if metric is None:
+        return 0.0
+    return float(sum(cell.get(field, 0.0)
+                     for cell in metric.get("series", [])))
 
 
 class MetricsRegistry:
@@ -256,6 +444,52 @@ class MetricsRegistry:
         with self._lock:
             metrics = list(self._metrics.items())
         return {name: metric.as_dict() for name, metric in sorted(metrics)}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The registry's mergeable snapshot (see :func:`merge_into`).
+
+        Identical to :meth:`as_dict` — named separately because this is
+        the cross-process wire format: workers flush it over their
+        result pipe, parents merge it, and fleet scrapers merge whole
+        servers' worth of it.
+        """
+        return self.as_dict()
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        """Fold a snapshot's series into this registry's live instruments.
+
+        Counters/gauges are bumped by the snapshot's per-label-set
+        values; histograms get their bucket counts added cell-wise.
+        Mismatched kinds or bucket layouts are rejected loudly, exactly
+        like :func:`merge_into`.
+
+        Raises:
+            ReproError: on kind or bucket-layout mismatch.
+        """
+        for name, metric in snap.items():
+            kind = metric.get("kind")
+            if kind == "counter":
+                counter = self.counter(name, metric.get("help", ""))
+                for cell in metric.get("series", []):
+                    counter.inc(cell["value"], **dict(cell["labels"]))
+            elif kind == "gauge":
+                gauge = self.gauge(name, metric.get("help", ""))
+                for cell in metric.get("series", []):
+                    gauge.add(cell["value"], **dict(cell["labels"]))
+            elif kind == "histogram":
+                hist = self.histogram(name, metric.get("help", ""),
+                                      buckets=metric.get(
+                                          "buckets",
+                                          DEFAULT_SECONDS_BUCKETS))
+                if list(hist.bounds) != list(metric.get("buckets", [])):
+                    raise ReproError(
+                        f"cannot merge histogram {name}: bucket layouts "
+                        f"differ ({list(hist.bounds)} vs "
+                        f"{metric.get('buckets')})")
+                hist.merge_cells(metric.get("series", []))
+            else:
+                raise ReproError(
+                    f"cannot merge metric {name}: unknown kind {kind!r}")
 
     def render_text(self) -> str:
         """Prometheus-style text exposition of every registered metric."""
@@ -431,6 +665,11 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_SECONDS_BUCKETS",
+    "merge_into",
+    "merge_snapshots",
+    "relabel_snapshot",
+    "render_snapshot_text",
+    "snapshot_total",
     "record_request_stats",
     "record_fanout",
     "record_retry",

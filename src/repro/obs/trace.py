@@ -45,6 +45,13 @@ _current_span: ContextVar[Optional["Span"]] = ContextVar(
     "repro_obs_current_span", default=None
 )
 
+#: A per-execution-context tracer (the flight recorder's collection
+#: path). Unlike the process-wide tracer it is not exclusive: many
+#: requests can each carry their own context tracer concurrently.
+_context_tracer: ContextVar[Optional["Tracer"]] = ContextVar(
+    "repro_obs_context_tracer", default=None
+)
+
 _tracer_lock = threading.Lock()
 _active_tracer: Optional["Tracer"] = None  # guarded-by: _tracer_lock
 
@@ -151,6 +158,24 @@ class Tracer:
             with _tracer_lock:
                 _active_tracer = None
 
+    @contextmanager
+    def activate_context(self) -> Iterator["Tracer"]:
+        """Install this tracer for the current execution context only.
+
+        The non-exclusive sibling of :meth:`activate`: spans opened
+        while the context is entered attach here, without touching the
+        process-wide tracer slot — so many concurrent requests (the
+        flight recorder's per-request captures) can each collect their
+        own tree. A process-wide tracer, when one *is* active, takes
+        precedence in :func:`span`, so debug tracing sees every span
+        exactly as before.
+        """
+        token = _context_tracer.set(self)
+        try:
+            yield self
+        finally:
+            _context_tracer.reset(token)
+
     def export(self) -> List[Dict[str, Any]]:
         """The collected trees as JSON-ready dicts (roots in close order)."""
         with self._lock:
@@ -168,6 +193,16 @@ def tracing() -> Iterator[Tracer]:
     tracer = Tracer()
     with tracer.activate():
         yield tracer
+
+
+def tracer_active() -> bool:
+    """Whether a *process-wide* tracer is currently installed.
+
+    The flight recorder checks this before starting a per-request
+    capture: when someone is globally tracing, captures step aside so
+    the debug session's trees stay complete.
+    """
+    return _active_tracer is not None
 
 
 def current_span() -> Optional[Span]:
@@ -211,7 +246,12 @@ def span(name: str, **attrs: Any) -> Iterator[SpanHandle]:
     # Racy read by design: activation is rare, the hot path must not
     # take a lock per span. A span that misses a just-installed tracer
     # simply goes unrecorded; its timing is still returned to the caller.
+    # The process-wide tracer wins over a context tracer so an active
+    # debugging session sees every span; the context tracer (flight
+    # recorder captures) only collects when nobody is globally tracing.
     tracer = _active_tracer
+    if tracer is None:
+        tracer = _context_tracer.get()
     if tracer is None:
         handle = SpanHandle(name, None)
         t0 = time.perf_counter()
@@ -244,5 +284,6 @@ __all__ = [
     "tracing",
     "span",
     "current_span",
+    "tracer_active",
     "use_span",
 ]

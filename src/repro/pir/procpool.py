@@ -38,16 +38,21 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
-import time
 from multiprocessing import shared_memory
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.backend import current_request_stats
 from repro.errors import CryptoError, ReproError
 from repro.obs.logs import get_logger
-from repro.obs.metrics import record_fanout, record_retry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_into,
+    record_fanout,
+    record_retry,
+    relabel_snapshot,
+)
 from repro.obs.trace import span
 from repro.pir.database import BlobDatabase
 from repro.pir.engine import (
@@ -72,6 +77,26 @@ def _preferred_start_method() -> str:
 # ----------------------------------------------------------------------
 
 
+def _worker_registry() -> Tuple[MetricsRegistry, Any, Any]:
+    """A scan worker's local registry plus its two instruments.
+
+    Workers cannot write to the parent's process-wide ``REGISTRY`` (it
+    lives across a process boundary), so each keeps a cumulative local
+    registry and ships :meth:`MetricsRegistry.snapshot` back over the
+    command pipe — on demand (``("metrics",)``) and as a final flush on
+    ``("exit",)``. Label sets are fixed a priori (``op`` is one of two
+    protocol constants), per the zero-leakage discipline.
+    """
+    registry = MetricsRegistry()
+    scan_seconds = registry.histogram(
+        "procpool_scan_seconds",
+        "Shard scan latency inside pool workers, by protocol op.")
+    scans_total = registry.counter(
+        "procpool_scans_total",
+        "Shard scan commands completed by pool workers, by protocol op.")
+    return registry, scan_seconds, scans_total
+
+
 def _worker_main(conn) -> None:
     """Scan-worker loop: attach shared shards, answer scan commands.
 
@@ -82,12 +107,15 @@ def _worker_main(conn) -> None:
     - ``("scan_batch", key, matrix_bytes, batch)`` →
       ``("ok", [shares], busy_seconds)``
     - ``("ping",)`` → ``("ok", None, 0.0)``
-    - ``("exit",)``
+    - ``("metrics",)`` → ``("ok", registry_snapshot, 0.0)``
+    - ``("exit",)`` → ``("ok", registry_snapshot, 0.0)`` (final flush),
+      then the loop ends.
 
     Failures inside a scan come back as ``("err", repr)`` so the parent
     can run the repair/retry path without losing the worker.
     """
     attached: Dict[str, Tuple[shared_memory.SharedMemory, BlobDatabase]] = {}
+    registry, scan_seconds, scans_total = _worker_registry()
     try:
         while True:
             try:
@@ -96,9 +124,16 @@ def _worker_main(conn) -> None:
                 break
             op = command[0]
             if op == "exit":
+                try:
+                    conn.send(("ok", registry.snapshot(), 0.0))
+                except (BrokenPipeError, OSError):
+                    pass
                 break
             if op == "ping":
                 conn.send(("ok", None, 0.0))
+                continue
+            if op == "metrics":
+                conn.send(("ok", registry.snapshot(), 0.0))
                 continue
             try:
                 if op == "attach":
@@ -129,18 +164,22 @@ def _worker_main(conn) -> None:
                     _, key, select_bytes = command
                     _shm, db = attached[key]
                     bits = np.frombuffer(select_bytes, dtype=np.uint8)
-                    t0 = time.perf_counter()
-                    share = db.xor_scan(bits)
-                    conn.send(("ok", share, time.perf_counter() - t0))
+                    with span("procpool.shard_scan", op="scan") as sp:
+                        share = db.xor_scan(bits)
+                    scan_seconds.observe(sp.elapsed, op="scan")
+                    scans_total.inc(op="scan")
+                    conn.send(("ok", share, sp.elapsed))
                 elif op == "scan_batch":
                     _, key, matrix_bytes, batch = command
                     _shm, db = attached[key]
                     matrix = np.frombuffer(
                         matrix_bytes, dtype=np.uint8
                     ).reshape(batch, db.n_slots)
-                    t0 = time.perf_counter()
-                    shares = db.xor_scan_batch(matrix)
-                    conn.send(("ok", shares, time.perf_counter() - t0))
+                    with span("procpool.shard_scan", op="scan_batch") as sp:
+                        shares = db.xor_scan_batch(matrix)
+                    scan_seconds.observe(sp.elapsed, op="scan_batch")
+                    scans_total.inc(op="scan_batch")
+                    conn.send(("ok", shares, sp.elapsed))
                 else:
                     conn.send(("err", f"unknown op {op!r}"))
             except Exception as exc:  # a bad scan must not kill the worker
@@ -212,10 +251,25 @@ class _Worker:
     def alive(self) -> bool:
         return self.process.is_alive()
 
-    def stop(self, timeout: float = 2.0) -> None:
+    def stop(self, timeout: float = 2.0) -> Optional[Dict[str, Any]]:
+        """Ask the worker to exit; return its final metrics flush, if any.
+
+        The worker answers ``("exit",)`` with one last registry snapshot
+        before leaving its loop. A worker that already died (the respawn
+        path stops corpses too) yields None — its last polled snapshot,
+        held by the pool, is all that survives.
+        """
+        final: Optional[Dict[str, Any]] = None
         try:
             self.conn.send(("exit",))
-        except (BrokenPipeError, OSError):
+            # Drain stale replies (a half-collected dispatch on a dying
+            # worker) until the snapshot — the only dict payload — or
+            # the timeout.
+            while final is None and self.conn.poll(timeout):
+                reply = self.conn.recv()
+                if reply[0] == "ok" and isinstance(reply[1], dict):
+                    final = reply[1]
+        except (BrokenPipeError, EOFError, OSError):
             pass
         self.process.join(timeout)
         if self.process.is_alive():
@@ -225,6 +279,7 @@ class _Worker:
             self.conn.close()
         except OSError:
             pass
+        return final
 
 
 class WorkerDiedError(ReproError):
@@ -267,10 +322,24 @@ class ProcScanPool(BackendStatsRecorder):
         self.task_retries = task_retries
         self._ctx = multiprocessing.get_context(
             start_method or _preferred_start_method())
+        # Serialises all pipe traffic: concurrent session threads would
+        # otherwise interleave send/recv pairs on the same worker pipes
+        # and collect each other's replies. Reentrant because the retry
+        # path runs the shard-repair hook (which re-registers shards,
+        # i.e. more pipe traffic) while already holding it. Lock order:
+        # _io_lock strictly outside _lock.
+        self._io_lock = threading.RLock()
         self._lock = threading.Lock()
         self._workers: List[_Worker] = []  # guarded-by: _lock
         self._segments: Dict[str, _Segment] = {}  # guarded-by: _lock
         self._closed = False  # guarded-by: _lock
+        #: Latest cumulative snapshot polled from each live worker slot
+        #: (replaced wholesale per poll — never summed, so re-polling
+        #: cannot double-count).
+        self._worker_metrics: Dict[int, Dict[str, Any]] = {}  # guarded-by: _lock
+        #: Merged final flushes of workers that exited or were respawned,
+        #: already relabeled with their worker slot.
+        self._retired_metrics: Dict[str, Any] = {}  # guarded-by: _lock
         self.fanouts = 0  # guarded-by: _lock
         self.tasks_run = 0  # guarded-by: _lock
         self.tasks_retried = 0  # guarded-by: _lock
@@ -305,13 +374,20 @@ class ProcScanPool(BackendStatsRecorder):
             raise ReproError(f"worker failed to attach shard {key}: {reply[1]}")
 
     def shutdown(self) -> None:
-        """Stop every worker and release every shared segment (idempotent)."""
-        with self._lock:
-            workers, self._workers = self._workers, []
-            segments, self._segments = dict(self._segments), {}
-            self._closed = True
-        for worker in workers:
-            worker.stop()
+        """Stop every worker and release every shared segment (idempotent).
+
+        Each worker's final metrics flush is folded into the retired
+        set, so :meth:`metrics_snapshot` keeps answering with lifetime
+        totals after the pool is gone.
+        """
+        with self._io_lock:
+            with self._lock:
+                workers, self._workers = self._workers, []
+                segments, self._segments = dict(self._segments), {}
+                self._closed = True
+            for worker in workers:
+                final = worker.stop()
+                self._retire_metrics(worker.index, final)
         for segment in segments.values():
             segment.destroy()
 
@@ -335,7 +411,8 @@ class ProcScanPool(BackendStatsRecorder):
 
     def worker_pids(self) -> List[int]:
         """PIDs of the current fleet (chaos tests kill these)."""
-        return [worker.process.pid for worker in self._ensure_workers()]
+        with self._io_lock:
+            return [worker.process.pid for worker in self._ensure_workers()]
 
     @property
     def speedup(self) -> float:
@@ -356,18 +433,19 @@ class ProcScanPool(BackendStatsRecorder):
         the replacement) and the new content takes over.
         """
         segment = _Segment(database)
-        with self._lock:
-            if self._closed:
-                segment.destroy()
-                raise ReproError("scan pool is shut down")
-            old = self._segments.get(key)
-            self._segments[key] = segment
-            workers = list(self._workers)
-        for worker in workers:
-            try:
-                self._attach(worker, key, segment)
-            except (BrokenPipeError, EOFError, OSError):
-                self._respawn(worker)
+        with self._io_lock:
+            with self._lock:
+                if self._closed:
+                    segment.destroy()
+                    raise ReproError("scan pool is shut down")
+                old = self._segments.get(key)
+                self._segments[key] = segment
+                workers = list(self._workers)
+            for worker in workers:
+                try:
+                    self._attach(worker, key, segment)
+                except (BrokenPipeError, EOFError, OSError):
+                    self._respawn(worker)
         if old is not None:
             old.destroy()
 
@@ -383,6 +461,78 @@ class ProcScanPool(BackendStatsRecorder):
         """Keys currently materialised in shared memory."""
         with self._lock:
             return list(self._segments)
+
+    # ------------------------------------------------------------------
+    # Worker metrics
+    # ------------------------------------------------------------------
+
+    def _retire_metrics(self, index: int,
+                        final: Optional[Dict[str, Any]]) -> None:
+        """Fold a departing worker slot's cumulative metrics into the
+        retired set.
+
+        Prefers the worker's final flush; falls back to the last polled
+        snapshot when the worker died without one (crash — its unflushed
+        tail is lost, which under-counts but never double-counts).
+        """
+        with self._lock:
+            last = self._worker_metrics.pop(index, None)
+            snap = final if final is not None else last
+            if snap:
+                merge_into(self._retired_metrics,
+                           relabel_snapshot(snap, worker=index))
+
+    def collect_worker_metrics(self, timeout: float = 1.0) -> None:
+        """Poll every live worker for its cumulative registry snapshot.
+
+        Each reply *replaces* that slot's previous snapshot (workers
+        report lifetime-cumulative values), so polling is idempotent. A
+        worker that fails to answer keeps its previous snapshot; dead
+        pipes are left for the dispatch path's repair machinery.
+        """
+        with self._io_lock:
+            with self._lock:
+                if self._closed:
+                    return
+                workers = list(self._workers)
+            for worker in workers:
+                if not worker.alive:
+                    continue
+                try:
+                    worker.conn.send(("metrics",))
+                    if not worker.conn.poll(timeout):
+                        continue
+                    reply = worker.conn.recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    continue
+                if reply[0] == "ok" and isinstance(reply[1], dict):
+                    with self._lock:
+                        self._worker_metrics[worker.index] = reply[1]
+
+    def metrics_snapshot(self, refresh: bool = True) -> Dict[str, Any]:
+        """The merged, mergeable snapshot of every worker's registry.
+
+        Series are keyed by a fixed ``worker=<slot>`` label; retired
+        generations of a slot merge with its live one (both are
+        cumulative-from-zero, so the sum is the slot's lifetime total).
+
+        Args:
+            refresh: poll live workers first (skipped automatically once
+                the pool is shut down — the retired set is then the
+                whole answer).
+        """
+        if refresh:
+            with self._lock:
+                closed = self._closed
+            if not closed:
+                self.collect_worker_metrics()
+        with self._lock:
+            live = {index: snap
+                    for index, snap in self._worker_metrics.items()}
+            merged = relabel_snapshot(self._retired_metrics)
+        for index, snap in sorted(live.items()):
+            merge_into(merged, relabel_snapshot(snap, worker=index))
+        return merged
 
     # ------------------------------------------------------------------
     # Scan dispatch
@@ -463,8 +613,17 @@ class ProcScanPool(BackendStatsRecorder):
         affinity that keeps a shard's pages hot in one worker's cache),
         written eagerly so every worker is busy at once, then collected.
         A worker that died or errored triggers the repair → re-dispatch
-        path, once per failing task.
+        path, once per failing task. The whole exchange runs under
+        ``_io_lock``: concurrent fan-outs from different session threads
+        would otherwise interleave on the same pipes and collect each
+        other's replies.
         """
+        with self._io_lock:
+            return self._dispatch_locked(commands, repair)
+
+    def _dispatch_locked(self, commands: List[tuple],
+                         repair: Optional[Callable[[int], None]],
+                         ) -> Tuple[List[Tuple[object, float]], int]:
         workers = self._ensure_workers()
         n = len(workers)
         assignments: List[List[int]] = [[] for _ in range(n)]
@@ -536,23 +695,32 @@ class ProcScanPool(BackendStatsRecorder):
         raise last
 
     def _respawn(self, dead: _Worker) -> _Worker:
-        """Replace one dead worker in place, re-attaching every segment."""
-        try:
-            dead.stop(timeout=0.5)
-        except Exception:
-            pass
-        with self._lock:
-            if self._closed or dead not in self._workers:
-                raise ReproError("scan pool is shut down")
-            index = self._workers.index(dead)
-            replacement = _Worker(self._ctx, index)
-            segments = dict(self._segments)
-            self._workers[index] = replacement
-            self.workers_respawned += 1
-        _log.warning("scan worker respawned", extra={"index": index})
-        for key, segment in segments.items():
-            self._attach(replacement, key, segment)
-        return replacement
+        """Replace one dead worker in place, re-attaching every segment.
+
+        The dead worker's last polled snapshot (or final flush, if its
+        pipe still answers) is retired so its completed scans stay in
+        the aggregate; the replacement starts a fresh registry from
+        zero, so nothing double-counts across the respawn.
+        """
+        with self._io_lock:
+            final = None
+            try:
+                final = dead.stop(timeout=0.5)
+            except Exception:
+                pass
+            with self._lock:
+                if self._closed or dead not in self._workers:
+                    raise ReproError("scan pool is shut down")
+                index = self._workers.index(dead)
+                replacement = _Worker(self._ctx, index)
+                segments = dict(self._segments)
+                self._workers[index] = replacement
+                self.workers_respawned += 1
+            self._retire_metrics(index, final)
+            _log.warning("scan worker respawned", extra={"index": index})
+            for key, segment in segments.items():
+                self._attach(replacement, key, segment)
+            return replacement
 
     def _account(self, tasks: int, wall: float, busy: float,
                  retries: int = 0) -> FanoutReport:

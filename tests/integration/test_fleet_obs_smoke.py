@@ -1,0 +1,55 @@
+"""Tier-1 wiring for the E15 fleet-observability smoke run.
+
+Runs :mod:`benchmarks.fleet_obs_smoke` and asserts PR 9's perf claims:
+the worker-side metrics path (span + registry feed + parent merge)
+costs < 5% of scan throughput — the same bar E10 set for bare span
+instrumentation — and a four-server fleet scrape completes with every
+sidecar answering.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import fleet_obs_smoke  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_fleet_obs.json"
+    assert fleet_obs_smoke.main(["--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_smoke_schema(results):
+    assert set(results) == {"experiment", "overhead", "fleet_scrape"}
+    assert {"scan_mib", "scans_per_round", "raw_seconds",
+            "instrumented_seconds", "overhead_instrumented"} <= \
+        set(results["overhead"])
+    assert {"servers", "scrape_seconds", "scrape_seconds_per_server"} <= \
+        set(results["fleet_scrape"])
+
+
+def test_smoke_overhead_under_five_percent(results):
+    # A scan is milliseconds; the per-scan metrics path (span + observe
+    # + inc) is microseconds and the per-poll merge is amortised over
+    # the whole round — 5% holds with wide margin. Failing means the
+    # worker-loop instrumentation grew a slow path.
+    assert results["overhead"]["overhead_instrumented"] < 0.05, results
+
+
+def test_smoke_fleet_scrape_is_concurrent_scale(results):
+    scrape = results["fleet_scrape"]
+    assert scrape["servers"] == 4
+    # Four local sidecars over threads: a full scrape is well under a
+    # second unless scraping accidentally serialised.
+    assert scrape["scrape_seconds"] < 1.0, results
+
+
+def test_smoke_writes_default_path():
+    assert fleet_obs_smoke.DEFAULT_OUT == REPO_ROOT / "BENCH_fleet_obs.json"

@@ -1,0 +1,132 @@
+"""Unit tests for the flight recorder (:mod:`repro.obs.flight`).
+
+The recorder is always-on: every served request's span tree lands in a
+bounded ``recent`` ring, with slow and errored exemplars retained
+separately so a p999 straggler or a one-off failure survives the churn
+of the fast requests that follow it.
+"""
+
+import pytest
+
+from repro.obs.flight import DEFAULT_SLOW_SECONDS, FlightRecorder
+from repro.obs.trace import Span, span, tracing
+
+
+def make_root(name="req", wall_seconds=0.001, error=None):
+    root = Span(name)
+    root.wall_seconds = wall_seconds
+    if error is not None:
+        child = Span("inner")
+        child.attrs["error"] = error
+        root.children.append(child)
+    return root
+
+
+class TestRecordClassification:
+    def test_fast_clean_requests_only_reach_the_recent_ring(self):
+        recorder = FlightRecorder()
+        recorder.record(make_root())
+        assert recorder.recorded == 1
+        assert recorder.slow_kept == 0
+        assert recorder.errors_kept == 0
+        export = recorder.export()
+        assert len(export["recent"]) == 1
+        assert export["slow"] == []
+        assert export["errored"] == []
+
+    def test_slow_roots_kept_as_exemplars(self):
+        recorder = FlightRecorder(slow_threshold_seconds=0.1)
+        recorder.record(make_root(wall_seconds=0.25))
+        recorder.record(make_root(wall_seconds=0.05))
+        export = recorder.export()
+        assert recorder.slow_kept == 1
+        assert [root["wall_seconds"] for root in export["slow"]] == [0.25]
+
+    def test_error_anywhere_in_the_tree_keeps_an_exemplar(self):
+        recorder = FlightRecorder()
+        recorder.record(make_root(error="ValueError"))
+        export = recorder.export()
+        assert recorder.errors_kept == 1
+        [root] = export["errored"]
+        assert root["children"][0]["attrs"]["error"] == "ValueError"
+
+    def test_slow_exemplars_survive_recent_ring_churn(self):
+        recorder = FlightRecorder(capacity=4, slow_threshold_seconds=0.1)
+        recorder.record(make_root(name="straggler", wall_seconds=0.5))
+        for i in range(10):
+            recorder.record(make_root(name=f"fast{i}"))
+        export = recorder.export()
+        assert len(export["recent"]) == 4
+        assert all(root["name"] != "straggler"
+                   for root in export["recent"])
+        assert [root["name"] for root in export["slow"]] == ["straggler"]
+
+    def test_exemplar_rings_are_bounded_too(self):
+        recorder = FlightRecorder(slow_threshold_seconds=0.0,
+                                  exemplar_capacity=3)
+        for i in range(8):
+            recorder.record(make_root(name=f"r{i}", wall_seconds=1.0))
+        export = recorder.export()
+        assert [root["name"] for root in export["slow"]] == \
+            ["r5", "r6", "r7"]
+        assert recorder.slow_kept == 8  # lifetime counter keeps counting
+
+
+class TestCapture:
+    def test_capture_records_spans_opened_inside_the_block(self):
+        recorder = FlightRecorder()
+        with recorder.capture():
+            with span("zltp.session.get", mode="pir2"):
+                with span("backend.answer"):
+                    pass
+        [root] = recorder.recent_roots()
+        assert root.name == "zltp.session.get"
+        assert root.attrs["mode"] == "pir2"
+        assert [child.name for child in root.children] == ["backend.answer"]
+        assert recorder.recorded == 1
+
+    def test_capture_files_errored_requests_raised_out_of_the_block(self):
+        recorder = FlightRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.capture():
+                with span("zltp.session.get"):
+                    raise RuntimeError("boom")
+        export = recorder.export()
+        [root] = export["errored"]
+        assert root["attrs"]["error"] == "RuntimeError"
+
+    def test_capture_steps_aside_when_a_global_tracer_is_active(self):
+        recorder = FlightRecorder()
+        with tracing() as tracer:
+            with recorder.capture() as captured:
+                assert captured is None
+                with span("zltp.session.get"):
+                    pass
+        # The debug tracer owns the spans; the recorder stays empty.
+        assert recorder.recorded == 0
+        assert [root.name for root in tracer.roots] == ["zltp.session.get"]
+
+    def test_captures_are_independent_per_request(self):
+        recorder = FlightRecorder()
+        for i in range(3):
+            with recorder.capture():
+                with span("zltp.session.get"):
+                    pass
+        assert recorder.recorded == 3
+        assert len(recorder.recent_roots()) == 3
+
+
+class TestExport:
+    def test_export_carries_configuration_and_counters(self):
+        recorder = FlightRecorder(capacity=7, slow_threshold_seconds=0.5,
+                                  exemplar_capacity=2)
+        export = recorder.export()
+        assert export["capacity"] == 7
+        assert export["slow_threshold_seconds"] == 0.5
+        assert export["exemplar_capacity"] == 2
+        assert export["counters"] == {"recorded": 0, "slow_kept": 0,
+                                      "errors_kept": 0}
+
+    def test_default_threshold_is_the_documented_quarter_second(self):
+        assert FlightRecorder().slow_threshold_seconds == \
+            DEFAULT_SLOW_SECONDS == 0.25

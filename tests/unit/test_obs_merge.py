@@ -1,0 +1,164 @@
+"""Unit tests for the mergeable-snapshot machinery in ``repro.obs``.
+
+The snapshot dict :meth:`MetricsRegistry.snapshot` returns is the
+cross-process wire format: procpool workers flush it over their result
+pipe, the parent merges it, and ``lightweb top`` merges whole servers'
+worth of it. These tests pin the merge semantics down — sums for
+counters/gauges, bucket-wise sums for histograms, loud rejection of
+mismatched layouts, and source snapshots that merging never mutates.
+"""
+
+import copy
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_into,
+    merge_snapshots,
+    relabel_snapshot,
+    render_snapshot_text,
+    snapshot_total,
+)
+
+BUCKETS = [0.01, 0.1, 1.0]
+
+
+def make_snapshot(scans=3.0, observe=(0.005, 0.05, 0.5), **labels):
+    """A small but realistic registry snapshot: one counter, one
+    histogram, one gauge."""
+    registry = MetricsRegistry()
+    counter = registry.counter("scans_total", "scans served")
+    counter.inc(scans, **labels)
+    hist = registry.histogram("scan_seconds", "scan latency",
+                              buckets=BUCKETS)
+    for value in observe:
+        hist.observe(value, **labels)
+    gauge = registry.gauge("sessions_active", "live sessions")
+    gauge.add(2.0, **labels)
+    return registry.snapshot()
+
+
+class TestMergeInto:
+    def test_merge_into_empty_copies_everything(self):
+        src = make_snapshot(op="scan")
+        merged = merge_into({}, src)
+        assert snapshot_total(merged, "scans_total") == 3.0
+        assert snapshot_total(merged, "scan_seconds", field="count") == 3.0
+        assert merged["scan_seconds"]["buckets"] == BUCKETS
+
+    def test_merge_empty_is_identity(self):
+        dst = make_snapshot(op="scan")
+        before = copy.deepcopy(dst)
+        assert merge_into(dst, {}) == before
+
+    def test_merging_never_mutates_the_source(self):
+        src = make_snapshot(op="scan")
+        before = copy.deepcopy(src)
+        dst = merge_into({}, src)
+        # Both the copy-through path and the add-into-existing path must
+        # leave the source alone: merge again and bump the result.
+        merge_into(dst, src)
+        dst["scans_total"]["series"][0]["value"] += 100
+        dst["scan_seconds"]["series"][0]["counts"][0] += 100
+        assert src == before
+
+    def test_counters_sum_per_label_set(self):
+        merged = merge_snapshots([make_snapshot(op="scan"),
+                                  make_snapshot(op="scan"),
+                                  make_snapshot(op="scan_batch")])
+        by_op = {cell["labels"]["op"]: cell["value"]
+                 for cell in merged["scans_total"]["series"]}
+        assert by_op == {"scan": 6.0, "scan_batch": 3.0}
+        # Gauges sum too: a fleet's active sessions is the sum of every
+        # server's.
+        assert snapshot_total(merged, "sessions_active") == 6.0
+
+    def test_histograms_merge_bucket_wise(self):
+        merged = merge_snapshots([
+            make_snapshot(observe=(0.005,), op="scan"),
+            make_snapshot(observe=(0.5, 2.0), op="scan"),
+        ])
+        [cell] = merged["scan_seconds"]["series"]
+        # buckets: <=0.01, <=0.1, <=1.0, +Inf
+        assert cell["counts"] == [1, 0, 1, 1]
+        assert cell["count"] == 3
+        assert cell["sum"] == pytest.approx(2.505)
+
+    def test_mismatched_bucket_layouts_rejected_loudly(self):
+        registry = MetricsRegistry()
+        registry.histogram("scan_seconds", "scan latency",
+                           buckets=[0.5, 5.0]).observe(0.1)
+        other = registry.snapshot()
+        with pytest.raises(ReproError, match="bucket layouts differ"):
+            merge_into(make_snapshot(), other)
+
+    def test_kind_mismatch_rejected_loudly(self):
+        registry = MetricsRegistry()
+        registry.counter("sessions_active", "oops, a counter now").inc()
+        with pytest.raises(ReproError, match="kind"):
+            merge_into(make_snapshot(), registry.snapshot())
+
+
+class TestRelabel:
+    def test_relabel_stamps_every_series(self):
+        snap = relabel_snapshot(make_snapshot(op="scan"), worker=3)
+        for metric in snap.values():
+            for cell in metric["series"]:
+                assert cell["labels"]["worker"] == "3"  # str-coerced
+        # pre-existing labels survive
+        assert snap["scans_total"]["series"][0]["labels"]["op"] == "scan"
+
+    def test_relabel_copies_rather_than_mutates(self):
+        src = make_snapshot(op="scan")
+        before = copy.deepcopy(src)
+        relabel_snapshot(src, worker=0)
+        assert src == before
+
+    def test_relabelled_snapshots_merge_side_by_side(self):
+        merged = merge_snapshots([
+            relabel_snapshot(make_snapshot(), worker=0),
+            relabel_snapshot(make_snapshot(), worker=1),
+        ])
+        workers = sorted(cell["labels"]["worker"]
+                         for cell in merged["scans_total"]["series"])
+        assert workers == ["0", "1"]
+        assert snapshot_total(merged, "scans_total") == 6.0
+
+
+class TestSnapshotTotal:
+    def test_fields_and_missing_metrics(self):
+        snap = make_snapshot()
+        assert snapshot_total(snap, "scans_total") == 3.0
+        assert snapshot_total(snap, "scan_seconds", field="count") == 3.0
+        assert snapshot_total(snap, "scan_seconds", field="sum") == \
+            pytest.approx(0.555)
+        assert snapshot_total(snap, "no_such_metric") == 0.0
+
+
+class TestRenderAndRegistryMerge:
+    def test_snapshot_text_matches_live_registry_text(self):
+        registry = MetricsRegistry()
+        registry.counter("scans_total", "scans served").inc(3.0, op="scan")
+        registry.histogram("scan_seconds", "scan latency",
+                           buckets=BUCKETS).observe(0.05, op="scan")
+        assert render_snapshot_text(registry.snapshot()) == \
+            registry.render_text()
+
+    def test_registry_merge_folds_into_live_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("scans_total", "scans served").inc(1.0, op="scan")
+        registry.merge(make_snapshot(op="scan"))
+        assert registry.counter("scans_total", "scans served") \
+            .value(op="scan") == 4.0
+        hist = registry.histogram("scan_seconds", "scan latency",
+                                  buckets=BUCKETS)
+        assert hist.snapshot(op="scan")["count"] == 3
+
+    def test_registry_merge_rejects_mismatched_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("scan_seconds", "scan latency",
+                           buckets=[9.0]).observe(1.0)
+        with pytest.raises(ReproError, match="bucket layouts"):
+            registry.merge(make_snapshot())

@@ -172,3 +172,83 @@ class TestPoolLifecycle:
             assert pool.registered_shards() == []
         finally:
             pool.shutdown()
+
+
+class TestWorkerMetrics:
+    """Cross-process metrics aggregation (PR 9's tentpole, layer 1)."""
+
+    def test_scans_surface_with_per_worker_labels(self, pool):
+        from repro.obs.metrics import snapshot_total
+
+        db, _ = build_db()
+        pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+        for index in (0, 135):
+            answer_pair(pooled, index)
+
+        snap = pool.metrics_snapshot()
+        # 2 answer_pairs x 2 parties x 4 shards = 16 worker-side scans.
+        assert snapshot_total(snap, "procpool_scans_total") == 16.0
+        assert snapshot_total(snap, "procpool_scan_seconds",
+                              field="count") == 16.0
+        assert snapshot_total(snap, "procpool_scan_seconds",
+                              field="sum") > 0.0
+        workers = {cell["labels"]["worker"]
+                   for cell in snap["procpool_scans_total"]["series"]}
+        assert workers == {"0", "1"}
+
+    def test_polling_is_idempotent_no_double_count(self, pool):
+        from repro.obs.metrics import snapshot_total
+
+        db, _ = build_db()
+        pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+        answer_pair(pooled, 7)
+        first = snapshot_total(pool.metrics_snapshot(),
+                               "procpool_scans_total")
+        # Workers report lifetime-cumulative values and the parent
+        # replaces per-slot snapshots, so re-polling must not inflate.
+        for _ in range(3):
+            again = snapshot_total(pool.metrics_snapshot(),
+                                   "procpool_scans_total")
+        assert again == first == 8.0
+
+    def test_killed_worker_respawn_stays_monotone(self, pool):
+        """A worker dying before its final flush must never double-count
+        after respawn: its last polled snapshot retires exactly once."""
+        from repro.obs.metrics import snapshot_total
+
+        db, _ = build_db()
+        pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+        answer_pair(pooled, 135)
+        before = snapshot_total(pool.metrics_snapshot(),
+                                "procpool_scans_total")
+        assert before == 8.0
+
+        os.kill(pool.worker_pids()[0], signal.SIGKILL)
+        time.sleep(0.2)
+        answer_pair(pooled, 135)  # heals via repair + respawn
+
+        after = snapshot_total(pool.metrics_snapshot(),
+                               "procpool_scans_total")
+        # Retired generation + survivor + replacement: monotone, and at
+        # most one fanout's worth above the pre-kill total (a crashed
+        # worker's unflushed tail may under-count, never double-count).
+        assert before <= after <= before + 8.0
+        for _ in range(2):  # still idempotent with a retired generation
+            assert snapshot_total(pool.metrics_snapshot(),
+                                  "procpool_scans_total") == after
+
+    def test_shutdown_folds_final_flushes(self):
+        from repro.obs.metrics import snapshot_total
+
+        pool = ProcScanPool(max_workers=2)
+        try:
+            db, _ = build_db()
+            pooled = ShardedDeployment(db, prefix_bits=2, executor=pool)
+            answer_pair(pooled, 5)
+        finally:
+            pool.shutdown()
+        snap = pool.metrics_snapshot()  # post-shutdown: retired set only
+        assert snapshot_total(snap, "procpool_scans_total") == 8.0
+        workers = {cell["labels"]["worker"]
+                   for cell in snap["procpool_scans_total"]["series"]}
+        assert workers == {"0", "1"}
