@@ -1,0 +1,88 @@
+"""``lightweb loadgen`` — drive a running deployment to its knee.
+
+Resolves the deployment's data endpoints (directory or port flags, the
+same two paths ``browse`` supports), sweeps the configured offered
+rates with the closed-loop harness, and prints one line per level:
+
+    offered 20.0 rps | goodput 18.7 rps | shed 3 | p50 0.041s p99 0.310s
+
+With ``--out`` the sweep is also written as JSON in the
+``BENCH_load.json`` shape, ready for
+:meth:`repro.costmodel.capacity.SaturationCurve.from_sweep`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.cli.console import emit
+from repro.cli.serve import parse_hostport, parse_modes
+from repro.core.discovery import (
+    DEFAULT_SECRET,
+    CachingResolver,
+    DirectoryClient,
+    static_directory,
+)
+from repro.errors import DiscoveryError
+from repro.loadgen import LoadgenConfig, sweep_load
+
+
+def _resolver_from_args(args) -> Any:
+    """Directory client or static port-flag shim, like ``browse``."""
+    if getattr(args, "directory", None):
+        host, port = parse_hostport(args.directory)
+        secret = getattr(args, "directory_secret", None)
+        return CachingResolver(DirectoryClient(
+            host, port,
+            secret=secret.encode() if secret else DEFAULT_SECRET))
+    if not getattr(args, "data_ports", None):
+        raise DiscoveryError(
+            "give either --directory HOST:PORT or --data-ports")
+    directory = static_directory(
+        args.host, {"data": list(args.data_ports)},
+        universe=getattr(args, "universe", "main"),
+        attrs={"fetch_budget": getattr(args, "fetch_budget", None) or 5},
+    )
+    return CachingResolver(directory, grace_seconds=None)
+
+
+def _fmt_quantile(value) -> str:
+    return f"{value:.3f}s" if value is not None else "-"
+
+
+def cmd_loadgen(args) -> int:
+    """Entry point for ``lightweb loadgen``."""
+    resolver = _resolver_from_args(args)
+    config = LoadgenConfig(
+        universe=getattr(args, "universe", "main"),
+        n_users=args.users,
+        duration_seconds=args.duration,
+        deadline_seconds=args.deadline,
+        gets_per_page=getattr(args, "fetch_budget", None),
+        modes=parse_modes(getattr(args, "modes", None)),
+        seed=getattr(args, "seed", 0),
+    )
+    levels = sorted(args.offered)
+    reports = sweep_load(resolver, levels, config=config)
+    for report in reports:
+        emit(f"offered {report.offered_rps:g} rps | "
+             f"goodput {report.goodput_rps:.1f} rps | "
+             f"ok {report.ok} late {report.late} shed {report.shed} "
+             f"err {report.errors} | "
+             f"p50 {_fmt_quantile(report.p50_seconds)} "
+             f"p99 {_fmt_quantile(report.p99_seconds)}")
+    if getattr(args, "out", None):
+        payload = {
+            "experiment": "lightweb loadgen sweep",
+            "mode": reports[0].mode,
+            "deadline_seconds": config.deadline_seconds,
+            "sweep": [report.to_dict() for report in reports],
+        }
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        emit(f"wrote {args.out}")
+    return 0
+
+
+__all__ = ["cmd_loadgen"]

@@ -57,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--announce-interval", type=float, default=5.0,
                        help="seconds between re-announces; records expire "
                             "after three missed intervals")
+    serve.add_argument("--admission-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="attach a load-shedding admission gate to the "
+                            "data servers: GETs whose estimated queueing "
+                            "delay would blow this deadline are refused "
+                            "with a fast overload error (default: no gate)")
+    serve.add_argument("--admission-queue-depth", type=int, default=64,
+                       help="the admission gate's hard in-flight cap "
+                            "(with --admission-deadline)")
     serve.add_argument("--log-json", action="store_true",
                        help="emit structured JSON logs, one object per line")
     serve.set_defaults(func=_cmd_serve)
@@ -191,6 +200,53 @@ def build_parser() -> argparse.ArgumentParser:
                            help="emit structured JSON logs")
     directory.set_defaults(func=_cmd_directory)
 
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="closed-loop load harness against a running deployment",
+        description="Replay zipf-skewed browsing sessions against a live "
+                    "deployment's data sessions at one or more offered "
+                    "rates, under per-request deadlines, and report "
+                    "offered load, goodput, shed count, and latency "
+                    "quantiles per level (the E16 saturation curve).",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--directory", default=None, metavar="HOST:PORT",
+                         help="resolve endpoints through a directory "
+                              "server; ports, parties, and the fetch "
+                              "budget all come from the announce records")
+    loadgen.add_argument("--directory-secret", default=None,
+                         help="deployment secret for verifying announce "
+                              "records (must match the servers')")
+    loadgen.add_argument("--data-ports", type=int, nargs="+", default=None,
+                         metavar="PORT",
+                         help="data-session ports, one per endpoint of "
+                              "the intended mode; unnecessary with "
+                              "--directory")
+    loadgen.add_argument("--universe", default="main")
+    loadgen.add_argument("--offered", type=float, nargs="+",
+                         default=[5.0, 10.0, 20.0], metavar="RPS",
+                         help="offered page-view rates to sweep, in "
+                              "requests/second (one report per level)")
+    loadgen.add_argument("--users", type=int, default=4,
+                         help="concurrent closed-loop users")
+    loadgen.add_argument("--duration", type=float, default=2.0,
+                         help="seconds of arrivals per offered level")
+    loadgen.add_argument("--deadline", type=float, default=1.0,
+                         help="per-request deadline in seconds; requests "
+                              "finishing over it do not count as goodput")
+    loadgen.add_argument("--fetch-budget", type=int, default=None,
+                         help="slots per page view (default: the "
+                              "deployment's announced fetch budget)")
+    loadgen.add_argument("--modes", default=None,
+                         help="comma-separated modes to offer, e.g. "
+                              "'pir2' (default: every registered backend)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="workload determinism root")
+    loadgen.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the sweep as JSON "
+                              "(BENCH_load.json shape)")
+    loadgen.set_defaults(func=_cmd_loadgen)
+
     costs = sub.add_parser("costs", help="print the paper's cost analytics")
     costs.add_argument("--measure", action="store_true",
                        help="also benchmark a shard on this machine")
@@ -258,6 +314,12 @@ def _cmd_trace(args) -> int:
     from repro.cli.trace import cmd_trace
 
     return cmd_trace(args)
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.cli.loadgen import cmd_loadgen
+
+    return cmd_loadgen(args)
 
 
 def _cmd_costs(args) -> int:

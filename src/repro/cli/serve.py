@@ -227,7 +227,10 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
                      modes: Optional[List[str]] = None,
                      stats_port: Optional[int] = None,
                      replicas: int = 0,
-                     server_kind: Optional[str] = None) -> RunningDeployment:
+                     server_kind: Optional[str] = None,
+                     admission_deadline_seconds: Optional[float] = None,
+                     admission_max_queue_depth: int = 64
+                     ) -> RunningDeployment:
     """Create a CDN from site specs (or saved state) and expose it over TCP.
 
     Args:
@@ -246,6 +249,13 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
         server_kind: serving flavour for every listener (a name from
             :func:`repro.core.zltp.serving.server_kinds`); default is the
             event-loop session core.
+        admission_deadline_seconds: when given, attach an
+            :class:`~repro.core.zltp.admission.AdmissionController` with
+            this deadline to every *data* logical server, so GETs that
+            would blow it are shed with a fast overload error instead of
+            queued behind a doomed scan. Replica listeners share the
+            logical servers and therefore the gate.
+        admission_max_queue_depth: the gate's hard in-flight cap.
 
     Returns:
         A :class:`RunningDeployment`; call ``stop()`` to tear down.
@@ -284,6 +294,13 @@ def build_deployment(spec_paths: List[str], universe_name: str = "main",
         for party in range(n_parties):
             port = port_base + offset if port_base else 0
             server = cdn._server(universe_name, kind, party)
+            if kind == "data" and admission_deadline_seconds is not None \
+                    and server.admission is None:
+                from repro.core.zltp.admission import AdmissionController
+
+                server.admission = AdmissionController(
+                    deadline_seconds=admission_deadline_seconds,
+                    max_queue_depth=admission_max_queue_depth)
             listeners[(kind, party)] = create_tcp_server(
                 server_kind, server, host=host, port=port)
             offset += 1
@@ -356,6 +373,8 @@ def cmd_serve(args) -> int:
         stats_port=getattr(args, "stats_port", None),
         replicas=getattr(args, "replicas", 0),
         server_kind=getattr(args, "server_kind", None),
+        admission_deadline_seconds=getattr(args, "admission_deadline", None),
+        admission_max_queue_depth=getattr(args, "admission_queue_depth", 64),
     )
     directory_flag = getattr(args, "directory", None)
     if directory_flag:

@@ -279,15 +279,25 @@ class CapabilityQuery:
 def rank_records(records: Sequence[AnnounceRecord]) -> List[AnnounceRecord]:
     """Least-loaded first, deterministic tie-break on server id.
 
-    Load is the announced aggregate (live sessions, then cumulative CPU
-    time) — public counters, refreshed on every re-announce, so a hot
-    server drifts to the back of every pool built after its next
-    announce. CPU time counts both the parent process's scan seconds and
-    ``worker_busy_seconds`` burned inside its scan-pool workers: a
-    multiprocess server's load lives mostly in its workers, and ranking
-    only the parent's share would make the busiest machines look idle.
+    Load is the announced aggregate — public counters, refreshed on
+    every re-announce, so a hot server drifts to the back of every pool
+    built after its next announce. Keys, most urgent first:
+
+    1. ``admission_queue_depth`` — queries admitted and waiting behind
+       the scan *right now*. A server whose gate is backed up is the one
+       actively shedding, so new sessions route around it first.
+    2. ``sessions_active`` — live session count.
+    3. cumulative CPU time: the parent's ``scan_seconds`` plus
+       ``worker_busy_seconds`` burned inside its scan-pool workers (a
+       multiprocess server's load lives mostly in its workers, and
+       ranking only the parent's share would make the busiest machines
+       look idle).
+
+    Servers without an admission gate announce no queue depth and sort
+    as depth 0 — the pre-gate behaviour, unchanged.
     """
     return sorted(records, key=lambda r: (
+        r.load.get("admission_queue_depth", 0.0),
         r.load.get("sessions_active", 0.0),
         r.load.get("scan_seconds", 0.0) +
         r.load.get("worker_busy_seconds", 0.0),

@@ -26,7 +26,12 @@ from repro.core.resilience import Deadline
 from repro.core.zltp import messages as msg
 from repro.crypto.cuckoo import CuckooTable
 from repro.crypto.hashing import KeyedHash
-from repro.errors import NegotiationError, ProtocolError, TransportError
+from repro.errors import (
+    NegotiationError,
+    OverloadError,
+    ProtocolError,
+    TransportError,
+)
 from repro.obs.trace import span
 from repro.pir.keyword import decode_record
 
@@ -190,31 +195,12 @@ class ZltpClient:
     # ------------------------------------------------------------------
 
     def get_slot(self, slot: int) -> bytes:
-        """Privately fetch the raw record at a database slot."""
-        self._require_connected()
-        queries = self._mode_client.queries_for_slot(slot)
-        if len(queries) != len(self._transports):
-            raise ProtocolError("mode produced wrong number of queries")
-        request_id = self._next_request_id
-        self._next_request_id += 1
-        answers = []
-        for transport, query in zip(self._transports, queries):
-            transport.send_frame(
-                msg.encode_message(msg.GetRequest(request_id=request_id,
-                                                  payload=query))
-            )
-        for transport in self._transports:
-            response = self._recv(transport)
-            if not isinstance(response, msg.GetResponse):
-                raise ProtocolError(
-                    f"expected GetResponse, got {type(response).__name__}"
-                )
-            if response.request_id != request_id:
-                raise ProtocolError(
-                    f"response id {response.request_id} != request id {request_id}"
-                )
-            answers.append(response.payload)
-        return self._mode_client.decode(answers)
+        """Privately fetch the raw record at a database slot.
+
+        A single-slot :meth:`get_slots` — same wire behaviour, same
+        overload semantics.
+        """
+        return self.get_slots([slot])[0]
 
     def get_slots(self, slots: List[int], deadline_seconds: Optional[float] = None) -> List[bytes]:  # lint: allow(secret-branch) — only the *number* of requested slots shapes control flow here, and the request count is public by design (§2.1 leaks it); the slot values never branch
         """Privately fetch several slots with pipelined requests.
@@ -233,6 +219,14 @@ class ZltpClient:
 
         Returns:
             The decoded records, in the order of ``slots``.
+
+        Raises:
+            OverloadError: the server's admission gate shed some or all
+                of the batch. The server answers every shed request with
+                its own ``ErrorMessage("overload")`` and keeps the
+                session open, so this client drains every expected reply
+                first — the streams stay in sync and the session remains
+                usable for a retry (here or on another endpoint).
         """
         self._require_connected()
         if not slots:
@@ -257,11 +251,24 @@ class ZltpClient:
                     )
                 )
         per_slot_answers: List[List[bytes]] = [[] for _ in slots]
+        shed = 0
+        shed_detail = ""
         for transport in self._transports:
             for i, request_id in enumerate(request_ids):
                 if deadline is not None:
                     deadline.check("get_slots")
-                response = self._recv(transport)
+                response = msg.decode_message(transport.recv_frame())
+                if isinstance(response, msg.ErrorMessage) and \
+                        response.code == "overload":
+                    # One error frame per shed request, in request order:
+                    # count it, keep draining so the reply stream stays
+                    # aligned, and raise once everything expected arrived.
+                    shed += 1
+                    shed_detail = response.detail
+                    continue
+                if isinstance(response, msg.ErrorMessage):
+                    raise ProtocolError(
+                        f"server error {response.code}: {response.detail}")
                 if not isinstance(response, msg.GetResponse):
                     raise ProtocolError(
                         f"expected GetResponse, got {type(response).__name__}"
@@ -272,6 +279,11 @@ class ZltpClient:
                         f"{request_id}"
                     )
                 per_slot_answers[i].append(response.payload)
+        if shed:
+            raise OverloadError(
+                f"server shed {shed} of "
+                f"{len(slots) * len(self._transports)} requests: "
+                f"{shed_detail}")
         return [self._mode_client.decode(answers) for answers in per_slot_answers]
 
     def candidate_slots(self, key: str) -> List[int]:
@@ -348,6 +360,8 @@ class ZltpClient:
     def _recv(self, transport):
         message = msg.decode_message(transport.recv_frame())
         if isinstance(message, msg.ErrorMessage):
+            if message.code == "overload":
+                raise OverloadError(f"server overloaded: {message.detail}")
             raise ProtocolError(f"server error {message.code}: {message.detail}")
         return message
 

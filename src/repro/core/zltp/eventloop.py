@@ -101,7 +101,8 @@ class ZltpEventLoopServer:
     def __init__(self, server: ZltpServer, host: str = "127.0.0.1",
                  port: int = 0, stats_port: Optional[int] = None,
                  idle_timeout: Optional[float] = None,
-                 tick_seconds: float = 0.5):
+                 tick_seconds: float = 0.5,
+                 io_timeout: Optional[float] = None):
         """Bind, then start the reactor thread.
 
         Args:
@@ -113,6 +114,10 @@ class ZltpEventLoopServer:
             idle_timeout: reap sessions idle this long; None disables.
             tick_seconds: upper bound on the reactor's select() sleep —
                 the granularity of idle sweeps and stop() responsiveness.
+            io_timeout: per-connection recv/send timeout for the stats
+                sidecar (the reactor's own sockets are non-blocking, so
+                data-path idleness is ``idle_timeout``'s job); None keeps
+                the sidecar default.
         """
         self.server = server
         self.idle_timeout = idle_timeout
@@ -137,9 +142,10 @@ class ZltpEventLoopServer:
         self.truncated_frames = 0
         self.stats: Optional[StatsTcpServer] = None
         if stats_port is not None:
-            self.stats = StatsTcpServer(self.stats_snapshot, host=host,
-                                        port=stats_port,
-                                        traces=server.flight.export)
+            self.stats = StatsTcpServer(
+                self.stats_snapshot, host=host, port=stats_port,
+                traces=server.flight.export,
+                io_timeout=io_timeout if io_timeout is not None else 5.0)
         self._thread = threading.Thread(target=self._react_loop, daemon=True,
                                         name="zltp-reactor")
         self._thread.start()

@@ -76,6 +76,12 @@ class ZltpServer:
         flight: the always-on :class:`~repro.obs.flight.FlightRecorder`
             that retains recent/slow/errored request trace trees (pass
             one to tune capacities or the slow threshold).
+        admission: optional
+            :class:`~repro.core.zltp.admission.AdmissionController`; when
+            attached, GETs that would blow their deadline are shed with a
+            fast ``ErrorMessage("overload")`` instead of queued behind a
+            doomed scan. One gate covers every serving kind, because the
+            check sits in the shared session state machine.
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class ZltpServer:
         executor: Optional[Any] = None,
         options: Optional[Dict[str, Any]] = None,
         flight: Optional[FlightRecorder] = None,
+        admission: Optional[Any] = None,
     ):
         self.database = database
         offered = list(modes) if modes is not None \
@@ -102,6 +109,7 @@ class ZltpServer:
         self.probes = probes
         self.executor = executor
         self.flight = flight if flight is not None else FlightRecorder()
+        self.admission = admission
         self._lwe_params = lwe_params
         self._rng = rng
         self._options: Dict[str, Any] = dict(options or {})
@@ -170,6 +178,11 @@ class ZltpServer:
             "queries": float(queries),
             "scan_seconds": float(scan_seconds),
         }
+        if self.admission is not None:
+            # Instantaneous queue depth (and the shed counter) — the
+            # saturation signal discovery ranking sorts on first, so new
+            # sessions route around a server that is already shedding.
+            load.update(self.admission.load_snapshot())
         worker_snap = self.executor_metrics()
         if worker_snap is not None:
             # CPU time burned inside pool workers — the part of this
@@ -374,6 +387,15 @@ class ZltpServerSession:
         if not pending:
             return []
         batch, pending[:] = list(pending), []
+        gate = self._server.admission
+        if gate is not None:
+            detail = gate.try_admit(len(batch))
+            if detail is not None:
+                # Shed the whole run: one error per request preserves the
+                # 1:1 request/reply pairing, and the session stays READY —
+                # overload is the *server's* state, not a client fault.
+                shed = msg.encode_message(msg.ErrorMessage("overload", detail))
+                return [shed] * len(batch)
         delta = RequestStats()
         try:
             with self._server.flight.capture():
@@ -386,8 +408,12 @@ class ZltpServerSession:
                                 bytes_up=delta.bytes_up,
                                 bytes_down=delta.bytes_down)
         except ReproError as exc:
+            if gate is not None:
+                gate.release(len(batch))
             self._mark_closed()
             return [msg.encode_message(msg.ErrorMessage("protocol", str(exc)))]
+        if gate is not None:
+            gate.release(len(batch), service_seconds=sp.elapsed)
         self._account(delta)
         return [
             msg.encode_message(
@@ -425,13 +451,28 @@ class ZltpServerSession:
         if isinstance(message, msg.SetupRequest):
             return [msg.SetupResponse(params=self._mode.setup())]
         if isinstance(message, msg.GetRequest):
+            gate = self._server.admission
+            if gate is not None:
+                detail = gate.try_admit(1)
+                if detail is not None:
+                    # Shed without closing: the session stays READY so the
+                    # client can retry or move to a less-loaded endpoint.
+                    return [msg.ErrorMessage("overload", detail)]
             delta = RequestStats()
-            with self._server.flight.capture():
-                with span("zltp.session.get", mode=self._mode_name) as sp:
-                    answer = timed_answer(self._mode, message.payload, delta)
-                    sp.annotate(queries=delta.queries,
-                                bytes_up=delta.bytes_up,
-                                bytes_down=delta.bytes_down)
+            try:
+                with self._server.flight.capture():
+                    with span("zltp.session.get", mode=self._mode_name) as sp:
+                        answer = timed_answer(self._mode, message.payload,
+                                              delta)
+                        sp.annotate(queries=delta.queries,
+                                    bytes_up=delta.bytes_up,
+                                    bytes_down=delta.bytes_down)
+            except ReproError:
+                if gate is not None:
+                    gate.release(1)
+                raise
+            if gate is not None:
+                gate.release(1, service_seconds=sp.elapsed)
             self._account(delta)
             return [msg.GetResponse(request_id=message.request_id, payload=answer)]
         raise ProtocolError(f"unexpected {type(message).__name__} in ready state")

@@ -156,9 +156,23 @@ class StatsTcpServer:
 
     def __init__(self, snapshot: Callable[[], Dict[str, Any]],
                  host: str = "127.0.0.1", port: int = 0,
-                 traces: Optional[Callable[[], Dict[str, Any]]] = None):
+                 traces: Optional[Callable[[], Dict[str, Any]]] = None,
+                 io_timeout: Optional[float] = 5.0):
+        """Bind and start serving.
+
+        Args:
+            snapshot: zero-argument callable producing the JSON payload.
+            host / port: bind address (port 0 picks a free one).
+            traces: optional flight-recorder export callable behind
+                ``/debug/traces.json``.
+            io_timeout: per-connection recv/send timeout. This used to be
+                a hardcoded 5.0 — an arbitrary constant that killed
+                legitimately slow scrapers on a loaded box; it is now the
+                *server's* configured timeout (None = block forever).
+        """
         self._snapshot = snapshot
         self._traces = traces
+        self._io_timeout = io_timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -189,7 +203,7 @@ class StatsTcpServer:
                     pass
 
     def _serve_request(self, conn: socket.socket) -> None:
-        conn.settimeout(5.0)
+        conn.settimeout(self._io_timeout)
         data = b""
         while b"\r\n" not in data:
             try:
@@ -285,7 +299,8 @@ class ZltpTcpServer:
     """
 
     def __init__(self, server: ZltpServer, host: str = "127.0.0.1", port: int = 0,
-                 stats_port: Optional[int] = None):
+                 stats_port: Optional[int] = None,
+                 io_timeout: Optional[float] = None):
         """Bind and start accepting in a background thread.
 
         Args:
@@ -295,8 +310,15 @@ class ZltpTcpServer:
             stats_port: also serve this server's stats snapshot over HTTP
                 on this port (0 picks a free one); None disables the
                 sidecar.
+            io_timeout: per-connection recv timeout for accepted ZLTP
+                connections, also threaded through to the stats sidecar.
+                None (the default) blocks forever — a parked client costs
+                a thread but is never killed by an arbitrary constant;
+                deployments that want reaping configure it explicitly
+                (the threaded twin of the eventloop's ``idle_timeout``).
         """
         self.server = server
+        self._io_timeout = io_timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -309,9 +331,10 @@ class ZltpTcpServer:
         self.truncated_frames = 0  # guarded-by: _lock
         self.stats: Optional[StatsTcpServer] = None
         if stats_port is not None:
-            self.stats = StatsTcpServer(self.stats_snapshot, host=host,
-                                        port=stats_port,
-                                        traces=server.flight.export)
+            self.stats = StatsTcpServer(
+                self.stats_snapshot, host=host, port=stats_port,
+                traces=server.flight.export,
+                io_timeout=io_timeout if io_timeout is not None else 5.0)
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
         _log.info("zltp endpoint listening", extra={
@@ -396,9 +419,25 @@ class ZltpTcpServer:
     def _serve_connection(self, conn: socket.socket) -> None:
         session = self.server.create_session()
         decoder = FrameDecoder()
+        if self._io_timeout is not None:
+            conn.settimeout(self._io_timeout)
         try:
             while not session.closed and not self._stopping.is_set():
-                chunk = conn.recv(_RECV_CHUNK)
+                try:
+                    chunk = conn.recv(_RECV_CHUNK)
+                except socket.timeout:
+                    # The configured io timeout expired with no frame:
+                    # reap like the eventloop's idle sweep, telling the
+                    # peer why (best-effort).
+                    error = msg.ErrorMessage(
+                        "idle-timeout",
+                        f"no frame within {self._io_timeout:g}s",
+                    )
+                    try:
+                        conn.sendall(encode_frame(msg.encode_message(error)))
+                    except OSError:
+                        pass
+                    return
                 if not chunk:
                     # Peer closed. Bytes still buffered in the decoder mean
                     # the stream died mid-frame — surface it, don't drop it.

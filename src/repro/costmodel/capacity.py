@@ -109,4 +109,98 @@ def plan_fleet(dataset: DatasetSpec, n_users: int,
     )
 
 
-__all__ = ["FleetPlan", "plan_fleet", "peak_request_rate"]
+@dataclass(frozen=True)
+class SaturationPoint:
+    """One measured point on an offered-load sweep.
+
+    Attributes:
+        offered_rps: the load generator's configured arrival rate.
+        goodput_rps: requests completed *within deadline* per second.
+        p99_seconds: 99th-percentile latency of completed requests.
+    """
+
+    offered_rps: float
+    goodput_rps: float
+    p99_seconds: float
+
+
+@dataclass(frozen=True)
+class SaturationCurve:
+    """A measured offered-load-vs-goodput-vs-p99 curve for one deployment.
+
+    This is the planner's *measured* calibration source: where
+    :func:`plan_fleet` scales the paper's shard constants analytically,
+    a curve from ``repro.loadgen`` (the E16 sweep) answers "how many
+    shards for N users at p99 < T?" from what the deployment actually
+    sustained.
+
+    Attributes:
+        points: the sweep, in any order.
+        n_shards: shards in the *measured* deployment (scaling base).
+    """
+
+    points: tuple
+    n_shards: int = 1
+
+    def __post_init__(self):
+        if not self.points:
+            raise ReproError("a saturation curve needs at least one point")
+        if self.n_shards < 1:
+            raise ReproError("the measured deployment has >= 1 shard")
+
+    @classmethod
+    def from_sweep(cls, sweep, n_shards: int = 1) -> "SaturationCurve":
+        """Build from ``BENCH_load.json``-style dicts (one per load level)."""
+        return cls(points=tuple(
+            SaturationPoint(offered_rps=float(p["offered_rps"]),
+                            goodput_rps=float(p["goodput_rps"]),
+                            p99_seconds=float(p["p99_seconds"]))
+            for p in sweep), n_shards=n_shards)
+
+    def sustainable_rps(self, p99_target_seconds: float) -> float:
+        """Peak measured goodput whose p99 met the target.
+
+        Raises:
+            ReproError: no measured point met the target — the curve
+                cannot calibrate a plan for that deadline (re-measure
+                with admission control on, or relax the target).
+        """
+        if p99_target_seconds <= 0:
+            raise ReproError("p99 target must be positive")
+        meeting = [p.goodput_rps for p in self.points
+                   if p.p99_seconds <= p99_target_seconds and
+                   p.goodput_rps > 0]
+        if not meeting:
+            raise ReproError(
+                f"no measured point sustains p99 <= {p99_target_seconds:g}s; "
+                f"the curve cannot size a deployment for that target")
+        return max(meeting)
+
+    def shards_for(self, n_users: int, p99_target_seconds: float,
+                   profile: UserProfile = UserProfile(),
+                   active_hours: float = 16.0,
+                   peak_factor: float = 2.0,
+                   headroom: float = 1.25) -> int:
+        """Shards needed for ``n_users`` at ``p99 < target`` — measured.
+
+        The population's diurnal-peak GET rate (the same
+        :func:`peak_request_rate` model :func:`plan_fleet` uses) is
+        divided by the measured per-shard sustainable rate; capacity
+        scales linearly in shards because each shard group serves an
+        independent slice of the domain.
+        """
+        if headroom < 1:
+            raise ReproError("headroom must be >= 1")
+        rate = peak_request_rate(n_users, profile, active_hours, peak_factor)
+        per_shard_rps = self.sustainable_rps(p99_target_seconds) / self.n_shards
+        return max(1, math.ceil(rate * headroom / per_shard_rps))
+
+
+def shards_for(curve: SaturationCurve, n_users: int,
+               p99_target_seconds: float, **kwargs) -> int:
+    """Module-level convenience for :meth:`SaturationCurve.shards_for`."""
+    return curve.shards_for(n_users, p99_target_seconds, **kwargs)
+
+
+__all__ = ["FleetPlan", "plan_fleet", "peak_request_rate",
+           "SaturationPoint", "SaturationCurve", "shards_for"]

@@ -187,7 +187,11 @@ def estimate_deployment(
         The full Table 2 row plus intermediate quantities.
     """
     n_servers = servers_per_request(backend)
-    n_shards = dataset.n_shards(shard.shard_bytes)
+    # Clamp defensively: a corpus smaller than one shard still occupies
+    # one shard. DatasetSpec.n_shards already rounds up to >= 1, but this
+    # function accepts any duck-typed spec, and n_shards == 0 would turn
+    # the domain-bits term below into math.log2(0) -> ValueError.
+    n_shards = max(1, dataset.n_shards(shard.shard_bytes))
     # Every shard works for the full per-shard request time, on every
     # logical server; all the instance's vCPUs participate in the scan.
     machine_seconds = n_servers * n_shards * shard.request_seconds

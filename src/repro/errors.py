@@ -43,6 +43,12 @@ class DeadlineError(TransportError):
     """A per-request deadline expired before the operation completed."""
 
 
+class OverloadError(TransportError):
+    """The server's admission gate shed the request (``ErrorMessage
+    ("overload")``): queue depth or estimated service time would have
+    blown the deadline. Retryable against a less-loaded endpoint."""
+
+
 class PathError(ReproError):
     """A lightweb path is syntactically invalid or violates ownership rules."""
 

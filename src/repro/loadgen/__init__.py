@@ -1,0 +1,38 @@
+"""Closed-loop load generation against live lightweb deployments.
+
+The missing measurement between the paper's per-request microbenchmarks
+(§5.1) and its fleet cost arithmetic (§5.2): what a deployment actually
+sustains. :mod:`repro.loadgen.schedule` turns the billing model's
+browsing sessions into timed per-user request plans;
+:mod:`repro.loadgen.harness` replays them with real discovery-resolved
+clients under per-request deadlines and reports offered load, goodput,
+shed count, and latency quantiles — the saturation curve the capacity
+planner (:class:`~repro.costmodel.capacity.SaturationCurve`) calibrates
+from and experiment E16 plots.
+"""
+
+from repro.loadgen.harness import (
+    LoadgenConfig,
+    LoadReport,
+    build_client,
+    run_load,
+    sweep_load,
+)
+from repro.loadgen.schedule import (
+    PlannedRequest,
+    UserSchedule,
+    build_schedules,
+    total_requests,
+)
+
+__all__ = [
+    "LoadgenConfig",
+    "LoadReport",
+    "build_client",
+    "run_load",
+    "sweep_load",
+    "PlannedRequest",
+    "UserSchedule",
+    "build_schedules",
+    "total_requests",
+]

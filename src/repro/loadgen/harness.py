@@ -1,0 +1,413 @@
+"""The closed-loop load harness: drive a discovered deployment to its knee.
+
+``run_load`` replays a :mod:`repro.loadgen.schedule` plan against a live,
+discovery-resolved deployment: one thread per user, each owning a real
+:class:`~repro.core.zltp.client.ZltpClient` built exactly the way
+``lightweb browse`` builds one (per-party self-healing pools resolved
+from the directory), issuing one pipelined page-view batch at a time
+under a per-request deadline. ``sweep_load`` repeats that at increasing
+offered rates — the measured saturation curve E16 plots and
+:class:`~repro.costmodel.capacity.SaturationCurve` plans from.
+
+Every request lands in exactly one outcome bucket:
+
+``ok``
+    completed within the deadline — the only bucket goodput counts.
+``late``
+    completed, but over the deadline, or aborted mid-batch by the
+    client-side deadline check.
+``shed``
+    the server's admission gate refused it with a fast
+    ``ErrorMessage("overload")`` (:class:`~repro.errors.OverloadError`).
+``error``
+    transport or protocol failure.
+
+Privacy note: the harness is a *client-side measurement tool* and holds
+to the client discipline — it resolves structural capability queries
+(universe, kind, party), never anything about which pages its synthetic
+users read, and its report carries only aggregate public counts and
+timings.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.discovery import CapabilityQuery, resolved_pool
+from repro.core.resilience import RetryPolicy, resilient_pool
+from repro.core.zltp.client import connect_client
+from repro.core.zltp.sockets import connect_tcp
+from repro.errors import (
+    DeadlineError,
+    DiscoveryError,
+    OverloadError,
+    ProtocolError,
+    ReproError,
+    TransportError,
+)
+from repro.loadgen.schedule import UserSchedule, build_schedules
+from repro.obs.logs import get_logger
+from repro.workloads.sessions import BrowsingProfile
+
+_log = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Everything about a load run except the offered rate.
+
+    Attributes:
+        universe: universe to resolve and drive.
+        n_users: concurrent closed-loop users (one client + thread each).
+        duration_seconds: length of the arrival window.
+        deadline_seconds: per-request budget; requests finishing over it
+            are completed-but-late, not goodput.
+        patience_seconds: client-side abort budget per request — how
+            long a user actually waits before giving up (and
+            reconnecting, since an aborted pipelined batch leaves
+            replies in flight). ``None`` means five deadlines. Keeping
+            patience above the deadline lets the harness *measure* how
+            far a saturated, ungated deployment blows its p99 instead
+            of truncating every sample at the deadline.
+        n_sites / pages_per_site: the synthetic browsing universe the
+            zipf targets are drawn over.
+        gets_per_page: slots fetched per page view; ``None`` means use
+            the deployment's announced ``fetch_budget``.
+        modes: modes to offer in the hello (None = all registered).
+        retries: dial attempts per failed connection (the resilient
+            transport's budget; request deadlines still apply on top).
+        seed: workload determinism root.
+    """
+
+    universe: str = "main"
+    n_users: int = 4
+    duration_seconds: float = 2.0
+    deadline_seconds: float = 1.0
+    patience_seconds: Optional[float] = None
+    n_sites: int = 8
+    pages_per_site: int = 16
+    gets_per_page: Optional[int] = None
+    modes: Optional[Sequence[str]] = None
+    retries: int = 2
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_users < 1:
+            raise ReproError("need at least one user")
+        if self.duration_seconds <= 0 or self.deadline_seconds <= 0:
+            raise ReproError("duration and deadline must be positive")
+        if self.patience_seconds is not None and \
+                self.patience_seconds < self.deadline_seconds:
+            raise ReproError("patience cannot be shorter than the deadline")
+        if self.gets_per_page is not None and self.gets_per_page < 1:
+            raise ReproError("gets_per_page must be >= 1 when given")
+
+    @property
+    def abort_seconds(self) -> float:
+        """The effective per-request abort budget."""
+        return (self.patience_seconds if self.patience_seconds is not None
+                else 5.0 * self.deadline_seconds)
+
+
+@dataclass
+class LoadReport:
+    """What one offered-load level actually did.
+
+    The dict form (:meth:`to_dict`) uses the key names
+    :meth:`repro.costmodel.capacity.SaturationCurve.from_sweep` parses,
+    so a sweep's report list feeds the capacity planner directly.
+    """
+
+    offered_rps: float
+    achieved_rps: float
+    goodput_rps: float
+    n_requests: int
+    ok: int
+    late: int
+    shed: int
+    errors: int
+    p50_seconds: Optional[float]
+    p95_seconds: Optional[float]
+    p99_seconds: Optional[float]
+    mode: Optional[str]
+    n_users: int
+    deadline_seconds: float
+    elapsed_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready row for ``BENCH_load.json``."""
+        return {
+            "offered_rps": self.offered_rps,
+            "achieved_rps": self.achieved_rps,
+            "goodput_rps": self.goodput_rps,
+            "n_requests": self.n_requests,
+            "ok": self.ok,
+            "late": self.late,
+            "shed": self.shed,
+            "errors": self.errors,
+            "p50_seconds": self.p50_seconds,
+            "p95_seconds": self.p95_seconds,
+            "p99_seconds": self.p99_seconds,
+            "mode": self.mode,
+            "n_users": self.n_users,
+            "deadline_seconds": self.deadline_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class _UserResult:
+    """One worker thread's tally (merged after join)."""
+
+    ok: int = 0
+    late: int = 0
+    shed: int = 0
+    errors: int = 0
+    issued: int = 0
+    latencies: List[float] = field(default_factory=list)
+    finished_at: float = 0.0
+
+
+def _quantile(latencies: List[float], q: float) -> Optional[float]:
+    if not latencies:
+        return None
+    return float(np.percentile(np.asarray(latencies), q))
+
+
+def build_client(resolver: Any, universe: str,
+                 modes: Optional[Sequence[str]] = None,
+                 retries: int = 2,
+                 deadline_seconds: Optional[float] = None,
+                 connect: Any = connect_tcp,
+                 rng: Optional[np.random.Generator] = None):
+    """One user's data-session client, the way ``browse`` builds one.
+
+    Each announced party gets its own discovery-resolved, self-healing
+    pool wrapped in a resilient transport, so a load run survives a
+    mid-run endpoint death the same way a browser does — by failing over,
+    inside the request's deadline.
+
+    Raises:
+        DiscoveryError: nothing announced for the universe's data kind.
+    """
+    records = resolver.resolve(
+        CapabilityQuery(universe=universe, kind="data"))
+    if not records:
+        raise DiscoveryError(
+            f"no data server announced for universe {universe!r}")
+    n_parties = max(record.party for record in records) + 1
+    transports = []
+    for party in range(n_parties):
+        pool = resolved_pool(
+            resolver,
+            CapabilityQuery(universe=universe, kind="data", party=party),
+            connect=connect,
+        )
+        transports.append(resilient_pool(
+            pool, policy=RetryPolicy(max_attempts=max(1, retries)),
+            op_deadline_seconds=deadline_seconds,
+        ))
+    return connect_client(transports,
+                          supported_modes=(list(modes) if modes is not None
+                                           else None),
+                          rng=rng)
+
+
+def _slots_for(site_index: int, page_index: int, pages_per_site: int,
+               n_slots: int, gets_per_page: int) -> List[int]:
+    """Deterministic slot batch for a visit target.
+
+    The multiplier spreads consecutive page ranks across the domain so
+    the zipf skew shows up as hot *slots*, not one hot prefix; it is a
+    fixed public constant — nothing here depends on any secret (the
+    targets are synthetic load, known to the harness by construction).
+    """
+    base = (site_index * pages_per_site + page_index) * 2654435761
+    return [(base + j) % n_slots for j in range(gets_per_page)]
+
+
+def _close_quietly(client: Any) -> None:
+    try:
+        client.close()
+    except (TransportError, ProtocolError):
+        pass
+
+
+def _drive_user(schedule: UserSchedule, client: Any, client_factory: Any,
+                t_start: float, config: LoadgenConfig, gets_per_page: int,
+                result: _UserResult) -> None:
+    """Run one user's closed-loop request sequence.
+
+    A shed request leaves the session usable (the server answers every
+    shed GET and the client drains every reply), so the user keeps its
+    client. An *abort* — patience expired mid-batch, or a transport or
+    protocol failure — leaves replies in flight, so the session is
+    discarded and the next request dials a fresh one: the closed-loop
+    equivalent of a browser giving up and reloading.
+    """
+    for request in schedule.requests:
+        due = t_start + request.time_seconds
+        delay = due - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        result.issued += 1
+        if client is None:
+            try:
+                client = client_factory()
+            except (TransportError, ProtocolError, DiscoveryError,
+                    OverloadError):
+                result.errors += 1
+                continue
+        slots = _slots_for(request.site_index, request.page_index,
+                           config.pages_per_site, 2 ** client.domain_bits,
+                           gets_per_page)
+        began = time.monotonic()
+        try:
+            client.get_slots(slots, deadline_seconds=config.abort_seconds)
+        except OverloadError:
+            result.shed += 1
+            continue
+        except DeadlineError:
+            result.late += 1
+            _close_quietly(client)
+            client = None
+            continue
+        except (TransportError, ProtocolError):
+            result.errors += 1
+            _close_quietly(client)
+            client = None
+            continue
+        latency = time.monotonic() - began
+        result.latencies.append(latency)
+        if latency <= config.deadline_seconds:
+            result.ok += 1
+        else:
+            result.late += 1
+    if client is not None:
+        _close_quietly(client)
+    result.finished_at = time.monotonic()
+
+
+def run_load(resolver: Any, offered_rps: float,
+             config: LoadgenConfig = LoadgenConfig(),
+             connect: Any = connect_tcp) -> LoadReport:
+    """Drive one offered-load level against a resolved deployment.
+
+    Clients are connected up front (connection cost stays out of the
+    measured window), then every user replays its schedule from a shared
+    start instant. A user whose client dies mid-run — or never connected
+    — re-dials through discovery on its next request; requests issued
+    while no session could be established count as errors rather than
+    silently shrinking the offered load.
+    """
+    budget = config.gets_per_page
+    if budget is None:
+        records = resolver.resolve(
+            CapabilityQuery(universe=config.universe, kind="data"))
+        if not records:
+            raise DiscoveryError(
+                f"no data server announced for universe "
+                f"{config.universe!r}")
+        budget = int(records[0].attrs.get("fetch_budget", 5))
+    schedules = build_schedules(
+        config.n_users, offered_rps, config.duration_seconds,
+        n_sites=config.n_sites, pages_per_site=config.pages_per_site,
+        profile=BrowsingProfile(gets_per_page=budget),
+        seed=config.seed)
+
+    def factory_for(user: int):
+        def factory():
+            return build_client(
+                resolver, config.universe, modes=config.modes,
+                retries=config.retries,
+                deadline_seconds=config.abort_seconds,
+                connect=connect,
+                rng=np.random.default_rng(config.seed * 31 + user))
+        return factory
+
+    # Connect every user up front so dialing stays out of the measured
+    # window; a user that cannot connect still runs (its factory retries
+    # per request), it just starts errored instead of silently shrinking
+    # the offered load.
+    clients: List[Any] = []
+    results = [_UserResult() for _ in schedules]
+    mode: Optional[str] = None
+    for user, schedule in enumerate(schedules):
+        try:
+            client = factory_for(user)()
+            mode = mode if mode is not None else client.mode
+        except (TransportError, ProtocolError, DiscoveryError,
+                OverloadError) as exc:
+            client = None
+            _log.warning("loadgen user failed to connect", extra={
+                "user": user, "error": str(exc)})
+        clients.append(client)
+
+    t_start = time.monotonic()
+    threads = []
+    for schedule, client, result in zip(schedules, clients, results):
+        thread = threading.Thread(
+            target=_drive_user,
+            args=(schedule, client, factory_for(schedule.user_index),
+                  t_start, config, budget, result),
+            name=f"loadgen-user-{schedule.user_index}", daemon=True)
+        thread.start()
+        threads.append(thread)
+    # Generous bound: the run window plus an abort budget per scheduled
+    # request can never be exceeded by a worker making any progress; a
+    # transport hung beyond that abandons the thread (daemon) instead of
+    # hanging the harness.
+    bound = config.duration_seconds + \
+        config.abort_seconds * (len(schedules[0].requests) + 2)
+    for thread in threads:
+        thread.join(bound)
+
+    elapsed = max(max((r.finished_at for r in results), default=t_start)
+                  - t_start, 1e-9)
+    latencies = [lat for r in results for lat in r.latencies]
+    ok = sum(r.ok for r in results)
+    report = LoadReport(
+        offered_rps=offered_rps,
+        achieved_rps=sum(r.issued for r in results) / elapsed,
+        goodput_rps=ok / elapsed,
+        n_requests=sum(r.issued for r in results),
+        ok=ok,
+        late=sum(r.late for r in results),
+        shed=sum(r.shed for r in results),
+        errors=sum(r.errors for r in results),
+        p50_seconds=_quantile(latencies, 50),
+        p95_seconds=_quantile(latencies, 95),
+        p99_seconds=_quantile(latencies, 99),
+        mode=mode,
+        n_users=config.n_users,
+        deadline_seconds=config.deadline_seconds,
+        elapsed_seconds=elapsed,
+    )
+    _log.info("load level done", extra={
+        "offered_rps": offered_rps, "goodput_rps": report.goodput_rps,
+        "shed": report.shed, "p99": report.p99_seconds})
+    return report
+
+
+def sweep_load(resolver: Any, offered_levels: Sequence[float],
+               config: LoadgenConfig = LoadgenConfig(),
+               connect: Any = connect_tcp) -> List[LoadReport]:
+    """Run every offered level in order; the measured saturation curve.
+
+    Levels run back to back against the same deployment, lowest first by
+    convention (callers pass them sorted), so later levels start from a
+    warmed server. Returns one :class:`LoadReport` per level.
+    """
+    if not offered_levels:
+        raise ReproError("sweep needs at least one offered level")
+    return [run_load(resolver, level, config=config, connect=connect)
+            for level in offered_levels]
+
+
+__all__ = ["LoadgenConfig", "LoadReport", "build_client", "run_load",
+           "sweep_load"]

@@ -1,0 +1,148 @@
+"""Turn browsing sessions into a timed request schedule for the harness.
+
+The load generator replays the *same* workload model the billing and
+leakage experiments use — :class:`~repro.workloads.sessions.
+SessionGenerator`'s zipf-skewed, activity-windowed visits — instead of a
+synthetic uniform arrival process. A day of visits per user is rescaled
+onto the run window so the aggregate arrival rate matches the configured
+offered load; the zipf target skew and the relative timing shape survive
+the rescale, so the deployment sees realistic hot-page concentration, not
+a flat scan.
+
+Arrivals are **open-loop** (each request has a wall-clock due time derived
+here, independent of how the server is doing), while each user drives them
+**closed-loop** (one outstanding request; an overdue arrival is issued
+immediately, never queued deeper). That split is what makes saturation
+measurable: offered load keeps pressing, but no user floods the server
+with an unbounded in-flight backlog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.workloads.sessions import BrowsingProfile, SessionGenerator, Visit
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One page-view request a user will issue.
+
+    Attributes:
+        time_seconds: due time, as an offset from the run start.
+        site_index / page_index: the zipf-sampled visit target; the
+            harness maps it onto database slots at request time (it needs
+            the negotiated domain size).
+    """
+
+    time_seconds: float
+    site_index: int
+    page_index: int
+
+
+@dataclass(frozen=True)
+class UserSchedule:
+    """One user's closed-loop request sequence, due times ascending."""
+
+    user_index: int
+    requests: Tuple[PlannedRequest, ...]
+
+
+def _rescale(visits: List[Visit], n: int, duration_seconds: float,
+             phase_seconds: float) -> List[PlannedRequest]:
+    """Map the first ``n`` visits' timing shape onto the run window.
+
+    Visits arrive ordered within each generated day; stacking days
+    end-to-end keeps the combined sequence monotone, and the linear
+    rescale preserves relative gaps (the morning-news burstiness §3.2
+    cares about) while pinning the aggregate rate. ``phase_seconds``
+    staggers the user's whole sequence so the population's first
+    arrivals spread over one inter-arrival gap instead of herding at
+    the run start.
+    """
+    taken = visits[:n]
+    t0 = taken[0].time_seconds
+    span = taken[-1].time_seconds - t0
+    out = []
+    for i, visit in enumerate(taken):
+        if span <= 0:
+            fraction = i / n
+        else:
+            # Scale into [0, duration * (n-1)/n] so the last request
+            # still has ~one inter-arrival gap of run left to complete.
+            fraction = (visit.time_seconds - t0) / span * (n - 1) / n
+        out.append(PlannedRequest(
+            time_seconds=fraction * duration_seconds + phase_seconds,
+            site_index=visit.site_index,
+            page_index=visit.page_index,
+        ))
+    return out
+
+
+def build_schedules(n_users: int, offered_rps: float,
+                    duration_seconds: float,
+                    n_sites: int = 8, pages_per_site: int = 16,
+                    profile: Optional[BrowsingProfile] = None,
+                    seed: int = 0) -> List[UserSchedule]:
+    """Per-user request schedules totalling ``offered_rps`` over the run.
+
+    Each user gets an independent :class:`~repro.workloads.sessions.
+    SessionGenerator` (seeded from ``seed`` and the user index, so the
+    whole plan is deterministic), draws as many days of visits as the
+    quota needs, and rescales them onto the run window.
+
+    ``offered_rps`` counts *page views* (one pipelined ``get_slots``
+    batch each), matching how the capacity planner's
+    :func:`~repro.costmodel.capacity.peak_request_rate` counts GETs /
+    ``gets_per_page``.
+
+    Raises:
+        ReproError: on a non-positive population, rate, or duration, or
+            when the quota rounds to fewer than one request per user.
+    """
+    if n_users < 1:
+        raise ReproError("need at least one user")
+    if offered_rps <= 0 or duration_seconds <= 0:
+        raise ReproError("offered_rps and duration_seconds must be positive")
+    total = int(round(offered_rps * duration_seconds))
+    if total < n_users:
+        raise ReproError(
+            f"offered load {offered_rps:g} rps x {duration_seconds:g}s is "
+            f"{total} request(s) — fewer than one per user ({n_users}); "
+            f"raise the load or shrink the population")
+    base, extra = divmod(total, n_users)
+    schedules: List[UserSchedule] = []
+    for user in range(n_users):
+        quota = base + (1 if user < extra else 0)
+        generator = SessionGenerator(n_sites, pages_per_site,
+                                     profile=profile,
+                                     seed=seed * 10007 + user)
+        visits: List[Visit] = []
+        offset = 0.0
+        while len(visits) < quota:
+            day = generator.day()
+            visits.extend(
+                Visit(time_seconds=visit.time_seconds + offset,
+                      site_index=visit.site_index,
+                      page_index=visit.page_index)
+                for visit in day)
+            offset += 24 * 3600
+        schedules.append(UserSchedule(
+            user_index=user,
+            requests=tuple(_rescale(
+                visits, quota, duration_seconds,
+                phase_seconds=(user / n_users) *
+                (duration_seconds / quota))),
+        ))
+    return schedules
+
+
+def total_requests(schedules: List[UserSchedule]) -> int:
+    """Requests across every user's schedule."""
+    return sum(len(schedule.requests) for schedule in schedules)
+
+
+__all__ = ["PlannedRequest", "UserSchedule", "build_schedules",
+           "total_requests"]

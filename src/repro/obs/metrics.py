@@ -644,6 +644,32 @@ def record_truncated_frame(registry: Optional[MetricsRegistry] = None) -> None:
     ).inc(1)
 
 
+def record_admission(outcome: str, n: int = 1,
+                     registry: Optional[MetricsRegistry] = None) -> None:
+    """Count ``n`` queries through the admission gate by outcome.
+
+    ``outcome`` is one of the fixed labels ``"admitted"`` or ``"shed"``
+    — a decision driven only by aggregate queue depth and service-time
+    estimates, never by request contents.
+    """
+    reg = registry if registry is not None else REGISTRY
+    reg.counter(
+        "admission_requests_total",
+        "Queries through the admission gate, by outcome",
+    ).inc(n, outcome=outcome)
+
+
+def record_admission_queue_depth(depth: int,
+                                 registry: Optional[MetricsRegistry] = None
+                                 ) -> None:
+    """Gauge the admission gate's admitted-and-unfinished query count."""
+    reg = registry if registry is not None else REGISTRY
+    reg.gauge(
+        "admission_queue_depth",
+        "Queries admitted and not yet finished",
+    ).set(depth)
+
+
 def record_active_sessions(server_kind: str, active: int,
                            registry: Optional[MetricsRegistry] = None) -> None:
     """Gauge the live ZLTP session count for one server flavour.
@@ -679,5 +705,7 @@ __all__ = [
     "record_resolve",
     "record_rediscovery",
     "record_truncated_frame",
+    "record_admission",
+    "record_admission_queue_depth",
     "record_active_sessions",
 ]

@@ -97,9 +97,27 @@ def replay_sessions(cdn: Cdn, corpus: SyntheticCorpus,
     Each day's visits run in order on a fresh simulated clock; the code
     cache persists across days (a user keeps their browser), matching the
     paper's "code blobs change very rarely" caching story.
+
+    Raises:
+        ReproError: on empty ``sessions``, or when any visit indexes a
+            site or page outside the corpus — a generator/corpus
+            dimension mismatch. (These used to be silently wrapped with
+            ``%``, which masked the mismatch *and* skewed the replayed
+            popularity distribution: every out-of-range rank aliased onto
+            a popular low-rank page.)
     """
     if not sessions:
         raise ReproError("no sessions to replay")
+    for day_index, day in enumerate(sessions):
+        for visit in day:
+            if not 0 <= visit.site_index < corpus.n_sites or \
+                    not 0 <= visit.page_index < corpus.pages_per_site:
+                raise ReproError(
+                    f"day {day_index}: visit targets site "
+                    f"{visit.site_index}, page {visit.page_index}, but the "
+                    f"corpus has {corpus.n_sites} site(s) x "
+                    f"{corpus.pages_per_site} page(s) — generator and "
+                    f"corpus dimensions disagree")
     adversary = PassiveAdversary()
     clock = SimClock()
 
@@ -119,8 +137,7 @@ def replay_sessions(cdn: Cdn, corpus: SyntheticCorpus,
         day_start = clock.now
         for visit in day:
             clock.sleep_until(day_start + visit.time_seconds)
-            page = corpus.page(visit.site_index % corpus.n_sites,
-                               visit.page_index % corpus.pages_per_site)
+            page = corpus.page(visit.site_index, visit.page_index)
             mark = len(adversary.observations)
             browser.visit(page.path)
             n_visits += 1

@@ -1,0 +1,70 @@
+"""Tier-1 wiring for the E16 load/admission smoke run.
+
+Runs :mod:`benchmarks.load_smoke` once and asserts PR 10's load-path
+claims: past the knee, admission control keeps the p99 of *admitted*
+requests inside the deadline and goodput on a plateau (sheds absorb the
+excess), while the ungated deployment lets queueing delay blow the p99
+for everyone.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import load_smoke  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_load.json"
+    assert load_smoke.main(["--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_smoke_schema(results):
+    assert {"experiment", "service_seconds", "idle_page_seconds",
+            "capacity_rps", "deadline_seconds", "offered_levels_rps",
+            "admission_off", "admission_on", "admission_gates",
+            "capacity_plan"} <= set(results)
+    for row in results["admission_off"] + results["admission_on"]:
+        assert {"offered_rps", "goodput_rps", "ok", "late", "shed",
+                "errors", "p50_seconds", "p95_seconds",
+                "p99_seconds"} <= set(row)
+
+
+def test_smoke_acceptance_assertions_hold(results):
+    # main() returning 0 already means check() passed; keep the two
+    # headline claims visible here so a regression names them directly.
+    deadline = results["deadline_seconds"]
+    assert results["admission_on"][-1]["p99_seconds"] <= deadline, results
+    assert results["admission_off"][-1]["p99_seconds"] > deadline, results
+
+
+def test_smoke_gate_transparent_below_knee(results):
+    # At half capacity the gate must not get in the way: nothing late,
+    # at most a stray shed from a transient burst.
+    low = results["admission_on"][0]
+    assert low["late"] == 0, results
+    assert low["shed"] <= 1, results
+
+
+def test_smoke_gates_balance_their_books(results):
+    # Every admit was released: both gates idle after the sweep.
+    for gate in results["admission_gates"]:
+        assert gate["queue_depth"] == 0, results
+        assert gate["admitted"] > 0 and gate["shed"] > 0, results
+
+
+def test_smoke_capacity_plan_present(results):
+    plan = results["capacity_plan"]
+    assert plan["n_users"] == 10_000
+    assert plan["shards"] >= 1, results
+
+
+def test_smoke_writes_default_path():
+    assert load_smoke.DEFAULT_OUT == REPO_ROOT / "BENCH_load.json"

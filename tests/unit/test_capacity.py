@@ -3,7 +3,14 @@
 import pytest
 
 from repro.costmodel.billing import UserProfile
-from repro.costmodel.capacity import FleetPlan, peak_request_rate, plan_fleet
+from repro.costmodel.capacity import (
+    FleetPlan,
+    SaturationCurve,
+    SaturationPoint,
+    peak_request_rate,
+    plan_fleet,
+    shards_for,
+)
 from repro.costmodel.datasets import C4, WIKIPEDIA
 from repro.errors import ReproError
 
@@ -64,3 +71,63 @@ class TestPlanFleet:
             plan_fleet(C4, n_users=100, batch_size=0)
         with pytest.raises(ReproError):
             plan_fleet(C4, n_users=100, headroom=0.5)
+
+
+def measured_curve():
+    """A typical E16 shape: a knee at ~20 rps, then p99 blowing up."""
+    return SaturationCurve(points=(
+        SaturationPoint(offered_rps=5.0, goodput_rps=5.0, p99_seconds=0.08),
+        SaturationPoint(offered_rps=20.0, goodput_rps=19.0, p99_seconds=0.2),
+        SaturationPoint(offered_rps=50.0, goodput_rps=12.0, p99_seconds=0.9),
+    ), n_shards=1)
+
+
+class TestSaturationCurve:
+    def test_sustainable_rps_respects_p99_target(self):
+        curve = measured_curve()
+        # At a 0.25s target only the first two points qualify.
+        assert curve.sustainable_rps(0.25) == pytest.approx(19.0)
+        # A tight target keeps only the idle point.
+        assert curve.sustainable_rps(0.1) == pytest.approx(5.0)
+
+    def test_no_point_meets_target_raises(self):
+        with pytest.raises(ReproError, match="cannot size"):
+            measured_curve().sustainable_rps(0.01)
+        with pytest.raises(ReproError):
+            measured_curve().sustainable_rps(0)
+
+    def test_from_sweep_parses_report_dicts(self):
+        sweep = [{"offered_rps": 10.0, "goodput_rps": 9.5,
+                  "p99_seconds": 0.1, "extra_key": "ignored"}]
+        curve = SaturationCurve.from_sweep(sweep, n_shards=2)
+        assert curve.points[0].goodput_rps == pytest.approx(9.5)
+        assert curve.n_shards == 2
+
+    def test_shards_scale_with_population(self):
+        curve = measured_curve()
+        small = curve.shards_for(1_000, 0.25)
+        large = curve.shards_for(1_000_000, 0.25)
+        assert small >= 1
+        assert large > small
+        # Linear scaling: the measured per-shard rate divides the
+        # population's peak GET rate (within ceil rounding).
+        rate = peak_request_rate(1_000_000, UserProfile())
+        assert large == pytest.approx(rate * 1.25 / 19.0, abs=1.0)
+
+    def test_module_level_helper_matches_method(self):
+        curve = measured_curve()
+        assert shards_for(curve, 50_000, 0.25) == \
+            curve.shards_for(50_000, 0.25)
+
+    def test_tighter_p99_needs_more_shards(self):
+        curve = measured_curve()
+        assert curve.shards_for(100_000, 0.1) >= \
+            curve.shards_for(100_000, 0.25)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SaturationCurve(points=())
+        with pytest.raises(ReproError):
+            SaturationCurve(points=measured_curve().points, n_shards=0)
+        with pytest.raises(ReproError):
+            measured_curve().shards_for(1000, 0.25, headroom=0.9)

@@ -318,6 +318,78 @@ class TestMisc:
         assert "a.com/" in out and "[0] X" in out and "note!" in out
 
 
+class TestLoadgenCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen", "--data-ports", "9001",
+                                          "9002"])
+        assert args.data_ports == [9001, 9002]
+        assert args.offered == [5.0, 10.0, 20.0]
+        assert args.users == 4
+        assert args.deadline == 1.0
+        assert args.directory is None
+
+    def test_requires_directory_or_ports(self):
+        from repro.errors import DiscoveryError
+
+        with pytest.raises(DiscoveryError):
+            main(["loadgen"])
+
+    def test_serve_attaches_admission_gate_to_data_servers(self, spec_file):
+        deployment = build_deployment(
+            [spec_file], admission_deadline_seconds=0.5,
+            admission_max_queue_depth=8)
+        try:
+            gated = [listener.server for (kind, _), listener
+                     in deployment.listeners.items()
+                     if kind == "data" and
+                     listener.server.admission is not None]
+            ungated_code = [listener.server for (kind, _), listener
+                            in deployment.listeners.items()
+                            if kind == "code"]
+            assert gated, "no data server got a gate"
+            assert all(s.admission.deadline_seconds == 0.5 and
+                       s.admission.max_queue_depth == 8 for s in gated)
+            assert all(s.admission is None for s in ungated_code)
+        finally:
+            deployment.stop()
+
+    def test_sweep_against_live_deployment(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core.zltp.server import ZltpServer
+        from repro.core.zltp.serving import create_tcp_server
+        from repro.pir.database import BlobDatabase
+
+        listeners = []
+        for party in (0, 1):
+            db = BlobDatabase(8, 128)
+            rng = np.random.default_rng(party)
+            for slot in range(0, db.n_slots, 8):
+                db.set_slot(slot, bytes(
+                    rng.integers(0, 256, 32, dtype=np.uint8)))
+            server = ZltpServer(db, modes=["pir2"], party=party)
+            listeners.append(create_tcp_server("threaded", server, port=0))
+        out = tmp_path / "sweep.json"
+        try:
+            code = main(["loadgen", "--data-ports",
+                         str(listeners[0].address[1]),
+                         str(listeners[1].address[1]),
+                         "--offered", "6", "--users", "2",
+                         "--duration", "0.5", "--modes", "pir2",
+                         "--fetch-budget", "1", "--out", str(out)])
+        finally:
+            for listener in listeners:
+                listener.stop()
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "offered 6 rps" in printed
+        assert "goodput" in printed
+        sweep = json.loads(out.read_text())["sweep"]
+        assert len(sweep) == 1
+        assert sweep[0]["n_requests"] == 3
+        assert sweep[0]["ok"] == 3  # idle deployment: nothing shed/late
+
+
 class TestLint:
     def test_lint_json_on_leaky_module(self, tmp_path, capsys):
         module = tmp_path / "leaky.py"

@@ -109,6 +109,20 @@ class TestDeploymentEstimates:
         # Our implementation's key is much smaller.
         assert implementation_key_bytes(22) < 500
 
+    def test_zero_shard_spec_clamped_to_one(self):
+        # Regression: a duck-typed spec reporting zero shards used to
+        # reach math.log2(0) in the key-size term and raise ValueError;
+        # a corpus smaller than one shard still occupies one shard.
+        class ZeroShardSpec(DatasetSpec):
+            def n_shards(self, shard_bytes=GIB):
+                return 0
+
+        tiny = ZeroShardSpec(name="tiny", total_bytes=1024,
+                             n_pages=10, avg_page_bytes=102.4)
+        estimate = estimate_deployment(tiny)
+        assert estimate.n_shards == 1
+        assert estimate.vcpu_seconds > 0
+
 
 class TestMeasuredShard:
     def test_measure_shard_runs(self):

@@ -122,6 +122,20 @@ class TestCapabilityQuery:
         ranked = rank_records([busy, idle, warm])
         assert [r.server_id for r in ranked] == ["idle", "warm", "busy"]
 
+    def test_ranking_routes_around_backed_up_admission_gate(self):
+        # A backed-up gate is the most urgent saturation signal: it
+        # outranks session count. Servers without a gate announce no
+        # depth and sort as depth zero (the pre-gate behaviour).
+        backed_up = make_record(server_id="backed-up", load={
+            "admission_queue_depth": 7.0, "sessions_active": 1.0})
+        draining = make_record(server_id="draining", load={
+            "admission_queue_depth": 0.0, "sessions_active": 9.0})
+        ungated = make_record(server_id="ungated", load={
+            "sessions_active": 2.0})
+        ranked = rank_records([backed_up, draining, ungated])
+        assert [r.server_id for r in ranked] == \
+            ["ungated", "draining", "backed-up"]
+
     def test_ranking_tie_break_is_deterministic(self):
         a = make_record(server_id="a")
         b = make_record(server_id="b")

@@ -1,0 +1,124 @@
+"""Tests for the load-generator schedule and harness plumbing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.loadgen import (
+    LoadgenConfig,
+    PlannedRequest,
+    UserSchedule,
+    build_schedules,
+    total_requests,
+)
+from repro.loadgen.harness import _quantile, _slots_for
+from repro.workloads.sessions import BrowsingProfile
+
+
+class TestBuildSchedules:
+    def test_total_matches_offered_rate(self):
+        schedules = build_schedules(4, offered_rps=10.0,
+                                    duration_seconds=2.0, seed=1)
+        assert len(schedules) == 4
+        assert total_requests(schedules) == 20
+
+    def test_deterministic_for_same_seed(self):
+        a = build_schedules(3, 6.0, 2.0, seed=42)
+        b = build_schedules(3, 6.0, 2.0, seed=42)
+        assert a == b
+
+    def test_seed_changes_targets(self):
+        a = build_schedules(3, 12.0, 2.0, seed=1)
+        b = build_schedules(3, 12.0, 2.0, seed=2)
+        targets = lambda s: [(r.site_index, r.page_index)  # noqa: E731
+                             for sched in s for r in sched.requests]
+        assert targets(a) != targets(b)
+
+    def test_due_times_ascend_within_run_window(self):
+        schedules = build_schedules(4, 20.0, 2.0, seed=3)
+        for schedule in schedules:
+            times = [r.time_seconds for r in schedule.requests]
+            assert times == sorted(times)
+            assert all(0.0 <= t for t in times)
+            # Phase stagger adds at most one inter-arrival gap.
+            assert max(times) <= 2.0 + 2.0 / len(times)
+
+    def test_phase_stagger_spreads_first_arrivals(self):
+        # Without the stagger every user's first request lands at t=0
+        # and the population herds into one burst at the run start.
+        schedules = build_schedules(5, 25.0, 2.0, seed=4)
+        first_arrivals = [s.requests[0].time_seconds for s in schedules]
+        assert len(set(first_arrivals)) == len(first_arrivals)
+
+    def test_targets_respect_universe_bounds(self):
+        schedules = build_schedules(2, 30.0, 2.0, n_sites=3,
+                                    pages_per_site=5, seed=5)
+        for schedule in schedules:
+            for request in schedule.requests:
+                assert 0 <= request.site_index < 3
+                assert 0 <= request.page_index < 5
+
+    def test_profile_passes_through(self):
+        profile = BrowsingProfile(pages_per_day=40.0)
+        schedules = build_schedules(2, 8.0, 2.0, profile=profile, seed=6)
+        assert total_requests(schedules) == 16
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            build_schedules(0, 10.0, 2.0)
+        with pytest.raises(ReproError):
+            build_schedules(2, 0.0, 2.0)
+        with pytest.raises(ReproError):
+            build_schedules(2, 10.0, -1.0)
+        # 1 rps x 2s = 2 requests over 4 users: under one per user.
+        with pytest.raises(ReproError, match="fewer than one per user"):
+            build_schedules(4, 1.0, 2.0)
+
+
+class TestLoadgenConfig:
+    def test_defaults_validate(self):
+        config = LoadgenConfig()
+        assert config.abort_seconds == pytest.approx(
+            5.0 * config.deadline_seconds)
+
+    def test_patience_overrides_abort(self):
+        config = LoadgenConfig(deadline_seconds=0.5, patience_seconds=0.8)
+        assert config.abort_seconds == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LoadgenConfig(n_users=0)
+        with pytest.raises(ReproError):
+            LoadgenConfig(duration_seconds=0)
+        with pytest.raises(ReproError):
+            LoadgenConfig(deadline_seconds=-1)
+        with pytest.raises(ReproError):
+            LoadgenConfig(deadline_seconds=1.0, patience_seconds=0.5)
+        with pytest.raises(ReproError):
+            LoadgenConfig(gets_per_page=0)
+
+
+class TestHarnessPlumbing:
+    def test_slots_for_is_deterministic_and_in_range(self):
+        slots = _slots_for(3, 7, 16, 512, 5)
+        assert slots == _slots_for(3, 7, 16, 512, 5)
+        assert len(slots) == 5
+        assert all(0 <= s < 512 for s in slots)
+
+    def test_slots_for_spreads_adjacent_pages(self):
+        a = _slots_for(0, 0, 16, 512, 1)
+        b = _slots_for(0, 1, 16, 512, 1)
+        assert a != b
+
+    def test_quantile_of_empty_is_none(self):
+        assert _quantile([], 99) is None
+        assert _quantile([0.25], 50) == pytest.approx(0.25)
+
+
+class TestScheduleShapes:
+    def test_frozen_dataclasses(self):
+        request = PlannedRequest(0.5, 1, 2)
+        schedule = UserSchedule(0, (request,))
+        with pytest.raises(Exception):
+            request.time_seconds = 1.0
+        with pytest.raises(Exception):
+            schedule.user_index = 3

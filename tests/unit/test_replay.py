@@ -53,6 +53,24 @@ class TestReplay:
         with pytest.raises(ReproError):
             replay_sessions(cdn, corpus, [])
 
+    def test_out_of_range_visit_rejected_up_front(self):
+        # Regression: out-of-range visit targets used to be silently
+        # wrapped with ``%``, which masked generator/corpus dimension
+        # mismatches and aliased every overflowing rank onto a popular
+        # low-rank page, skewing the replayed distribution.
+        corpus = SyntheticCorpus(2, 3, avg_page_bytes=100)
+        cdn = build_replay_universe(corpus, fetch_budget=2,
+                                    data_domain_bits=10)
+        bad_site = [[Visit(100.0, 2, 0)]]
+        with pytest.raises(ReproError, match="dimensions disagree"):
+            replay_sessions(cdn, corpus, bad_site)
+        bad_page = [[Visit(100.0, 0, 3)]]
+        with pytest.raises(ReproError, match="dimensions disagree"):
+            replay_sessions(cdn, corpus, bad_page)
+        negative = [[Visit(100.0, -1, 0)]]
+        with pytest.raises(ReproError, match="dimensions disagree"):
+            replay_sessions(cdn, corpus, negative)
+
     def test_explicit_sessions(self):
         corpus = SyntheticCorpus(2, 3, avg_page_bytes=100, seed=9)
         cdn = build_replay_universe(corpus, fetch_budget=2,

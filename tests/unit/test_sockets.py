@@ -483,3 +483,83 @@ class TestStatsEarlyClose:
             assert "200" in status
         finally:
             sidecar.stop()
+
+
+class TestConfigurableIoTimeout:
+    """Regression for the hardcoded ``conn.settimeout(5.0)``.
+
+    The stats sidecar used to kill every scraper with a fixed 5-second
+    recv timeout regardless of deployment; both servers now thread a
+    configurable ``io_timeout`` through instead.
+    """
+
+    def test_slow_scraper_survives_with_timeout_disabled(self):
+        sidecar = StatsTcpServer(lambda: {"gets": 1, "metrics": {}},
+                                 io_timeout=None)
+        try:
+            with socket.create_connection(sidecar.address, timeout=5) as sock:
+                time.sleep(0.3)  # a pause no fixed constant may punish
+                sock.sendall(b"GET /metrics.json HTTP/1.0\r\n\r\n")
+                data = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+            assert b"200" in data.split(b"\r\n", 1)[0]
+        finally:
+            sidecar.stop()
+
+    def test_slow_scraper_reaped_at_configured_timeout(self):
+        sidecar = StatsTcpServer(lambda: {"gets": 1, "metrics": {}},
+                                 io_timeout=0.1)
+        try:
+            with socket.create_connection(sidecar.address, timeout=5) as sock:
+                time.sleep(0.4)  # well past the configured timeout
+                try:
+                    sock.sendall(b"GET /metrics.json HTTP/1.0\r\n\r\n")
+                except OSError:
+                    return  # server already hung up: also a pass
+                sock.settimeout(2)
+                try:
+                    assert sock.recv(65536) == b""
+                except OSError:
+                    pass  # reset instead of FIN: still reaped
+        finally:
+            sidecar.stop()
+
+    def test_zltp_idle_connection_reaped_with_reason(self):
+        server = ZltpTcpServer(
+            ZltpServer(build_db(), modes=[MODE_PIR2], party=0, salt=SALT,
+                       probes=2),
+            io_timeout=0.15)
+        try:
+            transport = connect_tcp(*server.address)
+            transport.send_frame(
+                msg.encode_message(msg.ClientHello(supported_modes=[MODE_PIR2])))
+            hello = msg.decode_message(transport.recv_frame())
+            assert isinstance(hello, msg.ServerHello)
+            # Park past the timeout: the server must say why it reaps.
+            time.sleep(0.5)
+            reap = msg.decode_message(transport.recv_frame())
+            assert isinstance(reap, msg.ErrorMessage)
+            assert reap.code == "idle-timeout"
+            transport.close()
+        finally:
+            server.stop()
+
+    def test_zltp_default_is_patient(self):
+        server = ZltpTcpServer(
+            ZltpServer(build_db(), modes=[MODE_PIR2], party=0, salt=SALT,
+                       probes=2))
+        try:
+            transport = connect_tcp(*server.address)
+            transport.send_frame(
+                msg.encode_message(msg.ClientHello(supported_modes=[MODE_PIR2])))
+            assert isinstance(msg.decode_message(transport.recv_frame()),
+                              msg.ServerHello)
+            time.sleep(0.4)  # would have been reaped under a tight timeout
+            transport.send_frame(msg.encode_message(msg.Bye()))
+            transport.close()
+        finally:
+            server.stop()

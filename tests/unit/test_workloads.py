@@ -127,3 +127,46 @@ class TestSessions:
             BrowsingProfile(active_hours=(10, 9))
         with pytest.raises(ReproError):
             SessionGenerator(0, 5)
+
+    def test_day_deterministic_for_same_seed(self):
+        # The load generator's schedules rely on this: same seed, same
+        # visits, same timing — byte-for-byte reproducible plans.
+        a = SessionGenerator(10, 20, seed=11)
+        b = SessionGenerator(10, 20, seed=11)
+        assert a.day() == b.day()
+
+    def test_day_differs_across_seeds(self):
+        a = SessionGenerator(10, 20, seed=11)
+        b = SessionGenerator(10, 20, seed=12)
+        assert a.day() != b.day()
+
+    def test_empty_day_is_valid(self):
+        # A Poisson draw of zero visits (light profile) must come back
+        # as an empty day, not crash on empty sampling arrays.
+        generator = SessionGenerator(
+            5, 5, profile=BrowsingProfile(pages_per_day=1e-9), seed=1)
+        assert generator.day() == []
+        assert generator.data_gets([[]]) == 0
+        assert generator.code_gets_upper_bound([[]]) == 0
+
+    def test_profile_edge_validation(self):
+        with pytest.raises(ReproError):
+            BrowsingProfile(pages_per_day=0)
+        with pytest.raises(ReproError):
+            BrowsingProfile(gets_per_page=0)
+        with pytest.raises(ReproError):
+            BrowsingProfile(active_hours=(-1, 8))
+        with pytest.raises(ReproError):
+            BrowsingProfile(active_hours=(8, 25))
+        # Full-day window is the boundary case and must be accepted.
+        full_day = BrowsingProfile(active_hours=(0.0, 24.0))
+        assert full_day.active_hours == (0.0, 24.0)
+
+    def test_data_gets_matches_visits_times_budget(self):
+        # The replay invariant: every visit costs exactly the universe's
+        # fixed fetch budget in data GETs, nothing more or less.
+        generator = SessionGenerator(8, 16, seed=5)
+        sessions = generator.month(4)
+        n_visits = sum(len(day) for day in sessions)
+        assert generator.data_gets(sessions) == \
+            n_visits * generator.profile.gets_per_page
